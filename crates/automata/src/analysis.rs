@@ -1,0 +1,358 @@
+//! Static analyses over MFAs.
+//!
+//! The TAX index can only prune a subtree if **no accepting continuation of
+//! any live run can complete inside it** (paper §3, "Indexer": TAX keeps
+//! track of which descendant types exist so the evaluator can skip
+//! subtrees). The key analysis is [`required_labels`]: for every NFA state,
+//! the set of labels that appear on *every* accepting continuation from
+//! that state. If some required label does not occur in a subtree, no run
+//! in that state can accept there — prune. Guards are conservatively
+//! ignored (they can only shrink the set of accepting runs, so ignoring
+//! them under-prunes, never over-prunes); the soundness property is tested
+//! here and end-to-end in the evaluator tests.
+
+use crate::mfa::{LabelTest, Nfa, StateId};
+use smoqe_xml::{Label, LabelSet};
+
+/// Per-state label requirement for reaching acceptance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Requirement {
+    /// No accepting continuation exists from this state at all.
+    pub dead: bool,
+    /// Labels appearing on **every** accepting continuation (empty when
+    /// some continuation needs no specific labels, e.g. via wildcards or
+    /// immediate acceptance).
+    pub labels: LabelSet,
+}
+
+impl Requirement {
+    /// Whether a run in this state could still accept inside a subtree
+    /// offering exactly `available` element labels.
+    pub fn satisfiable_within(&self, available: &LabelSet) -> bool {
+        !self.dead && self.labels.is_subset_of(available)
+    }
+}
+
+/// Computes [`Requirement`]s for every state of `nfa` (greatest fixpoint).
+///
+/// `num_labels` is the vocabulary size; label sets are bounded by it.
+pub fn required_labels(nfa: &Nfa, num_labels: usize) -> Vec<Requirement> {
+    // Value lattice: None = "no accepting path yet" (top), Some(set) =
+    // intersection of labels over known accepting paths. Values only
+    // descend, so iteration terminates.
+    let n = nfa.state_count();
+    let mut req: Vec<Option<LabelSet>> = vec![None; n];
+    if n == 0 {
+        return Vec::new();
+    }
+    req[nfa.accept().index()] = Some(LabelSet::with_capacity(num_labels));
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for s in (0..n as u32).map(StateId) {
+            let mut new: Option<LabelSet> = if nfa.is_accept(s) {
+                Some(LabelSet::with_capacity(num_labels))
+            } else {
+                None
+            };
+            for e in nfa.eps_edges(s) {
+                if let Some(r) = &req[e.target.index()] {
+                    new = Some(match new {
+                        None => r.clone(),
+                        Some(mut cur) => {
+                            cur.intersect_with(r);
+                            cur
+                        }
+                    });
+                }
+            }
+            for t in nfa.transitions(s) {
+                if let Some(r) = &req[t.target.index()] {
+                    let mut contribution = r.clone();
+                    if let LabelTest::Label(l) = t.test {
+                        contribution.insert(l);
+                    }
+                    new = Some(match new {
+                        None => contribution,
+                        Some(mut cur) => {
+                            cur.intersect_with(&contribution);
+                            cur
+                        }
+                    });
+                }
+            }
+            if new != req[s.index()] {
+                // Monotone: only None -> Some or shrinking sets.
+                req[s.index()] = new;
+                changed = true;
+            }
+        }
+    }
+    req.into_iter()
+        .map(|r| match r {
+            None => Requirement {
+                dead: true,
+                labels: LabelSet::with_capacity(num_labels),
+            },
+            Some(labels) => Requirement {
+                dead: false,
+                labels,
+            },
+        })
+        .collect()
+}
+
+/// ε-closure of `states`, ignoring guards (used by type checking and by
+/// tests; the evaluator computes a guard-aware closure itself).
+pub fn eps_closure_unguarded(nfa: &Nfa, states: &[StateId]) -> Vec<StateId> {
+    let mut in_set = vec![false; nfa.state_count()];
+    let mut work: Vec<StateId> = Vec::new();
+    for &s in states {
+        if !in_set[s.index()] {
+            in_set[s.index()] = true;
+            work.push(s);
+        }
+    }
+    while let Some(s) = work.pop() {
+        for e in nfa.eps_edges(s) {
+            if !in_set[e.target.index()] {
+                in_set[e.target.index()] = true;
+                work.push(e.target);
+            }
+        }
+    }
+    (0..nfa.state_count() as u32)
+        .map(StateId)
+        .filter(|s| in_set[s.index()])
+        .collect()
+}
+
+/// One consuming step from `states` (assumed ε-closed) on `label`,
+/// followed by ε-closure. Guards ignored.
+pub fn step_unguarded(nfa: &Nfa, states: &[StateId], label: Label) -> Vec<StateId> {
+    let mut out = Vec::new();
+    for &s in states {
+        for t in nfa.transitions(s) {
+            if t.test.matches(label) {
+                out.push(t.target);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    eps_closure_unguarded(nfa, &out)
+}
+
+/// Whether the NFA accepts the label word `word`, ignoring guards.
+pub fn accepts_word_unguarded(nfa: &Nfa, word: &[Label]) -> bool {
+    let mut cur = eps_closure_unguarded(nfa, &[nfa.start()]);
+    for &l in word {
+        if cur.is_empty() {
+            return false;
+        }
+        cur = step_unguarded(nfa, &cur, l);
+    }
+    cur.iter().any(|&s| nfa.is_accept(s))
+}
+
+/// States reachable from `start` following every kind of edge.
+pub fn reachable_states(nfa: &Nfa) -> Vec<bool> {
+    let mut seen = vec![false; nfa.state_count()];
+    if nfa.state_count() == 0 {
+        return seen;
+    }
+    let mut work = vec![nfa.start()];
+    seen[nfa.start().index()] = true;
+    while let Some(s) = work.pop() {
+        for e in nfa.eps_edges(s) {
+            if !seen[e.target.index()] {
+                seen[e.target.index()] = true;
+                work.push(e.target);
+            }
+        }
+        for t in nfa.transitions(s) {
+            if !seen[t.target.index()] {
+                seen[t.target.index()] = true;
+                work.push(t.target);
+            }
+        }
+    }
+    seen
+}
+
+/// States from which the accept state is reachable.
+pub fn coreachable_states(nfa: &Nfa) -> Vec<bool> {
+    let n = nfa.state_count();
+    let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    for s in nfa.states() {
+        for e in nfa.eps_edges(s) {
+            rev[e.target.index()].push(s);
+        }
+        for t in nfa.transitions(s) {
+            rev[t.target.index()].push(s);
+        }
+    }
+    let mut seen = vec![false; n];
+    if n == 0 {
+        return seen;
+    }
+    let mut work = vec![nfa.accept()];
+    seen[nfa.accept().index()] = true;
+    while let Some(s) = work.pop() {
+        for &p in &rev[s.index()] {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                work.push(p);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::compile;
+    use smoqe_rxpath::parse_path;
+    use smoqe_xml::Vocabulary;
+
+    fn top_nfa(q: &str) -> (Vocabulary, crate::mfa::Mfa) {
+        let vocab = Vocabulary::new();
+        let p = parse_path(q, &vocab).unwrap();
+        let mfa = compile(&p, &vocab);
+        (vocab, mfa)
+    }
+
+    #[test]
+    fn word_acceptance_matches_path_semantics() {
+        let (vocab, mfa) = top_nfa("a/b/c");
+        let nfa = mfa.nfa(mfa.top());
+        let l = |n: &str| vocab.lookup(n).unwrap();
+        assert!(accepts_word_unguarded(nfa, &[l("a"), l("b"), l("c")]));
+        assert!(!accepts_word_unguarded(nfa, &[l("a"), l("b")]));
+        assert!(!accepts_word_unguarded(nfa, &[l("a"), l("c"), l("b")]));
+    }
+
+    #[test]
+    fn closure_word_acceptance() {
+        let (vocab, mfa) = top_nfa("(a/b)*/c");
+        let nfa = mfa.nfa(mfa.top());
+        let l = |n: &str| vocab.lookup(n).unwrap();
+        assert!(accepts_word_unguarded(nfa, &[l("c")]));
+        assert!(accepts_word_unguarded(nfa, &[l("a"), l("b"), l("c")]));
+        assert!(accepts_word_unguarded(
+            nfa,
+            &[l("a"), l("b"), l("a"), l("b"), l("c")]
+        ));
+        assert!(!accepts_word_unguarded(nfa, &[l("a"), l("c")]));
+    }
+
+    #[test]
+    fn union_acceptance() {
+        let (vocab, mfa) = top_nfa("a/(b | c)");
+        let nfa = mfa.nfa(mfa.top());
+        let l = |n: &str| vocab.lookup(n).unwrap();
+        assert!(accepts_word_unguarded(nfa, &[l("a"), l("b")]));
+        assert!(accepts_word_unguarded(nfa, &[l("a"), l("c")]));
+        assert!(!accepts_word_unguarded(nfa, &[l("b")]));
+    }
+
+    #[test]
+    fn required_labels_of_linear_path() {
+        let (vocab, mfa) = top_nfa("a/b/c");
+        let nfa = mfa.nfa(mfa.top());
+        let req = required_labels(nfa, vocab.len());
+        let start_req = &req[nfa.start().index()];
+        assert!(!start_req.dead);
+        // From the start, every accepting path uses a, b and c.
+        let labels: Vec<String> = start_req
+            .labels
+            .iter()
+            .map(|l| vocab.name(l).to_string())
+            .collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+        // At accept, nothing more is required.
+        assert!(req[nfa.accept().index()].labels.is_empty());
+    }
+
+    #[test]
+    fn required_labels_intersect_over_union() {
+        let (vocab, mfa) = top_nfa("a/(b/d | c/d)");
+        let nfa = mfa.nfa(mfa.top());
+        let req = required_labels(nfa, vocab.len());
+        let labels: Vec<String> = req[nfa.start().index()]
+            .labels
+            .iter()
+            .map(|l| vocab.name(l).to_string())
+            .collect();
+        // b vs c differ per branch; a and d are on every path.
+        assert_eq!(labels, vec!["a", "d"]);
+    }
+
+    #[test]
+    fn wildcard_requires_nothing() {
+        let (vocab, mfa) = top_nfa("//b");
+        let nfa = mfa.nfa(mfa.top());
+        let req = required_labels(nfa, vocab.len());
+        let labels: Vec<String> = req[nfa.start().index()]
+            .labels
+            .iter()
+            .map(|l| vocab.name(l).to_string())
+            .collect();
+        // The wildcard closure contributes nothing, but `b` is still on
+        // every accepting path - this is exactly what lets TAX prune
+        // subtrees with no `b` under a descendant query.
+        assert_eq!(labels, vec!["b"]);
+    }
+
+    #[test]
+    fn dead_states_detected() {
+        let vocab = Vocabulary::new();
+        let mut nfa = Nfa::new();
+        let s = nfa.add_state();
+        let t = nfa.add_state();
+        let dead = nfa.add_state();
+        nfa.set_start(s);
+        nfa.set_accept(t);
+        nfa.add_transition(s, LabelTest::Label(vocab.intern("a")), t);
+        nfa.add_transition(s, LabelTest::Label(vocab.intern("b")), dead);
+        let req = required_labels(&nfa, vocab.len());
+        assert!(req[dead.index()].dead);
+        assert!(!req[s.index()].dead);
+        let avail: LabelSet = [vocab.lookup("a").unwrap()].into_iter().collect();
+        assert!(req[s.index()].satisfiable_within(&avail));
+        assert!(!req[dead.index()].satisfiable_within(&avail));
+    }
+
+    #[test]
+    fn satisfiable_within_requires_subset() {
+        let (vocab, mfa) = top_nfa("a/b");
+        let nfa = mfa.nfa(mfa.top());
+        let req = required_labels(nfa, vocab.len());
+        let only_a: LabelSet = [vocab.lookup("a").unwrap()].into_iter().collect();
+        let both: LabelSet = [vocab.lookup("a").unwrap(), vocab.lookup("b").unwrap()]
+            .into_iter()
+            .collect();
+        assert!(!req[nfa.start().index()].satisfiable_within(&only_a));
+        assert!(req[nfa.start().index()].satisfiable_within(&both));
+    }
+
+    #[test]
+    fn reachable_and_coreachable() {
+        let vocab = Vocabulary::new();
+        let mut nfa = Nfa::new();
+        let s = nfa.add_state();
+        let t = nfa.add_state();
+        let orphan = nfa.add_state();
+        let sink = nfa.add_state();
+        nfa.set_start(s);
+        nfa.set_accept(t);
+        nfa.add_transition(s, LabelTest::Label(vocab.intern("a")), t);
+        nfa.add_transition(orphan, LabelTest::Wildcard, t);
+        nfa.add_eps(s, sink);
+        let reach = reachable_states(&nfa);
+        assert_eq!(reach, vec![true, true, false, true]);
+        let coreach = coreachable_states(&nfa);
+        assert_eq!(coreach, vec![true, true, true, false]);
+    }
+}

@@ -1,0 +1,319 @@
+//! Compiling Regular XPath into MFAs (Thompson construction).
+//!
+//! The construction is linear: every AST node contributes O(1) states and
+//! edges, and every qualifier contributes one guarded ε-edge plus (for its
+//! embedded paths) sub-NFAs built the same way. This is the property that
+//! lets the rewriter keep rewritten queries linear-size where the syntactic
+//! representation would explode (paper §3, experiment E2).
+
+use crate::mfa::{LabelTest, Mfa, Nfa, NfaId, Pred, PredId, StateId};
+use smoqe_rxpath::{Path, Qualifier};
+use smoqe_xml::Vocabulary;
+
+/// Compiles a Regular XPath path into an MFA.
+///
+/// ```
+/// use smoqe_automata::compile;
+/// use smoqe_rxpath::parse_path;
+/// use smoqe_xml::Vocabulary;
+/// let vocab = Vocabulary::new();
+/// let q = parse_path("a/b[c and not(d)]/e", &vocab).unwrap();
+/// let mfa = compile(&q, &vocab);
+/// // Linear in the query size.
+/// assert!(mfa.stats().total() < 10 * q.size());
+/// ```
+pub fn compile(path: &Path, vocab: &Vocabulary) -> Mfa {
+    let mut b = Builder {
+        nfas: Vec::new(),
+        preds: Vec::new(),
+    };
+    let top = b.build_path_nfa(path);
+    Mfa::from_parts(b.nfas, b.preds, top, vocab.clone())
+}
+
+/// Compiles a standalone qualifier into an MFA predicate; returns the MFA
+/// of the qualifier's machinery plus the root predicate id. The MFA's `top`
+/// NFA is a trivial ε-accepting automaton whose accept edge is guarded by
+/// the predicate, so evaluating the MFA at a node set yields exactly the
+/// nodes satisfying the qualifier.
+pub fn compile_qualifier(qual: &Qualifier, vocab: &Vocabulary) -> (Mfa, PredId) {
+    let mut b = Builder {
+        nfas: Vec::new(),
+        preds: Vec::new(),
+    };
+    let pred = b.build_pred(qual);
+    // top: start --[guard]--> accept, no consuming transitions.
+    let mut nfa = Nfa::new();
+    let s = nfa.add_state();
+    let t = nfa.add_state();
+    nfa.add_guarded_eps(s, t, pred);
+    nfa.set_start(s);
+    nfa.set_accept(t);
+    b.nfas.push(nfa);
+    let top = NfaId((b.nfas.len() - 1) as u32);
+    (Mfa::from_parts(b.nfas, b.preds, top, vocab.clone()), pred)
+}
+
+/// Incremental MFA builder, also used by the view rewriter to assemble
+/// rewritten automata from σ fragments.
+pub struct Builder {
+    /// NFA arena under construction.
+    pub nfas: Vec<Nfa>,
+    /// Predicate arena under construction.
+    pub preds: Vec<Pred>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Builder {
+            nfas: Vec::new(),
+            preds: Vec::new(),
+        }
+    }
+
+    /// Finishes the build with the given top NFA.
+    pub fn finish(self, top: NfaId, vocab: &Vocabulary) -> Mfa {
+        Mfa::from_parts(self.nfas, self.preds, top, vocab.clone())
+    }
+
+    /// Interns a predicate node.
+    pub fn add_pred(&mut self, pred: Pred) -> PredId {
+        // Constants and simple text tests are worth deduplicating; preds
+        // with NFA references are unique anyway.
+        if matches!(pred, Pred::True | Pred::TextEq(_)) {
+            if let Some(i) = self.preds.iter().position(|p| *p == pred) {
+                return PredId(i as u32);
+            }
+        }
+        self.preds.push(pred);
+        PredId((self.preds.len() - 1) as u32)
+    }
+
+    /// Builds a complete NFA for `path` and returns its id.
+    pub fn build_path_nfa(&mut self, path: &Path) -> NfaId {
+        let mut nfa = Nfa::new();
+        let start = nfa.add_state();
+        let accept = nfa.add_state();
+        nfa.set_start(start);
+        nfa.set_accept(accept);
+        // The fragment builder needs `self` for nested predicates, so the
+        // NFA is threaded explicitly.
+        self.fragment(&mut nfa, path, start, accept);
+        self.nfas.push(nfa);
+        NfaId((self.nfas.len() - 1) as u32)
+    }
+
+    /// Wires `path` between `from` and `to` inside `nfa`.
+    pub fn fragment(&mut self, nfa: &mut Nfa, path: &Path, from: StateId, to: StateId) {
+        match path {
+            Path::Empty => nfa.add_eps(from, to),
+            Path::Label(l) => nfa.add_transition(from, LabelTest::Label(*l), to),
+            Path::Wildcard => nfa.add_transition(from, LabelTest::Wildcard, to),
+            Path::Seq(parts) => {
+                let mut cur = from;
+                for (i, p) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() {
+                        to
+                    } else {
+                        nfa.add_state()
+                    };
+                    self.fragment(nfa, p, cur, next);
+                    cur = next;
+                }
+                if parts.is_empty() {
+                    nfa.add_eps(from, to);
+                }
+            }
+            Path::Union(parts) => {
+                for p in parts {
+                    self.fragment(nfa, p, from, to);
+                }
+                if parts.is_empty() {
+                    nfa.add_eps(from, to);
+                }
+            }
+            Path::Star(inner) => {
+                // from -> hub; hub -> to; hub -> [inner] -> back -> hub.
+                let hub = nfa.add_state();
+                nfa.add_eps(from, hub);
+                nfa.add_eps(hub, to);
+                let back = nfa.add_state();
+                self.fragment(nfa, inner, hub, back);
+                nfa.add_eps(back, hub);
+            }
+            Path::Qualified(inner, qual) => {
+                // from -> [inner] -> mid --{guard q}--> to.
+                let mid = nfa.add_state();
+                self.fragment(nfa, inner, from, mid);
+                let pred = self.build_pred(qual);
+                nfa.add_guarded_eps(mid, to, pred);
+            }
+        }
+    }
+
+    /// Compiles a qualifier into the predicate arena.
+    pub fn build_pred(&mut self, qual: &Qualifier) -> PredId {
+        match qual {
+            Qualifier::True => self.add_pred(Pred::True),
+            Qualifier::Exists(p) => {
+                let nfa = self.build_path_nfa(p);
+                self.add_pred(Pred::HasPath(nfa))
+            }
+            Qualifier::TextEq(p, value) => {
+                if *p == Path::Empty {
+                    self.add_pred(Pred::TextEq(value.clone()))
+                } else {
+                    // HasPath over p, with the accept reachable only
+                    // through a TextEq guard: the witness node itself must
+                    // carry the text.
+                    let text_pred = self.add_pred(Pred::TextEq(value.clone()));
+                    let mut nfa = Nfa::new();
+                    let start = nfa.add_state();
+                    let mid = nfa.add_state();
+                    let accept = nfa.add_state();
+                    nfa.set_start(start);
+                    nfa.set_accept(accept);
+                    self.fragment(&mut nfa, p, start, mid);
+                    nfa.add_guarded_eps(mid, accept, text_pred);
+                    self.nfas.push(nfa);
+                    let id = NfaId((self.nfas.len() - 1) as u32);
+                    self.add_pred(Pred::HasPath(id))
+                }
+            }
+            Qualifier::Not(inner) => {
+                let p = self.build_pred(inner);
+                self.add_pred(Pred::Not(p))
+            }
+            Qualifier::And(a, b) => {
+                let pa = self.build_pred(a);
+                let pb = self.build_pred(b);
+                self.add_pred(Pred::And(vec![pa, pb]))
+            }
+            Qualifier::Or(a, b) => {
+                let pa = self.build_pred(a);
+                let pb = self.build_pred(b);
+                self.add_pred(Pred::Or(vec![pa, pb]))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_rxpath::parse_path;
+
+    fn mfa_for(q: &str) -> (Vocabulary, Mfa) {
+        let vocab = Vocabulary::new();
+        let p = parse_path(q, &vocab).unwrap();
+        let mfa = compile(&p, &vocab);
+        (vocab, mfa)
+    }
+
+    #[test]
+    fn simple_path_is_small() {
+        let (_, mfa) = mfa_for("a/b/c");
+        assert_eq!(mfa.nfa_count(), 1);
+        assert_eq!(mfa.pred_count(), 0);
+        let top = mfa.nfa(mfa.top());
+        assert_eq!(top.transition_count(), 3);
+        // start + accept + 2 intermediate.
+        assert_eq!(top.state_count(), 4);
+    }
+
+    #[test]
+    fn qualifier_creates_subnfa_and_guard() {
+        let (_, mfa) = mfa_for("a[b]");
+        assert_eq!(mfa.nfa_count(), 2); // top + HasPath(b)
+        assert_eq!(mfa.pred_count(), 1);
+        assert!(mfa.nfa(mfa.top()).has_guards());
+        match mfa.pred(PredId(0)) {
+            Pred::HasPath(n) => assert_eq!(mfa.nfa(*n).transition_count(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_comparison_guards_witness() {
+        let (_, mfa) = mfa_for("a[b = 'v']");
+        // Preds: TextEq + HasPath.
+        assert_eq!(mfa.pred_count(), 2);
+        let has_path_nfa = mfa
+            .preds()
+            .find_map(|(_, p)| match p {
+                Pred::HasPath(n) => Some(*n),
+                _ => None,
+            })
+            .expect("HasPath pred");
+        assert!(mfa.nfa(has_path_nfa).has_guards());
+    }
+
+    #[test]
+    fn star_builds_loop() {
+        let (vocab, mfa) = mfa_for("(a/b)*");
+        let top = mfa.nfa(mfa.top());
+        assert_eq!(top.transition_count(), 2);
+        // A run can cycle: reachable transitions on 'a' from accept-side hub.
+        let _ = vocab;
+        assert!(top.eps_count() >= 3);
+    }
+
+    #[test]
+    fn construction_is_linear_in_query_size() {
+        // Nested closures and qualifiers of growing depth.
+        let vocab = Vocabulary::new();
+        let mut sizes = Vec::new();
+        for n in 1..=8 {
+            let mut q = String::from("a");
+            for _ in 0..n {
+                q = format!("(b/{q})*/c[d and e = 'v']");
+            }
+            let p = parse_path(&q, &vocab).unwrap();
+            let mfa = compile(&p, &vocab);
+            sizes.push((p.size(), mfa.stats().total()));
+        }
+        for w in sizes.windows(2) {
+            let (s1, m1) = w[0];
+            let (s2, m2) = w[1];
+            // Growth of the MFA tracks growth of the query linearly
+            // (ratio bounded by a constant).
+            let query_growth = s2 as f64 / s1 as f64;
+            let mfa_growth = m2 as f64 / m1 as f64;
+            assert!(
+                mfa_growth <= query_growth * 1.5 + 0.5,
+                "superlinear: query x{query_growth:.2}, mfa x{mfa_growth:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn true_pred_dedups() {
+        let mut b = Builder::new();
+        let p1 = b.add_pred(Pred::True);
+        let p2 = b.add_pred(Pred::True);
+        assert_eq!(p1, p2);
+        let t1 = b.add_pred(Pred::TextEq("x".into()));
+        let t2 = b.add_pred(Pred::TextEq("x".into()));
+        let t3 = b.add_pred(Pred::TextEq("y".into()));
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn compile_qualifier_wraps_in_trivial_top() {
+        let vocab = Vocabulary::new();
+        let q = smoqe_rxpath::parse_qualifier("b and not(c)", &vocab).unwrap();
+        let (mfa, root) = compile_qualifier(&q, &vocab);
+        assert!(matches!(mfa.pred(root), Pred::And(_)));
+        let top = mfa.nfa(mfa.top());
+        assert_eq!(top.transition_count(), 0);
+        assert!(top.has_guards());
+    }
+}

@@ -1,0 +1,29 @@
+//! # smoqe-automata — mixed finite automata (MFA)
+//!
+//! The MFA is SMOQE's central data structure (paper §3): an NFA for the
+//! data-selection path of a Regular XPath query, annotated with alternating
+//! predicate automata for its qualifiers. MFAs are what the rewriter emits
+//! (keeping rewritten queries linear-size) and what the HyPE evaluator
+//! runs.
+//!
+//! * [`mfa`] — the arena representation ([`Mfa`], [`Nfa`], [`Pred`]);
+//! * [`build`] — linear Thompson compilation from Regular XPath
+//!   ([`compile`]);
+//! * [`analysis`] — required-label analysis powering TAX pruning, plus
+//!   reachability and guard-free simulation helpers;
+//! * [`optimize`] — trimming + cross-arena garbage collection
+//!   ([`optimize::optimize`]), the "optimization techniques" the demo
+//!   toggles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod build;
+pub mod mfa;
+pub mod optimize;
+
+pub use build::{compile, compile_qualifier, Builder};
+pub use mfa::{
+    EpsEdge, LabelTest, Mfa, MfaStats, Nfa, NfaId, Pred, PredId, StateId, Transition,
+};

@@ -1,0 +1,46 @@
+//! E4: DOM mode vs StAX mode.
+//!
+//! StAX mode needs one sequential scan and O(depth + candidates) memory;
+//! DOM mode pays tree construction but can skip subtrees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoqe::workloads::hospital;
+use smoqe_automata::{compile, optimize::optimize};
+use smoqe_hype::stream::{evaluate_stream, StreamOptions};
+use smoqe_hype::evaluate_mfa;
+use smoqe_rxpath::parse_path;
+use smoqe_xml::{generate_to_writer, Document, Vocabulary};
+
+fn bench_modes(c: &mut Criterion) {
+    let vocab = Vocabulary::new();
+    let dtd = hospital::dtd(&vocab);
+    let config = hospital::generator_config(&vocab, 7, 50_000);
+    let mut xml = Vec::new();
+    generate_to_writer(&dtd, &config, &mut xml).unwrap();
+    let xml = String::from_utf8(xml).unwrap();
+    let doc = Document::parse_str(&xml, &vocab).unwrap();
+
+    let mut group = c.benchmark_group("dom_vs_stream");
+    for (name, q) in &hospital::DOC_QUERIES[..4] {
+        let path = parse_path(q, &vocab).unwrap();
+        let mfa = optimize(&compile(&path, &vocab));
+        group.bench_with_input(BenchmarkId::new("dom_eval", name), &mfa, |b, m| {
+            b.iter(|| evaluate_mfa(&doc, m))
+        });
+        group.bench_with_input(BenchmarkId::new("stream_eval", name), &mfa, |b, m| {
+            b.iter(|| evaluate_stream(xml.as_bytes(), m, &vocab, StreamOptions::default()).unwrap())
+        });
+    }
+    // The parse cost DOM mode pays up front.
+    group.bench_function("dom_parse_only", |b| {
+        b.iter(|| Document::parse_str(&xml, &vocab).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_modes
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E3: HyPE vs the two-pass baseline vs naive navigation.
+//!
+//! The paper's evaluator claim: one top-down pass + a Cans pass beats
+//! bottom-up+top-down tree-automata evaluation and per-node navigation
+//! ("outperforms popular XPath engines such as Xalan").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoqe::workloads::hospital;
+use smoqe_automata::{compile, optimize::optimize};
+use smoqe_bench::HospitalSetup;
+use smoqe_hype::{evaluate_mfa, evaluate_mfa_twopass};
+use smoqe_rxpath::{evaluate as naive, parse_path};
+
+fn bench_engines(c: &mut Criterion) {
+    let setup = HospitalSetup::generated(42, 20_000);
+    let mut group = c.benchmark_group("eval_engines");
+    for (name, q) in hospital::DOC_QUERIES {
+        let path = parse_path(q, &setup.vocab).unwrap();
+        let mfa = optimize(&compile(&path, &setup.vocab));
+        group.bench_with_input(BenchmarkId::new("hype", name), &mfa, |b, m| {
+            b.iter(|| evaluate_mfa(&setup.doc, m))
+        });
+        group.bench_with_input(BenchmarkId::new("twopass", name), &mfa, |b, m| {
+            b.iter(|| evaluate_mfa_twopass(&setup.doc, m))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), &path, |b, p| {
+            b.iter(|| naive(&setup.doc, p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E5 (cost side): TAX construction, compression and persistence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoqe_bench::HospitalSetup;
+use smoqe_tax::TaxIndex;
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    for size in [10_000usize, 50_000] {
+        let setup = HospitalSetup::generated(11, size);
+        group.bench_with_input(BenchmarkId::new("build", size), &setup.doc, |b, doc| {
+            b.iter(|| TaxIndex::build(doc))
+        });
+        let tax = TaxIndex::build(&setup.doc);
+        group.bench_with_input(BenchmarkId::new("save", size), &tax, |b, t| {
+            b.iter(|| {
+                let mut buf = Vec::new();
+                t.save(&mut buf, &setup.vocab).unwrap();
+                buf
+            })
+        });
+        let mut buf = Vec::new();
+        tax.save(&mut buf, &setup.vocab).unwrap();
+        group.bench_with_input(BenchmarkId::new("load", size), &buf, |b, data| {
+            b.iter(|| TaxIndex::load(&mut &data[..], &setup.vocab).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_index
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E2: rewriting cost and output size vs query size.
+//!
+//! Regenerates the paper's claim that the MFA characterization of the
+//! rewritten query is linear in |Q| while the syntactic representation
+//! explodes (§3, "Rewriter").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoqe_bench::HospitalSetup;
+use smoqe_rewrite::{rewrite, rewrite_direct};
+use smoqe_rxpath::parse_path;
+
+fn query_of_depth(n: usize) -> String {
+    format!(
+        "hospital/patient{}/treatment",
+        "/(parent/patient)*[treatment]".repeat(n)
+    )
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let setup = HospitalSetup::sample();
+    let mut group = c.benchmark_group("rewrite_scaling");
+    for n in [1usize, 2, 3, 4] {
+        let path = parse_path(&query_of_depth(n), &setup.vocab).unwrap();
+        group.bench_with_input(BenchmarkId::new("mfa", n), &path, |b, p| {
+            b.iter(|| rewrite(p, &setup.spec))
+        });
+        group.bench_with_input(BenchmarkId::new("direct", n), &path, |b, p| {
+            b.iter(|| rewrite_direct(p, &setup.spec))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rewrite
+}
+criterion_main!(benches);

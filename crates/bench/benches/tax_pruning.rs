@@ -1,0 +1,44 @@
+//! E5: effect of the TAX index on evaluation.
+//!
+//! TAX prunes subtrees that cannot contain required labels — effective
+//! "with or without //" on selective queries, neutral on exhaustive ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoqe_automata::{compile, optimize::optimize};
+use smoqe_bench::HospitalSetup;
+use smoqe_hype::dom::{evaluate_mfa_with, DomOptions};
+use smoqe_hype::NoopObserver;
+use smoqe_rxpath::parse_path;
+use smoqe_tax::TaxIndex;
+
+fn bench_tax(c: &mut Criterion) {
+    let setup = HospitalSetup::generated(11, 50_000);
+    let tax = TaxIndex::build(&setup.doc);
+    let queries = [
+        ("selective", "//parent/patient/pname"),
+        ("descendant", "//test"),
+        ("negation", "//treatment[not(test)]/medication"),
+        ("exhaustive", "//patient"),
+    ];
+    let mut group = c.benchmark_group("tax_pruning");
+    for (name, q) in queries {
+        let path = parse_path(q, &setup.vocab).unwrap();
+        let mfa = optimize(&compile(&path, &setup.vocab));
+        group.bench_with_input(BenchmarkId::new("no_tax", name), &mfa, |b, m| {
+            let opts = DomOptions::default();
+            b.iter(|| evaluate_mfa_with(&setup.doc, m, &opts, &mut NoopObserver))
+        });
+        group.bench_with_input(BenchmarkId::new("with_tax", name), &mfa, |b, m| {
+            let opts = DomOptions { tax: Some(&tax) };
+            b.iter(|| evaluate_mfa_with(&setup.doc, m, &opts, &mut NoopObserver))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tax
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E6: answering queries on virtual views (rewrite + HyPE) vs
+//! materializing the view and evaluating on it — the paper's headline
+//! scenario ("prohibitively expensive to materialize and maintain a large
+//! number of views").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoqe::workloads::hospital;
+use smoqe_automata::optimize::optimize;
+use smoqe_bench::HospitalSetup;
+use smoqe_hype::evaluate_mfa;
+use smoqe_rewrite::rewrite;
+use smoqe_rxpath::{evaluate as naive, parse_path};
+use smoqe_view::materialize;
+
+fn bench_virtual(c: &mut Criterion) {
+    let setup = HospitalSetup::generated(23, 20_000);
+    let mut group = c.benchmark_group("virtual_vs_materialized");
+    for (name, q) in hospital::VIEW_QUERIES {
+        let path = parse_path(q, &setup.vocab).unwrap();
+        let mfa = optimize(&rewrite(&path, &setup.spec));
+        group.bench_with_input(BenchmarkId::new("virtual", name), &mfa, |b, m| {
+            b.iter(|| evaluate_mfa(&setup.doc, m))
+        });
+        group.bench_with_input(BenchmarkId::new("materialize", name), &path, |b, p| {
+            b.iter(|| {
+                let view = materialize(&setup.spec, &setup.doc).unwrap();
+                naive(&view.doc, p)
+            })
+        });
+        // Pre-materialized (amortized) evaluation, for fairness.
+        let view = materialize(&setup.spec, &setup.doc).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("premat_eval", name),
+            &path,
+            |b, p| b.iter(|| naive(&view.doc, p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_virtual
+}
+criterion_main!(benches);

@@ -1,0 +1,238 @@
+//! `smoqe` — a command-line front end to the engine.
+//!
+//! The 2006 demo drove SMOQE through the iSMOQE GUI; this CLI covers the
+//! same demonstration flows non-interactively (DESIGN.md §4):
+//!
+//! ```text
+//! smoqe derive   --dtd D.dtd --policy P.pol            # Fig. 3: show sigma + view DTD
+//! smoqe query    --dtd D.dtd --doc T.xml [--policy P.pol] [--stream] [--tax] QUERY
+//! smoqe explain  --dtd D.dtd [--policy P.pol] QUERY    # rewritten MFA listing
+//! smoqe trace    --dtd D.dtd --doc T.xml [--policy P.pol] QUERY   # Fig. 5 trace
+//! smoqe index    --doc T.xml --out T.tax               # build + persist TAX
+//! smoqe generate --dtd D.dtd --nodes N --seed S        # synthetic document on stdout
+//! ```
+
+use smoqe::{DocumentMode, Engine, EngineConfig, User};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal argument scanner: `--flag value` pairs, bare words are
+/// positional.
+struct Args {
+    flags: std::collections::HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+fn parse_args(raw: &[String]) -> Args {
+    let mut flags = std::collections::HashMap::new();
+    let mut switches = Vec::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        let a = &raw[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // Switches without values.
+            if matches!(name, "stream" | "tax" | "no-optimize" | "dot") {
+                switches.push(name.to_string());
+                i += 1;
+            } else if i + 1 < raw.len() {
+                flags.insert(name.to_string(), raw[i + 1].clone());
+                i += 2;
+            } else {
+                switches.push(name.to_string());
+                i += 1;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Args {
+        flags,
+        switches,
+        positional,
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        print_usage();
+        return Ok(());
+    };
+    let args = parse_args(&raw[1..]);
+    match cmd.as_str() {
+        "derive" => cmd_derive(&args),
+        "query" => cmd_query(&args),
+        "explain" => cmd_explain(&args),
+        "trace" => cmd_trace(&args),
+        "index" => cmd_index(&args),
+        "generate" => cmd_generate(&args),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try `smoqe help`)").into()),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "smoqe - the Secure MOdular Query Engine (VLDB'06 reproduction)\n\
+         \n\
+         commands:\n\
+           derive   --dtd FILE --policy FILE                 derive the security view (Fig. 3)\n\
+           query    --dtd FILE --doc FILE [--policy FILE]\n\
+                    [--stream] [--tax] [--no-optimize] QUERY answer a Regular XPath query\n\
+           explain  --dtd FILE [--policy FILE] QUERY         show the (rewritten) MFA\n\
+           trace    --dtd FILE --doc FILE [--policy FILE] Q  annotated evaluation trace (Fig. 5)\n\
+           index    --doc FILE --out FILE                    build + persist the TAX index\n\
+           generate --dtd FILE [--nodes N] [--seed S]        emit a synthetic document\n\
+         \n\
+         With --policy, the query runs as a view user (rewritten, access-\n\
+         controlled); without it, as an admin directly on the document."
+    );
+}
+
+fn required<'a>(args: &'a Args, name: &str) -> Result<&'a str, Box<dyn std::error::Error>> {
+    args.flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{name}").into())
+}
+
+fn build_engine(args: &Args) -> Result<(Engine, User), Box<dyn std::error::Error>> {
+    let mut config = EngineConfig::default();
+    if args.switches.iter().any(|s| s == "stream") {
+        config.mode = DocumentMode::Stream;
+    }
+    config.use_tax = args.switches.iter().any(|s| s == "tax");
+    config.optimize_mfa = !args.switches.iter().any(|s| s == "no-optimize");
+    let engine = Engine::new(config);
+    engine.load_dtd(&std::fs::read_to_string(required(args, "dtd")?)?)?;
+    if let Some(doc) = args.flags.get("doc") {
+        engine.load_document_file(doc)?;
+        if config.use_tax {
+            engine.build_tax_index()?;
+        }
+    }
+    let user = match args.flags.get("policy") {
+        Some(p) => {
+            engine.register_policy("cli", &std::fs::read_to_string(p)?)?;
+            User::Group("cli".into())
+        }
+        None => User::Admin,
+    };
+    Ok((engine, user))
+}
+
+fn the_query(args: &Args) -> Result<&str, Box<dyn std::error::Error>> {
+    args.positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| "missing QUERY argument".into())
+}
+
+fn cmd_derive(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let vocab = smoqe::xml::Vocabulary::new();
+    let dtd = smoqe::xml::Dtd::parse(&std::fs::read_to_string(required(args, "dtd")?)?, &vocab)?;
+    let policy = smoqe::view::AccessPolicy::parse(
+        dtd.clone(),
+        &std::fs::read_to_string(required(args, "policy")?)?,
+    )?;
+    println!("--- policy ---\n{}", policy.to_policy_string());
+    let spec = smoqe::view::derive(&policy);
+    spec.validate(&dtd)?;
+    println!("--- derived view ---\n{}", spec.to_spec_string());
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (engine, user) = build_engine(args)?;
+    let session = engine.session(user);
+    let query = the_query(args)?;
+    let xmls = session.query_xml(query)?;
+    let answer = session.query(query)?;
+    eprintln!(
+        "{} answer(s); visited {} nodes, |Cans| = {}, pruned {} (dead) + {} (TAX)",
+        answer.len(),
+        answer.stats.nodes_visited,
+        answer.stats.cans_size,
+        answer.stats.subtrees_skipped_dead,
+        answer.stats.subtrees_pruned_tax,
+    );
+    for xml in xmls {
+        println!("{xml}");
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (engine, user) = build_engine(args)?;
+    let mfa = engine.plan(&user, the_query(args)?)?;
+    if args.switches.iter().any(|s| s == "dot") {
+        println!("{}", smoqe::viz::mfa_to_dot(&mfa));
+    } else {
+        println!("{}", smoqe::viz::mfa_listing(&mfa));
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (engine, user) = build_engine(args)?;
+    let session = engine.session(user);
+    let mut trace = smoqe::viz::TraceCollector::new();
+    let answer = session.query_observed(the_query(args)?, &mut trace)?;
+    let doc = engine.document()?;
+    println!("{}", smoqe::viz::annotated_tree(&doc, &trace));
+    eprintln!("{} answer(s)", answer.len());
+    Ok(())
+}
+
+fn cmd_index(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let vocab = smoqe::xml::Vocabulary::new();
+    let doc = smoqe::xml::parse_file(required(args, "doc")?, &vocab)?;
+    let tax = smoqe::tax::TaxIndex::build(&doc);
+    let out = required(args, "out")?;
+    tax.save_to_file(out, &vocab)?;
+    eprintln!(
+        "indexed {} nodes: {} distinct type sets, {} bytes on disk",
+        tax.node_count(),
+        tax.distinct_sets(),
+        std::fs::metadata(out)?.len()
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let vocab = smoqe::xml::Vocabulary::new();
+    let dtd = smoqe::xml::Dtd::parse(&std::fs::read_to_string(required(args, "dtd")?)?, &vocab)?;
+    let nodes: usize = args
+        .flags
+        .get("nodes")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(10_000);
+    let seed: u64 = args
+        .flags
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(42);
+    let config = smoqe::xml::GeneratorConfig::sized(seed, nodes);
+    let stdout = std::io::stdout();
+    let emitted =
+        smoqe::xml::generate_to_writer(&dtd, &config, std::io::BufWriter::new(stdout.lock()))?;
+    eprintln!("generated {emitted} nodes");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Engine configuration.
+
+/// How documents are processed (paper §2, "XML documents").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DocumentMode {
+    /// The whole document tree in memory; enables TAX pruning.
+    #[default]
+    Dom,
+    /// One sequential scan of the serialized document (StAX mode);
+    /// bounded memory, no index.
+    Stream,
+}
+
+/// Engine tuning knobs (each is an experiment toggle somewhere in
+/// EXPERIMENTS.md).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// DOM or streaming evaluation.
+    pub mode: DocumentMode,
+    /// Consult the TAX index (DOM mode only) — the E5 toggle.
+    pub use_tax: bool,
+    /// Run the MFA optimizer on compiled/rewritten queries.
+    pub optimize_mfa: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: DocumentMode::Dom,
+            use_tax: true,
+            optimize_mfa: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// DOM mode with every optimization off (the baseline configuration).
+    pub fn plain() -> Self {
+        EngineConfig {
+            mode: DocumentMode::Dom,
+            use_tax: false,
+            optimize_mfa: false,
+        }
+    }
+
+    /// Streaming configuration.
+    pub fn streaming() -> Self {
+        EngineConfig {
+            mode: DocumentMode::Stream,
+            use_tax: false,
+            optimize_mfa: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_dom_with_everything_on() {
+        let c = EngineConfig::default();
+        assert_eq!(c.mode, DocumentMode::Dom);
+        assert!(c.use_tax);
+        assert!(c.optimize_mfa);
+        assert!(!EngineConfig::plain().use_tax);
+        assert_eq!(EngineConfig::streaming().mode, DocumentMode::Stream);
+    }
+}

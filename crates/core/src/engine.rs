@@ -1,0 +1,537 @@
+//! The SMOQE engine façade: documents, views, sessions, queries.
+//!
+//! Mirrors the architecture of Fig. 1: the engine owns the document (DOM
+//! or streamable source), the **indexer** (TAX), and the registered
+//! security views; a [`Session`] is the access path of one user — either
+//! an administrator querying the document directly, or a member of a user
+//! group whose queries are transparently **rewritten** against the group's
+//! virtual view and answered without materialization (§2, "Query
+//! support").
+
+use crate::config::{DocumentMode, EngineConfig};
+use crate::error::EngineError;
+use parking_lot::RwLock;
+use smoqe_automata::{compile, optimize::optimize, Mfa};
+use smoqe_hype::dom::{evaluate_mfa_with, DomOptions};
+use smoqe_hype::stream::{evaluate_stream_with, StreamOptions};
+use smoqe_hype::{EvalObserver, EvalStats, NoopObserver};
+use smoqe_rxpath::{parse_path, Path};
+use smoqe_tax::TaxIndex;
+use smoqe_view::{derive, materialize, materialize_fragment, AccessPolicy, ViewSpec};
+use smoqe_xml::{Document, Dtd, NodeId, Vocabulary};
+use std::collections::HashMap;
+use std::path::{Path as FsPath, PathBuf};
+use std::sync::Arc;
+
+/// A loaded document with its streamable backing (if any).
+struct LoadedSource {
+    doc: Arc<Document>,
+    /// Raw XML text (kept when loaded from a string) for streaming mode.
+    raw: Option<Arc<String>>,
+    /// File path (kept when loaded from disk) for streaming mode.
+    path: Option<PathBuf>,
+}
+
+/// The Secure MOdular Query Engine.
+pub struct Engine {
+    vocab: Vocabulary,
+    config: EngineConfig,
+    dtd: RwLock<Option<Arc<Dtd>>>,
+    source: RwLock<Option<LoadedSource>>,
+    tax: RwLock<Option<Arc<TaxIndex>>>,
+    views: RwLock<HashMap<String, Arc<ViewSpec>>>,
+}
+
+/// Who a session belongs to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum User {
+    /// May query the underlying document directly.
+    Admin,
+    /// Queries are answered through the group's security view.
+    Group(String),
+}
+
+/// One user's access path into the engine.
+pub struct Session<'e> {
+    engine: &'e Engine,
+    user: User,
+}
+
+/// A query answer: nodes of the underlying document (in document order)
+/// plus evaluation statistics.
+#[derive(Debug)]
+pub struct Answer {
+    /// Answer node ids (ids of the *source* document, document order).
+    pub nodes: Vec<NodeId>,
+    /// Evaluator counters.
+    pub stats: EvalStats,
+    /// Serialized answer subtrees (always present in stream mode; filled
+    /// lazily from the DOM otherwise via [`Answer::serialize_with`]).
+    pub xml: Option<Vec<String>>,
+}
+
+impl Answer {
+    /// Number of answer nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the answer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Serializes each answer's **raw source subtree** using `doc`.
+    ///
+    /// Intended for admin-level inspection; view users should go through
+    /// [`Session::query_xml`], which filters hidden descendants.
+    pub fn serialize_with(&self, doc: &Document) -> Vec<String> {
+        self.nodes
+            .iter()
+            .map(|&n| smoqe_xml::serialize::subtree_to_string(doc, n))
+            .collect()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration and a fresh
+    /// vocabulary.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            vocab: Vocabulary::new(),
+            config,
+            dtd: RwLock::new(None),
+            source: RwLock::new(None),
+            tax: RwLock::new(None),
+            views: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Creates an engine with default configuration.
+    pub fn with_defaults() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// The engine's vocabulary (shared by its documents, views and
+    /// queries).
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Parses and installs the document DTD.
+    pub fn load_dtd(&self, dtd_text: &str) -> Result<(), EngineError> {
+        let dtd = Dtd::parse(dtd_text, &self.vocab)?;
+        *self.dtd.write() = Some(Arc::new(dtd));
+        Ok(())
+    }
+
+    /// The installed DTD, if any.
+    pub fn dtd(&self) -> Option<Arc<Dtd>> {
+        self.dtd.read().clone()
+    }
+
+    fn install_document(&self, doc: Document, raw: Option<String>, path: Option<PathBuf>) {
+        // A new document invalidates the index.
+        *self.tax.write() = None;
+        *self.source.write() = Some(LoadedSource {
+            doc: Arc::new(doc),
+            raw: raw.map(Arc::new),
+            path,
+        });
+    }
+
+    /// Loads a document from XML text, validating against the DTD when one
+    /// is installed.
+    pub fn load_document(&self, xml: &str) -> Result<(), EngineError> {
+        let doc = Document::parse_str(xml, &self.vocab)?;
+        if let Some(dtd) = self.dtd() {
+            dtd.validate(&doc)?;
+        }
+        self.install_document(doc, Some(xml.to_string()), None);
+        Ok(())
+    }
+
+    /// Loads (and validates) a document from a file.
+    pub fn load_document_file(&self, path: impl AsRef<FsPath>) -> Result<(), EngineError> {
+        let path = path.as_ref().to_path_buf();
+        let doc = smoqe_xml::parse_file(&path, &self.vocab)?;
+        if let Some(dtd) = self.dtd() {
+            dtd.validate(&doc)?;
+        }
+        self.install_document(doc, None, Some(path));
+        Ok(())
+    }
+
+    /// Installs an already-built document (e.g. from the generator).
+    pub fn load_document_tree(&self, doc: Document) {
+        let raw = doc.to_xml();
+        self.install_document(doc, Some(raw), None);
+    }
+
+    /// The loaded document.
+    pub fn document(&self) -> Result<Arc<Document>, EngineError> {
+        self.source
+            .read()
+            .as_ref()
+            .map(|s| s.doc.clone())
+            .ok_or(EngineError::NoDocument)
+    }
+
+    /// Builds the TAX index over the loaded document (the "indexer" box of
+    /// Fig. 1). Returns build statistics.
+    pub fn build_tax_index(&self) -> Result<Arc<TaxIndex>, EngineError> {
+        let doc = self.document()?;
+        let tax = Arc::new(TaxIndex::build(&doc));
+        *self.tax.write() = Some(tax.clone());
+        Ok(tax)
+    }
+
+    /// The TAX index, if built or loaded.
+    pub fn tax_index(&self) -> Option<Arc<TaxIndex>> {
+        self.tax.read().clone()
+    }
+
+    /// Persists the TAX index ("compresses it before it is stored in
+    /// disk").
+    pub fn save_tax_index(&self, path: impl AsRef<FsPath>) -> Result<(), EngineError> {
+        let tax = self
+            .tax
+            .read()
+            .clone()
+            .ok_or(EngineError::NoDocument)?;
+        tax.save_to_file(path, &self.vocab)?;
+        Ok(())
+    }
+
+    /// Loads a TAX index from disk ("uploads it from disk when needed").
+    pub fn load_tax_index(&self, path: impl AsRef<FsPath>) -> Result<(), EngineError> {
+        let tax = TaxIndex::load_from_file(path, &self.vocab)?;
+        *self.tax.write() = Some(Arc::new(tax));
+        Ok(())
+    }
+
+    /// Registers a user group by access-control policy: the view is
+    /// derived automatically (§2, automated view derivation).
+    pub fn register_policy(&self, group: &str, policy_text: &str) -> Result<(), EngineError> {
+        let dtd = self
+            .dtd()
+            .ok_or(EngineError::NoDocument)?;
+        let policy = AccessPolicy::parse((*dtd).clone(), policy_text)?;
+        let spec = derive(&policy);
+        spec.validate(&dtd)?;
+        self.views.write().insert(group.to_string(), Arc::new(spec));
+        Ok(())
+    }
+
+    /// Registers a user group with a hand-authored view specification
+    /// (the DAD/AXSD-style mode).
+    pub fn register_view_spec(&self, group: &str, spec_text: &str) -> Result<(), EngineError> {
+        let spec = ViewSpec::parse(spec_text, &self.vocab)?;
+        if let Some(dtd) = self.dtd() {
+            spec.validate(&dtd)?;
+        }
+        self.views.write().insert(group.to_string(), Arc::new(spec));
+        Ok(())
+    }
+
+    /// The view spec registered for `group`.
+    pub fn view(&self, group: &str) -> Result<Arc<ViewSpec>, EngineError> {
+        self.views
+            .read()
+            .get(group)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownGroup(group.to_string()))
+    }
+
+    /// Opens a session for `user`.
+    pub fn session(&self, user: User) -> Session<'_> {
+        Session { engine: self, user }
+    }
+
+    /// Compiles (and, per config, rewrites and optimizes) a query for
+    /// `user` into the MFA that will run on the source document.
+    pub fn plan(&self, user: &User, query: &str) -> Result<Mfa, EngineError> {
+        let path = parse_path(query, &self.vocab)?;
+        self.plan_path(user, &path)
+    }
+
+    fn plan_path(&self, user: &User, path: &Path) -> Result<Mfa, EngineError> {
+        let mfa = match user {
+            User::Admin => compile(path, &self.vocab),
+            User::Group(g) => {
+                let spec = self.view(g)?;
+                smoqe_rewrite::rewrite(path, &spec)
+            }
+        };
+        Ok(if self.config.optimize_mfa {
+            optimize(&mfa)
+        } else {
+            mfa
+        })
+    }
+
+    fn evaluate(&self, mfa: &Mfa, observer: &mut dyn EvalObserver) -> Result<Answer, EngineError> {
+        match self.config.mode {
+            DocumentMode::Dom => {
+                let doc = self.document()?;
+                let tax = if self.config.use_tax {
+                    self.tax.read().clone()
+                } else {
+                    None
+                };
+                let options = DomOptions {
+                    tax: tax.as_deref(),
+                };
+                let (nodes, stats) = evaluate_mfa_with(&doc, mfa, &options, observer);
+                Ok(Answer {
+                    nodes: nodes.into_vec(),
+                    stats,
+                    xml: None,
+                })
+            }
+            DocumentMode::Stream => {
+                let source = self.source.read();
+                let source = source.as_ref().ok_or(EngineError::NoDocument)?;
+                let options = StreamOptions { want_xml: true };
+                let outcome = if let Some(path) = &source.path {
+                    let file = std::fs::File::open(path).map_err(smoqe_xml::XmlError::Io)?;
+                    evaluate_stream_with(
+                        std::io::BufReader::new(file),
+                        mfa,
+                        &self.vocab,
+                        options,
+                        observer,
+                    )?
+                } else if let Some(raw) = &source.raw {
+                    evaluate_stream_with(raw.as_bytes(), mfa, &self.vocab, options, observer)?
+                } else {
+                    return Err(EngineError::NoStreamSource);
+                };
+                Ok(Answer {
+                    nodes: outcome.answers.into_iter().map(NodeId).collect(),
+                    stats: outcome.stats,
+                    xml: outcome.answer_xml,
+                })
+            }
+        }
+    }
+
+    /// Materializes the view of `group` over the loaded document — only
+    /// used by tests and the E6 baseline; production queries never
+    /// materialize.
+    pub fn materialize_view(
+        &self,
+        group: &str,
+    ) -> Result<smoqe_view::MaterializedView, EngineError> {
+        let spec = self.view(group)?;
+        let doc = self.document()?;
+        Ok(materialize(&spec, &doc)?)
+    }
+}
+
+impl Session<'_> {
+    /// The session's user.
+    pub fn user(&self) -> &User {
+        &self.user
+    }
+
+    /// Answers a Regular XPath query. Group sessions are rewritten through
+    /// their view; admin sessions run directly on the document.
+    pub fn query(&self, query: &str) -> Result<Answer, EngineError> {
+        self.query_observed(query, &mut NoopObserver)
+    }
+
+    /// Like [`Session::query`], reporting evaluation events to `observer`
+    /// (the iSMOQE monitoring hook).
+    pub fn query_observed(
+        &self,
+        query: &str,
+        observer: &mut dyn EvalObserver,
+    ) -> Result<Answer, EngineError> {
+        let mfa = self.engine.plan(&self.user, query)?;
+        let mut answer = self.engine.evaluate(&mfa, observer)?;
+        // Stream mode buffers raw source subtrees; for group sessions
+        // re-render each answer through the view so hidden descendants
+        // never reach the user.
+        if answer.xml.is_some() {
+            if let User::Group(g) = &self.user {
+                let spec = self.engine.view(g)?;
+                let doc = self.engine.document()?;
+                let safe: Result<Vec<String>, EngineError> = answer
+                    .nodes
+                    .iter()
+                    .map(|&n| {
+                        let fragment = materialize_fragment(&spec, &doc, n)?;
+                        Ok(fragment.doc.to_xml())
+                    })
+                    .collect();
+                answer.xml = Some(safe?);
+            }
+        }
+        Ok(answer)
+    }
+
+    /// The compiled/rewritten MFA for a query, for inspection.
+    pub fn plan(&self, query: &str) -> Result<Mfa, EngineError> {
+        self.engine.plan(&self.user, query)
+    }
+
+    /// Answers a query and serializes each answer **safely for this
+    /// session**: admin sessions get the raw source subtrees, group
+    /// sessions get the *view image* of each answer node (hidden
+    /// descendants filtered out — serializing the raw subtree would leak
+    /// them).
+    pub fn query_xml(&self, query: &str) -> Result<Vec<String>, EngineError> {
+        let answer = self.query(query)?;
+        let doc = self.engine.document()?;
+        match &self.user {
+            User::Admin => Ok(answer.serialize_with(&doc)),
+            User::Group(g) => {
+                let spec = self.engine.view(g)?;
+                answer
+                    .nodes
+                    .iter()
+                    .map(|&n| {
+                        let fragment = materialize_fragment(&spec, &doc, n)?;
+                        Ok(fragment.doc.to_xml())
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::hospital;
+
+    fn engine_with_sample() -> Engine {
+        let engine = Engine::with_defaults();
+        engine.load_dtd(smoqe_xml::HOSPITAL_DTD).unwrap();
+        engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+        engine
+            .register_policy("researchers", smoqe_view::HOSPITAL_POLICY)
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn admin_sees_everything() {
+        let engine = engine_with_sample();
+        let admin = engine.session(User::Admin);
+        let names = admin.query("hospital/patient/pname").unwrap();
+        assert!(names.len() >= 2);
+    }
+
+    #[test]
+    fn group_queries_are_rewritten() {
+        let engine = engine_with_sample();
+        let session = engine.session(User::Group("researchers".into()));
+        // pname is hidden from the view.
+        assert!(session.query("//pname").unwrap().is_empty());
+        // treatments of autism patients are visible.
+        let meds = session
+            .query("hospital/patient/treatment/medication")
+            .unwrap();
+        assert!(!meds.is_empty());
+    }
+
+    #[test]
+    fn unknown_group_is_an_error() {
+        let engine = engine_with_sample();
+        let session = engine.session(User::Group("nosuch".into()));
+        assert!(matches!(
+            session.query("hospital"),
+            Err(EngineError::UnknownGroup(_))
+        ));
+    }
+
+    #[test]
+    fn tax_round_trip_through_engine() {
+        let engine = engine_with_sample();
+        engine.build_tax_index().unwrap();
+        let dir = std::env::temp_dir().join("smoqe-core-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.tax");
+        engine.save_tax_index(&path).unwrap();
+        engine.load_tax_index(&path).unwrap();
+        assert!(engine.tax_index().is_some());
+        std::fs::remove_file(&path).ok();
+        // Query still correct with the loaded index.
+        let admin = engine.session(User::Admin);
+        assert!(!admin.query("//medication").unwrap().is_empty());
+    }
+
+    #[test]
+    fn stream_mode_agrees_with_dom_mode() {
+        let dom = engine_with_sample();
+        let stream = Engine::new(EngineConfig::streaming());
+        stream.load_dtd(smoqe_xml::HOSPITAL_DTD).unwrap();
+        stream.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+        stream
+            .register_policy("researchers", smoqe_view::HOSPITAL_POLICY)
+            .unwrap();
+        for q in ["//medication", "hospital/patient/treatment"] {
+            let a = dom
+                .session(User::Group("researchers".into()))
+                .query(q)
+                .unwrap();
+            let b = stream
+                .session(User::Group("researchers".into()))
+                .query(q)
+                .unwrap();
+            assert_eq!(a.nodes, b.nodes, "query {q}");
+            assert!(b.xml.is_some());
+        }
+    }
+
+    #[test]
+    fn hand_authored_view_spec_mode() {
+        let engine = engine_with_sample();
+        engine
+            .register_view_spec(
+                "meds-only",
+                "<!ELEMENT hospital (medication*)>\n\
+                 <!ELEMENT medication (#PCDATA)>\n\
+                 sigma(hospital, medication) = patient/visit/treatment/medication\n",
+            )
+            .unwrap();
+        let session = engine.session(User::Group("meds-only".into()));
+        let meds = session.query("hospital/medication").unwrap();
+        assert_eq!(meds.len(), 4); // all four medications in the sample
+        assert!(session.query("//patient").unwrap().is_empty());
+    }
+
+    #[test]
+    fn plan_exposes_rewritten_mfa() {
+        let engine = engine_with_sample();
+        let session = engine.session(User::Group("researchers".into()));
+        let mfa = session.plan("hospital/patient/treatment").unwrap();
+        // The rewritten automaton navigates through hidden `visit` nodes.
+        let vocab = engine.vocabulary();
+        let visit = vocab.lookup("visit").unwrap();
+        let uses_visit = mfa.nfas().any(|(_, nfa)| {
+            nfa.states().any(|s| {
+                nfa.transitions(s)
+                    .iter()
+                    .any(|t| t.test.matches(visit) && !matches!(t.test, smoqe_automata::LabelTest::Wildcard))
+            })
+        });
+        assert!(uses_visit, "rewritten plan should traverse visit");
+    }
+
+    #[test]
+    fn loading_new_document_invalidates_index() {
+        let engine = engine_with_sample();
+        engine.build_tax_index().unwrap();
+        assert!(engine.tax_index().is_some());
+        engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+        assert!(engine.tax_index().is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Unified engine error type.
+
+use std::fmt;
+
+/// Any error the engine can surface to a caller.
+#[derive(Debug)]
+pub enum EngineError {
+    /// XML parsing / validation / I/O.
+    Xml(smoqe_xml::XmlError),
+    /// Regular XPath syntax.
+    Query(smoqe_rxpath::ParseError),
+    /// Policy parsing or annotation errors.
+    Policy(smoqe_view::PolicyError),
+    /// View specification errors.
+    View(smoqe_view::ViewError),
+    /// No document has been loaded yet.
+    NoDocument,
+    /// The session's user group has no registered view.
+    UnknownGroup(String),
+    /// Direct document access requested without admin rights.
+    AccessDenied,
+    /// Streaming evaluation requested but no streamable source exists.
+    NoStreamSource,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Xml(e) => write!(f, "{e}"),
+            EngineError::Query(e) => write!(f, "query error: {e}"),
+            EngineError::Policy(e) => write!(f, "{e}"),
+            EngineError::View(e) => write!(f, "{e}"),
+            EngineError::NoDocument => write!(f, "no document loaded"),
+            EngineError::UnknownGroup(g) => write!(f, "no view registered for group '{g}'"),
+            EngineError::AccessDenied => {
+                write!(f, "direct document access requires an admin session")
+            }
+            EngineError::NoStreamSource => {
+                write!(f, "streaming mode requires a file or raw-text source")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Xml(e) => Some(e),
+            EngineError::Query(e) => Some(e),
+            EngineError::Policy(e) => Some(e),
+            EngineError::View(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<smoqe_xml::XmlError> for EngineError {
+    fn from(e: smoqe_xml::XmlError) -> Self {
+        EngineError::Xml(e)
+    }
+}
+impl From<smoqe_rxpath::ParseError> for EngineError {
+    fn from(e: smoqe_rxpath::ParseError) -> Self {
+        EngineError::Query(e)
+    }
+}
+impl From<smoqe_view::PolicyError> for EngineError {
+    fn from(e: smoqe_view::PolicyError) -> Self {
+        EngineError::Policy(e)
+    }
+}
+impl From<smoqe_view::ViewError> for EngineError {
+    fn from(e: smoqe_view::ViewError) -> Self {
+        EngineError::View(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EngineError::NoDocument.to_string().contains("no document"));
+        assert!(EngineError::UnknownGroup("x".into()).to_string().contains("'x'"));
+        assert!(EngineError::AccessDenied.to_string().contains("admin"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # SMOQE — the Secure MOdular Query Engine
+//!
+//! A from-scratch Rust reproduction of *"SMOQE: A System for Providing
+//! Secure Access to XML"* (Fan, Geerts, Jia, Kementsietsidis, VLDB 2006).
+//!
+//! SMOQE answers **Regular XPath** queries over **virtual XML views** used
+//! for access control: each user group gets a view containing exactly what
+//! its policy allows; user queries are **rewritten** into automata (MFAs)
+//! over the underlying document and evaluated in **one pass** (HyPE),
+//! optionally pruned by a type-aware index (TAX) — the view is never
+//! materialized.
+//!
+//! ```
+//! use smoqe::{Engine, User, workloads::hospital};
+//!
+//! let engine = Engine::with_defaults();
+//! engine.load_dtd(hospital::DTD).unwrap();
+//! engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+//! engine.register_policy("researchers", hospital::POLICY).unwrap();
+//!
+//! let session = engine.session(User::Group("researchers".into()));
+//! // Names are hidden by the policy ...
+//! assert!(session.query("//pname").unwrap().is_empty());
+//! // ... treatments of autism patients are visible.
+//! assert!(!session.query("hospital/patient/treatment").unwrap().is_empty());
+//! ```
+//!
+//! The implementation lives in focused crates, re-exported here:
+//! [`smoqe_xml`] (documents, DTDs, StAX parsing, generation),
+//! [`smoqe_rxpath`] (the query language), [`smoqe_automata`] (MFAs),
+//! [`smoqe_view`] (policies, derivation, materialization),
+//! [`smoqe_rewrite`] (view rewriting), [`smoqe_hype`] (evaluation),
+//! [`smoqe_tax`] (indexing) and [`smoqe_viz`] (the iSMOQE-substitute
+//! renderers). See DESIGN.md and EXPERIMENTS.md at the repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod workloads;
+
+pub use config::{DocumentMode, EngineConfig};
+pub use engine::{Answer, Engine, Session, User};
+pub use error::EngineError;
+
+// Re-export the component crates under stable names.
+pub use smoqe_automata as automata;
+pub use smoqe_hype as hype;
+pub use smoqe_rewrite as rewrite;
+pub use smoqe_rxpath as rxpath;
+pub use smoqe_tax as tax;
+pub use smoqe_view as view;
+pub use smoqe_viz as viz;
+pub use smoqe_xml as xml;

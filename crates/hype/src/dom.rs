@@ -1,0 +1,220 @@
+//! HyPE in DOM mode: evaluate an MFA over an in-memory [`Document`].
+//!
+//! One explicit-stack depth-first traversal; `text()='c'` predicates
+//! resolve eagerly against the tree, so text nodes are never visited.
+//! Subtrees are skipped when every automaton run dies on their label, and
+//! — when a TAX index is supplied — when the index proves that no required
+//! label occurs below (paper §3, "Indexer").
+
+use crate::machine::{Machine, Preview, VIRTUAL_NODE};
+use crate::observer::{EvalObserver, NoopObserver, PruneReason};
+use crate::stats::EvalStats;
+use smoqe_automata::Mfa;
+use smoqe_rxpath::NodeSet;
+use smoqe_tax::TaxIndex;
+use smoqe_xml::{Document, NodeId};
+
+/// Options for DOM evaluation.
+#[derive(Default)]
+pub struct DomOptions<'t> {
+    /// TAX index over the same document, enabling subtree pruning.
+    pub tax: Option<&'t TaxIndex>,
+}
+
+/// Evaluates `mfa` over `doc` with default options.
+pub fn evaluate_mfa(doc: &Document, mfa: &Mfa) -> (NodeSet, EvalStats) {
+    evaluate_mfa_with(doc, mfa, &DomOptions::default(), &mut NoopObserver)
+}
+
+/// Evaluates `mfa` over `doc` with options and an observer.
+pub fn evaluate_mfa_with(
+    doc: &Document,
+    mfa: &Mfa,
+    options: &DomOptions<'_>,
+    observer: &mut dyn EvalObserver,
+) -> (NodeSet, EvalStats) {
+    debug_assert!(
+        doc.vocabulary().same_as(mfa.vocabulary()),
+        "document and query must share a vocabulary"
+    );
+    // `text() = 'c'` compares the node's direct text; the virtual
+    // document node has none.
+    let resolver = |n: u32| {
+        if n == VIRTUAL_NODE {
+            String::new()
+        } else {
+            doc.direct_text(NodeId(n))
+        }
+    };
+    let mut machine = Machine::new(mfa, Some(&resolver));
+    machine.begin(observer);
+
+    // Explicit stack: (node, entered?).
+    let mut stack: Vec<(NodeId, bool)> = vec![(doc.root(), false)];
+    // Pre-enter check for the root too (its label may already kill all
+    // runs, e.g. a query starting with a different root name).
+    while let Some((node, entered)) = stack.pop() {
+        if entered {
+            machine.leave(observer);
+            continue;
+        }
+        let label = doc.label(node).expect("only elements are scheduled");
+        match machine.preview(label, options.tax.map(|t| t.descendant_labels(node))) {
+            Preview::NoMatch => {
+                machine.stats_mut().subtrees_skipped_dead += 1;
+                observer.subtree_pruned(node.0, label, PruneReason::DeadRuns);
+                continue;
+            }
+            Preview::Pruned => {
+                machine.stats_mut().subtrees_pruned_tax += 1;
+                observer.subtree_pruned(node.0, label, PruneReason::TaxIndex);
+                continue;
+            }
+            Preview::Progress => {}
+        }
+        stack.push((node, true));
+        let alive = machine.enter(label, node.0, observer);
+        if !alive {
+            continue; // nothing below can match and no text is awaited
+        }
+        // Push children in reverse so they are visited in document order.
+        let children: Vec<NodeId> = doc.child_elements(node).collect();
+        for &c in children.iter().rev() {
+            stack.push((c, false));
+        }
+    }
+
+    let (answers, stats) = machine.end(observer);
+    (
+        NodeSet::from_sorted(answers.into_iter().map(NodeId).collect()),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_automata::compile;
+    use smoqe_rxpath::{evaluate as naive, parse_path};
+    use smoqe_xml::Vocabulary;
+
+    fn check(xml: &str, query: &str) -> (NodeSet, EvalStats) {
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str(xml, &vocab).unwrap();
+        let path = parse_path(query, &vocab).unwrap();
+        let mfa = compile(&path, &vocab);
+        let (got, stats) = evaluate_mfa(&doc, &mfa);
+        let want = naive(&doc, &path);
+        assert_eq!(got, want, "query `{query}` on `{xml}`");
+        (got, stats)
+    }
+
+    #[test]
+    fn agrees_with_naive_on_steps() {
+        check("<a><b>1</b><c>2</c><b>3</b></a>", "a/b");
+        check("<a><b/><c/></a>", "a/*");
+        check("<a><b/></a>", "a/zzz");
+        check("<a><b/></a>", "zzz");
+    }
+
+    #[test]
+    fn agrees_on_descendants_and_closures() {
+        check("<a><b><c>x</c></b><c>y</c></a>", "//c");
+        check("<a><b><a><b><a/></b></a></b></a>", "a/(b/a)*");
+        check("<a><b><a><b><a/></b></a></b></a>", "(a/b)*/a");
+    }
+
+    #[test]
+    fn agrees_on_qualifiers() {
+        let doc = "<a><b><c>yes</c></b><b><d/></b><b><c>no</c></b></a>";
+        check(doc, "a/b[c]");
+        check(doc, "a/b[c = 'yes']");
+        check(doc, "a/b[not(c)]");
+        check(doc, "a/b[c and d]");
+        check(doc, "a/b[c or d]");
+        check(doc, "a/b[text() = 'yes']");
+    }
+
+    #[test]
+    fn agrees_on_nested_qualifiers() {
+        let doc = "<a><b><c><d>v</d></c></b><b><c><e/></c></b></a>";
+        check(doc, "a/b[c[d]]");
+        check(doc, "a/b[c[not(d)]]");
+        check(doc, "a/b[c/d = 'v']");
+        check(doc, "//b[c[d = 'v' or e]]");
+    }
+
+    #[test]
+    fn candidate_discovered_before_predicate_witness() {
+        // The answer node (x) appears before the predicate witness (w)
+        // in document order: candidates must park in Cans.
+        let doc = "<a><b><x/><w/></b><b><x/></b></a>";
+        let (res, stats) = check(doc, "a/b[w]/x");
+        assert_eq!(res.len(), 1);
+        assert!(stats.cans_size >= 1, "expected unresolved candidates");
+    }
+
+    #[test]
+    fn immediate_answers_skip_cans() {
+        let (res, stats) = check("<a><b/><b/></a>", "a/b");
+        assert_eq!(res.len(), 2);
+        assert_eq!(stats.cans_size, 0);
+        assert_eq!(stats.immediate_answers, 2);
+    }
+
+    #[test]
+    fn dead_subtrees_are_skipped() {
+        // Query a/b; the <z> subtree can never match below the root.
+        let (_, stats) = check("<a><z><b/><b/><b/></z><b/></a>", "a/b");
+        assert!(stats.subtrees_skipped_dead >= 1);
+        // The b-nodes inside z were never visited.
+        assert!(stats.nodes_visited <= 3);
+    }
+
+    #[test]
+    fn paper_q0() {
+        let xml = "<hospital>\
+               <patient><pname>Ann</pname>\
+                 <visit><treatment><test>blood</test></treatment><date>d1</date></visit>\
+                 <visit><treatment><medication>headache</medication></treatment><date>d2</date></visit>\
+               </patient>\
+               <patient><pname>Bob</pname>\
+                 <visit><treatment><medication>headache</medication></treatment><date>d3</date></visit>\
+               </patient>\
+               <patient><pname>Cat</pname>\
+                 <parent><patient><pname>Dan</pname>\
+                   <visit><treatment><test>x-ray</test></treatment><date>d4</date></visit>\
+                 </patient></parent>\
+                 <visit><treatment><medication>headache</medication></treatment><date>d5</date></visit>\
+               </patient>\
+             </hospital>";
+        check(
+            xml,
+            "hospital/patient[(parent/patient)*/visit/treatment/test and \
+             visit/treatment[medication/text() = 'headache']]/pname",
+        );
+    }
+
+    #[test]
+    fn union_and_mixed_shapes() {
+        let doc = "<a><b><c/></b><d><c/></d><e/></a>";
+        check(doc, "a/(b | d)/c");
+        check(doc, "a/(b/c | d/c | e)");
+        check(doc, "(a | a/b)*");
+    }
+
+    #[test]
+    fn empty_path_returns_nothing_from_virtual() {
+        // `.` selects the virtual context node, which is not an element
+        // answer.
+        check("<a/>", ".");
+    }
+
+    #[test]
+    fn qualifier_on_closure() {
+        let doc = "<a><b><a><b/></a></b><b><c/></b></a>";
+        check(doc, "(a/b)*[c]");
+        check(doc, "a/(b[c])*");
+        check(doc, "a/(b[not(c)]/a)*");
+    }
+}

@@ -1,0 +1,33 @@
+//! # smoqe-hype — HyPE, the Hybrid Pass Evaluator
+//!
+//! HyPE (paper §3, "Evaluator") evaluates MFAs with **a single top-down
+//! depth-first traversal** during which it both advances the selection NFA
+//! and resolves predicates, parking potential answers in the `Cans`
+//! structure; one final pass over `Cans` yields the answer. The crate
+//! contains:
+//!
+//! * [`dom`] — DOM mode, with automaton-driven subtree skipping and
+//!   TAX-index pruning ([`evaluate_mfa`]);
+//! * [`stream`] — StAX mode: the same core over pull-parser events with
+//!   candidate-subtree buffering ([`evaluate_stream`]);
+//! * [`twopass`] — the bottom-up + top-down baseline the paper contrasts
+//!   with (Arb-style);
+//! * [`observer`] / [`stats`] — monitoring hooks and counters used by the
+//!   iSMOQE-substitute visualizers and the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cans;
+pub mod dom;
+pub mod machine;
+pub mod observer;
+pub mod stats;
+pub mod stream;
+pub mod twopass;
+
+pub use dom::{evaluate_mfa, evaluate_mfa_with, DomOptions};
+pub use observer::{EvalObserver, NoopObserver, PruneReason};
+pub use stats::EvalStats;
+pub use stream::{evaluate_stream, evaluate_stream_str, StreamOptions, StreamOutcome};
+pub use twopass::{evaluate_mfa_twopass, evaluate_mfa_twopass_report, TwoPassReport};

@@ -1,0 +1,861 @@
+//! The shared HyPE evaluation core.
+//!
+//! HyPE (Hybrid Pass Evaluation, paper §3) performs **one** top-down
+//! depth-first traversal during which it simultaneously (a) advances the
+//! selection NFA, (b) instantiates and resolves predicates (the AFA layer),
+//! and (c) collects potential answers into `Cans`; a single post-pass over
+//! `Cans` then selects the answer. The same core drives both the DOM
+//! walker and the StAX stream evaluator — the only differences are how
+//! `text() = 'c'` tests are resolved (eagerly via the tree vs. by
+//! accumulation) and whether subtrees can be skipped (random access vs.
+//! sequential scan).
+//!
+//! ## Runs, tags and instances
+//!
+//! * A **run** is a live simulation of one NFA: the selection NFA (the
+//!   "top" run, alive for the whole traversal) or a `HasPath` predicate
+//!   automaton rooted at the node that instantiated it. A run maintains a
+//!   stack of *active sets*, one per open tree level: pairs of
+//!   `(state, validity tag)`.
+//! * A **validity tag** ([`Tag`]) says under which predicate instances the
+//!   state assignment is valid. Guard-free regions keep the constant
+//!   `True` and allocate nothing.
+//! * A **predicate instance** is a predicate pinned to the node where a
+//!   guarded ε-edge was traversed. `HasPath` instances own a run;
+//!   `text()='c'` instances either resolve eagerly (DOM) or accumulate
+//!   text (StAX); `not/and/or` combine sub-instances. Every instance
+//!   resolves no later than when the traversal leaves its origin node, so
+//!   the final Cans pass sees only resolved instances.
+
+use crate::cans::{Cans, FormulaArena, InstId, Tag};
+use crate::observer::EvalObserver;
+use crate::stats::EvalStats;
+use smoqe_automata::analysis::{required_labels, Requirement};
+use smoqe_automata::{Mfa, NfaId, Pred, PredId, StateId};
+use smoqe_xml::{Label, LabelSet};
+use std::collections::{BTreeSet, HashMap};
+
+/// Sentinel node id for the virtual document node above the root.
+pub const VIRTUAL_NODE: u32 = u32::MAX;
+
+/// How far a child's label lets the automata advance (pre-enter check used
+/// for subtree skipping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preview {
+    /// No live run has a transition matching the label: the subtree is
+    /// invisible to the query.
+    NoMatch,
+    /// Some run advances, but the TAX index proves no accepting
+    /// continuation fits in the subtree.
+    Pruned,
+    /// The subtree must be visited.
+    Progress,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum InstRef {
+    Resolved(bool),
+    Pending(InstId),
+}
+
+#[derive(Debug)]
+enum InstKind {
+    TextEq {
+        /// Accumulated text, capped at `target.len() + 1` bytes.
+        buf: String,
+        target: String,
+        /// Frame depth of the origin element: only its *direct* text
+        /// counts (`text() = 'c'` compares direct text content).
+        depth: usize,
+    },
+    HasPath {
+        /// Validity tags of accept events collected by the run.
+        accepts: Vec<Tag>,
+    },
+    Not {
+        sub: InstId,
+    },
+    And {
+        subs: Vec<InstId>,
+    },
+    Or {
+        subs: Vec<InstId>,
+    },
+}
+
+#[derive(Debug)]
+struct Instance {
+    kind: InstKind,
+}
+
+type RunId = usize;
+
+/// `(state, validity)` pairs; states unique, sorted by construction order
+/// of the closure (not necessarily by id — lookups scan, sets are small).
+type ActiveSet = Vec<(StateId, Tag)>;
+
+#[derive(Debug)]
+struct Run {
+    nfa: NfaId,
+    /// Owning instance; `None` for the top (selection) run.
+    inst: Option<InstId>,
+    dead: bool,
+    stack: Vec<ActiveSet>,
+}
+
+struct Frame {
+    node: u32,
+    /// Runs whose stacks we pushed at this level (popped symmetric).
+    stepped: Vec<RunId>,
+    /// Runs spawned at this node (finalized when it closes).
+    spawned_runs: Vec<RunId>,
+    /// Instances spawned at this node (resolved when it closes).
+    opened: Vec<InstId>,
+    /// Runs children should step.
+    live: Vec<RunId>,
+}
+
+/// The evaluation machine. Drivers feed `begin`/`enter`/`text`/`leave`/
+/// `end` in document order.
+pub struct Machine<'a> {
+    mfa: &'a Mfa,
+    /// Per (NFA, state): labels required for any accepting continuation.
+    required: Vec<Vec<Requirement>>,
+    /// Per (NFA, state): precomputed ε-closure and whether any guarded
+    /// edge is reachable within it. Guard-free closures take a fast path
+    /// that allocates no formula machinery.
+    closures: Vec<Vec<(Vec<StateId>, bool)>>,
+    /// Epoch-marked scratch for closure merging (index = state id).
+    scratch: Vec<u32>,
+    scratch_epoch: u32,
+    /// Recycled frames and active sets (per-node allocation avoidance).
+    frame_pool: Vec<Frame>,
+    set_pool: Vec<ActiveSet>,
+    seed_buf: Vec<(StateId, Tag)>,
+    runs: Vec<Run>,
+    insts: Vec<Instance>,
+    truths: Vec<Option<bool>>,
+    arena: FormulaArena,
+    cans: Cans,
+    immediate: Vec<u32>,
+    frames: Vec<Frame>,
+    open_texteq: Vec<InstId>,
+    /// Per-node spawn cache: one instance per (pred, node).
+    spawn_cache: HashMap<PredId, InstRef>,
+    /// Eager `text()='c'` resolution (DOM mode): node id -> string value.
+    text_resolver: Option<&'a dyn Fn(u32) -> String>,
+    /// Candidate discovered by the most recent `enter` (for stream
+    /// recorders).
+    last_candidate: Option<(u32, bool)>,
+    stats: EvalStats,
+}
+
+impl<'a> Machine<'a> {
+    /// Creates a machine for `mfa`. `text_resolver` enables eager
+    /// `text()='c'` resolution (DOM mode); without it, text is accumulated
+    /// from `text` events (StAX mode).
+    pub fn new(mfa: &'a Mfa, text_resolver: Option<&'a dyn Fn(u32) -> String>) -> Self {
+        let num_labels = mfa.vocabulary().len();
+        let required = mfa
+            .nfas()
+            .map(|(_, nfa)| required_labels(nfa, num_labels))
+            .collect();
+        let mut max_states = 0;
+        let closures: Vec<Vec<(Vec<StateId>, bool)>> = mfa
+            .nfas()
+            .map(|(_, nfa)| {
+                max_states = max_states.max(nfa.state_count());
+                nfa.states()
+                    .map(|s| {
+                        // BFS over ε-edges; record whether a guard is seen.
+                        let mut seen = vec![false; nfa.state_count()];
+                        let mut has_guard = false;
+                        let mut out = Vec::new();
+                        let mut work = vec![s];
+                        seen[s.index()] = true;
+                        while let Some(x) = work.pop() {
+                            out.push(x);
+                            for e in nfa.eps_edges(x) {
+                                if e.guard.is_some() {
+                                    has_guard = true;
+                                }
+                                if !seen[e.target.index()] {
+                                    seen[e.target.index()] = true;
+                                    work.push(e.target);
+                                }
+                            }
+                        }
+                        out.sort_unstable();
+                        (out, has_guard)
+                    })
+                    .collect()
+            })
+            .collect();
+        Machine {
+            mfa,
+            required,
+            closures,
+            scratch: vec![0; max_states],
+            scratch_epoch: 0,
+            frame_pool: Vec::new(),
+            set_pool: Vec::new(),
+            seed_buf: Vec::new(),
+            runs: Vec::new(),
+            insts: Vec::new(),
+            truths: Vec::new(),
+            arena: FormulaArena::new(),
+            cans: Cans::new(),
+            immediate: Vec::new(),
+            frames: Vec::new(),
+            open_texteq: Vec::new(),
+            spawn_cache: HashMap::new(),
+            text_resolver,
+            last_candidate: None,
+            stats: EvalStats {
+                tree_passes: 1,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Whether any `text()='c'` instance is still accumulating (stream
+    /// drivers must keep feeding text while this holds).
+    pub fn has_open_texteq(&self) -> bool {
+        !self.open_texteq.is_empty()
+    }
+
+    /// Candidate discovered by the most recent `enter`, if any.
+    pub fn take_last_candidate(&mut self) -> Option<(u32, bool)> {
+        self.last_candidate.take()
+    }
+
+    /// Mutable access to the statistics (drivers add prune counters).
+    pub fn stats_mut(&mut self) -> &mut EvalStats {
+        &mut self.stats
+    }
+
+    fn take_frame(&mut self, node: u32) -> Frame {
+        match self.frame_pool.pop() {
+            Some(mut f) => {
+                f.node = node;
+                f
+            }
+            None => Frame {
+                node,
+                stepped: Vec::new(),
+                spawned_runs: Vec::new(),
+                opened: Vec::new(),
+                live: Vec::new(),
+            },
+        }
+    }
+
+    fn recycle_frame(&mut self, mut frame: Frame) {
+        frame.stepped.clear();
+        frame.spawned_runs.clear();
+        frame.opened.clear();
+        frame.live.clear();
+        self.frame_pool.push(frame);
+    }
+
+    fn take_set(&mut self) -> ActiveSet {
+        self.set_pool.pop().unwrap_or_default()
+    }
+
+    fn recycle_set(&mut self, mut set: ActiveSet) {
+        set.clear();
+        self.set_pool.push(set);
+    }
+
+    /// Starts the traversal: pushes the virtual document frame and seeds
+    /// the selection run.
+    pub fn begin(&mut self, observer: &mut dyn EvalObserver) {
+        assert!(self.frames.is_empty(), "begin called twice");
+        let frame = self.take_frame(VIRTUAL_NODE);
+        self.frames.push(frame);
+        let top = self.mfa.top();
+        self.runs.push(Run {
+            nfa: top,
+            inst: None,
+            dead: false,
+            stack: Vec::new(),
+        });
+        self.spawn_cache.clear();
+        let mut new_runs = Vec::new();
+        let start = self.mfa.nfa(top).start();
+        let set = self.closure(top, &[(start, Tag::True)], VIRTUAL_NODE, &mut new_runs, observer);
+        // An accept at the virtual node would select the document node,
+        // which is not an element answer - dropped, matching the reference
+        // evaluator.
+        self.runs[0].stack.push(set);
+        let mut live = vec![0];
+        live.extend(new_runs.iter().copied().filter(|&r| !self.runs[r].dead));
+        let frame = self.frames.last_mut().expect("virtual frame");
+        frame.spawned_runs = new_runs;
+        frame.live = live;
+    }
+
+    /// Pre-enter check: can any live run make progress in a subtree whose
+    /// root has `label` and whose descendants offer `available` labels?
+    /// Pass `None` for `available` when no index is present (pure
+    /// automaton check).
+    pub fn preview(&self, label: Label, available: Option<&LabelSet>) -> Preview {
+        let frame = self.frames.last().expect("preview outside traversal");
+        let mut any_match = false;
+        for &r in &frame.live {
+            let run = &self.runs[r];
+            if run.dead {
+                continue;
+            }
+            let nfa = self.mfa.nfa(run.nfa);
+            let req = &self.required[run.nfa.index()];
+            let Some(top) = run.stack.last() else { continue };
+            for &(s, _) in top {
+                for t in nfa.transitions(s) {
+                    if !t.test.matches(label) {
+                        continue;
+                    }
+                    any_match = true;
+                    match available {
+                        None => return Preview::Progress,
+                        Some(avail) => {
+                            if req[t.target.index()].satisfiable_within(avail) {
+                                return Preview::Progress;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if any_match {
+            Preview::Pruned
+        } else {
+            Preview::NoMatch
+        }
+    }
+
+    /// Enters an element node. Returns whether any run is still live (if
+    /// not, the subtree can be skipped by the driver — nothing below can
+    /// match, and no predicate instance is waiting for its text unless
+    /// [`Machine::has_open_texteq`] holds).
+    pub fn enter(&mut self, label: Label, node: u32, observer: &mut dyn EvalObserver) -> bool {
+        let depth = self.frames.len();
+        self.stats.nodes_visited += 1;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        self.last_candidate = None;
+        self.spawn_cache.clear();
+        observer.enter_node(node, label, depth);
+        // Move the parent's live list out to iterate it without cloning;
+        // restored before returning.
+        let parent_live = std::mem::take(&mut self.frames.last_mut().expect("enter before begin").live);
+        let frame = self.take_frame(node);
+        self.frames.push(frame);
+        let mut new_runs = Vec::new();
+        for &r in &parent_live {
+            if self.runs[r].dead {
+                continue;
+            }
+            let nfa_id = self.runs[r].nfa;
+            let nfa = self.mfa.nfa(nfa_id);
+            // Step on the label.
+            let top = self.runs[r].stack.last().expect("live run has a set");
+            let mut seed = std::mem::take(&mut self.seed_buf);
+            seed.clear();
+            for &(s, tag) in top {
+                for t in nfa.transitions(s) {
+                    if t.test.matches(label) {
+                        seed.push((t.target, tag));
+                    }
+                }
+            }
+            if seed.is_empty() {
+                self.seed_buf = seed;
+                continue; // dormant below this node
+            }
+            let set = self.closure(nfa_id, &seed, node, &mut new_runs, observer);
+            self.seed_buf = seed;
+            self.process_accept(r, &set, node, observer);
+            self.runs[r].stack.push(set);
+            let frame = self.frames.last_mut().expect("frame just pushed");
+            frame.stepped.push(r);
+            if !self.runs[r].dead {
+                frame.live.push(r);
+            }
+        }
+        // Restore the parent's live list.
+        let depth_frames = self.frames.len();
+        self.frames[depth_frames - 2].live = parent_live;
+        let live_new: Vec<RunId> = new_runs
+            .iter()
+            .copied()
+            .filter(|&r| !self.runs[r].dead)
+            .collect();
+        let frame = self.frames.last_mut().expect("frame just pushed");
+        frame.spawned_runs = new_runs;
+        frame.live.extend(live_new);
+        !frame.live.is_empty()
+    }
+
+    /// Records an accept (if present in `set`) for run `r` at `node`.
+    fn process_accept(
+        &mut self,
+        r: RunId,
+        set: &ActiveSet,
+        node: u32,
+        observer: &mut dyn EvalObserver,
+    ) {
+        let accept = self.mfa.nfa(self.runs[r].nfa).accept();
+        let Some(&(_, tag)) = set.iter().find(|(s, _)| *s == accept) else {
+            return;
+        };
+        match self.runs[r].inst {
+            None => {
+                // Top run: candidate answer.
+                if node == VIRTUAL_NODE {
+                    return;
+                }
+                match tag {
+                    Tag::True => {
+                        self.immediate.push(node);
+                        self.stats.immediate_answers += 1;
+                        self.last_candidate = Some((node, true));
+                        observer.candidate(node, true);
+                    }
+                    Tag::Formula(_) => {
+                        self.cans.push(node, tag);
+                        self.last_candidate = Some((node, false));
+                        observer.candidate(node, false);
+                    }
+                }
+            }
+            Some(inst) => {
+                if self.truths[inst].is_some() {
+                    return; // already resolved (true)
+                }
+                match tag {
+                    Tag::True => {
+                        self.resolve_instance(inst, true, observer);
+                        self.runs[r].dead = true;
+                    }
+                    Tag::Formula(_) => {
+                        if let InstKind::HasPath { accepts } = &mut self.insts[inst].kind {
+                            accepts.push(tag);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feeds character data (stream mode; DOM drivers may skip text nodes
+    /// entirely since `text()='c'` resolves eagerly there).
+    pub fn text(&mut self, content: &str) {
+        if self.open_texteq.is_empty() {
+            return;
+        }
+        let here = self.frames.len();
+        // Iterate by index: resolution never happens here, only appends.
+        for idx in 0..self.open_texteq.len() {
+            let inst = self.open_texteq[idx];
+            if let InstKind::TextEq { buf, target, depth } = &mut self.insts[inst].kind {
+                if *depth != here {
+                    continue; // not direct text of the origin element
+                }
+                let cap = target.len() + 1;
+                if buf.len() < cap {
+                    let room = cap - buf.len();
+                    let take = content
+                        .char_indices()
+                        .map(|(i, c)| i + c.len_utf8())
+                        .take_while(|&end| end <= room)
+                        .last()
+                        .unwrap_or(0);
+                    buf.push_str(&content[..take]);
+                    if take < content.len() && buf.len() < cap {
+                        // Remaining content overflows the cap: mark by
+                        // exceeding the target length with a placeholder.
+                        buf.push('\u{0}');
+                    }
+                }
+            }
+        }
+    }
+
+    /// Leaves the current element node, resolving everything rooted there.
+    pub fn leave(&mut self, observer: &mut dyn EvalObserver) {
+        let frame = self.frames.pop().expect("leave without enter");
+        observer.leave_node(frame.node);
+        for &r in &frame.stepped {
+            if let Some(set) = self.runs[r].stack.pop() {
+                self.recycle_set(set);
+            }
+        }
+        self.resolve_opened(&frame.opened, observer);
+        for &r in &frame.spawned_runs {
+            self.runs[r].stack.clear();
+            self.runs[r].dead = true;
+        }
+        self.recycle_frame(frame);
+    }
+
+    /// Resolves all instances opened at the closing node. Dependencies are
+    /// all within the now-closed subtree, so a fixpoint over the opened
+    /// list terminates.
+    fn resolve_opened(&mut self, opened: &[InstId], observer: &mut dyn EvalObserver) {
+        let mut pending: Vec<InstId> = opened
+            .iter()
+            .copied()
+            .filter(|&i| self.truths[i].is_none())
+            .collect();
+        while !pending.is_empty() {
+            let mut progressed = false;
+            let mut still: Vec<InstId> = Vec::new();
+            for &i in &pending {
+                if self.truths[i].is_some() {
+                    progressed = true;
+                    continue;
+                }
+                let value = match &self.insts[i].kind {
+                    InstKind::TextEq { buf, target, .. } => Some(buf == target),
+                    InstKind::HasPath { accepts } => {
+                        let mut verdict = Some(false);
+                        for &tag in accepts {
+                            match self.arena.eval(tag, &self.truths) {
+                                Some(true) => {
+                                    verdict = Some(true);
+                                    break;
+                                }
+                                Some(false) => {}
+                                None => verdict = None,
+                            }
+                        }
+                        verdict
+                    }
+                    InstKind::Not { sub } => self.truths[*sub].map(|b| !b),
+                    InstKind::And { subs } => {
+                        let mut verdict = Some(true);
+                        for &s in subs {
+                            match self.truths[s] {
+                                Some(false) => {
+                                    verdict = Some(false);
+                                    break;
+                                }
+                                Some(true) => {}
+                                None => verdict = None,
+                            }
+                        }
+                        verdict
+                    }
+                    InstKind::Or { subs } => {
+                        let mut verdict = Some(false);
+                        for &s in subs {
+                            match self.truths[s] {
+                                Some(true) => {
+                                    verdict = Some(true);
+                                    break;
+                                }
+                                Some(false) => {}
+                                None => verdict = None,
+                            }
+                        }
+                        verdict
+                    }
+                };
+                match value {
+                    Some(v) => {
+                        self.resolve_instance(i, v, observer);
+                        progressed = true;
+                    }
+                    None => still.push(i),
+                }
+            }
+            assert!(
+                progressed || still.is_empty(),
+                "instance dependency cycle (evaluator bug)"
+            );
+            pending = still;
+        }
+    }
+
+    fn resolve_instance(&mut self, inst: InstId, value: bool, observer: &mut dyn EvalObserver) {
+        if self.truths[inst].is_some() {
+            return;
+        }
+        self.truths[inst] = Some(value);
+        observer.instance_resolved(inst, value);
+        if matches!(self.insts[inst].kind, InstKind::TextEq { .. }) {
+            if let Some(pos) = self.open_texteq.iter().position(|&x| x == inst) {
+                self.open_texteq.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Finishes the traversal: closes the virtual frame, runs the Cans
+    /// pass, and returns the answer node ids in document order.
+    pub fn end(mut self, observer: &mut dyn EvalObserver) -> (Vec<u32>, EvalStats) {
+        self.leave(observer); // virtual frame
+        assert!(self.frames.is_empty(), "unbalanced enter/leave");
+        self.stats.cans_size = self.cans.len();
+        self.stats.formula_nodes = self.arena.len();
+        let mut answers = self.immediate.clone();
+        for c in self.cans.iter() {
+            let kept = self
+                .arena
+                .eval(c.tag, &self.truths)
+                .expect("all instances resolved after traversal");
+            observer.candidate_resolved(c.node, kept);
+            if kept {
+                answers.push(c.node);
+            }
+        }
+        answers.sort_unstable();
+        answers.dedup();
+        self.stats.answers = answers.len();
+        (answers, self.stats)
+    }
+
+    // -- closure with guard pickup -----------------------------------------
+
+    /// Guard-aware ε-closure of `seed` at `node`. Spawns predicate
+    /// instances for guards it crosses; newly created `HasPath` runs are
+    /// appended to `new_runs`.
+    fn closure(
+        &mut self,
+        nfa_id: NfaId,
+        seed: &[(StateId, Tag)],
+        node: u32,
+        new_runs: &mut Vec<RunId>,
+        observer: &mut dyn EvalObserver,
+    ) -> ActiveSet {
+        // Fast path: all-True seeds whose closures cross no guard edge.
+        // This covers every guard-free region of every query and avoids
+        // the formula machinery entirely.
+        if seed.iter().all(|&(s, t)| {
+            t == Tag::True && !self.closures[nfa_id.index()][s.index()].1
+        }) {
+            self.scratch_epoch += 1;
+            let epoch = self.scratch_epoch;
+            let mut out: ActiveSet = self.take_set();
+            let pre = &self.closures[nfa_id.index()];
+            for &(s, _) in seed {
+                for &t in &pre[s.index()].0 {
+                    if self.scratch[t.index()] != epoch {
+                        self.scratch[t.index()] = epoch;
+                        out.push((t, Tag::True));
+                    }
+                }
+            }
+            out.sort_unstable_by_key(|&(s, _)| s);
+            return out;
+        }
+        let mfa = self.mfa;
+        let nfa = mfa.nfa(nfa_id);
+        #[derive(Default, Clone)]
+        struct Build {
+            known_true: bool,
+            parts: BTreeSet<crate::cans::FId>,
+        }
+        let mut builds: HashMap<StateId, Build> = HashMap::new();
+        let mut work: Vec<StateId> = Vec::new();
+        let merge =
+            |builds: &mut HashMap<StateId, Build>, work: &mut Vec<StateId>, s: StateId, tag: Tag| {
+                let b = builds.entry(s).or_default();
+                let changed = match tag {
+                    Tag::True => {
+                        let c = !b.known_true;
+                        b.known_true = true;
+                        c
+                    }
+                    Tag::Formula(f) => {
+                        if b.known_true {
+                            false
+                        } else {
+                            b.parts.insert(f)
+                        }
+                    }
+                };
+                if changed {
+                    work.push(s);
+                }
+            };
+        for &(s, tag) in seed {
+            merge(&mut builds, &mut work, s, tag);
+        }
+        while let Some(s) = work.pop() {
+            let cur = {
+                let b = &builds[&s];
+                if b.known_true {
+                    Tag::True
+                } else {
+                    match self.arena.or_tags(&b.parts, false) {
+                        Some(t) => t,
+                        None => continue, // no valid way to be here
+                    }
+                }
+            };
+            for e in nfa.eps_edges(s) {
+                let tag = match e.guard {
+                    None => cur,
+                    Some(g) => match self.spawn(g, node, new_runs, observer) {
+                        InstRef::Resolved(true) => cur,
+                        InstRef::Resolved(false) => continue,
+                        InstRef::Pending(i) => self.arena.and_inst(cur, i),
+                    },
+                };
+                merge(&mut builds, &mut work, e.target, tag);
+            }
+        }
+        let mut out: ActiveSet = Vec::with_capacity(builds.len());
+        for (s, b) in builds {
+            let tag = if b.known_true {
+                Tag::True
+            } else {
+                match self.arena.or_tags(&b.parts, false) {
+                    Some(t) => t,
+                    None => continue,
+                }
+            };
+            out.push((s, tag));
+        }
+        out.sort_unstable_by_key(|(s, _)| *s);
+        out
+    }
+
+    /// Instantiates predicate `pred` at `node` (cached per node).
+    fn spawn(
+        &mut self,
+        pred: PredId,
+        node: u32,
+        new_runs: &mut Vec<RunId>,
+        observer: &mut dyn EvalObserver,
+    ) -> InstRef {
+        if let Some(&r) = self.spawn_cache.get(&pred) {
+            return r;
+        }
+        // Insert a placeholder to guard against accidental recursion on the
+        // same predicate (impossible by construction: predicates form a
+        // DAG).
+        let result = match self.mfa.pred(pred) {
+            Pred::True => InstRef::Resolved(true),
+            Pred::TextEq(target) => {
+                if let Some(resolver) = self.text_resolver {
+                    InstRef::Resolved(resolver(node) == *target)
+                } else {
+                    let depth = self.frames.len();
+                    let i = self.new_instance(
+                        InstKind::TextEq {
+                            buf: String::new(),
+                            target: target.clone(),
+                            depth,
+                        },
+                        node,
+                        observer,
+                    );
+                    self.open_texteq.push(i);
+                    InstRef::Pending(i)
+                }
+            }
+            Pred::HasPath(sub_nfa) => {
+                let sub_nfa = *sub_nfa;
+                let i = self.new_instance(InstKind::HasPath { accepts: Vec::new() }, node, observer);
+                let run_id = self.runs.len();
+                self.runs.push(Run {
+                    nfa: sub_nfa,
+                    inst: Some(i),
+                    dead: false,
+                    stack: Vec::new(),
+                });
+                self.stats.runs_spawned += 1;
+                // Cache before the recursive closure so diamond-shaped
+                // sharing reuses the same instance.
+                self.spawn_cache.insert(pred, InstRef::Pending(i));
+                let start = self.mfa.nfa(sub_nfa).start();
+                let set = self.closure(sub_nfa, &[(start, Tag::True)], node, new_runs, observer);
+                self.process_accept(run_id, &set, node, observer);
+                self.runs[run_id].stack.push(set);
+                new_runs.push(run_id);
+                if let Some(v) = self.truths[i] {
+                    // Accept with a constant-true tag resolved it on the
+                    // spot.
+                    let r = InstRef::Resolved(v);
+                    self.spawn_cache.insert(pred, r);
+                    return r;
+                }
+                return InstRef::Pending(i);
+            }
+            Pred::Not(sub) => {
+                let sub = *sub;
+                match self.spawn(sub, node, new_runs, observer) {
+                    InstRef::Resolved(b) => InstRef::Resolved(!b),
+                    InstRef::Pending(si) => {
+                        InstRef::Pending(self.new_instance(InstKind::Not { sub: si }, node, observer))
+                    }
+                }
+            }
+            Pred::And(subs) => {
+                let subs = subs.clone();
+                let mut pending = Vec::new();
+                let mut value = Some(true);
+                for s in subs {
+                    match self.spawn(s, node, new_runs, observer) {
+                        InstRef::Resolved(false) => {
+                            value = Some(false);
+                            break;
+                        }
+                        InstRef::Resolved(true) => {}
+                        InstRef::Pending(i) => pending.push(i),
+                    }
+                }
+                match (value, pending.is_empty()) {
+                    (Some(false), _) => InstRef::Resolved(false),
+                    (_, true) => InstRef::Resolved(true),
+                    _ => InstRef::Pending(self.new_instance(
+                        InstKind::And { subs: pending },
+                        node,
+                        observer,
+                    )),
+                }
+            }
+            Pred::Or(subs) => {
+                let subs = subs.clone();
+                let mut pending = Vec::new();
+                let mut value = Some(false);
+                for s in subs {
+                    match self.spawn(s, node, new_runs, observer) {
+                        InstRef::Resolved(true) => {
+                            value = Some(true);
+                            break;
+                        }
+                        InstRef::Resolved(false) => {}
+                        InstRef::Pending(i) => pending.push(i),
+                    }
+                }
+                match (value, pending.is_empty()) {
+                    (Some(true), _) => InstRef::Resolved(true),
+                    (_, true) => InstRef::Resolved(false),
+                    _ => InstRef::Pending(self.new_instance(
+                        InstKind::Or { subs: pending },
+                        node,
+                        observer,
+                    )),
+                }
+            }
+        };
+        self.spawn_cache.insert(pred, result);
+        result
+    }
+
+    fn new_instance(&mut self, kind: InstKind, node: u32, observer: &mut dyn EvalObserver) -> InstId {
+        let id = self.insts.len();
+        self.insts.push(Instance { kind });
+        self.truths.push(None);
+        self.stats.pred_instances += 1;
+        observer.instance_spawned(id, node);
+        self.frames
+            .last_mut()
+            .expect("spawn inside a frame")
+            .opened
+            .push(id);
+        id
+    }
+}

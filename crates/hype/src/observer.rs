@@ -1,0 +1,80 @@
+//! Observation hooks into the evaluator.
+//!
+//! iSMOQE "opens a window of the system to let user visually monitor the
+//! internals of the engine" (paper §2): which nodes are visited, which land
+//! in Cans, which subtrees are pruned and why. The evaluators accept an
+//! [`EvalObserver`] and report those events; `smoqe-viz` implements a trace
+//! collector on top, and the default [`NoopObserver`] compiles away.
+
+use smoqe_xml::Label;
+
+/// Why a subtree was skipped without being traversed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PruneReason {
+    /// Every automaton run died on the child's label.
+    DeadRuns,
+    /// The TAX index proved no required label exists in the subtree.
+    TaxIndex,
+}
+
+/// Receiver for evaluation events. All methods default to no-ops.
+pub trait EvalObserver {
+    /// An element node is entered (pre-order).
+    fn enter_node(&mut self, node: u32, label: Label, depth: usize) {
+        let _ = (node, label, depth);
+    }
+
+    /// An element node is left (post-order).
+    fn leave_node(&mut self, node: u32) {
+        let _ = node;
+    }
+
+    /// A subtree rooted at a child with `label` was skipped.
+    fn subtree_pruned(&mut self, parent: u32, label: Label, reason: PruneReason) {
+        let _ = (parent, label, reason);
+    }
+
+    /// `node` became a candidate; `immediate` means it was provable on the
+    /// spot (no pending predicates).
+    fn candidate(&mut self, node: u32, immediate: bool) {
+        let _ = (node, immediate);
+    }
+
+    /// A predicate instance was spawned at `node`.
+    fn instance_spawned(&mut self, inst: usize, node: u32) {
+        let _ = (inst, node);
+    }
+
+    /// A predicate instance resolved to `value`.
+    fn instance_resolved(&mut self, inst: usize, value: bool) {
+        let _ = (inst, value);
+    }
+
+    /// The final Cans pass kept (`true`) or dropped (`false`) a candidate.
+    fn candidate_resolved(&mut self, node: u32, kept: bool) {
+        let _ = (node, kept);
+    }
+}
+
+/// An observer that ignores everything (zero overhead).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NoopObserver;
+
+impl EvalObserver for NoopObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_observer_accepts_all_events() {
+        let mut o = NoopObserver;
+        o.enter_node(0, Label(0), 0);
+        o.leave_node(0);
+        o.subtree_pruned(0, Label(0), PruneReason::TaxIndex);
+        o.candidate(1, true);
+        o.instance_spawned(0, 1);
+        o.instance_resolved(0, false);
+        o.candidate_resolved(1, true);
+    }
+}

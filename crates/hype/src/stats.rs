@@ -1,0 +1,61 @@
+//! Evaluation statistics.
+//!
+//! These counters back both the experiments (E3 reports |Cans| vs |T|,
+//! E5 reports pruned subtrees) and the trace visualizations that stand in
+//! for the iSMOQE monitoring views.
+
+/// Counters collected during one evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Element nodes the evaluator actually entered.
+    pub nodes_visited: usize,
+    /// Subtrees skipped because the TAX index proved them useless.
+    pub subtrees_pruned_tax: usize,
+    /// Subtrees skipped because every automaton run died on entry.
+    pub subtrees_skipped_dead: usize,
+    /// Candidates parked in Cans (unresolved at discovery time).
+    pub cans_size: usize,
+    /// Answers that were provable immediately at discovery.
+    pub immediate_answers: usize,
+    /// Total answers returned.
+    pub answers: usize,
+    /// Predicate instances spawned.
+    pub pred_instances: usize,
+    /// Predicate runs (HasPath automata) spawned.
+    pub runs_spawned: usize,
+    /// Formula nodes allocated for validity tracking.
+    pub formula_nodes: usize,
+    /// Maximum depth reached.
+    pub max_depth: usize,
+    /// Full passes over the document tree (1 for HyPE, 2 for the two-pass
+    /// baseline).
+    pub tree_passes: usize,
+}
+
+impl EvalStats {
+    /// Fraction of visited nodes that became candidates — the paper's
+    /// "Cans is often much smaller than the XML document tree".
+    pub fn cans_ratio(&self) -> f64 {
+        if self.nodes_visited == 0 {
+            0.0
+        } else {
+            self.cans_size as f64 / self.nodes_visited as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cans_ratio_handles_zero() {
+        assert_eq!(EvalStats::default().cans_ratio(), 0.0);
+        let s = EvalStats {
+            nodes_visited: 100,
+            cans_size: 5,
+            ..Default::default()
+        };
+        assert!((s.cans_ratio() - 0.05).abs() < 1e-9);
+    }
+}

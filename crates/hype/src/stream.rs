@@ -1,0 +1,337 @@
+//! HyPE in StAX mode: evaluate an MFA in one sequential scan.
+//!
+//! Paper §2: *"in StAX mode the document does not need to be loaded into
+//! memory and only one sequential scan of the document from disk is needed
+//! for the evaluation"*. The same [`Machine`](crate::machine::Machine)
+//! core runs over pull-parser events; differences from DOM mode:
+//!
+//! * node ids are assigned by a document-order counter that mirrors
+//!   [`smoqe_xml::TreeBuilder`]'s numbering, so stream answers are
+//!   directly comparable to DOM answers;
+//! * `text()='c'` predicates accumulate character data until their origin
+//!   element closes;
+//! * subtrees whose runs all died are skipped *logically* (the events are
+//!   still read — it is a sequential scan — but no automaton work is
+//!   done);
+//! * answers can be emitted as serialized XML: candidate subtrees are
+//!   buffered while their predicates are pending and emitted or discarded
+//!   on resolution — the memory HyPE needs beyond the parser is
+//!   O(depth + buffered candidates), which experiment E4 measures.
+
+use crate::machine::Machine;
+use crate::observer::{EvalObserver, NoopObserver};
+use crate::stats::EvalStats;
+use smoqe_automata::Mfa;
+use smoqe_xml::serialize::XmlWriter;
+use smoqe_xml::stax::{PullParser, XmlEvent};
+use smoqe_xml::{Vocabulary, XmlError};
+use std::collections::HashMap;
+use std::io::BufRead;
+
+/// Result of a streaming evaluation.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Answer node ids (document-order numbering, matching DOM NodeIds).
+    pub answers: Vec<u32>,
+    /// Serialized answer subtrees in document order (when requested).
+    pub answer_xml: Option<Vec<String>>,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+    /// Peak bytes buffered for unresolved candidates.
+    pub peak_buffered_bytes: usize,
+    /// Total parser events processed.
+    pub events: usize,
+}
+
+/// Options for streaming evaluation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamOptions {
+    /// Buffer and return the serialized XML of each answer subtree.
+    pub want_xml: bool,
+}
+
+struct Recorder {
+    node: u32,
+    depth: usize,
+    writer: XmlWriter<Vec<u8>>,
+    done: bool,
+}
+
+/// Evaluates `mfa` over the XML text arriving from `reader`.
+pub fn evaluate_stream<R: BufRead>(
+    reader: R,
+    mfa: &Mfa,
+    vocab: &Vocabulary,
+    options: StreamOptions,
+) -> Result<StreamOutcome, XmlError> {
+    evaluate_stream_with(reader, mfa, vocab, options, &mut NoopObserver)
+}
+
+/// Evaluates `mfa` over a string slice (convenience).
+pub fn evaluate_stream_str(
+    input: &str,
+    mfa: &Mfa,
+    vocab: &Vocabulary,
+    options: StreamOptions,
+) -> Result<StreamOutcome, XmlError> {
+    evaluate_stream(input.as_bytes(), mfa, vocab, options)
+}
+
+/// Full-control variant with an observer.
+pub fn evaluate_stream_with<R: BufRead>(
+    reader: R,
+    mfa: &Mfa,
+    vocab: &Vocabulary,
+    options: StreamOptions,
+    observer: &mut dyn EvalObserver,
+) -> Result<StreamOutcome, XmlError> {
+    let mut parser = PullParser::new(reader);
+    let mut machine = Machine::new(mfa, None);
+    machine.begin(observer);
+
+    let mut next_id: u32 = 0;
+    let mut depth: usize = 0;
+    let mut events: usize = 0;
+    // When `Some(d)`: automaton work suspended for the subtree opened at
+    // depth d (all runs dead there, no text awaited, nothing recording).
+    let mut skip_from: Option<usize> = None;
+    let mut recorders: Vec<Recorder> = Vec::new();
+    let mut finished_xml: HashMap<u32, String> = HashMap::new();
+    let mut peak_buffered: usize = 0;
+
+    loop {
+        let event = parser.next_event()?;
+        events += 1;
+        match event {
+            XmlEvent::StartElement { name, attributes } => {
+                let node = next_id;
+                next_id += 1;
+                depth += 1;
+                if options.want_xml {
+                    for r in recorders.iter_mut().filter(|r| !r.done) {
+                        r.writer.start_element(&name)?;
+                        for a in &attributes {
+                            r.writer.attribute(&a.name, &a.value)?;
+                        }
+                    }
+                }
+                if skip_from.is_some() {
+                    continue;
+                }
+                let label = vocab.intern(&name);
+                let alive = machine.enter(label, node, observer);
+                if let Some((cand, _immediate)) = machine.take_last_candidate() {
+                    if options.want_xml {
+                        let mut w = XmlWriter::new(Vec::new());
+                        w.start_element(&name)?;
+                        for a in &attributes {
+                            w.attribute(&a.name, &a.value)?;
+                        }
+                        recorders.push(Recorder {
+                            node: cand,
+                            depth,
+                            writer: w,
+                            done: false,
+                        });
+                    }
+                }
+                if !alive
+                    && !machine.has_open_texteq()
+                    && recorders.iter().all(|r| r.done)
+                {
+                    skip_from = Some(depth);
+                }
+            }
+            XmlEvent::Text(t) => {
+                next_id += 1; // text nodes occupy an id, like in DOM mode
+                if options.want_xml {
+                    for r in recorders.iter_mut().filter(|r| !r.done) {
+                        r.writer.text(&t)?;
+                    }
+                }
+                if skip_from.is_none() {
+                    machine.text(&t);
+                }
+            }
+            XmlEvent::EndElement { .. } => {
+                if options.want_xml {
+                    let mut newly_done = false;
+                    for r in recorders.iter_mut().filter(|r| !r.done) {
+                        r.writer.end_element()?;
+                        if r.depth == depth {
+                            r.done = true;
+                            newly_done = true;
+                        }
+                    }
+                    let buffered: usize = recorders.iter().map(|r| r.writer.sink().len()).sum();
+                    let finished: usize = finished_xml.values().map(String::len).sum();
+                    peak_buffered = peak_buffered.max(buffered + finished);
+                    if newly_done {
+                        recorders.retain_mut(|r| {
+                            if r.done {
+                                let bytes = std::mem::take(r.writer.sink_mut());
+                                finished_xml.insert(
+                                    r.node,
+                                    String::from_utf8(bytes).expect("writer emits UTF-8"),
+                                );
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
+                }
+                match skip_from {
+                    Some(d) if d == depth => {
+                        skip_from = None;
+                        machine.leave(observer);
+                    }
+                    Some(_) => {}
+                    None => machine.leave(observer),
+                }
+                depth -= 1;
+            }
+            XmlEvent::EndDocument => break,
+        }
+    }
+    let (answers, mut stats) = machine.end(observer);
+    stats.answers = answers.len();
+    let answer_xml = if options.want_xml {
+        Some(
+            answers
+                .iter()
+                .map(|n| finished_xml.remove(n).unwrap_or_default())
+                .collect(),
+        )
+    } else {
+        None
+    };
+    Ok(StreamOutcome {
+        answers,
+        answer_xml,
+        stats,
+        peak_buffered_bytes: peak_buffered,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::evaluate_mfa;
+    use smoqe_automata::compile;
+    use smoqe_rxpath::parse_path;
+    use smoqe_xml::Document;
+
+    fn check(xml: &str, query: &str) -> StreamOutcome {
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str(xml, &vocab).unwrap();
+        let path = parse_path(query, &vocab).unwrap();
+        let mfa = compile(&path, &vocab);
+        let (dom_answers, _) = evaluate_mfa(&doc, &mfa);
+        let out = evaluate_stream_str(
+            xml,
+            &mfa,
+            &vocab,
+            StreamOptions { want_xml: true },
+        )
+        .unwrap();
+        let dom_ids: Vec<u32> = dom_answers.iter().map(|n| n.0).collect();
+        assert_eq!(out.answers, dom_ids, "query `{query}` on `{xml}`");
+        // The serialized answers must match DOM subtree serialization.
+        let xmls = out.answer_xml.as_ref().unwrap();
+        for (i, n) in dom_answers.iter().enumerate() {
+            assert_eq!(
+                xmls[i],
+                smoqe_xml::serialize::subtree_to_string(&doc, n),
+                "answer {i} of `{query}`"
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn stream_matches_dom_simple() {
+        check("<a><b>1</b><c>2</c><b>3</b></a>", "a/b");
+        check("<a><b/><c/></a>", "a/*");
+        check("<a><b/></a>", "zzz");
+    }
+
+    #[test]
+    fn stream_matches_dom_descendants() {
+        check("<a><b><c>x</c></b><c>y</c></a>", "//c");
+        check("<a><b><a><b><a/></b></a></b></a>", "(a/b)*/a");
+    }
+
+    #[test]
+    fn stream_matches_dom_predicates() {
+        let doc = "<a><b><c>yes</c></b><b><d/></b><b><c>no</c></b></a>";
+        check(doc, "a/b[c]");
+        check(doc, "a/b[c = 'yes']");
+        check(doc, "a/b[not(c)]");
+        check(doc, "a/b[text() = 'yes']");
+    }
+
+    #[test]
+    fn text_accumulation_uses_direct_text() {
+        // Direct text of the first b is "xy" (around <c/>); text inside
+        // children does not count.
+        check("<a><b>x<c>NO</c>y</b><b><c>xy</c></b></a>", "a/b[text() = 'xy']");
+        check("<a><b>x<c>NO</c>y</b></a>", "a/b[text() = 'xNOy']");
+    }
+
+    #[test]
+    fn buffered_candidate_discarded_on_false_predicate() {
+        let out = check("<a><b><x/><w0/></b><b><x/></b></a>", "a/b[w]/x");
+        assert_eq!(out.answers.len(), 0);
+    }
+
+    #[test]
+    fn buffered_candidate_kept_on_true_predicate() {
+        let out = check("<a><b><x/><w/></b><b><x/></b></a>", "a/b[w]/x");
+        assert_eq!(out.answers.len(), 1);
+        assert_eq!(out.answer_xml.unwrap()[0], "<x/>");
+    }
+
+    #[test]
+    fn paper_q0_streams() {
+        let xml = "<hospital>\
+               <patient><pname>Ann</pname>\
+                 <visit><treatment><test>blood</test></treatment><date>d1</date></visit>\
+                 <visit><treatment><medication>headache</medication></treatment><date>d2</date></visit>\
+               </patient>\
+               <patient><pname>Bob</pname>\
+                 <visit><treatment><medication>headache</medication></treatment><date>d3</date></visit>\
+               </patient>\
+             </hospital>";
+        let out = check(
+            xml,
+            "hospital/patient[(parent/patient)*/visit/treatment/test and \
+             visit/treatment[medication/text() = 'headache']]/pname",
+        );
+        assert_eq!(out.answer_xml.unwrap(), vec!["<pname>Ann</pname>"]);
+    }
+
+    #[test]
+    fn nested_candidates_both_recorded() {
+        let out = check("<a><b><b/></b></a>", "//b");
+        assert_eq!(out.answers.len(), 2);
+        let xmls = out.answer_xml.unwrap();
+        assert_eq!(xmls[0], "<b><b/></b>");
+        assert_eq!(xmls[1], "<b/>");
+    }
+
+    #[test]
+    fn malformed_input_propagates_error() {
+        let vocab = Vocabulary::new();
+        let p = parse_path("a", &vocab).unwrap();
+        let mfa = compile(&p, &vocab);
+        assert!(evaluate_stream_str("<a><b></a>", &mfa, &vocab, StreamOptions::default()).is_err());
+    }
+
+    #[test]
+    fn event_count_reported() {
+        let out = check("<a><b/><b/></a>", "a/b");
+        assert_eq!(out.events, 7); // a, b, /b, b, /b, /a, end
+    }
+}

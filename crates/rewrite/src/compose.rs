@@ -1,0 +1,186 @@
+//! View composition: views defined over views.
+//!
+//! The paper motivates XML views for *access control* **and** *data
+//! integration* (§1); in both settings views stack — a department view is
+//! defined over the company view, which is defined over the raw document.
+//! Because Regular XPath is closed under rewriting (the property SMOQE is
+//! built on), a stack of views collapses into a **single** view over the
+//! source: every σ_outer(A, B), a path over the inner view, is rewritten
+//! into an equivalent path over the inner view's source. Queries over the
+//! composed view then rewrite once, exactly like any other view.
+//!
+//! The correctness statement extends the paper's:
+//! `V_outer(V_inner(T)) = V_composed(T)` for every document T (tested by
+//! double materialization).
+
+use crate::direct::rewrite_direct_from;
+use smoqe_view::{ViewError, ViewSpec};
+
+/// Composes `outer` (a view over `inner`'s view) with `inner` (a view over
+/// the source), producing one view over the source with the *same* view
+/// DTD as `outer`.
+///
+/// Errors with [`ViewError::Unsatisfiable`] if some σ_outer can never
+/// produce a node through the inner view (the outer view references data
+/// the inner view hides entirely) — a composition bug worth surfacing
+/// rather than silently emitting empty subtrees.
+pub fn compose_views(outer: &ViewSpec, inner: &ViewSpec) -> Result<ViewSpec, ViewError> {
+    let vocab = outer.vocabulary();
+    let mut composed = ViewSpec::new(outer.view_dtd().clone());
+    for (&(a, b), sigma) in outer.sigmas() {
+        // σ_outer(a, b) runs from an `a`-node of the inner view; the
+        // composed σ runs from the corresponding source node (same label,
+        // views preserve labels).
+        match rewrite_direct_from(sigma, inner, a) {
+            Some(path) => composed.set_sigma(a, b, path),
+            None => {
+                return Err(ViewError::Unsatisfiable(
+                    vocab.name(a).to_string(),
+                    vocab.name(b).to_string(),
+                ))
+            }
+        }
+    }
+    Ok(composed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_rxpath::{evaluate as naive, parse_path};
+    use smoqe_view::{derive, materialize, AccessPolicy, HOSPITAL_POLICY};
+    use smoqe_xml::{Document, Dtd, Vocabulary, HOSPITAL_DTD};
+
+    const SAMPLE: &str = "<hospital>\
+        <patient><pname>Ann</pname>\
+          <visit><treatment><medication>autism</medication></treatment><date>d1</date></visit>\
+          <parent><patient><pname>Pa</pname>\
+            <visit><treatment><medication>flu</medication></treatment><date>d3</date></visit>\
+          </patient></parent>\
+        </patient>\
+        <patient><pname>Cal</pname>\
+          <visit><treatment><medication>autism</medication></treatment><date>d5</date></visit>\
+          <visit><treatment><test>blood</test></treatment><date>d6</date></visit>\
+        </patient>\
+      </hospital>";
+
+    /// inner: the Fig. 3 autism view; outer: additionally hide the
+    /// `parent` ancestry chains from that view.
+    fn stacked() -> (Vocabulary, ViewSpec, ViewSpec, Document) {
+        let vocab = Vocabulary::new();
+        let dtd = Dtd::parse(HOSPITAL_DTD, &vocab).unwrap();
+        let inner = derive(&AccessPolicy::parse(dtd.clone(), HOSPITAL_POLICY).unwrap());
+        let outer_policy =
+            AccessPolicy::parse(inner.view_dtd().clone(), "ann(patient, parent) = N\n").unwrap();
+        let outer = derive(&outer_policy);
+        let doc = Document::parse_str(SAMPLE, &vocab).unwrap();
+        (vocab, inner, outer, doc)
+    }
+
+    #[test]
+    fn composed_view_equals_double_materialization() {
+        let (_, inner, outer, doc) = stacked();
+        let composed = compose_views(&outer, &inner).unwrap();
+        // Path 1: materialize inner over T, then outer over that.
+        let v1 = materialize(&inner, &doc).unwrap();
+        let v2 = materialize(&outer, &v1.doc).unwrap();
+        // Path 2: materialize the composed view directly over T.
+        let vc = materialize(&composed, &doc).unwrap();
+        assert_eq!(vc.doc.to_xml(), v2.doc.to_xml());
+        // And the composition really hid the ancestry chain.
+        assert!(!vc.doc.to_xml().contains("parent"));
+        assert!(vc.doc.to_xml().contains("medication"));
+    }
+
+    #[test]
+    fn queries_over_composed_views_rewrite_once() {
+        let (vocab, inner, outer, doc) = stacked();
+        let composed = compose_views(&outer, &inner).unwrap();
+        for q in [
+            "hospital/patient",
+            "hospital/patient/treatment/medication",
+            "//medication",
+            "//patient[treatment]",
+        ] {
+            let path = parse_path(q, &vocab).unwrap();
+            let mfa = crate::rewrite(&path, &composed);
+            let (got, _) = smoqe_hype::evaluate_mfa(&doc, &mfa);
+            // Ground truth: evaluate over the doubly-materialized view,
+            // mapping origins back through both layers.
+            let v1 = materialize(&inner, &doc).unwrap();
+            let v2 = materialize(&outer, &v1.doc).unwrap();
+            let through_inner: Vec<_> = naive(&v2.doc, &path)
+                .iter()
+                .map(|n| v1.origin(v2.origin(n)))
+                .collect();
+            let mut expected = through_inner;
+            expected.sort_unstable();
+            expected.dedup();
+            assert_eq!(got.as_slice(), expected.as_slice(), "query `{q}`");
+        }
+    }
+
+    #[test]
+    fn composition_validates_against_the_source() {
+        let (vocab, inner, outer, _) = stacked();
+        let composed = compose_views(&outer, &inner).unwrap();
+        let dtd = Dtd::parse(HOSPITAL_DTD, &vocab).unwrap();
+        composed.validate(&dtd).unwrap();
+    }
+
+    #[test]
+    fn composing_with_identity_is_identity() {
+        let vocab = Vocabulary::new();
+        let dtd = Dtd::parse(HOSPITAL_DTD, &vocab).unwrap();
+        let inner = ViewSpec::identity(&dtd);
+        let outer = derive(&AccessPolicy::parse(dtd.clone(), HOSPITAL_POLICY).unwrap());
+        let composed = compose_views(&outer, &inner).unwrap();
+        // Composition over the identity view must behave exactly like the
+        // outer view alone.
+        let doc = Document::parse_str(SAMPLE, &vocab).unwrap();
+        let a = materialize(&outer, &doc).unwrap();
+        let b = materialize(&composed, &doc).unwrap();
+        assert_eq!(a.doc.to_xml(), b.doc.to_xml());
+    }
+
+    #[test]
+    fn unsatisfiable_composition_is_rejected() {
+        let vocab = Vocabulary::new();
+        let dtd = Dtd::parse(HOSPITAL_DTD, &vocab).unwrap();
+        let inner = derive(&AccessPolicy::parse(dtd.clone(), HOSPITAL_POLICY).unwrap());
+        // An outer view that references `pname`, which the inner view
+        // hides entirely.
+        let outer = ViewSpec::parse(
+            "<!ELEMENT hospital (pname*)>\n<!ELEMENT pname (#PCDATA)>\n\
+             sigma(hospital, pname) = patient/pname\n",
+            &vocab,
+        )
+        .unwrap();
+        assert!(matches!(
+            compose_views(&outer, &inner),
+            Err(ViewError::Unsatisfiable(_, _))
+        ));
+    }
+
+    #[test]
+    fn three_level_stacks_compose_associatively() {
+        let (vocab, inner, outer, doc) = stacked();
+        // Third layer over the outer view: only treatments, flattened.
+        let third = ViewSpec::parse(
+            "<!ELEMENT hospital (treatment*)>\n\
+             <!ELEMENT treatment (medication?)>\n\
+             <!ELEMENT medication (#PCDATA)>\n\
+             sigma(hospital, treatment) = patient/treatment\n\
+             sigma(treatment, medication) = medication\n",
+            &vocab,
+        )
+        .unwrap();
+        // (third ∘ outer) ∘ inner  ==  third ∘ (outer ∘ inner)
+        let left = compose_views(&compose_views(&third, &outer).unwrap(), &inner).unwrap();
+        let right = compose_views(&third, &compose_views(&outer, &inner).unwrap()).unwrap();
+        let a = materialize(&left, &doc).unwrap();
+        let b = materialize(&right, &doc).unwrap();
+        assert_eq!(a.doc.to_xml(), b.doc.to_xml());
+        assert!(a.doc.to_xml().starts_with("<hospital>"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Direct (syntactic) rewriting — the exponential strawman.
+//!
+//! Paper §3: *"While it is always possible to rewrite a Regular XPath
+//! query Q on a view to an equivalent query Q′ on the underlying document,
+//! the size of Q′, if directly represented as Regular XPath expressions,
+//! may be exponential in the size of Q."* This module materializes that
+//! syntactic representation so experiment E2 can measure the blow-up the
+//! MFA representation avoids.
+//!
+//! The construction reuses the MFA rewriter and then converts the
+//! automaton back to Regular XPath by **state elimination**: ε-edges carry
+//! `ε`, guarded ε-edges carry `.[q]` (where `q` is the predicate converted
+//! back to a qualifier, with `HasPath` sub-automata eliminated
+//! recursively), and the elimination order is fixed (highest state id
+//! first). The result is a genuine Regular XPath expression equivalent to
+//! the input — just potentially enormous.
+
+use smoqe_automata::{Mfa, Nfa, NfaId, Pred, PredId};
+use smoqe_rxpath::{Path, Qualifier};
+use smoqe_view::ViewSpec;
+
+/// Syntactically rewrites `query` over the view into Regular XPath over
+/// the source. Returns `None` when the rewritten language is empty (the
+/// query can never match through the view).
+pub fn rewrite_direct(query: &Path, spec: &ViewSpec) -> Option<Path> {
+    let mfa = crate::rewrite(query, spec);
+    mfa_to_path(&mfa)
+}
+
+/// Like [`rewrite_direct`], but relative to a view node of type `context`
+/// (see [`crate::mfa_rewrite::rewrite_from`]). Used by view composition.
+pub fn rewrite_direct_from(
+    query: &Path,
+    spec: &ViewSpec,
+    context: smoqe_xml::Label,
+) -> Option<Path> {
+    let mfa = crate::rewrite_from(query, spec, context);
+    mfa_to_path(&mfa)
+}
+
+/// Converts an MFA back into a syntactic Regular XPath expression
+/// (`None` = empty language).
+pub fn mfa_to_path(mfa: &Mfa) -> Option<Path> {
+    nfa_to_path(mfa, mfa.top())
+}
+
+fn pred_to_qualifier(mfa: &Mfa, pred: PredId) -> Qualifier {
+    match mfa.pred(pred) {
+        Pred::True => Qualifier::True,
+        Pred::TextEq(c) => Qualifier::TextEq(Path::Empty, c.clone()),
+        Pred::HasPath(n) => match nfa_to_path(mfa, *n) {
+            Some(p) => Qualifier::Exists(p),
+            // Empty language: the predicate can never hold.
+            None => Qualifier::not(Qualifier::True),
+        },
+        Pred::Not(p) => Qualifier::not(pred_to_qualifier(mfa, *p)),
+        Pred::And(ps) => ps
+            .iter()
+            .map(|&p| pred_to_qualifier(mfa, p))
+            .reduce(Qualifier::and)
+            .unwrap_or(Qualifier::True),
+        Pred::Or(ps) => ps
+            .iter()
+            .map(|&p| pred_to_qualifier(mfa, p))
+            .reduce(Qualifier::or)
+            .unwrap_or(Qualifier::True),
+    }
+}
+
+/// State elimination over one NFA with `Path`-weighted edges.
+fn nfa_to_path(mfa: &Mfa, nfa_id: NfaId) -> Option<Path> {
+    let nfa: &Nfa = mfa.nfa(nfa_id);
+    let n = nfa.state_count();
+    if n == 0 {
+        return None;
+    }
+    // Matrix with two extra virtual endpoints: n = fresh start, n+1 =
+    // fresh end, so the original start/accept can participate in loops.
+    let total = n + 2;
+    let (vstart, vend) = (n, n + 1);
+    let mut m: Vec<Vec<Option<Path>>> = vec![vec![None; total]; total];
+    let add = |m: &mut Vec<Vec<Option<Path>>>, i: usize, j: usize, p: Path| {
+        let slot = &mut m[i][j];
+        *slot = Some(match slot.take() {
+            None => p,
+            Some(e) => Path::union([e, p]),
+        });
+    };
+    add(&mut m, vstart, nfa.start().index(), Path::Empty);
+    add(&mut m, nfa.accept().index(), vend, Path::Empty);
+    for s in nfa.states() {
+        for e in nfa.eps_edges(s) {
+            let w = match e.guard {
+                None => Path::Empty,
+                Some(g) => {
+                    Path::qualified(Path::Empty, pred_to_qualifier(mfa, g))
+                }
+            };
+            add(&mut m, s.index(), e.target.index(), w);
+        }
+        for t in nfa.transitions(s) {
+            let w = match t.test {
+                smoqe_automata::LabelTest::Label(l) => Path::Label(l),
+                smoqe_automata::LabelTest::Wildcard => Path::Wildcard,
+            };
+            add(&mut m, s.index(), t.target.index(), w);
+        }
+    }
+    // Eliminate original states 0..n.
+    for k in 0..n {
+        let self_loop = m[k][k].take().map(Path::star);
+        let outs: Vec<(usize, Path)> = (0..total)
+            .filter(|&j| j != k)
+            .filter_map(|j| m[k][j].clone().map(|p| (j, p)))
+            .collect();
+        for i in 0..total {
+            if i == k {
+                continue;
+            }
+            let Some(into_k) = m[i][k].take() else { continue };
+            let prefix = match &self_loop {
+                Some(l) => Path::seq([into_k.clone(), l.clone()]),
+                None => into_k.clone(),
+            };
+            for (j, q) in &outs {
+                add(&mut m, i, *j, Path::seq([prefix.clone(), q.clone()]));
+            }
+        }
+        for slot in m[k].iter_mut() {
+            *slot = None;
+        }
+    }
+    // Self-loop on the virtual endpoints cannot arise (no incoming to
+    // vstart, no outgoing from vend).
+    m[vstart][vend].take()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_rxpath::{evaluate, parse_path};
+    use smoqe_view::{derive, AccessPolicy, HOSPITAL_POLICY};
+    use smoqe_xml::{Document, Dtd, Vocabulary, HOSPITAL_DTD};
+
+    fn setup() -> (Vocabulary, Dtd, ViewSpec) {
+        let vocab = Vocabulary::new();
+        let dtd = Dtd::parse(HOSPITAL_DTD, &vocab).unwrap();
+        let policy = AccessPolicy::parse(dtd.clone(), HOSPITAL_POLICY).unwrap();
+        (vocab, dtd, derive(&policy))
+    }
+
+    #[test]
+    fn direct_rewrite_agrees_with_mfa_rewrite() {
+        let (vocab, _, spec) = setup();
+        let doc = Document::parse_str(
+            "<hospital><patient><pname>A</pname>\
+             <visit><treatment><medication>autism</medication></treatment><date>d</date></visit>\
+             <parent><patient><pname>B</pname>\
+               <visit><treatment><medication>autism</medication></treatment><date>d</date></visit>\
+             </patient></parent>\
+             </patient></hospital>",
+            &vocab,
+        )
+        .unwrap();
+        for q in [
+            "hospital/patient",
+            "hospital/patient/treatment/medication",
+            "//medication",
+            "hospital/patient[treatment]/parent/patient",
+            "hospital/patient/(parent/patient)*",
+        ] {
+            let path = parse_path(q, &vocab).unwrap();
+            let direct = rewrite_direct(&path, &spec).expect("nonempty rewriting");
+            let via_syntactic = evaluate(&doc, &direct);
+            let mfa = crate::rewrite(&path, &spec);
+            let (via_mfa, _) = smoqe_hype::evaluate_mfa(&doc, &mfa);
+            assert_eq!(via_syntactic, via_mfa, "mismatch for `{q}`");
+        }
+    }
+
+    #[test]
+    fn empty_language_returns_none() {
+        let (vocab, _, spec) = setup();
+        // pname is hidden: no path through the view reaches it.
+        let path = parse_path("//pname", &vocab).unwrap();
+        assert!(rewrite_direct(&path, &spec).is_none());
+    }
+
+    #[test]
+    fn direct_size_grows_much_faster_than_mfa_size() {
+        let (vocab, _, spec) = setup();
+        let mut ratio_growth = Vec::new();
+        for n in 1..=4 {
+            let q = format!(
+                "hospital/patient{}/treatment",
+                "/(parent/patient)*".repeat(n)
+            );
+            let path = parse_path(&q, &vocab).unwrap();
+            let mfa_size = crate::rewrite(&path, &spec).stats().total();
+            let direct_size = rewrite_direct(&path, &spec)
+                .map(|p| p.size())
+                .unwrap_or(0);
+            ratio_growth.push(direct_size as f64 / mfa_size as f64);
+        }
+        // The syntactic representation keeps losing ground.
+        assert!(
+            ratio_growth.last().unwrap() > ratio_growth.first().unwrap(),
+            "expected growing ratio, got {ratio_growth:?}"
+        );
+    }
+
+    #[test]
+    fn identity_round_trip_stays_equivalent() {
+        let (vocab, dtd, _) = setup();
+        let spec = ViewSpec::identity(&dtd);
+        let doc = Document::parse_str(
+            "<hospital><patient><pname>A</pname>\
+             <visit><treatment><test>t</test></treatment><date>d</date></visit>\
+             </patient></hospital>",
+            &vocab,
+        )
+        .unwrap();
+        for q in ["hospital/patient/pname", "//test", "hospital/patient[visit]"] {
+            let path = parse_path(q, &vocab).unwrap();
+            let direct = rewrite_direct(&path, &spec).expect("nonempty");
+            assert_eq!(
+                evaluate(&doc, &direct),
+                evaluate(&doc, &path),
+                "identity direct rewrite changed `{q}`"
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # smoqe-rewrite — answering queries on virtual XML views
+//!
+//! The reason SMOQE exists (paper §1): views used for access control are
+//! *virtual*, so a user query Q over a view V must be rewritten into an
+//! equivalent query Q′ over the underlying document T with
+//! **Q′(T) = Q(V(T))** — without ever materializing V.
+//!
+//! * [`rewrite`] — the production path: Q ↦ an [`Mfa`](smoqe_automata::Mfa)
+//!   over the source, linear in |Q| (typed product with σ inlining);
+//! * [`direct`] — the syntactic rewriting (state elimination back to
+//!   Regular XPath), worst-case exponential; kept as the strawman that
+//!   experiment E2 measures;
+//! * [`compose`] — stacked views (a view over a view) collapsed into one
+//!   view over the source, the data-integration use the intro motivates.
+//!
+//! Regular XPath is *closed* under this rewriting even for recursively
+//! defined views — closures in σ (from recursive hidden regions) and
+//! closures in Q compose inside the automaton.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod direct;
+pub mod mfa_rewrite;
+
+pub use compose::compose_views;
+pub use direct::{mfa_to_path, rewrite_direct, rewrite_direct_from};
+pub use mfa_rewrite::{rewrite, rewrite_from};

@@ -1,0 +1,45 @@
+//! Parse errors for Regular XPath.
+
+use std::fmt;
+
+/// A syntax error with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    offset: usize,
+}
+
+impl ParseError {
+    /// Creates a parse error.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// Byte offset in the query text where the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = ParseError::new("expected ']'", 17);
+        assert_eq!(e.to_string(), "expected ']' at offset 17");
+        assert_eq!(e.offset(), 17);
+    }
+}

@@ -1,0 +1,318 @@
+//! Naive reference evaluator for Regular XPath over a DOM tree.
+//!
+//! This evaluator computes the semantics **directly**: child steps
+//! enumerate children, unions merge node sets, `(p)*` is a reachability
+//! fixpoint, and qualifiers are evaluated per candidate node. It makes no
+//! use of automata or indexes, which gives it two roles in the
+//! reproduction:
+//!
+//! 1. **Correctness oracle** — every other evaluator (HyPE in DOM and StAX
+//!    mode, the two-pass baseline, with or without TAX) is tested to agree
+//!    with it;
+//! 2. **"Xalan-like" baseline** — per-node navigational evaluation stands
+//!    in for the 2006 main-memory XPath engines the demo compares against
+//!    (DESIGN.md §4).
+//!
+//! Queries run from a *virtual document node* above the root, so the first
+//! step of `hospital/patient/...` consumes the root element, matching the
+//! paper's examples.
+
+use crate::ast::{Path, Qualifier};
+use crate::nodeset::NodeSet;
+use smoqe_xml::{Document, NodeId};
+
+/// Context node encoding: `VIRTUAL` is the document node above the root.
+const VIRTUAL: u32 = u32::MAX;
+
+/// Evaluates `path` on `doc` from the virtual document root.
+pub fn evaluate(doc: &Document, path: &Path) -> NodeSet {
+    let out = eval_path(doc, path, &[VIRTUAL]);
+    NodeSet::from_sorted(
+        out.into_iter()
+            .filter(|&n| n != VIRTUAL)
+            .map(NodeId)
+            .collect(),
+    )
+}
+
+/// Evaluates `path` with the given element nodes as context set.
+pub fn evaluate_from(doc: &Document, path: &Path, context: &[NodeId]) -> NodeSet {
+    let ctx: Vec<u32> = {
+        let mut v: Vec<u32> = context.iter().map(|n| n.0).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let out = eval_path(doc, path, &ctx);
+    NodeSet::from_sorted(
+        out.into_iter()
+            .filter(|&n| n != VIRTUAL)
+            .map(NodeId)
+            .collect(),
+    )
+}
+
+/// Whether `qual` holds at `node`.
+pub fn holds(doc: &Document, qual: &Qualifier, node: NodeId) -> bool {
+    eval_qual(doc, qual, node.0)
+}
+
+fn children_of(doc: &Document, ctx: u32) -> Vec<u32> {
+    if ctx == VIRTUAL {
+        vec![doc.root().0]
+    } else {
+        doc.child_elements(NodeId(ctx)).map(|n| n.0).collect()
+    }
+}
+
+fn label_of(doc: &Document, node: u32) -> Option<smoqe_xml::Label> {
+    doc.label(NodeId(node))
+}
+
+/// The value `text() = 'c'` compares: the node's direct text content.
+/// The virtual document node has no text children.
+fn text_value(doc: &Document, ctx: u32) -> String {
+    if ctx == VIRTUAL {
+        String::new()
+    } else {
+        doc.direct_text(NodeId(ctx))
+    }
+}
+
+fn normalize(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn eval_path(doc: &Document, path: &Path, context: &[u32]) -> Vec<u32> {
+    match path {
+        Path::Empty => context.to_vec(),
+        Path::Label(l) => {
+            let mut out = Vec::new();
+            for &c in context {
+                for child in children_of(doc, c) {
+                    if label_of(doc, child) == Some(*l) {
+                        out.push(child);
+                    }
+                }
+            }
+            normalize(out)
+        }
+        Path::Wildcard => {
+            let mut out = Vec::new();
+            for &c in context {
+                out.extend(children_of(doc, c));
+            }
+            normalize(out)
+        }
+        Path::Seq(parts) => {
+            let mut cur = context.to_vec();
+            for p in parts {
+                if cur.is_empty() {
+                    break;
+                }
+                cur = eval_path(doc, p, &cur);
+            }
+            cur
+        }
+        Path::Union(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.extend(eval_path(doc, p, context));
+            }
+            normalize(out)
+        }
+        Path::Star(inner) => {
+            // Reachability fixpoint over `inner` steps.
+            let mut result: Vec<u32> = context.to_vec();
+            let mut seen: std::collections::HashSet<u32> = result.iter().copied().collect();
+            let mut frontier = result.clone();
+            while !frontier.is_empty() {
+                let next = eval_path(doc, inner, &frontier);
+                frontier = next
+                    .into_iter()
+                    .filter(|n| seen.insert(*n))
+                    .collect();
+                result.extend(frontier.iter().copied());
+            }
+            normalize(result)
+        }
+        Path::Qualified(inner, q) => {
+            let reached = eval_path(doc, inner, context);
+            reached
+                .into_iter()
+                .filter(|&n| eval_qual(doc, q, n))
+                .collect()
+        }
+    }
+}
+
+fn eval_qual(doc: &Document, qual: &Qualifier, node: u32) -> bool {
+    match qual {
+        Qualifier::True => true,
+        Qualifier::Exists(p) => !eval_path(doc, p, &[node]).is_empty(),
+        Qualifier::TextEq(p, value) => {
+            if *p == Path::Empty {
+                text_value(doc, node) == *value
+            } else {
+                eval_path(doc, p, &[node])
+                    .into_iter()
+                    .any(|n| text_value(doc, n) == *value)
+            }
+        }
+        Qualifier::Not(inner) => !eval_qual(doc, inner, node),
+        Qualifier::And(a, b) => eval_qual(doc, a, node) && eval_qual(doc, b, node),
+        Qualifier::Or(a, b) => eval_qual(doc, a, node) || eval_qual(doc, b, node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+    use smoqe_xml::Vocabulary;
+
+    fn setup(xml: &str) -> (Vocabulary, Document) {
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str(xml, &vocab).unwrap();
+        (vocab, doc)
+    }
+
+    fn run(doc: &Document, vocab: &Vocabulary, q: &str) -> Vec<u32> {
+        let p = parse_path(q, vocab).unwrap();
+        evaluate(doc, &p).iter().map(|n| n.0).collect()
+    }
+
+    fn texts(doc: &Document, vocab: &Vocabulary, q: &str) -> Vec<String> {
+        let p = parse_path(q, vocab).unwrap();
+        evaluate(doc, &p)
+            .iter()
+            .map(|n| doc.string_value(n))
+            .collect()
+    }
+
+    #[test]
+    fn child_steps() {
+        let (vocab, doc) = setup("<a><b>1</b><c>2</c><b>3</b></a>");
+        assert_eq!(texts(&doc, &vocab, "a/b"), vec!["1", "3"]);
+        assert_eq!(texts(&doc, &vocab, "a/*"), vec!["1", "2", "3"]);
+        assert_eq!(run(&doc, &vocab, "a/zzz"), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn first_step_matches_root() {
+        let (vocab, doc) = setup("<a><b/></a>");
+        assert_eq!(run(&doc, &vocab, "a"), vec![0]);
+        assert_eq!(run(&doc, &vocab, "b"), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn descendant_sugar() {
+        let (vocab, doc) = setup("<a><b><c>x</c></b><c>y</c></a>");
+        assert_eq!(texts(&doc, &vocab, "//c"), vec!["x", "y"]);
+        assert_eq!(texts(&doc, &vocab, "a//c"), vec!["x", "y"]);
+        assert_eq!(texts(&doc, &vocab, "a/b//c"), vec!["x"]);
+    }
+
+    #[test]
+    fn closure_fixpoint() {
+        // Chain a/b/a/b/... via recursion.
+        let (vocab, doc) = setup("<a><b><a><b><a/></b></a></b></a>");
+        // All `a` nodes reachable via (b/a)* from root a.
+        let res = run(&doc, &vocab, "a/(b/a)*");
+        assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    fn union_and_dedup() {
+        let (vocab, doc) = setup("<a><b>1</b><c>2</c></a>");
+        assert_eq!(texts(&doc, &vocab, "a/(b | c)"), vec!["1", "2"]);
+        assert_eq!(texts(&doc, &vocab, "a/(b | *)"), vec!["1", "2"]);
+    }
+
+    #[test]
+    fn qualifiers_filter() {
+        let (vocab, doc) = setup(
+            "<a><b><c>yes</c></b><b><d/></b><b><c>no</c></b></a>",
+        );
+        assert_eq!(run(&doc, &vocab, "a/b[c]").len(), 2);
+        assert_eq!(run(&doc, &vocab, "a/b[c = 'yes']").len(), 1);
+        assert_eq!(run(&doc, &vocab, "a/b[not(c)]").len(), 1);
+        assert_eq!(run(&doc, &vocab, "a/b[c and d]").len(), 0);
+        assert_eq!(run(&doc, &vocab, "a/b[c or d]").len(), 3);
+    }
+
+    #[test]
+    fn text_eq_on_self() {
+        let (vocab, doc) = setup("<a><b>x</b><b>y</b></a>");
+        assert_eq!(texts(&doc, &vocab, "a/b[text() = 'x']"), vec!["x"]);
+    }
+
+    #[test]
+    fn text_eq_uses_direct_text_only() {
+        // Direct text of b is "xy" (two text nodes around <c/>); the text
+        // inside <c> does not count.
+        let (vocab, doc) = setup("<a><b>x<c>HIDDEN</c>y</b><b><c>xy</c></b></a>");
+        assert_eq!(run(&doc, &vocab, "a/b[text() = 'xy']").len(), 1);
+        assert_eq!(run(&doc, &vocab, "a/b[text() = 'xHIDDENy']").len(), 0);
+    }
+
+    #[test]
+    fn answers_in_document_order() {
+        let (vocab, doc) = setup("<a><b/><c><b/></c><b/></a>");
+        let res = run(&doc, &vocab, "//b");
+        let mut sorted = res.clone();
+        sorted.sort_unstable();
+        assert_eq!(res, sorted);
+    }
+
+    #[test]
+    fn evaluate_from_context() {
+        let (vocab, doc) = setup("<a><b><c/></b><b/></a>");
+        let b = vocab.lookup("b").unwrap();
+        let first_b = doc.nodes_labeled(b).next().unwrap();
+        let p = parse_path("c", &vocab).unwrap();
+        let res = evaluate_from(&doc, &p, &[first_b]);
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn paper_q0_on_sample_document() {
+        let (vocab, doc) = setup(
+            "<hospital>\
+               <patient><pname>Ann</pname>\
+                 <visit><treatment><test>blood</test></treatment><date>d1</date></visit>\
+                 <visit><treatment><medication>headache</medication></treatment><date>d2</date></visit>\
+               </patient>\
+               <patient><pname>Bob</pname>\
+                 <visit><treatment><medication>headache</medication></treatment><date>d3</date></visit>\
+               </patient>\
+               <patient><pname>Cat</pname>\
+                 <parent><patient><pname>Dan</pname>\
+                   <visit><treatment><test>x-ray</test></treatment><date>d4</date></visit>\
+                 </patient></parent>\
+                 <visit><treatment><medication>headache</medication></treatment><date>d5</date></visit>\
+               </patient>\
+             </hospital>",
+        );
+        // Q0: patients with (parent/patient)*-reachable test AND a
+        // headache medication; select pname.
+        let names = texts(
+            &doc,
+            &vocab,
+            "hospital/patient[(parent/patient)*/visit/treatment/test and \
+             visit/treatment[medication/text() = 'headache']]/pname",
+        );
+        // Ann has her own test + headache; Bob has no test; Cat has
+        // a descendant-parent test (via parent/patient) + headache.
+        assert_eq!(names, vec!["Ann", "Cat"]);
+    }
+
+    #[test]
+    fn star_includes_zero_iterations() {
+        let (vocab, doc) = setup("<a><b/></a>");
+        // a/(b)* = {a, b}
+        assert_eq!(run(&doc, &vocab, "a/(b)*").len(), 2);
+    }
+}

@@ -1,0 +1,282 @@
+//! Tokenizer for the concrete Regular XPath syntax.
+//!
+//! Reserved words: `and`, `or`, `not(`, `text()`, `true()`. Everything else
+//! matching `[A-Za-z_][A-Za-z0-9_.-]*` is an element name.
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// A lexical token with its byte offset in the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts (for error messages).
+    pub offset: usize,
+}
+
+/// Token kinds of the Regular XPath surface syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An element name.
+    Name(String),
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `*` (wildcard step or Kleene star, disambiguated by the parser).
+    Star,
+    /// `|`
+    Pipe,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// A quoted string literal (quotes stripped).
+    Literal(String),
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not` (always followed by `(` in valid input).
+    Not,
+    /// `text()`
+    TextFn,
+    /// `true()`
+    TrueFn,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Name(n) => write!(f, "name '{n}'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::DoubleSlash => write!(f, "'//'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Pipe => write!(f, "'|'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::Literal(l) => write!(f, "literal '{l}'"),
+            TokenKind::And => write!(f, "'and'"),
+            TokenKind::Or => write!(f, "'or'"),
+            TokenKind::Not => write!(f, "'not'"),
+            TokenKind::TextFn => write!(f, "'text()'"),
+            TokenKind::TrueFn => write!(f, "'true()'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Tokenizes `input` into a vector ending with [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        let start = pos;
+        let kind = match b {
+            b'/' => {
+                if bytes.get(pos + 1) == Some(&b'/') {
+                    pos += 2;
+                    TokenKind::DoubleSlash
+                } else {
+                    pos += 1;
+                    TokenKind::Slash
+                }
+            }
+            b'*' => {
+                pos += 1;
+                TokenKind::Star
+            }
+            b'|' => {
+                pos += 1;
+                TokenKind::Pipe
+            }
+            b'(' => {
+                pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                pos += 1;
+                TokenKind::RParen
+            }
+            b'[' => {
+                pos += 1;
+                TokenKind::LBracket
+            }
+            b']' => {
+                pos += 1;
+                TokenKind::RBracket
+            }
+            b'.' => {
+                pos += 1;
+                TokenKind::Dot
+            }
+            b'=' => {
+                pos += 1;
+                TokenKind::Eq
+            }
+            q @ (b'\'' | b'"') => {
+                pos += 1;
+                let lit_start = pos;
+                while pos < bytes.len() && bytes[pos] != q {
+                    pos += 1;
+                }
+                if pos >= bytes.len() {
+                    return Err(ParseError::new("unterminated string literal", start));
+                }
+                let lit = String::from_utf8_lossy(&bytes[lit_start..pos]).into_owned();
+                pos += 1;
+                TokenKind::Literal(lit)
+            }
+            _ if is_name_start(b) => {
+                while pos < bytes.len() && is_name_byte(bytes[pos]) {
+                    pos += 1;
+                }
+                let name = std::str::from_utf8(&bytes[start..pos])
+                    .map_err(|_| ParseError::new("invalid UTF-8 in name", start))?;
+                match name {
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "not" => TokenKind::Not,
+                    "text" if bytes[pos..].starts_with(b"()") => {
+                        pos += 2;
+                        TokenKind::TextFn
+                    }
+                    "true" if bytes[pos..].starts_with(b"()") => {
+                        pos += 2;
+                        TokenKind::TrueFn
+                    }
+                    _ => TokenKind::Name(name.to_string()),
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character '{}'", other as char),
+                    pos,
+                ))
+            }
+        };
+        out.push(Token {
+            kind,
+            offset: start,
+        });
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: bytes.len(),
+    });
+    Ok(out)
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("a/b//c"),
+            vec![
+                TokenKind::Name("a".into()),
+                TokenKind::Slash,
+                TokenKind::Name("b".into()),
+                TokenKind::DoubleSlash,
+                TokenKind::Name("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_functions() {
+        assert_eq!(
+            kinds("a and not(text() = 'x') or true()"),
+            vec![
+                TokenKind::Name("a".into()),
+                TokenKind::And,
+                TokenKind::Not,
+                TokenKind::LParen,
+                TokenKind::TextFn,
+                TokenKind::Eq,
+                TokenKind::Literal("x".into()),
+                TokenKind::RParen,
+                TokenKind::Or,
+                TokenKind::TrueFn,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn text_as_plain_name_without_parens() {
+        assert_eq!(
+            kinds("text"),
+            vec![TokenKind::Name("text".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn both_quote_styles() {
+        assert_eq!(
+            kinds(r#"'a' "b""#),
+            vec![
+                TokenKind::Literal("a".into()),
+                TokenKind::Literal("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_literal_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn dashes_and_dots_in_names() {
+        assert_eq!(
+            kinds("foo-bar_baz.q"),
+            vec![TokenKind::Name("foo-bar_baz.q".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn offsets_point_at_tokens() {
+        let toks = tokenize("ab /c").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+        assert_eq!(toks[2].offset, 4);
+    }
+}

@@ -1,0 +1,435 @@
+//! Recursive-descent parser for Regular XPath.
+//!
+//! Grammar (lowest precedence first):
+//!
+//! ```text
+//! path     := union
+//! union    := seq ('|' seq)*
+//! seq      := ['/' | '//'] item (('/' | '//') item)*
+//! item     := primary ('*' if primary was a group | '[' qual ']')*
+//! primary  := NAME | '*' | '.' | '(' union ')'
+//! qual     := or
+//! or       := and ('or' and)*
+//! and      := base ('and' base)*
+//! base     := 'not' '(' qual ')' | 'true()' | 'text()' '=' LIT
+//!           | '(' qual ')'                 (if not parseable as a path)
+//!           | cmp-path ['/text()'] ['=' LIT]
+//! ```
+//!
+//! `//` desugars to `/(*)*/`. The Kleene star is only accepted after a
+//! parenthesized group (`(p)*`), so `*` elsewhere is the wildcard step —
+//! exactly the concrete syntax the paper's example Q0 uses.
+
+use crate::ast::{Path, Qualifier};
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use smoqe_xml::Vocabulary;
+
+/// Parses a Regular XPath path, interning labels into `vocab`.
+///
+/// ```
+/// use smoqe_rxpath::parse_path;
+/// use smoqe_xml::Vocabulary;
+/// let vocab = Vocabulary::new();
+/// let q0 = parse_path(
+///     "hospital/patient[(parent/patient)*/visit/treatment/test and \
+///      visit/treatment[medication/text() = 'headache']]/pname",
+///     &vocab,
+/// ).unwrap();
+/// assert!(q0.has_closure());
+/// ```
+pub fn parse_path(input: &str, vocab: &Vocabulary) -> Result<Path, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        vocab,
+    };
+    let path = p.union()?;
+    p.expect_eof()?;
+    Ok(path)
+}
+
+/// Parses a standalone qualifier (used by policy files, where annotations
+/// are written as bare qualifiers such as `visit/treatment/medication = 'autism'`).
+pub fn parse_qualifier(input: &str, vocab: &Vocabulary) -> Result<Qualifier, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        vocab,
+    };
+    let q = p.qualifier()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    vocab: &'a Vocabulary,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("expected {kind}")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.unexpected("expected end of input"))
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> ParseError {
+        ParseError::new(format!("{what}, found {}", self.peek()), self.offset())
+    }
+
+    // -- paths -------------------------------------------------------------
+
+    fn union(&mut self) -> Result<Path, ParseError> {
+        let mut parts = vec![self.seq()?];
+        while self.eat(&TokenKind::Pipe) {
+            parts.push(self.seq()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Path::union(parts)
+        })
+    }
+
+    fn seq(&mut self) -> Result<Path, ParseError> {
+        let mut parts = Vec::new();
+        // Leading '/' (absolute, a no-op from the root context) or '//'.
+        if self.eat(&TokenKind::DoubleSlash) {
+            parts.push(Path::star(Path::Wildcard));
+        } else {
+            let _ = self.eat(&TokenKind::Slash);
+        }
+        parts.push(self.item()?);
+        loop {
+            if self.eat(&TokenKind::Slash) {
+                parts.push(self.item()?);
+            } else if self.eat(&TokenKind::DoubleSlash) {
+                parts.push(Path::star(Path::Wildcard));
+                parts.push(self.item()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Path::seq(parts))
+    }
+
+    fn item(&mut self) -> Result<Path, ParseError> {
+        let (mut path, was_group) = self.primary()?;
+        // Kleene star binds only to a parenthesized group.
+        if was_group && self.eat(&TokenKind::Star) {
+            path = Path::star(path);
+        }
+        while self.eat(&TokenKind::LBracket) {
+            let q = self.qualifier()?;
+            self.expect(TokenKind::RBracket)?;
+            path = Path::qualified(path, q);
+        }
+        Ok(path)
+    }
+
+    fn primary(&mut self) -> Result<(Path, bool), ParseError> {
+        match self.peek().clone() {
+            TokenKind::Name(n) => {
+                self.bump();
+                Ok((Path::Label(self.vocab.intern(&n)), false))
+            }
+            TokenKind::Star => {
+                self.bump();
+                Ok((Path::Wildcard, false))
+            }
+            TokenKind::Dot => {
+                self.bump();
+                Ok((Path::Empty, false))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.union()?;
+                self.expect(TokenKind::RParen)?;
+                Ok((inner, true))
+            }
+            _ => Err(self.unexpected("expected a step")),
+        }
+    }
+
+    // -- qualifiers ---------------------------------------------------------
+
+    fn qualifier(&mut self) -> Result<Qualifier, ParseError> {
+        let mut q = self.qual_and()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.qual_and()?;
+            q = Qualifier::or(q, rhs);
+        }
+        Ok(q)
+    }
+
+    fn qual_and(&mut self) -> Result<Qualifier, ParseError> {
+        let mut q = self.qual_base()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.qual_base()?;
+            q = Qualifier::and(q, rhs);
+        }
+        Ok(q)
+    }
+
+    fn qual_base(&mut self) -> Result<Qualifier, ParseError> {
+        match self.peek() {
+            TokenKind::Not => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let inner = self.qualifier()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Qualifier::not(inner))
+            }
+            TokenKind::TrueFn => {
+                self.bump();
+                Ok(Qualifier::True)
+            }
+            TokenKind::TextFn => {
+                self.bump();
+                self.expect(TokenKind::Eq)?;
+                let lit = self.literal()?;
+                Ok(Qualifier::TextEq(Path::Empty, lit))
+            }
+            TokenKind::LParen => {
+                // Ambiguous: '(path)...' vs '(qual)'. Try the path route
+                // first; on failure, backtrack and parse a parenthesized
+                // qualifier.
+                let save = self.pos;
+                match self.comparison() {
+                    Ok(q) => Ok(q),
+                    Err(path_err) => {
+                        self.pos = save;
+                        self.expect(TokenKind::LParen)?;
+                        let inner = self.qualifier().map_err(|qual_err| {
+                            // Report whichever got further.
+                            if qual_err.offset() >= path_err.offset() {
+                                qual_err
+                            } else {
+                                path_err.clone()
+                            }
+                        })?;
+                        self.expect(TokenKind::RParen)?;
+                        Ok(inner)
+                    }
+                }
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    /// `cmp-path ['/text()'] ['=' LIT]` — an existence test or a text
+    /// comparison on a path.
+    fn comparison(&mut self) -> Result<Qualifier, ParseError> {
+        let path = self.cmp_seq()?;
+        if self.eat(&TokenKind::Eq) {
+            let lit = self.literal()?;
+            return Ok(Qualifier::TextEq(path, lit));
+        }
+        Ok(Qualifier::Exists(path))
+    }
+
+    /// Like [`Parser::seq`], but stops before a trailing `/text()` (which
+    /// signals a comparison) and never consumes `=`.
+    fn cmp_seq(&mut self) -> Result<Path, ParseError> {
+        let mut parts = Vec::new();
+        if self.eat(&TokenKind::DoubleSlash) {
+            parts.push(Path::star(Path::Wildcard));
+        } else {
+            let _ = self.eat(&TokenKind::Slash);
+        }
+        parts.push(self.item()?);
+        loop {
+            if self.eat(&TokenKind::Slash) {
+                if matches!(self.peek(), TokenKind::TextFn) {
+                    // `p/text() = 'c'`: text() is not a step of the path but
+                    // a comparison marker; leave Eq for comparison().
+                    self.bump();
+                    if !matches!(self.peek(), TokenKind::Eq) {
+                        return Err(self.unexpected("expected '=' after text()"));
+                    }
+                    break;
+                }
+                parts.push(self.item()?);
+            } else if self.eat(&TokenKind::DoubleSlash) {
+                parts.push(Path::star(Path::Wildcard));
+                parts.push(self.item()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Path::seq(parts))
+    }
+
+    fn literal(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Literal(l) => {
+                self.bump();
+                Ok(l)
+            }
+            _ => Err(self.unexpected("expected a string literal")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_xml::Vocabulary;
+
+    fn round_trip(input: &str) -> String {
+        let vocab = Vocabulary::new();
+        let p = parse_path(input, &vocab).unwrap();
+        p.display(&vocab).to_string()
+    }
+
+    #[test]
+    fn parses_simple_sequence() {
+        assert_eq!(round_trip("a/b/c"), "a/b/c");
+    }
+
+    #[test]
+    fn double_slash_desugars() {
+        assert_eq!(round_trip("a//b"), "a/(*)*/b");
+        assert_eq!(round_trip("//b"), "(*)*/b");
+    }
+
+    #[test]
+    fn leading_slash_is_noop() {
+        assert_eq!(round_trip("/a/b"), "a/b");
+    }
+
+    #[test]
+    fn kleene_star_on_groups() {
+        assert_eq!(round_trip("(a/b)*/c"), "(a/b)*/c");
+        assert_eq!(round_trip("(a | b)*"), "(a | b)*");
+    }
+
+    #[test]
+    fn star_after_name_is_wildcard_step() {
+        // `a/*` is "any child of a", not closure.
+        assert_eq!(round_trip("a/*"), "a/*");
+    }
+
+    #[test]
+    fn union_precedence_below_seq() {
+        assert_eq!(round_trip("a/b | c"), "a/b | c");
+        assert_eq!(round_trip("(a | b)/c"), "(a | b)/c");
+    }
+
+    #[test]
+    fn qualifiers_parse() {
+        assert_eq!(round_trip("a[b]"), "a[b]");
+        assert_eq!(round_trip("a[b and not(c)]"), "a[b and not(c)]");
+        assert_eq!(round_trip("a[b or c]/d"), "a[b or c]/d");
+        assert_eq!(round_trip("a[text() = 'x']"), "a[text() = 'x']");
+        assert_eq!(round_trip("a[b = 'x']"), "a[b = 'x']");
+        assert_eq!(round_trip("a[b/text() = 'x']"), "a[b = 'x']");
+    }
+
+    #[test]
+    fn parenthesized_qualifier_backtracks() {
+        assert_eq!(round_trip("a[(b or c) and d]"), "a[(b or c) and d]");
+        // Parenthesized *path* also works.
+        assert_eq!(round_trip("a[(b/c)*/d]"), "a[(b/c)*/d]");
+    }
+
+    #[test]
+    fn paper_query_q0_parses() {
+        let s = round_trip(
+            "hospital/patient[(parent/patient)*/visit/treatment/test and \
+             visit/treatment[medication/text() = 'headache']]/pname",
+        );
+        assert_eq!(
+            s,
+            "hospital/patient[(parent/patient)*/visit/treatment/test and \
+             visit/treatment[medication = 'headache']]/pname"
+        );
+    }
+
+    #[test]
+    fn display_reparses_to_same_ast() {
+        let vocab = Vocabulary::new();
+        for q in [
+            "a/b/c",
+            "a//b",
+            "(a/b)*/c[d and (e or not(f))]",
+            "a[b = 'v' and text() = 'w']/c | d",
+            "a/(b | c)/d",
+            "(a | (b/c)*)*",
+        ] {
+            let p1 = parse_path(q, &vocab).unwrap();
+            let printed = p1.display(&vocab).to_string();
+            let p2 = parse_path(&printed, &vocab).unwrap();
+            assert_eq!(p1, p2, "round-trip failed for {q} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let vocab = Vocabulary::new();
+        let e = parse_path("a/[b]", &vocab).unwrap_err();
+        assert!(e.to_string().contains("offset 2"), "{e}");
+        assert!(parse_path("a/b[", &vocab).is_err());
+        assert!(parse_path("a ||", &vocab).is_err());
+        assert!(parse_path("", &vocab).is_err());
+        assert!(parse_path("a)b", &vocab).is_err());
+    }
+
+    #[test]
+    fn standalone_qualifier_parsing() {
+        let vocab = Vocabulary::new();
+        let q = parse_qualifier("visit/treatment/medication = 'autism'", &vocab).unwrap();
+        match q {
+            Qualifier::TextEq(p, v) => {
+                assert_eq!(v, "autism");
+                assert_eq!(p.size(), 4); // Seq + 3 labels
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_dot_is_empty_path() {
+        let vocab = Vocabulary::new();
+        assert_eq!(parse_path(".", &vocab).unwrap(), Path::Empty);
+    }
+}

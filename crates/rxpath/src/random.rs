@@ -1,0 +1,190 @@
+//! Random query generation for property-based testing.
+//!
+//! The integration suite checks that every evaluator in the workspace
+//! agrees on randomly generated (document, query) pairs, and that rewriting
+//! over views preserves semantics. This module produces structurally random
+//! but well-formed Regular XPath over a given label alphabet.
+
+use crate::ast::{Path, Qualifier};
+use rand::Rng;
+use smoqe_xml::Label;
+
+/// Knobs for random query generation.
+#[derive(Clone, Debug)]
+pub struct QueryGenConfig {
+    /// Labels steps may use (typically the DTD's element types).
+    pub labels: Vec<Label>,
+    /// Text values comparisons may use (should overlap the document's
+    /// generator pools so that comparisons sometimes hold).
+    pub text_values: Vec<String>,
+    /// Maximum AST nesting depth.
+    pub max_depth: usize,
+    /// Whether `not(...)` may appear.
+    pub allow_negation: bool,
+    /// Probability of attaching a qualifier to a step.
+    pub qualifier_p: f64,
+}
+
+impl QueryGenConfig {
+    /// A reasonable default over the given alphabet.
+    pub fn new(labels: Vec<Label>, text_values: Vec<String>) -> Self {
+        QueryGenConfig {
+            labels,
+            text_values,
+            max_depth: 5,
+            allow_negation: true,
+            qualifier_p: 0.4,
+        }
+    }
+}
+
+/// Generates a random path.
+pub fn random_path<R: Rng>(rng: &mut R, cfg: &QueryGenConfig) -> Path {
+    gen_path(rng, cfg, cfg.max_depth)
+}
+
+/// Generates a random qualifier.
+pub fn random_qualifier<R: Rng>(rng: &mut R, cfg: &QueryGenConfig) -> Qualifier {
+    gen_qual(rng, cfg, cfg.max_depth)
+}
+
+fn random_label<R: Rng>(rng: &mut R, cfg: &QueryGenConfig) -> Path {
+    if cfg.labels.is_empty() {
+        Path::Wildcard
+    } else {
+        Path::Label(cfg.labels[rng.random_range(0..cfg.labels.len())])
+    }
+}
+
+fn gen_path<R: Rng>(rng: &mut R, cfg: &QueryGenConfig, depth: usize) -> Path {
+    if depth == 0 {
+        return random_label(rng, cfg);
+    }
+    let base = match rng.random_range(0..100) {
+        0..=34 => random_label(rng, cfg),
+        35..=44 => Path::Wildcard,
+        45..=69 => {
+            let n = rng.random_range(2..=3);
+            Path::seq((0..n).map(|_| gen_path(rng, cfg, depth - 1)))
+        }
+        70..=79 => Path::union([
+            gen_path(rng, cfg, depth - 1),
+            gen_path(rng, cfg, depth - 1),
+        ]),
+        80..=89 => Path::star(gen_path(rng, cfg, depth - 1)),
+        _ => Path::qualified(
+            gen_path(rng, cfg, depth - 1),
+            gen_qual(rng, cfg, depth - 1),
+        ),
+    };
+    if rng.random_bool(cfg.qualifier_p) && depth > 1 {
+        Path::qualified(base, gen_qual(rng, cfg, depth - 1))
+    } else {
+        base
+    }
+}
+
+fn gen_qual<R: Rng>(rng: &mut R, cfg: &QueryGenConfig, depth: usize) -> Qualifier {
+    if depth == 0 {
+        return Qualifier::Exists(random_label(rng, cfg));
+    }
+    match rng.random_range(0..100) {
+        0..=39 => Qualifier::Exists(gen_path(rng, cfg, depth - 1)),
+        40..=59 => {
+            let value = if cfg.text_values.is_empty() {
+                "v".to_string()
+            } else {
+                cfg.text_values[rng.random_range(0..cfg.text_values.len())].clone()
+            };
+            // Sometimes compare the context node's own text.
+            let path = if rng.random_bool(0.2) {
+                Path::Empty
+            } else {
+                gen_path(rng, cfg, depth - 1)
+            };
+            Qualifier::TextEq(path, value)
+        }
+        60..=74 => Qualifier::and(
+            gen_qual(rng, cfg, depth - 1),
+            gen_qual(rng, cfg, depth - 1),
+        ),
+        75..=89 => Qualifier::or(
+            gen_qual(rng, cfg, depth - 1),
+            gen_qual(rng, cfg, depth - 1),
+        ),
+        _ => {
+            if cfg.allow_negation {
+                Qualifier::not(gen_qual(rng, cfg, depth - 1))
+            } else {
+                Qualifier::Exists(gen_path(rng, cfg, depth - 1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smoqe_xml::Vocabulary;
+
+    fn config(vocab: &Vocabulary) -> QueryGenConfig {
+        QueryGenConfig::new(
+            vec![vocab.intern("a"), vocab.intern("b"), vocab.intern("c")],
+            vec!["x".into(), "y".into()],
+        )
+    }
+
+    #[test]
+    fn generated_paths_print_and_reparse() {
+        let vocab = Vocabulary::new();
+        let cfg = config(&vocab);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let p = random_path(&mut rng, &cfg);
+            let printed = p.display(&vocab).to_string();
+            let reparsed = parse_path(&printed, &vocab)
+                .unwrap_or_else(|e| panic!("unparseable output `{printed}`: {e}"));
+            assert_eq!(
+                reparsed.display(&vocab).to_string(),
+                printed,
+                "print/parse not stable"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let vocab = Vocabulary::new();
+        let mut cfg = config(&vocab);
+        cfg.max_depth = 3;
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = random_path(&mut rng, &cfg);
+            // Size grows at most exponentially in depth; 3 levels with
+            // fanout <= 3 keeps it small.
+            assert!(p.size() < 200);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let vocab = Vocabulary::new();
+        let cfg = config(&vocab);
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10)
+                .map(|_| random_path(&mut rng, &cfg).display(&vocab).to_string())
+                .collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10)
+                .map(|_| random_path(&mut rng, &cfg).display(&vocab).to_string())
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+}

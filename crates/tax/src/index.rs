@@ -1,0 +1,215 @@
+//! The TAX (Type-Aware XML) index.
+//!
+//! Paper §3, "Indexer": *"The novelty of TAX is that it classifies the
+//! information of descendants of each node based on their element types.
+//! [...] TAX is effective in pruning large document subtrees during the
+//! evaluation of XPath queries with or without '//', by keeping track of
+//! descendants of certain types that have been and have not been checked
+//! at each node."*
+//!
+//! For every node the index stores the **set of element labels occurring
+//! strictly below it**. Real documents have very few distinct such sets
+//! (every `pname` leaf shares the empty set, every `visit` shares
+//! `{treatment, date, ...}`), so sets are **interned**: the per-node data
+//! is one `u32` into a small set table. The evaluator intersects a state's
+//! required labels with a subtree's available labels to decide pruning.
+
+use smoqe_xml::{Document, LabelSet, NodeId, Vocabulary};
+use std::collections::HashMap;
+
+/// A type-aware index over one document.
+#[derive(Clone, Debug)]
+pub struct TaxIndex {
+    /// Interned distinct descendant-label sets.
+    pub(crate) sets: Vec<LabelSet>,
+    /// Per node: index into `sets`.
+    pub(crate) node_sets: Vec<u32>,
+    /// Number of labels in the vocabulary when the index was built.
+    pub(crate) num_labels: u32,
+}
+
+impl TaxIndex {
+    /// Builds the index in one bottom-up pass over `doc`.
+    pub fn build(doc: &Document) -> TaxIndex {
+        let num_labels = doc.vocabulary().len();
+        let n = doc.node_count();
+        let mut interner: HashMap<LabelSet, u32> = HashMap::new();
+        let mut sets: Vec<LabelSet> = Vec::new();
+        let empty = {
+            let s = LabelSet::with_capacity(num_labels);
+            interner.insert(s.clone(), 0);
+            sets.push(s);
+            0u32
+        };
+        let mut node_sets = vec![empty; n];
+        // NodeIds are document order (pre-order), so descending order
+        // visits children before parents.
+        for raw in (0..n as u32).rev() {
+            let node = NodeId(raw);
+            if !doc.is_element(node) {
+                continue; // text nodes keep the empty set
+            }
+            let mut acc = LabelSet::with_capacity(num_labels);
+            let mut nonempty = false;
+            for c in doc.children(node) {
+                if let Some(l) = doc.label(c) {
+                    acc.insert(l);
+                    acc.union_with(&sets[node_sets[c.index()] as usize]);
+                    nonempty = true;
+                }
+            }
+            if !nonempty {
+                continue; // leaf: empty set already assigned
+            }
+            let id = match interner.get(&acc) {
+                Some(&id) => id,
+                None => {
+                    let id = sets.len() as u32;
+                    interner.insert(acc.clone(), id);
+                    sets.push(acc);
+                    id
+                }
+            };
+            node_sets[raw as usize] = id;
+        }
+        TaxIndex {
+            sets,
+            node_sets,
+            num_labels: num_labels as u32,
+        }
+    }
+
+    /// The labels of elements occurring strictly below `node`.
+    #[inline]
+    pub fn descendant_labels(&self, node: NodeId) -> &LabelSet {
+        &self.sets[self.node_sets[node.index()] as usize]
+    }
+
+    /// Whether some element labelled `label` occurs strictly below `node`.
+    pub fn has_descendant(&self, node: NodeId, label: smoqe_xml::Label) -> bool {
+        self.descendant_labels(node).contains(label)
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.node_sets.len()
+    }
+
+    /// Number of distinct descendant-type sets (the compression the index
+    /// relies on; reported by experiment E5).
+    pub fn distinct_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let set_bytes: usize = self.sets.iter().map(|s| s.words().len() * 8).sum();
+        set_bytes + self.node_sets.len() * 4
+    }
+
+    /// Number of labels the index was built against (consistency check for
+    /// persistence).
+    pub fn num_labels(&self) -> u32 {
+        self.num_labels
+    }
+
+    /// Human-readable summary (used by the iSMOQE-substitute renderers).
+    pub fn summary(&self, vocab: &Vocabulary) -> String {
+        let mut out = format!(
+            "TAX index: {} nodes, {} distinct type sets, ~{} bytes\n",
+            self.node_count(),
+            self.distinct_sets(),
+            self.memory_bytes()
+        );
+        for (i, s) in self.sets.iter().enumerate() {
+            let names: Vec<String> = s.iter().map(|l| vocab.name(l).to_string()).collect();
+            let count = self.node_sets.iter().filter(|&&x| x == i as u32).count();
+            out.push_str(&format!(
+                "  set {i} ({count} nodes): {{{}}}\n",
+                names.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(xml: &str) -> (Vocabulary, Document) {
+        let vocab = Vocabulary::new();
+        let d = Document::parse_str(xml, &vocab).unwrap();
+        (vocab, d)
+    }
+
+    #[test]
+    fn leaf_sets_are_empty() {
+        let (_, d) = doc("<a><b/><c>t</c></a>");
+        let tax = TaxIndex::build(&d);
+        for n in d.all_nodes() {
+            if d.is_element(n) && d.child_elements(n).count() == 0 {
+                assert!(tax.descendant_labels(n).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn root_set_covers_everything() {
+        let (vocab, d) = doc("<a><b><c/></b><d/></a>");
+        let tax = TaxIndex::build(&d);
+        let root_set = tax.descendant_labels(d.root());
+        for name in ["b", "c", "d"] {
+            assert!(root_set.contains(vocab.lookup(name).unwrap()), "{name}");
+        }
+        assert!(!root_set.contains(vocab.lookup("a").unwrap()));
+    }
+
+    #[test]
+    fn recursive_labels_included() {
+        let (vocab, d) = doc("<a><b><a><c/></a></b></a>");
+        let tax = TaxIndex::build(&d);
+        // 'a' occurs below the root 'a'.
+        assert!(tax.has_descendant(d.root(), vocab.lookup("a").unwrap()));
+        assert!(tax.has_descendant(d.root(), vocab.lookup("c").unwrap()));
+    }
+
+    #[test]
+    fn interning_collapses_identical_sets() {
+        // Many identical leaf structures share one set.
+        let xml = format!("<r>{}</r>", "<x><y/></x>".repeat(50));
+        let (_, d) = doc(&xml);
+        let tax = TaxIndex::build(&d);
+        assert!(tax.distinct_sets() <= 4, "got {}", tax.distinct_sets());
+        assert_eq!(tax.node_count(), d.node_count());
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let (vocab, d) = doc(
+            "<a><b><c><d/></c></b><b><e>t</e></b><c/></a>",
+        );
+        let tax = TaxIndex::build(&d);
+        for n in d.all_nodes() {
+            let brute: LabelSet = d
+                .descendants(n)
+                .filter_map(|x| d.label(x))
+                .collect();
+            assert_eq!(
+                tax.descendant_labels(n).iter().collect::<Vec<_>>(),
+                brute.iter().collect::<Vec<_>>(),
+                "node {n:?}"
+            );
+        }
+        let _ = vocab;
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let (vocab, d) = doc("<a><b/></a>");
+        let tax = TaxIndex::build(&d);
+        let s = tax.summary(&vocab);
+        assert!(s.contains("distinct type sets"));
+        assert!(s.contains("b"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # smoqe-tax — the Type-Aware XML index
+//!
+//! TAX (paper §3, "Indexer") records, for every node of a document, the
+//! set of element types occurring in its subtree. During HyPE evaluation
+//! the engine intersects a run's *required* labels with a subtree's
+//! *available* labels and skips subtrees that cannot contribute — "pruning
+//! large document subtrees during the evaluation of XPath queries with or
+//! without '//'".
+//!
+//! * [`TaxIndex::build`] — one bottom-up pass, with descendant-type sets
+//!   interned (documents have few distinct sets);
+//! * [`TaxIndex::save`] / [`TaxIndex::load`] — compressed, versioned
+//!   on-disk format (varint sets + run-length-encoded node table), with
+//!   label names stored symbolically so indexes survive vocabulary
+//!   renumbering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod persist;
+
+pub use index::TaxIndex;

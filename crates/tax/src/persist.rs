@@ -1,0 +1,289 @@
+//! TAX persistence: compressed on-disk format.
+//!
+//! Paper §3: *"The SMOQE indexer constructs the TAX index, compresses it
+//! before it is stored in disk, and uploads it from disk when needed."*
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic "SMOQETAX" | version u32 | label count | label names (len + utf8)
+//! | set count | per set: label count + varint label ids
+//! | run count | per run: varint length + varint set id       (RLE)
+//! ```
+//!
+//! Two compression layers: sets store their member label ids as varints
+//! (instead of raw bitmaps), and the node→set mapping is run-length
+//! encoded — sibling leaves share sets, so runs are long. Labels are
+//! stored *by name* and remapped on load, so an index saved under one
+//! vocabulary loads correctly into any vocabulary containing the same
+//! names.
+
+use crate::index::TaxIndex;
+use smoqe_xml::{Label, LabelSet, Vocabulary, XmlError};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SMOQETAX";
+const VERSION: u32 = 1;
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> std::io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut out = 0u64;
+    let mut shift = 0;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        out |= ((b[0] & 0x7f) as u64) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "varint too long",
+            ));
+        }
+    }
+}
+
+impl TaxIndex {
+    /// Serializes the index (compressed) to `writer`.
+    pub fn save<W: Write>(&self, writer: &mut W, vocab: &Vocabulary) -> Result<(), XmlError> {
+        writer.write_all(MAGIC)?;
+        write_u32(writer, VERSION)?;
+        // Label names in id order for remapping on load.
+        write_u32(writer, self.num_labels)?;
+        let names = vocab.snapshot();
+        for i in 0..self.num_labels as usize {
+            let name = names
+                .get(i)
+                .map(|n| n.as_bytes())
+                .unwrap_or(b"");
+            write_varint(writer, name.len() as u64)?;
+            writer.write_all(name)?;
+        }
+        // Set table.
+        write_u32(writer, self.sets.len() as u32)?;
+        for s in &self.sets {
+            write_varint(writer, s.len() as u64)?;
+            for l in s.iter() {
+                write_varint(writer, l.0 as u64)?;
+            }
+        }
+        // RLE node -> set id.
+        let mut runs: Vec<(u64, u32)> = Vec::new();
+        for &id in &self.node_sets {
+            match runs.last_mut() {
+                Some((len, last)) if *last == id => *len += 1,
+                _ => runs.push((1, id)),
+            }
+        }
+        write_u32(writer, runs.len() as u32)?;
+        for (len, id) in runs {
+            write_varint(writer, len)?;
+            write_varint(writer, id as u64)?;
+        }
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Loads an index from `reader`, remapping labels into `vocab`.
+    pub fn load<R: Read>(reader: &mut R, vocab: &Vocabulary) -> Result<TaxIndex, XmlError> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(XmlError::Invalid("not a TAX index file".to_string()));
+        }
+        let version = read_u32(reader)?;
+        if version != VERSION {
+            return Err(XmlError::Invalid(format!(
+                "unsupported TAX version {version}"
+            )));
+        }
+        let label_count = read_u32(reader)? as usize;
+        let mut remap: Vec<Label> = Vec::with_capacity(label_count);
+        for _ in 0..label_count {
+            let len = read_varint(reader)? as usize;
+            if len > 1 << 20 {
+                return Err(XmlError::Invalid("label name too long".to_string()));
+            }
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf)?;
+            let name = String::from_utf8(buf)
+                .map_err(|_| XmlError::Invalid("label name not UTF-8".to_string()))?;
+            remap.push(vocab.intern(&name));
+        }
+        let set_count = read_u32(reader)? as usize;
+        let mut sets = Vec::with_capacity(set_count);
+        for _ in 0..set_count {
+            let n = read_varint(reader)? as usize;
+            let mut s = LabelSet::with_capacity(vocab.len());
+            for _ in 0..n {
+                let old = read_varint(reader)? as usize;
+                let new = remap.get(old).copied().ok_or_else(|| {
+                    XmlError::Invalid("set references unknown label".to_string())
+                })?;
+                s.insert(new);
+            }
+            sets.push(s);
+        }
+        let run_count = read_u32(reader)? as usize;
+        let mut node_sets = Vec::new();
+        for _ in 0..run_count {
+            let len = read_varint(reader)?;
+            let id = read_varint(reader)? as u32;
+            if id as usize >= sets.len() {
+                return Err(XmlError::Invalid("run references unknown set".to_string()));
+            }
+            for _ in 0..len {
+                node_sets.push(id);
+            }
+        }
+        Ok(TaxIndex {
+            sets,
+            node_sets,
+            num_labels: vocab.len() as u32,
+        })
+    }
+
+    /// Saves to a file path.
+    pub fn save_to_file(
+        &self,
+        path: impl AsRef<Path>,
+        vocab: &Vocabulary,
+    ) -> Result<(), XmlError> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut f, vocab)
+    }
+
+    /// Loads from a file path.
+    pub fn load_from_file(
+        path: impl AsRef<Path>,
+        vocab: &Vocabulary,
+    ) -> Result<TaxIndex, XmlError> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        TaxIndex::load(&mut f, vocab)
+    }
+
+    /// Serialized size in bytes (for the compression experiment).
+    pub fn serialized_size(&self, vocab: &Vocabulary) -> usize {
+        let mut buf = Vec::new();
+        self.save(&mut buf, vocab).expect("writing to Vec");
+        buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_xml::Document;
+
+    fn sample() -> (Vocabulary, Document, TaxIndex) {
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str(
+            &format!("<r>{}</r>", "<x><y>t</y></x><z/>".repeat(20)),
+            &vocab,
+        )
+        .unwrap();
+        let tax = TaxIndex::build(&doc);
+        (vocab, doc, tax)
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let (vocab, doc, tax) = sample();
+        let mut buf = Vec::new();
+        tax.save(&mut buf, &vocab).unwrap();
+        let loaded = TaxIndex::load(&mut &buf[..], &vocab).unwrap();
+        for n in doc.all_nodes() {
+            assert_eq!(
+                tax.descendant_labels(n).iter().collect::<Vec<_>>(),
+                loaded.descendant_labels(n).iter().collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(tax.distinct_sets(), loaded.distinct_sets());
+    }
+
+    #[test]
+    fn load_remaps_labels_into_fresh_vocabulary() {
+        let (vocab, doc, tax) = sample();
+        let mut buf = Vec::new();
+        tax.save(&mut buf, &vocab).unwrap();
+        // A vocabulary with different label numbering.
+        let vocab2 = Vocabulary::new();
+        vocab2.intern("unrelated");
+        vocab2.intern("y");
+        let loaded = TaxIndex::load(&mut &buf[..], &vocab2).unwrap();
+        let y2 = vocab2.lookup("y").unwrap();
+        // Root has y descendants under the new numbering too.
+        let root = doc.root();
+        assert!(loaded.descendant_labels(root).contains(y2));
+    }
+
+    #[test]
+    fn rle_compresses_repetitive_documents() {
+        let (vocab, _, tax) = sample();
+        let size = tax.serialized_size(&vocab);
+        // 121 nodes; raw set ids alone would be 484 bytes.
+        assert!(size < 300, "serialized {size} bytes");
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let vocab = Vocabulary::new();
+        let mut data = b"NOTATAX!".to_vec();
+        data.extend([0; 16]);
+        assert!(TaxIndex::load(&mut &data[..], &vocab).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let (vocab, _, tax) = sample();
+        let mut buf = Vec::new();
+        tax.save(&mut buf, &vocab).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(TaxIndex::load(&mut &buf[..], &vocab).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (vocab, _, tax) = sample();
+        let dir = std::env::temp_dir().join("smoqe-tax-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tax");
+        tax.save_to_file(&path, &vocab).unwrap();
+        let loaded = TaxIndex::load_from_file(&path, &vocab).unwrap();
+        assert_eq!(loaded.node_count(), tax.node_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u32::MAX as u64] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut &buf[..]).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # smoqe-view — XML security views
+//!
+//! SMOQE enforces access control by giving each user group a **virtual
+//! XML view** containing exactly the information the group may access
+//! (paper §1, §2). This crate implements the view layer:
+//!
+//! * [`policy`] — access-control policies annotating DTD edges with
+//!   `Y` / `N` / `[qualifier]` (Fig. 3(b));
+//! * [`derive`] — automatic derivation of a view specification + view DTD
+//!   from a policy (Fig. 3(c)/(d); Fan–Chan–Garofalakis security views),
+//!   producing Kleene closures for recursive hidden regions;
+//! * [`spec`] — view specifications σ (the DAD/AXSD-style annotation
+//!   mode), parsing, printing and well-formedness validation;
+//! * [`typecheck`] — static typing of Regular XPath against a DTD;
+//! * [`materialize`] — V(T) construction with view→source origins, used
+//!   by the equivalence tests and the materialization baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod derive;
+pub mod materialize;
+pub mod policy;
+pub mod spec;
+pub mod typecheck;
+
+pub use derive::derive;
+pub use materialize::{materialize, materialize_fragment, MaterializedView};
+pub use policy::{AccessPolicy, Ann, PolicyError, HOSPITAL_POLICY};
+pub use spec::{ViewError, ViewSpec};

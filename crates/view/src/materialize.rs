@@ -1,0 +1,280 @@
+//! View materialization.
+//!
+//! SMOQE never materializes views in production — that is the whole point
+//! ("views are necessarily virtual", §1). Materialization exists here for
+//! two purposes the paper itself relies on:
+//!
+//! * **semantics**: V(T) *defines* what the view contains; the rewriting
+//!   correctness statement is `Q′(T) = Q(V(T))`, which the integration
+//!   suite checks literally using this module;
+//! * **baseline**: experiment E6 compares virtual-view answering against
+//!   the materialize-then-evaluate strategy.
+//!
+//! Each view node corresponds to (is a copy of) a source node; the
+//! [`MaterializedView`] keeps that origin mapping so view-side answers can
+//! be compared against source-side answers of rewritten queries.
+
+use crate::spec::{ViewError, ViewSpec};
+use smoqe_rxpath::evaluate_from;
+use smoqe_xml::{Document, Label, NodeId, TreeBuilder};
+
+/// A materialized view document plus the view→source node mapping.
+pub struct MaterializedView {
+    /// The view document V(T).
+    pub doc: Document,
+    /// `origins[i]` = the source node the view node `i` was copied from.
+    pub origins: Vec<NodeId>,
+}
+
+impl MaterializedView {
+    /// The source node a view node was copied from.
+    pub fn origin(&self, view_node: NodeId) -> NodeId {
+        self.origins[view_node.index()]
+    }
+
+    /// Maps a set of view nodes to their (deduplicated, sorted) source
+    /// origins.
+    pub fn origins_of(&self, view_nodes: impl IntoIterator<Item = NodeId>) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = view_nodes.into_iter().map(|n| self.origin(n)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Materializes `spec` over `source`, producing V(T).
+///
+/// The caller should have run [`ViewSpec::validate`] against the source
+/// DTD; materialization itself only requires the root to match and σ to be
+/// non-nullable (checked defensively — nullable σ would make V(T)
+/// infinite).
+pub fn materialize(spec: &ViewSpec, source: &Document) -> Result<MaterializedView, ViewError> {
+    let vocab = source.vocabulary();
+    let view_root_ty = spec.view_dtd().root();
+    let src_root_ty = source.label(source.root());
+    if src_root_ty != Some(view_root_ty) {
+        return Err(ViewError::RootMismatch {
+            view: vocab.name(view_root_ty).to_string(),
+            source: src_root_ty
+                .map(|l| vocab.name(l).to_string())
+                .unwrap_or_default(),
+        });
+    }
+    for ((a, b), p) in spec.sigmas() {
+        if p.nullable() {
+            return Err(ViewError::NullableSigma(
+                vocab.name(*a).to_string(),
+                vocab.name(*b).to_string(),
+            ));
+        }
+    }
+    let mut builder = TreeBuilder::new(vocab.clone());
+    let mut origins: Vec<NodeId> = Vec::new();
+    build(
+        spec,
+        source,
+        source.root(),
+        view_root_ty,
+        &mut builder,
+        &mut origins,
+    );
+    let doc = builder.finish().expect("balanced by construction");
+    debug_assert_eq!(doc.node_count(), origins.len());
+    Ok(MaterializedView { doc, origins })
+}
+
+/// Materializes only the view subtree rooted at `node` (which must carry
+/// a view-visible label). This is how answers of rewritten queries are
+/// serialized for view users: the *view image* of the answer node — its
+/// raw source subtree would leak hidden descendants.
+pub fn materialize_fragment(
+    spec: &ViewSpec,
+    source: &Document,
+    node: NodeId,
+) -> Result<MaterializedView, ViewError> {
+    let vocab = source.vocabulary();
+    let ty = source.label(node).ok_or_else(|| {
+        ViewError::Syntax("fragment root must be an element".to_string())
+    })?;
+    if spec.view_dtd().production(ty).is_none() {
+        return Err(ViewError::UnknownEdge(
+            vocab.name(ty).to_string(),
+            "<fragment root not a view type>".to_string(),
+        ));
+    }
+    let mut builder = TreeBuilder::new(vocab.clone());
+    let mut origins: Vec<NodeId> = Vec::new();
+    build(spec, source, node, ty, &mut builder, &mut origins);
+    let doc = builder.finish().expect("balanced by construction");
+    Ok(MaterializedView { doc, origins })
+}
+
+fn build(
+    spec: &ViewSpec,
+    source: &Document,
+    src_node: NodeId,
+    ty: Label,
+    builder: &mut TreeBuilder,
+    origins: &mut Vec<NodeId>,
+) {
+    let vid = builder.start_element(ty);
+    debug_assert_eq!(vid.index(), origins.len());
+    origins.push(src_node);
+    // Text: if the view type carries text, copy the source node's direct
+    // text (concatenated), placed before element children.
+    if spec.view_dtd().allows_text(ty) {
+        let mut text = String::new();
+        for c in source.children(src_node) {
+            if let Some(t) = source.text(c) {
+                text.push_str(t);
+            }
+        }
+        if !text.is_empty() {
+            let tid = builder.next_node_id();
+            builder.text(&text);
+            // The builder may merge into a previous text node; only align
+            // origins when a node was actually created.
+            if builder.next_node_id() != tid {
+                origins.push(src_node);
+            }
+        }
+    }
+    // Children per view type, in canonical (label) order - matching the
+    // derived view DTD's production order.
+    for b in spec.view_children(ty) {
+        let Some(sigma) = spec.sigma(ty, b) else {
+            continue;
+        };
+        // σ moves strictly downward (non-nullable), so recursion depth is
+        // bounded by the source depth.
+        for child_src in evaluate_from(source, sigma, &[src_node]).iter() {
+            build(spec, source, child_src, b, builder, origins);
+        }
+    }
+    builder.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::derive;
+    use crate::policy::{AccessPolicy, HOSPITAL_POLICY};
+    use smoqe_xml::{Dtd, Vocabulary, HOSPITAL_DTD};
+
+    const SAMPLE: &str = "<hospital>\
+        <patient><pname>Ann</pname>\
+          <visit><treatment><medication>autism</medication></treatment><date>d1</date></visit>\
+          <visit><treatment><test>blood</test></treatment><date>d2</date></visit>\
+          <parent><patient><pname>Pa</pname>\
+            <visit><treatment><medication>flu</medication></treatment><date>d3</date></visit>\
+          </patient></parent>\
+        </patient>\
+        <patient><pname>Bob</pname>\
+          <visit><treatment><medication>flu</medication></treatment><date>d4</date></visit>\
+        </patient>\
+      </hospital>";
+
+    fn setup() -> (Vocabulary, Dtd, ViewSpec, Document) {
+        let vocab = Vocabulary::new();
+        let dtd = Dtd::parse(HOSPITAL_DTD, &vocab).unwrap();
+        let policy = AccessPolicy::parse(dtd.clone(), HOSPITAL_POLICY).unwrap();
+        let spec = derive(&policy);
+        let doc = Document::parse_str(SAMPLE, &vocab).unwrap();
+        dtd.validate(&doc).unwrap();
+        (vocab, dtd, spec, doc)
+    }
+
+    #[test]
+    fn hospital_view_contents() {
+        let (_, _, spec, doc) = setup();
+        let view = materialize(&spec, &doc).unwrap();
+        let xml = view.doc.to_xml();
+        // Ann took autism medication: exposed, but her name and her test
+        // treatment are not; Bob (flu only) is not exposed at all.
+        assert_eq!(
+            xml,
+            "<hospital><patient>\
+               <parent><patient><treatment><medication>flu</medication></treatment></patient></parent>\
+               <treatment><medication>autism</medication></treatment>\
+             </patient></hospital>"
+        );
+        assert!(!xml.contains("Ann"));
+        assert!(!xml.contains("Bob"));
+        assert!(!xml.contains("test"));
+        assert!(!xml.contains("date"));
+    }
+
+    #[test]
+    fn view_conforms_to_view_dtd() {
+        let (_, _, spec, doc) = setup();
+        let view = materialize(&spec, &doc).unwrap();
+        spec.view_dtd().validate(&view.doc).unwrap();
+    }
+
+    #[test]
+    fn origins_point_to_matching_source_nodes() {
+        let (_, _, spec, doc) = setup();
+        let view = materialize(&spec, &doc).unwrap();
+        for vn in view.doc.all_nodes() {
+            let origin = view.origin(vn);
+            if let Some(l) = view.doc.label(vn) {
+                assert_eq!(doc.label(origin), Some(l), "origin label mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_view_reproduces_elements() {
+        let (vocab, dtd, _, doc) = setup();
+        let spec = ViewSpec::identity(&dtd);
+        let view = materialize(&spec, &doc).unwrap();
+        // Same element structure (text placement may differ: identity view
+        // copies direct text only).
+        assert_eq!(view.doc.element_count(), doc.element_count());
+        let _ = vocab;
+    }
+
+    #[test]
+    fn root_mismatch_rejected() {
+        let (vocab, _, spec, _) = setup();
+        let other = Document::parse_str("<patient><pname>X</pname></patient>", &vocab).unwrap();
+        assert!(matches!(
+            materialize(&spec, &other),
+            Err(ViewError::RootMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_view_when_nothing_qualifies() {
+        let (vocab, _, spec, _) = setup();
+        let doc = Document::parse_str(
+            "<hospital><patient><pname>Zed</pname>\
+             <visit><treatment><test>t</test></treatment><date>d</date></visit>\
+             </patient></hospital>",
+            &vocab,
+        )
+        .unwrap();
+        let view = materialize(&spec, &doc).unwrap();
+        assert_eq!(view.doc.to_xml(), "<hospital/>");
+    }
+
+    #[test]
+    fn recursive_parents_materialize_to_arbitrary_depth() {
+        let (vocab, _, spec, _) = setup();
+        // Three levels of parent nesting, all with autism medication.
+        let xml = "<hospital><patient><pname>A</pname>\
+            <visit><treatment><medication>autism</medication></treatment><date>d</date></visit>\
+            <parent><patient><pname>B</pname>\
+              <visit><treatment><medication>autism</medication></treatment><date>d</date></visit>\
+              <parent><patient><pname>C</pname>\
+                <visit><treatment><medication>autism</medication></treatment><date>d</date></visit>\
+              </patient></parent>\
+            </patient></parent>\
+          </patient></hospital>";
+        let doc = Document::parse_str(xml, &vocab).unwrap();
+        let view = materialize(&spec, &doc).unwrap();
+        let patient = vocab.lookup("patient").unwrap();
+        assert_eq!(view.doc.nodes_labeled(patient).count(), 3);
+        spec.view_dtd().validate(&view.doc).unwrap();
+    }
+}

@@ -1,0 +1,301 @@
+//! Access-control policies over DTDs (Fig. 3(b) of the paper).
+//!
+//! A policy annotates the edges of a document DTD: each `(parent type,
+//! child type)` pair may be marked `Y` (accessible), `N` (inaccessible) or
+//! `[q]` (conditionally accessible: the child is visible iff the Regular
+//! XPath qualifier `q` holds at it). **Unannotated edges inherit the
+//! visibility of their parent context** — this is what makes `date`
+//! disappear in the paper's example (its parent `visit` is denied) while
+//! `medication` survives (its parent `treatment` is re-granted).
+
+use smoqe_rxpath::{parse_qualifier, ParseError, Qualifier};
+use smoqe_xml::{Dtd, Label};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An annotation on a DTD edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ann {
+    /// `Y`: the child elements are accessible.
+    Allow,
+    /// `N`: the child elements are hidden (their *descendants* may still
+    /// be re-granted further down).
+    Deny,
+    /// `[q]`: accessible exactly where `q` holds at the child element.
+    Cond(Qualifier),
+}
+
+/// Errors raised while building or parsing a policy.
+#[derive(Debug)]
+pub enum PolicyError {
+    /// The annotated edge does not exist in the DTD.
+    UnknownEdge {
+        /// Parent element type name.
+        parent: String,
+        /// Child element type name.
+        child: String,
+    },
+    /// A line could not be parsed.
+    Syntax(String),
+    /// A qualifier failed to parse.
+    Qualifier(ParseError),
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::UnknownEdge { parent, child } => {
+                write!(f, "annotation on unknown DTD edge ({parent}, {child})")
+            }
+            PolicyError::Syntax(s) => write!(f, "policy syntax error: {s}"),
+            PolicyError::Qualifier(e) => write!(f, "bad qualifier in policy: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// An access-control policy: a source DTD plus edge annotations.
+#[derive(Clone, Debug)]
+pub struct AccessPolicy {
+    dtd: Dtd,
+    anns: BTreeMap<(Label, Label), Ann>,
+}
+
+impl AccessPolicy {
+    /// A policy with no annotations (everything accessible).
+    pub fn allow_all(dtd: Dtd) -> Self {
+        AccessPolicy {
+            dtd,
+            anns: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying document DTD.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// Sets the annotation of edge `(parent, child)`.
+    pub fn annotate(
+        &mut self,
+        parent: Label,
+        child: Label,
+        ann: Ann,
+    ) -> Result<(), PolicyError> {
+        if !self.dtd.child_types(parent).contains(&child) {
+            let vocab = self.dtd.vocabulary();
+            return Err(PolicyError::UnknownEdge {
+                parent: vocab.name(parent).to_string(),
+                child: vocab.name(child).to_string(),
+            });
+        }
+        self.anns.insert((parent, child), ann);
+        Ok(())
+    }
+
+    /// The explicit annotation on an edge, if any.
+    pub fn annotation(&self, parent: Label, child: Label) -> Option<&Ann> {
+        self.anns.get(&(parent, child))
+    }
+
+    /// All explicit annotations in deterministic order.
+    pub fn annotations(&self) -> impl Iterator<Item = (&(Label, Label), &Ann)> {
+        self.anns.iter()
+    }
+
+    /// Number of explicit annotations.
+    pub fn len(&self) -> usize {
+        self.anns.len()
+    }
+
+    /// Whether the policy has no explicit annotations.
+    pub fn is_empty(&self) -> bool {
+        self.anns.is_empty()
+    }
+
+    /// Parses the textual policy format used throughout the examples,
+    /// mirroring Fig. 3(b):
+    ///
+    /// ```text
+    /// ann(hospital, patient) = [visit/treatment/medication = 'autism']
+    /// ann(patient, pname)    = N
+    /// ann(visit, treatment)  = [medication]
+    /// ann(parent, patient)   = Y
+    /// # comments and blank lines are ignored
+    /// ```
+    pub fn parse(dtd: Dtd, input: &str) -> Result<AccessPolicy, PolicyError> {
+        let vocab = dtd.vocabulary().clone();
+        let mut policy = AccessPolicy::allow_all(dtd);
+        for (lineno, raw) in input.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: &str| {
+                PolicyError::Syntax(format!("line {}: {msg}: `{line}`", lineno + 1))
+            };
+            let rest = line
+                .strip_prefix("ann(")
+                .ok_or_else(|| err("expected `ann(parent, child) = ...`"))?;
+            let (pair, rhs) = rest
+                .split_once(')')
+                .ok_or_else(|| err("missing `)`"))?;
+            let (parent, child) = pair
+                .split_once(',')
+                .ok_or_else(|| err("expected `parent, child`"))?;
+            let rhs = rhs
+                .trim()
+                .strip_prefix('=')
+                .ok_or_else(|| err("missing `=`"))?
+                .trim();
+            let parent = vocab.intern(parent.trim());
+            let child = vocab.intern(child.trim());
+            let ann = match rhs {
+                "Y" | "y" => Ann::Allow,
+                "N" | "n" => Ann::Deny,
+                _ => {
+                    let q = rhs
+                        .strip_prefix('[')
+                        .and_then(|r| r.strip_suffix(']'))
+                        .ok_or_else(|| err("expected Y, N or [qualifier]"))?;
+                    Ann::Cond(parse_qualifier(q, &vocab).map_err(PolicyError::Qualifier)?)
+                }
+            };
+            policy.annotate(parent, child, ann)?;
+        }
+        Ok(policy)
+    }
+
+    /// Renders the policy in the Fig. 3(b) style (productions interleaved
+    /// with their annotations).
+    pub fn to_policy_string(&self) -> String {
+        let vocab = self.dtd.vocabulary();
+        let mut out = String::new();
+        let mut order: Vec<Label> = vec![self.dtd.root()];
+        order.extend(self.dtd.element_types().filter(|&l| l != self.dtd.root()));
+        for a in order {
+            let Some(model) = self.dtd.production(a) else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "production: {} -> {}",
+                vocab.name(a),
+                model.display(vocab)
+            );
+            for b in self.dtd.child_types(a) {
+                if let Some(ann) = self.anns.get(&(a, b)) {
+                    let rhs = match ann {
+                        Ann::Allow => "Y".to_string(),
+                        Ann::Deny => "N".to_string(),
+                        Ann::Cond(q) => format!("[{}]", q.display(vocab)),
+                    };
+                    let _ = writeln!(out, "  ann({}, {}) = {}", vocab.name(a), vocab.name(b), rhs);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The access-control policy S0 of Fig. 3(b): expose only patients that
+/// took medication for autism, hiding names and test information.
+pub const HOSPITAL_POLICY: &str = r#"
+# Fig. 3(b): access control policy S0
+ann(hospital, patient)  = [visit/treatment/medication = 'autism']
+ann(patient, pname)     = N
+ann(patient, visit)     = N
+ann(visit, treatment)   = [medication]
+ann(treatment, test)    = N
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_xml::{Vocabulary, HOSPITAL_DTD};
+
+    fn hospital() -> (Vocabulary, Dtd) {
+        let vocab = Vocabulary::new();
+        let dtd = Dtd::parse(HOSPITAL_DTD, &vocab).unwrap();
+        (vocab, dtd)
+    }
+
+    #[test]
+    fn parses_paper_policy() {
+        let (vocab, dtd) = hospital();
+        let policy = AccessPolicy::parse(dtd, HOSPITAL_POLICY).unwrap();
+        assert_eq!(policy.len(), 5);
+        let patient = vocab.lookup("patient").unwrap();
+        let pname = vocab.lookup("pname").unwrap();
+        assert_eq!(policy.annotation(patient, pname), Some(&Ann::Deny));
+        let hospital = vocab.lookup("hospital").unwrap();
+        match policy.annotation(hospital, patient) {
+            Some(Ann::Cond(q)) => {
+                assert_eq!(
+                    q.display(&vocab).to_string(),
+                    "visit/treatment/medication = 'autism'"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_edges() {
+        let (_, dtd) = hospital();
+        let err = AccessPolicy::parse(dtd, "ann(hospital, pname) = N").unwrap_err();
+        assert!(err.to_string().contains("unknown DTD edge"));
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        let (_, dtd) = hospital();
+        for bad in [
+            "annotation(a, b) = N",
+            "ann(hospital, patient) == N",
+            "ann(hospital, patient) = MAYBE",
+            "ann(hospital, patient) = [unclosed",
+        ] {
+            assert!(
+                AccessPolicy::parse(dtd.clone(), bad).is_err(),
+                "accepted `{bad}`"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let (_, dtd) = hospital();
+        let policy =
+            AccessPolicy::parse(dtd, "# nothing\n\n  \nann(treatment, test) = N\n").unwrap();
+        assert_eq!(policy.len(), 1);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let (_, dtd) = hospital();
+        let policy = AccessPolicy::parse(dtd.clone(), HOSPITAL_POLICY).unwrap();
+        let printed = policy.to_policy_string();
+        assert!(printed.contains("ann(patient, pname) = N"));
+        assert!(printed.contains("production: hospital -> patient*"));
+        // Extract the ann lines and reparse.
+        let ann_lines: String = printed
+            .lines()
+            .filter(|l| l.trim_start().starts_with("ann("))
+            .map(|l| format!("{}\n", l.trim()))
+            .collect();
+        let reparsed = AccessPolicy::parse(dtd, &ann_lines).unwrap();
+        assert_eq!(reparsed.len(), policy.len());
+        for ((edge, ann), (edge2, ann2)) in policy.annotations().zip(reparsed.annotations()) {
+            assert_eq!(edge, edge2);
+            assert_eq!(ann, ann2);
+        }
+    }
+
+    #[test]
+    fn allow_all_has_no_annotations() {
+        let (_, dtd) = hospital();
+        assert!(AccessPolicy::allow_all(dtd).is_empty());
+    }
+}

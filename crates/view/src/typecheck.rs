@@ -1,0 +1,207 @@
+//! Static typing of Regular XPath against a DTD.
+//!
+//! The view machinery needs to answer "starting at an element of type A,
+//! which element types can a path end at?" — to validate user-authored
+//! view specifications (σ(A,B) must produce B-elements) and to drive the
+//! typed product construction of the rewriter. The analysis is a product
+//! of the path's NFA with the DTD's element graph; qualifiers are ignored
+//! (they only filter, so the inferred set is a sound over-approximation).
+
+use smoqe_automata::analysis::eps_closure_unguarded;
+use smoqe_automata::{Builder, StateId};
+use smoqe_rxpath::Path;
+use smoqe_xml::{Dtd, Label};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// The context a path is typed from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeContext {
+    /// The virtual document node: the first step matches the DTD root.
+    DocumentRoot,
+    /// Elements of the given types.
+    Types(BTreeSet<Label>),
+}
+
+impl TypeContext {
+    /// Context of a single element type.
+    pub fn of(label: Label) -> Self {
+        TypeContext::Types([label].into_iter().collect())
+    }
+}
+
+/// Computes the set of element types a path can end at, starting from
+/// `context`, for documents conforming to `dtd`.
+///
+/// ```
+/// use smoqe_view::typecheck::{end_types, TypeContext};
+/// use smoqe_rxpath::parse_path;
+/// use smoqe_xml::{Dtd, Vocabulary, HOSPITAL_DTD};
+/// let vocab = Vocabulary::new();
+/// let dtd = Dtd::parse(HOSPITAL_DTD, &vocab).unwrap();
+/// let p = parse_path("hospital/patient//medication", &vocab).unwrap();
+/// let ends = end_types(&p, &dtd, &TypeContext::DocumentRoot);
+/// assert_eq!(ends.len(), 1);
+/// assert!(ends.contains(&vocab.lookup("medication").unwrap()));
+/// ```
+pub fn end_types(path: &Path, dtd: &Dtd, context: &TypeContext) -> BTreeSet<Label> {
+    let mut builder = Builder::new();
+    let nfa_id = builder.build_path_nfa(path);
+    let nfa = &builder.nfas[nfa_id.index()];
+
+    // Product states: (nfa state, current type). The virtual root is a
+    // pseudo-type.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+    enum Ty {
+        Virtual,
+        Elem(Label),
+    }
+
+    let start_states = eps_closure_unguarded(nfa, &[nfa.start()]);
+    let mut queue: VecDeque<(StateId, Ty)> = VecDeque::new();
+    let mut seen: HashSet<(StateId, Ty)> = HashSet::new();
+    let contexts: Vec<Ty> = match context {
+        TypeContext::DocumentRoot => vec![Ty::Virtual],
+        TypeContext::Types(ts) => ts.iter().map(|&t| Ty::Elem(t)).collect(),
+    };
+    for &s in &start_states {
+        for &t in &contexts {
+            if seen.insert((s, t)) {
+                queue.push_back((s, t));
+            }
+        }
+    }
+    let mut ends: BTreeSet<Label> = BTreeSet::new();
+    // Record end types for nullable paths? A path ending at the context
+    // itself ends at a context type, which is only a label for Types
+    // contexts. The caller-facing contract is "types of nodes in the
+    // answer"; the context node itself is in the answer iff the path is
+    // nullable.
+    if path.nullable() {
+        if let TypeContext::Types(ts) = context {
+            ends.extend(ts.iter().copied());
+        }
+    }
+    while let Some((s, ty)) = queue.pop_front() {
+        let child_types: BTreeSet<Label> = match ty {
+            Ty::Virtual => [dtd.root()].into_iter().collect(),
+            Ty::Elem(l) => dtd.child_types(l),
+        };
+        for t in nfa.transitions(s) {
+            for &b in &child_types {
+                if !t.test.matches(b) {
+                    continue;
+                }
+                let closed = eps_closure_unguarded(nfa, &[t.target]);
+                for u in closed {
+                    if nfa.is_accept(u) {
+                        ends.insert(b);
+                    }
+                    if seen.insert((u, Ty::Elem(b))) {
+                        queue.push_back((u, Ty::Elem(b)));
+                    }
+                }
+            }
+        }
+    }
+    ends
+}
+
+/// Whether `path` can produce any node at all under `dtd` from `context`
+/// (an unsatisfiable σ is almost certainly a specification bug).
+pub fn is_satisfiable(path: &Path, dtd: &Dtd, context: &TypeContext) -> bool {
+    !end_types(path, dtd, context).is_empty() || path.nullable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_rxpath::parse_path;
+    use smoqe_xml::{Vocabulary, HOSPITAL_DTD};
+
+    fn setup() -> (Vocabulary, Dtd) {
+        let vocab = Vocabulary::new();
+        let dtd = Dtd::parse(HOSPITAL_DTD, &vocab).unwrap();
+        (vocab, dtd)
+    }
+
+    fn names(vocab: &Vocabulary, set: &BTreeSet<Label>) -> Vec<String> {
+        set.iter().map(|&l| vocab.name(l).to_string()).collect()
+    }
+
+    #[test]
+    fn simple_chain() {
+        let (vocab, dtd) = setup();
+        let p = parse_path("hospital/patient/visit", &vocab).unwrap();
+        let ends = end_types(&p, &dtd, &TypeContext::DocumentRoot);
+        assert_eq!(names(&vocab, &ends), vec!["visit"]);
+    }
+
+    #[test]
+    fn wildcard_expands_to_children() {
+        let (vocab, dtd) = setup();
+        let p = parse_path("hospital/patient/*", &vocab).unwrap();
+        let ends = end_types(&p, &dtd, &TypeContext::DocumentRoot);
+        let mut got = names(&vocab, &ends);
+        got.sort();
+        assert_eq!(got, vec!["parent", "pname", "visit"]);
+    }
+
+    #[test]
+    fn descendants_cover_recursion() {
+        let (vocab, dtd) = setup();
+        let p = parse_path("//patient", &vocab).unwrap();
+        let ends = end_types(&p, &dtd, &TypeContext::DocumentRoot);
+        assert_eq!(names(&vocab, &ends), vec!["patient"]);
+        // And patient is reachable at arbitrary depth through parent.
+        let p2 = parse_path("hospital/patient/(parent/patient)*", &vocab).unwrap();
+        let ends2 = end_types(&p2, &dtd, &TypeContext::DocumentRoot);
+        assert_eq!(names(&vocab, &ends2), vec!["patient"]);
+    }
+
+    #[test]
+    fn from_element_context() {
+        let (vocab, dtd) = setup();
+        let patient = vocab.lookup("patient").unwrap();
+        let p = parse_path("visit/treatment", &vocab).unwrap();
+        let ends = end_types(&p, &dtd, &TypeContext::of(patient));
+        assert_eq!(names(&vocab, &ends), vec!["treatment"]);
+    }
+
+    #[test]
+    fn impossible_paths_have_no_end_types() {
+        let (vocab, dtd) = setup();
+        // date has no children.
+        let p = parse_path("hospital/patient/visit/date/test", &vocab).unwrap();
+        assert!(end_types(&p, &dtd, &TypeContext::DocumentRoot).is_empty());
+        assert!(!is_satisfiable(&p, &dtd, &TypeContext::DocumentRoot));
+        // Wrong root.
+        let p2 = parse_path("patient", &vocab).unwrap();
+        assert!(end_types(&p2, &dtd, &TypeContext::DocumentRoot).is_empty());
+    }
+
+    #[test]
+    fn nullable_paths_include_context() {
+        let (vocab, dtd) = setup();
+        let patient = vocab.lookup("patient").unwrap();
+        let p = parse_path("(parent/patient)*", &vocab).unwrap();
+        let ends = end_types(&p, &dtd, &TypeContext::of(patient));
+        assert_eq!(names(&vocab, &ends), vec!["patient"]);
+    }
+
+    #[test]
+    fn qualifiers_are_ignored_for_typing() {
+        let (vocab, dtd) = setup();
+        let p = parse_path("hospital/patient[visit]/pname", &vocab).unwrap();
+        let ends = end_types(&p, &dtd, &TypeContext::DocumentRoot);
+        assert_eq!(names(&vocab, &ends), vec!["pname"]);
+    }
+
+    #[test]
+    fn union_types_accumulate() {
+        let (vocab, dtd) = setup();
+        let p = parse_path("hospital/patient/(pname | visit/date)", &vocab).unwrap();
+        let mut got = names(&vocab, &end_types(&p, &dtd, &TypeContext::DocumentRoot));
+        got.sort();
+        assert_eq!(got, vec!["date", "pname"]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Graphviz DOT output: MFAs and annotated documents.
+//!
+//! iSMOQE renders automata and trees graphically (Figs. 4–6); the DOT
+//! emitters here produce the same pictures for `dot -Tsvg`. Each NFA of an
+//! MFA becomes a cluster; guarded ε-edges are dashed and labelled with
+//! their predicate; `HasPath` predicates point (dotted) at the cluster of
+//! their path automaton — the NFA-annotated-with-AFA picture of Fig. 4(a).
+
+use crate::trace::{NodeFate, TraceCollector};
+use smoqe_automata::{LabelTest, Mfa, Pred};
+use smoqe_xml::Document;
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders an MFA as a DOT digraph.
+pub fn mfa_to_dot(mfa: &Mfa) -> String {
+    let vocab = mfa.vocabulary();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph mfa {{");
+    let _ = writeln!(out, "  rankdir=LR; compound=true;");
+    for (id, nfa) in mfa.nfas() {
+        let _ = writeln!(out, "  subgraph cluster_n{} {{", id.0);
+        let title = if id == mfa.top() {
+            format!("N{} (selection)", id.0)
+        } else {
+            format!("N{}", id.0)
+        };
+        let _ = writeln!(out, "    label=\"{title}\";");
+        for s in nfa.states() {
+            let shape = if nfa.is_accept(s) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let style = if s == nfa.start() {
+                ", style=bold"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    n{}_s{} [label=\"{}\", shape={shape}{style}];",
+                id.0, s.0, s.0
+            );
+        }
+        for s in nfa.states() {
+            for t in nfa.transitions(s) {
+                let lbl = match t.test {
+                    LabelTest::Label(l) => vocab.name(l).to_string(),
+                    LabelTest::Wildcard => "*".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "    n{}_s{} -> n{}_s{} [label=\"{}\"];",
+                    id.0,
+                    s.0,
+                    id.0,
+                    t.target.0,
+                    escape(&lbl)
+                );
+            }
+            for e in nfa.eps_edges(s) {
+                match e.guard {
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "    n{}_s{} -> n{}_s{} [label=\"eps\", style=dashed];",
+                            id.0, s.0, id.0, e.target.0
+                        );
+                    }
+                    Some(g) => {
+                        let _ = writeln!(
+                            out,
+                            "    n{}_s{} -> n{}_s{} [label=\"P{}\", style=dashed, color=blue];",
+                            id.0, s.0, id.0, e.target.0, g.0
+                        );
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // Predicate nodes + dotted links to their automata (the AFA
+    // annotation arrows of Fig. 4(a)).
+    for (id, p) in mfa.preds() {
+        let label = match p {
+            Pred::True => "true".to_string(),
+            Pred::TextEq(c) => format!("text()='{}'", escape(c)),
+            Pred::HasPath(_) => "has-path".to_string(),
+            Pred::Not(q) => format!("not P{}", q.0),
+            Pred::And(qs) => format!(
+                "and({})",
+                qs.iter().map(|q| format!("P{}", q.0)).collect::<Vec<_>>().join(",")
+            ),
+            Pred::Or(qs) => format!(
+                "or({})",
+                qs.iter().map(|q| format!("P{}", q.0)).collect::<Vec<_>>().join(",")
+            ),
+        };
+        let _ = writeln!(out, "  p{} [label=\"P{}: {label}\", shape=box];", id.0, id.0);
+        if let Pred::HasPath(n) = p {
+            let target = mfa.nfa(*n).start();
+            let _ = writeln!(
+                out,
+                "  p{} -> n{}_s{} [style=dotted, lhead=cluster_n{}];",
+                id.0, n.0, target.0, n.0
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn fate_color(fate: NodeFate) -> &'static str {
+    match fate {
+        NodeFate::Untouched => "gray90",
+        NodeFate::Visited => "white",
+        NodeFate::CandidateRejected => "lightyellow",
+        NodeFate::CandidateKept | NodeFate::ImmediateAnswer => "palegreen",
+        NodeFate::PrunedDead => "lightpink",
+        NodeFate::PrunedTax => "lightskyblue",
+    }
+}
+
+/// Renders a document tree as DOT, coloring nodes by their evaluation
+/// fate (pass `None` for a plain tree).
+pub fn document_to_dot(doc: &Document, trace: Option<&TraceCollector>) -> String {
+    let vocab = doc.vocabulary();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph doc {{");
+    let _ = writeln!(out, "  node [style=filled];");
+    for n in doc.all_nodes() {
+        let label = match doc.label(n) {
+            Some(l) => vocab.name(l).to_string(),
+            None => {
+                let t: String = doc.text(n).unwrap_or_default().chars().take(12).collect();
+                format!("\"{t}\"")
+            }
+        };
+        let color = trace
+            .map(|t| fate_color(t.fate(n.0)))
+            .unwrap_or("white");
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", fillcolor={color}];",
+            n.0,
+            escape(&label)
+        );
+        if let Some(p) = doc.parent(n) {
+            let _ = writeln!(out, "  n{} -> n{};", p.0, n.0);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_automata::compile;
+    use smoqe_hype::dom::{evaluate_mfa_with, DomOptions};
+    use smoqe_rxpath::parse_path;
+    use smoqe_xml::Vocabulary;
+
+    #[test]
+    fn mfa_dot_is_wellformed_ish() {
+        let vocab = Vocabulary::new();
+        let path = parse_path("a/b[c = 'v' and not(d)]", &vocab).unwrap();
+        let mfa = compile(&path, &vocab);
+        let dot = mfa_to_dot(&mfa);
+        assert!(dot.starts_with("digraph mfa {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("cluster_n0"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("has-path"));
+        assert_eq!(dot.matches("subgraph").count(), mfa.nfa_count());
+    }
+
+    #[test]
+    fn document_dot_colors_by_fate() {
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str("<a><z><b/></z><b/></a>", &vocab).unwrap();
+        let path = parse_path("a/b", &vocab).unwrap();
+        let mfa = compile(&path, &vocab);
+        let mut trace = crate::trace::TraceCollector::new();
+        evaluate_mfa_with(&doc, &mfa, &DomOptions::default(), &mut trace);
+        let dot = document_to_dot(&doc, Some(&trace));
+        assert!(dot.contains("palegreen")); // answer
+        assert!(dot.contains("lightpink")); // pruned z
+        assert!(dot.contains("n0 -> n1"));
+    }
+
+    #[test]
+    fn plain_document_dot() {
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str("<a>t</a>", &vocab).unwrap();
+        let dot = document_to_dot(&doc, None);
+        assert!(dot.contains("fillcolor=white"));
+        assert!(dot.contains("\\\"t\\\""));
+    }
+}

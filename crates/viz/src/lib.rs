@@ -1,0 +1,24 @@
+//! # smoqe-viz — visualization (the iSMOQE substitute)
+//!
+//! The original demo shipped a Java GUI (iSMOQE) that visualized queries,
+//! automata, indexes and the internals of query evaluation (paper §2–§3,
+//! Figs. 2, 4(b), 5, 6). Per the reproduction plan (DESIGN.md §4) this
+//! crate renders the same artifacts as text and Graphviz DOT:
+//!
+//! * [`trace::TraceCollector`] — an [`EvalObserver`](smoqe_hype::EvalObserver)
+//!   recording visits, candidates, prunings and predicate instances;
+//! * [`ascii`] — MFA listings, annotated trees ("node colors"),
+//!   chronological trace logs;
+//! * [`dot`] — DOT digraphs of MFAs (NFA clusters + dashed AFA links,
+//!   Fig. 4(a)) and of documents colored by evaluation fate (Fig. 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod dot;
+pub mod trace;
+
+pub use ascii::{annotated_tree, mfa_listing, trace_log};
+pub use dot::{document_to_dot, mfa_to_dot};
+pub use trace::{NodeFate, TraceCollector, TraceEvent};

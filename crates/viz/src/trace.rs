@@ -1,0 +1,206 @@
+//! Trace collection: recording what the evaluator did.
+//!
+//! iSMOQE "marks nodes in an XML document with different colors,
+//! indicating whether or not a node is visited during the query
+//! evaluation, whether or not it is put in the auxiliary structure Cans,
+//! and which optimization techniques contribute to its pruning" (§3). The
+//! [`TraceCollector`] hooks into the evaluator via
+//! [`EvalObserver`] and records exactly those facts; the renderers in
+//! [`crate::ascii`] and [`crate::dot`] turn them into pictures.
+
+use smoqe_hype::{EvalObserver, PruneReason};
+use smoqe_xml::Label;
+use std::collections::HashMap;
+
+/// The fate of a node during evaluation (the "color" of iSMOQE).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeFate {
+    /// Never reached (parent pruned or traversal ended first).
+    Untouched,
+    /// Entered by the traversal.
+    Visited,
+    /// Parked in Cans, later rejected.
+    CandidateRejected,
+    /// Parked in Cans, later kept.
+    CandidateKept,
+    /// Answer proven immediately at discovery.
+    ImmediateAnswer,
+    /// Subtree skipped because all runs died.
+    PrunedDead,
+    /// Subtree skipped thanks to the TAX index.
+    PrunedTax,
+}
+
+/// One recorded event, in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Node entered at the given depth.
+    Enter {
+        /// Node id.
+        node: u32,
+        /// Element label.
+        label: Label,
+        /// Depth in the tree.
+        depth: usize,
+    },
+    /// Node left.
+    Leave {
+        /// Node id.
+        node: u32,
+    },
+    /// A subtree was skipped.
+    Pruned {
+        /// Root of the skipped subtree.
+        node: u32,
+        /// Why it was skipped.
+        reason: PruneReason,
+    },
+    /// A candidate was discovered.
+    Candidate {
+        /// The candidate node.
+        node: u32,
+        /// Whether it was provable immediately.
+        immediate: bool,
+    },
+    /// A predicate instance was spawned at a node.
+    InstanceSpawned {
+        /// Instance id.
+        inst: usize,
+        /// Node it is pinned to.
+        node: u32,
+    },
+    /// A predicate instance resolved.
+    InstanceResolved {
+        /// Instance id.
+        inst: usize,
+        /// Its truth value.
+        value: bool,
+    },
+    /// The final Cans pass decided a candidate.
+    CandidateResolved {
+        /// The candidate node.
+        node: u32,
+        /// Whether it is in the answer.
+        kept: bool,
+    },
+}
+
+/// Collects evaluation events and per-node fates.
+#[derive(Default, Debug)]
+pub struct TraceCollector {
+    /// All events in occurrence order.
+    pub events: Vec<TraceEvent>,
+    fates: HashMap<u32, NodeFate>,
+}
+
+impl TraceCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fate of a node after evaluation.
+    pub fn fate(&self, node: u32) -> NodeFate {
+        self.fates.get(&node).copied().unwrap_or(NodeFate::Untouched)
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl EvalObserver for TraceCollector {
+    fn enter_node(&mut self, node: u32, label: Label, depth: usize) {
+        self.events.push(TraceEvent::Enter { node, label, depth });
+        self.fates.entry(node).or_insert(NodeFate::Visited);
+    }
+
+    fn leave_node(&mut self, node: u32) {
+        self.events.push(TraceEvent::Leave { node });
+    }
+
+    fn subtree_pruned(&mut self, parent: u32, _label: Label, reason: PruneReason) {
+        self.events.push(TraceEvent::Pruned {
+            node: parent,
+            reason,
+        });
+        self.fates.insert(
+            parent,
+            match reason {
+                PruneReason::DeadRuns => NodeFate::PrunedDead,
+                PruneReason::TaxIndex => NodeFate::PrunedTax,
+            },
+        );
+    }
+
+    fn candidate(&mut self, node: u32, immediate: bool) {
+        self.events.push(TraceEvent::Candidate { node, immediate });
+        if immediate {
+            self.fates.insert(node, NodeFate::ImmediateAnswer);
+        }
+    }
+
+    fn instance_spawned(&mut self, inst: usize, node: u32) {
+        self.events.push(TraceEvent::InstanceSpawned { inst, node });
+    }
+
+    fn instance_resolved(&mut self, inst: usize, value: bool) {
+        self.events.push(TraceEvent::InstanceResolved { inst, value });
+    }
+
+    fn candidate_resolved(&mut self, node: u32, kept: bool) {
+        self.events.push(TraceEvent::CandidateResolved { node, kept });
+        self.fates.insert(
+            node,
+            if kept {
+                NodeFate::CandidateKept
+            } else {
+                NodeFate::CandidateRejected
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_automata::compile;
+    use smoqe_hype::dom::{evaluate_mfa_with, DomOptions};
+    use smoqe_rxpath::parse_path;
+    use smoqe_xml::{Document, Vocabulary};
+
+    #[test]
+    fn collects_fates_for_q_with_predicate() {
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str("<a><b><x/><w/></b><b><x/></b></a>", &vocab).unwrap();
+        let path = parse_path("a/b[w]/x", &vocab).unwrap();
+        let mfa = compile(&path, &vocab);
+        let mut trace = TraceCollector::new();
+        let (answers, _) = evaluate_mfa_with(&doc, &mfa, &DomOptions::default(), &mut trace);
+        assert_eq!(answers.len(), 1);
+        // First x (node 2) kept, second x (node 5) rejected.
+        assert_eq!(trace.fate(2), NodeFate::CandidateKept);
+        assert_eq!(trace.fate(5), NodeFate::CandidateRejected);
+        assert_eq!(trace.fate(0), NodeFate::Visited);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn records_pruned_subtrees() {
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str("<a><z><b/></z><b/></a>", &vocab).unwrap();
+        let path = parse_path("a/b", &vocab).unwrap();
+        let mfa = compile(&path, &vocab);
+        let mut trace = TraceCollector::new();
+        evaluate_mfa_with(&doc, &mfa, &DomOptions::default(), &mut trace);
+        // The z subtree was skipped (dead runs).
+        assert_eq!(trace.fate(1), NodeFate::PrunedDead);
+        assert_eq!(trace.fate(2), NodeFate::Untouched);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the XML substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing, validating or generating XML.
+#[derive(Debug)]
+pub enum XmlError {
+    /// Syntactically malformed XML input. The message includes a byte
+    /// offset and line number where available.
+    Malformed(String),
+    /// Structurally well-formed XML that violates a DTD constraint.
+    Invalid(String),
+    /// A DTD declaration could not be parsed.
+    DtdSyntax(String),
+    /// Underlying I/O failure while reading or writing.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Malformed(m) => write!(f, "malformed XML: {m}"),
+            XmlError::Invalid(m) => write!(f, "document invalid against DTD: {m}"),
+            XmlError::DtdSyntax(m) => write!(f, "DTD syntax error: {m}"),
+            XmlError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XmlError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for XmlError {
+    fn from(e: std::io::Error) -> Self {
+        XmlError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = XmlError::Malformed("unexpected '<' at offset 3 (line 1)".into());
+        assert!(e.to_string().contains("offset 3"));
+        let e = XmlError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+}

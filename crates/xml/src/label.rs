@@ -1,0 +1,205 @@
+//! Interned element labels.
+//!
+//! Every element name ("tag") occurring in a document, DTD, policy or query
+//! is interned into a [`Vocabulary`], yielding a dense [`Label`] id. All
+//! automata and indexes in SMOQE operate on `Label` ids instead of strings:
+//! transitions compare a `u32`, and the TAX index can represent "the set of
+//! element types below this node" as a bitset indexed by `Label`.
+//!
+//! A `Vocabulary` is a cheaply clonable handle (`Arc` inside); documents,
+//! DTDs, queries and indexes that are used together must share one handle so
+//! that label identity is consistent across them.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// A dense interned identifier for an element name.
+///
+/// Labels are only meaningful relative to the [`Vocabulary`] that produced
+/// them; two artifacts that should be combined (a document and a query, a
+/// document and an index, ...) must share one vocabulary.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The dense index of this label, usable as a bitset position.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({})", self.0)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    names: Vec<Arc<str>>,
+    by_name: HashMap<Arc<str>, Label>,
+}
+
+/// A thread-safe, cheaply clonable element-name interner.
+///
+/// The vocabulary is append-only: labels are never removed, so a `Label`
+/// obtained from a vocabulary stays valid for its lifetime.
+///
+/// ```
+/// use smoqe_xml::Vocabulary;
+/// let vocab = Vocabulary::new();
+/// let a = vocab.intern("hospital");
+/// assert_eq!(vocab.intern("hospital"), a);
+/// assert_eq!(&*vocab.name(a), "hospital");
+/// ```
+#[derive(Clone, Default)]
+pub struct Vocabulary {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its label. Idempotent.
+    pub fn intern(&self, name: &str) -> Label {
+        // Fast path: read lock only.
+        if let Some(&l) = self.inner.read().unwrap().by_name.get(name) {
+            return l;
+        }
+        let mut inner = self.inner.write().unwrap();
+        if let Some(&l) = inner.by_name.get(name) {
+            return l; // raced with another writer
+        }
+        let l = Label(inner.names.len() as u32);
+        let shared: Arc<str> = Arc::from(name);
+        inner.names.push(shared.clone());
+        inner.by_name.insert(shared, l);
+        l
+    }
+
+    /// Looks up an already-interned name without modifying the vocabulary.
+    pub fn lookup(&self, name: &str) -> Option<Label> {
+        self.inner.read().unwrap().by_name.get(name).copied()
+    }
+
+    /// The name interned for `label` (cheap `Arc<str>` clone).
+    ///
+    /// # Panics
+    /// Panics if `label` was produced by a different vocabulary and is out
+    /// of range for this one.
+    pub fn name(&self, label: Label) -> Arc<str> {
+        self.inner.read().unwrap().names[label.index()].clone()
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().names.len()
+    }
+
+    /// Whether no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of all names in interning order. Index `i` is `Label(i)`.
+    ///
+    /// Useful for hot loops (serialization, rendering) that want to resolve
+    /// labels without taking the lock per node.
+    pub fn snapshot(&self) -> Vec<Arc<str>> {
+        self.inner.read().unwrap().names.clone()
+    }
+
+    /// Whether two handles refer to the same underlying vocabulary.
+    pub fn same_as(&self, other: &Vocabulary) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read().unwrap();
+        f.debug_map()
+            .entries(inner.names.iter().enumerate())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let v = Vocabulary::new();
+        let a = v.intern("hospital");
+        let b = v.intern("patient");
+        let a2 = v.intern("hospital");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn labels_are_dense_from_zero() {
+        let v = Vocabulary::new();
+        let ids: Vec<u32> = ["a", "b", "c", "d"].iter().map(|n| v.intern(n).0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let v = Vocabulary::new();
+        let l = v.intern("treatment");
+        assert_eq!(&*v.name(l), "treatment");
+        assert_eq!(v.lookup("treatment"), Some(l));
+        assert_eq!(v.lookup("missing"), None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let v = Vocabulary::new();
+        let v2 = v.clone();
+        let a = v.intern("x");
+        assert_eq!(v2.lookup("x"), Some(a));
+        assert!(v.same_as(&v2));
+        assert!(!v.same_as(&Vocabulary::new()));
+    }
+
+    #[test]
+    fn snapshot_matches_labels() {
+        let v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let snap = v.snapshot();
+        assert_eq!(&*snap[0], "x");
+        assert_eq!(&*snap[1], "y");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let v = Vocabulary::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let v = v.clone();
+                std::thread::spawn(move || {
+                    let mut ids = vec![];
+                    for i in 0..64 {
+                        ids.push(v.intern(&format!("label{i}")));
+                    }
+                    ids
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Label>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(v.len(), 64);
+    }
+}

@@ -1,0 +1,207 @@
+//! Compact bitsets over [`Label`]s.
+//!
+//! Used by the TAX index ("the set of element types occurring below this
+//! node") and by the automata analyses ("the labels a state still needs to
+//! reach acceptance"). Labels are dense (interned), so a `Vec<u64>` bitmap
+//! is the natural representation.
+
+use crate::label::Label;
+
+/// A fixed-capacity bitset over labels `0..capacity`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct LabelSet {
+    words: Vec<u64>,
+}
+
+impl LabelSet {
+    /// An empty set able to hold labels `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LabelSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Grows the set so it can hold `label`.
+    fn ensure(&mut self, label: Label) {
+        let word = label.index() / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+    }
+
+    /// Inserts a label. Returns whether it was newly inserted.
+    pub fn insert(&mut self, label: Label) -> bool {
+        self.ensure(label);
+        let (w, b) = (label.index() / 64, label.index() % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes a label.
+    pub fn remove(&mut self, label: Label) {
+        let (w, b) = (label.index() / 64, label.index() % 64);
+        if w < self.words.len() {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, label: Label) -> bool {
+        let (w, b) = (label.index() / 64, label.index() % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Adds every label of `other` into `self`. Returns whether `self`
+    /// changed.
+    pub fn union_with(&mut self, other: &LabelSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Keeps only labels present in both sets.
+    pub fn intersect_with(&mut self, other: &LabelSet) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Whether the two sets share any label.
+    pub fn intersects(&self, other: &LabelSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether every label of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &LabelSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of labels in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Removes all labels.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Iterates over the labels in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Label> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| Label((wi * 64 + b) as u32))
+        })
+    }
+
+    /// The raw 64-bit words (little-endian bit order), for persistence.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a set from raw words (inverse of [`LabelSet::words`]).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        LabelSet { words }
+    }
+}
+
+impl FromIterator<Label> for LabelSet {
+    fn from_iter<T: IntoIterator<Item = Label>>(iter: T) -> Self {
+        let mut s = LabelSet::default();
+        for l in iter {
+            s.insert(l);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = LabelSet::with_capacity(4);
+        assert!(s.insert(l(3)));
+        assert!(!s.insert(l(3)));
+        assert!(s.contains(l(3)));
+        assert!(!s.contains(l(2)));
+        s.remove(l(3));
+        assert!(!s.contains(l(3)));
+    }
+
+    #[test]
+    fn grows_past_capacity() {
+        let mut s = LabelSet::with_capacity(1);
+        s.insert(l(100));
+        assert!(s.contains(l(100)));
+        assert!(!s.contains(l(99)));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a: LabelSet = [l(1), l(64), l(65)].into_iter().collect();
+        let b: LabelSet = [l(64), l(2)].into_iter().collect();
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert!(!u.union_with(&b));
+        assert_eq!(u.len(), 4);
+        assert!(a.intersects(&b));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![l(64)]);
+    }
+
+    #[test]
+    fn subset_checks() {
+        let small: LabelSet = [l(1), l(2)].into_iter().collect();
+        let big: LabelSet = [l(1), l(2), l(3)].into_iter().collect();
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(LabelSet::default().is_subset_of(&small));
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_intersect() {
+        let a: LabelSet = [l(0)].into_iter().collect();
+        let b: LabelSet = [l(1)].into_iter().collect();
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: LabelSet = [l(70), l(3), l(64)].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![l(3), l(64), l(70)]);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let s: LabelSet = [l(5), l(130)].into_iter().collect();
+        let s2 = LabelSet::from_words(s.words().to_vec());
+        assert_eq!(s, s2);
+    }
+}

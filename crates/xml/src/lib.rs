@@ -1,0 +1,42 @@
+//! # smoqe-xml — the XML substrate of the SMOQE reproduction
+//!
+//! SMOQE (VLDB 2006) evaluates Regular XPath queries over XML documents in
+//! two modes: **DOM** (the whole tree in memory) and **StAX** (one
+//! sequential scan of the serialized document). No off-the-shelf crate is
+//! used; this crate implements everything the engine needs from XML:
+//!
+//! * [`Vocabulary`] / [`Label`] — interned element names; all automata and
+//!   indexes work over dense label ids.
+//! * [`Document`] / [`TreeBuilder`] — an arena DOM whose node ids are in
+//!   document order.
+//! * [`stax::PullParser`] — a StAX-style pull parser over any `BufRead`.
+//! * [`parse`] — DOM parsing built on the pull parser.
+//! * [`serialize`] — compact/pretty serialization and an event-driven
+//!   [`serialize::XmlWriter`] used by the streaming evaluator.
+//! * [`Dtd`] / [`ContentModel`] — recursive DTDs with parsing, validation,
+//!   and the structural analyses (child alphabets, reachability, recursion,
+//!   minimum heights) the view-derivation algorithm needs.
+//! * [`generate`](crate::generate) — seeded synthetic document generation
+//!   from a DTD, in DOM or streaming form (the paper's unavailable hospital
+//!   data is substituted this way; see DESIGN.md §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dtd;
+pub mod error;
+pub mod generate;
+pub mod label;
+pub mod labelset;
+pub mod parse;
+pub mod serialize;
+pub mod stax;
+pub mod tree;
+
+pub use dtd::{ContentModel, Dtd, HOSPITAL_DTD};
+pub use error::XmlError;
+pub use generate::{generate, generate_to_writer, GeneratorConfig};
+pub use label::{Label, Vocabulary};
+pub use labelset::LabelSet;
+pub use parse::{parse_document, parse_file, parse_reader};
+pub use tree::{Attribute, Document, NodeId, NodeKind, TreeBuilder};

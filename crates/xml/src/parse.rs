@@ -1,0 +1,92 @@
+//! DOM-mode parsing: pull events into an arena [`Document`].
+//!
+//! This is the paper's "DOM mode" loading path (§2): "the whole document
+//! tree will be loaded into memory in order to evaluate a query". The
+//! parser is a thin adapter from [`crate::stax::PullParser`] events to a
+//! [`crate::tree::TreeBuilder`], so DOM and StAX modes are guaranteed to
+//! agree on what a document contains.
+
+use crate::error::XmlError;
+use crate::label::Vocabulary;
+use crate::stax::{PullParser, XmlEvent};
+use crate::tree::{Document, TreeBuilder};
+use std::io::BufRead;
+use std::path::Path;
+
+/// Parses a complete document from a string.
+pub fn parse_document(input: &str, vocab: &Vocabulary) -> Result<Document, XmlError> {
+    parse_reader(input.as_bytes(), vocab)
+}
+
+/// Parses a complete document from any buffered reader.
+pub fn parse_reader<R: BufRead>(reader: R, vocab: &Vocabulary) -> Result<Document, XmlError> {
+    let mut parser = PullParser::new(reader);
+    let mut builder = TreeBuilder::new(vocab.clone());
+    loop {
+        match parser.next_event()? {
+            XmlEvent::StartElement { name, attributes } => {
+                builder.start_element_named(&name);
+                for a in attributes {
+                    builder.attribute(&a.name, &a.value);
+                }
+            }
+            XmlEvent::Text(t) => builder.text(&t),
+            XmlEvent::EndElement { .. } => builder.end_element(),
+            XmlEvent::EndDocument => break,
+        }
+    }
+    builder.finish()
+}
+
+/// Parses a document from a file on disk.
+pub fn parse_file(path: impl AsRef<Path>, vocab: &Vocabulary) -> Result<Document, XmlError> {
+    let file = std::fs::File::open(path)?;
+    parse_reader(std::io::BufReader::new(file), vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_builds_expected_tree() {
+        let vocab = Vocabulary::new();
+        let doc = parse_document("<a><b>one</b><b>two</b></a>", &vocab).unwrap();
+        let root = doc.root();
+        let b = vocab.lookup("b").unwrap();
+        let texts: Vec<String> = doc
+            .children(root)
+            .filter(|&c| doc.label(c) == Some(b))
+            .map(|c| doc.string_value(c))
+            .collect();
+        assert_eq!(texts, vec!["one", "two"]);
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        let vocab = Vocabulary::new();
+        assert!(parse_document("<a><b></a>", &vocab).is_err());
+        assert!(parse_document("", &vocab).is_err());
+    }
+
+    #[test]
+    fn parse_file_round_trip() {
+        let vocab = Vocabulary::new();
+        let dir = std::env::temp_dir().join("smoqe-xml-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.xml");
+        std::fs::write(&path, "<a><b>hi</b></a>").unwrap();
+        let doc = parse_file(&path, &vocab).unwrap();
+        assert_eq!(doc.to_xml(), "<a><b>hi</b></a>");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_vocabulary_across_documents() {
+        let vocab = Vocabulary::new();
+        let d1 = parse_document("<a><b/></a>", &vocab).unwrap();
+        let d2 = parse_document("<b><a/></b>", &vocab).unwrap();
+        // Same names, same labels, regardless of parse order.
+        assert_eq!(d1.label(d1.root()), d2.label(d2.first_child(d2.root()).unwrap()));
+    }
+}

@@ -1,0 +1,619 @@
+//! A StAX-style pull parser.
+//!
+//! The paper's "StAX mode" evaluates queries in **one sequential scan** of
+//! the document without materializing a tree (§2, "XML documents"). This
+//! module provides the substrate: [`PullParser`] reads from any
+//! [`BufRead`] and yields [`XmlEvent`]s on demand. It never buffers more
+//! than the current token, so peak memory is O(token + open-element stack).
+//!
+//! Supported syntax: elements, attributes (single or double quoted),
+//! character data, the five predefined entities plus numeric character
+//! references, CDATA sections, comments, processing instructions and a
+//! DOCTYPE declaration (with optional internal subset), all of which except
+//! elements/text/attributes are skipped. This is the data-centric subset the
+//! SMOQE workloads exercise.
+
+use crate::error::XmlError;
+use crate::tree::Attribute;
+use std::io::BufRead;
+
+/// A parsing event pulled from the input stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v" ...>` (also emitted for self-closing elements,
+    /// immediately followed by a matching [`XmlEvent::EndElement`]).
+    StartElement {
+        /// Element name as written.
+        name: String,
+        /// Attributes in source order, entities resolved.
+        attributes: Vec<Attribute>,
+    },
+    /// Character data with entities resolved and CDATA unwrapped.
+    Text(String),
+    /// `</name>`.
+    EndElement {
+        /// Element name as written.
+        name: String,
+    },
+    /// End of input after the root element closed.
+    EndDocument,
+}
+
+/// Streaming pull parser over a [`BufRead`].
+///
+/// ```
+/// use smoqe_xml::stax::{PullParser, XmlEvent};
+/// let mut p = PullParser::from_str("<a x='1'><b>hi</b></a>");
+/// assert!(matches!(p.next_event().unwrap(), XmlEvent::StartElement { name, .. } if name == "a"));
+/// assert!(matches!(p.next_event().unwrap(), XmlEvent::StartElement { name, .. } if name == "b"));
+/// assert!(matches!(p.next_event().unwrap(), XmlEvent::Text(t) if t == "hi"));
+/// ```
+pub struct PullParser<R: BufRead> {
+    reader: R,
+    /// One-byte lookahead.
+    peeked: Option<u8>,
+    offset: u64,
+    line: u64,
+    /// Names of currently open elements (well-formedness checking).
+    stack: Vec<String>,
+    seen_root: bool,
+    finished: bool,
+    /// Pending EndElement for a self-closing tag.
+    pending_end: Option<String>,
+    keep_whitespace: bool,
+}
+
+impl PullParser<&[u8]> {
+    /// Parses from an in-memory string.
+    #[allow(clippy::should_implement_trait)] // not fallible-parse semantics
+    pub fn from_str(input: &str) -> PullParser<&[u8]> {
+        PullParser::new(input.as_bytes())
+    }
+}
+
+impl<R: BufRead> PullParser<R> {
+    /// Creates a parser over `reader`. Whitespace-only text between
+    /// elements is skipped by default (see [`PullParser::keep_whitespace`]).
+    pub fn new(reader: R) -> Self {
+        PullParser {
+            reader,
+            peeked: None,
+            offset: 0,
+            line: 1,
+            stack: Vec::new(),
+            seen_root: false,
+            finished: false,
+            pending_end: None,
+            keep_whitespace: false,
+        }
+    }
+
+    /// Controls whether whitespace-only text nodes are reported
+    /// (default: `false`, matching data-centric processing).
+    pub fn keep_whitespace(mut self, keep: bool) -> Self {
+        self.keep_whitespace = keep;
+        self
+    }
+
+    /// Current nesting depth (number of open elements).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Bytes consumed so far.
+    pub fn byte_offset(&self) -> u64 {
+        self.offset
+    }
+
+    fn err(&self, msg: impl std::fmt::Display) -> XmlError {
+        XmlError::Malformed(format!(
+            "{msg} at offset {} (line {})",
+            self.offset, self.line
+        ))
+    }
+
+    fn peek(&mut self) -> Result<Option<u8>, XmlError> {
+        if self.peeked.is_none() {
+            let mut byte = [0u8; 1];
+            let n = read_one(&mut self.reader, &mut byte)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.peeked = Some(byte[0]);
+        }
+        Ok(self.peeked)
+    }
+
+    fn bump(&mut self) -> Result<Option<u8>, XmlError> {
+        let b = self.peek()?;
+        if let Some(c) = b {
+            self.peeked = None;
+            self.offset += 1;
+            if c == b'\n' {
+                self.line += 1;
+            }
+        }
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), XmlError> {
+        match self.bump()? {
+            Some(b) if b == want => Ok(()),
+            Some(b) => Err(self.err(format_args!(
+                "expected '{}', found '{}'",
+                want as char, b as char
+            ))),
+            None => Err(self.err(format_args!("expected '{}', found end of input", want as char))),
+        }
+    }
+
+    fn skip_ws(&mut self) -> Result<(), XmlError> {
+        while let Some(b) = self.peek()? {
+            if b.is_ascii_whitespace() {
+                self.bump()?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let mut name = Vec::new();
+        while let Some(b) = self.peek()? {
+            if is_name_byte(b) {
+                name.push(b);
+                self.bump()?;
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() {
+            return Err(self.err("expected a name"));
+        }
+        self.utf8(name)
+    }
+
+    fn utf8(&self, bytes: Vec<u8>) -> Result<String, XmlError> {
+        String::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8"))
+    }
+
+    /// Reads `&...;` after the '&' has been peeked (not consumed).
+    fn read_entity(&mut self, out: &mut Vec<u8>) -> Result<(), XmlError> {
+        self.expect(b'&')?;
+        let mut ent = String::new();
+        loop {
+            match self.bump()? {
+                Some(b';') => break,
+                Some(b) if ent.len() < 16 => ent.push(b as char),
+                Some(_) => return Err(self.err("entity reference too long")),
+                None => return Err(self.err("unterminated entity reference")),
+            }
+        }
+        match ent.as_str() {
+            "lt" => out.push(b'<'),
+            "gt" => out.push(b'>'),
+            "amp" => out.push(b'&'),
+            "apos" => out.push(b'\''),
+            "quot" => out.push(b'"'),
+            _ => {
+                let code = if let Some(hex) = ent.strip_prefix("#x") {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(dec) = ent.strip_prefix('#') {
+                    dec.parse::<u32>().ok()
+                } else {
+                    None
+                };
+                match code.and_then(char::from_u32) {
+                    Some(c) => {
+                        let mut tmp = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut tmp).as_bytes());
+                    }
+                    None => return Err(self.err(format_args!("unknown entity '&{ent};'"))),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Skips `<!-- ... -->`; the leading `<!` has been consumed and the next
+    /// bytes are `--`.
+    fn skip_comment(&mut self) -> Result<(), XmlError> {
+        self.expect(b'-')?;
+        self.expect(b'-')?;
+        let mut dashes = 0;
+        loop {
+            match self.bump()? {
+                Some(b'-') => dashes += 1,
+                Some(b'>') if dashes >= 2 => return Ok(()),
+                Some(_) => dashes = 0,
+                None => return Err(self.err("unterminated comment")),
+            }
+        }
+    }
+
+    /// Skips `<?...?>`; the leading `<?` has been consumed.
+    fn skip_pi(&mut self) -> Result<(), XmlError> {
+        let mut question = false;
+        loop {
+            match self.bump()? {
+                Some(b'?') => question = true,
+                Some(b'>') if question => return Ok(()),
+                Some(_) => question = false,
+                None => return Err(self.err("unterminated processing instruction")),
+            }
+        }
+    }
+
+    /// Skips `<!DOCTYPE ...>` including a bracketed internal subset; the
+    /// leading `<!` has been consumed.
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        let mut depth = 0i32;
+        loop {
+            match self.bump()? {
+                Some(b'[') => depth += 1,
+                Some(b']') => depth -= 1,
+                Some(b'>') if depth <= 0 => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.err("unterminated DOCTYPE")),
+            }
+        }
+    }
+
+    /// Reads `<![CDATA[ ... ]]>` content; `<!` consumed, next byte is `[`.
+    fn read_cdata(&mut self, out: &mut Vec<u8>) -> Result<(), XmlError> {
+        for want in *b"[CDATA[" {
+            self.expect(want)?;
+        }
+        let mut brackets = 0;
+        loop {
+            match self.bump()? {
+                Some(b']') => brackets += 1,
+                Some(b'>') if brackets >= 2 => return Ok(()),
+                Some(b) => {
+                    for _ in 0..brackets {
+                        out.push(b']');
+                    }
+                    brackets = 0;
+                    out.push(b);
+                }
+                None => return Err(self.err("unterminated CDATA section")),
+            }
+        }
+    }
+
+    fn read_attributes(&mut self) -> Result<(Vec<Attribute>, bool), XmlError> {
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws()?;
+            match self.peek()? {
+                Some(b'>') => {
+                    self.bump()?;
+                    return Ok((attrs, false));
+                }
+                Some(b'/') => {
+                    self.bump()?;
+                    self.expect(b'>')?;
+                    return Ok((attrs, true));
+                }
+                Some(b) if is_name_byte(b) => {
+                    let name = self.read_name()?;
+                    self.skip_ws()?;
+                    self.expect(b'=')?;
+                    self.skip_ws()?;
+                    let quote = match self.bump()? {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    let mut value = Vec::new();
+                    loop {
+                        match self.peek()? {
+                            Some(q) if q == quote => {
+                                self.bump()?;
+                                break;
+                            }
+                            Some(b'&') => self.read_entity(&mut value)?,
+                            Some(b'<') => return Err(self.err("'<' in attribute value")),
+                            Some(b) => {
+                                value.push(b);
+                                self.bump()?;
+                            }
+                            None => return Err(self.err("unterminated attribute value")),
+                        }
+                    }
+                    let value = self.utf8(value)?;
+                    attrs.push(Attribute { name, value });
+                }
+                Some(b) => {
+                    return Err(self.err(format_args!("unexpected '{}' in tag", b as char)))
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+    }
+
+    /// Pulls the next event.
+    ///
+    /// Returns [`XmlEvent::EndDocument`] exactly once after the root element
+    /// has closed; pulling again afterwards is an error.
+    pub fn next_event(&mut self) -> Result<XmlEvent, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            self.stack.pop();
+            if self.stack.is_empty() {
+                self.finished = true;
+            }
+            return Ok(XmlEvent::EndElement { name });
+        }
+        if self.finished {
+            // Allow trailing whitespace / comments / PIs after the root.
+            loop {
+                self.skip_ws()?;
+                match self.peek()? {
+                    None => return Ok(XmlEvent::EndDocument),
+                    Some(b'<') => {
+                        self.bump()?;
+                        match self.peek()? {
+                            Some(b'!') => {
+                                self.bump()?;
+                                self.skip_comment()?;
+                            }
+                            Some(b'?') => {
+                                self.bump()?;
+                                self.skip_pi()?;
+                            }
+                            _ => return Err(self.err("content after root element")),
+                        }
+                    }
+                    Some(_) => return Err(self.err("content after root element")),
+                }
+            }
+        }
+        loop {
+            if self.stack.is_empty() {
+                self.skip_ws()?;
+            }
+            let Some(b) = self.peek()? else {
+                return Err(if self.stack.is_empty() && !self.seen_root {
+                    self.err("empty document")
+                } else {
+                    self.err(format_args!(
+                        "end of input with {} unclosed element(s)",
+                        self.stack.len()
+                    ))
+                });
+            };
+            if b == b'<' {
+                self.bump()?;
+                match self.peek()? {
+                    Some(b'/') => {
+                        self.bump()?;
+                        let name = self.read_name()?;
+                        self.skip_ws()?;
+                        self.expect(b'>')?;
+                        match self.stack.pop() {
+                            Some(open) if open == name => {
+                                if self.stack.is_empty() {
+                                    self.finished = true;
+                                }
+                                return Ok(XmlEvent::EndElement { name });
+                            }
+                            Some(open) => {
+                                return Err(self.err(format_args!(
+                                    "mismatched end tag </{name}>, expected </{open}>"
+                                )))
+                            }
+                            None => {
+                                return Err(self.err(format_args!("unmatched end tag </{name}>")))
+                            }
+                        }
+                    }
+                    Some(b'!') => {
+                        self.bump()?;
+                        match self.peek()? {
+                            Some(b'-') => self.skip_comment()?,
+                            Some(b'[') => {
+                                if self.stack.is_empty() {
+                                    return Err(self.err("CDATA outside root element"));
+                                }
+                                let mut text = Vec::new();
+                                self.read_cdata(&mut text)?;
+                                if !text.is_empty() {
+                                    return Ok(XmlEvent::Text(self.utf8(text)?));
+                                }
+                            }
+                            Some(b'D' | b'd') => self.skip_doctype()?,
+                            _ => return Err(self.err("unsupported '<!' construct")),
+                        }
+                    }
+                    Some(b'?') => {
+                        self.bump()?;
+                        self.skip_pi()?;
+                    }
+                    _ => {
+                        if self.stack.is_empty() && self.seen_root {
+                            return Err(self.err("multiple root elements"));
+                        }
+                        let name = self.read_name()?;
+                        let (attributes, self_closing) = self.read_attributes()?;
+                        self.seen_root = true;
+                        self.stack.push(name.clone());
+                        if self_closing {
+                            self.pending_end = Some(name.clone());
+                        }
+                        return Ok(XmlEvent::StartElement { name, attributes });
+                    }
+                }
+            } else {
+                // Character data.
+                if self.stack.is_empty() {
+                    return Err(self.err(format_args!(
+                        "unexpected character '{}' outside root element",
+                        b as char
+                    )));
+                }
+                let mut text = Vec::new();
+                loop {
+                    match self.peek()? {
+                        Some(b'<') | None => break,
+                        Some(b'&') => self.read_entity(&mut text)?,
+                        Some(c) => {
+                            text.push(c);
+                            self.bump()?;
+                        }
+                    }
+                }
+                if self.keep_whitespace || !text.iter().all(|c| c.is_ascii_whitespace()) {
+                    return Ok(XmlEvent::Text(self.utf8(text)?));
+                }
+                // Whitespace-only: loop for the next real event.
+            }
+        }
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
+}
+
+fn read_one<R: BufRead>(reader: &mut R, byte: &mut [u8; 1]) -> Result<usize, XmlError> {
+    loop {
+        match reader.read(byte) {
+            Ok(n) => return Ok(n),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(XmlError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<XmlEvent> {
+        let mut p = PullParser::from_str(input);
+        let mut out = vec![];
+        loop {
+            let e = p.next_event().expect("parse ok");
+            let done = e == XmlEvent::EndDocument;
+            out.push(e);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
+    fn start(name: &str) -> XmlEvent {
+        XmlEvent::StartElement {
+            name: name.into(),
+            attributes: vec![],
+        }
+    }
+
+    fn end(name: &str) -> XmlEvent {
+        XmlEvent::EndElement { name: name.into() }
+    }
+
+    #[test]
+    fn simple_document() {
+        assert_eq!(
+            events("<a><b>hi</b></a>"),
+            vec![
+                start("a"),
+                start("b"),
+                XmlEvent::Text("hi".into()),
+                end("b"),
+                end("a"),
+                XmlEvent::EndDocument
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_emits_both_events() {
+        assert_eq!(
+            events("<a><b/></a>"),
+            vec![start("a"), start("b"), end("b"), end("a"), XmlEvent::EndDocument]
+        );
+    }
+
+    #[test]
+    fn attributes_and_entities() {
+        let evs = events(r#"<a x="1 &amp; 2" y='&#65;'>&lt;ok&gt;</a>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { name, attributes } => {
+                assert_eq!(name, "a");
+                assert_eq!(attributes[0].value, "1 & 2");
+                assert_eq!(attributes[1].value, "A");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(evs[1], XmlEvent::Text("<ok>".into()));
+    }
+
+    #[test]
+    fn skips_prolog_comments_pis_doctype() {
+        let evs = events(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE a [<!ELEMENT a (b)>]>\n<!-- c --><a><!-- d --><b/></a><!-- e -->",
+        );
+        assert_eq!(
+            evs,
+            vec![start("a"), start("b"), end("b"), end("a"), XmlEvent::EndDocument]
+        );
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let evs = events("<a><![CDATA[x < y & z]]></a>");
+        assert_eq!(evs[1], XmlEvent::Text("x < y & z".into()));
+    }
+
+    #[test]
+    fn whitespace_only_text_skipped_by_default() {
+        let evs = events("<a>\n  <b/>\n</a>");
+        assert_eq!(
+            evs,
+            vec![start("a"), start("b"), end("b"), end("a"), XmlEvent::EndDocument]
+        );
+    }
+
+    #[test]
+    fn whitespace_kept_on_request() {
+        let mut p = PullParser::from_str("<a> <b/></a>").keep_whitespace(true);
+        p.next_event().unwrap();
+        assert_eq!(p.next_event().unwrap(), XmlEvent::Text(" ".into()));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let mut p = PullParser::from_str("<a><b></a></b>");
+        p.next_event().unwrap();
+        p.next_event().unwrap();
+        assert!(p.next_event().is_err());
+    }
+
+    #[test]
+    fn multiple_roots_error() {
+        let mut p = PullParser::from_str("<a/><b/>");
+        p.next_event().unwrap();
+        p.next_event().unwrap();
+        assert!(p.next_event().is_err());
+    }
+
+    #[test]
+    fn truncated_input_error() {
+        let mut p = PullParser::from_str("<a><b>");
+        p.next_event().unwrap();
+        p.next_event().unwrap();
+        assert!(p.next_event().is_err());
+    }
+
+    #[test]
+    fn depth_tracks_nesting() {
+        let mut p = PullParser::from_str("<a><b><c/></b></a>");
+        p.next_event().unwrap();
+        p.next_event().unwrap();
+        p.next_event().unwrap();
+        assert_eq!(p.depth(), 3);
+    }
+}

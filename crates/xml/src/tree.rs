@@ -1,0 +1,621 @@
+//! Arena-based XML document trees (the engine's "DOM mode" representation).
+//!
+//! Nodes live in a flat arena indexed by [`NodeId`]. Sibling/child links are
+//! stored as compact `u32` fields. Documents built through [`TreeBuilder`]
+//! (which includes everything produced by the parser, the generator and the
+//! view materializer) satisfy the invariant that **`NodeId` order equals
+//! document order**, which the evaluators rely on to emit answers in
+//! document order without sorting.
+
+use crate::label::{Label, Vocabulary};
+use std::fmt;
+
+/// Index of a node in a [`Document`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// What a node is: an element with an interned label, or a text node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element node such as `<patient>`.
+    Element(Label),
+    /// A text node; the index points into the document's text table.
+    Text(u32),
+}
+
+/// A single attribute on an element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as written (attributes are not interned: the query
+    /// language of the paper selects elements and text only).
+    pub name: String,
+    /// Attribute value with entities resolved.
+    pub value: String,
+}
+
+#[derive(Clone)]
+struct NodeData {
+    parent: u32,
+    first_child: u32,
+    last_child: u32,
+    next_sibling: u32,
+    kind: NodeKind,
+}
+
+/// An immutable-after-build XML document tree.
+///
+/// ```
+/// use smoqe_xml::{Document, Vocabulary};
+/// let vocab = Vocabulary::new();
+/// let doc = Document::parse_str("<a><b>hi</b><b/></a>", &vocab).unwrap();
+/// let root = doc.root();
+/// assert_eq!(&*vocab.name(doc.label(root).unwrap()), "a");
+/// assert_eq!(doc.children(root).count(), 2);
+/// ```
+#[derive(Clone)]
+pub struct Document {
+    vocab: Vocabulary,
+    nodes: Vec<NodeData>,
+    texts: Vec<String>,
+    /// Sparse: most elements have no attributes.
+    attrs: std::collections::HashMap<u32, Vec<Attribute>>,
+    root: u32,
+}
+
+impl Document {
+    /// The vocabulary labels in this document were interned against.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The root element of the document.
+    pub fn root(&self) -> NodeId {
+        debug_assert_ne!(self.root, NIL, "document has a root by construction");
+        NodeId(self.root)
+    }
+
+    /// Total number of nodes (elements + text nodes).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Element(_)))
+            .count()
+    }
+
+    /// The kind of `node`.
+    pub fn kind(&self, node: NodeId) -> &NodeKind {
+        &self.nodes[node.index()].kind
+    }
+
+    /// The element label of `node`, or `None` for text nodes.
+    #[inline]
+    pub fn label(&self, node: NodeId) -> Option<Label> {
+        match self.nodes[node.index()].kind {
+            NodeKind::Element(l) => Some(l),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Whether `node` is an element.
+    #[inline]
+    pub fn is_element(&self, node: NodeId) -> bool {
+        matches!(self.nodes[node.index()].kind, NodeKind::Element(_))
+    }
+
+    /// The text of a text node, or `None` for elements.
+    pub fn text(&self, node: NodeId) -> Option<&str> {
+        match self.nodes[node.index()].kind {
+            NodeKind::Text(t) => Some(&self.texts[t as usize]),
+            NodeKind::Element(_) => None,
+        }
+    }
+
+    /// The attributes of `node` (empty slice for text nodes / no attributes).
+    pub fn attributes(&self, node: NodeId) -> &[Attribute] {
+        self.attrs.get(&node.0).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Value of the attribute `name` on `node`, if present.
+    pub fn attribute(&self, node: NodeId, name: &str) -> Option<&str> {
+        self.attributes(node)
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// The parent of `node` (`None` for the root).
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        wrap(self.nodes[node.index()].parent)
+    }
+
+    /// The first child of `node`.
+    #[inline]
+    pub fn first_child(&self, node: NodeId) -> Option<NodeId> {
+        wrap(self.nodes[node.index()].first_child)
+    }
+
+    /// The next sibling of `node`.
+    #[inline]
+    pub fn next_sibling(&self, node: NodeId) -> Option<NodeId> {
+        wrap(self.nodes[node.index()].next_sibling)
+    }
+
+    /// Iterates over the children of `node` in document order.
+    pub fn children(&self, node: NodeId) -> Children<'_> {
+        Children {
+            doc: self,
+            next: self.nodes[node.index()].first_child,
+        }
+    }
+
+    /// Iterates over the element children of `node` in document order.
+    pub fn child_elements(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(node).filter(move |&c| self.is_element(c))
+    }
+
+    /// Iterates over `node` and all its descendants in pre-order
+    /// (document order).
+    pub fn descendants_or_self(&self, node: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            next: node.0,
+            stop_above: self.nodes[node.index()].parent,
+            done: false,
+        }
+    }
+
+    /// Iterates over the strict descendants of `node` in document order.
+    pub fn descendants(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.descendants_or_self(node).skip(1)
+    }
+
+    /// Iterates over the strict ancestors of `node`, nearest first.
+    pub fn ancestors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::successors(self.parent(node), move |&n| self.parent(n))
+    }
+
+    /// Depth of `node` (root has depth 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        self.ancestors(node).count()
+    }
+
+    /// Maximum node depth in the document.
+    pub fn max_depth(&self) -> usize {
+        let mut max = 0;
+        let mut depths = vec![0u32; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.parent != NIL {
+                depths[i] = depths[n.parent as usize] + 1;
+                max = max.max(depths[i] as usize);
+            }
+        }
+        max
+    }
+
+    /// Number of nodes in the subtree rooted at `node` (including it).
+    pub fn subtree_size(&self, node: NodeId) -> usize {
+        self.descendants_or_self(node).count()
+    }
+
+    /// The XPath string-value of `node`: for a text node its text, for an
+    /// element the concatenation of all descendant text in document order.
+    pub fn string_value(&self, node: NodeId) -> String {
+        match self.nodes[node.index()].kind {
+            NodeKind::Text(t) => self.texts[t as usize].clone(),
+            NodeKind::Element(_) => {
+                let mut out = String::new();
+                for d in self.descendants_or_self(node) {
+                    if let Some(t) = self.text(d) {
+                        out.push_str(t);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The concatenation of the *direct* text children of `node` (empty
+    /// for text nodes; use [`Document::text`] for those). This is the
+    /// value `text() = 'c'` comparisons test: unlike the full
+    /// string-value, it is preserved exactly by security views, which may
+    /// hide text-bearing descendants but always copy a visible node's own
+    /// text.
+    pub fn direct_text(&self, node: NodeId) -> String {
+        let mut out = String::new();
+        for c in self.children(node) {
+            if let Some(t) = self.text(c) {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// All nodes of the document in document order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Nodes with the given element label, in document order.
+    pub fn nodes_labeled(&self, label: Label) -> impl Iterator<Item = NodeId> + '_ {
+        self.all_nodes()
+            .filter(move |&n| self.label(n) == Some(label))
+    }
+
+    /// Parses a document from a string slice. Convenience wrapper around
+    /// [`crate::parse::parse_document`].
+    pub fn parse_str(input: &str, vocab: &Vocabulary) -> Result<Document, crate::XmlError> {
+        crate::parse::parse_document(input, vocab)
+    }
+
+    /// Serializes the document to compact XML text. Convenience wrapper
+    /// around [`crate::serialize::to_string`].
+    pub fn to_xml(&self) -> String {
+        crate::serialize::to_string(self)
+    }
+}
+
+#[inline]
+fn wrap(raw: u32) -> Option<NodeId> {
+    if raw == NIL {
+        None
+    } else {
+        Some(NodeId(raw))
+    }
+}
+
+/// Iterator over the children of a node.
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: u32,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = wrap(self.next)?;
+        self.next = self.doc.nodes[cur.index()].next_sibling;
+        Some(cur)
+    }
+}
+
+/// Pre-order iterator over a subtree.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    next: u32,
+    /// Parent of the subtree root: ascending past it terminates iteration.
+    stop_above: u32,
+    done: bool,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.done {
+            return None;
+        }
+        let cur = self.next;
+        let nodes = &self.doc.nodes;
+        // Advance: first child, else next sibling, else climb.
+        let data = &nodes[cur as usize];
+        if data.first_child != NIL {
+            self.next = data.first_child;
+        } else {
+            let mut up = cur;
+            loop {
+                if nodes[up as usize].parent == self.stop_above {
+                    self.done = true;
+                    break;
+                }
+                if nodes[up as usize].next_sibling != NIL {
+                    self.next = nodes[up as usize].next_sibling;
+                    break;
+                }
+                up = nodes[up as usize].parent;
+            }
+        }
+        Some(NodeId(cur))
+    }
+}
+
+/// Incrementally builds a [`Document`] in document order.
+///
+/// The builder enforces well-formedness: exactly one root element, matched
+/// start/end calls, text only inside elements.
+///
+/// ```
+/// use smoqe_xml::{TreeBuilder, Vocabulary};
+/// let vocab = Vocabulary::new();
+/// let mut b = TreeBuilder::new(vocab.clone());
+/// let a = vocab.intern("a");
+/// let bl = vocab.intern("b");
+/// b.start_element(a);
+/// b.start_element(bl);
+/// b.text("hi");
+/// b.end_element();
+/// b.end_element();
+/// let doc = b.finish().unwrap();
+/// assert_eq!(doc.node_count(), 3);
+/// ```
+pub struct TreeBuilder {
+    doc: Document,
+    stack: Vec<u32>,
+    finished_root: bool,
+}
+
+impl TreeBuilder {
+    /// Creates a builder producing a document over `vocab`.
+    pub fn new(vocab: Vocabulary) -> Self {
+        TreeBuilder {
+            doc: Document {
+                vocab,
+                nodes: Vec::new(),
+                texts: Vec::new(),
+                attrs: std::collections::HashMap::new(),
+                root: NIL,
+            },
+            stack: Vec::new(),
+            finished_root: false,
+        }
+    }
+
+    /// Pre-allocates space for `n` nodes.
+    pub fn reserve(&mut self, n: usize) {
+        self.doc.nodes.reserve(n);
+    }
+
+    fn push_node(&mut self, kind: NodeKind) -> u32 {
+        let id = self.doc.nodes.len() as u32;
+        let parent = self.stack.last().copied().unwrap_or(NIL);
+        self.doc.nodes.push(NodeData {
+            parent,
+            first_child: NIL,
+            last_child: NIL,
+            next_sibling: NIL,
+            kind,
+        });
+        if parent != NIL {
+            let p = &mut self.doc.nodes[parent as usize];
+            if p.first_child == NIL {
+                p.first_child = id;
+            } else {
+                let last = p.last_child;
+                self.doc.nodes[last as usize].next_sibling = id;
+            }
+            self.doc.nodes[parent as usize].last_child = id;
+        }
+        id
+    }
+
+    /// Opens an element with the given label.
+    pub fn start_element(&mut self, label: Label) -> NodeId {
+        assert!(
+            !(self.stack.is_empty() && self.finished_root),
+            "document may only have one root element"
+        );
+        let id = self.push_node(NodeKind::Element(label));
+        if self.stack.is_empty() {
+            self.doc.root = id;
+        }
+        self.stack.push(id);
+        NodeId(id)
+    }
+
+    /// Opens an element, interning `name` in the document's vocabulary.
+    pub fn start_element_named(&mut self, name: &str) -> NodeId {
+        let l = self.doc.vocab.intern(name);
+        self.start_element(l)
+    }
+
+    /// Adds an attribute to the currently open element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn attribute(&mut self, name: &str, value: &str) {
+        let cur = *self.stack.last().expect("attribute outside of element");
+        self.doc.attrs.entry(cur).or_default().push(Attribute {
+            name: name.to_string(),
+            value: value.to_string(),
+        });
+    }
+
+    /// Appends a text node to the currently open element. Empty strings are
+    /// ignored; adjacent text is merged.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn text(&mut self, content: &str) {
+        if content.is_empty() {
+            return;
+        }
+        let cur = *self.stack.last().expect("text outside of root element");
+        // Merge with a trailing text sibling to keep the tree canonical.
+        let last = self.doc.nodes[cur as usize].last_child;
+        if last != NIL {
+            if let NodeKind::Text(t) = self.doc.nodes[last as usize].kind {
+                self.doc.texts[t as usize].push_str(content);
+                return;
+            }
+        }
+        let t = self.doc.texts.len() as u32;
+        self.doc.texts.push(content.to_string());
+        self.push_node(NodeKind::Text(t));
+    }
+
+    /// Closes the most recently opened element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn end_element(&mut self) {
+        self.stack.pop().expect("end_element without start_element");
+        if self.stack.is_empty() {
+            self.finished_root = true;
+        }
+    }
+
+    /// Number of currently open elements.
+    pub fn open_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The id the *next* created node will receive (document order).
+    pub fn next_node_id(&self) -> NodeId {
+        NodeId(self.doc.nodes.len() as u32)
+    }
+
+    /// Finishes the build, returning the document.
+    pub fn finish(self) -> Result<Document, crate::XmlError> {
+        if !self.stack.is_empty() {
+            return Err(crate::XmlError::Malformed(format!(
+                "{} unclosed element(s) at end of document",
+                self.stack.len()
+            )));
+        }
+        if self.doc.root == NIL {
+            return Err(crate::XmlError::Malformed(
+                "document has no root element".to_string(),
+            ));
+        }
+        Ok(self.doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vocabulary, Document) {
+        let vocab = Vocabulary::new();
+        let mut b = TreeBuilder::new(vocab.clone());
+        b.start_element_named("a");
+        b.start_element_named("b");
+        b.text("one");
+        b.end_element();
+        b.start_element_named("c");
+        b.start_element_named("b");
+        b.text("two");
+        b.end_element();
+        b.end_element();
+        b.end_element();
+        (vocab.clone(), b.finish().unwrap())
+    }
+
+    #[test]
+    fn builder_links_children_in_order() {
+        let (vocab, doc) = sample();
+        let root = doc.root();
+        let kids: Vec<String> = doc
+            .children(root)
+            .map(|c| vocab.name(doc.label(c).unwrap()).to_string())
+            .collect();
+        assert_eq!(kids, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn node_ids_are_document_order() {
+        let (_, doc) = sample();
+        let pre: Vec<NodeId> = doc.descendants_or_self(doc.root()).collect();
+        let mut sorted = pre.clone();
+        sorted.sort();
+        assert_eq!(pre, sorted);
+        assert_eq!(pre.len(), doc.node_count());
+    }
+
+    #[test]
+    fn descendants_of_subtree_stay_inside() {
+        let (vocab, doc) = sample();
+        let c = vocab.lookup("c").unwrap();
+        let c_node = doc.nodes_labeled(c).next().unwrap();
+        let subtree: Vec<NodeId> = doc.descendants_or_self(c_node).collect();
+        assert_eq!(subtree.len(), 3); // c, b, text
+        for n in subtree {
+            assert!(n == c_node || doc.ancestors(n).any(|a| a == c_node));
+        }
+    }
+
+    #[test]
+    fn string_value_concatenates_descendant_text() {
+        let (_, doc) = sample();
+        assert_eq!(doc.string_value(doc.root()), "onetwo");
+    }
+
+    #[test]
+    fn text_nodes_merge() {
+        let vocab = Vocabulary::new();
+        let mut b = TreeBuilder::new(vocab);
+        b.start_element_named("a");
+        b.text("x");
+        b.text("y");
+        b.end_element();
+        let doc = b.finish().unwrap();
+        assert_eq!(doc.node_count(), 2);
+        let t = doc.first_child(doc.root()).unwrap();
+        assert_eq!(doc.text(t), Some("xy"));
+    }
+
+    #[test]
+    fn unclosed_element_is_an_error() {
+        let vocab = Vocabulary::new();
+        let mut b = TreeBuilder::new(vocab);
+        b.start_element_named("a");
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn depth_and_ancestors() {
+        let (_, doc) = sample();
+        let deepest = doc
+            .all_nodes()
+            .max_by_key(|&n| doc.depth(n))
+            .unwrap();
+        assert_eq!(doc.depth(deepest), 3);
+        assert_eq!(doc.max_depth(), 3);
+        assert_eq!(doc.ancestors(deepest).count(), 3);
+        assert_eq!(doc.depth(doc.root()), 0);
+    }
+
+    #[test]
+    fn attributes_are_retrievable() {
+        let vocab = Vocabulary::new();
+        let mut b = TreeBuilder::new(vocab);
+        b.start_element_named("a");
+        b.attribute("id", "7");
+        b.end_element();
+        let doc = b.finish().unwrap();
+        assert_eq!(doc.attribute(doc.root(), "id"), Some("7"));
+        assert_eq!(doc.attribute(doc.root(), "nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one root")]
+    fn second_root_panics() {
+        let vocab = Vocabulary::new();
+        let mut b = TreeBuilder::new(vocab);
+        b.start_element_named("a");
+        b.end_element();
+        b.start_element_named("b");
+    }
+}

@@ -1,0 +1,51 @@
+//! A second domain: an org chart where salaries are confidential and
+//! reviews are visible only when marked public. Demonstrates that the
+//! machinery is not hospital-specific, and shows both engine modes.
+//!
+//! ```text
+//! cargo run --example org_chart
+//! ```
+
+use smoqe::workloads::org;
+use smoqe::{DocumentMode, Engine, EngineConfig, User};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Engine::with_defaults();
+    engine.load_dtd(org::DTD)?;
+    engine.load_document(org::SAMPLE_DOCUMENT)?;
+    engine.register_policy("staff", org::POLICY)?;
+
+    println!("=== derived view for group 'staff' ===");
+    println!("{}", engine.view("staff")?.to_spec_string());
+
+    let staff = engine.session(User::Group("staff".into()));
+    let doc = engine.document()?;
+
+    println!("salaries visible to staff: {}", staff.query("//salary")?.len());
+    let reviews = staff.query("//review")?;
+    println!("reviews visible to staff ({}):", reviews.len());
+    for xml in reviews.serialize_with(&doc) {
+        println!("  {xml}");
+    }
+    let names = staff.query("company/dept/(dept)*/emp/ename")?;
+    println!("employee names at any department depth ({}):", names.len());
+    for xml in names.serialize_with(&doc) {
+        println!("  {xml}");
+    }
+
+    // The same, in streaming mode.
+    let streaming = Engine::new(EngineConfig {
+        mode: DocumentMode::Stream,
+        ..EngineConfig::default()
+    });
+    streaming.load_dtd(org::DTD)?;
+    streaming.load_document(org::SAMPLE_DOCUMENT)?;
+    streaming.register_policy("staff", org::POLICY)?;
+    let s = streaming.session(User::Group("staff".into()));
+    let streamed = s.query("//emp[review]/ename")?;
+    println!(
+        "streaming mode, employees with visible reviews: {:?}",
+        streamed.xml.unwrap_or_default()
+    );
+    Ok(())
+}

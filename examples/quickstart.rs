@@ -1,0 +1,38 @@
+//! Quickstart: enforce an access-control policy and query through it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use smoqe::{workloads::hospital, Engine, User};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Set up the engine with the document schema and data.
+    let engine = Engine::with_defaults();
+    engine.load_dtd(hospital::DTD)?;
+    engine.load_document(hospital::SAMPLE_DOCUMENT)?;
+
+    // 2. Register a user group by its access-control policy. SMOQE derives
+    //    the security view automatically; it is never materialized.
+    engine.register_policy("researchers", hospital::POLICY)?;
+
+    // 3. An admin sees the raw document...
+    let admin = engine.session(User::Admin);
+    let all_names = admin.query("hospital/patient/pname")?;
+    println!("admin sees {} patient names", all_names.len());
+
+    // 4. ...while researchers see only what the policy allows: their
+    //    queries are rewritten against the virtual view.
+    let researcher = engine.session(User::Group("researchers".into()));
+    let names = researcher.query("//pname")?;
+    println!("researcher sees {} patient names (policy hides them)", names.len());
+    assert!(names.is_empty());
+
+    let meds = researcher.query("hospital/patient/treatment/medication")?;
+    let doc = engine.document()?;
+    println!("medications visible to researchers:");
+    for xml in meds.serialize_with(&doc) {
+        println!("  {xml}");
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! StAX mode: query a large generated document in one sequential scan.
+//!
+//! The document is generated straight to a file (never fully in memory),
+//! then queried in streaming mode; peak buffering stays tiny compared to
+//! the document size.
+//!
+//! ```text
+//! cargo run --release --example streaming_large_doc
+//! ```
+
+use smoqe::automata::{compile, optimize::optimize};
+use smoqe::hype::stream::{evaluate_stream, StreamOptions};
+use smoqe::rxpath::parse_path;
+use smoqe::workloads::hospital;
+use smoqe::xml::generate_to_writer;
+use std::io::BufReader;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vocab = smoqe::xml::Vocabulary::new();
+    let dtd = hospital::dtd(&vocab);
+    let config = hospital::generator_config(&vocab, 2026, 200_000);
+
+    let dir = std::env::temp_dir().join("smoqe-examples");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("large-hospital.xml");
+    let file = std::fs::File::create(&path)?;
+    let nodes = generate_to_writer(&dtd, &config, std::io::BufWriter::new(file))?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("generated {nodes} nodes ({bytes} bytes) at {}", path.display());
+
+    let query = "hospital/patient[visit/treatment/medication = 'autism']/pname";
+    let q = parse_path(query, &vocab)?;
+    let mfa = optimize(&compile(&q, &vocab));
+
+    let file = BufReader::new(std::fs::File::open(&path)?);
+    let outcome = evaluate_stream(file, &mfa, &vocab, StreamOptions { want_xml: true })?;
+    println!(
+        "query `{query}`: {} answers from {} events; peak candidate buffer {} bytes",
+        outcome.answers.len(),
+        outcome.events,
+        outcome.peak_buffered_bytes
+    );
+    for xml in outcome.answer_xml.unwrap().iter().take(5) {
+        println!("  {xml}");
+    }
+    println!("  ... (showing at most 5)");
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Fig. 6 + the indexer demo: build the TAX index, display it, persist
+//! it, and show its pruning effect on a selective descendant query.
+//!
+//! ```text
+//! cargo run --release --example tax_pruning
+//! ```
+
+use smoqe::automata::{compile, optimize::optimize};
+use smoqe::hype::dom::{evaluate_mfa_with, DomOptions};
+use smoqe::hype::NoopObserver;
+use smoqe::rxpath::parse_path;
+use smoqe::tax::TaxIndex;
+use smoqe::workloads::hospital;
+use smoqe::xml::{Document, Vocabulary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Small document: display the index like Fig. 6.
+    let vocab = Vocabulary::new();
+    let sample = Document::parse_str(hospital::SAMPLE_DOCUMENT, &vocab)?;
+    let tax = TaxIndex::build(&sample);
+    println!("=== TAX on the sample document (Fig. 6) ===");
+    println!("{}", tax.summary(&vocab));
+
+    // Large document: measure the pruning effect.
+    let doc = hospital::generate_document(&vocab, 11, 100_000);
+    let tax = TaxIndex::build(&doc);
+    println!(
+        "index over {} nodes: {} distinct sets, ~{} bytes",
+        doc.node_count(),
+        tax.distinct_sets(),
+        tax.memory_bytes()
+    );
+    let dir = std::env::temp_dir().join("smoqe-examples");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("hospital.tax");
+    tax.save_to_file(&path, &vocab)?;
+    println!("persisted (compressed) to {} bytes on disk\n", std::fs::metadata(&path)?.len());
+    std::fs::remove_file(&path).ok();
+
+    for q in ["//test", "//parent/patient/pname"] {
+        let query = parse_path(q, &vocab)?;
+        let mfa = optimize(&compile(&query, &vocab));
+        let (a1, s1) = evaluate_mfa_with(&doc, &mfa, &DomOptions::default(), &mut NoopObserver);
+        let opts = DomOptions { tax: Some(&tax) };
+        let (a2, s2) = evaluate_mfa_with(&doc, &mfa, &opts, &mut NoopObserver);
+        assert_eq!(a1, a2);
+        println!(
+            "query {q}: visited {} nodes without TAX, {} with TAX ({} subtrees pruned), {} answers",
+            s1.nodes_visited, s2.nodes_visited, s2.subtrees_pruned_tax, a2.len()
+        );
+    }
+    Ok(())
+}

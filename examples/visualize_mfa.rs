@@ -1,0 +1,43 @@
+//! Fig. 4 + Fig. 5: the MFA of the paper's query Q0, and a step-by-step
+//! HyPE evaluation trace with node "colors".
+//!
+//! ```text
+//! cargo run --example visualize_mfa           # text listing + trace
+//! cargo run --example visualize_mfa -- dot    # Graphviz DOT on stdout
+//! ```
+
+use smoqe::automata::compile;
+use smoqe::hype::dom::{evaluate_mfa_with, DomOptions};
+use smoqe::rxpath::parse_path;
+use smoqe::viz::{annotated_tree, mfa_listing, mfa_to_dot, trace_log, TraceCollector};
+use smoqe::workloads::hospital;
+use smoqe::xml::{Document, Vocabulary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dot_mode = std::env::args().any(|a| a == "dot");
+    let vocab = Vocabulary::new();
+    let doc = Document::parse_str(hospital::SAMPLE_DOCUMENT, &vocab)?;
+    let q0 = parse_path(hospital::Q0, &vocab)?;
+    let m0 = compile(&q0, &vocab);
+
+    if dot_mode {
+        println!("{}", mfa_to_dot(&m0));
+        return Ok(());
+    }
+
+    println!("=== Q0 (paper §3) ===\n{}\n", q0.display(&vocab));
+    println!("=== MFA M0 (Fig. 4) ===\n{}", mfa_listing(&m0));
+
+    let mut trace = TraceCollector::new();
+    let (answers, stats) = evaluate_mfa_with(&doc, &m0, &DomOptions::default(), &mut trace);
+    println!("=== HyPE evaluation (Fig. 5) ===");
+    println!("{}", annotated_tree(&doc, &trace));
+    println!("=== chronological trace ===\n{}", trace_log(&trace, &vocab));
+    println!(
+        "answers: {:?} ({} nodes visited, |Cans| = {})",
+        answers.iter().map(|n| doc.string_value(n)).collect::<Vec<_>>(),
+        stats.nodes_visited,
+        stats.cans_size
+    );
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Workspace façade for integration tests and examples.
+//!
+//! This crate only re-exports [`smoqe`]; the real API lives there. Having a
+//! root package lets the workspace keep cross-crate integration tests in
+//! `tests/` and runnable examples in `examples/`, per the repository layout
+//! described in DESIGN.md.
+
+pub use smoqe::*;

@@ -1,0 +1,114 @@
+//! Error-path coverage of the engine façade: every failure mode surfaces
+//! a typed, descriptive error instead of a panic.
+
+use smoqe::workloads::hospital;
+use smoqe::{Engine, EngineError, User};
+
+#[test]
+fn query_without_document_fails_cleanly() {
+    let e = Engine::with_defaults();
+    e.load_dtd(hospital::DTD).unwrap();
+    let s = e.session(User::Admin);
+    assert!(matches!(s.query("hospital"), Err(EngineError::NoDocument)));
+}
+
+#[test]
+fn register_policy_requires_dtd() {
+    let e = Engine::with_defaults();
+    assert!(matches!(
+        e.register_policy("g", hospital::POLICY),
+        Err(EngineError::NoDocument)
+    ));
+}
+
+#[test]
+fn malformed_query_is_a_query_error() {
+    let e = Engine::with_defaults();
+    e.load_dtd(hospital::DTD).unwrap();
+    e.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+    let s = e.session(User::Admin);
+    for bad in ["hospital//", "a[", "a/b | ", "(a", "a)b", "a[b = ]"] {
+        match s.query(bad) {
+            Err(EngineError::Query(err)) => {
+                assert!(err.to_string().contains("offset"), "{bad}: {err}")
+            }
+            other => panic!("`{bad}` gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_policy_is_a_policy_error() {
+    let e = Engine::with_defaults();
+    e.load_dtd(hospital::DTD).unwrap();
+    let err = e.register_policy("g", "ann(hospital, nothere) = N").unwrap_err();
+    assert!(matches!(err, EngineError::Policy(_)));
+    assert!(err.to_string().contains("unknown DTD edge"));
+}
+
+#[test]
+fn malformed_view_spec_is_a_view_error() {
+    let e = Engine::with_defaults();
+    e.load_dtd(hospital::DTD).unwrap();
+    // Nullable sigma.
+    let err = e
+        .register_view_spec(
+            "g",
+            "<!ELEMENT hospital (patient*)>\n<!ELEMENT patient EMPTY>\n\
+             sigma(hospital, patient) = (patient)*\n",
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::View(_)));
+    assert!(err.to_string().contains("nullable"));
+}
+
+#[test]
+fn invalid_document_rejected_with_dtd_details() {
+    let e = Engine::with_defaults();
+    e.load_dtd(hospital::DTD).unwrap();
+    let err = e.load_document("<hospital><unknown/></hospital>").unwrap_err();
+    // Either diagnosis is correct: the parent's content model fails, or
+    // the undeclared element is flagged (validation visits parents first).
+    let msg = err.to_string();
+    assert!(
+        msg.contains("content model") || msg.contains("not declared"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn malformed_xml_rejected_with_position() {
+    let e = Engine::with_defaults();
+    let err = e.load_document("<a><b></a>").unwrap_err();
+    assert!(err.to_string().contains("offset"), "{err}");
+}
+
+#[test]
+fn tax_persistence_errors_are_reported() {
+    let e = Engine::with_defaults();
+    e.load_dtd(hospital::DTD).unwrap();
+    e.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+    // Saving without building.
+    assert!(e.save_tax_index("/tmp/never-written.tax").is_err());
+    // Loading garbage.
+    let dir = std::env::temp_dir().join("smoqe-errors-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.tax");
+    std::fs::write(&path, b"not a tax index at all").unwrap();
+    assert!(e.load_tax_index(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn errors_display_and_chain_sources() {
+    use std::error::Error as _;
+    let e = Engine::with_defaults();
+    e.load_dtd(hospital::DTD).unwrap();
+    e.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+    let err = e
+        .session(User::Admin)
+        .query("((((")
+        .unwrap_err();
+    // The source chain reaches the underlying parse error.
+    assert!(err.source().is_some());
+}

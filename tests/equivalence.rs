@@ -1,0 +1,134 @@
+//! The central correctness statement of the paper (§1):
+//! **Q′(T) = Q(V(T))** — rewriting a query over a virtual view and
+//! evaluating it on the source gives exactly the answer the query would
+//! have on the materialized view, for any document T.
+//!
+//! Exercised here over both workloads, multiple generated documents and a
+//! spectrum of queries, through the public engine API and through the
+//! crate-level APIs.
+
+use smoqe::workloads::{hospital, org};
+use smoqe_hype::evaluate_mfa;
+use smoqe_rewrite::{rewrite, rewrite_direct};
+use smoqe_rxpath::{evaluate as naive, parse_path};
+use smoqe_view::{derive, materialize, AccessPolicy, ViewSpec};
+use smoqe_xml::{Document, Dtd, Vocabulary};
+
+fn hospital_setup() -> (Vocabulary, Dtd, ViewSpec) {
+    let vocab = Vocabulary::new();
+    let dtd = hospital::dtd(&vocab);
+    let policy = AccessPolicy::parse(dtd.clone(), hospital::POLICY).unwrap();
+    (vocab, dtd, derive(&policy))
+}
+
+fn assert_equivalence(vocab: &Vocabulary, spec: &ViewSpec, doc: &Document, query: &str) {
+    let q = parse_path(query, vocab).unwrap();
+    let mfa = rewrite(&q, spec);
+    let (rewritten, _) = evaluate_mfa(doc, &mfa);
+    let view = materialize(spec, doc).unwrap();
+    let expected = view.origins_of(naive(&view.doc, &q).iter());
+    assert_eq!(
+        rewritten.as_slice(),
+        expected.as_slice(),
+        "Q'(T) != Q(V(T)) for `{query}`"
+    );
+}
+
+#[test]
+fn hospital_equivalence_on_generated_documents() {
+    let (vocab, dtd, spec) = hospital_setup();
+    for seed in [1u64, 7, 42] {
+        let doc = hospital::generate_document(&vocab, seed, 2_000);
+        dtd.validate(&doc).unwrap();
+        for (_, q) in hospital::VIEW_QUERIES {
+            assert_equivalence(&vocab, &spec, &doc, q);
+        }
+        // Queries over hidden names must be empty AND equivalent.
+        for q in ["//pname", "//visit", "//date", "//test"] {
+            assert_equivalence(&vocab, &spec, &doc, q);
+        }
+    }
+}
+
+#[test]
+fn org_equivalence_on_generated_documents() {
+    let vocab = Vocabulary::new();
+    let dtd = org::dtd(&vocab);
+    let policy = AccessPolicy::parse(dtd.clone(), org::POLICY).unwrap();
+    let spec = derive(&policy);
+    for seed in [3u64, 9] {
+        let doc = org::generate_document(&vocab, seed, 2_000);
+        for (_, q) in org::VIEW_QUERIES {
+            assert_equivalence(&vocab, &spec, &doc, q);
+        }
+        for q in ["//salary", "//review", "company/dept/emp/*"] {
+            assert_equivalence(&vocab, &spec, &doc, q);
+        }
+    }
+}
+
+#[test]
+fn equivalence_holds_for_closure_heavy_queries() {
+    let (vocab, _, spec) = hospital_setup();
+    let doc = hospital::generate_document(&vocab, 13, 3_000);
+    for q in [
+        "hospital/(patient)*",
+        "hospital/patient/(parent/patient)*",
+        "hospital/patient/(parent/patient)*/treatment/medication",
+        "(hospital | hospital/patient | hospital/patient/parent)*",
+        "hospital/patient/(parent/patient)*[treatment]/(parent/patient)*",
+        "//patient[not(parent) and treatment]",
+    ] {
+        assert_equivalence(&vocab, &spec, &doc, q);
+    }
+}
+
+#[test]
+fn direct_syntactic_rewriting_is_also_equivalent() {
+    let (vocab, _, spec) = hospital_setup();
+    let doc = hospital::generate_document(&vocab, 4, 800);
+    for q in [
+        "hospital/patient/treatment",
+        "//medication",
+        "hospital/patient[treatment/medication = 'autism']",
+    ] {
+        let path = parse_path(q, &vocab).unwrap();
+        let view = materialize(&spec, &doc).unwrap();
+        let expected = view.origins_of(naive(&view.doc, &path).iter());
+        let direct = rewrite_direct(&path, &spec).expect("nonempty");
+        let got = naive(&doc, &direct);
+        assert_eq!(got.as_slice(), expected.as_slice(), "direct rewrite differs for `{q}`");
+    }
+}
+
+#[test]
+fn identity_view_is_transparent() {
+    let vocab = Vocabulary::new();
+    let dtd = hospital::dtd(&vocab);
+    let spec = ViewSpec::identity(&dtd);
+    let doc = hospital::generate_document(&vocab, 21, 1_500);
+    for (_, q) in hospital::DOC_QUERIES {
+        let path = parse_path(q, &vocab).unwrap();
+        let mfa = rewrite(&path, &spec);
+        let (got, _) = evaluate_mfa(&doc, &mfa);
+        assert_eq!(got, naive(&doc, &path), "identity view changed `{q}`");
+    }
+}
+
+#[test]
+fn engine_level_equivalence() {
+    use smoqe::{Engine, User};
+    let engine = Engine::with_defaults();
+    engine.load_dtd(hospital::DTD).unwrap();
+    engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+    engine.register_policy("g", hospital::POLICY).unwrap();
+    let session = engine.session(User::Group("g".into()));
+    let view = engine.materialize_view("g").unwrap();
+    let vocab = engine.vocabulary();
+    for (_, q) in hospital::VIEW_QUERIES {
+        let answer = session.query(q).unwrap();
+        let path = parse_path(q, vocab).unwrap();
+        let expected = view.origins_of(naive(&view.doc, &path).iter());
+        assert_eq!(answer.nodes.as_slice(), expected.as_slice(), "engine differs on `{q}`");
+    }
+}
