@@ -24,6 +24,4 @@ pub mod mfa;
 pub mod optimize;
 
 pub use build::{compile, compile_qualifier, Builder};
-pub use mfa::{
-    EpsEdge, LabelTest, Mfa, MfaStats, Nfa, NfaId, Pred, PredId, StateId, Transition,
-};
+pub use mfa::{EpsEdge, LabelTest, Mfa, MfaStats, Nfa, NfaId, Pred, PredId, StateId, Transition};

@@ -19,8 +19,14 @@ fn bench_ablation(c: &mut Criterion) {
     // matters most: rewriting produces dead product states.
     let queries = [
         ("view_meds", "hospital/patient/treatment/medication"),
-        ("view_closure", "hospital/patient/(parent/patient)*/treatment"),
-        ("view_pred", "hospital/patient[treatment/medication = 'autism']"),
+        (
+            "view_closure",
+            "hospital/patient/(parent/patient)*/treatment",
+        ),
+        (
+            "view_pred",
+            "hospital/patient[treatment/medication = 'autism']",
+        ),
     ];
     for (name, q) in queries {
         let path = parse_path(q, &setup.vocab).unwrap();

@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smoqe::workloads::hospital;
 use smoqe_automata::{compile, optimize::optimize};
-use smoqe_hype::stream::{evaluate_stream, StreamOptions};
 use smoqe_hype::evaluate_mfa;
+use smoqe_hype::stream::{evaluate_stream, StreamOptions};
 use smoqe_rxpath::parse_path;
 use smoqe_xml::{generate_to_writer, Document, Vocabulary};
 

@@ -1,0 +1,66 @@
+//! Plan-cache benchmark: how much of a query's latency the shared plan
+//! cache removes.
+//!
+//! `cold` forces the full parse → rewrite → compile → optimize pipeline on
+//! every call (cache disabled); `warm` uses a default engine where every
+//! call after the first is a cache hit. The gap is the per-query planning
+//! cost the catalog amortizes across a serving workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoqe::workloads::hospital;
+use smoqe::{DocHandle, Engine, EngineConfig, User};
+
+fn prepared_document(config: EngineConfig) -> DocHandle {
+    let engine = Engine::new(config);
+    let doc = engine.open_document("bench");
+    doc.load_dtd(hospital::DTD).unwrap();
+    doc.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+    doc.register_policy("g", hospital::POLICY).unwrap();
+    doc
+}
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_cache");
+    let cold = prepared_document(EngineConfig {
+        plan_cache_capacity: 0,
+        ..EngineConfig::default()
+    });
+    let warm = prepared_document(EngineConfig::default());
+    let user = User::Group("g".into());
+
+    for (name, query) in hospital::VIEW_QUERIES {
+        group.bench_with_input(BenchmarkId::new("cold", name), query, |b, q| {
+            b.iter(|| cold.plan(&user, q).unwrap())
+        });
+        // Prime once, then every iteration is a hit.
+        warm.plan(&user, query).unwrap();
+        group.bench_with_input(BenchmarkId::new("warm", name), query, |b, q| {
+            b.iter(|| warm.plan(&user, q).unwrap())
+        });
+    }
+
+    group.bench_function("end_to_end_query_cold", |b| {
+        let session = cold.session(User::Group("g".into()));
+        b.iter(|| session.query(hospital::VIEW_QUERIES[0].1).unwrap())
+    });
+    group.bench_function("end_to_end_query_warm", |b| {
+        let session = warm.session(User::Group("g".into()));
+        b.iter(|| session.query(hospital::VIEW_QUERIES[0].1).unwrap())
+    });
+    group.finish();
+
+    let metrics = warm.engine().cache_metrics();
+    println!(
+        "plan_cache: warm engine saw {} hits / {} misses ({}% hit rate)",
+        metrics.hits,
+        metrics.misses,
+        (metrics.hit_rate() * 100.0).round()
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_plan_cache
+}
+criterion_main!(benches);

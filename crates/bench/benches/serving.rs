@@ -1,0 +1,92 @@
+//! Multi-threaded serving benchmark: one engine, many concurrent
+//! sessions.
+//!
+//! Models the paper's Fig. 1 deployment — a population of user-group
+//! members firing view queries at a shared engine — and measures total
+//! wall-clock for a fixed batch of queries at increasing thread counts.
+//! Owned `Send + Sync` sessions and snapshot-based evaluation mean the
+//! threads share nothing hot but the plan cache, so the batch should
+//! scale with cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoqe::workloads::hospital;
+use smoqe::{Engine, Session, User};
+use std::sync::Arc;
+
+const QUERIES_PER_BATCH: usize = 64;
+
+fn serving_sessions() -> Vec<Session> {
+    let engine = Engine::with_defaults();
+    let doc = engine.open_document("hospital");
+    doc.load_dtd(hospital::DTD).unwrap();
+    let tree = hospital::generate_document(engine.vocabulary(), 11, 5_000);
+    doc.load_document_tree(tree);
+    doc.build_tax_index().unwrap();
+    doc.register_policy("researchers", hospital::POLICY)
+        .unwrap();
+    vec![
+        doc.session(User::Group("researchers".into())),
+        doc.session(User::Admin),
+    ]
+}
+
+/// Runs `QUERIES_PER_BATCH` queries spread over `threads` worker threads.
+fn run_batch(sessions: &[Session], threads: usize) -> usize {
+    let work: Vec<(Session, &str)> = (0..QUERIES_PER_BATCH)
+        .map(|i| {
+            let session = sessions[i % sessions.len()].clone();
+            let queries = match session.user() {
+                User::Admin => hospital::DOC_QUERIES,
+                User::Group(_) => hospital::VIEW_QUERIES,
+            };
+            (session, queries[i % queries.len()].1)
+        })
+        .collect();
+    let work = Arc::new(work);
+    let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let work = work.clone();
+        let next = next.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut answered = 0usize;
+            loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some((session, query)) = work.get(i) else {
+                    return answered;
+                };
+                answered += session.query(query).unwrap().len();
+            }
+        }));
+    }
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let sessions = serving_sessions();
+    // Correctness guard: every thread count must produce the same total.
+    let reference = run_batch(&sessions, 1);
+    let mut group = c.benchmark_group("serving");
+    for threads in [1usize, 2, 4, 8] {
+        assert_eq!(run_batch(&sessions, threads), reference);
+        group.bench_with_input(
+            BenchmarkId::new("batch64", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_batch(&sessions, threads)),
+        );
+    }
+    group.finish();
+
+    let metrics = sessions[0].engine().cache_metrics();
+    println!(
+        "serving: plan cache {} hits / {} misses over all batches",
+        metrics.hits, metrics.misses
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serving
+}
+criterion_main!(benches);

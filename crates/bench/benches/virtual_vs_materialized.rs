@@ -29,11 +29,9 @@ fn bench_virtual(c: &mut Criterion) {
         });
         // Pre-materialized (amortized) evaluation, for fairness.
         let view = materialize(&setup.spec, &setup.doc).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("premat_eval", name),
-            &path,
-            |b, p| b.iter(|| naive(&view.doc, p)),
-        );
+        group.bench_with_input(BenchmarkId::new("premat_eval", name), &path, |b, p| {
+            b.iter(|| naive(&view.doc, p))
+        });
     }
     group.finish();
 }

@@ -119,7 +119,13 @@ fn e3(quick: bool) {
         &[1_000, 10_000, 100_000]
     };
     let mut table = Table::new(&[
-        "nodes", "query", "HyPE", "two-pass", "naive", "|Cans|", "Cans/visited",
+        "nodes",
+        "query",
+        "HyPE",
+        "two-pass",
+        "naive",
+        "|Cans|",
+        "Cans/visited",
     ]);
     for &size in sizes {
         let setup = HospitalSetup::generated(42, size);
@@ -180,9 +186,13 @@ fn e4(quick: bool) {
             let stream_t = time_mean(iters, || {
                 evaluate_stream(xml.as_bytes(), &mfa, &vocab, StreamOptions::default()).unwrap()
             });
-            let outcome =
-                evaluate_stream(xml.as_bytes(), &mfa, &vocab, StreamOptions { want_xml: true })
-                    .unwrap();
+            let outcome = evaluate_stream(
+                xml.as_bytes(),
+                &mfa,
+                &vocab,
+                StreamOptions { want_xml: true },
+            )
+            .unwrap();
             // Stream answers match DOM answers.
             let (dom_answers, _) = evaluate_mfa(&doc, &mfa);
             assert_eq!(
@@ -274,11 +284,7 @@ fn e5(quick: bool) {
 /// E6 (§1/§2): virtual views (rewrite + HyPE) vs materialize-then-query.
 fn e6(quick: bool) {
     println!("## E6  Virtual views vs materialization\n");
-    let sizes: &[usize] = if quick {
-        &[5_000]
-    } else {
-        &[5_000, 50_000]
-    };
+    let sizes: &[usize] = if quick { &[5_000] } else { &[5_000, 50_000] };
     let mut table = Table::new(&[
         "nodes",
         "view query",
@@ -315,7 +321,10 @@ fn e6(quick: bool) {
                 expected.as_slice(),
                 "equivalence violated for {name}"
             );
-            assert_eq!(tax_answers, virtual_answers, "TAX changed answers for {name}");
+            assert_eq!(
+                tax_answers, virtual_answers,
+                "TAX changed answers for {name}"
+            );
             table.row(vec![
                 size.to_string(),
                 name.to_string(),

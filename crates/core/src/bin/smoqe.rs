@@ -1,18 +1,24 @@
 //! `smoqe` — a command-line front end to the engine.
 //!
 //! The 2006 demo drove SMOQE through the iSMOQE GUI; this CLI covers the
-//! same demonstration flows non-interactively (DESIGN.md §4):
+//! same demonstration flows non-interactively, now on top of the
+//! multi-tenant catalog API:
 //!
 //! ```text
 //! smoqe derive   --dtd D.dtd --policy P.pol            # Fig. 3: show sigma + view DTD
-//! smoqe query    --dtd D.dtd --doc T.xml [--policy P.pol] [--stream] [--tax] QUERY
+//! smoqe query    --dtd D.dtd --doc T.xml [--policy P.pol] [--stream] [--tax]
+//!                [--repeat N] [--cache-stats] QUERY
 //! smoqe explain  --dtd D.dtd [--policy P.pol] QUERY    # rewritten MFA listing
 //! smoqe trace    --dtd D.dtd --doc T.xml [--policy P.pol] QUERY   # Fig. 5 trace
 //! smoqe index    --doc T.xml --out T.tax               # build + persist TAX
 //! smoqe generate --dtd D.dtd --nodes N --seed S        # synthetic document on stdout
 //! ```
+//!
+//! `--repeat N` re-runs the query N times: every run after the first hits
+//! the shared plan cache, and `--cache-stats` prints the engine's
+//! hit/miss/invalidation counters afterwards.
 
-use smoqe::{DocumentMode, Engine, EngineConfig, User};
+use smoqe::{DocHandle, DocumentMode, Engine, EngineConfig, User};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -33,6 +39,12 @@ struct Args {
     positional: Vec<String>,
 }
 
+impl Args {
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
 fn parse_args(raw: &[String]) -> Args {
     let mut flags = std::collections::HashMap::new();
     let mut switches = Vec::new();
@@ -42,7 +54,10 @@ fn parse_args(raw: &[String]) -> Args {
         let a = &raw[i];
         if let Some(name) = a.strip_prefix("--") {
             // Switches without values.
-            if matches!(name, "stream" | "tax" | "no-optimize" | "dot") {
+            if matches!(
+                name,
+                "stream" | "tax" | "no-optimize" | "dot" | "cache-stats"
+            ) {
                 switches.push(name.to_string());
                 i += 1;
             } else if i + 1 < raw.len() {
@@ -93,7 +108,8 @@ fn print_usage() {
          commands:\n\
            derive   --dtd FILE --policy FILE                 derive the security view (Fig. 3)\n\
            query    --dtd FILE --doc FILE [--policy FILE]\n\
-                    [--stream] [--tax] [--no-optimize] QUERY answer a Regular XPath query\n\
+                    [--stream] [--tax] [--no-optimize]\n\
+                    [--repeat N] [--cache-stats] QUERY       answer a Regular XPath query\n\
            explain  --dtd FILE [--policy FILE] QUERY         show the (rewritten) MFA\n\
            trace    --dtd FILE --doc FILE [--policy FILE] Q  annotated evaluation trace (Fig. 5)\n\
            index    --doc FILE --out FILE                    build + persist the TAX index\n\
@@ -111,29 +127,32 @@ fn required<'a>(args: &'a Args, name: &str) -> Result<&'a str, Box<dyn std::erro
         .ok_or_else(|| format!("missing --{name}").into())
 }
 
-fn build_engine(args: &Args) -> Result<(Engine, User), Box<dyn std::error::Error>> {
+/// Builds an engine, opens a catalog document named `cli`, loads schema and
+/// data into it, and registers the policy group when one is given.
+fn build_document(args: &Args) -> Result<(DocHandle, User), Box<dyn std::error::Error>> {
     let mut config = EngineConfig::default();
-    if args.switches.iter().any(|s| s == "stream") {
+    if args.switch("stream") {
         config.mode = DocumentMode::Stream;
     }
-    config.use_tax = args.switches.iter().any(|s| s == "tax");
-    config.optimize_mfa = !args.switches.iter().any(|s| s == "no-optimize");
+    config.use_tax = args.switch("tax");
+    config.optimize_mfa = !args.switch("no-optimize");
     let engine = Engine::new(config);
-    engine.load_dtd(&std::fs::read_to_string(required(args, "dtd")?)?)?;
-    if let Some(doc) = args.flags.get("doc") {
-        engine.load_document_file(doc)?;
+    let doc = engine.open_document("cli");
+    doc.load_dtd(&std::fs::read_to_string(required(args, "dtd")?)?)?;
+    if let Some(path) = args.flags.get("doc") {
+        doc.load_document_file(path)?;
         if config.use_tax {
-            engine.build_tax_index()?;
+            doc.build_tax_index()?;
         }
     }
     let user = match args.flags.get("policy") {
         Some(p) => {
-            engine.register_policy("cli", &std::fs::read_to_string(p)?)?;
-            User::Group("cli".into())
+            doc.register_policy("cli-group", &std::fs::read_to_string(p)?)?;
+            User::Group("cli-group".into())
         }
         None => User::Admin,
     };
-    Ok((engine, user))
+    Ok((doc, user))
 }
 
 fn the_query(args: &Args) -> Result<&str, Box<dyn std::error::Error>> {
@@ -158,29 +177,54 @@ fn cmd_derive(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let (engine, user) = build_engine(args)?;
-    let session = engine.session(user);
+    let (doc, user) = build_document(args)?;
+    let session = doc.session(user);
     let query = the_query(args)?;
-    let xmls = session.query_xml(query)?;
-    let answer = session.query(query)?;
+    let repeat: usize = args
+        .flags
+        .get("repeat")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1)
+        .max(1);
+    let mut answer = session.query(query)?;
+    for _ in 1..repeat {
+        answer = session.query(query)?;
+    }
     eprintln!(
-        "{} answer(s); visited {} nodes, |Cans| = {}, pruned {} (dead) + {} (TAX)",
+        "{} answer(s); visited {} nodes, |Cans| = {}, pruned {} (dead) + {} (TAX){}",
         answer.len(),
         answer.stats.nodes_visited,
         answer.stats.cans_size,
         answer.stats.subtrees_skipped_dead,
         answer.stats.subtrees_pruned_tax,
+        if answer.plan_cached {
+            "; plan from cache"
+        } else {
+            ""
+        },
     );
-    for xml in xmls {
+    for xml in session.query_xml(query)? {
         println!("{xml}");
+    }
+    if args.switch("cache-stats") {
+        let m = doc.engine().cache_metrics();
+        eprintln!(
+            "plan cache: {} hit(s), {} miss(es), {} invalidation(s), {} resident ({}% hit rate)",
+            m.hits,
+            m.misses,
+            m.invalidations,
+            m.entries,
+            (m.hit_rate() * 100.0).round(),
+        );
     }
     Ok(())
 }
 
 fn cmd_explain(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let (engine, user) = build_engine(args)?;
-    let mfa = engine.plan(&user, the_query(args)?)?;
-    if args.switches.iter().any(|s| s == "dot") {
+    let (doc, user) = build_document(args)?;
+    let mfa = doc.plan(&user, the_query(args)?)?;
+    if args.switch("dot") {
         println!("{}", smoqe::viz::mfa_to_dot(&mfa));
     } else {
         println!("{}", smoqe::viz::mfa_listing(&mfa));
@@ -189,12 +233,12 @@ fn cmd_explain(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let (engine, user) = build_engine(args)?;
-    let session = engine.session(user);
+    let (doc, user) = build_document(args)?;
+    let session = doc.session(user);
     let mut trace = smoqe::viz::TraceCollector::new();
     let answer = session.query_observed(the_query(args)?, &mut trace)?;
-    let doc = engine.document()?;
-    println!("{}", smoqe::viz::annotated_tree(&doc, &trace));
+    let tree = doc.document()?;
+    println!("{}", smoqe::viz::annotated_tree(&tree, &trace));
     eprintln!("{} answer(s)", answer.len());
     Ok(())
 }

@@ -1,0 +1,302 @@
+//! The multi-tenant document catalog.
+//!
+//! The paper's Fig. 1 shows SMOQE as a *server*: one engine, many
+//! documents, many user groups whose queries are transparently rewritten
+//! against their security views. The catalog is the engine-side realization
+//! of that picture: it maps document *names* to [`DocumentEntry`] values,
+//! each owning its DTD, its raw/stream source, its TAX index and the views
+//! registered for its user groups.
+//!
+//! Every entry carries **generation counters**: the document generation is
+//! bumped whenever the DTD or the document itself is replaced, and each
+//! registered view carries the generation at which it was (re)registered.
+//! The [plan cache](crate::plancache) keys compiled plans by these
+//! generations, so replacing a document, its DTD, or a view invalidates
+//! exactly the affected plans without any cross-lock coordination.
+
+use crate::engine::{Answer, Engine, Session, User};
+use crate::error::EngineError;
+use crate::sync::RwLock;
+use smoqe_automata::Mfa;
+use smoqe_tax::TaxIndex;
+use smoqe_view::ViewSpec;
+use smoqe_xml::{Document, Dtd};
+use std::collections::HashMap;
+use std::path::{Path as FsPath, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A loaded document with its streamable backing (if any) and the TAX
+/// index built over exactly this document. Shared out of the entry as one
+/// [`Arc`] snapshot so evaluation never holds entry locks and can never
+/// pair a document with an index built over a different one.
+pub(crate) struct LoadedSource {
+    pub(crate) doc: Arc<Document>,
+    /// Raw XML text (kept when loaded from a string) for streaming mode.
+    pub(crate) raw: Option<Arc<String>>,
+    /// File path (kept when loaded from disk) for streaming mode.
+    pub(crate) path: Option<PathBuf>,
+    /// TAX index over `doc`, if built or loaded.
+    pub(crate) tax: Option<Arc<TaxIndex>>,
+}
+
+impl LoadedSource {
+    /// The same source with `tax` attached.
+    pub(crate) fn with_tax(&self, tax: Arc<TaxIndex>) -> Self {
+        LoadedSource {
+            doc: self.doc.clone(),
+            raw: self.raw.clone(),
+            path: self.path.clone(),
+            tax: Some(tax),
+        }
+    }
+}
+
+/// A registered view plus the generation at which it was registered.
+pub(crate) struct ViewSlot {
+    pub(crate) spec: Arc<ViewSpec>,
+    pub(crate) generation: u64,
+}
+
+/// Source of [`DocumentEntry::id`] values: unique across every entry an
+/// engine process ever creates, so a dropped-and-reopened document name
+/// can never alias a prior entry's plan-cache keys.
+static NEXT_ENTRY_ID: AtomicU64 = AtomicU64::new(0);
+
+/// One named document and everything scoped to it: DTD, source (with its
+/// TAX index), per-group views, and the generation counters driving
+/// plan-cache invalidation.
+pub struct DocumentEntry {
+    name: String,
+    id: u64,
+    pub(crate) dtd: RwLock<Option<Arc<Dtd>>>,
+    pub(crate) source: RwLock<Option<Arc<LoadedSource>>>,
+    pub(crate) views: RwLock<HashMap<String, ViewSlot>>,
+    /// Bumped on every DTD or document replacement.
+    generation: AtomicU64,
+    /// Source of view generations (also bumped by document replacement so
+    /// view generations are unique per entry lifetime).
+    counter: AtomicU64,
+}
+
+impl DocumentEntry {
+    pub(crate) fn new(name: &str) -> Self {
+        DocumentEntry {
+            name: name.to_string(),
+            id: NEXT_ENTRY_ID.fetch_add(1, Ordering::Relaxed),
+            dtd: RwLock::new(None),
+            source: RwLock::new(None),
+            views: RwLock::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The catalog name of this document.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The process-unique identity of this entry (survives nothing — a
+    /// re-opened name gets a fresh id).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The current document generation (bumped on DTD/document
+    /// replacement).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn bump_generation(&self) {
+        let next = self.counter.fetch_add(1, Ordering::AcqRel) + 1;
+        self.generation.store(next, Ordering::Release);
+    }
+
+    pub(crate) fn next_view_generation(&self) -> u64 {
+        self.counter.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The registered view for `group`, with its generation.
+    pub(crate) fn view_slot(&self, group: &str) -> Result<(Arc<ViewSpec>, u64), EngineError> {
+        self.views
+            .read()
+            .get(group)
+            .map(|slot| (slot.spec.clone(), slot.generation))
+            .ok_or_else(|| EngineError::UnknownGroup(group.to_string()))
+    }
+
+    /// A snapshot of the loaded source, independent of the entry's locks.
+    pub(crate) fn snapshot(&self) -> Result<Arc<LoadedSource>, EngineError> {
+        self.source.read().clone().ok_or(EngineError::NoDocument)
+    }
+}
+
+/// The name → entry map. Engine-internal; reached through
+/// [`Engine::open_document`] and the `DocHandle` it returns.
+#[derive(Default)]
+pub(crate) struct Catalog {
+    entries: RwLock<HashMap<String, Arc<DocumentEntry>>>,
+}
+
+impl Catalog {
+    /// Returns the entry for `name`, creating an empty one if absent.
+    pub(crate) fn entry_or_create(&self, name: &str) -> Arc<DocumentEntry> {
+        if let Some(entry) = self.entries.read().get(name) {
+            return entry.clone();
+        }
+        self.entries
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(DocumentEntry::new(name)))
+            .clone()
+    }
+
+    /// The entry for `name`, or `UnknownDocument`.
+    pub(crate) fn entry(&self, name: &str) -> Result<Arc<DocumentEntry>, EngineError> {
+        self.entries
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownDocument(name.to_string()))
+    }
+
+    /// Removes `name`, returning whether it existed. Live sessions bound
+    /// to the entry keep their handle; only the catalog forgets it.
+    pub(crate) fn remove(&self, name: &str) -> bool {
+        self.entries.write().remove(name).is_some()
+    }
+
+    /// Sorted catalog names.
+    pub(crate) fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// An owned, thread-safe handle to one named document of an engine.
+///
+/// Handles are cheap to clone and `Send + Sync`; they are the write path
+/// of the catalog (loading DTDs/documents, building indexes, registering
+/// views) and mint [`Session`]s for the read path.
+#[derive(Clone)]
+pub struct DocHandle {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) entry: Arc<DocumentEntry>,
+}
+
+impl DocHandle {
+    /// The catalog name of this document.
+    pub fn name(&self) -> &str {
+        self.entry.name()
+    }
+
+    /// The engine this handle belongs to.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Parses and installs the document DTD. Invalidates cached plans for
+    /// this document.
+    pub fn load_dtd(&self, dtd_text: &str) -> Result<(), EngineError> {
+        self.engine.load_dtd_on(&self.entry, dtd_text)
+    }
+
+    /// The installed DTD, if any.
+    pub fn dtd(&self) -> Option<Arc<Dtd>> {
+        self.entry.dtd.read().clone()
+    }
+
+    /// Loads a document from XML text, validating against the DTD when one
+    /// is installed. Invalidates cached plans for this document.
+    pub fn load_document(&self, xml: &str) -> Result<(), EngineError> {
+        self.engine.load_document_on(&self.entry, xml)
+    }
+
+    /// Loads (and validates) a document from a file.
+    pub fn load_document_file(&self, path: impl AsRef<FsPath>) -> Result<(), EngineError> {
+        self.engine
+            .load_document_file_on(&self.entry, path.as_ref())
+    }
+
+    /// Installs an already-built document (e.g. from the generator).
+    pub fn load_document_tree(&self, doc: Document) {
+        self.engine.load_document_tree_on(&self.entry, doc)
+    }
+
+    /// The loaded document.
+    pub fn document(&self) -> Result<Arc<Document>, EngineError> {
+        Ok(self.entry.snapshot()?.doc.clone())
+    }
+
+    /// Builds the TAX index over the loaded document.
+    pub fn build_tax_index(&self) -> Result<Arc<TaxIndex>, EngineError> {
+        self.engine.build_tax_index_on(&self.entry)
+    }
+
+    /// The TAX index, if built or loaded.
+    pub fn tax_index(&self) -> Option<Arc<TaxIndex>> {
+        self.entry
+            .source
+            .read()
+            .as_ref()
+            .and_then(|s| s.tax.clone())
+    }
+
+    /// Persists the TAX index to disk.
+    pub fn save_tax_index(&self, path: impl AsRef<FsPath>) -> Result<(), EngineError> {
+        self.engine.save_tax_index_on(&self.entry, path.as_ref())
+    }
+
+    /// Loads a TAX index from disk.
+    pub fn load_tax_index(&self, path: impl AsRef<FsPath>) -> Result<(), EngineError> {
+        self.engine.load_tax_index_on(&self.entry, path.as_ref())
+    }
+
+    /// Registers a user group by access-control policy; the view is
+    /// derived automatically. Re-registering invalidates the group's
+    /// cached plans.
+    pub fn register_policy(&self, group: &str, policy_text: &str) -> Result<(), EngineError> {
+        self.engine
+            .register_policy_on(&self.entry, group, policy_text)
+    }
+
+    /// Registers a user group with a hand-authored view specification.
+    pub fn register_view_spec(&self, group: &str, spec_text: &str) -> Result<(), EngineError> {
+        self.engine
+            .register_view_spec_on(&self.entry, group, spec_text)
+    }
+
+    /// The view spec registered for `group`.
+    pub fn view(&self, group: &str) -> Result<Arc<ViewSpec>, EngineError> {
+        Ok(self.entry.view_slot(group)?.0)
+    }
+
+    /// Materializes the view of `group` (tests and baselines only).
+    pub fn materialize_view(
+        &self,
+        group: &str,
+    ) -> Result<smoqe_view::MaterializedView, EngineError> {
+        let spec = self.view(group)?;
+        let doc = self.document()?;
+        Ok(smoqe_view::materialize(&spec, &doc)?)
+    }
+
+    /// Compiles (and caches) the plan `user` would run for `query` on this
+    /// document.
+    pub fn plan(&self, user: &User, query: &str) -> Result<Arc<Mfa>, EngineError> {
+        self.engine.plan_on(&self.entry, user, query)
+    }
+
+    /// Answers `query` as `user` without constructing a session.
+    pub fn query(&self, user: &User, query: &str) -> Result<Answer, EngineError> {
+        self.session(user.clone()).query(query)
+    }
+
+    /// Opens an owned session for `user` on this document.
+    pub fn session(&self, user: User) -> Session {
+        Session::new(self.engine.clone(), self.entry.clone(), user)
+    }
+}

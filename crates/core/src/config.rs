@@ -21,6 +21,9 @@ pub struct EngineConfig {
     pub use_tax: bool,
     /// Run the MFA optimizer on compiled/rewritten queries.
     pub optimize_mfa: bool,
+    /// Maximum number of compiled plans memoized engine-wide (0 disables
+    /// the plan cache entirely).
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -29,6 +32,7 @@ impl Default for EngineConfig {
             mode: DocumentMode::Dom,
             use_tax: true,
             optimize_mfa: true,
+            plan_cache_capacity: 1024,
         }
     }
 }
@@ -40,6 +44,7 @@ impl EngineConfig {
             mode: DocumentMode::Dom,
             use_tax: false,
             optimize_mfa: false,
+            plan_cache_capacity: 0,
         }
     }
 
@@ -49,6 +54,7 @@ impl EngineConfig {
             mode: DocumentMode::Stream,
             use_tax: false,
             optimize_mfa: true,
+            ..EngineConfig::default()
         }
     }
 }
@@ -63,7 +69,10 @@ mod tests {
         assert_eq!(c.mode, DocumentMode::Dom);
         assert!(c.use_tax);
         assert!(c.optimize_mfa);
+        assert!(c.plan_cache_capacity > 0);
         assert!(!EngineConfig::plain().use_tax);
+        assert_eq!(EngineConfig::plain().plan_cache_capacity, 0);
         assert_eq!(EngineConfig::streaming().mode, DocumentMode::Stream);
+        assert!(EngineConfig::streaming().plan_cache_capacity > 0);
     }
 }

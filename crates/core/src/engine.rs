@@ -1,49 +1,54 @@
-//! The SMOQE engine façade: documents, views, sessions, queries.
+//! The SMOQE engine façade: a multi-tenant catalog of documents, a shared
+//! compiled-plan cache, and owned, thread-safe sessions.
 //!
-//! Mirrors the architecture of Fig. 1: the engine owns the document (DOM
-//! or streamable source), the **indexer** (TAX), and the registered
-//! security views; a [`Session`] is the access path of one user — either
-//! an administrator querying the document directly, or a member of a user
-//! group whose queries are transparently **rewritten** against the group's
-//! virtual view and answered without materialization (§2, "Query
-//! support").
+//! Mirrors the architecture of Fig. 1 at serving scale: the engine owns
+//! *named* documents (each with its DTD, DOM/stream source, TAX index and
+//! registered security views — see [`crate::catalog`]); a [`Session`] is
+//! the access path of one user into one document — either an administrator
+//! querying it directly, or a member of a user group whose queries are
+//! transparently **rewritten** against the group's virtual view and
+//! answered without materialization (§2, "Query support").
+//!
+//! Sessions are owned values (`Arc`-based, `Send + Sync`): one engine
+//! answers queries from many threads concurrently. Evaluation works on
+//! snapshots (`Arc` clones) of the catalog state, so no lock is held while
+//! a query runs, and compiled plans are memoized engine-wide in the
+//! [plan cache](crate::plancache).
 
+use crate::catalog::{Catalog, DocHandle, DocumentEntry, LoadedSource, ViewSlot};
 use crate::config::{DocumentMode, EngineConfig};
 use crate::error::EngineError;
-use parking_lot::RwLock;
+use crate::plancache::{CacheMetrics, PlanCache, PlanKey};
 use smoqe_automata::{compile, optimize::optimize, Mfa};
 use smoqe_hype::dom::{evaluate_mfa_with, DomOptions};
 use smoqe_hype::stream::{evaluate_stream_with, StreamOptions};
 use smoqe_hype::{EvalObserver, EvalStats, NoopObserver};
-use smoqe_rxpath::{parse_path, Path};
+use smoqe_rxpath::parse_path;
 use smoqe_tax::TaxIndex;
 use smoqe_view::{derive, materialize, materialize_fragment, AccessPolicy, ViewSpec};
 use smoqe_xml::{Document, Dtd, NodeId, Vocabulary};
-use std::collections::HashMap;
 use std::path::{Path as FsPath, PathBuf};
 use std::sync::Arc;
 
-/// A loaded document with its streamable backing (if any).
-struct LoadedSource {
-    doc: Arc<Document>,
-    /// Raw XML text (kept when loaded from a string) for streaming mode.
-    raw: Option<Arc<String>>,
-    /// File path (kept when loaded from disk) for streaming mode.
-    path: Option<PathBuf>,
-}
+/// The catalog name used by the single-document convenience methods
+/// ([`Engine::load_document`] and friends).
+pub const DEFAULT_DOCUMENT: &str = "default";
 
 /// The Secure MOdular Query Engine.
+///
+/// Construct with [`Engine::new`] / [`Engine::with_defaults`] (both return
+/// `Arc<Engine>`), populate the catalog through [`Engine::open_document`],
+/// then serve queries through owned [`Session`]s from as many threads as
+/// desired.
 pub struct Engine {
     vocab: Vocabulary,
     config: EngineConfig,
-    dtd: RwLock<Option<Arc<Dtd>>>,
-    source: RwLock<Option<LoadedSource>>,
-    tax: RwLock<Option<Arc<TaxIndex>>>,
-    views: RwLock<HashMap<String, Arc<ViewSpec>>>,
+    catalog: Catalog,
+    plans: PlanCache,
 }
 
 /// Who a session belongs to.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum User {
     /// May query the underlying document directly.
     Admin,
@@ -51,9 +56,16 @@ pub enum User {
     Group(String),
 }
 
-/// One user's access path into the engine.
-pub struct Session<'e> {
-    engine: &'e Engine,
+/// One user's owned access path into one document of an engine.
+///
+/// Sessions are `Send + Sync + Clone`: hand them to worker threads freely.
+/// A session holds `Arc`s to the engine and its document entry, never
+/// locks, so concurrent queries proceed in parallel and a session stays
+/// valid (seeing the latest contents) across document reloads.
+#[derive(Clone)]
+pub struct Session {
+    engine: Arc<Engine>,
+    entry: Arc<DocumentEntry>,
     user: User,
 }
 
@@ -65,6 +77,8 @@ pub struct Answer {
     pub nodes: Vec<NodeId>,
     /// Evaluator counters.
     pub stats: EvalStats,
+    /// Whether the plan came from the engine's plan cache.
+    pub plan_cached: bool,
     /// Serialized answer subtrees (always present in stream mode; filled
     /// lazily from the DOM otherwise via [`Answer::serialize_with`]).
     pub xml: Option<Vec<String>>,
@@ -96,19 +110,17 @@ impl Answer {
 impl Engine {
     /// Creates an engine with the given configuration and a fresh
     /// vocabulary.
-    pub fn new(config: EngineConfig) -> Self {
-        Engine {
+    pub fn new(config: EngineConfig) -> Arc<Self> {
+        Arc::new(Engine {
             vocab: Vocabulary::new(),
+            plans: PlanCache::new(config.plan_cache_capacity),
             config,
-            dtd: RwLock::new(None),
-            source: RwLock::new(None),
-            tax: RwLock::new(None),
-            views: RwLock::new(HashMap::new()),
-        }
+            catalog: Catalog::default(),
+        })
     }
 
     /// Creates an engine with default configuration.
-    pub fn with_defaults() -> Self {
+    pub fn with_defaults() -> Arc<Self> {
         Engine::new(EngineConfig::default())
     }
 
@@ -123,180 +135,406 @@ impl Engine {
         self.config
     }
 
-    /// Parses and installs the document DTD.
+    // ------------------------------------------------------------------
+    // Catalog management
+    // ------------------------------------------------------------------
+
+    /// Opens (creating if necessary) the named document, returning an
+    /// owned handle for loading data and minting sessions.
+    pub fn open_document(self: &Arc<Self>, name: &str) -> DocHandle {
+        DocHandle {
+            engine: self.clone(),
+            entry: self.catalog.entry_or_create(name),
+        }
+    }
+
+    /// A handle to an *existing* document, or `UnknownDocument`.
+    pub fn document_handle(self: &Arc<Self>, name: &str) -> Result<DocHandle, EngineError> {
+        Ok(DocHandle {
+            engine: self.clone(),
+            entry: self.catalog.entry(name)?,
+        })
+    }
+
+    /// Removes `name` from the catalog and purges its cached plans.
+    /// Sessions already bound to the document keep working on it.
+    pub fn drop_document(&self, name: &str) -> bool {
+        let existed = self.catalog.remove(name);
+        if existed {
+            self.plans.purge_document(name);
+        }
+        existed
+    }
+
+    /// Sorted names of the documents currently in the catalog.
+    pub fn document_names(&self) -> Vec<String> {
+        self.catalog.names()
+    }
+
+    /// Point-in-time plan-cache counters (hits, misses, invalidations,
+    /// resident entries).
+    pub fn cache_metrics(&self) -> CacheMetrics {
+        self.plans.metrics()
+    }
+
+    // ------------------------------------------------------------------
+    // Single-document conveniences (operate on `DEFAULT_DOCUMENT`)
+    // ------------------------------------------------------------------
+
+    fn default_entry(&self) -> Arc<DocumentEntry> {
+        self.catalog.entry_or_create(DEFAULT_DOCUMENT)
+    }
+
+    /// Parses and installs the default document's DTD.
     pub fn load_dtd(&self, dtd_text: &str) -> Result<(), EngineError> {
+        self.load_dtd_on(&self.default_entry(), dtd_text)
+    }
+
+    /// The default document's DTD, if any.
+    pub fn dtd(&self) -> Option<Arc<Dtd>> {
+        self.default_entry().dtd.read().clone()
+    }
+
+    /// Loads the default document from XML text, validating against the
+    /// DTD when one is installed.
+    pub fn load_document(&self, xml: &str) -> Result<(), EngineError> {
+        self.load_document_on(&self.default_entry(), xml)
+    }
+
+    /// Loads (and validates) the default document from a file.
+    pub fn load_document_file(&self, path: impl AsRef<FsPath>) -> Result<(), EngineError> {
+        self.load_document_file_on(&self.default_entry(), path.as_ref())
+    }
+
+    /// Installs an already-built default document (e.g. from the
+    /// generator).
+    pub fn load_document_tree(&self, doc: Document) {
+        self.load_document_tree_on(&self.default_entry(), doc)
+    }
+
+    /// The loaded default document.
+    pub fn document(&self) -> Result<Arc<Document>, EngineError> {
+        Ok(self.default_entry().snapshot()?.doc.clone())
+    }
+
+    /// Builds the TAX index over the default document (the "indexer" box
+    /// of Fig. 1).
+    pub fn build_tax_index(&self) -> Result<Arc<TaxIndex>, EngineError> {
+        self.build_tax_index_on(&self.default_entry())
+    }
+
+    /// The default document's TAX index, if built or loaded.
+    pub fn tax_index(&self) -> Option<Arc<TaxIndex>> {
+        self.default_entry()
+            .source
+            .read()
+            .as_ref()
+            .and_then(|s| s.tax.clone())
+    }
+
+    /// Persists the default document's TAX index ("compresses it before
+    /// it is stored in disk").
+    pub fn save_tax_index(&self, path: impl AsRef<FsPath>) -> Result<(), EngineError> {
+        self.save_tax_index_on(&self.default_entry(), path.as_ref())
+    }
+
+    /// Loads a TAX index for the default document from disk ("uploads it
+    /// from disk when needed").
+    pub fn load_tax_index(&self, path: impl AsRef<FsPath>) -> Result<(), EngineError> {
+        self.load_tax_index_on(&self.default_entry(), path.as_ref())
+    }
+
+    /// Registers a user group of the default document by access-control
+    /// policy: the view is derived automatically (§2, automated view
+    /// derivation).
+    pub fn register_policy(&self, group: &str, policy_text: &str) -> Result<(), EngineError> {
+        self.register_policy_on(&self.default_entry(), group, policy_text)
+    }
+
+    /// Registers a user group of the default document with a
+    /// hand-authored view specification (the DAD/AXSD-style mode).
+    pub fn register_view_spec(&self, group: &str, spec_text: &str) -> Result<(), EngineError> {
+        self.register_view_spec_on(&self.default_entry(), group, spec_text)
+    }
+
+    /// The view spec registered for `group` on the default document.
+    pub fn view(&self, group: &str) -> Result<Arc<ViewSpec>, EngineError> {
+        Ok(self.default_entry().view_slot(group)?.0)
+    }
+
+    /// Opens a session for `user` on the default document.
+    pub fn session(self: &Arc<Self>, user: User) -> Session {
+        Session::new(self.clone(), self.default_entry(), user)
+    }
+
+    /// Opens a session for `user` on an existing named document.
+    pub fn session_on(
+        self: &Arc<Self>,
+        document: &str,
+        user: User,
+    ) -> Result<Session, EngineError> {
+        Ok(Session::new(
+            self.clone(),
+            self.catalog.entry(document)?,
+            user,
+        ))
+    }
+
+    /// Compiles (and, per config, rewrites and optimizes) a query for
+    /// `user` on the default document, consulting the plan cache.
+    pub fn plan(&self, user: &User, query: &str) -> Result<Arc<Mfa>, EngineError> {
+        self.plan_on(&self.default_entry(), user, query)
+    }
+
+    /// Materializes the view of `group` over the default document — only
+    /// used by tests and the E6 baseline; production queries never
+    /// materialize.
+    pub fn materialize_view(
+        &self,
+        group: &str,
+    ) -> Result<smoqe_view::MaterializedView, EngineError> {
+        let entry = self.default_entry();
+        let spec = entry.view_slot(group)?.0;
+        let doc = entry.snapshot()?.doc.clone();
+        Ok(materialize(&spec, &doc)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Per-entry operations (shared by DocHandle and the conveniences)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn load_dtd_on(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        dtd_text: &str,
+    ) -> Result<(), EngineError> {
         let dtd = Dtd::parse(dtd_text, &self.vocab)?;
-        *self.dtd.write() = Some(Arc::new(dtd));
+        *entry.dtd.write() = Some(Arc::new(dtd));
+        entry.bump_generation();
+        self.plans.purge_document(entry.name());
         Ok(())
     }
 
-    /// The installed DTD, if any.
-    pub fn dtd(&self) -> Option<Arc<Dtd>> {
-        self.dtd.read().clone()
-    }
-
-    fn install_document(&self, doc: Document, raw: Option<String>, path: Option<PathBuf>) {
-        // A new document invalidates the index.
-        *self.tax.write() = None;
-        *self.source.write() = Some(LoadedSource {
+    fn install_document(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        doc: Document,
+        raw: Option<String>,
+        path: Option<PathBuf>,
+    ) {
+        // A fresh source carries no TAX index (the old one described the
+        // old document) and invalidates the cached plans.
+        *entry.source.write() = Some(Arc::new(LoadedSource {
             doc: Arc::new(doc),
             raw: raw.map(Arc::new),
             path,
-        });
+            tax: None,
+        }));
+        entry.bump_generation();
+        self.plans.purge_document(entry.name());
     }
 
-    /// Loads a document from XML text, validating against the DTD when one
-    /// is installed.
-    pub fn load_document(&self, xml: &str) -> Result<(), EngineError> {
+    pub(crate) fn load_document_on(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        xml: &str,
+    ) -> Result<(), EngineError> {
         let doc = Document::parse_str(xml, &self.vocab)?;
-        if let Some(dtd) = self.dtd() {
+        if let Some(dtd) = entry.dtd.read().clone() {
             dtd.validate(&doc)?;
         }
-        self.install_document(doc, Some(xml.to_string()), None);
+        self.install_document(entry, doc, Some(xml.to_string()), None);
         Ok(())
     }
 
-    /// Loads (and validates) a document from a file.
-    pub fn load_document_file(&self, path: impl AsRef<FsPath>) -> Result<(), EngineError> {
-        let path = path.as_ref().to_path_buf();
+    pub(crate) fn load_document_file_on(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        path: &FsPath,
+    ) -> Result<(), EngineError> {
+        let path = path.to_path_buf();
         let doc = smoqe_xml::parse_file(&path, &self.vocab)?;
-        if let Some(dtd) = self.dtd() {
+        if let Some(dtd) = entry.dtd.read().clone() {
             dtd.validate(&doc)?;
         }
-        self.install_document(doc, None, Some(path));
+        self.install_document(entry, doc, None, Some(path));
         Ok(())
     }
 
-    /// Installs an already-built document (e.g. from the generator).
-    pub fn load_document_tree(&self, doc: Document) {
+    pub(crate) fn load_document_tree_on(&self, entry: &Arc<DocumentEntry>, doc: Document) {
         let raw = doc.to_xml();
-        self.install_document(doc, Some(raw), None);
+        self.install_document(entry, doc, Some(raw), None);
     }
 
-    /// The loaded document.
-    pub fn document(&self) -> Result<Arc<Document>, EngineError> {
-        self.source
-            .read()
-            .as_ref()
-            .map(|s| s.doc.clone())
-            .ok_or(EngineError::NoDocument)
-    }
-
-    /// Builds the TAX index over the loaded document (the "indexer" box of
-    /// Fig. 1). Returns build statistics.
-    pub fn build_tax_index(&self) -> Result<Arc<TaxIndex>, EngineError> {
-        let doc = self.document()?;
-        let tax = Arc::new(TaxIndex::build(&doc));
-        *self.tax.write() = Some(tax.clone());
+    pub(crate) fn build_tax_index_on(
+        &self,
+        entry: &Arc<DocumentEntry>,
+    ) -> Result<Arc<TaxIndex>, EngineError> {
+        let snapshot = entry.snapshot()?;
+        let tax = Arc::new(TaxIndex::build(&snapshot.doc));
+        self.attach_tax(entry, &snapshot, tax.clone());
         Ok(tax)
     }
 
-    /// The TAX index, if built or loaded.
-    pub fn tax_index(&self) -> Option<Arc<TaxIndex>> {
-        self.tax.read().clone()
+    /// Installs `tax` on the entry's source, but only if the source is
+    /// still the one the index was built over — a concurrent reload makes
+    /// the freshly built index describe a dead document, in which case it
+    /// is discarded (the reload already invalidated it).
+    fn attach_tax(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        built_over: &LoadedSource,
+        tax: Arc<TaxIndex>,
+    ) {
+        let mut source = entry.source.write();
+        if let Some(current) = source.as_ref() {
+            if Arc::ptr_eq(&current.doc, &built_over.doc) {
+                *source = Some(Arc::new(current.with_tax(tax)));
+            }
+        }
     }
 
-    /// Persists the TAX index ("compresses it before it is stored in
-    /// disk").
-    pub fn save_tax_index(&self, path: impl AsRef<FsPath>) -> Result<(), EngineError> {
-        let tax = self
+    pub(crate) fn save_tax_index_on(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        path: &FsPath,
+    ) -> Result<(), EngineError> {
+        let tax = entry
+            .snapshot()?
             .tax
-            .read()
             .clone()
             .ok_or(EngineError::NoDocument)?;
         tax.save_to_file(path, &self.vocab)?;
         Ok(())
     }
 
-    /// Loads a TAX index from disk ("uploads it from disk when needed").
-    pub fn load_tax_index(&self, path: impl AsRef<FsPath>) -> Result<(), EngineError> {
+    pub(crate) fn load_tax_index_on(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        path: &FsPath,
+    ) -> Result<(), EngineError> {
+        let snapshot = entry.snapshot()?;
         let tax = TaxIndex::load_from_file(path, &self.vocab)?;
-        *self.tax.write() = Some(Arc::new(tax));
+        self.attach_tax(entry, &snapshot, Arc::new(tax));
         Ok(())
     }
 
-    /// Registers a user group by access-control policy: the view is
-    /// derived automatically (§2, automated view derivation).
-    pub fn register_policy(&self, group: &str, policy_text: &str) -> Result<(), EngineError> {
-        let dtd = self
-            .dtd()
-            .ok_or(EngineError::NoDocument)?;
+    pub(crate) fn register_policy_on(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        group: &str,
+        policy_text: &str,
+    ) -> Result<(), EngineError> {
+        let dtd = entry.dtd.read().clone().ok_or(EngineError::NoDocument)?;
         let policy = AccessPolicy::parse((*dtd).clone(), policy_text)?;
         let spec = derive(&policy);
         spec.validate(&dtd)?;
-        self.views.write().insert(group.to_string(), Arc::new(spec));
+        self.install_view(entry, group, spec);
         Ok(())
     }
 
-    /// Registers a user group with a hand-authored view specification
-    /// (the DAD/AXSD-style mode).
-    pub fn register_view_spec(&self, group: &str, spec_text: &str) -> Result<(), EngineError> {
+    pub(crate) fn register_view_spec_on(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        group: &str,
+        spec_text: &str,
+    ) -> Result<(), EngineError> {
         let spec = ViewSpec::parse(spec_text, &self.vocab)?;
-        if let Some(dtd) = self.dtd() {
+        if let Some(dtd) = entry.dtd.read().clone() {
             spec.validate(&dtd)?;
         }
-        self.views.write().insert(group.to_string(), Arc::new(spec));
+        self.install_view(entry, group, spec);
         Ok(())
     }
 
-    /// The view spec registered for `group`.
-    pub fn view(&self, group: &str) -> Result<Arc<ViewSpec>, EngineError> {
-        self.views
-            .read()
-            .get(group)
-            .cloned()
-            .ok_or_else(|| EngineError::UnknownGroup(group.to_string()))
+    fn install_view(&self, entry: &Arc<DocumentEntry>, group: &str, spec: ViewSpec) {
+        let slot = ViewSlot {
+            spec: Arc::new(spec),
+            generation: entry.next_view_generation(),
+        };
+        entry.views.write().insert(group.to_string(), slot);
+        self.plans.purge_view(entry.name(), group);
     }
 
-    /// Opens a session for `user`.
-    pub fn session(&self, user: User) -> Session<'_> {
-        Session { engine: self, user }
+    /// Plans `query` for `user` on `entry`: cache lookup first, full
+    /// parse → rewrite → compile → optimize pipeline on a miss.
+    pub(crate) fn plan_on(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        user: &User,
+        query: &str,
+    ) -> Result<Arc<Mfa>, EngineError> {
+        Ok(self.plan_tracked(entry, user, query)?.0)
     }
 
-    /// Compiles (and, per config, rewrites and optimizes) a query for
-    /// `user` into the MFA that will run on the source document.
-    pub fn plan(&self, user: &User, query: &str) -> Result<Mfa, EngineError> {
-        let path = parse_path(query, &self.vocab)?;
-        self.plan_path(user, &path)
-    }
-
-    fn plan_path(&self, user: &User, path: &Path) -> Result<Mfa, EngineError> {
-        let mfa = match user {
-            User::Admin => compile(path, &self.vocab),
+    /// Like [`Engine::plan_on`], also reporting whether the plan was a
+    /// cache hit.
+    pub(crate) fn plan_tracked(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        user: &User,
+        query: &str,
+    ) -> Result<(Arc<Mfa>, bool), EngineError> {
+        // Resolve the view first: an unknown group must error even for
+        // queries that were cached for other principals.
+        let (spec, view_generation) = match user {
+            User::Admin => (None, 0),
             User::Group(g) => {
-                let spec = self.view(g)?;
-                smoqe_rewrite::rewrite(path, &spec)
+                let (spec, generation) = entry.view_slot(g)?;
+                (Some(spec), generation)
             }
         };
-        Ok(if self.config.optimize_mfa {
+        let doc_generation = entry.generation();
+        let key = PlanKey {
+            document: entry.name().to_string(),
+            entry_id: entry.id(),
+            doc_generation,
+            scope: PlanKey::scope_of(user, view_generation),
+            query: query.to_string(),
+            optimized: self.config.optimize_mfa,
+        };
+        if let Some(plan) = self.plans.get(&key) {
+            return Ok((plan, true));
+        }
+        let path = parse_path(query, &self.vocab)?;
+        let mfa = match &spec {
+            None => compile(&path, &self.vocab),
+            Some(spec) => smoqe_rewrite::rewrite(&path, spec),
+        };
+        let mfa = Arc::new(if self.config.optimize_mfa {
             optimize(&mfa)
         } else {
             mfa
-        })
+        });
+        self.plans.insert(key, mfa.clone(), doc_generation);
+        Ok((mfa, false))
     }
 
-    fn evaluate(&self, mfa: &Mfa, observer: &mut dyn EvalObserver) -> Result<Answer, EngineError> {
+    /// Evaluates `mfa` against one consistent source snapshot (document +
+    /// its TAX index travel together inside the `LoadedSource`).
+    pub(crate) fn evaluate_snapshot(
+        &self,
+        source: &LoadedSource,
+        mfa: &Mfa,
+        observer: &mut dyn EvalObserver,
+    ) -> Result<Answer, EngineError> {
         match self.config.mode {
             DocumentMode::Dom => {
-                let doc = self.document()?;
                 let tax = if self.config.use_tax {
-                    self.tax.read().clone()
+                    source.tax.as_deref()
                 } else {
                     None
                 };
-                let options = DomOptions {
-                    tax: tax.as_deref(),
-                };
-                let (nodes, stats) = evaluate_mfa_with(&doc, mfa, &options, observer);
+                let options = DomOptions { tax };
+                let (nodes, stats) = evaluate_mfa_with(&source.doc, mfa, &options, observer);
                 Ok(Answer {
                     nodes: nodes.into_vec(),
                     stats,
+                    plan_cached: false,
                     xml: None,
                 })
             }
             DocumentMode::Stream => {
-                let source = self.source.read();
-                let source = source.as_ref().ok_or(EngineError::NoDocument)?;
                 let options = StreamOptions { want_xml: true };
                 let outcome = if let Some(path) = &source.path {
                     let file = std::fs::File::open(path).map_err(smoqe_xml::XmlError::Io)?;
@@ -315,29 +553,36 @@ impl Engine {
                 Ok(Answer {
                     nodes: outcome.answers.into_iter().map(NodeId).collect(),
                     stats: outcome.stats,
+                    plan_cached: false,
                     xml: outcome.answer_xml,
                 })
             }
         }
     }
-
-    /// Materializes the view of `group` over the loaded document — only
-    /// used by tests and the E6 baseline; production queries never
-    /// materialize.
-    pub fn materialize_view(
-        &self,
-        group: &str,
-    ) -> Result<smoqe_view::MaterializedView, EngineError> {
-        let spec = self.view(group)?;
-        let doc = self.document()?;
-        Ok(materialize(&spec, &doc)?)
-    }
 }
 
-impl Session<'_> {
+impl Session {
+    pub(crate) fn new(engine: Arc<Engine>, entry: Arc<DocumentEntry>, user: User) -> Self {
+        Session {
+            engine,
+            entry,
+            user,
+        }
+    }
+
     /// The session's user.
     pub fn user(&self) -> &User {
         &self.user
+    }
+
+    /// The catalog name of the document this session queries.
+    pub fn document_name(&self) -> &str {
+        self.entry.name()
+    }
+
+    /// The engine this session belongs to.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
     }
 
     /// Answers a Regular XPath query. Group sessions are rewritten through
@@ -353,32 +598,47 @@ impl Session<'_> {
         query: &str,
         observer: &mut dyn EvalObserver,
     ) -> Result<Answer, EngineError> {
-        let mfa = self.engine.plan(&self.user, query)?;
-        let mut answer = self.engine.evaluate(&mfa, observer)?;
+        Ok(self.query_with_source(query, observer)?.0)
+    }
+
+    /// The shared query path: plan (cached), take ONE source snapshot,
+    /// evaluate against it, and re-render stream answers through the view
+    /// using that same snapshot. Answer node ids are only meaningful
+    /// relative to the returned snapshot's document, so serialization must
+    /// use it too — a concurrent reload must never mix documents.
+    fn query_with_source(
+        &self,
+        query: &str,
+        observer: &mut dyn EvalObserver,
+    ) -> Result<(Answer, Arc<crate::catalog::LoadedSource>), EngineError> {
+        let (mfa, cached) = self.engine.plan_tracked(&self.entry, &self.user, query)?;
+        let source = self.entry.snapshot()?;
+        let mut answer = self.engine.evaluate_snapshot(&source, &mfa, observer)?;
+        answer.plan_cached = cached;
         // Stream mode buffers raw source subtrees; for group sessions
         // re-render each answer through the view so hidden descendants
         // never reach the user.
         if answer.xml.is_some() {
             if let User::Group(g) = &self.user {
-                let spec = self.engine.view(g)?;
-                let doc = self.engine.document()?;
+                let spec = self.entry.view_slot(g)?.0;
                 let safe: Result<Vec<String>, EngineError> = answer
                     .nodes
                     .iter()
                     .map(|&n| {
-                        let fragment = materialize_fragment(&spec, &doc, n)?;
+                        let fragment = materialize_fragment(&spec, &source.doc, n)?;
                         Ok(fragment.doc.to_xml())
                     })
                     .collect();
                 answer.xml = Some(safe?);
             }
         }
-        Ok(answer)
+        Ok((answer, source))
     }
 
-    /// The compiled/rewritten MFA for a query, for inspection.
-    pub fn plan(&self, query: &str) -> Result<Mfa, EngineError> {
-        self.engine.plan(&self.user, query)
+    /// The compiled/rewritten (and possibly cached) MFA for a query, for
+    /// inspection.
+    pub fn plan(&self, query: &str) -> Result<Arc<Mfa>, EngineError> {
+        self.engine.plan_on(&self.entry, &self.user, query)
     }
 
     /// Answers a query and serializes each answer **safely for this
@@ -387,17 +647,16 @@ impl Session<'_> {
     /// descendants filtered out — serializing the raw subtree would leak
     /// them).
     pub fn query_xml(&self, query: &str) -> Result<Vec<String>, EngineError> {
-        let answer = self.query(query)?;
-        let doc = self.engine.document()?;
+        let (answer, source) = self.query_with_source(query, &mut NoopObserver)?;
         match &self.user {
-            User::Admin => Ok(answer.serialize_with(&doc)),
+            User::Admin => Ok(answer.serialize_with(&source.doc)),
             User::Group(g) => {
-                let spec = self.engine.view(g)?;
+                let spec = self.entry.view_slot(g)?.0;
                 answer
                     .nodes
                     .iter()
                     .map(|&n| {
-                        let fragment = materialize_fragment(&spec, &doc, n)?;
+                        let fragment = materialize_fragment(&spec, &source.doc, n)?;
                         Ok(fragment.doc.to_xml())
                     })
                     .collect()
@@ -409,9 +668,9 @@ impl Session<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workloads::hospital;
+    use crate::workloads::{hospital, org};
 
-    fn engine_with_sample() -> Engine {
+    fn engine_with_sample() -> Arc<Engine> {
         let engine = Engine::with_defaults();
         engine.load_dtd(smoqe_xml::HOSPITAL_DTD).unwrap();
         engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
@@ -518,9 +777,9 @@ mod tests {
         let visit = vocab.lookup("visit").unwrap();
         let uses_visit = mfa.nfas().any(|(_, nfa)| {
             nfa.states().any(|s| {
-                nfa.transitions(s)
-                    .iter()
-                    .any(|t| t.test.matches(visit) && !matches!(t.test, smoqe_automata::LabelTest::Wildcard))
+                nfa.transitions(s).iter().any(|t| {
+                    t.test.matches(visit) && !matches!(t.test, smoqe_automata::LabelTest::Wildcard)
+                })
             })
         });
         assert!(uses_visit, "rewritten plan should traverse visit");
@@ -533,5 +792,109 @@ mod tests {
         assert!(engine.tax_index().is_some());
         engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
         assert!(engine.tax_index().is_none());
+    }
+
+    #[test]
+    fn catalog_serves_multiple_documents_and_groups() {
+        let engine = Engine::with_defaults();
+        let hosp = engine.open_document("hospital");
+        hosp.load_dtd(hospital::DTD).unwrap();
+        hosp.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+        hosp.register_policy("researchers", hospital::POLICY)
+            .unwrap();
+        let orgdoc = engine.open_document("org");
+        orgdoc.load_dtd(org::DTD).unwrap();
+        orgdoc.load_document(org::SAMPLE_DOCUMENT).unwrap();
+        orgdoc.register_policy("staff", org::POLICY).unwrap();
+
+        assert_eq!(engine.document_names(), vec!["hospital", "org"]);
+
+        let meds = hosp
+            .session(User::Group("researchers".into()))
+            .query("//medication")
+            .unwrap();
+        assert!(!meds.is_empty());
+        let salaries = orgdoc
+            .session(User::Group("staff".into()))
+            .query("//salary")
+            .unwrap();
+        assert!(salaries.is_empty(), "salaries are confidential");
+        // Groups are per document: the hospital group does not exist on
+        // the org document.
+        assert!(matches!(
+            engine
+                .session_on("org", User::Group("researchers".into()))
+                .unwrap()
+                .query("//emp"),
+            Err(EngineError::UnknownGroup(_))
+        ));
+        // Dropping a document forgets it.
+        assert!(engine.drop_document("org"));
+        assert!(engine.session_on("org", User::Admin).is_err());
+        assert!(matches!(
+            engine.document_handle("org"),
+            Err(EngineError::UnknownDocument(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_plan_cache() {
+        let engine = engine_with_sample();
+        let session = engine.session(User::Group("researchers".into()));
+        let first = session.query("//medication").unwrap();
+        assert!(!first.plan_cached);
+        let second = session.query("//medication").unwrap();
+        assert!(second.plan_cached);
+        assert_eq!(first.nodes, second.nodes);
+        let m = engine.cache_metrics();
+        assert!(m.hits >= 1, "{m:?}");
+        assert!(m.entries >= 1, "{m:?}");
+    }
+
+    #[test]
+    fn document_replacement_invalidates_cached_plans() {
+        let engine = engine_with_sample();
+        let session = engine.session(User::Admin);
+        session.query("//medication").unwrap();
+        assert!(session.query("//medication").unwrap().plan_cached);
+        engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+        assert!(
+            !session.query("//medication").unwrap().plan_cached,
+            "reload must invalidate the cached plan"
+        );
+    }
+
+    #[test]
+    fn view_reregistration_invalidates_only_that_group() {
+        let engine = engine_with_sample();
+        let researchers = engine.session(User::Group("researchers".into()));
+        let admin = engine.session(User::Admin);
+        researchers.query("//medication").unwrap();
+        admin.query("//medication").unwrap();
+        engine
+            .register_policy("researchers", hospital::POLICY)
+            .unwrap();
+        assert!(
+            !researchers.query("//medication").unwrap().plan_cached,
+            "re-registration must invalidate the group's plans"
+        );
+        assert!(
+            admin.query("//medication").unwrap().plan_cached,
+            "admin plans are untouched by a view change"
+        );
+    }
+
+    #[test]
+    fn sessions_are_send_sync_and_clonable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+        assert_send_sync::<Engine>();
+        assert_send_sync::<DocHandle>();
+        let engine = engine_with_sample();
+        let session = engine.session(User::Admin);
+        let clone = session.clone();
+        let handle = std::thread::spawn(move || clone.query("//medication").unwrap().len());
+        let here = session.query("//medication").unwrap().len();
+        assert_eq!(handle.join().unwrap(), here);
     }
 }

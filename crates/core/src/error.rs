@@ -15,6 +15,8 @@ pub enum EngineError {
     View(smoqe_view::ViewError),
     /// No document has been loaded yet.
     NoDocument,
+    /// No document with this catalog name exists.
+    UnknownDocument(String),
     /// The session's user group has no registered view.
     UnknownGroup(String),
     /// Direct document access requested without admin rights.
@@ -31,6 +33,9 @@ impl fmt::Display for EngineError {
             EngineError::Policy(e) => write!(f, "{e}"),
             EngineError::View(e) => write!(f, "{e}"),
             EngineError::NoDocument => write!(f, "no document loaded"),
+            EngineError::UnknownDocument(d) => {
+                write!(f, "no document named '{d}' in the catalog")
+            }
             EngineError::UnknownGroup(g) => write!(f, "no view registered for group '{g}'"),
             EngineError::AccessDenied => {
                 write!(f, "direct document access requires an admin session")
@@ -82,7 +87,12 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(EngineError::NoDocument.to_string().contains("no document"));
-        assert!(EngineError::UnknownGroup("x".into()).to_string().contains("'x'"));
+        assert!(EngineError::UnknownGroup("x".into())
+            .to_string()
+            .contains("'x'"));
+        assert!(EngineError::UnknownDocument("d".into())
+            .to_string()
+            .contains("'d'"));
         assert!(EngineError::AccessDenied.to_string().contains("admin"));
     }
 }

@@ -1,7 +1,8 @@
 //! # SMOQE — the Secure MOdular Query Engine
 //!
 //! A from-scratch Rust reproduction of *"SMOQE: A System for Providing
-//! Secure Access to XML"* (Fan, Geerts, Jia, Kementsietsidis, VLDB 2006).
+//! Secure Access to XML"* (Fan, Geerts, Jia, Kementsietsidis, VLDB 2006),
+//! grown into a multi-tenant serving engine.
 //!
 //! SMOQE answers **Regular XPath** queries over **virtual XML views** used
 //! for access control: each user group gets a view containing exactly what
@@ -10,19 +11,27 @@
 //! optionally pruned by a type-aware index (TAX) — the view is never
 //! materialized.
 //!
+//! One [`Engine`] serves many *named* documents (the [`catalog`]) and many
+//! concurrent users: [`Session`]s are owned, `Send + Sync` handles, and
+//! compiled plans are memoized in a shared [plan cache](plancache) keyed by
+//! document/view generations.
+//!
 //! ```
 //! use smoqe::{Engine, User, workloads::hospital};
 //!
 //! let engine = Engine::with_defaults();
-//! engine.load_dtd(hospital::DTD).unwrap();
-//! engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
-//! engine.register_policy("researchers", hospital::POLICY).unwrap();
+//! let doc = engine.open_document("wards");
+//! doc.load_dtd(hospital::DTD).unwrap();
+//! doc.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+//! doc.register_policy("researchers", hospital::POLICY).unwrap();
 //!
-//! let session = engine.session(User::Group("researchers".into()));
+//! let session = doc.session(User::Group("researchers".into()));
 //! // Names are hidden by the policy ...
 //! assert!(session.query("//pname").unwrap().is_empty());
 //! // ... treatments of autism patients are visible.
 //! assert!(!session.query("hospital/patient/treatment").unwrap().is_empty());
+//! // Repeating a query skips the whole planning pipeline.
+//! assert!(session.query("//pname").unwrap().plan_cached);
 //! ```
 //!
 //! The implementation lives in focused crates, re-exported here:
@@ -31,19 +40,26 @@
 //! [`smoqe_view`] (policies, derivation, materialization),
 //! [`smoqe_rewrite`] (view rewriting), [`smoqe_hype`] (evaluation),
 //! [`smoqe_tax`] (indexing) and [`smoqe_viz`] (the iSMOQE-substitute
-//! renderers). See DESIGN.md and EXPERIMENTS.md at the repository root.
+//! renderers). See README.md at the repository root for the workspace
+//! layout and architecture notes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod plancache;
 pub mod workloads;
 
+mod sync;
+
+pub use catalog::{DocHandle, DocumentEntry};
 pub use config::{DocumentMode, EngineConfig};
-pub use engine::{Answer, Engine, Session, User};
+pub use engine::{Answer, Engine, Session, User, DEFAULT_DOCUMENT};
 pub use error::EngineError;
+pub use plancache::CacheMetrics;
 
 // Re-export the component crates under stable names.
 pub use smoqe_automata as automata;

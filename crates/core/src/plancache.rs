@@ -1,0 +1,269 @@
+//! The shared compiled-plan cache.
+//!
+//! Planning a query — parse, rewrite through the group's security view,
+//! compile to an MFA, optimize — is pure: its output depends only on the
+//! query text, the view spec (or admin scope), and the optimizer flag.
+//! SMOQE's serving scenario (many users of a few groups issuing similar
+//! queries) therefore repeats identical planning work constantly. This
+//! cache memoizes `Arc<Mfa>` plans engine-wide, keyed by document + view
+//! **generation counters** so that replacing a document, its DTD or a view
+//! invalidates exactly the affected entries — a stale generation simply
+//! never matches again, no lock coordination with the catalog required.
+//!
+//! Hit/miss/invalidation counters are exposed through [`CacheMetrics`]
+//! (the plan-level analogue of the evaluator's `EvalStats`).
+
+use crate::engine::User;
+use crate::sync::RwLock;
+use smoqe_automata::Mfa;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which principal a plan was compiled for.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum PlanScope {
+    /// Compiled directly against the document.
+    Admin,
+    /// Rewritten through the view `group` was holding at `view_generation`.
+    Group { group: String, view_generation: u64 },
+}
+
+/// The full identity of a compiled plan.
+///
+/// `entry_id` is the catalog entry's process-unique identity: generation
+/// counters restart at zero for every entry, so a document name that is
+/// dropped and re-opened would otherwise reproduce old `(name, generation)`
+/// pairs and let a session still bound to the *old* entry repopulate keys
+/// the new entry then hits.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct PlanKey {
+    pub(crate) document: String,
+    pub(crate) entry_id: u64,
+    pub(crate) doc_generation: u64,
+    pub(crate) scope: PlanScope,
+    pub(crate) query: String,
+    pub(crate) optimized: bool,
+}
+
+impl PlanKey {
+    pub(crate) fn scope_of(user: &User, view_generation: u64) -> PlanScope {
+        match user {
+            User::Admin => PlanScope::Admin,
+            User::Group(g) => PlanScope::Group {
+                group: g.clone(),
+                view_generation,
+            },
+        }
+    }
+}
+
+/// Point-in-time counters of the plan cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// Lookups answered from the cache (full pipeline skipped).
+    pub hits: u64,
+    /// Lookups that had to run parse → rewrite → compile → optimize.
+    pub misses: u64,
+    /// Entries dropped because their document/view generation went stale
+    /// or the cache was flushed at capacity.
+    pub invalidations: u64,
+    /// Plans currently resident.
+    pub entries: usize,
+}
+
+impl CacheMetrics {
+    /// Fraction of lookups served from cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The engine-wide plan cache. All methods are `&self`; internal locking
+/// only guards the map itself, never a compilation.
+pub(crate) struct PlanCache {
+    plans: RwLock<HashMap<PlanKey, Arc<Mfa>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (0 disables caching).
+    pub(crate) fn new(capacity: usize) -> Self {
+        PlanCache {
+            plans: RwLock::new(HashMap::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, counting a hit or a miss.
+    pub(crate) fn get(&self, key: &PlanKey) -> Option<Arc<Mfa>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        match self.plans.read().get(key) {
+            Some(plan) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly compiled plan. At capacity, entries whose
+    /// document went stale are dropped first; if the cache is still full
+    /// (all entries live), it is flushed wholesale — a rare event at
+    /// sensible capacities, and always safe because generations make
+    /// recompilation idempotent.
+    pub(crate) fn insert(&self, key: PlanKey, plan: Arc<Mfa>, live_generation: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut plans = self.plans.write();
+        if plans.len() >= self.capacity && !plans.contains_key(&key) {
+            let before = plans.len();
+            plans.retain(|k, _| k.entry_id != key.entry_id || k.doc_generation == live_generation);
+            if plans.len() >= self.capacity {
+                plans.clear();
+            }
+            self.invalidations
+                .fetch_add((before - plans.len()) as u64, Ordering::Relaxed);
+        }
+        plans.insert(key, plan);
+    }
+
+    /// Drops every plan cached for `document`, counting invalidations.
+    /// Generation keys already guarantee stale plans never match; purging
+    /// just releases their memory eagerly.
+    pub(crate) fn purge_document(&self, document: &str) {
+        let mut plans = self.plans.write();
+        let before = plans.len();
+        plans.retain(|k, _| k.document != document);
+        self.invalidations
+            .fetch_add((before - plans.len()) as u64, Ordering::Relaxed);
+    }
+
+    /// Drops every plan cached for `group` on `document`.
+    pub(crate) fn purge_view(&self, document: &str, group: &str) {
+        let mut plans = self.plans.write();
+        let before = plans.len();
+        plans.retain(|k, _| {
+            k.document != document
+                || !matches!(&k.scope, PlanScope::Group { group: g, .. } if g == group)
+        });
+        self.invalidations
+            .fetch_add((before - plans.len()) as u64, Ordering::Relaxed);
+    }
+
+    /// Current counters.
+    pub(crate) fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.plans.read().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_rxpath::parse_path;
+    use smoqe_xml::Vocabulary;
+
+    fn plan_for(query: &str) -> Arc<Mfa> {
+        let vocab = Vocabulary::new();
+        let path = parse_path(query, &vocab).unwrap();
+        Arc::new(smoqe_automata::compile(&path, &vocab))
+    }
+
+    fn key(doc: &str, doc_gen: u64, query: &str) -> PlanKey {
+        PlanKey {
+            document: doc.to_string(),
+            entry_id: 0,
+            doc_generation: doc_gen,
+            scope: PlanScope::Admin,
+            query: query.to_string(),
+            optimized: true,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = PlanCache::new(16);
+        let k = key("d", 0, "a/b");
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), plan_for("a/b"), 0);
+        assert!(cache.get(&k).is_some());
+        let m = cache.metrics();
+        assert_eq!((m.hits, m.misses, m.entries), (1, 1, 1));
+        assert!((m.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generation_change_is_a_miss() {
+        let cache = PlanCache::new(16);
+        cache.insert(key("d", 0, "a"), plan_for("a"), 0);
+        assert!(cache.get(&key("d", 1, "a")).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        let k = key("d", 0, "a");
+        cache.insert(k.clone(), plan_for("a"), 0);
+        assert!(cache.get(&k).is_none());
+        assert_eq!(cache.metrics().entries, 0);
+    }
+
+    #[test]
+    fn capacity_flush_prefers_stale_entries() {
+        let cache = PlanCache::new(2);
+        cache.insert(key("d", 0, "a"), plan_for("a"), 0);
+        cache.insert(key("d", 0, "b"), plan_for("b"), 0);
+        // Generation moved to 1: the two gen-0 entries are stale and give
+        // way without touching live ones.
+        cache.insert(key("d", 1, "c"), plan_for("c"), 1);
+        let m = cache.metrics();
+        assert_eq!(m.entries, 1);
+        assert_eq!(m.invalidations, 2);
+        assert!(cache.get(&key("d", 1, "c")).is_some());
+    }
+
+    #[test]
+    fn purge_document_and_view_are_scoped() {
+        let cache = PlanCache::new(16);
+        cache.insert(key("d1", 0, "a"), plan_for("a"), 0);
+        cache.insert(key("d2", 0, "a"), plan_for("a"), 0);
+        let group_key = PlanKey {
+            scope: PlanScope::Group {
+                group: "g".into(),
+                view_generation: 1,
+            },
+            ..key("d2", 0, "b")
+        };
+        cache.insert(group_key.clone(), plan_for("b"), 0);
+        cache.purge_view("d2", "g");
+        assert!(cache.get(&group_key).is_none());
+        assert!(cache.get(&key("d2", 0, "a")).is_some());
+        cache.purge_document("d1");
+        assert!(cache.get(&key("d1", 0, "a")).is_none());
+        assert!(cache.get(&key("d2", 0, "a")).is_some());
+        assert_eq!(cache.metrics().invalidations, 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Poison-transparent wrappers over [`std::sync`] primitives.
+//!
+//! The engine previously used `parking_lot`, which is unavailable in this
+//! offline build environment. The std primitives are API-compatible except
+//! for lock poisoning; since every critical section in the engine is a
+//! short, panic-free pointer swap or map update, poisoning carries no
+//! recovery information here and is deliberately ignored (`into_inner` on
+//! a poisoned guard), matching `parking_lot` semantics.
+
+use std::sync::{self, RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader-writer lock with `parking_lot`-style (non-poisoning) `read` /
+/// `write` accessors.
+#[derive(Default, Debug)]
+pub(crate) struct RwLock<T>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wraps `value`.
+    pub(crate) fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Acquires a shared read guard.
+    pub(crate) fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write guard.
+    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let lock = RwLock::new(1);
+        assert_eq!(*lock.read(), 1);
+        *lock.write() = 2;
+        assert_eq!(*lock.read(), 2);
+    }
+
+    #[test]
+    fn survives_poisoning() {
+        let lock = std::sync::Arc::new(RwLock::new(0));
+        let l2 = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison the lock");
+        })
+        .join();
+        *lock.write() = 7; // must not panic
+        assert_eq!(*lock.read(), 7);
+    }
+}

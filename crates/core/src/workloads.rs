@@ -6,11 +6,25 @@
 //! produced by the seeded generator with realistic value pools — the
 //! substitution documented in DESIGN.md §4.
 
+use crate::catalog::DocHandle;
+use crate::error::EngineError;
 use smoqe_xml::{generate, Document, Dtd, GeneratorConfig, Vocabulary};
 
 /// The hospital scenario of Fig. 3.
 pub mod hospital {
     use super::*;
+
+    /// The group name [`install_sample`] registers.
+    pub const GROUP: &str = "researchers";
+
+    /// Loads the DTD and the handwritten sample into `doc` and registers
+    /// the [`POLICY`] for the [`GROUP`] user group — the one-call setup
+    /// for catalog-based tests, examples and benches.
+    pub fn install_sample(doc: &DocHandle) -> Result<(), EngineError> {
+        doc.load_dtd(DTD)?;
+        doc.load_document(SAMPLE_DOCUMENT)?;
+        doc.register_policy(GROUP, POLICY)
+    }
 
     /// The document DTD (Fig. 3(a)); also exported as
     /// [`smoqe_xml::HOSPITAL_DTD`].
@@ -65,18 +79,12 @@ pub mod hospital {
         ("patients", "hospital/patient"),
         ("medications", "hospital/patient/treatment/medication"),
         ("descendant", "//medication"),
-        (
-            "closure",
-            "hospital/patient/(parent/patient)*/treatment",
-        ),
+        ("closure", "hospital/patient/(parent/patient)*/treatment"),
         (
             "predicate",
             "hospital/patient[treatment/medication = 'autism']",
         ),
-        (
-            "negation",
-            "//patient[not(parent)]/treatment/medication",
-        ),
+        ("negation", "//patient[not(parent)]/treatment/medication"),
     ];
 
     /// Parses the hospital DTD into `vocab`.
@@ -108,7 +116,9 @@ pub mod hospital {
             )
             .with_text_pool(
                 vocab.intern("test"),
-                ["blood", "x-ray", "mri", "biopsy"].map(String::from).to_vec(),
+                ["blood", "x-ray", "mri", "biopsy"]
+                    .map(String::from)
+                    .to_vec(),
             )
             .with_text_pool(
                 vocab.intern("date"),
@@ -132,6 +142,17 @@ pub mod hospital {
 /// departments, used to check that nothing is hospital-specific.
 pub mod org {
     use super::*;
+
+    /// The group name [`install_sample`] registers.
+    pub const GROUP: &str = "staff";
+
+    /// Loads the DTD and the handwritten sample into `doc` and registers
+    /// the [`POLICY`] for the [`GROUP`] user group.
+    pub fn install_sample(doc: &DocHandle) -> Result<(), EngineError> {
+        doc.load_dtd(DTD)?;
+        doc.load_document(SAMPLE_DOCUMENT)?;
+        doc.register_policy(GROUP, POLICY)
+    }
 
     /// Recursive org-chart DTD (departments nest arbitrarily).
     pub const DTD: &str = r#"
@@ -188,7 +209,9 @@ ann(emp, review) = [text() = 'public']
         }
         .with_text_pool(
             vocab.intern("ename"),
-            ["ada", "bert", "cleo", "dre", "eli"].map(String::from).to_vec(),
+            ["ada", "bert", "cleo", "dre", "eli"]
+                .map(String::from)
+                .to_vec(),
         )
         .with_text_pool(
             vocab.intern("dname"),

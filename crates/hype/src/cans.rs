@@ -101,7 +101,9 @@ impl FormulaArena {
         match tags.len() {
             0 => None,
             1 => Some(Tag::Formula(*tags.iter().next().expect("len checked"))),
-            _ => Some(Tag::Formula(self.push(FNode::Or(tags.iter().copied().collect())))),
+            _ => Some(Tag::Formula(
+                self.push(FNode::Or(tags.iter().copied().collect())),
+            )),
         }
     }
 

@@ -283,7 +283,13 @@ impl<'a> Machine<'a> {
         self.spawn_cache.clear();
         let mut new_runs = Vec::new();
         let start = self.mfa.nfa(top).start();
-        let set = self.closure(top, &[(start, Tag::True)], VIRTUAL_NODE, &mut new_runs, observer);
+        let set = self.closure(
+            top,
+            &[(start, Tag::True)],
+            VIRTUAL_NODE,
+            &mut new_runs,
+            observer,
+        );
         // An accept at the virtual node would select the document node,
         // which is not an element answer - dropped, matching the reference
         // evaluator.
@@ -309,7 +315,9 @@ impl<'a> Machine<'a> {
             }
             let nfa = self.mfa.nfa(run.nfa);
             let req = &self.required[run.nfa.index()];
-            let Some(top) = run.stack.last() else { continue };
+            let Some(top) = run.stack.last() else {
+                continue;
+            };
             for &(s, _) in top {
                 for t in nfa.transitions(s) {
                     if !t.test.matches(label) {
@@ -347,7 +355,8 @@ impl<'a> Machine<'a> {
         observer.enter_node(node, label, depth);
         // Move the parent's live list out to iterate it without cloning;
         // restored before returning.
-        let parent_live = std::mem::take(&mut self.frames.last_mut().expect("enter before begin").live);
+        let parent_live =
+            std::mem::take(&mut self.frames.last_mut().expect("enter before begin").live);
         let frame = self.take_frame(node);
         self.frames.push(frame);
         let mut new_runs = Vec::new();
@@ -630,9 +639,10 @@ impl<'a> Machine<'a> {
         // Fast path: all-True seeds whose closures cross no guard edge.
         // This covers every guard-free region of every query and avoids
         // the formula machinery entirely.
-        if seed.iter().all(|&(s, t)| {
-            t == Tag::True && !self.closures[nfa_id.index()][s.index()].1
-        }) {
+        if seed
+            .iter()
+            .all(|&(s, t)| t == Tag::True && !self.closures[nfa_id.index()][s.index()].1)
+        {
             self.scratch_epoch += 1;
             let epoch = self.scratch_epoch;
             let mut out: ActiveSet = self.take_set();
@@ -657,27 +667,29 @@ impl<'a> Machine<'a> {
         }
         let mut builds: HashMap<StateId, Build> = HashMap::new();
         let mut work: Vec<StateId> = Vec::new();
-        let merge =
-            |builds: &mut HashMap<StateId, Build>, work: &mut Vec<StateId>, s: StateId, tag: Tag| {
-                let b = builds.entry(s).or_default();
-                let changed = match tag {
-                    Tag::True => {
-                        let c = !b.known_true;
-                        b.known_true = true;
-                        c
+        let merge = |builds: &mut HashMap<StateId, Build>,
+                     work: &mut Vec<StateId>,
+                     s: StateId,
+                     tag: Tag| {
+            let b = builds.entry(s).or_default();
+            let changed = match tag {
+                Tag::True => {
+                    let c = !b.known_true;
+                    b.known_true = true;
+                    c
+                }
+                Tag::Formula(f) => {
+                    if b.known_true {
+                        false
+                    } else {
+                        b.parts.insert(f)
                     }
-                    Tag::Formula(f) => {
-                        if b.known_true {
-                            false
-                        } else {
-                            b.parts.insert(f)
-                        }
-                    }
-                };
-                if changed {
-                    work.push(s);
                 }
             };
+            if changed {
+                work.push(s);
+            }
+        };
         for &(s, tag) in seed {
             merge(&mut builds, &mut work, s, tag);
         }
@@ -757,7 +769,13 @@ impl<'a> Machine<'a> {
             }
             Pred::HasPath(sub_nfa) => {
                 let sub_nfa = *sub_nfa;
-                let i = self.new_instance(InstKind::HasPath { accepts: Vec::new() }, node, observer);
+                let i = self.new_instance(
+                    InstKind::HasPath {
+                        accepts: Vec::new(),
+                    },
+                    node,
+                    observer,
+                );
                 let run_id = self.runs.len();
                 self.runs.push(Run {
                     nfa: sub_nfa,
@@ -787,9 +805,11 @@ impl<'a> Machine<'a> {
                 let sub = *sub;
                 match self.spawn(sub, node, new_runs, observer) {
                     InstRef::Resolved(b) => InstRef::Resolved(!b),
-                    InstRef::Pending(si) => {
-                        InstRef::Pending(self.new_instance(InstKind::Not { sub: si }, node, observer))
-                    }
+                    InstRef::Pending(si) => InstRef::Pending(self.new_instance(
+                        InstKind::Not { sub: si },
+                        node,
+                        observer,
+                    )),
                 }
             }
             Pred::And(subs) => {
@@ -845,7 +865,12 @@ impl<'a> Machine<'a> {
         result
     }
 
-    fn new_instance(&mut self, kind: InstKind, node: u32, observer: &mut dyn EvalObserver) -> InstId {
+    fn new_instance(
+        &mut self,
+        kind: InstKind,
+        node: u32,
+        observer: &mut dyn EvalObserver,
+    ) -> InstId {
         let id = self.insts.len();
         self.insts.push(Instance { kind });
         self.truths.push(None);

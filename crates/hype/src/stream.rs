@@ -135,10 +135,7 @@ pub fn evaluate_stream_with<R: BufRead>(
                         });
                     }
                 }
-                if !alive
-                    && !machine.has_open_texteq()
-                    && recorders.iter().all(|r| r.done)
-                {
+                if !alive && !machine.has_open_texteq() && recorders.iter().all(|r| r.done) {
                     skip_from = Some(depth);
                 }
             }
@@ -229,13 +226,7 @@ mod tests {
         let path = parse_path(query, &vocab).unwrap();
         let mfa = compile(&path, &vocab);
         let (dom_answers, _) = evaluate_mfa(&doc, &mfa);
-        let out = evaluate_stream_str(
-            xml,
-            &mfa,
-            &vocab,
-            StreamOptions { want_xml: true },
-        )
-        .unwrap();
+        let out = evaluate_stream_str(xml, &mfa, &vocab, StreamOptions { want_xml: true }).unwrap();
         let dom_ids: Vec<u32> = dom_answers.iter().map(|n| n.0).collect();
         assert_eq!(out.answers, dom_ids, "query `{query}` on `{xml}`");
         // The serialized answers must match DOM subtree serialization.
@@ -276,7 +267,10 @@ mod tests {
     fn text_accumulation_uses_direct_text() {
         // Direct text of the first b is "xy" (around <c/>); text inside
         // children does not count.
-        check("<a><b>x<c>NO</c>y</b><b><c>xy</c></b></a>", "a/b[text() = 'xy']");
+        check(
+            "<a><b>x<c>NO</c>y</b><b><c>xy</c></b></a>",
+            "a/b[text() = 'xy']",
+        );
         check("<a><b>x<c>NO</c>y</b></a>", "a/b[text() = 'xNOy']");
     }
 

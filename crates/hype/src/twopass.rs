@@ -148,7 +148,11 @@ pub fn evaluate_mfa_twopass_report(
         .map(|(_, p)| match p {
             Pred::HasPath(nid) => {
                 let nfa = mfa.nfa(*nid);
-                Some((*nid, ReachTable::new(n, nfa.state_count()), ReverseEps::build(nfa)))
+                Some((
+                    *nid,
+                    ReachTable::new(n, nfa.state_count()),
+                    ReverseEps::build(nfa),
+                ))
             }
             _ => None,
         })

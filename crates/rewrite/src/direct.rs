@@ -92,9 +92,7 @@ fn nfa_to_path(mfa: &Mfa, nfa_id: NfaId) -> Option<Path> {
         for e in nfa.eps_edges(s) {
             let w = match e.guard {
                 None => Path::Empty,
-                Some(g) => {
-                    Path::qualified(Path::Empty, pred_to_qualifier(mfa, g))
-                }
+                Some(g) => Path::qualified(Path::Empty, pred_to_qualifier(mfa, g)),
             };
             add(&mut m, s.index(), e.target.index(), w);
         }
@@ -117,7 +115,9 @@ fn nfa_to_path(mfa: &Mfa, nfa_id: NfaId) -> Option<Path> {
             if i == k {
                 continue;
             }
-            let Some(into_k) = m[i][k].take() else { continue };
+            let Some(into_k) = m[i][k].take() else {
+                continue;
+            };
             let prefix = match &self_loop {
                 Some(l) => Path::seq([into_k.clone(), l.clone()]),
                 None => into_k.clone(),
@@ -197,9 +197,7 @@ mod tests {
             );
             let path = parse_path(&q, &vocab).unwrap();
             let mfa_size = crate::rewrite(&path, &spec).stats().total();
-            let direct_size = rewrite_direct(&path, &spec)
-                .map(|p| p.size())
-                .unwrap_or(0);
+            let direct_size = rewrite_direct(&path, &spec).map(|p| p.size()).unwrap_or(0);
             ratio_growth.push(direct_size as f64 / mfa_size as f64);
         }
         // The syntactic representation keeps losing ground.
@@ -220,7 +218,11 @@ mod tests {
             &vocab,
         )
         .unwrap();
-        for q in ["hospital/patient/pname", "//test", "hospital/patient[visit]"] {
+        for q in [
+            "hospital/patient/pname",
+            "//test",
+            "hospital/patient[visit]",
+        ] {
             let path = parse_path(q, &vocab).unwrap();
             let direct = rewrite_direct(&path, &spec).expect("nonempty");
             assert_eq!(

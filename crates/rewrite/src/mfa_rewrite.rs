@@ -121,9 +121,9 @@ impl Rewriter<'_> {
         let mut map: HashMap<(StateId, Ctx), StateId> = HashMap::new();
         let mut work: Vec<(StateId, Ctx)> = Vec::new();
         let state_of = |out_nfa: &mut Nfa,
-                            work: &mut Vec<(StateId, Ctx)>,
-                            map: &mut HashMap<(StateId, Ctx), StateId>,
-                            key: (StateId, Ctx)| {
+                        work: &mut Vec<(StateId, Ctx)>,
+                        map: &mut HashMap<(StateId, Ctx), StateId>,
+                        key: (StateId, Ctx)| {
             *map.entry(key).or_insert_with(|| {
                 work.push(key);
                 out_nfa.add_state()
@@ -159,12 +159,7 @@ impl Rewriter<'_> {
                     if !t.test.matches(*b) {
                         continue;
                     }
-                    let to = state_of(
-                        &mut out_nfa,
-                        &mut work,
-                        &mut map,
-                        (t.target, Ctx::Type(*b)),
-                    );
+                    let to = state_of(&mut out_nfa, &mut work, &mut map, (t.target, Ctx::Type(*b)));
                     // A fresh copy of σ's fragment between `from` and `to`;
                     // its qualifiers become source-level predicates in the
                     // output arena.
@@ -332,7 +327,13 @@ mod tests {
     fn hidden_labels_never_leak() {
         let (vocab, _, spec, doc) = setup();
         // Queries over hidden types return nothing through the view.
-        for q in ["//pname", "//visit", "//date", "//test", "hospital/patient/pname"] {
+        for q in [
+            "//pname",
+            "//visit",
+            "//date",
+            "//test",
+            "hospital/patient/pname",
+        ] {
             let path = parse_path(q, &vocab).unwrap();
             let mfa = rewrite(&path, &spec);
             let (got, _) = evaluate_mfa(&doc, &mfa);

@@ -430,7 +430,10 @@ mod tests {
     fn qualified_true_is_dropped() {
         let vocab = Vocabulary::new();
         let (a, _, _) = labels(&vocab);
-        assert_eq!(Path::qualified(Path::Label(a), Qualifier::True), Path::Label(a));
+        assert_eq!(
+            Path::qualified(Path::Label(a), Qualifier::True),
+            Path::Label(a)
+        );
     }
 
     #[test]

@@ -130,10 +130,7 @@ fn eval_path(doc: &Document, path: &Path, context: &[u32]) -> Vec<u32> {
             let mut frontier = result.clone();
             while !frontier.is_empty() {
                 let next = eval_path(doc, inner, &frontier);
-                frontier = next
-                    .into_iter()
-                    .filter(|n| seen.insert(*n))
-                    .collect();
+                frontier = next.into_iter().filter(|n| seen.insert(*n)).collect();
                 result.extend(frontier.iter().copied());
             }
             normalize(result)
@@ -233,9 +230,7 @@ mod tests {
 
     #[test]
     fn qualifiers_filter() {
-        let (vocab, doc) = setup(
-            "<a><b><c>yes</c></b><b><d/></b><b><c>no</c></b></a>",
-        );
+        let (vocab, doc) = setup("<a><b><c>yes</c></b><b><d/></b><b><c>no</c></b></a>");
         assert_eq!(run(&doc, &vocab, "a/b[c]").len(), 2);
         assert_eq!(run(&doc, &vocab, "a/b[c = 'yes']").len(), 1);
         assert_eq!(run(&doc, &vocab, "a/b[not(c)]").len(), 1);

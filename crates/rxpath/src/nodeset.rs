@@ -126,10 +126,7 @@ mod tests {
     fn union_merges() {
         let a = NodeSet::from_vec(vec![n(1), n(3), n(5)]);
         let b = NodeSet::from_vec(vec![n(2), n(3), n(6)]);
-        assert_eq!(
-            a.union(&b).as_slice(),
-            &[n(1), n(2), n(3), n(5), n(6)]
-        );
+        assert_eq!(a.union(&b).as_slice(), &[n(1), n(2), n(3), n(5), n(6)]);
         assert_eq!(a.union(&NodeSet::new()), a);
     }
 

@@ -67,15 +67,9 @@ fn gen_path<R: Rng>(rng: &mut R, cfg: &QueryGenConfig, depth: usize) -> Path {
             let n = rng.random_range(2..=3);
             Path::seq((0..n).map(|_| gen_path(rng, cfg, depth - 1)))
         }
-        70..=79 => Path::union([
-            gen_path(rng, cfg, depth - 1),
-            gen_path(rng, cfg, depth - 1),
-        ]),
+        70..=79 => Path::union([gen_path(rng, cfg, depth - 1), gen_path(rng, cfg, depth - 1)]),
         80..=89 => Path::star(gen_path(rng, cfg, depth - 1)),
-        _ => Path::qualified(
-            gen_path(rng, cfg, depth - 1),
-            gen_qual(rng, cfg, depth - 1),
-        ),
+        _ => Path::qualified(gen_path(rng, cfg, depth - 1), gen_qual(rng, cfg, depth - 1)),
     };
     if rng.random_bool(cfg.qualifier_p) && depth > 1 {
         Path::qualified(base, gen_qual(rng, cfg, depth - 1))
@@ -104,14 +98,8 @@ fn gen_qual<R: Rng>(rng: &mut R, cfg: &QueryGenConfig, depth: usize) -> Qualifie
             };
             Qualifier::TextEq(path, value)
         }
-        60..=74 => Qualifier::and(
-            gen_qual(rng, cfg, depth - 1),
-            gen_qual(rng, cfg, depth - 1),
-        ),
-        75..=89 => Qualifier::or(
-            gen_qual(rng, cfg, depth - 1),
-            gen_qual(rng, cfg, depth - 1),
-        ),
+        60..=74 => Qualifier::and(gen_qual(rng, cfg, depth - 1), gen_qual(rng, cfg, depth - 1)),
+        75..=89 => Qualifier::or(gen_qual(rng, cfg, depth - 1), gen_qual(rng, cfg, depth - 1)),
         _ => {
             if cfg.allow_negation {
                 Qualifier::not(gen_qual(rng, cfg, depth - 1))

@@ -186,15 +186,10 @@ mod tests {
 
     #[test]
     fn matches_brute_force() {
-        let (vocab, d) = doc(
-            "<a><b><c><d/></c></b><b><e>t</e></b><c/></a>",
-        );
+        let (vocab, d) = doc("<a><b><c><d/></c></b><b><e>t</e></b><c/></a>");
         let tax = TaxIndex::build(&d);
         for n in d.all_nodes() {
-            let brute: LabelSet = d
-                .descendants(n)
-                .filter_map(|x| d.label(x))
-                .collect();
+            let brute: LabelSet = d.descendants(n).filter_map(|x| d.label(x)).collect();
             assert_eq!(
                 tax.descendant_labels(n).iter().collect::<Vec<_>>(),
                 brute.iter().collect::<Vec<_>>(),

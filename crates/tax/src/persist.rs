@@ -76,10 +76,7 @@ impl TaxIndex {
         write_u32(writer, self.num_labels)?;
         let names = vocab.snapshot();
         for i in 0..self.num_labels as usize {
-            let name = names
-                .get(i)
-                .map(|n| n.as_bytes())
-                .unwrap_or(b"");
+            let name = names.get(i).map(|n| n.as_bytes()).unwrap_or(b"");
             write_varint(writer, name.len() as u64)?;
             writer.write_all(name)?;
         }
@@ -141,9 +138,10 @@ impl TaxIndex {
             let mut s = LabelSet::with_capacity(vocab.len());
             for _ in 0..n {
                 let old = read_varint(reader)? as usize;
-                let new = remap.get(old).copied().ok_or_else(|| {
-                    XmlError::Invalid("set references unknown label".to_string())
-                })?;
+                let new = remap
+                    .get(old)
+                    .copied()
+                    .ok_or_else(|| XmlError::Invalid("set references unknown label".to_string()))?;
                 s.insert(new);
             }
             sets.push(s);
@@ -168,11 +166,7 @@ impl TaxIndex {
     }
 
     /// Saves to a file path.
-    pub fn save_to_file(
-        &self,
-        path: impl AsRef<Path>,
-        vocab: &Vocabulary,
-    ) -> Result<(), XmlError> {
+    pub fn save_to_file(&self, path: impl AsRef<Path>, vocab: &Vocabulary) -> Result<(), XmlError> {
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
         self.save(&mut f, vocab)
     }

@@ -85,11 +85,8 @@ fn sigma_from(policy: &AccessPolicy, a: Label) -> BTreeMap<Label, Path> {
     // Matrix nodes: 0 = the visible context of `a`; 1.. = hidden
     // occurrences of every reachable type.
     let types: Vec<Label> = dtd.reachable_types().into_iter().collect();
-    let index: BTreeMap<Label, usize> = types
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| (l, i + 1))
-        .collect();
+    let index: BTreeMap<Label, usize> =
+        types.iter().enumerate().map(|(i, &l)| (l, i + 1)).collect();
     let n = types.len() + 1;
     let mut m: Vec<Vec<Option<Path>>> = vec![vec![None; n]; n];
     let mut finals: Vec<BTreeMap<Label, Path>> = vec![BTreeMap::new(); n];
@@ -123,15 +120,14 @@ fn sigma_from(policy: &AccessPolicy, a: Label) -> BTreeMap<Label, Path> {
             .filter(|&j| j != k)
             .filter_map(|j| m[k][j].clone().map(|p| (j, p)))
             .collect();
-        let fouts: Vec<(Label, Path)> = finals[k]
-            .iter()
-            .map(|(&b, p)| (b, p.clone()))
-            .collect();
+        let fouts: Vec<(Label, Path)> = finals[k].iter().map(|(&b, p)| (b, p.clone())).collect();
         for i in 0..n {
             if i == k {
                 continue;
             }
-            let Some(into_k) = m[i][k].take() else { continue };
+            let Some(into_k) = m[i][k].take() else {
+                continue;
+            };
             let prefix = match &self_loop {
                 Some(l) => Path::seq([into_k.clone(), l.clone()]),
                 None => into_k.clone(),
@@ -228,8 +224,7 @@ pub fn derive(policy: &AccessPolicy) -> ViewSpec {
             for (b, path) in children {
                 let item = match direct_step(path) {
                     Some(conditional) => {
-                        let (mn, mx) =
-                            occurrence_bounds(dtd.production(a).expect("declared"), b);
+                        let (mn, mx) = occurrence_bounds(dtd.production(a).expect("declared"), b);
                         let (mn, mx) = if conditional { (0, mx) } else { (mn, mx) };
                         match (mn, mx) {
                             (1, 1) => ContentModel::Elem(b),
@@ -291,8 +286,14 @@ mod tests {
             sigma_str(&vocab, &spec, "patient", "treatment").unwrap(),
             "visit/treatment[medication]"
         );
-        assert_eq!(sigma_str(&vocab, &spec, "patient", "parent").unwrap(), "parent");
-        assert_eq!(sigma_str(&vocab, &spec, "parent", "patient").unwrap(), "patient");
+        assert_eq!(
+            sigma_str(&vocab, &spec, "patient", "parent").unwrap(),
+            "parent"
+        );
+        assert_eq!(
+            sigma_str(&vocab, &spec, "parent", "patient").unwrap(),
+            "patient"
+        );
         assert_eq!(
             sigma_str(&vocab, &spec, "treatment", "medication").unwrap(),
             "medication"
@@ -401,11 +402,7 @@ mod tests {
         // pname of a patient: its own pname, or any ancestor-chain pname
         // through the hidden parent/patient cycle -> needs a closure.
         let s = spec.sigma(patient, pname).unwrap();
-        assert!(
-            s.has_closure(),
-            "expected closure in {}",
-            s.display(&vocab)
-        );
+        assert!(s.has_closure(), "expected closure in {}", s.display(&vocab));
         // And patient itself no longer has patient-children in the view.
         assert!(spec.sigma(patient, patient).is_none());
     }

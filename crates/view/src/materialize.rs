@@ -93,9 +93,9 @@ pub fn materialize_fragment(
     node: NodeId,
 ) -> Result<MaterializedView, ViewError> {
     let vocab = source.vocabulary();
-    let ty = source.label(node).ok_or_else(|| {
-        ViewError::Syntax("fragment root must be an element".to_string())
-    })?;
+    let ty = source
+        .label(node)
+        .ok_or_else(|| ViewError::Syntax("fragment root must be an element".to_string()))?;
     if spec.view_dtd().production(ty).is_none() {
         return Err(ViewError::UnknownEdge(
             vocab.name(ty).to_string(),

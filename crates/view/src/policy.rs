@@ -77,12 +77,7 @@ impl AccessPolicy {
     }
 
     /// Sets the annotation of edge `(parent, child)`.
-    pub fn annotate(
-        &mut self,
-        parent: Label,
-        child: Label,
-        ann: Ann,
-    ) -> Result<(), PolicyError> {
+    pub fn annotate(&mut self, parent: Label, child: Label, ann: Ann) -> Result<(), PolicyError> {
         if !self.dtd.child_types(parent).contains(&child) {
             let vocab = self.dtd.vocabulary();
             return Err(PolicyError::UnknownEdge {
@@ -132,15 +127,12 @@ impl AccessPolicy {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let err = |msg: &str| {
-                PolicyError::Syntax(format!("line {}: {msg}: `{line}`", lineno + 1))
-            };
+            let err =
+                |msg: &str| PolicyError::Syntax(format!("line {}: {msg}: `{line}`", lineno + 1));
             let rest = line
                 .strip_prefix("ann(")
                 .ok_or_else(|| err("expected `ann(parent, child) = ...`"))?;
-            let (pair, rhs) = rest
-                .split_once(')')
-                .ok_or_else(|| err("missing `)`"))?;
+            let (pair, rhs) = rest.split_once(')').ok_or_else(|| err("missing `)`"))?;
             let (parent, child) = pair
                 .split_once(',')
                 .ok_or_else(|| err("expected `parent, child`"))?;

@@ -75,10 +75,9 @@ impl std::fmt::Display for ViewError {
                 f,
                 "sigma({a}, {b}) can never select a node under the source DTD"
             ),
-            ViewError::RootMismatch { view, source } => write!(
-                f,
-                "view root <{view}> differs from source root <{source}>"
-            ),
+            ViewError::RootMismatch { view, source } => {
+                write!(f, "view root <{view}> differs from source root <{source}>")
+            }
             ViewError::Syntax(s) => write!(f, "view spec syntax error: {s}"),
             ViewError::Path(e) => write!(f, "bad path in view spec: {e}"),
             ViewError::Dtd(e) => write!(f, "bad view DTD: {e}"),
@@ -145,10 +144,7 @@ impl ViewSpec {
     /// The child types of `parent` in the view, in canonical (label)
     /// order — the order the materializer emits them in.
     pub fn view_children(&self, parent: Label) -> Vec<Label> {
-        self.view_dtd
-            .child_types(parent)
-            .into_iter()
-            .collect()
+        self.view_dtd.child_types(parent).into_iter().collect()
     }
 
     /// Validates the spec against the source DTD: every view edge has a
@@ -216,8 +212,7 @@ impl ViewSpec {
         let view_dtd = Dtd::parse(&dtd_text, vocab).map_err(ViewError::Dtd)?;
         let mut spec = ViewSpec::new(view_dtd);
         for (lineno, line) in sigma_lines {
-            let err =
-                |msg: &str| ViewError::Syntax(format!("line {lineno}: {msg}: `{line}`"));
+            let err = |msg: &str| ViewError::Syntax(format!("line {lineno}: {msg}: `{line}`"));
             let rest = line.strip_prefix("sigma(").expect("checked");
             let (pair, rhs) = rest.split_once(')').ok_or_else(|| err("missing `)`"))?;
             let (a, b) = pair

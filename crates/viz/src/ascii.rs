@@ -60,11 +60,17 @@ pub fn mfa_listing(mfa: &Mfa) -> String {
                 Pred::Not(q) => format!("not P{}", q.0),
                 Pred::And(qs) => format!(
                     "and({})",
-                    qs.iter().map(|q| format!("P{}", q.0)).collect::<Vec<_>>().join(", ")
+                    qs.iter()
+                        .map(|q| format!("P{}", q.0))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ),
                 Pred::Or(qs) => format!(
                     "or({})",
-                    qs.iter().map(|q| format!("P{}", q.0)).collect::<Vec<_>>().join(", ")
+                    qs.iter()
+                        .map(|q| format!("P{}", q.0))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ),
             };
             let _ = writeln!(out, "  P{}: {desc}", id.0);
@@ -94,7 +100,10 @@ fn fate_marker(fate: NodeFate) -> &'static str {
 pub fn annotated_tree(doc: &Document, trace: &TraceCollector) -> String {
     let vocab = doc.vocabulary();
     let mut out = String::new();
-    let _ = writeln!(out, "legend: A! answer  A* answer(Cans)  c- rejected  v visited  x- dead  xT TAX-pruned");
+    let _ = writeln!(
+        out,
+        "legend: A! answer  A* answer(Cans)  c- rejected  v visited  x- dead  xT TAX-pruned"
+    );
     render_node(doc, doc.root(), vocab, trace, 0, &mut out);
     out
 }

@@ -35,11 +35,7 @@ pub fn mfa_to_dot(mfa: &Mfa) -> String {
             } else {
                 "circle"
             };
-            let style = if s == nfa.start() {
-                ", style=bold"
-            } else {
-                ""
-            };
+            let style = if s == nfa.start() { ", style=bold" } else { "" };
             let _ = writeln!(
                 out,
                 "    n{}_s{} [label=\"{}\", shape={shape}{style}];",
@@ -93,14 +89,24 @@ pub fn mfa_to_dot(mfa: &Mfa) -> String {
             Pred::Not(q) => format!("not P{}", q.0),
             Pred::And(qs) => format!(
                 "and({})",
-                qs.iter().map(|q| format!("P{}", q.0)).collect::<Vec<_>>().join(",")
+                qs.iter()
+                    .map(|q| format!("P{}", q.0))
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
             Pred::Or(qs) => format!(
                 "or({})",
-                qs.iter().map(|q| format!("P{}", q.0)).collect::<Vec<_>>().join(",")
+                qs.iter()
+                    .map(|q| format!("P{}", q.0))
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
         };
-        let _ = writeln!(out, "  p{} [label=\"P{}: {label}\", shape=box];", id.0, id.0);
+        let _ = writeln!(
+            out,
+            "  p{} [label=\"P{}: {label}\", shape=box];",
+            id.0, id.0
+        );
         if let Pred::HasPath(n) = p {
             let target = mfa.nfa(*n).start();
             let _ = writeln!(
@@ -140,9 +146,7 @@ pub fn document_to_dot(doc: &Document, trace: Option<&TraceCollector>) -> String
                 format!("\"{t}\"")
             }
         };
-        let color = trace
-            .map(|t| fate_color(t.fate(n.0)))
-            .unwrap_or("white");
+        let color = trace.map(|t| fate_color(t.fate(n.0))).unwrap_or("white");
         let _ = writeln!(
             out,
             "  n{} [label=\"{}\", fillcolor={color}];",

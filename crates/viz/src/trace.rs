@@ -101,7 +101,10 @@ impl TraceCollector {
 
     /// The fate of a node after evaluation.
     pub fn fate(&self, node: u32) -> NodeFate {
-        self.fates.get(&node).copied().unwrap_or(NodeFate::Untouched)
+        self.fates
+            .get(&node)
+            .copied()
+            .unwrap_or(NodeFate::Untouched)
     }
 
     /// Number of recorded events.
@@ -151,11 +154,13 @@ impl EvalObserver for TraceCollector {
     }
 
     fn instance_resolved(&mut self, inst: usize, value: bool) {
-        self.events.push(TraceEvent::InstanceResolved { inst, value });
+        self.events
+            .push(TraceEvent::InstanceResolved { inst, value });
     }
 
     fn candidate_resolved(&mut self, node: u32, kept: bool) {
-        self.events.push(TraceEvent::CandidateResolved { node, kept });
+        self.events
+            .push(TraceEvent::CandidateResolved { node, kept });
         self.fates.insert(
             node,
             if kept {

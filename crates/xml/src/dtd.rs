@@ -53,9 +53,7 @@ impl ContentModel {
                     c.labels(out);
                 }
             }
-            ContentModel::Star(c) | ContentModel::Plus(c) | ContentModel::Opt(c) => {
-                c.labels(out)
-            }
+            ContentModel::Star(c) | ContentModel::Plus(c) | ContentModel::Opt(c) => c.labels(out),
             ContentModel::Mixed(ls) => out.extend(ls.iter().copied()),
         }
     }
@@ -309,9 +307,7 @@ impl Dtd {
                     self.vocab.name(l)
                 )));
             };
-            let matcher = matchers
-                .entry(l)
-                .or_insert_with(|| Matcher::compile(model));
+            let matcher = matchers.entry(l).or_insert_with(|| Matcher::compile(model));
             if !matcher.matches(doc, n) {
                 return Err(XmlError::Invalid(format!(
                     "children of <{}> do not match content model {}",
@@ -440,7 +436,11 @@ impl Matcher {
             ContentModel::Seq(cs) => {
                 let mut cur = from;
                 for (i, c) in cs.iter().enumerate() {
-                    let next = if i + 1 == cs.len() { to } else { self.new_state() };
+                    let next = if i + 1 == cs.len() {
+                        to
+                    } else {
+                        self.new_state()
+                    };
                     self.build(c, cur, next);
                     cur = next;
                 }
@@ -851,11 +851,7 @@ mod tests {
     #[test]
     fn mixed_content() {
         let vocab = Vocabulary::new();
-        let dtd = Dtd::parse(
-            "<!ELEMENT a (#PCDATA | b)*><!ELEMENT b (#PCDATA)>",
-            &vocab,
-        )
-        .unwrap();
+        let dtd = Dtd::parse("<!ELEMENT a (#PCDATA | b)*><!ELEMENT b (#PCDATA)>", &vocab).unwrap();
         let doc = Document::parse_str("<a>x<b>y</b>z</a>", &vocab).unwrap();
         dtd.validate(&doc).unwrap();
     }
@@ -868,7 +864,12 @@ mod tests {
         assert_eq!(dtd2.root(), dtd.root());
         assert_eq!(dtd2.len(), dtd.len());
         for l in dtd.element_types() {
-            assert_eq!(dtd2.production(l), dtd.production(l), "production {}", vocab.name(l));
+            assert_eq!(
+                dtd2.production(l),
+                dtd.production(l),
+                "production {}",
+                vocab.name(l)
+            );
         }
     }
 

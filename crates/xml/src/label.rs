@@ -195,8 +195,7 @@ mod tests {
                 })
             })
             .collect();
-        let results: Vec<Vec<Label>> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let results: Vec<Vec<Label>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         for r in &results[1..] {
             assert_eq!(r, &results[0]);
         }

@@ -87,6 +87,9 @@ mod tests {
         let d1 = parse_document("<a><b/></a>", &vocab).unwrap();
         let d2 = parse_document("<b><a/></b>", &vocab).unwrap();
         // Same names, same labels, regardless of parse order.
-        assert_eq!(d1.label(d1.root()), d2.label(d2.first_child(d2.root()).unwrap()));
+        assert_eq!(
+            d1.label(d1.root()),
+            d2.label(d2.first_child(d2.root()).unwrap())
+        );
     }
 }

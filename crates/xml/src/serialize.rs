@@ -132,9 +132,7 @@ impl<W: Write> XmlWriter<W> {
     /// Writes character data.
     pub fn text(&mut self, text: &str) -> Result<(), XmlError> {
         if self.stack.is_empty() {
-            return Err(XmlError::Malformed(
-                "text outside root element".to_string(),
-            ));
+            return Err(XmlError::Malformed("text outside root element".to_string()));
         }
         self.close_open_tag(false)?;
         self.scratch.clear();

@@ -143,7 +143,10 @@ impl<R: BufRead> PullParser<R> {
                 "expected '{}', found '{}'",
                 want as char, b as char
             ))),
-            None => Err(self.err(format_args!("expected '{}', found end of input", want as char))),
+            None => Err(self.err(format_args!(
+                "expected '{}', found end of input",
+                want as char
+            ))),
         }
     }
 
@@ -324,9 +327,7 @@ impl<R: BufRead> PullParser<R> {
                     let value = self.utf8(value)?;
                     attrs.push(Attribute { name, value });
                 }
-                Some(b) => {
-                    return Err(self.err(format_args!("unexpected '{}' in tag", b as char)))
-                }
+                Some(b) => return Err(self.err(format_args!("unexpected '{}' in tag", b as char))),
                 None => return Err(self.err("unterminated start tag")),
             }
         }
@@ -533,7 +534,13 @@ mod tests {
     fn self_closing_emits_both_events() {
         assert_eq!(
             events("<a><b/></a>"),
-            vec![start("a"), start("b"), end("b"), end("a"), XmlEvent::EndDocument]
+            vec![
+                start("a"),
+                start("b"),
+                end("b"),
+                end("a"),
+                XmlEvent::EndDocument
+            ]
         );
     }
 
@@ -558,7 +565,13 @@ mod tests {
         );
         assert_eq!(
             evs,
-            vec![start("a"), start("b"), end("b"), end("a"), XmlEvent::EndDocument]
+            vec![
+                start("a"),
+                start("b"),
+                end("b"),
+                end("a"),
+                XmlEvent::EndDocument
+            ]
         );
     }
 
@@ -573,7 +586,13 @@ mod tests {
         let evs = events("<a>\n  <b/>\n</a>");
         assert_eq!(
             evs,
-            vec![start("a"), start("b"), end("b"), end("a"), XmlEvent::EndDocument]
+            vec![
+                start("a"),
+                start("b"),
+                end("b"),
+                end("a"),
+                XmlEvent::EndDocument
+            ]
         );
     }
 

@@ -587,10 +587,7 @@ mod tests {
     #[test]
     fn depth_and_ancestors() {
         let (_, doc) = sample();
-        let deepest = doc
-            .all_nodes()
-            .max_by_key(|&n| doc.depth(n))
-            .unwrap();
+        let deepest = doc.all_nodes().max_by_key(|&n| doc.depth(n)).unwrap();
         assert_eq!(doc.depth(deepest), 3);
         assert_eq!(doc.max_depth(), 3);
         assert_eq!(doc.ancestors(deepest).count(), 3);

@@ -20,18 +20,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== document DTD D (Fig. 3a) ===\n{}", dtd.to_dtd_string());
 
     let policy = AccessPolicy::parse(dtd.clone(), hospital::POLICY)?;
-    println!("=== access control policy S0 (Fig. 3b) ===\n{}", policy.to_policy_string());
+    println!(
+        "=== access control policy S0 (Fig. 3b) ===\n{}",
+        policy.to_policy_string()
+    );
 
     let spec = derive(&policy);
     spec.validate(&dtd)?;
-    println!("=== derived view spec sigma0 + view DTD (Fig. 3c/3d) ===\n{}", spec.to_spec_string());
+    println!(
+        "=== derived view spec sigma0 + view DTD (Fig. 3c/3d) ===\n{}",
+        spec.to_spec_string()
+    );
 
     let doc = Document::parse_str(hospital::SAMPLE_DOCUMENT, &vocab)?;
     dtd.validate(&doc)?;
 
     // For illustration we materialize V(T) once - the engine never does.
     let view = materialize(&spec, &doc)?;
-    println!("=== V(T), materialized for illustration ===\n{}\n", view.doc.to_xml());
+    println!(
+        "=== V(T), materialized for illustration ===\n{}\n",
+        view.doc.to_xml()
+    );
 
     // A researcher query on the view, rewritten and answered on T.
     let q = "hospital/patient[treatment/medication = 'autism']/treatment/medication";

@@ -11,17 +11,19 @@ use smoqe::{DocumentMode, Engine, EngineConfig, User};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = Engine::with_defaults();
-    engine.load_dtd(org::DTD)?;
-    engine.load_document(org::SAMPLE_DOCUMENT)?;
-    engine.register_policy("staff", org::POLICY)?;
+    let company = engine.open_document("company");
+    org::install_sample(&company)?;
 
-    println!("=== derived view for group 'staff' ===");
-    println!("{}", engine.view("staff")?.to_spec_string());
+    println!("=== derived view for group '{}' ===", org::GROUP);
+    println!("{}", company.view(org::GROUP)?.to_spec_string());
 
-    let staff = engine.session(User::Group("staff".into()));
-    let doc = engine.document()?;
+    let staff = company.session(User::Group(org::GROUP.into()));
+    let doc = company.document()?;
 
-    println!("salaries visible to staff: {}", staff.query("//salary")?.len());
+    println!(
+        "salaries visible to staff: {}",
+        staff.query("//salary")?.len()
+    );
     let reviews = staff.query("//review")?;
     println!("reviews visible to staff ({}):", reviews.len());
     for xml in reviews.serialize_with(&doc) {
@@ -38,10 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mode: DocumentMode::Stream,
         ..EngineConfig::default()
     });
-    streaming.load_dtd(org::DTD)?;
-    streaming.load_document(org::SAMPLE_DOCUMENT)?;
-    streaming.register_policy("staff", org::POLICY)?;
-    let s = streaming.session(User::Group("staff".into()));
+    let stream_doc = streaming.open_document("company");
+    org::install_sample(&stream_doc)?;
+    let s = stream_doc.session(User::Group(org::GROUP.into()));
     let streamed = s.query("//emp[review]/ename")?;
     println!(
         "streaming mode, employees with visible reviews: {:?}",

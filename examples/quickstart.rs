@@ -7,32 +7,48 @@
 use smoqe::{workloads::hospital, Engine, User};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Set up the engine with the document schema and data.
+    // 1. Open a named document in the engine's catalog and give it the
+    //    schema and data.
     let engine = Engine::with_defaults();
-    engine.load_dtd(hospital::DTD)?;
-    engine.load_document(hospital::SAMPLE_DOCUMENT)?;
+    let wards = engine.open_document("wards");
+    wards.load_dtd(hospital::DTD)?;
+    wards.load_document(hospital::SAMPLE_DOCUMENT)?;
 
     // 2. Register a user group by its access-control policy. SMOQE derives
     //    the security view automatically; it is never materialized.
-    engine.register_policy("researchers", hospital::POLICY)?;
+    wards.register_policy("researchers", hospital::POLICY)?;
 
     // 3. An admin sees the raw document...
-    let admin = engine.session(User::Admin);
+    let admin = wards.session(User::Admin);
     let all_names = admin.query("hospital/patient/pname")?;
     println!("admin sees {} patient names", all_names.len());
 
     // 4. ...while researchers see only what the policy allows: their
     //    queries are rewritten against the virtual view.
-    let researcher = engine.session(User::Group("researchers".into()));
+    let researcher = wards.session(User::Group("researchers".into()));
     let names = researcher.query("//pname")?;
-    println!("researcher sees {} patient names (policy hides them)", names.len());
+    println!(
+        "researcher sees {} patient names (policy hides them)",
+        names.len()
+    );
     assert!(names.is_empty());
 
     let meds = researcher.query("hospital/patient/treatment/medication")?;
-    let doc = engine.document()?;
+    let doc = wards.document()?;
     println!("medications visible to researchers:");
     for xml in meds.serialize_with(&doc) {
         println!("  {xml}");
     }
+
+    // 5. Sessions are owned and thread-safe, and repeated queries skip
+    //    the whole parse→rewrite→compile→optimize pipeline via the
+    //    shared plan cache.
+    let again = researcher.query("hospital/patient/treatment/medication")?;
+    assert!(again.plan_cached);
+    let m = engine.cache_metrics();
+    println!(
+        "plan cache: {} hit(s), {} miss(es), {} plan(s) resident",
+        m.hits, m.misses, m.entries
+    );
     Ok(())
 }

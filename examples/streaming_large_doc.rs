@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let file = std::fs::File::create(&path)?;
     let nodes = generate_to_writer(&dtd, &config, std::io::BufWriter::new(file))?;
     let bytes = std::fs::metadata(&path)?.len();
-    println!("generated {nodes} nodes ({bytes} bytes) at {}", path.display());
+    println!(
+        "generated {nodes} nodes ({bytes} bytes) at {}",
+        path.display()
+    );
 
     let query = "hospital/patient[visit/treatment/medication = 'autism']/pname";
     let q = parse_path(query, &vocab)?;

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("hospital.tax");
     tax.save_to_file(&path, &vocab)?;
-    println!("persisted (compressed) to {} bytes on disk\n", std::fs::metadata(&path)?.len());
+    println!(
+        "persisted (compressed) to {} bytes on disk\n",
+        std::fs::metadata(&path)?.len()
+    );
     std::fs::remove_file(&path).ok();
 
     for q in ["//test", "//parent/patient/pname"] {
@@ -46,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(a1, a2);
         println!(
             "query {q}: visited {} nodes without TAX, {} with TAX ({} subtrees pruned), {} answers",
-            s1.nodes_visited, s2.nodes_visited, s2.subtrees_pruned_tax, a2.len()
+            s1.nodes_visited,
+            s2.nodes_visited,
+            s2.subtrees_pruned_tax,
+            a2.len()
         );
     }
     Ok(())

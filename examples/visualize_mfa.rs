@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== chronological trace ===\n{}", trace_log(&trace, &vocab));
     println!(
         "answers: {:?} ({} nodes visited, |Cans| = {})",
-        answers.iter().map(|n| doc.string_value(n)).collect::<Vec<_>>(),
+        answers
+            .iter()
+            .map(|n| doc.string_value(n))
+            .collect::<Vec<_>>(),
         stats.nodes_visited,
         stats.cans_size
     );

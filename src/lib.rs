@@ -3,6 +3,6 @@
 //! This crate only re-exports [`smoqe`]; the real API lives there. Having a
 //! root package lets the workspace keep cross-crate integration tests in
 //! `tests/` and runnable examples in `examples/`, per the repository layout
-//! described in DESIGN.md.
+//! described in README.md.
 
 pub use smoqe::*;

@@ -1,0 +1,286 @@
+//! The multi-tenant serving surface: one engine, many documents, many
+//! concurrent sessions.
+//!
+//! * owned `Send + Sync` sessions answer queries from many threads with
+//!   answers identical to serial evaluation;
+//! * repeated queries hit the shared plan cache (observable through the
+//!   exposed hit/miss counters);
+//! * replacing a document, its DTD, or a view invalidates exactly the
+//!   affected cached plans;
+//! * catalog documents and their user groups are isolated from each other.
+
+use smoqe::workloads::{hospital, org};
+use smoqe::{DocHandle, Engine, EngineConfig, User};
+use smoqe_xml::NodeId;
+use std::sync::Arc;
+
+fn hospital_doc(engine: &Arc<Engine>, name: &str) -> DocHandle {
+    let doc = engine.open_document(name);
+    hospital::install_sample(&doc).unwrap();
+    doc
+}
+
+/// Every (user, query) pair a serving mix would issue against the
+/// hospital sample, with several distinct groups registered.
+fn serving_mix(doc: &DocHandle) -> Vec<(User, &'static str)> {
+    doc.register_view_spec(
+        "meds-only",
+        "<!ELEMENT hospital (medication*)>\n\
+         <!ELEMENT medication (#PCDATA)>\n\
+         sigma(hospital, medication) = patient/visit/treatment/medication\n",
+    )
+    .unwrap();
+    doc.register_policy("open", "# allow-all policy: no annotations\n")
+        .unwrap();
+    let mut mix = Vec::new();
+    for (_, q) in hospital::DOC_QUERIES {
+        mix.push((User::Admin, *q));
+    }
+    for (_, q) in hospital::VIEW_QUERIES {
+        for group in [hospital::GROUP, "open"] {
+            mix.push((User::Group(group.into()), *q));
+        }
+    }
+    mix.push((User::Group("meds-only".into()), "hospital/medication"));
+    mix.push((User::Group("meds-only".into()), "//patient"));
+    mix
+}
+
+#[test]
+fn concurrent_sessions_agree_with_serial_evaluation() {
+    let engine = Engine::with_defaults();
+    let doc = hospital_doc(&engine, "hospital");
+    doc.build_tax_index().unwrap();
+    let mix = serving_mix(&doc);
+
+    // Serial reference, computed before any threads exist.
+    let serial: Vec<Vec<NodeId>> = mix
+        .iter()
+        .map(|(user, q)| doc.session(user.clone()).query(q).unwrap().nodes)
+        .collect();
+
+    // Two full passes over the mix from each of 8 threads, all through
+    // owned sessions of the same engine.
+    const THREADS: usize = 8;
+    let mix = Arc::new(mix);
+    let serial = Arc::new(serial);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let doc = doc.clone();
+            let mix = mix.clone();
+            let serial = serial.clone();
+            std::thread::spawn(move || {
+                // Stagger starting offsets so threads hit different
+                // queries at the same time.
+                for round in 0..2 {
+                    for i in 0..mix.len() {
+                        let idx = (i + t * 3 + round) % mix.len();
+                        let (user, q) = &mix[idx];
+                        let session = doc.session(user.clone());
+                        let answer = session.query(q).unwrap();
+                        assert_eq!(
+                            answer.nodes, serial[idx],
+                            "thread {t} diverged from serial on `{q}` as {user:?}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let m = engine.cache_metrics();
+    assert!(
+        m.hits > 0,
+        "the concurrent mix must reuse cached plans: {m:?}"
+    );
+}
+
+#[test]
+fn repeated_query_is_a_cache_hit() {
+    let engine = Engine::with_defaults();
+    let doc = hospital_doc(&engine, "h");
+    let session = doc.session(User::Group(hospital::GROUP.into()));
+
+    let before = engine.cache_metrics();
+    let first = session.query("//medication").unwrap();
+    assert!(!first.plan_cached, "first run must compile");
+    let second = session.query("//medication").unwrap();
+    assert!(second.plan_cached, "second run must hit the cache");
+    assert_eq!(first.nodes, second.nodes);
+
+    let after = engine.cache_metrics();
+    assert_eq!(after.hits, before.hits + 1);
+    assert_eq!(after.misses, before.misses + 1);
+    assert!(after.entries >= 1);
+}
+
+#[test]
+fn document_replacement_invalidates_cached_plans() {
+    let engine = Engine::with_defaults();
+    let doc = hospital_doc(&engine, "h");
+    let session = doc.session(User::Admin);
+    session.query("//medication").unwrap();
+    assert!(session.query("//medication").unwrap().plan_cached);
+
+    doc.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+    let invalidations = engine.cache_metrics().invalidations;
+    assert!(invalidations >= 1, "reload must invalidate cached plans");
+    assert!(
+        !session.query("//medication").unwrap().plan_cached,
+        "post-reload query must recompile"
+    );
+}
+
+#[test]
+fn view_reregistration_invalidates_only_that_group() {
+    let engine = Engine::with_defaults();
+    let doc = hospital_doc(&engine, "h");
+    let researcher = doc.session(User::Group(hospital::GROUP.into()));
+    let admin = doc.session(User::Admin);
+    researcher.query("//medication").unwrap();
+    admin.query("//medication").unwrap();
+
+    doc.register_policy(hospital::GROUP, hospital::POLICY)
+        .unwrap();
+    assert!(
+        !researcher.query("//medication").unwrap().plan_cached,
+        "the re-registered group's plans must be invalid"
+    );
+    assert!(
+        admin.query("//medication").unwrap().plan_cached,
+        "admin plans must survive a view change"
+    );
+}
+
+#[test]
+fn documents_in_the_catalog_are_isolated() {
+    let engine = Engine::with_defaults();
+    let hosp = hospital_doc(&engine, "hospital");
+    let orgdoc = engine.open_document("org");
+    org::install_sample(&orgdoc).unwrap();
+
+    // Same query text, same engine, different documents and policies.
+    let hosp_all = hosp.session(User::Admin).query("//*").unwrap();
+    let org_all = orgdoc.session(User::Admin).query("//*").unwrap();
+    assert_ne!(hosp_all.nodes.len(), org_all.nodes.len());
+
+    // Groups are scoped to their document.
+    assert!(orgdoc
+        .session(User::Group(hospital::GROUP.into()))
+        .query("//emp")
+        .is_err());
+    assert!(hosp
+        .session(User::Group(org::GROUP.into()))
+        .query("//patient")
+        .is_err());
+
+    // Sessions opened by name agree with handle-minted ones.
+    let by_name = engine
+        .session_on("org", User::Group(org::GROUP.into()))
+        .unwrap();
+    let by_handle = orgdoc.session(User::Group(org::GROUP.into()));
+    assert_eq!(
+        by_name.query("//ename").unwrap().nodes,
+        by_handle.query("//ename").unwrap().nodes
+    );
+}
+
+#[test]
+fn stale_session_on_reopened_name_cannot_poison_the_cache() {
+    // Regression: generation counters restart per entry, so a document
+    // name that is dropped and re-opened reproduces old (name, generation)
+    // pairs. A session still bound to the OLD entry must not repopulate
+    // plan-cache keys the NEW entry's sessions then hit — its plans were
+    // rewritten through the old security view.
+    let engine = Engine::with_defaults();
+    let old = engine.open_document("h");
+    hospital::install_sample(&old).unwrap();
+    let old_session = old.session(User::Group(hospital::GROUP.into()));
+
+    assert!(engine.drop_document("h"));
+    let fresh = engine.open_document("h");
+    fresh.load_dtd(hospital::DTD).unwrap();
+    fresh.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+    // Same generation sequence as the old entry, but an allow-all view.
+    fresh
+        .register_policy(hospital::GROUP, "# allow-all policy: no annotations\n")
+        .unwrap();
+
+    // The old session caches a plan compiled through the restrictive view.
+    assert!(old_session.query("//pname").unwrap().is_empty());
+    // The fresh entry's session must compile its own plan (no cache hit
+    // across entries) and see names per the allow-all policy.
+    let fresh_answer = fresh
+        .session(User::Group(hospital::GROUP.into()))
+        .query("//pname")
+        .unwrap();
+    assert!(!fresh_answer.plan_cached, "cross-entry cache hit");
+    assert!(!fresh_answer.is_empty(), "old view leaked into new entry");
+}
+
+#[test]
+fn sessions_survive_document_drop_and_reload() {
+    let engine = Engine::with_defaults();
+    let doc = hospital_doc(&engine, "h");
+    let session = doc.session(User::Admin);
+    assert!(!session.query("//medication").unwrap().is_empty());
+
+    // Dropping the catalog name doesn't kill live sessions...
+    assert!(engine.drop_document("h"));
+    assert!(!session.query("//medication").unwrap().is_empty());
+    // ...but the name is gone from the catalog.
+    assert!(engine.session_on("h", User::Admin).is_err());
+
+    // Re-opening the name creates a fresh, empty entry.
+    let fresh = engine.open_document("h");
+    assert!(fresh.session(User::Admin).query("//medication").is_err());
+}
+
+#[test]
+fn concurrent_sessions_work_across_documents_and_modes() {
+    // DOM and stream engines, each serving two documents from 4 threads
+    // per engine; every thread's answers must match the serial ones.
+    for config in [EngineConfig::default(), EngineConfig::streaming()] {
+        let engine = Engine::new(config);
+        let hosp = hospital_doc(&engine, "hospital");
+        let orgdoc = engine.open_document("org");
+        org::install_sample(&orgdoc).unwrap();
+
+        let work: Vec<(DocHandle, User, &str)> = vec![
+            (
+                hosp.clone(),
+                User::Group(hospital::GROUP.into()),
+                "//medication",
+            ),
+            (hosp.clone(), User::Admin, "hospital/patient/pname"),
+            (orgdoc.clone(), User::Group(org::GROUP.into()), "//ename"),
+            (orgdoc.clone(), User::Admin, "//salary"),
+        ];
+        let serial: Vec<Vec<NodeId>> = work
+            .iter()
+            .map(|(doc, user, q)| doc.session(user.clone()).query(q).unwrap().nodes)
+            .collect();
+        let work = Arc::new(work);
+        let serial = Arc::new(serial);
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let work = work.clone();
+                let serial = serial.clone();
+                std::thread::spawn(move || {
+                    for i in 0..work.len() {
+                        let idx = (i + t) % work.len();
+                        let (doc, user, q) = &work[idx];
+                        let nodes = doc.session(user.clone()).query(q).unwrap().nodes;
+                        assert_eq!(nodes, serial[idx], "{q} diverged");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

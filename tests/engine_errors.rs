@@ -41,7 +41,9 @@ fn malformed_query_is_a_query_error() {
 fn malformed_policy_is_a_policy_error() {
     let e = Engine::with_defaults();
     e.load_dtd(hospital::DTD).unwrap();
-    let err = e.register_policy("g", "ann(hospital, nothere) = N").unwrap_err();
+    let err = e
+        .register_policy("g", "ann(hospital, nothere) = N")
+        .unwrap_err();
     assert!(matches!(err, EngineError::Policy(_)));
     assert!(err.to_string().contains("unknown DTD edge"));
 }
@@ -66,7 +68,9 @@ fn malformed_view_spec_is_a_view_error() {
 fn invalid_document_rejected_with_dtd_details() {
     let e = Engine::with_defaults();
     e.load_dtd(hospital::DTD).unwrap();
-    let err = e.load_document("<hospital><unknown/></hospital>").unwrap_err();
+    let err = e
+        .load_document("<hospital><unknown/></hospital>")
+        .unwrap_err();
     // Either diagnosis is correct: the parent's content model fails, or
     // the undeclared element is flagged (validation visits parents first).
     let msg = err.to_string();
@@ -105,10 +109,7 @@ fn errors_display_and_chain_sources() {
     let e = Engine::with_defaults();
     e.load_dtd(hospital::DTD).unwrap();
     e.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
-    let err = e
-        .session(User::Admin)
-        .query("((((")
-        .unwrap_err();
+    let err = e.session(User::Admin).query("((((").unwrap_err();
     // The source chain reaches the underlying parse error.
     assert!(err.source().is_some());
 }

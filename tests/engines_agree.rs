@@ -25,13 +25,18 @@ fn check_all_engines(doc: &Document, vocab: &Vocabulary, query: &str) {
             compile(&path, vocab)
         };
         // DOM, no TAX.
-        let (plain, _) =
-            evaluate_mfa_with(doc, &mfa, &DomOptions::default(), &mut NoopObserver);
-        assert_eq!(plain, expected, "HyPE/DOM differs (`{query}`, opt={optimized})");
+        let (plain, _) = evaluate_mfa_with(doc, &mfa, &DomOptions::default(), &mut NoopObserver);
+        assert_eq!(
+            plain, expected,
+            "HyPE/DOM differs (`{query}`, opt={optimized})"
+        );
         // DOM, TAX.
         let opts = DomOptions { tax: Some(&tax) };
         let (pruned, _) = evaluate_mfa_with(doc, &mfa, &opts, &mut NoopObserver);
-        assert_eq!(pruned, expected, "HyPE/TAX differs (`{query}`, opt={optimized})");
+        assert_eq!(
+            pruned, expected,
+            "HyPE/TAX differs (`{query}`, opt={optimized})"
+        );
         // Stream.
         let out = evaluate_stream_str(&xml, &mfa, vocab, StreamOptions::default()).unwrap();
         let stream_nodes: Vec<NodeId> = out.answers.into_iter().map(NodeId).collect();
@@ -42,7 +47,10 @@ fn check_all_engines(doc: &Document, vocab: &Vocabulary, query: &str) {
         );
         // Two-pass.
         let (two, _) = evaluate_mfa_twopass(doc, &mfa);
-        assert_eq!(two, expected, "two-pass differs (`{query}`, opt={optimized})");
+        assert_eq!(
+            two, expected,
+            "two-pass differs (`{query}`, opt={optimized})"
+        );
     }
 }
 
@@ -119,11 +127,7 @@ fn engines_agree_on_predicate_ordering_edge_cases() {
 #[test]
 fn engines_agree_with_nested_negation() {
     let vocab = Vocabulary::new();
-    let doc = Document::parse_str(
-        "<r><p><q><s>v</s></q></p><p><q/></p><p/></r>",
-        &vocab,
-    )
-    .unwrap();
+    let doc = Document::parse_str("<r><p><q><s>v</s></q></p><p><q/></p><p/></r>", &vocab).unwrap();
     for q in [
         "r/p[not(q)]",
         "r/p[not(q[s])]",

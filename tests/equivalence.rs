@@ -97,7 +97,11 @@ fn direct_syntactic_rewriting_is_also_equivalent() {
         let expected = view.origins_of(naive(&view.doc, &path).iter());
         let direct = rewrite_direct(&path, &spec).expect("nonempty");
         let got = naive(&doc, &direct);
-        assert_eq!(got.as_slice(), expected.as_slice(), "direct rewrite differs for `{q}`");
+        assert_eq!(
+            got.as_slice(),
+            expected.as_slice(),
+            "direct rewrite differs for `{q}`"
+        );
     }
 }
 
@@ -129,6 +133,10 @@ fn engine_level_equivalence() {
         let answer = session.query(q).unwrap();
         let path = parse_path(q, vocab).unwrap();
         let expected = view.origins_of(naive(&view.doc, &path).iter());
-        assert_eq!(answer.nodes.as_slice(), expected.as_slice(), "engine differs on `{q}`");
+        assert_eq!(
+            answer.nodes.as_slice(),
+            expected.as_slice(),
+            "engine differs on `{q}`"
+        );
     }
 }

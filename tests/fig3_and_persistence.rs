@@ -75,10 +75,7 @@ fn fig3_artifacts_round_trip_through_text() {
     reparsed.validate(&dtd).unwrap();
     for ((a, b), p) in spec.sigmas() {
         let q = reparsed.sigma(*a, *b).expect("sigma survives round-trip");
-        assert_eq!(
-            p.display(&vocab).to_string(),
-            q.display(&vocab).to_string()
-        );
+        assert_eq!(p.display(&vocab).to_string(), q.display(&vocab).to_string());
     }
 }
 

@@ -11,8 +11,9 @@ use smoqe::workloads::hospital;
 use smoqe::{Engine, User};
 use smoqe_xml::NodeId;
 use std::collections::HashSet;
+use std::sync::Arc;
 
-fn engine() -> Engine {
+fn engine() -> Arc<Engine> {
     let e = Engine::with_defaults();
     e.load_dtd(hospital::DTD).unwrap();
     e.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
@@ -83,7 +84,13 @@ fn wildcard_and_descendant_probing_cannot_reach_hidden_types() {
         .map(|n| vocab.lookup(n).unwrap())
         .collect();
     // Exhaustive probing with wildcards and closures.
-    for q in ["//*", "(*)*/*", "hospital/*/*", "hospital/(*)*", "//*[not(zzz)]"] {
+    for q in [
+        "//*",
+        "(*)*/*",
+        "hospital/*/*",
+        "hospital/(*)*",
+        "//*[not(zzz)]",
+    ] {
         let ans = session.query(q).unwrap();
         for n in &ans.nodes {
             let label = doc.label(*n).unwrap();
@@ -150,11 +157,8 @@ fn admin_and_group_sessions_are_isolated() {
     assert!(!admin.query("//pname").unwrap().is_empty());
     assert!(group.query("//pname").unwrap().is_empty());
     // Two groups with different policies see different data.
-    e.register_policy(
-        "open",
-        "# allow-all policy: no annotations\n",
-    )
-    .unwrap();
+    e.register_policy("open", "# allow-all policy: no annotations\n")
+        .unwrap();
     let open = e.session(User::Group("open".into()));
     assert!(!open.query("//pname").unwrap().is_empty());
 }

@@ -80,8 +80,8 @@ fn hand_authored_spec_and_derived_policy_can_coexist() {
     let flat = e.session(User::Group("flat".into()));
     assert!(derived.query("//pname").unwrap().is_empty());
     assert_eq!(flat.query("hospital/pname").unwrap().len(), 3); // top-level names
-    // The flat view exposes names that the derived view hides - distinct
-    // policies genuinely isolate groups.
+                                                                // The flat view exposes names that the derived view hides - distinct
+                                                                // policies genuinely isolate groups.
     let xmls = flat.query_xml("hospital/pname").unwrap();
     assert!(xmls.iter().any(|x| x.contains("Ann")));
 }
@@ -95,6 +95,7 @@ fn config_toggles_do_not_change_answers() {
             mode: DocumentMode::Dom,
             use_tax: true,
             optimize_mfa: false,
+            ..EngineConfig::default()
         },
         EngineConfig::streaming(),
     ];
@@ -145,7 +146,9 @@ fn large_generated_document_through_engine_with_all_features() {
     e.build_tax_index().unwrap();
     e.register_policy("g", hospital::POLICY).unwrap();
     let s = e.session(User::Group("g".into()));
-    let a = s.query("hospital/patient/(parent/patient)*/treatment/medication").unwrap();
+    let a = s
+        .query("hospital/patient/(parent/patient)*/treatment/medication")
+        .unwrap();
     // TAX + optimizer on; sanity cross-check against the plain config.
     let plain = Engine::new(EngineConfig::plain());
     plain.load_dtd(hospital::DTD).unwrap();

@@ -35,8 +35,7 @@ fn deep_documents_do_not_overflow_any_engine() {
 
     // Streaming over the serialized form.
     let xml = doc.to_xml();
-    let out =
-        smoqe_hype::evaluate_stream_str(&xml, &mfa, &vocab, Default::default()).unwrap();
+    let out = smoqe_hype::evaluate_stream_str(&xml, &mfa, &vocab, Default::default()).unwrap();
     assert_eq!(out.answers.len(), 1);
 }
 
@@ -46,7 +45,11 @@ fn unicode_text_survives_parse_serialize_query() {
     let xml = "<a><b>caf\u{e9} \u{1F600} \u{4e2d}\u{6587}</b><b>plain</b></a>";
     let doc = Document::parse_str(xml, &vocab).unwrap();
     assert_eq!(doc.to_xml(), xml);
-    let q = parse_path("a/b[text() = 'caf\u{e9} \u{1F600} \u{4e2d}\u{6587}']", &vocab).unwrap();
+    let q = parse_path(
+        "a/b[text() = 'caf\u{e9} \u{1F600} \u{4e2d}\u{6587}']",
+        &vocab,
+    )
+    .unwrap();
     assert_eq!(evaluate(&doc, &q).len(), 1);
     // And through the streaming evaluator (byte-capped accumulation must
     // respect char boundaries).
@@ -63,15 +66,24 @@ fn entities_round_trip_through_every_layer() {
     let v = doc.first_child(doc.root()).unwrap();
     assert_eq!(doc.direct_text(v), "1 < 2 & 3 > 2");
     assert_eq!(doc.attribute(v, "k"), Some("a&b"));
-    assert_eq!(doc.to_xml(), r#"<m><v k="a&amp;b">1 &lt; 2 &amp; 3 &gt; 2</v></m>"#);
+    assert_eq!(
+        doc.to_xml(),
+        r#"<m><v k="a&amp;b">1 &lt; 2 &amp; 3 &gt; 2</v></m>"#
+    );
 }
 
 #[test]
 fn pull_parser_reports_positions_and_depth() {
     let mut p = PullParser::from_str("<a>\n<b>x</b>\n</a>");
-    assert!(matches!(p.next_event().unwrap(), XmlEvent::StartElement { .. }));
+    assert!(matches!(
+        p.next_event().unwrap(),
+        XmlEvent::StartElement { .. }
+    ));
     assert_eq!(p.depth(), 1);
-    assert!(matches!(p.next_event().unwrap(), XmlEvent::StartElement { .. }));
+    assert!(matches!(
+        p.next_event().unwrap(),
+        XmlEvent::StartElement { .. }
+    ));
     assert_eq!(p.depth(), 2);
     assert!(p.byte_offset() > 0);
 }
@@ -97,7 +109,14 @@ fn generator_handles_unusual_content_models() {
     )
     .unwrap();
     for seed in 0..10 {
-        let doc = generate(&dtd, &GeneratorConfig { seed, ..Default::default() }).unwrap();
+        let doc = generate(
+            &dtd,
+            &GeneratorConfig {
+                seed,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         dtd.validate(&doc)
             .unwrap_or_else(|err| panic!("seed {seed}: {err}"));
     }
@@ -136,10 +155,7 @@ fn answers_and_ids_are_stable_between_dom_parse_and_stream_numbering() {
     let mfa = smoqe_automata::compile(&q, &vocab);
     let (dom, _) = smoqe_hype::evaluate_mfa(&doc, &mfa);
     let stream = smoqe_hype::evaluate_stream_str(xml, &mfa, &vocab, Default::default()).unwrap();
-    assert_eq!(
-        stream.answers,
-        dom.iter().map(|n| n.0).collect::<Vec<_>>()
-    );
+    assert_eq!(stream.answers, dom.iter().map(|n| n.0).collect::<Vec<_>>());
     // The id really points at <d> in the DOM.
     let d = smoqe_xml::NodeId(stream.answers[0]);
     assert_eq!(&*vocab.name(doc.label(d).unwrap()), "d");
