@@ -1,0 +1,84 @@
+//! Batched vs serial streaming: how much does sharing the document scan
+//! save when a whole query batch targets one document?
+//!
+//! Serial streaming costs one full parse per query; the batched driver
+//! feeds every pull-parser event to all machines, so the batch costs one
+//! parse total plus the (shared) automaton work. The gap widens with
+//! batch size — this is the serving-scale story of the paper's one-scan
+//! property.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoqe::workloads::hospital;
+use smoqe_automata::{compile, Mfa};
+use smoqe_hype::batch::evaluate_batch_stream_str;
+use smoqe_hype::stream::{evaluate_stream_str, StreamOptions};
+use smoqe_xml::Vocabulary;
+
+fn setup(target_nodes: usize) -> (Vocabulary, String, Vec<Mfa>) {
+    let vocab = Vocabulary::new();
+    hospital::dtd(&vocab);
+    let doc = hospital::generate_document(&vocab, 17, target_nodes);
+    let xml = doc.to_xml();
+    // 32 plans cycling through the workload queries.
+    let mfas: Vec<Mfa> = (0..32)
+        .map(|i| {
+            let (_, q) = hospital::DOC_QUERIES[i % hospital::DOC_QUERIES.len()];
+            let path = smoqe_rxpath::parse_path(q, &vocab).unwrap();
+            compile(&path, &vocab)
+        })
+        .collect();
+    (vocab, xml, mfas)
+}
+
+fn run_serial(xml: &str, plans: &[&Mfa], vocab: &Vocabulary) -> usize {
+    plans
+        .iter()
+        .map(|mfa| {
+            evaluate_stream_str(xml, mfa, vocab, StreamOptions::default())
+                .unwrap()
+                .answers
+                .len()
+        })
+        .sum()
+}
+
+fn run_batched(xml: &str, plans: &[&Mfa], vocab: &Vocabulary) -> usize {
+    evaluate_batch_stream_str(xml, plans, vocab, StreamOptions::default())
+        .unwrap()
+        .outcomes
+        .iter()
+        .map(|o| o.answers.len())
+        .sum()
+}
+
+fn bench_batch_scan(c: &mut Criterion) {
+    let (vocab, xml, mfas) = setup(30_000);
+    let mut group = c.benchmark_group("batch_scan");
+    for batch_size in [1usize, 4, 8, 16, 32] {
+        let plans: Vec<&Mfa> = mfas.iter().take(batch_size).collect();
+        // Correctness guard: batching must not change any answer.
+        assert_eq!(
+            run_serial(&xml, &plans, &vocab),
+            run_batched(&xml, &plans, &vocab),
+            "batched answers diverged at batch size {batch_size}"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("serial", batch_size),
+            &batch_size,
+            |b, _| b.iter(|| run_serial(&xml, &plans, &vocab)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched", batch_size),
+            &batch_size,
+            |b, _| b.iter(|| run_batched(&xml, &plans, &vocab)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_scan
+}
+criterion_main!(benches);

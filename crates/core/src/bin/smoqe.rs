@@ -7,7 +7,7 @@
 //! ```text
 //! smoqe derive   --dtd D.dtd --policy P.pol            # Fig. 3: show sigma + view DTD
 //! smoqe query    --dtd D.dtd --doc T.xml [--policy P.pol] [--stream] [--tax]
-//!                [--repeat N] [--cache-stats] QUERY
+//!                [--repeat N] [--cache-stats] [--batch FILE] QUERY
 //! smoqe explain  --dtd D.dtd [--policy P.pol] QUERY    # rewritten MFA listing
 //! smoqe trace    --dtd D.dtd --doc T.xml [--policy P.pol] QUERY   # Fig. 5 trace
 //! smoqe index    --doc T.xml --out T.tax               # build + persist TAX
@@ -16,7 +16,12 @@
 //!
 //! `--repeat N` re-runs the query N times: every run after the first hits
 //! the shared plan cache, and `--cache-stats` prints the engine's
-//! hit/miss/invalidation counters afterwards.
+//! hit/miss/invalidation/eviction counters afterwards.
+//!
+//! `--batch FILE` answers every query listed in FILE (one Regular XPath
+//! query per line, `#` comments and blank lines skipped) in **one
+//! sequential scan** of the document and reports the shared event count;
+//! the positional QUERY argument is not needed then.
 
 use smoqe::{DocHandle, DocumentMode, Engine, EngineConfig, User};
 use std::process::ExitCode;
@@ -109,7 +114,9 @@ fn print_usage() {
            derive   --dtd FILE --policy FILE                 derive the security view (Fig. 3)\n\
            query    --dtd FILE --doc FILE [--policy FILE]\n\
                     [--stream] [--tax] [--no-optimize]\n\
-                    [--repeat N] [--cache-stats] QUERY       answer a Regular XPath query\n\
+                    [--repeat N] [--cache-stats]\n\
+                    [--batch FILE | QUERY]                   answer one query, or a whole\n\
+                                                             batch file in a single scan\n\
            explain  --dtd FILE [--policy FILE] QUERY         show the (rewritten) MFA\n\
            trace    --dtd FILE --doc FILE [--policy FILE] Q  annotated evaluation trace (Fig. 5)\n\
            index    --doc FILE --out FILE                    build + persist the TAX index\n\
@@ -176,17 +183,74 @@ fn cmd_derive(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let (doc, user) = build_document(args)?;
-    let session = doc.session(user);
-    let query = the_query(args)?;
-    let repeat: usize = args
+fn print_cache_stats(doc: &DocHandle) {
+    let m = doc.engine().cache_metrics();
+    eprintln!(
+        "plan cache: {} hit(s), {} miss(es), {} invalidation(s), {} eviction(s), {} resident ({}% hit rate)",
+        m.hits,
+        m.misses,
+        m.invalidations,
+        m.evictions,
+        m.entries,
+        (m.hit_rate() * 100.0).round(),
+    );
+}
+
+fn repeat_count(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
+    Ok(args
         .flags
         .get("repeat")
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(1)
-        .max(1);
+        .max(1))
+}
+
+fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (doc, user) = build_document(args)?;
+    let session = doc.session(user);
+    let repeat = repeat_count(args)?;
+    if let Some(batch_file) = args.flags.get("batch") {
+        let text = std::fs::read_to_string(batch_file)?;
+        let queries: Vec<&str> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        // --repeat re-runs the whole batch (each re-run hits the plan
+        // cache), same as it re-runs a single query.
+        let mut batch = session.query_batch(&queries)?;
+        for _ in 1..repeat {
+            batch = session.query_batch(&queries)?;
+        }
+        eprintln!(
+            "{} quer{} answered in ONE scan ({} parser events)",
+            queries.len(),
+            if queries.len() == 1 { "y" } else { "ies" },
+            batch.events,
+        );
+        for (query, answer) in queries.iter().zip(&batch.answers) {
+            eprintln!(
+                "  {} answer(s){} for `{query}`",
+                answer.len(),
+                if answer.plan_cached {
+                    " [cached plan]"
+                } else {
+                    ""
+                },
+            );
+            if let Some(xmls) = &answer.xml {
+                for xml in xmls {
+                    println!("{xml}");
+                }
+            }
+        }
+        if args.switch("cache-stats") {
+            print_cache_stats(&doc);
+        }
+        return Ok(());
+    }
+    let query = the_query(args)?;
     let mut answer = session.query(query)?;
     for _ in 1..repeat {
         answer = session.query(query)?;
@@ -208,15 +272,7 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         println!("{xml}");
     }
     if args.switch("cache-stats") {
-        let m = doc.engine().cache_metrics();
-        eprintln!(
-            "plan cache: {} hit(s), {} miss(es), {} invalidation(s), {} resident ({}% hit rate)",
-            m.hits,
-            m.misses,
-            m.invalidations,
-            m.entries,
-            (m.hit_rate() * 100.0).round(),
-        );
+        print_cache_stats(&doc);
     }
     Ok(())
 }

@@ -295,6 +295,16 @@ impl DocHandle {
         self.session(user.clone()).query(query)
     }
 
+    /// Answers a whole batch of queries as `user` in one sequential scan
+    /// of this document (see [`Session::query_batch`]).
+    pub fn query_batch(
+        &self,
+        user: &User,
+        queries: &[&str],
+    ) -> Result<crate::engine::BatchAnswer, EngineError> {
+        self.session(user.clone()).query_batch(queries)
+    }
+
     /// Opens an owned session for `user` on this document.
     pub fn session(&self, user: User) -> Session {
         Session::new(self.engine.clone(), self.entry.clone(), user)

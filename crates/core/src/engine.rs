@@ -20,6 +20,7 @@ use crate::config::{DocumentMode, EngineConfig};
 use crate::error::EngineError;
 use crate::plancache::{CacheMetrics, PlanCache, PlanKey};
 use smoqe_automata::{compile, optimize::optimize, Mfa};
+use smoqe_hype::batch::evaluate_batch_stream_each;
 use smoqe_hype::dom::{evaluate_mfa_with, DomOptions};
 use smoqe_hype::stream::{evaluate_stream_with, StreamOptions};
 use smoqe_hype::{EvalObserver, EvalStats, NoopObserver};
@@ -105,6 +106,27 @@ impl Answer {
             .map(|&n| smoqe_xml::serialize::subtree_to_string(doc, n))
             .collect()
     }
+}
+
+/// Result of a batched query: per-query answers that shared **one**
+/// sequential scan of the document.
+///
+/// Returned by [`Session::query_batch`], [`DocHandle::query_batch`] and
+/// [`Engine::evaluate_batch`]. `events` is the total number of parser
+/// events of the shared scan — the same count a *single* streamed query
+/// over the document reports, which is the proof that batching amortized
+/// the pass instead of re-reading the document per query.
+///
+/// Batches always evaluate by streaming (regardless of the engine's
+/// document mode), so every answer carries its serialized XML: raw source
+/// subtrees for admin sessions, the access-controlled view rendering for
+/// group sessions.
+#[derive(Debug)]
+pub struct BatchAnswer {
+    /// One answer per query, in input order.
+    pub answers: Vec<Answer>,
+    /// Parser events of the single shared document scan.
+    pub events: usize,
 }
 
 impl Engine {
@@ -510,6 +532,93 @@ impl Engine {
         Ok((mfa, false))
     }
 
+    /// Evaluates each `(session, query)` request — possibly for different
+    /// users, groups and views — against their (shared) document in **one
+    /// sequential scan**.
+    ///
+    /// Every session must belong to this engine and target the same
+    /// catalog entry; mixing documents or engines is a
+    /// [`EngineError::BatchMismatch`] (one scan can only serve one
+    /// document). Plans are resolved per request through the shared plan
+    /// cache, so a busy serving mix pays at most one compilation per
+    /// distinct `(scope, query)` pair and exactly one parse of the
+    /// document for the whole batch.
+    pub fn evaluate_batch(
+        self: &Arc<Self>,
+        requests: &[(&Session, &str)],
+    ) -> Result<BatchAnswer, EngineError> {
+        let Some((first, _)) = requests.first() else {
+            return Ok(BatchAnswer {
+                answers: Vec::new(),
+                events: 0,
+            });
+        };
+        let entry = first.entry.clone();
+        let mut parts = Vec::with_capacity(requests.len());
+        for (session, query) in requests {
+            if !Arc::ptr_eq(&session.engine, self) || !Arc::ptr_eq(&session.entry, &entry) {
+                return Err(EngineError::BatchMismatch);
+            }
+            let (mfa, cached) = self.plan_tracked(&entry, &session.user, query)?;
+            parts.push((session.user.clone(), mfa, cached));
+        }
+        self.evaluate_batch_parts(&entry, &parts)
+    }
+
+    /// Shared batch path: one snapshot, one scan, N machines. `parts` are
+    /// `(user, plan, plan_cached)` triples in answer order.
+    pub(crate) fn evaluate_batch_parts(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        parts: &[(User, Arc<Mfa>, bool)],
+    ) -> Result<BatchAnswer, EngineError> {
+        if parts.is_empty() {
+            return Ok(BatchAnswer {
+                answers: Vec::new(),
+                events: 0,
+            });
+        }
+        let source = entry.snapshot()?;
+        // Batches always evaluate by streaming (that is what makes the
+        // scan shareable) and every answer is returned serialized. Only
+        // admin lanes buffer subtree XML during the scan; group answers
+        // are rendered through their view from the snapshot's DOM
+        // afterwards (the raw buffered subtrees would leak hidden
+        // descendants and be discarded anyway). Node ids are
+        // mode-independent by the parity invariant, so DOM-mode engines
+        // get identical answers.
+        let plans: Vec<(&Mfa, StreamOptions)> = parts
+            .iter()
+            .map(|(user, mfa, _)| {
+                let want_xml = matches!(user, User::Admin);
+                (mfa.as_ref(), StreamOptions { want_xml })
+            })
+            .collect();
+        let outcome = if let Some(path) = &source.path {
+            let file = std::fs::File::open(path).map_err(smoqe_xml::XmlError::Io)?;
+            evaluate_batch_stream_each(std::io::BufReader::new(file), &plans, &self.vocab)?
+        } else if let Some(raw) = &source.raw {
+            evaluate_batch_stream_each(raw.as_bytes(), &plans, &self.vocab)?
+        } else {
+            return Err(EngineError::NoStreamSource);
+        };
+        let events = outcome.events;
+        let mut answers = Vec::with_capacity(parts.len());
+        for (out, (user, _, cached)) in outcome.outcomes.into_iter().zip(parts) {
+            let mut answer = Answer {
+                nodes: out.answers.into_iter().map(NodeId).collect(),
+                stats: out.stats,
+                plan_cached: *cached,
+                xml: out.answer_xml,
+            };
+            if let User::Group(g) = user {
+                answer.xml = Some(render_view_xml(entry, g, &source, &answer.nodes)?);
+            }
+            answers.push(answer);
+        }
+        Ok(BatchAnswer { answers, events })
+    }
+
     /// Evaluates `mfa` against one consistent source snapshot (document +
     /// its TAX index travel together inside the `LoadedSource`).
     pub(crate) fn evaluate_snapshot(
@@ -559,6 +668,25 @@ impl Engine {
             }
         }
     }
+}
+
+/// Serializes each answer node through `group`'s view so hidden
+/// descendants never reach the user (stream mode buffers raw source
+/// subtrees; serving them to a view user verbatim would leak).
+fn render_view_xml(
+    entry: &Arc<DocumentEntry>,
+    group: &str,
+    source: &LoadedSource,
+    nodes: &[NodeId],
+) -> Result<Vec<String>, EngineError> {
+    let spec = entry.view_slot(group)?.0;
+    nodes
+        .iter()
+        .map(|&n| {
+            let fragment = materialize_fragment(&spec, &source.doc, n)?;
+            Ok(fragment.doc.to_xml())
+        })
+        .collect()
 }
 
 impl Session {
@@ -620,19 +748,24 @@ impl Session {
         // never reach the user.
         if answer.xml.is_some() {
             if let User::Group(g) = &self.user {
-                let spec = self.entry.view_slot(g)?.0;
-                let safe: Result<Vec<String>, EngineError> = answer
-                    .nodes
-                    .iter()
-                    .map(|&n| {
-                        let fragment = materialize_fragment(&spec, &source.doc, n)?;
-                        Ok(fragment.doc.to_xml())
-                    })
-                    .collect();
-                answer.xml = Some(safe?);
+                answer.xml = Some(render_view_xml(&self.entry, g, &source, &answer.nodes)?);
             }
         }
         Ok((answer, source))
+    }
+
+    /// Answers a whole batch of queries in **one sequential scan** of the
+    /// document (all plans are fed the same pull-parser events; see
+    /// [`smoqe_hype::batch`]). Answers come back in query order, each
+    /// identical to what [`Session::query`] would have returned, plus the
+    /// shared event count proving the document was parsed once.
+    pub fn query_batch(&self, queries: &[&str]) -> Result<BatchAnswer, EngineError> {
+        let mut parts = Vec::with_capacity(queries.len());
+        for query in queries {
+            let (mfa, cached) = self.engine.plan_tracked(&self.entry, &self.user, query)?;
+            parts.push((self.user.clone(), mfa, cached));
+        }
+        self.engine.evaluate_batch_parts(&self.entry, &parts)
     }
 
     /// The compiled/rewritten (and possibly cached) MFA for a query, for
@@ -650,17 +783,7 @@ impl Session {
         let (answer, source) = self.query_with_source(query, &mut NoopObserver)?;
         match &self.user {
             User::Admin => Ok(answer.serialize_with(&source.doc)),
-            User::Group(g) => {
-                let spec = self.entry.view_slot(g)?.0;
-                answer
-                    .nodes
-                    .iter()
-                    .map(|&n| {
-                        let fragment = materialize_fragment(&spec, &source.doc, n)?;
-                        Ok(fragment.doc.to_xml())
-                    })
-                    .collect()
-            }
+            User::Group(g) => render_view_xml(&self.entry, g, &source, &answer.nodes),
         }
     }
 }
@@ -882,6 +1005,96 @@ mod tests {
             admin.query("//medication").unwrap().plan_cached,
             "admin plans are untouched by a view change"
         );
+    }
+
+    #[test]
+    fn query_batch_agrees_with_serial_queries() {
+        for config in [EngineConfig::default(), EngineConfig::streaming()] {
+            let engine = Engine::new(config);
+            engine.load_dtd(smoqe_xml::HOSPITAL_DTD).unwrap();
+            engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+            engine
+                .register_policy("researchers", smoqe_view::HOSPITAL_POLICY)
+                .unwrap();
+            let session = engine.session(User::Group("researchers".into()));
+            let queries: Vec<&str> = hospital::VIEW_QUERIES.iter().map(|(_, q)| *q).collect();
+            let batch = session.query_batch(&queries).unwrap();
+            assert_eq!(batch.answers.len(), queries.len());
+            for (q, batched) in queries.iter().zip(&batch.answers) {
+                let serial = session.query(q).unwrap();
+                assert_eq!(batched.nodes, serial.nodes, "batched `{q}` diverged");
+            }
+            // The scan is shared: a batch of one reports the same event
+            // count as the full batch.
+            let single = session.query_batch(&queries[..1]).unwrap();
+            assert_eq!(batch.events, single.events, "batch must not re-scan");
+        }
+    }
+
+    #[test]
+    fn query_batch_filters_view_xml_in_stream_mode() {
+        let engine = Engine::new(EngineConfig::streaming());
+        engine.load_dtd(org::DTD).unwrap();
+        engine.load_document(org::SAMPLE_DOCUMENT).unwrap();
+        engine.register_policy("staff", org::POLICY).unwrap();
+        let session = engine.session(User::Group("staff".into()));
+        let batch = session.query_batch(&["//review", "//ename"]).unwrap();
+        let reviews = batch.answers[0].xml.as_ref().unwrap();
+        assert_eq!(reviews.len(), 2);
+        for xml in reviews {
+            assert!(xml.contains("public") && !xml.contains("private"));
+        }
+    }
+
+    #[test]
+    fn cross_session_batch_spans_groups_but_not_documents() {
+        let engine = Engine::with_defaults();
+        let hosp = engine.open_document("hospital");
+        hosp.load_dtd(hospital::DTD).unwrap();
+        hosp.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+        hosp.register_policy("researchers", hospital::POLICY)
+            .unwrap();
+        let admin = hosp.session(User::Admin);
+        let researcher = hosp.session(User::Group("researchers".into()));
+        let requests: Vec<(&Session, &str)> = vec![
+            (&admin, "//pname"),
+            (&researcher, "//pname"),
+            (&admin, "//medication"),
+            (&researcher, "//medication"),
+        ];
+        let batch = engine.evaluate_batch(&requests).unwrap();
+        for ((session, q), batched) in requests.iter().zip(&batch.answers) {
+            assert_eq!(
+                batched.nodes,
+                session.query(q).unwrap().nodes,
+                "cross-session batch diverged on `{q}` as {:?}",
+                session.user()
+            );
+        }
+        // Admin sees names, the researcher view hides them — in one scan.
+        assert!(!batch.answers[0].is_empty());
+        assert!(batch.answers[1].is_empty());
+
+        // A second document cannot ride the same scan.
+        let orgdoc = engine.open_document("org");
+        org::install_sample(&orgdoc).unwrap();
+        let org_admin = orgdoc.session(User::Admin);
+        assert!(matches!(
+            engine.evaluate_batch(&[(&admin, "//pname"), (&org_admin, "//ename")]),
+            Err(EngineError::BatchMismatch)
+        ));
+        // Nor can a session of a different engine.
+        let other = Engine::with_defaults();
+        other.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+        let foreign = other.session(User::Admin);
+        assert!(matches!(
+            engine.evaluate_batch(&[(&admin, "//pname"), (&foreign, "//pname")]),
+            Err(EngineError::BatchMismatch)
+        ));
+
+        let empty = engine.evaluate_batch(&[]).unwrap();
+        assert!(empty.answers.is_empty());
+        assert_eq!(empty.events, 0);
     }
 
     #[test]

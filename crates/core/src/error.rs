@@ -23,6 +23,9 @@ pub enum EngineError {
     AccessDenied,
     /// Streaming evaluation requested but no streamable source exists.
     NoStreamSource,
+    /// A batched evaluation mixed sessions of different documents or
+    /// engines — one scan can only serve one document.
+    BatchMismatch,
 }
 
 impl fmt::Display for EngineError {
@@ -42,6 +45,12 @@ impl fmt::Display for EngineError {
             }
             EngineError::NoStreamSource => {
                 write!(f, "streaming mode requires a file or raw-text source")
+            }
+            EngineError::BatchMismatch => {
+                write!(
+                    f,
+                    "batched evaluation requires all sessions to target the same document of the same engine"
+                )
             }
         }
     }
@@ -94,5 +103,6 @@ mod tests {
             .to_string()
             .contains("'d'"));
         assert!(EngineError::AccessDenied.to_string().contains("admin"));
+        assert!(EngineError::BatchMismatch.to_string().contains("batch"));
     }
 }

@@ -57,7 +57,7 @@ mod sync;
 
 pub use catalog::{DocHandle, DocumentEntry};
 pub use config::{DocumentMode, EngineConfig};
-pub use engine::{Answer, Engine, Session, User, DEFAULT_DOCUMENT};
+pub use engine::{Answer, BatchAnswer, Engine, Session, User, DEFAULT_DOCUMENT};
 pub use error::EngineError;
 pub use plancache::CacheMetrics;
 

@@ -10,13 +10,17 @@
 //! invalidates exactly the affected entries — a stale generation simply
 //! never matches again, no lock coordination with the catalog required.
 //!
-//! Hit/miss/invalidation counters are exposed through [`CacheMetrics`]
-//! (the plan-level analogue of the evaluator's `EvalStats`).
+//! At capacity the cache first drops stale entries (whose generation can
+//! never be hit again), then evicts **live plans oldest-first** from an
+//! insertion-order queue — live plans of unrelated documents are never
+//! flushed wholesale. Hit/miss/invalidation/eviction counters are exposed
+//! through [`CacheMetrics`] (the plan-level analogue of the evaluator's
+//! `EvalStats`).
 
 use crate::engine::User;
 use crate::sync::RwLock;
 use smoqe_automata::Mfa;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -65,9 +69,12 @@ pub struct CacheMetrics {
     pub hits: u64,
     /// Lookups that had to run parse → rewrite → compile → optimize.
     pub misses: u64,
-    /// Entries dropped because their document/view generation went stale
-    /// or the cache was flushed at capacity.
+    /// Entries dropped because their document, DTD or view was replaced —
+    /// their generation went stale and they could never be hit again.
     pub invalidations: u64,
+    /// *Live* entries dropped oldest-first to make room at capacity (they
+    /// could still have been hit; capacity pressure, not staleness).
+    pub evictions: u64,
     /// Plans currently resident.
     pub entries: usize,
 }
@@ -84,25 +91,48 @@ impl CacheMetrics {
     }
 }
 
+/// The plan map plus the insertion-order queue driving eviction. The two
+/// are kept in sync: every key in `plans` appears exactly once in `order`
+/// (evictions pop both; invalidations retain both).
+#[derive(Default)]
+struct CacheInner {
+    plans: HashMap<PlanKey, Arc<Mfa>>,
+    /// Keys in insertion order, oldest at the front.
+    order: VecDeque<PlanKey>,
+}
+
+impl CacheInner {
+    /// Drops every entry failing `keep`, returning how many were dropped.
+    fn retain(&mut self, mut keep: impl FnMut(&PlanKey) -> bool) -> u64 {
+        let before = self.plans.len();
+        self.plans.retain(|k, _| keep(k));
+        let plans = &self.plans;
+        self.order.retain(|k| plans.contains_key(k));
+        (before - self.plans.len()) as u64
+    }
+}
+
 /// The engine-wide plan cache. All methods are `&self`; internal locking
 /// only guards the map itself, never a compilation.
 pub(crate) struct PlanCache {
-    plans: RwLock<HashMap<PlanKey, Arc<Mfa>>>,
+    inner: RwLock<CacheInner>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl PlanCache {
     /// A cache holding at most `capacity` plans (0 disables caching).
     pub(crate) fn new(capacity: usize) -> Self {
         PlanCache {
-            plans: RwLock::new(HashMap::new()),
+            inner: RwLock::new(CacheInner::default()),
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -112,7 +142,7 @@ impl PlanCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        match self.plans.read().get(key) {
+        match self.inner.read().plans.get(key) {
             Some(plan) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(plan.clone())
@@ -124,49 +154,56 @@ impl PlanCache {
         }
     }
 
-    /// Inserts a freshly compiled plan. At capacity, entries whose
-    /// document went stale are dropped first; if the cache is still full
-    /// (all entries live), it is flushed wholesale — a rare event at
-    /// sensible capacities, and always safe because generations make
-    /// recompilation idempotent.
+    /// Inserts a freshly compiled plan. At capacity, entries of this
+    /// document whose generation went stale are dropped first (they can
+    /// never be hit again — counted as invalidations); if the cache is
+    /// still full, **live plans are evicted oldest-first** (counted
+    /// separately as evictions) until the new plan fits. Live plans of
+    /// unrelated documents are never flushed wholesale.
     pub(crate) fn insert(&self, key: PlanKey, plan: Arc<Mfa>, live_generation: u64) {
         if self.capacity == 0 {
             return;
         }
-        let mut plans = self.plans.write();
-        if plans.len() >= self.capacity && !plans.contains_key(&key) {
-            let before = plans.len();
-            plans.retain(|k, _| k.entry_id != key.entry_id || k.doc_generation == live_generation);
-            if plans.len() >= self.capacity {
-                plans.clear();
+        let mut inner = self.inner.write();
+        if inner.plans.len() >= self.capacity && !inner.plans.contains_key(&key) {
+            let stale =
+                inner.retain(|k| k.entry_id != key.entry_id || k.doc_generation == live_generation);
+            self.invalidations.fetch_add(stale, Ordering::Relaxed);
+            while inner.plans.len() >= self.capacity {
+                // `order` and `plans` are kept in exact sync (every purge
+                // goes through `retain`), so the oldest queued key is
+                // always resident; the guard is belt-and-braces against a
+                // future desync, not a live code path.
+                let Some(oldest) = inner.order.pop_front() else {
+                    break;
+                };
+                let removed = inner.plans.remove(&oldest);
+                debug_assert!(removed.is_some(), "eviction queue out of sync");
+                if removed.is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            self.invalidations
-                .fetch_add((before - plans.len()) as u64, Ordering::Relaxed);
         }
-        plans.insert(key, plan);
+        if inner.plans.insert(key.clone(), plan).is_none() {
+            inner.order.push_back(key);
+        }
     }
 
     /// Drops every plan cached for `document`, counting invalidations.
     /// Generation keys already guarantee stale plans never match; purging
     /// just releases their memory eagerly.
     pub(crate) fn purge_document(&self, document: &str) {
-        let mut plans = self.plans.write();
-        let before = plans.len();
-        plans.retain(|k, _| k.document != document);
-        self.invalidations
-            .fetch_add((before - plans.len()) as u64, Ordering::Relaxed);
+        let dropped = self.inner.write().retain(|k| k.document != document);
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
     }
 
     /// Drops every plan cached for `group` on `document`.
     pub(crate) fn purge_view(&self, document: &str, group: &str) {
-        let mut plans = self.plans.write();
-        let before = plans.len();
-        plans.retain(|k, _| {
+        let dropped = self.inner.write().retain(|k| {
             k.document != document
                 || !matches!(&k.scope, PlanScope::Group { group: g, .. } if g == group)
         });
-        self.invalidations
-            .fetch_add((before - plans.len()) as u64, Ordering::Relaxed);
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
     }
 
     /// Current counters.
@@ -175,7 +212,8 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            entries: self.plans.read().len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.read().plans.len(),
         }
     }
 }
@@ -231,6 +269,13 @@ mod tests {
         assert_eq!(cache.metrics().entries, 0);
     }
 
+    fn key_on(doc: &str, entry_id: u64, query: &str) -> PlanKey {
+        PlanKey {
+            entry_id,
+            ..key(doc, 0, query)
+        }
+    }
+
     #[test]
     fn capacity_flush_prefers_stale_entries() {
         let cache = PlanCache::new(2);
@@ -242,7 +287,79 @@ mod tests {
         let m = cache.metrics();
         assert_eq!(m.entries, 1);
         assert_eq!(m.invalidations, 2);
+        assert_eq!(m.evictions, 0, "stale drops are not evictions");
         assert!(cache.get(&key("d", 1, "c")).is_some());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_live_plan_first() {
+        let cache = PlanCache::new(2);
+        cache.insert(key("d", 0, "a"), plan_for("a"), 0);
+        cache.insert(key("d", 0, "b"), plan_for("b"), 0);
+        // Everything is live: only the oldest entry gives way.
+        cache.insert(key("d", 0, "c"), plan_for("c"), 0);
+        let m = cache.metrics();
+        assert_eq!(m.entries, 2);
+        assert_eq!(m.evictions, 1);
+        assert_eq!(m.invalidations, 0, "live evictions are not invalidations");
+        assert!(cache.get(&key("d", 0, "a")).is_none(), "oldest evicted");
+        assert!(cache.get(&key("d", 0, "b")).is_some());
+        assert!(cache.get(&key("d", 0, "c")).is_some());
+    }
+
+    #[test]
+    fn eviction_never_flushes_unrelated_live_plans() {
+        // Regression: the old capacity fallback was `plans.clear()`, which
+        // flushed live plans of *other* documents and miscounted them as
+        // invalidations.
+        let cache = PlanCache::new(3);
+        cache.insert(key_on("d1", 1, "a"), plan_for("a"), 0);
+        cache.insert(key_on("d2", 2, "b"), plan_for("b"), 0);
+        cache.insert(key_on("d1", 1, "c"), plan_for("c"), 0);
+        cache.insert(key_on("d1", 1, "d"), plan_for("d"), 0);
+        let m = cache.metrics();
+        assert_eq!(m.entries, 3);
+        assert_eq!((m.evictions, m.invalidations), (1, 0));
+        assert!(cache.get(&key_on("d1", 1, "a")).is_none(), "oldest evicted");
+        assert!(
+            cache.get(&key_on("d2", 2, "b")).is_some(),
+            "the other document's live plan must survive capacity pressure"
+        );
+        assert!(cache.get(&key_on("d1", 1, "c")).is_some());
+        assert!(cache.get(&key_on("d1", 1, "d")).is_some());
+    }
+
+    #[test]
+    fn purged_keys_do_not_confuse_the_eviction_queue() {
+        let cache = PlanCache::new(2);
+        cache.insert(key_on("d1", 1, "a"), plan_for("a"), 0);
+        cache.insert(key_on("d2", 2, "b"), plan_for("b"), 0);
+        cache.purge_document("d1");
+        assert_eq!(cache.metrics().entries, 1);
+        // Two more inserts: "b" (now oldest) is evicted, not a ghost of
+        // the purged "a".
+        cache.insert(key_on("d2", 2, "c"), plan_for("c"), 0);
+        cache.insert(key_on("d2", 2, "d"), plan_for("d"), 0);
+        let m = cache.metrics();
+        assert_eq!(m.entries, 2);
+        assert_eq!(m.evictions, 1);
+        assert!(cache.get(&key_on("d2", 2, "b")).is_none());
+        assert!(cache.get(&key_on("d2", 2, "c")).is_some());
+        assert!(cache.get(&key_on("d2", 2, "d")).is_some());
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_does_not_evict() {
+        let cache = PlanCache::new(2);
+        cache.insert(key("d", 0, "a"), plan_for("a"), 0);
+        cache.insert(key("d", 0, "b"), plan_for("b"), 0);
+        // Same key again (e.g. two sessions raced on the same miss): no
+        // capacity pressure, nothing evicted.
+        cache.insert(key("d", 0, "b"), plan_for("b"), 0);
+        let m = cache.metrics();
+        assert_eq!(m.entries, 2);
+        assert_eq!(m.evictions, 0);
+        assert!(cache.get(&key("d", 0, "a")).is_some());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   TAX-index pruning ([`evaluate_mfa`]);
 //! * [`stream`] — StAX mode: the same core over pull-parser events with
 //!   candidate-subtree buffering ([`evaluate_stream`]);
+//! * [`batch`] — batched StAX mode: one shared sequential scan answers a
+//!   whole set of compiled plans at once ([`evaluate_batch_stream`]);
 //! * [`twopass`] — the bottom-up + top-down baseline the paper contrasts
 //!   with (Arb-style);
 //! * [`observer`] / [`stats`] — monitoring hooks and counters used by the
@@ -18,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cans;
 pub mod dom;
 pub mod machine;
@@ -26,6 +29,10 @@ pub mod stats;
 pub mod stream;
 pub mod twopass;
 
+pub use batch::{
+    evaluate_batch_stream, evaluate_batch_stream_each, evaluate_batch_stream_str,
+    evaluate_batch_stream_with, BatchOutcome,
+};
 pub use dom::{evaluate_mfa, evaluate_mfa_with, DomOptions};
 pub use observer::{EvalObserver, NoopObserver, PruneReason};
 pub use stats::EvalStats;

@@ -6,8 +6,9 @@
 //! core runs over pull-parser events; differences from DOM mode:
 //!
 //! * node ids are assigned by a document-order counter that mirrors
-//!   [`smoqe_xml::TreeBuilder`]'s numbering, so stream answers are
-//!   directly comparable to DOM answers;
+//!   [`smoqe_xml::TreeBuilder`]'s numbering (adjacent text events are
+//!   coalesced into one id, exactly like the builder merges them), so
+//!   stream answers are directly comparable to DOM answers;
 //! * `text()='c'` predicates accumulate character data until their origin
 //!   element closes;
 //! * subtrees whose runs all died are skipped *logically* (the events are
@@ -17,15 +18,16 @@
 //!   buffered while their predicates are pending and emitted or discarded
 //!   on resolution — the memory HyPE needs beyond the parser is
 //!   O(depth + buffered candidates), which experiment E4 measures.
+//!
+//! The driver itself lives in [`crate::batch`]: a single-plan evaluation
+//! is the 1-lane special case of the batched evaluator, so both paths
+//! share one implementation.
 
-use crate::machine::Machine;
+use crate::batch::evaluate_batch_stream_with;
 use crate::observer::{EvalObserver, NoopObserver};
 use crate::stats::EvalStats;
 use smoqe_automata::Mfa;
-use smoqe_xml::serialize::XmlWriter;
-use smoqe_xml::stax::{PullParser, XmlEvent};
 use smoqe_xml::{Vocabulary, XmlError};
-use std::collections::HashMap;
 use std::io::BufRead;
 
 /// Result of a streaming evaluation.
@@ -48,13 +50,6 @@ pub struct StreamOutcome {
 pub struct StreamOptions {
     /// Buffer and return the serialized XML of each answer subtree.
     pub want_xml: bool,
-}
-
-struct Recorder {
-    node: u32,
-    depth: usize,
-    writer: XmlWriter<Vec<u8>>,
-    done: bool,
 }
 
 /// Evaluates `mfa` over the XML text arriving from `reader`.
@@ -85,131 +80,13 @@ pub fn evaluate_stream_with<R: BufRead>(
     options: StreamOptions,
     observer: &mut dyn EvalObserver,
 ) -> Result<StreamOutcome, XmlError> {
-    let mut parser = PullParser::new(reader);
-    let mut machine = Machine::new(mfa, None);
-    machine.begin(observer);
-
-    let mut next_id: u32 = 0;
-    let mut depth: usize = 0;
-    let mut events: usize = 0;
-    // When `Some(d)`: automaton work suspended for the subtree opened at
-    // depth d (all runs dead there, no text awaited, nothing recording).
-    let mut skip_from: Option<usize> = None;
-    let mut recorders: Vec<Recorder> = Vec::new();
-    let mut finished_xml: HashMap<u32, String> = HashMap::new();
-    let mut peak_buffered: usize = 0;
-
-    loop {
-        let event = parser.next_event()?;
-        events += 1;
-        match event {
-            XmlEvent::StartElement { name, attributes } => {
-                let node = next_id;
-                next_id += 1;
-                depth += 1;
-                if options.want_xml {
-                    for r in recorders.iter_mut().filter(|r| !r.done) {
-                        r.writer.start_element(&name)?;
-                        for a in &attributes {
-                            r.writer.attribute(&a.name, &a.value)?;
-                        }
-                    }
-                }
-                if skip_from.is_some() {
-                    continue;
-                }
-                let label = vocab.intern(&name);
-                let alive = machine.enter(label, node, observer);
-                if let Some((cand, _immediate)) = machine.take_last_candidate() {
-                    if options.want_xml {
-                        let mut w = XmlWriter::new(Vec::new());
-                        w.start_element(&name)?;
-                        for a in &attributes {
-                            w.attribute(&a.name, &a.value)?;
-                        }
-                        recorders.push(Recorder {
-                            node: cand,
-                            depth,
-                            writer: w,
-                            done: false,
-                        });
-                    }
-                }
-                if !alive && !machine.has_open_texteq() && recorders.iter().all(|r| r.done) {
-                    skip_from = Some(depth);
-                }
-            }
-            XmlEvent::Text(t) => {
-                next_id += 1; // text nodes occupy an id, like in DOM mode
-                if options.want_xml {
-                    for r in recorders.iter_mut().filter(|r| !r.done) {
-                        r.writer.text(&t)?;
-                    }
-                }
-                if skip_from.is_none() {
-                    machine.text(&t);
-                }
-            }
-            XmlEvent::EndElement { .. } => {
-                if options.want_xml {
-                    let mut newly_done = false;
-                    for r in recorders.iter_mut().filter(|r| !r.done) {
-                        r.writer.end_element()?;
-                        if r.depth == depth {
-                            r.done = true;
-                            newly_done = true;
-                        }
-                    }
-                    let buffered: usize = recorders.iter().map(|r| r.writer.sink().len()).sum();
-                    let finished: usize = finished_xml.values().map(String::len).sum();
-                    peak_buffered = peak_buffered.max(buffered + finished);
-                    if newly_done {
-                        recorders.retain_mut(|r| {
-                            if r.done {
-                                let bytes = std::mem::take(r.writer.sink_mut());
-                                finished_xml.insert(
-                                    r.node,
-                                    String::from_utf8(bytes).expect("writer emits UTF-8"),
-                                );
-                                false
-                            } else {
-                                true
-                            }
-                        });
-                    }
-                }
-                match skip_from {
-                    Some(d) if d == depth => {
-                        skip_from = None;
-                        machine.leave(observer);
-                    }
-                    Some(_) => {}
-                    None => machine.leave(observer),
-                }
-                depth -= 1;
-            }
-            XmlEvent::EndDocument => break,
-        }
-    }
-    let (answers, mut stats) = machine.end(observer);
-    stats.answers = answers.len();
-    let answer_xml = if options.want_xml {
-        Some(
-            answers
-                .iter()
-                .map(|n| finished_xml.remove(n).unwrap_or_default())
-                .collect(),
-        )
-    } else {
-        None
-    };
-    Ok(StreamOutcome {
-        answers,
-        answer_xml,
-        stats,
-        peak_buffered_bytes: peak_buffered,
-        events,
-    })
+    let mut observers: [&mut dyn EvalObserver; 1] = [observer];
+    let out = evaluate_batch_stream_with(reader, &[mfa], vocab, options, &mut observers)?;
+    Ok(out
+        .outcomes
+        .into_iter()
+        .next()
+        .expect("one plan in, one outcome out"))
 }
 
 #[cfg(test)]
@@ -327,5 +204,28 @@ mod tests {
     fn event_count_reported() {
         let out = check("<a><b/><b/></a>", "a/b");
         assert_eq!(out.events, 7); // a, b, /b, b, /b, /a, end
+    }
+
+    #[test]
+    fn cdata_split_text_keeps_node_ids_aligned_with_dom() {
+        // `a<![CDATA[&]]>b` arrives as three Text events but is ONE text
+        // node in the DOM builder; node ids of later elements must agree.
+        check("<r><b>a<![CDATA[&]]>b</b><c/></r>", "r/c");
+        // The accumulated text must also satisfy text()='c' as one value.
+        check(
+            "<r><b>a<![CDATA[&]]>b</b><b>x</b></r>",
+            "r/b[text() = 'a&b']",
+        );
+        check(
+            "<r><b><![CDATA[one]]><![CDATA[two]]></b><c/><b>onetwo</b></r>",
+            "r/b[text() = 'onetwo']",
+        );
+    }
+
+    #[test]
+    fn entity_references_in_text_agree_with_dom() {
+        check("<r><b>a&amp;b</b><c/></r>", "r/b[text() = 'a&b']");
+        check("<r><b>a&amp;b</b><c/></r>", "r/c");
+        check("<r><b>x&#65;y</b><c/></r>", "r/b[text() = 'xAy']");
     }
 }

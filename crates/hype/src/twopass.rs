@@ -19,9 +19,12 @@
 //!   everything was precomputed.
 //!
 //! Subtree text comparison uses a 64-bit polynomial hash (length +
-//! rolling hash), a standard trick to avoid materializing per-node
-//! strings; a collision would require two distinct texts with equal
-//! length *and* equal 64-bit hash.
+//! rolling hash) as a *filter*, a standard trick to avoid materializing
+//! per-node strings. A (length, hash) match alone is **not** proof of
+//! equality — wrapping polynomial hashes have constructible collisions
+//! (e.g. Thue–Morse strings; see the regression test) and a silent wrong
+//! answer is unacceptable in an access-control engine — so every filter
+//! hit is confirmed with a real comparison of the node's direct text.
 
 use crate::machine::VIRTUAL_NODE;
 use crate::stats::EvalStats;
@@ -50,6 +53,22 @@ fn hash_str(s: &str) -> (u64, u64) {
         h = h.wrapping_mul(B).wrapping_add(b as u64);
     }
     (s.len() as u64, h)
+}
+
+/// Whether the concatenated *direct* text children of `node` equal
+/// `target` — the authoritative comparison behind the (length, hash)
+/// filter. Walks the target in place, so no per-node string is built.
+fn direct_text_equals(doc: &Document, node: NodeId, target: &str) -> bool {
+    let mut rest = target;
+    for c in doc.children(node) {
+        if let Some(t) = doc.text(c) {
+            match rest.strip_prefix(t) {
+                Some(tail) => rest = tail,
+                None => return false,
+            }
+        }
+    }
+    rest.is_empty()
 }
 
 /// Dense bitset over (node, state) pairs for one NFA.
@@ -196,9 +215,13 @@ pub fn evaluate_mfa_twopass_report(
         for pid in (0..pred_count as u32).map(PredId) {
             let value = match mfa.pred(pid) {
                 Pred::True => true,
-                Pred::TextEq(_) => {
+                Pred::TextEq(target) => {
                     let (tl, th) = targets[pid.index()].expect("prehashed");
-                    text_len[idx] == tl && text_hash[idx] == th
+                    // (len, hash) only filters; a hit must be confirmed
+                    // against the actual text (collisions exist).
+                    text_len[idx] == tl
+                        && text_hash[idx] == th
+                        && direct_text_equals(doc, node, target)
                 }
                 Pred::HasPath(_) => {
                     let (nid, mut table, rev) = reach[pid.index()].take().expect("present");
@@ -455,6 +478,48 @@ mod tests {
             "hospital/patient[(parent/patient)*/visit/treatment/test and \
              visit/treatment[medication/text() = 'headache']]/pname",
         );
+    }
+
+    /// Thue–Morse anti-hash pair: for any odd base B, the length-2^k
+    /// Thue–Morse string over {a, b} and its complement have equal
+    /// wrapping 64-bit polynomial hashes once the 2-adic valuation of
+    /// prod_{j<k} (B^(2^j) - 1) reaches 64 — for B = 1_000_003 that
+    /// happens at k = 10 (length 1024).
+    fn thue_morse_collision_pair() -> (String, String) {
+        let tm = |even: char, odd: char| -> String {
+            (0u32..1024)
+                .map(|i| if i.count_ones() % 2 == 0 { even } else { odd })
+                .collect()
+        };
+        (tm('a', 'b'), tm('b', 'a'))
+    }
+
+    #[test]
+    fn text_eq_survives_a_real_hash_collision() {
+        let (t1, t2) = thue_morse_collision_pair();
+        assert_ne!(t1, t2);
+        // Precondition: the two texts genuinely collide in (len, hash) —
+        // without the string confirmation, the evaluator cannot tell them
+        // apart, and an access-control predicate would silently pass for
+        // the wrong node.
+        assert_eq!(hash_str(&t1), hash_str(&t2));
+        let xml = format!("<r><x>{t1}</x><x>{t2}</x></r>");
+        check(&xml, &format!("r/x[text() = '{t1}']"));
+        // And explicitly: exactly ONE x may match.
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str(&xml, &vocab).unwrap();
+        let path = parse_path(&format!("r/x[text() = '{t1}']"), &vocab).unwrap();
+        let mfa = compile(&path, &vocab);
+        let (got, _) = evaluate_mfa_twopass(&doc, &mfa);
+        assert_eq!(got.len(), 1, "the colliding sibling must not match");
+    }
+
+    #[test]
+    fn split_direct_text_confirms_across_child_elements() {
+        // Direct text "xy" is split around <c/>: the confirmation walk
+        // must concatenate the pieces exactly like the hash did.
+        check("<a><b>x<c>NO</c>y</b><b>xy</b></a>", "a/b[text() = 'xy']");
+        check("<a><b>x<c>NO</c>y</b></a>", "a/b[text() = 'x']");
     }
 
     #[test]
