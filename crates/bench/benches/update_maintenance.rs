@@ -1,0 +1,80 @@
+//! Incremental TAX maintenance vs full rebuild across update sizes.
+//!
+//! An accepted update patches the index for the edited id window plus the
+//! splice point's ancestor chain; a rebuild re-runs the bottom-up pass
+//! over the whole document. The gap is the point of incremental
+//! maintenance: it should stay roughly flat in fragment size while the
+//! rebuild pays the full document every time.
+//!
+//! ```text
+//! cargo bench -p smoqe-bench --bench update_maintenance
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoqe::workloads::hospital;
+use smoqe_tax::TaxIndex;
+use smoqe_xml::{insert_fragment, Document, SplicePlace, Vocabulary};
+
+/// A patient fragment with `visits` visits (3 nodes per visit + 3 for the
+/// patient shell), parsed against `vocab`.
+fn patient_fragment(vocab: &Vocabulary, visits: usize) -> Document {
+    let mut xml = String::from("<patient><pname>Frag</pname>");
+    for i in 0..visits {
+        xml.push_str("<visit><treatment><medication>autism</medication></treatment>");
+        xml.push_str(&format!("<date>2006-{:02}-01</date></visit>", (i % 12) + 1));
+    }
+    xml.push_str("</patient>");
+    Document::parse_str(&xml, vocab).unwrap()
+}
+
+fn bench_update_maintenance(c: &mut Criterion) {
+    let vocab = Vocabulary::new();
+    hospital::dtd(&vocab);
+    let doc = hospital::generate_document(&vocab, 42, 60_000);
+    let tax = TaxIndex::build(&doc);
+
+    let mut group = c.benchmark_group("update_maintenance");
+    for visits in [1usize, 16, 128] {
+        let fragment = patient_fragment(&vocab, visits);
+        // The edit itself is shared by both strategies; precompute it so
+        // the bench isolates pure index-maintenance cost.
+        let (new_doc, span) =
+            insert_fragment(&doc, doc.root(), SplicePlace::Into, &fragment).unwrap();
+        let label = format!("{}-node-insert", fragment.node_count());
+        group.bench_with_input(
+            BenchmarkId::new("incremental_patch", &label),
+            &new_doc,
+            |b, nd| b.iter(|| tax.patched(nd, &span)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_rebuild", &label),
+            &new_doc,
+            |b, nd| b.iter(|| TaxIndex::build(nd)),
+        );
+    }
+    // End-to-end: one engine update (parse, resolve, splice, patch,
+    // validate, install) on the big document. A replace keeps the
+    // document size stable across iterations.
+    group.bench_function("engine_update_end_to_end", |b| {
+        let engine = smoqe::Engine::with_defaults();
+        engine.load_dtd(hospital::DTD).unwrap();
+        engine.load_document_tree(doc.clone());
+        engine.build_tax_index().unwrap();
+        engine
+            .update(
+                "insert <patient><pname>Bench</pname><visit><treatment>\
+                 <medication>autism</medication></treatment><date>d</date></visit>\
+                 </patient> into hospital",
+            )
+            .unwrap();
+        b.iter(|| {
+            engine
+                .update("replace hospital/patient[pname = 'Bench']/pname with <pname>Bench</pname>")
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_maintenance);
+criterion_main!(benches);

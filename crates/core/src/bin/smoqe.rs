@@ -12,6 +12,8 @@
 //! smoqe trace    --dtd D.dtd --doc T.xml [--policy P.pol] QUERY   # Fig. 5 trace
 //! smoqe index    --doc T.xml --out T.tax               # build + persist TAX
 //! smoqe generate --dtd D.dtd --nodes N --seed S        # synthetic document on stdout
+//! smoqe update   --dtd D.dtd --doc T.xml [--policy P.pol] [--out FILE]
+//!                [--batch FILE | STATEMENT...]         # policy-checked mutations
 //! ```
 //!
 //! `--repeat N` re-runs the query N times: every run after the first hits
@@ -22,6 +24,14 @@
 //! query per line, `#` comments and blank lines skipped) in **one
 //! sequential scan** of the document and reports the shared event count;
 //! the positional QUERY argument is not needed then.
+//!
+//! `update` applies `insert <f> into|before|after p` / `delete p` /
+//! `replace p with <f>` statements. With `--policy` the statements run as
+//! a *group* session: targets resolve against the security view and a
+//! denied write is indistinguishable from a write to a non-existent node.
+//! Several positional statements (or a `--batch` file of statements)
+//! apply transactionally, and the updated document goes to stdout (or
+//! `--out FILE`).
 
 use smoqe::{DocHandle, DocumentMode, Engine, EngineConfig, User};
 use std::process::ExitCode;
@@ -94,6 +104,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     match cmd.as_str() {
         "derive" => cmd_derive(&args),
         "query" => cmd_query(&args),
+        "update" => cmd_update(&args),
         "explain" => cmd_explain(&args),
         "trace" => cmd_trace(&args),
         "index" => cmd_index(&args),
@@ -121,6 +132,10 @@ fn print_usage() {
            trace    --dtd FILE --doc FILE [--policy FILE] Q  annotated evaluation trace (Fig. 5)\n\
            index    --doc FILE --out FILE                    build + persist the TAX index\n\
            generate --dtd FILE [--nodes N] [--seed S]        emit a synthetic document\n\
+           update   --dtd FILE --doc FILE [--policy FILE]\n\
+                    [--out FILE] [--batch FILE | STMT...]    apply policy-checked updates\n\
+                                                             (insert/delete/replace) and\n\
+                                                             emit the updated document\n\
          \n\
          With --policy, the query runs as a view user (rewritten, access-\n\
          controlled); without it, as an admin directly on the document."
@@ -196,6 +211,17 @@ fn print_cache_stats(doc: &DocHandle) {
     );
 }
 
+/// Reads a batch file: one query/statement per line, `#` comments and
+/// blank lines skipped.
+fn read_batch_lines(path: &str) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    Ok(std::fs::read_to_string(path)?
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect())
+}
+
 fn repeat_count(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
     Ok(args
         .flags
@@ -211,12 +237,8 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let session = doc.session(user);
     let repeat = repeat_count(args)?;
     if let Some(batch_file) = args.flags.get("batch") {
-        let text = std::fs::read_to_string(batch_file)?;
-        let queries: Vec<&str> = text
-            .lines()
-            .map(str::trim)
-            .filter(|l| !l.is_empty() && !l.starts_with('#'))
-            .collect();
+        let lines = read_batch_lines(batch_file)?;
+        let queries: Vec<&str> = lines.iter().map(String::as_str).collect();
         // --repeat re-runs the whole batch (each re-run hits the plan
         // cache), same as it re-runs a single query.
         let mut batch = session.query_batch(&queries)?;
@@ -270,6 +292,46 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     );
     for xml in session.query_xml(query)? {
         println!("{xml}");
+    }
+    if args.switch("cache-stats") {
+        print_cache_stats(&doc);
+    }
+    Ok(())
+}
+
+fn cmd_update(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (doc, user) = build_document(args)?;
+    let statements: Vec<String> = match args.flags.get("batch") {
+        Some(batch_file) => read_batch_lines(batch_file)?,
+        None => args.positional.clone(),
+    };
+    if statements.is_empty() {
+        return Err("no update statements (positional or --batch FILE)".into());
+    }
+    // One transaction regardless of principal: a group batch goes through
+    // Session::update_batch, so a later denial installs nothing.
+    let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
+    let reports = match &user {
+        User::Admin => doc.update_batch(&refs)?,
+        User::Group(_) => doc.session(user.clone()).update_batch(&refs)?,
+    };
+    for (stmt, report) in statements.iter().zip(&reports) {
+        eprintln!(
+            "applied at {} target(s) ({} -> {} nodes{}): {stmt}",
+            report.applied,
+            report.nodes_before,
+            report.nodes_after,
+            if report.tax_patched {
+                ", TAX patched"
+            } else {
+                ""
+            },
+        );
+    }
+    let xml = doc.document()?.to_xml();
+    match args.flags.get("out") {
+        Some(path) => std::fs::write(path, xml.as_bytes())?,
+        None => println!("{xml}"),
     }
     if args.switch("cache-stats") {
         print_cache_stats(&doc);

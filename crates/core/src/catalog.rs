@@ -14,16 +14,16 @@
 //! generations, so replacing a document, its DTD, or a view invalidates
 //! exactly the affected plans without any cross-lock coordination.
 
-use crate::engine::{Answer, Engine, Session, User};
+use crate::engine::{Answer, Engine, Session, UpdateReport, User};
 use crate::error::EngineError;
-use crate::sync::RwLock;
+use crate::sync::{Mutex, RwLock};
 use smoqe_automata::Mfa;
 use smoqe_tax::TaxIndex;
 use smoqe_view::ViewSpec;
 use smoqe_xml::{Document, Dtd};
 use std::collections::HashMap;
 use std::path::{Path as FsPath, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A loaded document with its streamable backing (if any) and the TAX
@@ -77,6 +77,15 @@ pub struct DocumentEntry {
     /// Source of view generations (also bumped by document replacement so
     /// view generations are unique per entry lifetime).
     counter: AtomicU64,
+    /// Serializes the entry's *writers* (updates, loads, DTD swaps) so a
+    /// read-modify-write update can never race another writer. Readers
+    /// only ever take `Arc` snapshots and never touch this lock.
+    pub(crate) write_serial: Mutex<()>,
+    /// Set when the entry is removed from the catalog. Sessions still
+    /// bound to it keep working, but their plans no longer enter the
+    /// shared plan cache — a dropped document must not keep (or regrow)
+    /// cache residency.
+    dropped: AtomicBool,
 }
 
 impl DocumentEntry {
@@ -89,6 +98,8 @@ impl DocumentEntry {
             views: RwLock::new(HashMap::new()),
             generation: AtomicU64::new(0),
             counter: AtomicU64::new(0),
+            write_serial: Mutex::default(),
+            dropped: AtomicBool::new(false),
         }
     }
 
@@ -131,6 +142,15 @@ impl DocumentEntry {
     pub(crate) fn snapshot(&self) -> Result<Arc<LoadedSource>, EngineError> {
         self.source.read().clone().ok_or(EngineError::NoDocument)
     }
+
+    /// Whether the entry has been removed from the catalog.
+    pub(crate) fn is_dropped(&self) -> bool {
+        self.dropped.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn mark_dropped(&self) {
+        self.dropped.store(true, Ordering::Release);
+    }
 }
 
 /// The name → entry map. Engine-internal; reached through
@@ -163,9 +183,17 @@ impl Catalog {
     }
 
     /// Removes `name`, returning whether it existed. Live sessions bound
-    /// to the entry keep their handle; only the catalog forgets it.
+    /// to the entry keep their handle; only the catalog forgets it. The
+    /// entry is marked dropped so those sessions stop populating the
+    /// shared plan cache.
     pub(crate) fn remove(&self, name: &str) -> bool {
-        self.entries.write().remove(name).is_some()
+        match self.entries.write().remove(name) {
+            Some(entry) => {
+                entry.mark_dropped();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Sorted catalog names.
@@ -303,6 +331,29 @@ impl DocHandle {
         queries: &[&str],
     ) -> Result<crate::engine::BatchAnswer, EngineError> {
         self.session(user.clone()).query_batch(queries)
+    }
+
+    /// Applies one update statement **as an administrator** (no policy
+    /// filter): targets are resolved directly against the document. The
+    /// TAX index (if built) is incrementally patched, this entry's
+    /// generation is bumped, and exactly this document's cached plans are
+    /// invalidated. Concurrent readers keep their snapshot.
+    pub fn update(&self, update: &str) -> Result<UpdateReport, EngineError> {
+        let mut reports = self
+            .engine
+            .apply_updates_on(&self.entry, &User::Admin, &[update])?;
+        Ok(reports.pop().expect("one statement yields one report"))
+    }
+
+    /// Applies a sequence of update statements **transactionally**: each
+    /// statement's targets are resolved against the document as left by
+    /// the previous one, nothing is installed until every statement has
+    /// applied and the result validates against the DTD, and any failure
+    /// leaves the document (and its index, generation and cached plans)
+    /// exactly as before — all-or-nothing.
+    pub fn update_batch(&self, updates: &[&str]) -> Result<Vec<UpdateReport>, EngineError> {
+        self.engine
+            .apply_updates_on(&self.entry, &User::Admin, updates)
     }
 
     /// Opens an owned session for `user` on this document.

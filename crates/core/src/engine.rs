@@ -26,7 +26,10 @@ use smoqe_hype::stream::{evaluate_stream_with, StreamOptions};
 use smoqe_hype::{EvalObserver, EvalStats, NoopObserver};
 use smoqe_rxpath::parse_path;
 use smoqe_tax::TaxIndex;
-use smoqe_view::{derive, materialize, materialize_fragment, AccessPolicy, ViewSpec};
+use smoqe_update::{parse_update, UpdateError};
+use smoqe_view::{
+    derive, materialize, materialize_fragment, AccessPolicy, MaterializedView, ViewSpec,
+};
 use smoqe_xml::{Document, Dtd, NodeId, Vocabulary};
 use std::path::{Path as FsPath, PathBuf};
 use std::sync::Arc;
@@ -127,6 +130,28 @@ pub struct BatchAnswer {
     pub answers: Vec<Answer>,
     /// Parser events of the single shared document scan.
     pub events: usize,
+}
+
+/// Outcome of one accepted update statement.
+///
+/// Returned by [`Session::update`], [`DocHandle::update`] and
+/// [`DocHandle::update_batch`].
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateReport {
+    /// Number of target nodes the operation was applied to (an update
+    /// whose path selects several nodes applies at each of them).
+    pub applied: usize,
+    /// Node count **of the document as the session sees it** before this
+    /// statement: the source document for admins, the security view for
+    /// group sessions — source-side counts would reveal how many hidden
+    /// nodes an edited subtree contained.
+    pub nodes_before: usize,
+    /// Same count after the statement.
+    pub nodes_after: usize,
+    /// Whether a TAX index was present and was **incrementally patched**
+    /// across the edit (an update never triggers an index build, and
+    /// never discards one either).
+    pub tax_patched: bool,
 }
 
 impl Engine {
@@ -331,6 +356,7 @@ impl Engine {
         dtd_text: &str,
     ) -> Result<(), EngineError> {
         let dtd = Dtd::parse(dtd_text, &self.vocab)?;
+        let _writer = entry.write_serial.lock();
         *entry.dtd.write() = Some(Arc::new(dtd));
         entry.bump_generation();
         self.plans.purge_document(entry.name());
@@ -346,6 +372,7 @@ impl Engine {
     ) {
         // A fresh source carries no TAX index (the old one described the
         // old document) and invalidates the cached plans.
+        let _writer = entry.write_serial.lock();
         *entry.source.write() = Some(Arc::new(LoadedSource {
             doc: Arc::new(doc),
             raw: raw.map(Arc::new),
@@ -507,6 +534,10 @@ impl Engine {
             }
         };
         let doc_generation = entry.generation();
+        // Plans of a dropped entry stay out of the shared cache: the drop
+        // purged them, and sessions still bound to the entry must not
+        // regrow residency for a document the catalog has forgotten.
+        let cacheable = !entry.is_dropped();
         let key = PlanKey {
             document: entry.name().to_string(),
             entry_id: entry.id(),
@@ -515,8 +546,10 @@ impl Engine {
             query: query.to_string(),
             optimized: self.config.optimize_mfa,
         };
-        if let Some(plan) = self.plans.get(&key) {
-            return Ok((plan, true));
+        if cacheable {
+            if let Some(plan) = self.plans.get(&key) {
+                return Ok((plan, true));
+            }
         }
         let path = parse_path(query, &self.vocab)?;
         let mfa = match &spec {
@@ -528,8 +561,152 @@ impl Engine {
         } else {
             mfa
         });
-        self.plans.insert(key, mfa.clone(), doc_generation);
+        if cacheable {
+            self.plans.insert(key, mfa.clone(), doc_generation);
+            // A concurrent drop_document may have marked the entry and
+            // purged between the check above and the insert; whichever
+            // side purges last wins, so re-checking here closes the race
+            // (drop marks before it purges).
+            if entry.is_dropped() {
+                self.plans.purge_document(entry.name());
+            }
+        }
         Ok((mfa, false))
+    }
+
+    // ------------------------------------------------------------------
+    // Secure updates
+    // ------------------------------------------------------------------
+
+    /// Applies a sequence of update statements to `entry` on behalf of
+    /// `user`, **all-or-nothing**.
+    ///
+    /// * **Target resolution.** Admins resolve targets directly against
+    ///   the document. Group users resolve them against their *security
+    ///   view*: the view is materialized over the snapshot (the same
+    ///   [`smoqe_view::accessible_nodes`] relation that defines read
+    ///   semantics), the target path is evaluated **on the view**, and
+    ///   the selected view nodes map back to their source origins. A
+    ///   hidden node is therefore never selected, and an empty target set
+    ///   — whether the node is hidden, conditionally hidden, or simply
+    ///   absent — yields the same opaque [`EngineError::UpdateDenied`].
+    /// * **Application.** Each statement's targets are applied
+    ///   last-to-first (pre-order ids before an edit window are stable),
+    ///   rebuilding the arena per edit and **incrementally patching** the
+    ///   TAX index instead of rebuilding it.
+    /// * **Conformance.** The final document is validated against the
+    ///   entry's DTD. Admins see the typed schema error; for group users
+    ///   it collapses into `UpdateDenied` too — a validation message
+    ///   could describe content the view hides.
+    /// * **Installation.** Only after everything succeeded is the new
+    ///   snapshot swapped in, the entry's generation bumped, and exactly
+    ///   this document's cached plans invalidated. Writers are serialized
+    ///   on the entry's write lock; readers keep evaluating on their old
+    ///   snapshot throughout and are never blocked.
+    pub(crate) fn apply_updates_on(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        user: &User,
+        updates: &[&str],
+    ) -> Result<Vec<UpdateReport>, EngineError> {
+        if updates.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _writer = entry.write_serial.lock();
+        let snapshot = entry.snapshot()?;
+        let dtd = entry.dtd.read().clone();
+        let mut doc: Arc<Document> = snapshot.doc.clone();
+        let mut tax: Option<Arc<TaxIndex>> = snapshot.tax.clone();
+        let mut reports = Vec::with_capacity(updates.len());
+        // One view spec for the whole transaction (group sessions only).
+        let spec = match user {
+            User::Admin => None,
+            User::Group(group) => Some(entry.view_slot(group)?.0),
+        };
+        // The materialized view of the *current* document state: target
+        // resolution and the report's node counts both read it, and each
+        // post-edit state is materialized exactly once (reused as the
+        // next statement's pre-state). A group update that breaks
+        // materialization itself (e.g. replacing the root with a foreign
+        // type) is opaquely denied — a ViewError message is not part of
+        // the group update contract.
+        let make_view = |doc: &Document| -> Result<Option<MaterializedView>, EngineError> {
+            match &spec {
+                None => Ok(None),
+                Some(spec) => match materialize(spec, doc) {
+                    Ok(view) => Ok(Some(view)),
+                    Err(_) => Err(EngineError::UpdateDenied),
+                },
+            }
+        };
+        // Group sessions never see source-side node counts: the report
+        // counts the document *as the session sees it* (the view), or a
+        // delete of a visible node with hidden descendants would leak how
+        // many hidden nodes its subtree held.
+        let visible_count = |doc: &Document, view: &Option<MaterializedView>| match view {
+            None => doc.node_count(),
+            Some(view) => view.doc.node_count(),
+        };
+        let mut view = make_view(&doc)?;
+        let mut nodes_before = visible_count(&doc, &view);
+        for text in updates {
+            let update = parse_update(text, &self.vocab)?;
+            let targets: Vec<NodeId> = match &view {
+                None => smoqe_rxpath::evaluate(&doc, &update.target).into_vec(),
+                Some(view) => {
+                    let hits = smoqe_rxpath::evaluate(&view.doc, &update.target);
+                    view.origins_of(hits.iter())
+                }
+            };
+            if targets.is_empty() {
+                return Err(match user {
+                    User::Admin => EngineError::Update(UpdateError::NoTarget),
+                    User::Group(_) => EngineError::UpdateDenied,
+                });
+            }
+            let (new_doc, new_tax, applied) =
+                smoqe_update::apply_update(&doc, &update, &targets, tax.as_deref())?;
+            doc = Arc::new(new_doc);
+            tax = new_tax.map(Arc::new);
+            view = make_view(&doc)?;
+            let nodes_after = visible_count(&doc, &view);
+            reports.push(UpdateReport {
+                applied,
+                nodes_before,
+                nodes_after,
+                tax_patched: tax.is_some(),
+            });
+            nodes_before = nodes_after;
+        }
+        if let Some(dtd) = dtd {
+            dtd.validate(&doc).map_err(|e| match user {
+                User::Admin => EngineError::Update(UpdateError::Schema(e)),
+                // A schema message can describe hidden content; the view
+                // user learns only that the write did not happen.
+                User::Group(_) => EngineError::UpdateDenied,
+            })?;
+        }
+        let raw = doc.to_xml();
+        *entry.source.write() = Some(Arc::new(LoadedSource {
+            doc,
+            raw: Some(Arc::new(raw)),
+            path: None,
+            tax,
+        }));
+        entry.bump_generation();
+        if !entry.is_dropped() {
+            // Dropped entries have no plans in the cache (and purging by
+            // name would hit an unrelated re-opened document).
+            self.plans.purge_document(entry.name());
+        }
+        Ok(reports)
+    }
+
+    /// Applies one admin update to the default document (single-document
+    /// convenience; see [`DocHandle::update`]).
+    pub fn update(&self, update: &str) -> Result<UpdateReport, EngineError> {
+        let mut reports = self.apply_updates_on(&self.default_entry(), &User::Admin, &[update])?;
+        Ok(reports.pop().expect("one statement yields one report"))
     }
 
     /// Evaluates each `(session, query)` request — possibly for different
@@ -772,6 +949,36 @@ impl Session {
     /// inspection.
     pub fn plan(&self, query: &str) -> Result<Arc<Mfa>, EngineError> {
         self.engine.plan_on(&self.entry, &self.user, query)
+    }
+
+    /// Applies one update statement (`insert <f> into|before|after p`,
+    /// `delete p`, `replace p with <f>`) **subject to this session's
+    /// access policy**.
+    ///
+    /// Admin sessions mutate the document directly. Group sessions
+    /// resolve the target path against their security view, so an update
+    /// can only ever touch nodes the session may read; a statement whose
+    /// target is hidden, conditionally hidden, or non-existent fails with
+    /// the same opaque [`EngineError::UpdateDenied`] — denials do not
+    /// reveal whether anything matched. Accepted updates incrementally
+    /// patch the TAX index, bump only this document's generation (cached
+    /// plans of other documents survive untouched) and never block
+    /// concurrent readers, which finish on their pre-update snapshot.
+    pub fn update(&self, update: &str) -> Result<UpdateReport, EngineError> {
+        let mut reports = self
+            .engine
+            .apply_updates_on(&self.entry, &self.user, &[update])?;
+        Ok(reports.pop().expect("one statement yields one report"))
+    }
+
+    /// Applies a sequence of update statements **transactionally** under
+    /// this session's policy: each statement resolves against the
+    /// document (and view) as left by the previous one, and any failure —
+    /// including a denial of a later statement — installs nothing (see
+    /// [`DocHandle::update_batch`] for the admin counterpart).
+    pub fn update_batch(&self, updates: &[&str]) -> Result<Vec<UpdateReport>, EngineError> {
+        self.engine
+            .apply_updates_on(&self.entry, &self.user, updates)
     }
 
     /// Answers a query and serializes each answer **safely for this
@@ -1095,6 +1302,201 @@ mod tests {
         let empty = engine.evaluate_batch(&[]).unwrap();
         assert!(empty.answers.is_empty());
         assert_eq!(empty.events, 0);
+    }
+
+    #[test]
+    fn admin_updates_mutate_the_document() {
+        let engine = engine_with_sample();
+        let doc = engine.document_handle(DEFAULT_DOCUMENT).unwrap();
+        let admin = engine.session(User::Admin);
+        let before = admin.query("//patient").unwrap().len();
+        let report = doc
+            .update(
+                "insert <patient><pname>Zoe</pname>\
+                 <visit><treatment><medication>autism</medication></treatment>\
+                 <date>2006-06-01</date></visit></patient> into hospital",
+            )
+            .unwrap();
+        assert_eq!(report.applied, 1);
+        assert!(report.nodes_after > report.nodes_before);
+        assert_eq!(admin.query("//patient").unwrap().len(), before + 1);
+        assert_eq!(
+            admin
+                .query("hospital/patient[pname = 'Zoe']")
+                .unwrap()
+                .len(),
+            1
+        );
+
+        // delete + replace round out the primitives.
+        doc.update("replace hospital/patient[pname = 'Zoe']/pname with <pname>Zed</pname>")
+            .unwrap();
+        assert!(admin.query("//patient[pname = 'Zoe']").unwrap().is_empty());
+        doc.update("delete hospital/patient[pname = 'Zed']")
+            .unwrap();
+        assert_eq!(admin.query("//patient").unwrap().len(), before);
+    }
+
+    #[test]
+    fn updates_are_dtd_checked() {
+        let engine = engine_with_sample();
+        let doc = engine.document_handle(DEFAULT_DOCUMENT).unwrap();
+        // A patient inside a treatment violates the hospital DTD.
+        let err = doc
+            .update("insert <patient><pname>X</pname></patient> into //treatment")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Update(smoqe_update::UpdateError::Schema(_))
+        ));
+        // Nothing was installed.
+        let admin = engine.session(User::Admin);
+        assert!(admin.query("//treatment/patient").unwrap().is_empty());
+    }
+
+    #[test]
+    fn group_updates_go_through_the_view() {
+        let engine = engine_with_sample();
+        let session = engine.session(User::Group("researchers".into()));
+        // Accessible target (a visible medication), view-side path.
+        let report = session
+            .update("replace hospital/patient/treatment/medication with <medication>autism</medication>")
+            .unwrap();
+        assert!(report.applied >= 1);
+        // Hidden target and non-existent target: the SAME opaque denial.
+        let hidden = session.update("delete //pname").unwrap_err();
+        let missing = session.update("delete //nonexistent-thing").unwrap_err();
+        assert!(matches!(hidden, EngineError::UpdateDenied));
+        assert!(matches!(missing, EngineError::UpdateDenied));
+        assert_eq!(hidden.to_string(), missing.to_string());
+        // Schema violations are opaque for groups too.
+        let invalid = session
+            .update("insert <medication>x</medication> into hospital/patient/treatment")
+            .unwrap_err();
+        assert!(matches!(invalid, EngineError::UpdateDenied));
+        // The document is intact after every denial.
+        let admin = engine.session(User::Admin);
+        assert!(!admin.query("//pname").unwrap().is_empty());
+    }
+
+    #[test]
+    fn update_bumps_only_the_affected_documents_generation() {
+        let engine = Engine::with_defaults();
+        let hosp = engine.open_document("hospital");
+        hospital::install_sample(&hosp).unwrap();
+        let orgdoc = engine.open_document("org");
+        org::install_sample(&orgdoc).unwrap();
+        let hosp_admin = hosp.session(User::Admin);
+        let org_admin = orgdoc.session(User::Admin);
+        hosp_admin.query("//medication").unwrap();
+        org_admin.query("//salary").unwrap();
+        assert!(hosp_admin.query("//medication").unwrap().plan_cached);
+        assert!(org_admin.query("//salary").unwrap().plan_cached);
+
+        let invalidations_before = engine.cache_metrics().invalidations;
+        hosp.update("delete hospital/patient[pname = 'Bob']")
+            .unwrap();
+
+        assert!(
+            !hosp_admin.query("//medication").unwrap().plan_cached,
+            "updated document must recompile"
+        );
+        assert!(
+            org_admin.query("//salary").unwrap().plan_cached,
+            "the other document's plans must survive"
+        );
+        assert!(engine.cache_metrics().invalidations > invalidations_before);
+    }
+
+    #[test]
+    fn update_patches_the_tax_index_incrementally() {
+        let engine = engine_with_sample();
+        engine.build_tax_index().unwrap();
+        let doc = engine.document_handle(DEFAULT_DOCUMENT).unwrap();
+        let report = doc
+            .update("insert <visit><treatment><test>mri</test></treatment><date>d</date></visit> into hospital/patient[pname = 'Bob']")
+            .unwrap();
+        assert!(report.tax_patched, "the index must ride along");
+        let tax = engine.tax_index().expect("index survives the update");
+        let current = engine.document().unwrap();
+        assert_eq!(tax.node_count(), current.node_count());
+        // The patched index equals a rebuild, node for node.
+        let rebuilt = TaxIndex::build(&current);
+        for n in current.all_nodes() {
+            assert_eq!(
+                tax.descendant_labels(n).iter().collect::<Vec<_>>(),
+                rebuilt.descendant_labels(n).iter().collect::<Vec<_>>()
+            );
+        }
+        // And TAX-pruned answers stay correct.
+        let admin = engine.session(User::Admin);
+        assert_eq!(admin.query("//test").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn update_batch_is_all_or_nothing() {
+        let engine = engine_with_sample();
+        let doc = engine.document_handle(DEFAULT_DOCUMENT).unwrap();
+        let before = engine.document().unwrap().to_xml();
+        let err = doc
+            .update_batch(&[
+                "delete hospital/patient[pname = 'Bob']",
+                "delete //no-such-element",
+            ])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Update(smoqe_update::UpdateError::NoTarget)
+        ));
+        assert_eq!(
+            engine.document().unwrap().to_xml(),
+            before,
+            "a failing batch must install nothing"
+        );
+        // A good batch applies in order: the second statement sees the
+        // first one's effect.
+        let reports = doc
+            .update_batch(&[
+                "insert <patient><pname>New</pname><visit><treatment><test>blood</test>\
+                 </treatment><date>d</date></visit></patient> into hospital",
+                "replace hospital/patient[pname = 'New']/pname with <pname>Renamed</pname>",
+            ])
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        let admin = engine.session(User::Admin);
+        assert_eq!(
+            admin.query("//patient[pname = 'Renamed']").unwrap().len(),
+            1
+        );
+        assert!(admin.query("//patient[pname = 'New']").unwrap().is_empty());
+    }
+
+    #[test]
+    fn updates_serve_stream_mode_sessions_too() {
+        let engine = Engine::new(EngineConfig::streaming());
+        engine.load_dtd(smoqe_xml::HOSPITAL_DTD).unwrap();
+        engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+        engine
+            .register_policy("researchers", smoqe_view::HOSPITAL_POLICY)
+            .unwrap();
+        engine
+            .update("delete hospital/patient[pname = 'Cal']")
+            .unwrap();
+        // Streaming needs a raw source: the update must have regenerated it.
+        let admin = engine.session(User::Admin);
+        let answer = admin.query("//patient").unwrap();
+        assert_eq!(answer.len(), 3); // Ann, Pat (nested), Bob
+        assert!(answer.xml.is_some(), "stream mode serializes answers");
+    }
+
+    #[test]
+    fn update_on_an_empty_entry_is_no_document() {
+        let engine = Engine::with_defaults();
+        let doc = engine.open_document("empty");
+        assert!(matches!(
+            doc.update("delete //x"),
+            Err(EngineError::NoDocument)
+        ));
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub enum EngineError {
     /// A batched evaluation mixed sessions of different documents or
     /// engines — one scan can only serve one document.
     BatchMismatch,
+    /// An update statement could not be parsed or applied (admin
+    /// surface; group sessions see most of these as [`UpdateDenied`]).
+    Update(smoqe_update::UpdateError),
+    /// The session's security view rejects the update. Deliberately
+    /// carries no detail: a write to a hidden node, to a node that does
+    /// not exist, or whose result would reveal hidden structure all
+    /// produce this exact error, so denials leak nothing.
+    UpdateDenied,
 }
 
 impl fmt::Display for EngineError {
@@ -52,6 +60,10 @@ impl fmt::Display for EngineError {
                     "batched evaluation requires all sessions to target the same document of the same engine"
                 )
             }
+            EngineError::Update(e) => write!(f, "{e}"),
+            EngineError::UpdateDenied => {
+                write!(f, "update denied by the session's security policy")
+            }
         }
     }
 }
@@ -63,6 +75,7 @@ impl std::error::Error for EngineError {
             EngineError::Query(e) => Some(e),
             EngineError::Policy(e) => Some(e),
             EngineError::View(e) => Some(e),
+            EngineError::Update(e) => Some(e),
             _ => None,
         }
     }
@@ -88,6 +101,11 @@ impl From<smoqe_view::ViewError> for EngineError {
         EngineError::View(e)
     }
 }
+impl From<smoqe_update::UpdateError> for EngineError {
+    fn from(e: smoqe_update::UpdateError) -> Self {
+        EngineError::Update(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -104,5 +122,18 @@ mod tests {
             .contains("'d'"));
         assert!(EngineError::AccessDenied.to_string().contains("admin"));
         assert!(EngineError::BatchMismatch.to_string().contains("batch"));
+        assert!(EngineError::UpdateDenied.to_string().contains("denied"));
+        assert!(EngineError::Update(smoqe_update::UpdateError::NoTarget)
+            .to_string()
+            .contains("no node"));
+    }
+
+    #[test]
+    fn update_denied_reveals_nothing_about_the_cause() {
+        // The whole point of the variant: no payload, one message.
+        let a = EngineError::UpdateDenied.to_string();
+        let b = EngineError::UpdateDenied.to_string();
+        assert_eq!(a, b);
+        assert!(!a.contains("hidden") && !a.contains("exist"));
     }
 }

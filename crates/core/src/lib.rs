@@ -16,6 +16,12 @@
 //! compiled plans are memoized in a shared [plan cache](plancache) keyed by
 //! document/view generations.
 //!
+//! The engine also accepts **secure updates** (`insert`/`delete`/`replace`
+//! over Regular XPath targets, [`smoqe_update`]): group sessions may only
+//! write what their view lets them read (denials are indistinguishable
+//! from non-existent targets), and accepted updates swap in a new snapshot
+//! without blocking readers, patching the TAX index incrementally.
+//!
 //! ```
 //! use smoqe::{Engine, User, workloads::hospital};
 //!
@@ -57,7 +63,7 @@ mod sync;
 
 pub use catalog::{DocHandle, DocumentEntry};
 pub use config::{DocumentMode, EngineConfig};
-pub use engine::{Answer, BatchAnswer, Engine, Session, User, DEFAULT_DOCUMENT};
+pub use engine::{Answer, BatchAnswer, Engine, Session, UpdateReport, User, DEFAULT_DOCUMENT};
 pub use error::EngineError;
 pub use plancache::CacheMetrics;
 
@@ -67,6 +73,7 @@ pub use smoqe_hype as hype;
 pub use smoqe_rewrite as rewrite;
 pub use smoqe_rxpath as rxpath;
 pub use smoqe_tax as tax;
+pub use smoqe_update as update;
 pub use smoqe_view as view;
 pub use smoqe_viz as viz;
 pub use smoqe_xml as xml;

@@ -7,7 +7,7 @@
 //! recovery information here and is deliberately ignored (`into_inner` on
 //! a poisoned guard), matching `parking_lot` semantics.
 
-use std::sync::{self, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A reader-writer lock with `parking_lot`-style (non-poisoning) `read` /
 /// `write` accessors.
@@ -31,9 +31,35 @@ impl<T> RwLock<T> {
     }
 }
 
+/// A mutex with a `parking_lot`-style (non-poisoning) `lock` accessor.
+/// Serializes the catalog's writers (updates and reloads); readers never
+/// take it.
+#[derive(Default, Debug)]
+pub(crate) struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Acquires the lock.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mutex_locks_and_survives_poisoning() {
+        let m = std::sync::Arc::new(Mutex::<u32>::default());
+        *m.lock() = 3;
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert_eq!(*m.lock(), 3); // must not panic
+    }
 
     #[test]
     fn read_write_round_trip() {

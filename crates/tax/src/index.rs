@@ -14,7 +14,7 @@
 //! is one `u32` into a small set table. The evaluator intersects a state's
 //! required labels with a subtree's available labels to decide pruning.
 
-use smoqe_xml::{Document, LabelSet, NodeId, Vocabulary};
+use smoqe_xml::{Document, EditSpan, LabelSet, NodeId, Vocabulary};
 use std::collections::HashMap;
 
 /// A type-aware index over one document.
@@ -72,6 +72,93 @@ impl TaxIndex {
             };
             node_sets[raw as usize] = id;
         }
+        TaxIndex {
+            sets,
+            node_sets,
+            num_labels: num_labels as u32,
+        }
+    }
+
+    /// Incrementally maintains the index across one structural edit: the
+    /// index over the **pre-edit** document plus the [`EditSpan`] an edit
+    /// of `smoqe_xml::edit` reported yields the index over `new_doc`
+    /// without a full rebuild.
+    ///
+    /// Node ids are pre-order positions, so an edit changes one contiguous
+    /// id window: per-node set assignments before the window are reused
+    /// verbatim, assignments after it are reused shifted, sets for the
+    /// inserted window are computed bottom-up over just that window, and
+    /// only the ancestor chain of the splice point is recomputed (those
+    /// are the only nodes outside the window whose descendants changed).
+    /// Cost is O(window + ancestors' fan-out) set work plus a copy of the
+    /// per-node assignment vector and of the interned set table (small by
+    /// the index's own compression argument), instead of
+    /// [`TaxIndex::build`]'s full bottom-up pass — see the
+    /// `update_maintenance` bench for the gap.
+    pub fn patched(&self, new_doc: &Document, span: &EditSpan) -> TaxIndex {
+        let start = span.start as usize;
+        let removed = span.removed as usize;
+        let inserted = span.inserted as usize;
+        debug_assert_eq!(
+            self.node_sets.len() - removed + inserted,
+            new_doc.node_count(),
+            "edit span does not describe this document pair"
+        );
+        debug_assert!(self.sets[0].is_empty(), "set 0 is the empty set");
+
+        let mut sets = self.sets.clone();
+        let num_labels = (self.num_labels as usize).max(new_doc.vocabulary().len());
+
+        let mut node_sets = Vec::with_capacity(new_doc.node_count());
+        node_sets.extend_from_slice(&self.node_sets[..start]);
+        // Placeholder (empty set) for the inserted window; text nodes and
+        // leaf elements keep it, matching `build`.
+        node_sets.resize(start + inserted, 0);
+        node_sets.extend_from_slice(&self.node_sets[start + removed..]);
+
+        // Dedup recomputed sets by linear scan: the set table is small by
+        // design, and only window + ancestor nodes are recomputed, so a
+        // scan beats re-hashing the whole table up front.
+        let mut assign = |node_sets: &mut Vec<u32>, node: NodeId| {
+            let mut acc = LabelSet::with_capacity(num_labels);
+            let mut nonempty = false;
+            for c in new_doc.children(node) {
+                if let Some(l) = new_doc.label(c) {
+                    acc.insert(l);
+                    acc.union_with(&sets[node_sets[c.index()] as usize]);
+                    nonempty = true;
+                }
+            }
+            node_sets[node.index()] = if !nonempty {
+                0
+            } else {
+                match sets.iter().position(|s| *s == acc) {
+                    Some(id) => id as u32,
+                    None => {
+                        sets.push(acc);
+                        (sets.len() - 1) as u32
+                    }
+                }
+            };
+        };
+
+        // The inserted window is one whole subtree: descending id order
+        // visits children before parents, and every child of a window
+        // node lies inside the window.
+        for raw in (start..start + inserted).rev() {
+            let node = NodeId(raw as u32);
+            if new_doc.is_element(node) {
+                assign(&mut node_sets, node);
+            }
+        }
+        // Ancestors of the splice point (nearest first, so each uses the
+        // already-corrected sets of its children).
+        let mut ancestor = span.parent;
+        while let Some(a) = ancestor {
+            assign(&mut node_sets, a);
+            ancestor = new_doc.parent(a);
+        }
+
         TaxIndex {
             sets,
             node_sets,
@@ -197,6 +284,99 @@ mod tests {
             );
         }
         let _ = vocab;
+    }
+
+    /// Asserts that `patched` assigns every node the same descendant-label
+    /// set a from-scratch rebuild would.
+    fn assert_patch_matches_rebuild(
+        tax: &TaxIndex,
+        new_doc: &Document,
+        span: &smoqe_xml::EditSpan,
+    ) {
+        let patched = tax.patched(new_doc, span);
+        let rebuilt = TaxIndex::build(new_doc);
+        assert_eq!(patched.node_count(), rebuilt.node_count());
+        for n in new_doc.all_nodes() {
+            assert_eq!(
+                patched.descendant_labels(n).iter().collect::<Vec<_>>(),
+                rebuilt.descendant_labels(n).iter().collect::<Vec<_>>(),
+                "node {n:?} diverged from rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn patched_matches_rebuild_after_delete() {
+        let (vocab, d) = doc("<a><b><c/><c/></b><d>x</d><b><e/></b></a>");
+        let tax = TaxIndex::build(&d);
+        let b = vocab.lookup("b").unwrap();
+        for target in d.nodes_labeled(b).collect::<Vec<_>>() {
+            let (nd, span) = smoqe_xml::delete_subtree(&d, target).unwrap();
+            assert_patch_matches_rebuild(&tax, &nd, &span);
+        }
+    }
+
+    #[test]
+    fn patched_matches_rebuild_after_insert_and_replace() {
+        let (vocab, d) = doc("<a><b><c/></b><d/></a>");
+        let tax = TaxIndex::build(&d);
+        let frag = Document::parse_str("<e><f/>t</e>", &vocab).unwrap();
+        let b = d.nodes_labeled(vocab.lookup("b").unwrap()).next().unwrap();
+        for place in [
+            smoqe_xml::SplicePlace::Into,
+            smoqe_xml::SplicePlace::Before,
+            smoqe_xml::SplicePlace::After,
+        ] {
+            let (nd, span) = smoqe_xml::insert_fragment(&d, b, place, &frag).unwrap();
+            assert_patch_matches_rebuild(&tax, &nd, &span);
+        }
+        let (nd, span) = smoqe_xml::replace_subtree(&d, b, &frag).unwrap();
+        assert_patch_matches_rebuild(&tax, &nd, &span);
+    }
+
+    #[test]
+    fn patched_handles_new_vocabulary_labels_and_root_replacement() {
+        let (vocab, d) = doc("<a><b/></a>");
+        let tax = TaxIndex::build(&d);
+        // `zz` was not in the vocabulary when the index was built.
+        let frag = Document::parse_str("<a><zz><b/></zz></a>", &vocab).unwrap();
+        let (nd, span) = smoqe_xml::replace_subtree(&d, d.root(), &frag).unwrap();
+        assert_patch_matches_rebuild(&tax, &nd, &span);
+        let patched = tax.patched(&nd, &span);
+        assert!(patched.has_descendant(nd.root(), vocab.lookup("zz").unwrap()));
+        assert!(patched.num_labels() >= tax.num_labels());
+    }
+
+    #[test]
+    fn patched_handles_text_merge_spans() {
+        let (vocab, d) = doc("<a>x<b><c/></b>y<d/></a>");
+        let tax = TaxIndex::build(&d);
+        let b = d.nodes_labeled(vocab.lookup("b").unwrap()).next().unwrap();
+        let (nd, span) = smoqe_xml::delete_subtree(&d, b).unwrap();
+        assert_eq!(span.removed, 3, "subtree plus the merged text node");
+        assert_patch_matches_rebuild(&tax, &nd, &span);
+    }
+
+    #[test]
+    fn patched_chains_across_successive_edits() {
+        let (vocab, d) = doc("<a><b><c/></b><b/><d/></a>");
+        let mut tax = TaxIndex::build(&d);
+        let frag = Document::parse_str("<e/>", &vocab).unwrap();
+        let b_label = vocab.lookup("b").unwrap();
+        let mut cur = d;
+        for _ in 0..2 {
+            let target = cur.nodes_labeled(b_label).last().unwrap();
+            let (nd, span) = smoqe_xml::replace_subtree(&cur, target, &frag).unwrap();
+            tax = tax.patched(&nd, &span);
+            let rebuilt = TaxIndex::build(&nd);
+            for n in nd.all_nodes() {
+                assert_eq!(
+                    tax.descendant_labels(n).iter().collect::<Vec<_>>(),
+                    rebuilt.descendant_labels(n).iter().collect::<Vec<_>>()
+                );
+            }
+            cur = nd;
+        }
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Abstract syntax of the update language.
+//!
+//! ```text
+//! u ::= insert <fragment> (into | before | after) p
+//!     | delete p
+//!     | replace p with <fragment>
+//! ```
+//!
+//! where `p` is a Regular XPath path (the same language queries use — one
+//! lexer, one parser, one semantics for "which nodes does this select")
+//! and `<fragment>` is a well-formed XML element.
+
+use smoqe_rxpath::Path;
+use smoqe_xml::Document;
+
+/// Where an inserted fragment lands relative to each target node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertPos {
+    /// `into`: appended as the target's last child.
+    Into,
+    /// `before`: the target's immediately preceding sibling.
+    Before,
+    /// `after`: the target's immediately following sibling.
+    After,
+}
+
+/// What an update does at its targets.
+#[derive(Clone)]
+pub enum UpdateKind {
+    /// `insert <fragment> into/before/after target`.
+    Insert {
+        /// The parsed fragment; its root element is what gets inserted.
+        fragment: Document,
+        /// Placement relative to the target.
+        pos: InsertPos,
+    },
+    /// `delete target`: remove each target subtree.
+    Delete,
+    /// `replace target with <fragment>`.
+    Replace {
+        /// The parsed replacement; its root element substitutes the
+        /// target subtree.
+        fragment: Document,
+    },
+}
+
+/// One parsed update statement: an operation and the Regular XPath
+/// expression selecting its target nodes.
+#[derive(Clone)]
+pub struct Update {
+    /// The operation to perform.
+    pub kind: UpdateKind,
+    /// Selects the target nodes (evaluated from the document root for
+    /// admins, against the security view for group sessions).
+    pub target: Path,
+}
+
+impl Update {
+    /// The statement's verb, for messages and reports.
+    pub fn verb(&self) -> &'static str {
+        match self.kind {
+            UpdateKind::Insert { .. } => "insert",
+            UpdateKind::Delete => "delete",
+            UpdateKind::Replace { .. } => "replace",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_name_the_operation() {
+        let vocab = smoqe_xml::Vocabulary::new();
+        let frag = Document::parse_str("<x/>", &vocab).unwrap();
+        let target = Path::Label(vocab.intern("a"));
+        let insert = Update {
+            kind: UpdateKind::Insert {
+                fragment: frag.clone(),
+                pos: InsertPos::Into,
+            },
+            target: target.clone(),
+        };
+        let delete = Update {
+            kind: UpdateKind::Delete,
+            target: target.clone(),
+        };
+        let replace = Update {
+            kind: UpdateKind::Replace { fragment: frag },
+            target,
+        };
+        assert_eq!(insert.verb(), "insert");
+        assert_eq!(delete.verb(), "delete");
+        assert_eq!(replace.verb(), "replace");
+    }
+}

@@ -1,0 +1,73 @@
+//! Errors of the update subsystem.
+
+use smoqe_rxpath::ParseError;
+use smoqe_xml::{EditError, XmlError};
+use std::fmt;
+
+/// Anything that can go wrong parsing or applying an update.
+///
+/// Note the engine collapses most of these into an opaque
+/// `UpdateDenied` for *group* sessions — a non-admin must not be able to
+/// distinguish "target hidden by policy" from "target does not exist"
+/// from "result would leak schema structure".
+#[derive(Debug)]
+pub enum UpdateError {
+    /// The update statement does not follow the
+    /// `insert/delete/replace` grammar.
+    Syntax(String),
+    /// The XML fragment of an insert/replace is malformed.
+    Fragment(XmlError),
+    /// The target path is not valid Regular XPath.
+    Target(ParseError),
+    /// The target path selected no node.
+    NoTarget,
+    /// The edit is structurally impossible (root deletion, sibling of the
+    /// root, ...).
+    Edit(EditError),
+    /// The post-update document no longer conforms to the loaded DTD.
+    Schema(XmlError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Syntax(s) => write!(f, "update syntax error: {s}"),
+            UpdateError::Fragment(e) => write!(f, "bad fragment in update: {e}"),
+            UpdateError::Target(e) => write!(f, "bad target path in update: {e}"),
+            UpdateError::NoTarget => write!(f, "update target selected no node"),
+            UpdateError::Edit(e) => write!(f, "update cannot be applied: {e}"),
+            UpdateError::Schema(e) => write!(f, "update violates the document schema: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UpdateError::Fragment(e) | UpdateError::Schema(e) => Some(e),
+            UpdateError::Target(e) => Some(e),
+            UpdateError::Edit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EditError> for UpdateError {
+    fn from(e: EditError) -> Self {
+        UpdateError::Edit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(UpdateError::Syntax("x".into()).to_string().contains("x"));
+        assert!(UpdateError::NoTarget.to_string().contains("no node"));
+        assert!(UpdateError::Edit(EditError::RootRemoval)
+            .to_string()
+            .contains("root"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Parser for the concrete update syntax.
+//!
+//! The statement shell (`insert ... into ...`, `delete ...`,
+//! `replace ... with ...`) is recognized here; the **target expression**
+//! is handed verbatim to [`smoqe_rxpath::parse_path`], i.e. the same
+//! lexer and recursive-descent parser queries go through, and the
+//! **fragment** is scanned as one balanced XML element and parsed by the
+//! document parser against the caller's vocabulary.
+
+use crate::ast::{InsertPos, Update, UpdateKind};
+use crate::error::UpdateError;
+use smoqe_rxpath::parse_path;
+use smoqe_xml::{Document, Vocabulary};
+
+/// Parses one update statement.
+///
+/// ```
+/// use smoqe_update::{parse_update, UpdateKind};
+/// use smoqe_xml::Vocabulary;
+/// let vocab = Vocabulary::new();
+/// let u = parse_update("insert <visit><date>d</date></visit> into //patient", &vocab).unwrap();
+/// assert!(matches!(u.kind, UpdateKind::Insert { .. }));
+/// let u = parse_update("delete hospital/patient[pname = 'Bob']", &vocab).unwrap();
+/// assert!(matches!(u.kind, UpdateKind::Delete));
+/// ```
+pub fn parse_update(input: &str, vocab: &Vocabulary) -> Result<Update, UpdateError> {
+    let text = input.trim();
+    if let Some(rest) = keyword(text, "insert") {
+        let rest = rest.trim_start();
+        let (fragment_text, rest) = scan_fragment(rest)?;
+        let rest = rest.trim_start();
+        let (pos, rest) = if let Some(r) = keyword(rest, "into") {
+            (InsertPos::Into, r)
+        } else if let Some(r) = keyword(rest, "before") {
+            (InsertPos::Before, r)
+        } else if let Some(r) = keyword(rest, "after") {
+            (InsertPos::After, r)
+        } else {
+            return Err(UpdateError::Syntax(
+                "expected `into`, `before` or `after` between fragment and target".to_string(),
+            ));
+        };
+        Ok(Update {
+            kind: UpdateKind::Insert {
+                fragment: parse_fragment(fragment_text, vocab)?,
+                pos,
+            },
+            target: parse_target(rest, vocab)?,
+        })
+    } else if let Some(rest) = keyword(text, "delete") {
+        Ok(Update {
+            kind: UpdateKind::Delete,
+            target: parse_target(rest, vocab)?,
+        })
+    } else if let Some(rest) = keyword(text, "replace") {
+        let lt = rest.find('<').ok_or_else(|| {
+            UpdateError::Syntax("replace needs a `with <fragment>` clause".to_string())
+        })?;
+        let head = rest[..lt].trim_end();
+        // `with` must be its own word: a target like `hospital/bandwith`
+        // (user forgot the keyword) must error, not silently truncate to
+        // `hospital/band` and mutate the wrong nodes.
+        let target_text = head
+            .strip_suffix("with")
+            .filter(|t| t.is_empty() || t.ends_with(char::is_whitespace))
+            .ok_or_else(|| {
+                UpdateError::Syntax("expected `with` between target and fragment".to_string())
+            })?;
+        let (fragment_text, tail) = scan_fragment(rest[lt..].trim_start())?;
+        if !tail.trim().is_empty() {
+            return Err(UpdateError::Syntax(format!(
+                "unexpected input after replacement fragment: `{}`",
+                tail.trim()
+            )));
+        }
+        Ok(Update {
+            kind: UpdateKind::Replace {
+                fragment: parse_fragment(fragment_text, vocab)?,
+            },
+            target: parse_target(target_text, vocab)?,
+        })
+    } else {
+        Err(UpdateError::Syntax(
+            "expected `insert`, `delete` or `replace`".to_string(),
+        ))
+    }
+}
+
+fn parse_fragment(text: &str, vocab: &Vocabulary) -> Result<Document, UpdateError> {
+    Document::parse_str(text, vocab).map_err(UpdateError::Fragment)
+}
+
+fn parse_target(text: &str, vocab: &Vocabulary) -> Result<smoqe_rxpath::Path, UpdateError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(UpdateError::Syntax(
+            "missing target path in update".to_string(),
+        ));
+    }
+    parse_path(text, vocab).map_err(UpdateError::Target)
+}
+
+/// Recognizes `kw` as a leading word of `s`: it must be followed by
+/// whitespace, a fragment (`<`), a path that cannot start with a name
+/// byte (`/`), or the end of input — so an element named `insertion` is
+/// never mistaken for the keyword.
+fn keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    let rest = s.strip_prefix(kw)?;
+    match rest.as_bytes().first() {
+        None => Some(rest),
+        Some(b) if b.is_ascii_whitespace() || *b == b'<' || *b == b'/' => Some(rest),
+        _ => None,
+    }
+}
+
+/// Splits `s` into one balanced XML element and the remainder. Attribute
+/// values may contain `>`; comments/PIs are rejected (the document parser
+/// does not produce nodes for them, so a fragment must not rely on them).
+fn scan_fragment(s: &str) -> Result<(&str, &str), UpdateError> {
+    let bytes = s.as_bytes();
+    if bytes.first() != Some(&b'<') {
+        return Err(UpdateError::Syntax(
+            "expected an XML fragment starting with `<`".to_string(),
+        ));
+    }
+    let mut i = 0usize;
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        match bytes.get(i + 1) {
+            Some(b'/') => {
+                let close = find_tag_end(bytes, i)?;
+                depth = depth.checked_sub(1).ok_or_else(|| {
+                    UpdateError::Syntax("unbalanced closing tag in fragment".to_string())
+                })?;
+                i = close + 1;
+                if depth == 0 {
+                    return Ok((&s[..i], &s[i..]));
+                }
+            }
+            Some(b'!') | Some(b'?') => {
+                return Err(UpdateError::Syntax(
+                    "comments and processing instructions are not allowed in fragments".to_string(),
+                ));
+            }
+            _ => {
+                let close = find_tag_end(bytes, i)?;
+                let self_closing = bytes[close - 1] == b'/';
+                i = close + 1;
+                if !self_closing {
+                    depth += 1;
+                } else if depth == 0 {
+                    return Ok((&s[..i], &s[i..]));
+                }
+            }
+        }
+    }
+    Err(UpdateError::Syntax("unterminated XML fragment".to_string()))
+}
+
+/// Index of the `>` closing the tag opened at `start`, skipping quoted
+/// attribute values.
+fn find_tag_end(bytes: &[u8], start: usize) -> Result<usize, UpdateError> {
+    let mut quote: Option<u8> = None;
+    let mut j = start + 1;
+    while j < bytes.len() {
+        let b = bytes[j];
+        match quote {
+            Some(q) => {
+                if b == q {
+                    quote = None;
+                }
+            }
+            None => match b {
+                b'"' | b'\'' => quote = Some(b),
+                b'>' => return Ok(j),
+                _ => {}
+            },
+        }
+        j += 1;
+    }
+    Err(UpdateError::Syntax(
+        "unterminated tag in fragment".to_string(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::new()
+    }
+
+    #[test]
+    fn parses_all_three_forms() {
+        let v = vocab();
+        let u = parse_update("insert <b/> into a", &v).unwrap();
+        assert!(matches!(
+            u.kind,
+            UpdateKind::Insert {
+                pos: InsertPos::Into,
+                ..
+            }
+        ));
+        let u = parse_update("insert <b>t</b> before a/b", &v).unwrap();
+        assert!(matches!(
+            u.kind,
+            UpdateKind::Insert {
+                pos: InsertPos::Before,
+                ..
+            }
+        ));
+        let u = parse_update("insert <b/> after //a[c]", &v).unwrap();
+        assert!(matches!(
+            u.kind,
+            UpdateKind::Insert {
+                pos: InsertPos::After,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_update("delete //a", &v).unwrap().kind,
+            UpdateKind::Delete
+        ));
+        let u = parse_update("replace a/b with <b><c/></b>", &v).unwrap();
+        match u.kind {
+            UpdateKind::Replace { fragment } => assert_eq!(fragment.node_count(), 2),
+            _ => panic!("expected replace"),
+        }
+    }
+
+    #[test]
+    fn target_paths_use_the_rxpath_grammar() {
+        let v = vocab();
+        let u = parse_update(
+            "delete hospital/patient[(parent/patient)*/visit and not(pname = 'Ann')]",
+            &v,
+        )
+        .unwrap();
+        // The path round-trips through the rxpath pretty-printer.
+        let printed = u.target.display(&v).to_string();
+        assert!(printed.contains("(parent/patient)*"));
+        assert!(matches!(
+            parse_update("delete hospital//", &v),
+            Err(UpdateError::Target(_))
+        ));
+    }
+
+    #[test]
+    fn fragments_may_contain_quoted_angle_brackets_and_nesting() {
+        let v = vocab();
+        let u = parse_update("insert <a x=\"1>2\"><b/><a><b/></a></a> into r", &v).unwrap();
+        match u.kind {
+            UpdateKind::Insert { fragment, .. } => {
+                assert_eq!(fragment.node_count(), 4);
+                assert_eq!(fragment.attribute(fragment.root(), "x"), Some("1>2"));
+            }
+            _ => panic!("expected insert"),
+        }
+    }
+
+    #[test]
+    fn element_names_prefixed_by_keywords_are_not_keywords() {
+        let v = vocab();
+        // `deleted` is an element name, not the `delete` keyword.
+        assert!(matches!(
+            parse_update("deleted", &v),
+            Err(UpdateError::Syntax(_))
+        ));
+        // ... but `delete deleted` deletes elements named `deleted`.
+        assert!(parse_update("delete deleted", &v).is_ok());
+    }
+
+    #[test]
+    fn malformed_statements_are_rejected() {
+        let v = vocab();
+        for bad in [
+            "",
+            "upsert <a/> into b",
+            "insert into b",
+            "insert <a/> inside b",
+            "insert <a/> into",
+            "insert <a> into b",
+            "replace a/b with",
+            "replace a/b <b/>",
+            "replace a/b with <b/> trailing",
+            "replace hospital/bandwith <x/>",
+            "replace with <x/>",
+            "insert <a></b> into c",
+            "insert <!-- no --> into c",
+            "delete",
+        ] {
+            assert!(parse_update(bad, &v).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn fragment_scan_rejects_unbalanced_markup() {
+        assert!(
+            scan_fragment("<a><b></a>").is_err() || {
+                // `</a>` closes `<b>`'s depth slot; the *document parser*
+                // rejects the mismatched names.
+                let v = vocab();
+                parse_update("insert <a><b></a> into c", &v).is_err()
+            }
+        );
+        assert!(scan_fragment("<a x='1'").is_err());
+        assert!(scan_fragment("no-fragment").is_err());
+    }
+}

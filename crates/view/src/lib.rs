@@ -25,6 +25,6 @@ pub mod spec;
 pub mod typecheck;
 
 pub use derive::derive;
-pub use materialize::{materialize, materialize_fragment, MaterializedView};
+pub use materialize::{accessible_nodes, materialize, materialize_fragment, MaterializedView};
 pub use policy::{AccessPolicy, Ann, PolicyError, HOSPITAL_POLICY};
 pub use spec::{ViewError, ViewSpec};

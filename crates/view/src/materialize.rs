@@ -109,6 +109,21 @@ pub fn materialize_fragment(
     Ok(MaterializedView { doc, origins })
 }
 
+/// The set of **source** nodes the view exposes: the origin of every node
+/// of V(T), sorted and deduplicated. This is the accessibility relation
+/// the policy defines — a node outside this set does not exist as far as
+/// the group is concerned — and it is what the engine's secure *update*
+/// path checks write targets against: computed definitionally from the
+/// same materialization that defines read semantics, so reads and writes
+/// can never disagree about what is visible.
+pub fn accessible_nodes(spec: &ViewSpec, source: &Document) -> Result<Vec<NodeId>, ViewError> {
+    let view = materialize(spec, source)?;
+    let mut nodes = view.origins;
+    nodes.sort_unstable();
+    nodes.dedup();
+    Ok(nodes)
+}
+
 fn build(
     spec: &ViewSpec,
     source: &Document,
@@ -256,6 +271,36 @@ mod tests {
         .unwrap();
         let view = materialize(&spec, &doc).unwrap();
         assert_eq!(view.doc.to_xml(), "<hospital/>");
+    }
+
+    #[test]
+    fn accessible_nodes_expose_exactly_the_view_origins() {
+        let (vocab, _, spec, doc) = setup();
+        let access = accessible_nodes(&spec, &doc).unwrap();
+        let set: std::collections::HashSet<NodeId> = access.iter().copied().collect();
+        assert_eq!(set.len(), access.len(), "deduplicated");
+        // Every visible medication's source node is accessible; no pname,
+        // date or test node is.
+        let label = |n: &str| vocab.lookup(n).unwrap();
+        let autism_med = doc
+            .nodes_labeled(label("medication"))
+            .find(|&m| doc.string_value(m) == "autism")
+            .unwrap();
+        assert!(set.contains(&autism_med));
+        assert!(set.contains(&doc.root()));
+        for hidden in ["pname", "date", "test"] {
+            for n in doc.nodes_labeled(label(hidden)) {
+                assert!(!set.contains(&n), "{hidden} must be inaccessible");
+            }
+        }
+        // Bob has no autism medication: his whole subtree is inaccessible.
+        let bob = doc
+            .nodes_labeled(label("patient"))
+            .find(|&p| doc.string_value(p).contains("Bob"))
+            .unwrap();
+        for n in doc.descendants_or_self(bob) {
+            assert!(!set.contains(&n), "Bob's subtree is hidden");
+        }
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! Structural document edits — the tree-mutation substrate of the update
+//! subsystem.
+//!
+//! [`Document`]s are immutable after build (evaluators rely on the
+//! "`NodeId` order = document order" invariant and readers share them as
+//! `Arc` snapshots), so an edit produces a **new** document: the tree is
+//! re-emitted through [`TreeBuilder`] with the edited subtree skipped,
+//! replaced or extended in place. That keeps every invariant by
+//! construction and costs one pass over the tree — the part that must
+//! *not* be recomputed from scratch (the TAX index) is maintained
+//! incrementally from the returned [`EditSpan`] instead (see
+//! `smoqe_tax::TaxIndex::patched`).
+//!
+//! Because node ids are pre-order positions, every supported edit changes
+//! one **contiguous id window**: nodes before the window keep their ids,
+//! nodes after it shift by `inserted - removed`, and the only nodes whose
+//! *descendant structure* changes are the ancestors of the splice point.
+//! [`EditSpan`] records exactly that.
+
+use crate::label::Label;
+use crate::tree::{Document, NodeId, NodeKind, TreeBuilder};
+use std::fmt;
+
+/// The contiguous pre-order id window an edit changed.
+///
+/// Old node ids `< start` are unchanged in the new document; old ids
+/// `>= start + removed` map to `id - removed + inserted`. The descendant
+/// sets of nodes outside the window can only change along the ancestor
+/// chain of `parent`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EditSpan {
+    /// First node id of the window (same position in old and new ids).
+    pub start: u32,
+    /// Number of old nodes the window replaced (includes a trailing text
+    /// node swallowed by a boundary merge — deleting an element between
+    /// two text siblings joins them into one node).
+    pub removed: u32,
+    /// Number of new nodes the window now holds.
+    pub inserted: u32,
+    /// Parent of the splice point, in **new**-document ids (`None` when
+    /// the root itself was replaced). Always `< start`, so the id is
+    /// valid in both documents.
+    pub parent: Option<NodeId>,
+}
+
+/// Where an inserted fragment lands relative to the target node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplicePlace {
+    /// As the last child of the target.
+    Into,
+    /// As the immediately preceding sibling of the target.
+    Before,
+    /// As the immediately following sibling of the target.
+    After,
+}
+
+/// Structural reasons an edit cannot be applied. Schema conformance is
+/// *not* checked here — callers validate the result against their DTD.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditError {
+    /// Deleting the root would leave no document.
+    RootRemoval,
+    /// Inserting before/after the root would create a second root.
+    RootSibling,
+    /// The target node id does not exist in the document.
+    UnknownTarget(NodeId),
+    /// The target is a text node; edits target elements.
+    TextTarget(NodeId),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::RootRemoval => write!(f, "cannot delete the document root"),
+            EditError::RootSibling => {
+                write!(f, "cannot insert a sibling of the document root")
+            }
+            EditError::UnknownTarget(n) => write!(f, "edit target {n:?} is not in the document"),
+            EditError::TextTarget(n) => {
+                write!(f, "edit target {n:?} is a text node, not an element")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// The edit to perform at a target node. Fragments are stand-alone
+/// documents (their root element is what gets spliced in); their labels
+/// are re-interned into the edited document's vocabulary, so a fragment
+/// parsed against any vocabulary is safe to splice.
+enum Op<'a> {
+    Delete,
+    Replace(&'a Document),
+    Insert(SplicePlace, &'a Document),
+}
+
+/// Deletes the subtree rooted at `target`.
+pub fn delete_subtree(doc: &Document, target: NodeId) -> Result<(Document, EditSpan), EditError> {
+    splice(doc, target, Op::Delete)
+}
+
+/// Replaces the subtree rooted at `target` with `fragment` (replacing the
+/// root is allowed — the fragment becomes the new root).
+pub fn replace_subtree(
+    doc: &Document,
+    target: NodeId,
+    fragment: &Document,
+) -> Result<(Document, EditSpan), EditError> {
+    splice(doc, target, Op::Replace(fragment))
+}
+
+/// Inserts `fragment` into/before/after `target`.
+pub fn insert_fragment(
+    doc: &Document,
+    target: NodeId,
+    place: SplicePlace,
+    fragment: &Document,
+) -> Result<(Document, EditSpan), EditError> {
+    splice(doc, target, Op::Insert(place, fragment))
+}
+
+fn splice(doc: &Document, target: NodeId, op: Op<'_>) -> Result<(Document, EditSpan), EditError> {
+    if target.index() >= doc.node_count() {
+        return Err(EditError::UnknownTarget(target));
+    }
+    if !doc.is_element(target) {
+        return Err(EditError::TextTarget(target));
+    }
+    match op {
+        Op::Delete if target == doc.root() => return Err(EditError::RootRemoval),
+        Op::Insert(SplicePlace::Before | SplicePlace::After, _) if target == doc.root() => {
+            return Err(EditError::RootSibling)
+        }
+        _ => {}
+    }
+
+    let subtree = doc.subtree_size(target) as u32;
+    let (start, removed, inserted) = match &op {
+        Op::Delete => (target.0, subtree, 0),
+        Op::Replace(f) => (target.0, subtree, f.node_count() as u32),
+        Op::Insert(SplicePlace::Before, f) => (target.0, 0, f.node_count() as u32),
+        Op::Insert(SplicePlace::After | SplicePlace::Into, f) => {
+            (target.0 + subtree, 0, f.node_count() as u32)
+        }
+    };
+    let parent = match &op {
+        Op::Insert(SplicePlace::Into, _) => Some(target),
+        _ => doc.parent(target),
+    };
+
+    let mut builder = TreeBuilder::new(doc.vocabulary().clone());
+    builder.reserve(doc.node_count() - removed as usize + inserted as usize);
+    copy_edited(doc, doc.root(), target, &op, &mut builder);
+    let new_doc = builder
+        .finish()
+        .expect("splice emits balanced events over a non-empty tree");
+
+    // A delete can make two text siblings adjacent; the builder merges
+    // them into the prefix node, swallowing one extra old node. Charge it
+    // to the span so the suffix mapping stays exact.
+    let expected = doc.node_count() as u32 - removed + inserted;
+    let actual = new_doc.node_count() as u32;
+    debug_assert!(
+        actual == expected || actual + 1 == expected,
+        "splice count drift"
+    );
+    let removed = removed + (expected - actual);
+
+    Ok((
+        new_doc,
+        EditSpan {
+            start,
+            removed,
+            inserted,
+            parent,
+        },
+    ))
+}
+
+/// Re-emits `node`'s subtree into `builder`, applying `op` at `target`.
+fn copy_edited(
+    src: &Document,
+    node: NodeId,
+    target: NodeId,
+    op: &Op<'_>,
+    builder: &mut TreeBuilder,
+) {
+    if node == target {
+        match op {
+            Op::Delete => return,
+            Op::Replace(fragment) => {
+                copy_fragment(fragment, fragment.root(), builder);
+                return;
+            }
+            Op::Insert(SplicePlace::Before, fragment) => {
+                copy_fragment(fragment, fragment.root(), builder);
+            }
+            Op::Insert(SplicePlace::After | SplicePlace::Into, _) => {}
+        }
+    }
+    match src.kind(node) {
+        NodeKind::Text(_) => builder.text(src.text(node).expect("text kind")),
+        NodeKind::Element(label) => {
+            builder.start_element(*label);
+            for attr in src.attributes(node) {
+                builder.attribute(&attr.name, &attr.value);
+            }
+            for child in src.children(node) {
+                copy_edited(src, child, target, op, builder);
+            }
+            if node == target {
+                if let Op::Insert(SplicePlace::Into, fragment) = op {
+                    copy_fragment(fragment, fragment.root(), builder);
+                }
+            }
+            builder.end_element();
+        }
+    }
+    if node == target {
+        if let Op::Insert(SplicePlace::After, fragment) = op {
+            copy_fragment(fragment, fragment.root(), builder);
+        }
+    }
+}
+
+/// Copies a fragment subtree, re-interning labels by name so fragments
+/// parsed against a foreign vocabulary splice correctly (a shared
+/// vocabulary makes this a cheap identity lookup).
+fn copy_fragment(frag: &Document, node: NodeId, builder: &mut TreeBuilder) {
+    match frag.kind(node) {
+        NodeKind::Text(_) => builder.text(frag.text(node).expect("text kind")),
+        NodeKind::Element(label) => {
+            let label = intern_into(builder, frag, *label);
+            builder.start_element(label);
+            for attr in frag.attributes(node) {
+                builder.attribute(&attr.name, &attr.value);
+            }
+            for child in frag.children(node) {
+                copy_fragment(frag, child, builder);
+            }
+            builder.end_element();
+        }
+    }
+}
+
+fn intern_into(builder: &TreeBuilder, frag: &Document, label: Label) -> Label {
+    if builder.vocabulary().same_as(frag.vocabulary()) {
+        label
+    } else {
+        builder.vocabulary().intern(&frag.vocabulary().name(label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Vocabulary;
+
+    fn doc(xml: &str) -> (Vocabulary, Document) {
+        let vocab = Vocabulary::new();
+        let d = Document::parse_str(xml, &vocab).unwrap();
+        (vocab, d)
+    }
+
+    fn frag(vocab: &Vocabulary, xml: &str) -> Document {
+        Document::parse_str(xml, vocab).unwrap()
+    }
+
+    fn nth_labeled(d: &Document, vocab: &Vocabulary, name: &str, n: usize) -> NodeId {
+        let label = vocab.lookup(name).unwrap();
+        d.nodes_labeled(label).nth(n).unwrap()
+    }
+
+    #[test]
+    fn delete_removes_the_subtree() {
+        let (vocab, d) = doc("<a><b><c/></b><d/></a>");
+        let b = nth_labeled(&d, &vocab, "b", 0);
+        let (nd, span) = delete_subtree(&d, b).unwrap();
+        assert_eq!(nd.to_xml(), "<a><d/></a>");
+        assert_eq!(
+            span,
+            EditSpan {
+                start: 1,
+                removed: 2,
+                inserted: 0,
+                parent: Some(d.root())
+            }
+        );
+    }
+
+    #[test]
+    fn delete_merges_adjacent_text_and_charges_the_span() {
+        let (vocab, d) = doc("<a>x<b/>y</a>");
+        let b = nth_labeled(&d, &vocab, "b", 0);
+        let (nd, span) = delete_subtree(&d, b).unwrap();
+        assert_eq!(nd.to_xml(), "<a>xy</a>");
+        assert_eq!(nd.node_count(), 2);
+        // b (1 node) plus the swallowed trailing text node.
+        assert_eq!(span.removed, 2);
+        assert_eq!(span.start, 2);
+        assert_eq!(d.node_count() - span.removed as usize, nd.node_count());
+    }
+
+    #[test]
+    fn insert_into_appends_as_last_child() {
+        let (vocab, d) = doc("<a><b/><c/></a>");
+        let b = nth_labeled(&d, &vocab, "b", 0);
+        let f = frag(&vocab, "<e>t</e>");
+        let (nd, span) = insert_fragment(&d, b, SplicePlace::Into, &f).unwrap();
+        assert_eq!(nd.to_xml(), "<a><b><e>t</e></b><c/></a>");
+        assert_eq!(
+            span,
+            EditSpan {
+                start: 2,
+                removed: 0,
+                inserted: 2,
+                parent: Some(b)
+            }
+        );
+    }
+
+    #[test]
+    fn insert_before_and_after_place_siblings() {
+        let (vocab, d) = doc("<a><b/><c/></a>");
+        let c = nth_labeled(&d, &vocab, "c", 0);
+        let f = frag(&vocab, "<e/>");
+        let (before, span_b) = insert_fragment(&d, c, SplicePlace::Before, &f).unwrap();
+        assert_eq!(before.to_xml(), "<a><b/><e/><c/></a>");
+        assert_eq!(span_b.start, c.0);
+        let (after, span_a) = insert_fragment(&d, c, SplicePlace::After, &f).unwrap();
+        assert_eq!(after.to_xml(), "<a><b/><c/><e/></a>");
+        assert_eq!(span_a.start, c.0 + 1);
+    }
+
+    #[test]
+    fn replace_swaps_the_subtree() {
+        let (vocab, d) = doc("<a><b><c/></b><d/></a>");
+        let b = nth_labeled(&d, &vocab, "b", 0);
+        let f = frag(&vocab, "<e><f/><g/></e>");
+        let (nd, span) = replace_subtree(&d, b, &f).unwrap();
+        assert_eq!(nd.to_xml(), "<a><e><f/><g/></e><d/></a>");
+        assert_eq!(
+            span,
+            EditSpan {
+                start: 1,
+                removed: 2,
+                inserted: 3,
+                parent: Some(d.root())
+            }
+        );
+    }
+
+    #[test]
+    fn replace_root_installs_a_new_root() {
+        let (vocab, d) = doc("<a><b/></a>");
+        let f = frag(&vocab, "<z><y/></z>");
+        let (nd, span) = replace_subtree(&d, d.root(), &f).unwrap();
+        assert_eq!(nd.to_xml(), "<z><y/></z>");
+        assert_eq!(span.parent, None);
+        assert_eq!(span.removed, 2);
+        assert_eq!(span.inserted, 2);
+    }
+
+    #[test]
+    fn root_deletion_and_root_siblings_are_rejected() {
+        let (vocab, d) = doc("<a><b/></a>");
+        let f = frag(&vocab, "<e/>");
+        assert_eq!(
+            delete_subtree(&d, d.root()).err(),
+            Some(EditError::RootRemoval)
+        );
+        for place in [SplicePlace::Before, SplicePlace::After] {
+            assert_eq!(
+                insert_fragment(&d, d.root(), place, &f).err(),
+                Some(EditError::RootSibling)
+            );
+        }
+    }
+
+    #[test]
+    fn text_and_unknown_targets_are_rejected() {
+        let (vocab, d) = doc("<a>txt</a>");
+        let f = frag(&vocab, "<e/>");
+        let text = d.first_child(d.root()).unwrap();
+        assert!(matches!(
+            delete_subtree(&d, text).err(),
+            Some(EditError::TextTarget(_))
+        ));
+        assert!(matches!(
+            insert_fragment(&d, NodeId(99), SplicePlace::Into, &f).err(),
+            Some(EditError::UnknownTarget(_))
+        ));
+    }
+
+    #[test]
+    fn attributes_survive_copies_and_fragments() {
+        let (vocab, d) = doc("<a id=\"1\"><b k=\"v\"/></a>");
+        let b = nth_labeled(&d, &vocab, "b", 0);
+        let f = frag(&vocab, "<e x=\"y\"/>");
+        let (nd, _) = insert_fragment(&d, b, SplicePlace::After, &f).unwrap();
+        assert_eq!(nd.attribute(nd.root(), "id"), Some("1"));
+        let e = nth_labeled(&nd, &vocab, "e", 0);
+        assert_eq!(nd.attribute(e, "x"), Some("y"));
+        let b2 = nth_labeled(&nd, &vocab, "b", 0);
+        assert_eq!(nd.attribute(b2, "k"), Some("v"));
+    }
+
+    #[test]
+    fn foreign_vocabulary_fragments_are_reinterned() {
+        let (vocab, d) = doc("<a><b/></a>");
+        let other = Vocabulary::new();
+        let f = Document::parse_str("<b><zz/></b>", &other).unwrap();
+        let b = nth_labeled(&d, &vocab, "b", 0);
+        let (nd, _) = replace_subtree(&d, b, &f).unwrap();
+        assert_eq!(nd.to_xml(), "<a><b><zz/></b></a>");
+        // `zz` got interned into the target vocabulary by name.
+        let zz = vocab.lookup("zz").unwrap();
+        assert_eq!(nd.nodes_labeled(zz).count(), 1);
+    }
+
+    #[test]
+    fn node_ids_stay_in_document_order_after_edits() {
+        let (vocab, d) = doc("<a><b><c/>t</b><d/><b/></a>");
+        let f = frag(&vocab, "<e><f/></e>");
+        let b1 = nth_labeled(&d, &vocab, "b", 1);
+        for (nd, _) in [
+            delete_subtree(&d, nth_labeled(&d, &vocab, "b", 0)).unwrap(),
+            replace_subtree(&d, b1, &f).unwrap(),
+            insert_fragment(&d, b1, SplicePlace::Into, &f).unwrap(),
+        ] {
+            let pre: Vec<NodeId> = nd.descendants_or_self(nd.root()).collect();
+            let mut sorted = pre.clone();
+            sorted.sort();
+            assert_eq!(pre, sorted);
+            assert_eq!(pre.len(), nd.node_count());
+        }
+    }
+
+    #[test]
+    fn suffix_ids_shift_by_the_span_delta() {
+        let (vocab, d) = doc("<a><b><c/></b><d>x</d></a>");
+        let b = nth_labeled(&d, &vocab, "b", 0);
+        let f = frag(&vocab, "<e><f/><g/></e>");
+        let (nd, span) = replace_subtree(&d, b, &f).unwrap();
+        let d_old = nth_labeled(&d, &vocab, "d", 0);
+        let d_new = nth_labeled(&nd, &vocab, "d", 0);
+        assert_eq!(d_new.0, d_old.0 - span.removed + span.inserted);
+        assert_eq!(nd.string_value(d_new), "x");
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`parse`] — DOM parsing built on the pull parser.
 //! * [`serialize`] — compact/pretty serialization and an event-driven
 //!   [`serialize::XmlWriter`] used by the streaming evaluator.
+//! * [`edit`](crate::edit) — structural edits (delete/replace/insert of
+//!   subtrees) that rebuild the arena while reporting the changed id
+//!   window ([`EditSpan`]) for incremental index maintenance.
 //! * [`Dtd`] / [`ContentModel`] — recursive DTDs with parsing, validation,
 //!   and the structural analyses (child alphabets, reachability, recursion,
 //!   minimum heights) the view-derivation algorithm needs.
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod dtd;
+pub mod edit;
 pub mod error;
 pub mod generate;
 pub mod label;
@@ -34,6 +38,9 @@ pub mod stax;
 pub mod tree;
 
 pub use dtd::{ContentModel, Dtd, HOSPITAL_DTD};
+pub use edit::{
+    delete_subtree, insert_fragment, replace_subtree, EditError, EditSpan, SplicePlace,
+};
 pub use error::XmlError;
 pub use generate::{generate, generate_to_writer, GeneratorConfig};
 pub use label::{Label, Vocabulary};

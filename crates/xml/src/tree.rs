@@ -481,6 +481,11 @@ impl TreeBuilder {
         self.stack.len()
     }
 
+    /// The vocabulary the built document interns labels against.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.doc.vocab
+    }
+
     /// The id the *next* created node will receive (document order).
     pub fn next_node_id(&self) -> NodeId {
         NodeId(self.doc.nodes.len() as u32)

@@ -291,6 +291,155 @@ fn multi_group_batch_shares_one_scan_and_matches_serial() {
     });
 }
 
+/// Applies one update through the engine's write path the first time the
+/// evaluator enters a node — i.e. provably *while a query is running*.
+struct MidQueryUpdater {
+    doc: DocHandle,
+    statement: &'static str,
+    fired: bool,
+}
+
+impl smoqe::hype::EvalObserver for MidQueryUpdater {
+    fn enter_node(&mut self, _node: u32, _label: smoqe_xml::Label, _depth: usize) {
+        if !self.fired {
+            self.fired = true;
+            self.doc.update(self.statement).unwrap();
+        }
+    }
+}
+
+#[test]
+fn update_landing_mid_query_leaves_the_reader_on_its_snapshot() {
+    // Deterministic reader isolation: the update is applied from inside
+    // the evaluation (via the observer hook), so the query is mid-flight
+    // by construction when the new snapshot is installed. The in-flight
+    // query must complete with pre-update answers — evaluation holds no
+    // lock, only its Arc snapshot — and the next query sees the update.
+    let engine = Engine::with_defaults();
+    let doc = hospital_doc(&engine, "h");
+    doc.build_tax_index().unwrap();
+    let session = doc.session(User::Admin);
+    let pre = session.query("//medication").unwrap().nodes;
+
+    let mut updater = MidQueryUpdater {
+        doc: doc.clone(),
+        statement: "insert <patient><pname>Mid</pname><visit><treatment>\
+                    <medication>autism</medication></treatment><date>d</date></visit>\
+                    </patient> into hospital",
+        fired: false,
+    };
+    let during = session
+        .query_observed("//medication", &mut updater)
+        .unwrap();
+    assert!(updater.fired, "the update must have landed mid-query");
+    assert_eq!(
+        during.nodes, pre,
+        "the in-flight reader must finish on its pre-update snapshot"
+    );
+
+    let after = session.query("//medication").unwrap();
+    assert_eq!(after.len(), pre.len() + 1, "a fresh query sees the update");
+    assert!(
+        !after.plan_cached,
+        "the update invalidated this doc's plans"
+    );
+}
+
+#[test]
+fn mid_batch_readers_complete_on_exactly_one_snapshot() {
+    // A thread runs query_batch while the main thread applies an update.
+    // Whichever side wins the race, the batch must be answered entirely
+    // from ONE snapshot: all answers pre-update, or all post-update —
+    // never a torn mix — and a fresh batch afterwards is all-post.
+    let engine = Engine::with_defaults();
+    let doc = engine.open_document("big");
+    doc.load_dtd(hospital::DTD).unwrap();
+    let tree = {
+        let vocab = engine.vocabulary().clone();
+        hospital::generate_document(&vocab, 7, 20_000)
+    };
+    doc.load_document_tree(tree);
+    let queries = ["//medication", "//pname", "//patient"];
+    let statement = "insert <patient><pname>Raced</pname><visit><treatment>\
+                     <medication>autism</medication></treatment><date>d</date></visit>\
+                     </patient> into hospital";
+
+    let pre: Vec<Vec<NodeId>> = doc
+        .query_batch(&User::Admin, &queries)
+        .unwrap()
+        .answers
+        .into_iter()
+        .map(|a| a.nodes)
+        .collect();
+
+    let session = doc.session(User::Admin);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        tx.send(()).unwrap();
+        session.query_batch(&queries).unwrap()
+    });
+    rx.recv().unwrap();
+    doc.update(statement).unwrap();
+    let raced = reader.join().unwrap();
+
+    let post: Vec<Vec<NodeId>> = doc
+        .query_batch(&User::Admin, &queries)
+        .unwrap()
+        .answers
+        .into_iter()
+        .map(|a| a.nodes)
+        .collect();
+    for (p, q) in pre.iter().zip(&post) {
+        assert_eq!(
+            q.len(),
+            p.len() + 1,
+            "the inserted patient shifts every count"
+        );
+    }
+
+    let raced: Vec<Vec<NodeId>> = raced.answers.into_iter().map(|a| a.nodes).collect();
+    assert!(
+        raced == pre || raced == post,
+        "the racing batch mixed snapshots: {:?} answers",
+        raced.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn dropped_documents_plans_are_purged_eagerly_and_stay_out() {
+    // Regression (cache hygiene on drop): dropping a document must purge
+    // its plans immediately — counted as invalidations, not left to decay
+    // via capacity eviction — and a session still bound to the dropped
+    // entry must not repopulate the shared cache afterwards.
+    let engine = Engine::with_defaults();
+    let doc = hospital_doc(&engine, "h");
+    let session = doc.session(User::Admin);
+    session.query("//medication").unwrap();
+    session.query("//pname").unwrap();
+    let before = engine.cache_metrics();
+    assert_eq!(before.entries, 2, "two plans resident pre-drop");
+
+    assert!(engine.drop_document("h"));
+    let after = engine.cache_metrics();
+    assert_eq!(after.entries, 0, "drop must purge the plans eagerly");
+    assert_eq!(
+        after.invalidations,
+        before.invalidations + 2,
+        "purged plans count as invalidations"
+    );
+
+    // The surviving session still works, but compiles outside the cache.
+    let answer = session.query("//medication").unwrap();
+    assert!(!answer.is_empty());
+    assert!(!answer.plan_cached);
+    let repeat = session.query("//medication").unwrap();
+    assert!(
+        !repeat.plan_cached,
+        "a dropped entry must not regrow cache residency"
+    );
+    assert_eq!(engine.cache_metrics().entries, 0);
+}
+
 #[test]
 fn concurrent_sessions_work_across_documents_and_modes() {
     // DOM and stream engines, each serving two documents from 4 threads
