@@ -13,15 +13,22 @@
 //!   reachability and guard-free simulation helpers;
 //! * [`optimize`] — trimming + cross-arena garbage collection
 //!   ([`optimize::optimize`]), the "optimization techniques" the demo
-//!   toggles.
+//!   toggles;
+//! * [`compile`](mod@compile) — compiled evaluation plans
+//!   ([`CompiledMfa`]): per-plan ε-closure precompute, subset-construction
+//!   DFAs for the guard-free fragment, dense label-column transition
+//!   tables and hoisted required-label analysis. This is the form the HyPE
+//!   hot loop executes; the plan cache shares it engine-wide.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod build;
+pub mod compile;
 pub mod mfa;
 pub mod optimize;
 
 pub use build::{compile, compile_qualifier, Builder};
+pub use compile::CompiledMfa;
 pub use mfa::{EpsEdge, LabelTest, Mfa, MfaStats, Nfa, NfaId, Pred, PredId, StateId, Transition};

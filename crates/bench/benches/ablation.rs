@@ -1,13 +1,18 @@
 //! Ablations of SMOQE's design choices (DESIGN.md §3):
 //!
 //! * MFA optimizer on/off — effect of trimming/GC on rewritten automata;
+//! * compiled (dense-table) execution vs per-event NFA interpretation of
+//!   the same rewritten plans;
 //! * guard-free closure fast path exercised vs predicate-heavy queries;
-//! * compile+rewrite pipeline cost breakdown.
+//! * compile+rewrite pipeline cost breakdown (including table
+//!   compilation itself — the cost the plan cache amortizes away).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoqe_automata::compile::CompiledMfa;
 use smoqe_automata::{compile, optimize::optimize};
 use smoqe_bench::HospitalSetup;
-use smoqe_hype::evaluate_mfa;
+use smoqe_hype::dom::{evaluate_mfa_plan, DomOptions};
+use smoqe_hype::{ExecMode, NoopObserver};
 use smoqe_rewrite::rewrite;
 use smoqe_rxpath::parse_path;
 
@@ -32,12 +37,58 @@ fn bench_ablation(c: &mut Criterion) {
         let path = parse_path(q, &setup.vocab).unwrap();
         let raw = rewrite(&path, &setup.spec);
         let opt = optimize(&raw);
-        group.bench_with_input(BenchmarkId::new("eval_unoptimized", name), &raw, |b, m| {
-            b.iter(|| evaluate_mfa(&setup.doc, m))
-        });
-        group.bench_with_input(BenchmarkId::new("eval_optimized", name), &opt, |b, m| {
-            b.iter(|| evaluate_mfa(&setup.doc, m))
-        });
+        // Plans are precompiled outside the timed loops (as the engine's
+        // plan cache does) so each series isolates pure evaluation.
+        let raw_plan = CompiledMfa::compile(&raw);
+        let opt_plan = CompiledMfa::compile(&opt);
+        group.bench_with_input(
+            BenchmarkId::new("eval_unoptimized", name),
+            &raw_plan,
+            |b, p| {
+                b.iter(|| {
+                    evaluate_mfa_plan(
+                        &setup.doc,
+                        p,
+                        &DomOptions::default(),
+                        ExecMode::Compiled,
+                        &mut NoopObserver,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("eval_optimized", name),
+            &opt_plan,
+            |b, p| {
+                b.iter(|| {
+                    evaluate_mfa_plan(
+                        &setup.doc,
+                        p,
+                        &DomOptions::default(),
+                        ExecMode::Compiled,
+                        &mut NoopObserver,
+                    )
+                })
+            },
+        );
+        // Dense-table execution vs NFA interpretation of the same plan.
+        let plan = opt_plan;
+        for (id, mode) in [
+            ("eval_compiled", ExecMode::Compiled),
+            ("eval_interpreted", ExecMode::Interpreted),
+        ] {
+            group.bench_with_input(BenchmarkId::new(id, name), &plan, |b, p| {
+                b.iter(|| {
+                    evaluate_mfa_plan(
+                        &setup.doc,
+                        p,
+                        &DomOptions::default(),
+                        mode,
+                        &mut NoopObserver,
+                    )
+                })
+            });
+        }
     }
 
     // Pipeline costs: parse, compile, rewrite, optimize.
@@ -53,6 +104,10 @@ fn bench_ablation(c: &mut Criterion) {
     });
     let rewritten = rewrite(&view_q, &setup.spec);
     group.bench_function("optimize_rewritten", |b| b.iter(|| optimize(&rewritten)));
+    let optimized = optimize(&rewritten);
+    group.bench_function("compile_tables_rewritten", |b| {
+        b.iter(|| CompiledMfa::compile(&optimized))
+    });
     group.finish();
 }
 

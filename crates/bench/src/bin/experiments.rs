@@ -5,14 +5,17 @@
 //! cargo run --release -p smoqe-bench --bin experiments            # all
 //! cargo run --release -p smoqe-bench --bin experiments -- e3 e5   # subset
 //! cargo run --release -p smoqe-bench --bin experiments -- quick   # small sizes
+//! cargo run --release -p smoqe-bench --bin experiments -- bench   # BENCH.json
 //! ```
 
 use smoqe::workloads::hospital;
+use smoqe_automata::compile::CompiledMfa;
 use smoqe_automata::{compile, optimize::optimize};
 use smoqe_bench::{fmt_duration, time, time_mean, HospitalSetup, OrgSetup, Table};
-use smoqe_hype::dom::{evaluate_mfa_with, DomOptions};
-use smoqe_hype::stream::{evaluate_stream, StreamOptions};
-use smoqe_hype::{evaluate_mfa, evaluate_mfa_twopass_report, NoopObserver};
+use smoqe_hype::batch::evaluate_batch_stream_plans;
+use smoqe_hype::dom::{evaluate_mfa_plan, evaluate_mfa_with, DomOptions};
+use smoqe_hype::stream::{evaluate_stream, evaluate_stream_plan_with, StreamOptions};
+use smoqe_hype::{evaluate_mfa, evaluate_mfa_twopass_report, ExecMode, NoopObserver};
 use smoqe_rewrite::{rewrite, rewrite_direct};
 use smoqe_rxpath::{evaluate as naive_evaluate, parse_path};
 use smoqe_tax::TaxIndex;
@@ -25,7 +28,7 @@ fn main() {
     let selected: Vec<&str> = args
         .iter()
         .map(String::as_str)
-        .filter(|a| a.starts_with('e'))
+        .filter(|a| a.starts_with('e') || *a == "bench")
         .collect();
     let run = |name: &str| selected.is_empty() || selected.contains(&name);
 
@@ -51,6 +54,11 @@ fn main() {
     }
     if run("e7") {
         e7();
+    }
+    // The machine-readable perf trajectory is only written on request:
+    // `experiments -- bench [quick]`.
+    if selected.contains(&"bench") {
+        bench_json(quick);
     }
 }
 
@@ -357,6 +365,127 @@ fn e6(quick: bool) {
         ]);
     }
     println!("{}", t2.render());
+}
+
+/// `bench`: the machine-readable perf trajectory.
+///
+/// Writes `BENCH.json` in the current directory so successive PRs have a
+/// comparable baseline: document size, stream throughput (serial vs
+/// batched × compiled vs interpreted), DOM per-query latency, plan
+/// (table) compilation time, and incremental TAX patch vs rebuild time.
+/// Formatting is by hand — the workspace is offline and carries no serde.
+fn bench_json(quick: bool) {
+    println!("## bench  machine-readable perf trajectory (BENCH.json)\n");
+    let target_nodes = if quick { 5_000 } else { 30_000 };
+    let iters = if quick { 3 } else { 10 };
+    let vocab = Vocabulary::new();
+    hospital::dtd(&vocab);
+    let doc = hospital::generate_document(&vocab, 17, target_nodes);
+    let xml = doc.to_xml();
+
+    // The serving batch: 16 plans cycling the document workload.
+    let plans: Vec<CompiledMfa> = (0..16)
+        .map(|i| {
+            let (_, q) = hospital::DOC_QUERIES[i % hospital::DOC_QUERIES.len()];
+            let path = parse_path(q, &vocab).unwrap();
+            CompiledMfa::compile(&optimize(&compile(&path, &vocab)))
+        })
+        .collect();
+    let run_serial = |mode: ExecMode| {
+        for plan in &plans {
+            evaluate_stream_plan_with(
+                xml.as_bytes(),
+                plan,
+                &vocab,
+                StreamOptions::default(),
+                mode,
+                &mut NoopObserver,
+            )
+            .unwrap();
+        }
+    };
+    let each: Vec<(&CompiledMfa, StreamOptions)> = plans
+        .iter()
+        .map(|p| (p, StreamOptions::default()))
+        .collect();
+    let run_batched = |mode: ExecMode| {
+        evaluate_batch_stream_plans(xml.as_bytes(), &each, &vocab, mode).unwrap();
+    };
+    // Queries/second = plans per wall-clock second of the whole batch.
+    let qps = |d: std::time::Duration| plans.len() as f64 / d.as_secs_f64();
+    let serial_compiled = qps(time_mean(iters, || run_serial(ExecMode::Compiled)));
+    let serial_interpreted = qps(time_mean(iters, || run_serial(ExecMode::Interpreted)));
+    let batched_compiled = qps(time_mean(iters, || run_batched(ExecMode::Compiled)));
+    let batched_interpreted = qps(time_mean(iters, || run_batched(ExecMode::Interpreted)));
+
+    // DOM per-query latency over the document workload (mean of means).
+    let dom_latency = |mode: ExecMode| {
+        let total: f64 = plans
+            .iter()
+            .map(|plan| {
+                time_mean(iters, || {
+                    evaluate_mfa_plan(&doc, plan, &DomOptions::default(), mode, &mut NoopObserver)
+                })
+                .as_secs_f64()
+            })
+            .sum();
+        total / plans.len() as f64 * 1e6 // µs
+    };
+    let dom_compiled_us = dom_latency(ExecMode::Compiled);
+    let dom_interpreted_us = dom_latency(ExecMode::Interpreted);
+
+    // Plan-table compilation cost (what the plan cache amortizes).
+    let q0 = parse_path(hospital::Q0, &vocab).unwrap();
+    let m0 = optimize(&compile(&q0, &vocab));
+    let compile_us = time_mean(iters.max(10), || CompiledMfa::compile(&m0)).as_secs_f64() * 1e6;
+
+    // Incremental index maintenance vs rebuild on one edit.
+    let tax = TaxIndex::build(&doc);
+    let fragment = Document::parse_str(
+        "<patient><pname>Frag</pname><visit><treatment><test>blood</test></treatment>\
+         <date>2006-01-01</date></visit></patient>",
+        &vocab,
+    )
+    .unwrap();
+    let (new_doc, span) =
+        smoqe_xml::insert_fragment(&doc, doc.root(), smoqe_xml::SplicePlace::Into, &fragment)
+            .unwrap();
+    let patch_us = time_mean(iters, || tax.patched(&new_doc, &span)).as_secs_f64() * 1e6;
+    let rebuild_us = time_mean(iters, || TaxIndex::build(&new_doc)).as_secs_f64() * 1e6;
+
+    let json = format!(
+        "{{\n\
+         \x20 \"schema\": 1,\n\
+         \x20 \"workload\": {{\n\
+         \x20   \"document\": \"hospital\",\n\
+         \x20   \"nodes\": {nodes},\n\
+         \x20   \"xml_bytes\": {bytes},\n\
+         \x20   \"batch_plans\": {nplans},\n\
+         \x20   \"quick\": {quick}\n\
+         \x20 }},\n\
+         \x20 \"stream_queries_per_sec\": {{\n\
+         \x20   \"serial_compiled\": {serial_compiled:.1},\n\
+         \x20   \"serial_interpreted\": {serial_interpreted:.1},\n\
+         \x20   \"batched_compiled\": {batched_compiled:.1},\n\
+         \x20   \"batched_interpreted\": {batched_interpreted:.1}\n\
+         \x20 }},\n\
+         \x20 \"dom_query_latency_us\": {{\n\
+         \x20   \"compiled\": {dom_compiled_us:.2},\n\
+         \x20   \"interpreted\": {dom_interpreted_us:.2}\n\
+         \x20 }},\n\
+         \x20 \"plan_table_compile_us\": {compile_us:.2},\n\
+         \x20 \"tax_index_patch_us\": {{\n\
+         \x20   \"incremental\": {patch_us:.2},\n\
+         \x20   \"full_rebuild\": {rebuild_us:.2}\n\
+         \x20 }}\n\
+         }}\n",
+        nodes = doc.node_count(),
+        bytes = xml.len(),
+        nplans = plans.len(),
+    );
+    std::fs::write("BENCH.json", &json).expect("write BENCH.json");
+    println!("{json}");
+    println!("wrote BENCH.json");
 }
 
 /// E7 (Figs. 4(b), 5, 6): the visual artifacts, in text form.

@@ -21,6 +21,11 @@ pub struct EngineConfig {
     pub use_tax: bool,
     /// Run the MFA optimizer on compiled/rewritten queries.
     pub optimize_mfa: bool,
+    /// Execute plans through their dense-table compiled form (DFA fast
+    /// path, CSR rows, epoch arenas). Off = the per-event NFA interpreter,
+    /// kept for differential testing and the `ablation` bench; answers are
+    /// identical either way.
+    pub compiled_plans: bool,
     /// Maximum number of compiled plans memoized engine-wide (0 disables
     /// the plan cache entirely).
     pub plan_cache_capacity: usize,
@@ -32,6 +37,7 @@ impl Default for EngineConfig {
             mode: DocumentMode::Dom,
             use_tax: true,
             optimize_mfa: true,
+            compiled_plans: true,
             plan_cache_capacity: 1024,
         }
     }
@@ -44,6 +50,7 @@ impl EngineConfig {
             mode: DocumentMode::Dom,
             use_tax: false,
             optimize_mfa: false,
+            compiled_plans: false,
             plan_cache_capacity: 0,
         }
     }
@@ -69,10 +76,13 @@ mod tests {
         assert_eq!(c.mode, DocumentMode::Dom);
         assert!(c.use_tax);
         assert!(c.optimize_mfa);
+        assert!(c.compiled_plans);
         assert!(c.plan_cache_capacity > 0);
         assert!(!EngineConfig::plain().use_tax);
+        assert!(!EngineConfig::plain().compiled_plans);
         assert_eq!(EngineConfig::plain().plan_cache_capacity, 0);
         assert_eq!(EngineConfig::streaming().mode, DocumentMode::Stream);
+        assert!(EngineConfig::streaming().compiled_plans);
         assert!(EngineConfig::streaming().plan_cache_capacity > 0);
     }
 }

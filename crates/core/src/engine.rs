@@ -19,11 +19,12 @@ use crate::catalog::{Catalog, DocHandle, DocumentEntry, LoadedSource, ViewSlot};
 use crate::config::{DocumentMode, EngineConfig};
 use crate::error::EngineError;
 use crate::plancache::{CacheMetrics, PlanCache, PlanKey};
+use smoqe_automata::compile::CompiledMfa;
 use smoqe_automata::{compile, optimize::optimize, Mfa};
-use smoqe_hype::batch::evaluate_batch_stream_each;
-use smoqe_hype::dom::{evaluate_mfa_with, DomOptions};
-use smoqe_hype::stream::{evaluate_stream_with, StreamOptions};
-use smoqe_hype::{EvalObserver, EvalStats, NoopObserver};
+use smoqe_hype::batch::evaluate_batch_stream_plans;
+use smoqe_hype::dom::{evaluate_mfa_plan, DomOptions};
+use smoqe_hype::stream::{evaluate_stream_plan_with, StreamOptions};
+use smoqe_hype::{EvalObserver, EvalStats, ExecMode, NoopObserver};
 use smoqe_rxpath::parse_path;
 use smoqe_tax::TaxIndex;
 use smoqe_update::{parse_update, UpdateError};
@@ -333,6 +334,15 @@ impl Engine {
         self.plan_on(&self.default_entry(), user, query)
     }
 
+    /// The execution mode evaluation paths run plans in.
+    fn exec_mode(&self) -> ExecMode {
+        if self.config.compiled_plans {
+            ExecMode::Compiled
+        } else {
+            ExecMode::Interpreted
+        }
+    }
+
     /// Materializes the view of `group` over the default document — only
     /// used by tests and the E6 baseline; production queries never
     /// materialize.
@@ -513,7 +523,7 @@ impl Engine {
         user: &User,
         query: &str,
     ) -> Result<Arc<Mfa>, EngineError> {
-        Ok(self.plan_tracked(entry, user, query)?.0)
+        Ok(self.plan_tracked(entry, user, query)?.0.mfa_arc().clone())
     }
 
     /// Like [`Engine::plan_on`], also reporting whether the plan was a
@@ -523,7 +533,7 @@ impl Engine {
         entry: &Arc<DocumentEntry>,
         user: &User,
         query: &str,
-    ) -> Result<(Arc<Mfa>, bool), EngineError> {
+    ) -> Result<(Arc<CompiledMfa>, bool), EngineError> {
         // Resolve the view first: an unknown group must error even for
         // queries that were cached for other principals.
         let (spec, view_generation) = match user {
@@ -561,6 +571,10 @@ impl Engine {
         } else {
             mfa
         });
+        // Table compilation (ε-closures, subset DFAs, CSR rows, required
+        // labels) happens exactly once per cached plan; every evaluation
+        // of the plan — any session, batch lane or thread — reuses it.
+        let mfa = Arc::new(CompiledMfa::from_arc(mfa));
         if cacheable {
             self.plans.insert(key, mfa.clone(), doc_generation);
             // A concurrent drop_document may have marked the entry and
@@ -747,7 +761,7 @@ impl Engine {
     pub(crate) fn evaluate_batch_parts(
         &self,
         entry: &Arc<DocumentEntry>,
-        parts: &[(User, Arc<Mfa>, bool)],
+        parts: &[(User, Arc<CompiledMfa>, bool)],
     ) -> Result<BatchAnswer, EngineError> {
         if parts.is_empty() {
             return Ok(BatchAnswer {
@@ -764,18 +778,19 @@ impl Engine {
         // descendants and be discarded anyway). Node ids are
         // mode-independent by the parity invariant, so DOM-mode engines
         // get identical answers.
-        let plans: Vec<(&Mfa, StreamOptions)> = parts
+        let plans: Vec<(&CompiledMfa, StreamOptions)> = parts
             .iter()
             .map(|(user, mfa, _)| {
                 let want_xml = matches!(user, User::Admin);
                 (mfa.as_ref(), StreamOptions { want_xml })
             })
             .collect();
+        let mode = self.exec_mode();
         let outcome = if let Some(path) = &source.path {
             let file = std::fs::File::open(path).map_err(smoqe_xml::XmlError::Io)?;
-            evaluate_batch_stream_each(std::io::BufReader::new(file), &plans, &self.vocab)?
+            evaluate_batch_stream_plans(std::io::BufReader::new(file), &plans, &self.vocab, mode)?
         } else if let Some(raw) = &source.raw {
-            evaluate_batch_stream_each(raw.as_bytes(), &plans, &self.vocab)?
+            evaluate_batch_stream_plans(raw.as_bytes(), &plans, &self.vocab, mode)?
         } else {
             return Err(EngineError::NoStreamSource);
         };
@@ -796,14 +811,16 @@ impl Engine {
         Ok(BatchAnswer { answers, events })
     }
 
-    /// Evaluates `mfa` against one consistent source snapshot (document +
-    /// its TAX index travel together inside the `LoadedSource`).
+    /// Evaluates a compiled plan against one consistent source snapshot
+    /// (document + its TAX index travel together inside the
+    /// `LoadedSource`).
     pub(crate) fn evaluate_snapshot(
         &self,
         source: &LoadedSource,
-        mfa: &Mfa,
+        plan: &CompiledMfa,
         observer: &mut dyn EvalObserver,
     ) -> Result<Answer, EngineError> {
+        let mode = self.exec_mode();
         match self.config.mode {
             DocumentMode::Dom => {
                 let tax = if self.config.use_tax {
@@ -812,7 +829,7 @@ impl Engine {
                     None
                 };
                 let options = DomOptions { tax };
-                let (nodes, stats) = evaluate_mfa_with(&source.doc, mfa, &options, observer);
+                let (nodes, stats) = evaluate_mfa_plan(&source.doc, plan, &options, mode, observer);
                 Ok(Answer {
                     nodes: nodes.into_vec(),
                     stats,
@@ -824,15 +841,23 @@ impl Engine {
                 let options = StreamOptions { want_xml: true };
                 let outcome = if let Some(path) = &source.path {
                     let file = std::fs::File::open(path).map_err(smoqe_xml::XmlError::Io)?;
-                    evaluate_stream_with(
+                    evaluate_stream_plan_with(
                         std::io::BufReader::new(file),
-                        mfa,
+                        plan,
                         &self.vocab,
                         options,
+                        mode,
                         observer,
                     )?
                 } else if let Some(raw) = &source.raw {
-                    evaluate_stream_with(raw.as_bytes(), mfa, &self.vocab, options, observer)?
+                    evaluate_stream_plan_with(
+                        raw.as_bytes(),
+                        plan,
+                        &self.vocab,
+                        options,
+                        mode,
+                        observer,
+                    )?
                 } else {
                     return Err(EngineError::NoStreamSource);
                 };

@@ -5,7 +5,11 @@
 //! query text, the view spec (or admin scope), and the optimizer flag.
 //! SMOQE's serving scenario (many users of a few groups issuing similar
 //! queries) therefore repeats identical planning work constantly. This
-//! cache memoizes `Arc<Mfa>` plans engine-wide, keyed by document + view
+//! cache memoizes `Arc<CompiledMfa>` plans engine-wide (the dense-table
+//! executable form — compiling the tables once here is what amortizes the
+//! ε-closure/subset-construction/required-label analyses across every
+//! session, batch lane and thread that runs the plan), keyed by document +
+//! view
 //! **generation counters** so that replacing a document, its DTD or a view
 //! invalidates exactly the affected entries — a stale generation simply
 //! never matches again, no lock coordination with the catalog required.
@@ -19,7 +23,7 @@
 
 use crate::engine::User;
 use crate::sync::RwLock;
-use smoqe_automata::Mfa;
+use smoqe_automata::compile::CompiledMfa;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -96,7 +100,7 @@ impl CacheMetrics {
 /// (evictions pop both; invalidations retain both).
 #[derive(Default)]
 struct CacheInner {
-    plans: HashMap<PlanKey, Arc<Mfa>>,
+    plans: HashMap<PlanKey, Arc<CompiledMfa>>,
     /// Keys in insertion order, oldest at the front.
     order: VecDeque<PlanKey>,
 }
@@ -137,7 +141,7 @@ impl PlanCache {
     }
 
     /// Looks up `key`, counting a hit or a miss.
-    pub(crate) fn get(&self, key: &PlanKey) -> Option<Arc<Mfa>> {
+    pub(crate) fn get(&self, key: &PlanKey) -> Option<Arc<CompiledMfa>> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -160,7 +164,7 @@ impl PlanCache {
     /// still full, **live plans are evicted oldest-first** (counted
     /// separately as evictions) until the new plan fits. Live plans of
     /// unrelated documents are never flushed wholesale.
-    pub(crate) fn insert(&self, key: PlanKey, plan: Arc<Mfa>, live_generation: u64) {
+    pub(crate) fn insert(&self, key: PlanKey, plan: Arc<CompiledMfa>, live_generation: u64) {
         if self.capacity == 0 {
             return;
         }
@@ -224,10 +228,12 @@ mod tests {
     use smoqe_rxpath::parse_path;
     use smoqe_xml::Vocabulary;
 
-    fn plan_for(query: &str) -> Arc<Mfa> {
+    fn plan_for(query: &str) -> Arc<CompiledMfa> {
         let vocab = Vocabulary::new();
         let path = parse_path(query, &vocab).unwrap();
-        Arc::new(smoqe_automata::compile(&path, &vocab))
+        Arc::new(CompiledMfa::compile(&smoqe_automata::compile(
+            &path, &vocab,
+        )))
     }
 
     fn key(doc: &str, doc_gen: u64, query: &str) -> PlanKey {

@@ -17,12 +17,13 @@
 //! parity guarantees against DOM mode, e.g. coalescing of character data
 //! split across CDATA/entity boundaries).
 
-use crate::machine::Machine;
+use crate::machine::{ExecMode, Machine};
 use crate::observer::{EvalObserver, NoopObserver};
 use crate::stream::{StreamOptions, StreamOutcome};
+use smoqe_automata::compile::CompiledMfa;
 use smoqe_automata::Mfa;
 use smoqe_xml::serialize::XmlWriter;
-use smoqe_xml::stax::{PullParser, XmlEvent};
+use smoqe_xml::stax::{PullParser, RawEvent};
 use smoqe_xml::{Attribute, Label, Vocabulary, XmlError};
 use std::collections::HashMap;
 use std::io::BufRead;
@@ -59,9 +60,9 @@ struct Lane<'a> {
 }
 
 impl<'a> Lane<'a> {
-    fn new(mfa: &'a Mfa, options: StreamOptions) -> Self {
+    fn new(plan: &'a CompiledMfa, options: StreamOptions, mode: ExecMode) -> Self {
         Lane {
-            machine: Machine::new(mfa, None),
+            machine: Machine::with_mode(plan, None, mode),
             options,
             skip_from: None,
             recorders: Vec::new(),
@@ -189,7 +190,8 @@ impl<'a> Lane<'a> {
 }
 
 /// Evaluates all `plans` over the XML text arriving from `reader` in one
-/// sequential scan.
+/// sequential scan (compiling each plan on the fly; the engine paths use
+/// [`evaluate_batch_stream_plans`] with cached compiled plans).
 pub fn evaluate_batch_stream<R: BufRead>(
     reader: R,
     plans: &[&Mfa],
@@ -222,14 +224,19 @@ pub fn evaluate_batch_stream_each<R: BufRead>(
     plans: &[(&Mfa, StreamOptions)],
     vocab: &Vocabulary,
 ) -> Result<BatchOutcome, XmlError> {
+    let compiled: Vec<CompiledMfa> = plans
+        .iter()
+        .map(|&(mfa, _)| CompiledMfa::compile(mfa))
+        .collect();
     let mut observers: Vec<NoopObserver> = plans.iter().map(|_| NoopObserver).collect();
     let mut dyns: Vec<&mut dyn EvalObserver> = observers
         .iter_mut()
         .map(|o| o as &mut dyn EvalObserver)
         .collect();
-    let lanes = plans
+    let lanes = compiled
         .iter()
-        .map(|&(mfa, options)| Lane::new(mfa, options))
+        .zip(plans)
+        .map(|(plan, &(_, options))| Lane::new(plan, options, ExecMode::Compiled))
         .collect();
     run_batch(reader, lanes, vocab, &mut dyns)
 }
@@ -245,7 +252,47 @@ pub fn evaluate_batch_stream_with<R: BufRead>(
     options: StreamOptions,
     observers: &mut [&mut dyn EvalObserver],
 ) -> Result<BatchOutcome, XmlError> {
-    let lanes = plans.iter().map(|mfa| Lane::new(mfa, options)).collect();
+    let compiled: Vec<CompiledMfa> = plans.iter().map(|&mfa| CompiledMfa::compile(mfa)).collect();
+    let lanes = compiled
+        .iter()
+        .map(|plan| Lane::new(plan, options, ExecMode::Compiled))
+        .collect();
+    run_batch(reader, lanes, vocab, observers)
+}
+
+/// Precompiled-plan variant — what the engine's batch path calls: plans
+/// come straight from the shared plan cache, so no per-request analysis
+/// or table construction happens here. `mode` selects the dense-table
+/// executor or the per-event interpreter for every lane.
+pub fn evaluate_batch_stream_plans<R: BufRead>(
+    reader: R,
+    plans: &[(&CompiledMfa, StreamOptions)],
+    vocab: &Vocabulary,
+    mode: ExecMode,
+) -> Result<BatchOutcome, XmlError> {
+    let mut observers: Vec<NoopObserver> = plans.iter().map(|_| NoopObserver).collect();
+    let mut dyns: Vec<&mut dyn EvalObserver> = observers
+        .iter_mut()
+        .map(|o| o as &mut dyn EvalObserver)
+        .collect();
+    evaluate_batch_stream_plans_with(reader, plans, vocab, mode, &mut dyns)
+}
+
+/// Precompiled-plan variant with one observer per plan.
+///
+/// # Panics
+/// Panics if `observers.len() != plans.len()`.
+pub fn evaluate_batch_stream_plans_with<R: BufRead>(
+    reader: R,
+    plans: &[(&CompiledMfa, StreamOptions)],
+    vocab: &Vocabulary,
+    mode: ExecMode,
+    observers: &mut [&mut dyn EvalObserver],
+) -> Result<BatchOutcome, XmlError> {
+    let lanes = plans
+        .iter()
+        .map(|&(plan, options)| Lane::new(plan, options, mode))
+        .collect();
     run_batch(reader, lanes, vocab, observers)
 }
 
@@ -276,10 +323,12 @@ fn run_batch<R: BufRead>(
     let mut in_text_run = false;
 
     loop {
-        let event = parser.next_event()?;
+        // Borrowed events: the parser reuses its scratch buffers, so the
+        // whole scan performs no per-event allocation.
+        let event = parser.next_raw()?;
         events += 1;
         match event {
-            XmlEvent::StartElement { name, attributes } => {
+            RawEvent::StartElement { name, attributes } => {
                 in_text_run = false;
                 let node = next_id;
                 next_id += 1;
@@ -288,31 +337,31 @@ fn run_batch<R: BufRead>(
                 // a subtree every lane is skipping, no automaton needs the
                 // label, so keep the skip path lock-free.
                 let label = if lanes.iter().any(|l| l.skip_from.is_none()) {
-                    Some(vocab.intern(&name))
+                    Some(vocab.intern(name))
                 } else {
                     None
                 };
                 for (lane, obs) in lanes.iter_mut().zip(observers.iter_mut()) {
-                    lane.on_start(&name, &attributes, label, node, depth, &mut **obs)?;
+                    lane.on_start(name, attributes, label, node, depth, &mut **obs)?;
                 }
             }
-            XmlEvent::Text(t) => {
+            RawEvent::Text(t) => {
                 if !in_text_run {
                     next_id += 1; // text nodes occupy an id, like in DOM mode
                     in_text_run = true;
                 }
                 for lane in lanes.iter_mut() {
-                    lane.on_text(&t)?;
+                    lane.on_text(t)?;
                 }
             }
-            XmlEvent::EndElement { .. } => {
+            RawEvent::EndElement { .. } => {
                 in_text_run = false;
                 for (lane, obs) in lanes.iter_mut().zip(observers.iter_mut()) {
                     lane.on_end(depth, &mut **obs)?;
                 }
                 depth -= 1;
             }
-            XmlEvent::EndDocument => break,
+            RawEvent::EndDocument => break,
         }
     }
     let mut outcomes = Vec::with_capacity(lanes.len());

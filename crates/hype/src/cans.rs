@@ -107,6 +107,17 @@ impl FormulaArena {
         }
     }
 
+    /// Disjunction of an already-sorted, deduplicated id slice — the
+    /// allocation-free counterpart of [`FormulaArena::or_tags`] used by the
+    /// compiled evaluator's dense closure builder.
+    pub fn or_sorted(&mut self, parts: &[FId]) -> Option<Tag> {
+        match parts.len() {
+            0 => None,
+            1 => Some(Tag::Formula(parts[0])),
+            _ => Some(Tag::Formula(self.push(FNode::Or(parts.to_vec())))),
+        }
+    }
+
     /// Evaluates `tag` under the given instance truths. Returns `None` if
     /// the tag references an unresolved instance (used to defer instance
     /// finalization until dependencies settle).

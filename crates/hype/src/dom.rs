@@ -6,13 +6,15 @@
 //! — when a TAX index is supplied — when the index proves that no required
 //! label occurs below (paper §3, "Indexer").
 
-use crate::machine::{Machine, Preview, VIRTUAL_NODE};
+use crate::machine::{ExecMode, Machine, Preview, VIRTUAL_NODE};
 use crate::observer::{EvalObserver, NoopObserver, PruneReason};
 use crate::stats::EvalStats;
+use smoqe_automata::compile::CompiledMfa;
 use smoqe_automata::Mfa;
 use smoqe_rxpath::NodeSet;
 use smoqe_tax::TaxIndex;
 use smoqe_xml::{Document, NodeId};
+use std::borrow::Cow;
 
 /// Options for DOM evaluation.
 #[derive(Default)]
@@ -21,7 +23,8 @@ pub struct DomOptions<'t> {
     pub tax: Option<&'t TaxIndex>,
 }
 
-/// Evaluates `mfa` over `doc` with default options.
+/// Evaluates `mfa` over `doc` with default options (compiling the plan on
+/// the fly; hot paths should precompile and use [`evaluate_mfa_plan`]).
 pub fn evaluate_mfa(doc: &Document, mfa: &Mfa) -> (NodeSet, EvalStats) {
     evaluate_mfa_with(doc, mfa, &DomOptions::default(), &mut NoopObserver)
 }
@@ -33,20 +36,34 @@ pub fn evaluate_mfa_with(
     options: &DomOptions<'_>,
     observer: &mut dyn EvalObserver,
 ) -> (NodeSet, EvalStats) {
+    let plan = CompiledMfa::compile(mfa);
+    evaluate_mfa_plan(doc, &plan, options, ExecMode::Compiled, observer)
+}
+
+/// Evaluates a precompiled plan over `doc` — the engine's DOM path. The
+/// plan is compiled once (and cached engine-wide); `mode` selects the
+/// dense-table executor or the per-event interpreter.
+pub fn evaluate_mfa_plan(
+    doc: &Document,
+    plan: &CompiledMfa,
+    options: &DomOptions<'_>,
+    mode: ExecMode,
+    observer: &mut dyn EvalObserver,
+) -> (NodeSet, EvalStats) {
     debug_assert!(
-        doc.vocabulary().same_as(mfa.vocabulary()),
+        doc.vocabulary().same_as(plan.mfa().vocabulary()),
         "document and query must share a vocabulary"
     );
     // `text() = 'c'` compares the node's direct text; the virtual
     // document node has none.
-    let resolver = |n: u32| {
+    let resolver = |n: u32| -> Cow<'_, str> {
         if n == VIRTUAL_NODE {
-            String::new()
+            Cow::Borrowed("")
         } else {
-            doc.direct_text(NodeId(n))
+            doc.direct_text_cow(NodeId(n))
         }
     };
-    let mut machine = Machine::new(mfa, Some(&resolver));
+    let mut machine = Machine::with_mode(plan, Some(&resolver), mode);
     machine.begin(observer);
 
     // Explicit stack: (node, entered?).

@@ -30,11 +30,15 @@ pub mod stream;
 pub mod twopass;
 
 pub use batch::{
-    evaluate_batch_stream, evaluate_batch_stream_each, evaluate_batch_stream_str,
-    evaluate_batch_stream_with, BatchOutcome,
+    evaluate_batch_stream, evaluate_batch_stream_each, evaluate_batch_stream_plans,
+    evaluate_batch_stream_plans_with, evaluate_batch_stream_str, evaluate_batch_stream_with,
+    BatchOutcome,
 };
-pub use dom::{evaluate_mfa, evaluate_mfa_with, DomOptions};
+pub use dom::{evaluate_mfa, evaluate_mfa_plan, evaluate_mfa_with, DomOptions};
+pub use machine::ExecMode;
 pub use observer::{EvalObserver, NoopObserver, PruneReason};
 pub use stats::EvalStats;
-pub use stream::{evaluate_stream, evaluate_stream_str, StreamOptions, StreamOutcome};
+pub use stream::{
+    evaluate_stream, evaluate_stream_plan_with, evaluate_stream_str, StreamOptions, StreamOutcome,
+};
 pub use twopass::{evaluate_mfa_twopass, evaluate_mfa_twopass_report, TwoPassReport};

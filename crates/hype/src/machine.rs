@@ -10,13 +10,31 @@
 //! accumulation) and whether subtrees can be skipped (random access vs.
 //! sequential scan).
 //!
+//! ## Compiled vs. interpreted execution
+//!
+//! The machine executes a [`CompiledMfa`] — the dense-table form of the
+//! plan (see `smoqe_automata::compile`) — in one of two modes:
+//!
+//! * [`ExecMode::Compiled`] (the default): guard-free NFAs run as
+//!   subset-construction **DFAs** — one `u32` per open tree level, one
+//!   dense-row lookup per event. Guarded NFAs step through precomputed
+//!   CSR rows instead of scanning transition lists, the per-node predicate
+//!   spawn cache is an epoch-marked array (no hashing), and the guard-aware
+//!   closure uses a dense epoch-marked builder. Nothing in the per-event
+//!   path touches a `HashMap` or allocates beyond pooled scratch.
+//! * [`ExecMode::Interpreted`]: the original per-event NFA interpretation
+//!   (linear transition scans, map-based closure builder). Kept for
+//!   differential testing and the `ablation` bench; answers and skip
+//!   decisions are identical by construction.
+//!
 //! ## Runs, tags and instances
 //!
 //! * A **run** is a live simulation of one NFA: the selection NFA (the
 //!   "top" run, alive for the whole traversal) or a `HasPath` predicate
 //!   automaton rooted at the node that instantiated it. A run maintains a
 //!   stack of *active sets*, one per open tree level: pairs of
-//!   `(state, validity tag)`.
+//!   `(state, validity tag)` — or, for DFA-kind NFAs, a single dense state
+//!   id per level.
 //! * A **validity tag** ([`Tag`]) says under which predicate instances the
 //!   state assignment is valid. Guard-free regions keep the constant
 //!   `True` and allocate nothing.
@@ -27,16 +45,33 @@
 //!   resolves no later than when the traversal leaves its origin node, so
 //!   the final Cans pass sees only resolved instances.
 
-use crate::cans::{Cans, FormulaArena, InstId, Tag};
+use crate::cans::{Cans, FId, FormulaArena, InstId, Tag};
 use crate::observer::EvalObserver;
 use crate::stats::EvalStats;
-use smoqe_automata::analysis::{required_labels, Requirement};
+use smoqe_automata::compile::{CompiledMfa, DEAD};
 use smoqe_automata::{Mfa, NfaId, Pred, PredId, StateId};
 use smoqe_xml::{Label, LabelSet};
+use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
 
 /// Sentinel node id for the virtual document node above the root.
 pub const VIRTUAL_NODE: u32 = u32::MAX;
+
+/// How the machine executes its plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Dense-table execution (DFA fast path, CSR rows, epoch arenas).
+    #[default]
+    Compiled,
+    /// Per-event NFA interpretation (the pre-compilation evaluator),
+    /// retained for differential testing and ablation benchmarks.
+    Interpreted,
+}
+
+/// Eager `text()='c'` resolution callback (DOM mode). Returning
+/// [`Cow::Borrowed`] for the common single-text-child case keeps the
+/// per-check path allocation-free.
+pub type TextResolver<'a> = dyn Fn(u32) -> Cow<'a, str> + 'a;
 
 /// How far a child's label lets the automata advance (pre-enter check used
 /// for subtree skipping).
@@ -90,9 +125,26 @@ struct Instance {
 
 type RunId = usize;
 
-/// `(state, validity)` pairs; states unique, sorted by construction order
-/// of the closure (not necessarily by id — lookups scan, sets are small).
+/// `(state, validity)` pairs; states unique, sorted by id (lookups scan,
+/// sets are small).
 type ActiveSet = Vec<(StateId, Tag)>;
+
+/// Per-run stack of active levels: dense DFA states for guard-free NFAs
+/// in compiled mode, tagged state sets otherwise.
+#[derive(Debug)]
+enum RunStack {
+    Dfa(Vec<u32>),
+    Sets(Vec<ActiveSet>),
+}
+
+impl RunStack {
+    fn clear(&mut self) {
+        match self {
+            RunStack::Dfa(v) => v.clear(),
+            RunStack::Sets(v) => v.clear(),
+        }
+    }
+}
 
 #[derive(Debug)]
 struct Run {
@@ -100,7 +152,7 @@ struct Run {
     /// Owning instance; `None` for the top (selection) run.
     inst: Option<InstId>,
     dead: bool,
-    stack: Vec<ActiveSet>,
+    stack: RunStack,
 }
 
 struct Frame {
@@ -115,19 +167,78 @@ struct Frame {
     live: Vec<RunId>,
 }
 
+/// Epoch-marked dense builder for the guard-aware closure (compiled mode).
+/// One builder per closure invocation; recursive `HasPath` spawns take a
+/// fresh builder from the machine's pool, so arrays are never shared
+/// across nesting levels.
+#[derive(Default)]
+struct ClosureBuilder {
+    /// Epoch per state; entries from older epochs are logically absent.
+    mark: Vec<u32>,
+    epoch: u32,
+    known_true: Vec<bool>,
+    /// Sorted, deduplicated formula parts per state.
+    parts: Vec<Vec<FId>>,
+    /// States touched this epoch (each exactly once).
+    touched: Vec<StateId>,
+    work: Vec<StateId>,
+}
+
+impl ClosureBuilder {
+    fn begin(&mut self, states: usize) {
+        if self.mark.len() < states {
+            self.mark.resize(states, 0);
+            self.known_true.resize(states, false);
+            self.parts.resize_with(states, Vec::new);
+        }
+        self.epoch += 1;
+        self.touched.clear();
+        self.work.clear();
+    }
+
+    /// Merges `tag` into state `s`, returning whether anything changed.
+    fn merge(&mut self, s: StateId, tag: Tag) -> bool {
+        let i = s.index();
+        if self.mark[i] != self.epoch {
+            self.mark[i] = self.epoch;
+            self.known_true[i] = false;
+            self.parts[i].clear();
+            self.touched.push(s);
+        }
+        match tag {
+            Tag::True => {
+                let changed = !self.known_true[i];
+                self.known_true[i] = true;
+                changed
+            }
+            Tag::Formula(f) => {
+                if self.known_true[i] {
+                    false
+                } else {
+                    match self.parts[i].binary_search(&f) {
+                        Ok(_) => false,
+                        Err(pos) => {
+                            self.parts[i].insert(pos, f);
+                            true
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The evaluation machine. Drivers feed `begin`/`enter`/`text`/`leave`/
 /// `end` in document order.
 pub struct Machine<'a> {
+    plan: &'a CompiledMfa,
     mfa: &'a Mfa,
-    /// Per (NFA, state): labels required for any accepting continuation.
-    required: Vec<Vec<Requirement>>,
-    /// Per (NFA, state): precomputed ε-closure and whether any guarded
-    /// edge is reachable within it. Guard-free closures take a fast path
-    /// that allocates no formula machinery.
-    closures: Vec<Vec<(Vec<StateId>, bool)>>,
+    mode: ExecMode,
     /// Epoch-marked scratch for closure merging (index = state id).
     scratch: Vec<u32>,
     scratch_epoch: u32,
+    /// Pool of dense closure builders (compiled slow path).
+    builder_pool: Vec<ClosureBuilder>,
     /// Recycled frames and active sets (per-node allocation avoidance).
     frame_pool: Vec<Frame>,
     set_pool: Vec<ActiveSet>,
@@ -140,63 +251,65 @@ pub struct Machine<'a> {
     immediate: Vec<u32>,
     frames: Vec<Frame>,
     open_texteq: Vec<InstId>,
-    /// Per-node spawn cache: one instance per (pred, node).
+    /// Per-node spawn cache, compiled mode: epoch-marked arrays indexed by
+    /// predicate id — one instance per (pred, node), no hashing.
+    spawn_mark: Vec<u32>,
+    spawn_val: Vec<InstRef>,
+    spawn_epoch: u32,
+    /// Per-node spawn cache, interpreted mode.
     spawn_cache: HashMap<PredId, InstRef>,
     /// Eager `text()='c'` resolution (DOM mode): node id -> string value.
-    text_resolver: Option<&'a dyn Fn(u32) -> String>,
+    text_resolver: Option<&'a TextResolver<'a>>,
     /// Candidate discovered by the most recent `enter` (for stream
     /// recorders).
     last_candidate: Option<(u32, bool)>,
+    /// Whether the observer wants events (cached at `begin`; skipping the
+    /// per-event virtual dispatch for `NoopObserver` is measurable).
+    observe: bool,
+    /// The whole-plan DFA, present when the plan has **no predicates** and
+    /// the top NFA compiled to a dense table: exactly one run, every tag
+    /// `True`, nothing ever spawns. Such plans bypass the frame/run
+    /// machinery entirely — one `u32` per level and one table read per
+    /// event ([`Machine::enter_simple`]).
+    simple_dfa: Option<&'a smoqe_automata::compile::DfaTable>,
+    /// `simple_dfa` engaged for this traversal (disabled when an observer
+    /// wants the full event stream, which the lean path does not produce).
+    simple_active: bool,
+    /// Per-level DFA states of the lean path ([`DEAD`] = dormant level).
+    simple_stack: Vec<u32>,
     stats: EvalStats,
 }
 
 impl<'a> Machine<'a> {
-    /// Creates a machine for `mfa`. `text_resolver` enables eager
-    /// `text()='c'` resolution (DOM mode); without it, text is accumulated
-    /// from `text` events (StAX mode).
-    pub fn new(mfa: &'a Mfa, text_resolver: Option<&'a dyn Fn(u32) -> String>) -> Self {
-        let num_labels = mfa.vocabulary().len();
-        let required = mfa
-            .nfas()
-            .map(|(_, nfa)| required_labels(nfa, num_labels))
-            .collect();
-        let mut max_states = 0;
-        let closures: Vec<Vec<(Vec<StateId>, bool)>> = mfa
-            .nfas()
-            .map(|(_, nfa)| {
-                max_states = max_states.max(nfa.state_count());
-                nfa.states()
-                    .map(|s| {
-                        // BFS over ε-edges; record whether a guard is seen.
-                        let mut seen = vec![false; nfa.state_count()];
-                        let mut has_guard = false;
-                        let mut out = Vec::new();
-                        let mut work = vec![s];
-                        seen[s.index()] = true;
-                        while let Some(x) = work.pop() {
-                            out.push(x);
-                            for e in nfa.eps_edges(x) {
-                                if e.guard.is_some() {
-                                    has_guard = true;
-                                }
-                                if !seen[e.target.index()] {
-                                    seen[e.target.index()] = true;
-                                    work.push(e.target);
-                                }
-                            }
-                        }
-                        out.sort_unstable();
-                        (out, has_guard)
-                    })
-                    .collect()
-            })
-            .collect();
+    /// Creates a compiled-mode machine for `plan`. `text_resolver` enables
+    /// eager `text()='c'` resolution (DOM mode); without it, text is
+    /// accumulated from `text` events (StAX mode).
+    pub fn new(plan: &'a CompiledMfa, text_resolver: Option<&'a TextResolver<'a>>) -> Self {
+        Machine::with_mode(plan, text_resolver, ExecMode::Compiled)
+    }
+
+    /// Creates a machine with an explicit execution mode.
+    pub fn with_mode(
+        plan: &'a CompiledMfa,
+        text_resolver: Option<&'a TextResolver<'a>>,
+        mode: ExecMode,
+    ) -> Self {
+        let pred_count = plan.mfa().pred_count();
+        let simple_dfa = if mode == ExecMode::Compiled && pred_count == 0 {
+            plan.nfa(plan.mfa().top()).dfa()
+        } else {
+            None
+        };
         Machine {
-            mfa,
-            required,
-            closures,
-            scratch: vec![0; max_states],
+            plan,
+            mfa: plan.mfa(),
+            mode,
+            simple_dfa,
+            simple_active: false,
+            simple_stack: Vec::new(),
+            scratch: vec![0; plan.max_states()],
             scratch_epoch: 0,
+            builder_pool: Vec::new(),
             frame_pool: Vec::new(),
             set_pool: Vec::new(),
             seed_buf: Vec::new(),
@@ -208,9 +321,13 @@ impl<'a> Machine<'a> {
             immediate: Vec::new(),
             frames: Vec::new(),
             open_texteq: Vec::new(),
+            spawn_mark: vec![0; pred_count],
+            spawn_val: vec![InstRef::Resolved(false); pred_count],
+            spawn_epoch: 0,
             spawn_cache: HashMap::new(),
             text_resolver,
             last_candidate: None,
+            observe: true,
             stats: EvalStats {
                 tree_passes: 1,
                 ..Default::default()
@@ -232,6 +349,45 @@ impl<'a> Machine<'a> {
     /// Mutable access to the statistics (drivers add prune counters).
     pub fn stats_mut(&mut self) -> &mut EvalStats {
         &mut self.stats
+    }
+
+    /// Whether `nfa` executes as a dense-table DFA in this machine.
+    #[inline]
+    fn dfa_kind(&self, nfa: NfaId) -> bool {
+        self.mode == ExecMode::Compiled && self.plan.nfa(nfa).dfa().is_some()
+    }
+
+    /// Starts a fresh per-node spawn-cache window.
+    fn reset_spawn_cache(&mut self) {
+        self.spawn_epoch = self.spawn_epoch.wrapping_add(1);
+        if self.mode == ExecMode::Interpreted {
+            self.spawn_cache.clear();
+        }
+    }
+
+    fn spawn_lookup(&self, pred: PredId) -> Option<InstRef> {
+        match self.mode {
+            ExecMode::Compiled => {
+                if self.spawn_mark[pred.index()] == self.spawn_epoch && self.spawn_epoch != 0 {
+                    Some(self.spawn_val[pred.index()])
+                } else {
+                    None
+                }
+            }
+            ExecMode::Interpreted => self.spawn_cache.get(&pred).copied(),
+        }
+    }
+
+    fn spawn_store(&mut self, pred: PredId, r: InstRef) {
+        match self.mode {
+            ExecMode::Compiled => {
+                self.spawn_mark[pred.index()] = self.spawn_epoch;
+                self.spawn_val[pred.index()] = r;
+            }
+            ExecMode::Interpreted => {
+                self.spawn_cache.insert(pred, r);
+            }
+        }
     }
 
     fn take_frame(&mut self, node: u32) -> Frame {
@@ -262,25 +418,49 @@ impl<'a> Machine<'a> {
         self.set_pool.pop().unwrap_or_default()
     }
 
-    fn recycle_set(&mut self, mut set: ActiveSet) {
-        set.clear();
-        self.set_pool.push(set);
-    }
-
     /// Starts the traversal: pushes the virtual document frame and seeds
     /// the selection run.
     pub fn begin(&mut self, observer: &mut dyn EvalObserver) {
-        assert!(self.frames.is_empty(), "begin called twice");
+        assert!(
+            self.frames.is_empty() && self.simple_stack.is_empty(),
+            "begin called twice"
+        );
+        self.observe = !observer.is_noop();
+        // Predicate-free DFA plans take the lean path unless an observer
+        // wants the full event stream.
+        if !self.observe {
+            if let Some(dfa) = self.simple_dfa {
+                self.simple_active = true;
+                // Accepts at the virtual node are dropped, as below.
+                self.simple_stack.push(dfa.start());
+                return;
+            }
+        }
         let frame = self.take_frame(VIRTUAL_NODE);
         self.frames.push(frame);
         let top = self.mfa.top();
+        self.reset_spawn_cache();
+        if self.dfa_kind(top) {
+            // An accept at the virtual node would select the document
+            // node, which is not an element answer — dropped, matching
+            // the reference evaluator.
+            let start = self.plan.nfa(top).dfa().expect("dfa kind").start();
+            self.runs.push(Run {
+                nfa: top,
+                inst: None,
+                dead: false,
+                stack: RunStack::Dfa(vec![start]),
+            });
+            let frame = self.frames.last_mut().expect("virtual frame");
+            frame.live = vec![0];
+            return;
+        }
         self.runs.push(Run {
             nfa: top,
             inst: None,
             dead: false,
-            stack: Vec::new(),
+            stack: RunStack::Sets(Vec::new()),
         });
-        self.spawn_cache.clear();
         let mut new_runs = Vec::new();
         let start = self.mfa.nfa(top).start();
         let set = self.closure(
@@ -290,10 +470,11 @@ impl<'a> Machine<'a> {
             &mut new_runs,
             observer,
         );
-        // An accept at the virtual node would select the document node,
-        // which is not an element answer - dropped, matching the reference
-        // evaluator.
-        self.runs[0].stack.push(set);
+        // Top-run accepts at the virtual node are dropped (see above).
+        match &mut self.runs[0].stack {
+            RunStack::Sets(stack) => stack.push(set),
+            RunStack::Dfa(_) => unreachable!("top run built as Sets"),
+        }
         let mut live = vec![0];
         live.extend(new_runs.iter().copied().filter(|&r| !self.runs[r].dead));
         let frame = self.frames.last_mut().expect("virtual frame");
@@ -306,29 +487,108 @@ impl<'a> Machine<'a> {
     /// Pass `None` for `available` when no index is present (pure
     /// automaton check).
     pub fn preview(&self, label: Label, available: Option<&LabelSet>) -> Preview {
+        if self.simple_active {
+            let dfa = self.simple_dfa.expect("simple mode has a dfa");
+            let cur = *self.simple_stack.last().expect("preview outside traversal");
+            if cur == DEAD {
+                return Preview::NoMatch;
+            }
+            let col = self.plan.col(label);
+            if dfa.step(cur, col) == DEAD {
+                return Preview::NoMatch;
+            }
+            return match available {
+                None => Preview::Progress,
+                Some(avail) => {
+                    let compiled = self.plan.nfa(self.mfa.top());
+                    let req = compiled.required();
+                    let satisfiable = dfa.members(cur).iter().any(|&s| {
+                        compiled
+                            .row(s, col)
+                            .iter()
+                            .any(|&t| req[t.index()].satisfiable_within(avail))
+                    });
+                    if satisfiable {
+                        Preview::Progress
+                    } else {
+                        Preview::Pruned
+                    }
+                }
+            };
+        }
         let frame = self.frames.last().expect("preview outside traversal");
+        let plan = self.plan;
+        let col = plan.col(label);
         let mut any_match = false;
         for &r in &frame.live {
             let run = &self.runs[r];
             if run.dead {
                 continue;
             }
-            let nfa = self.mfa.nfa(run.nfa);
-            let req = &self.required[run.nfa.index()];
-            let Some(top) = run.stack.last() else {
-                continue;
-            };
-            for &(s, _) in top {
-                for t in nfa.transitions(s) {
-                    if !t.test.matches(label) {
+            let compiled = plan.nfa(run.nfa);
+            let req = compiled.required();
+            match &run.stack {
+                RunStack::Dfa(stack) => {
+                    let cur = *stack.last().expect("live dfa run has a state");
+                    let dfa = compiled.dfa().expect("dfa-kind run");
+                    let next = dfa.step(cur, col);
+                    if next == DEAD {
                         continue;
                     }
                     any_match = true;
                     match available {
                         None => return Preview::Progress,
                         Some(avail) => {
-                            if req[t.target.index()].satisfiable_within(avail) {
-                                return Preview::Progress;
+                            // Parity with the interpreter: check the
+                            // *pre-closure* transition targets of the
+                            // subset members.
+                            for &s in dfa.members(cur) {
+                                for &t in compiled.row(s, col) {
+                                    if req[t.index()].satisfiable_within(avail) {
+                                        return Preview::Progress;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                RunStack::Sets(stack) => {
+                    let Some(top) = stack.last() else {
+                        continue;
+                    };
+                    match self.mode {
+                        ExecMode::Compiled => {
+                            for &(s, _) in top {
+                                for &t in compiled.row(s, col) {
+                                    any_match = true;
+                                    match available {
+                                        None => return Preview::Progress,
+                                        Some(avail) => {
+                                            if req[t.index()].satisfiable_within(avail) {
+                                                return Preview::Progress;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        ExecMode::Interpreted => {
+                            let nfa = self.mfa.nfa(run.nfa);
+                            for &(s, _) in top {
+                                for t in nfa.transitions(s) {
+                                    if !t.test.matches(label) {
+                                        continue;
+                                    }
+                                    any_match = true;
+                                    match available {
+                                        None => return Preview::Progress,
+                                        Some(avail) => {
+                                            if req[t.target.index()].satisfiable_within(avail) {
+                                                return Preview::Progress;
+                                            }
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
@@ -347,12 +607,19 @@ impl<'a> Machine<'a> {
     /// match, and no predicate instance is waiting for its text unless
     /// [`Machine::has_open_texteq`] holds).
     pub fn enter(&mut self, label: Label, node: u32, observer: &mut dyn EvalObserver) -> bool {
+        if self.simple_active {
+            return self.enter_simple(label, node);
+        }
         let depth = self.frames.len();
         self.stats.nodes_visited += 1;
         self.stats.max_depth = self.stats.max_depth.max(depth);
         self.last_candidate = None;
-        self.spawn_cache.clear();
-        observer.enter_node(node, label, depth);
+        self.reset_spawn_cache();
+        if self.observe {
+            observer.enter_node(node, label, depth);
+        }
+        let plan = self.plan;
+        let col = plan.col(label);
         // Move the parent's live list out to iterate it without cloning;
         // restored before returning.
         let parent_live =
@@ -365,26 +632,63 @@ impl<'a> Machine<'a> {
                 continue;
             }
             let nfa_id = self.runs[r].nfa;
-            let nfa = self.mfa.nfa(nfa_id);
-            // Step on the label.
-            let top = self.runs[r].stack.last().expect("live run has a set");
-            let mut seed = std::mem::take(&mut self.seed_buf);
-            seed.clear();
-            for &(s, tag) in top {
-                for t in nfa.transitions(s) {
-                    if t.test.matches(label) {
-                        seed.push((t.target, tag));
+            match &self.runs[r].stack {
+                RunStack::Dfa(stack) => {
+                    // Dense fast path: one table read steps the whole
+                    // (ε-closed) state set.
+                    let cur = *stack.last().expect("live dfa run has a state");
+                    let dfa = plan.nfa(nfa_id).dfa().expect("dfa-kind run");
+                    let next = dfa.step(cur, col);
+                    if next == DEAD {
+                        continue; // dormant below this node
+                    }
+                    if dfa.accept(next) {
+                        self.accept_true(r, node, observer);
+                    }
+                    match &mut self.runs[r].stack {
+                        RunStack::Dfa(stack) => stack.push(next),
+                        RunStack::Sets(_) => unreachable!("run kind is fixed"),
+                    }
+                }
+                RunStack::Sets(stack) => {
+                    // Step on the label through the precomputed rows
+                    // (compiled) or a transition scan (interpreted).
+                    let top = stack.last().expect("live run has a set");
+                    let mut seed = std::mem::take(&mut self.seed_buf);
+                    seed.clear();
+                    match self.mode {
+                        ExecMode::Compiled => {
+                            let compiled = plan.nfa(nfa_id);
+                            for &(s, tag) in top {
+                                for &t in compiled.row(s, col) {
+                                    seed.push((t, tag));
+                                }
+                            }
+                        }
+                        ExecMode::Interpreted => {
+                            let nfa = self.mfa.nfa(nfa_id);
+                            for &(s, tag) in top {
+                                for t in nfa.transitions(s) {
+                                    if t.test.matches(label) {
+                                        seed.push((t.target, tag));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if seed.is_empty() {
+                        self.seed_buf = seed;
+                        continue; // dormant below this node
+                    }
+                    let set = self.closure(nfa_id, &seed, node, &mut new_runs, observer);
+                    self.seed_buf = seed;
+                    self.process_accept(r, &set, node, observer);
+                    match &mut self.runs[r].stack {
+                        RunStack::Sets(stack) => stack.push(set),
+                        RunStack::Dfa(_) => unreachable!("run kind is fixed"),
                     }
                 }
             }
-            if seed.is_empty() {
-                self.seed_buf = seed;
-                continue; // dormant below this node
-            }
-            let set = self.closure(nfa_id, &seed, node, &mut new_runs, observer);
-            self.seed_buf = seed;
-            self.process_accept(r, &set, node, observer);
-            self.runs[r].stack.push(set);
             let frame = self.frames.last_mut().expect("frame just pushed");
             frame.stepped.push(r);
             if !self.runs[r].dead {
@@ -403,6 +707,60 @@ impl<'a> Machine<'a> {
         frame.spawned_runs = new_runs;
         frame.live.extend(live_new);
         !frame.live.is_empty()
+    }
+
+    /// The lean `enter`: one table read, no frames, no run lists. Only
+    /// reachable for predicate-free DFA plans with a no-op observer, where
+    /// every per-node structure the general path maintains is provably
+    /// empty.
+    #[inline]
+    fn enter_simple(&mut self, label: Label, node: u32) -> bool {
+        let depth = self.simple_stack.len();
+        self.stats.nodes_visited += 1;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        self.last_candidate = None;
+        let dfa = self.simple_dfa.expect("simple mode has a dfa");
+        let cur = *self.simple_stack.last().expect("enter after begin");
+        let next = if cur == DEAD {
+            DEAD
+        } else {
+            dfa.step(cur, self.plan.col(label))
+        };
+        self.simple_stack.push(next);
+        if next == DEAD {
+            return false; // dormant below this node
+        }
+        if dfa.accept(next) {
+            self.immediate.push(node);
+            self.stats.immediate_answers += 1;
+            self.last_candidate = Some((node, true));
+        }
+        true
+    }
+
+    /// Records an unconditional accept for run `r` at `node` (DFA runs
+    /// carry no tags: every accept is `Tag::True`).
+    fn accept_true(&mut self, r: RunId, node: u32, observer: &mut dyn EvalObserver) {
+        match self.runs[r].inst {
+            None => {
+                if node == VIRTUAL_NODE {
+                    return;
+                }
+                self.immediate.push(node);
+                self.stats.immediate_answers += 1;
+                self.last_candidate = Some((node, true));
+                if self.observe {
+                    observer.candidate(node, true);
+                }
+            }
+            Some(inst) => {
+                if self.truths[inst].is_some() {
+                    return; // already resolved (true)
+                }
+                self.resolve_instance(inst, true, observer);
+                self.runs[r].dead = true;
+            }
+        }
     }
 
     /// Records an accept (if present in `set`) for run `r` at `node`.
@@ -492,11 +850,26 @@ impl<'a> Machine<'a> {
 
     /// Leaves the current element node, resolving everything rooted there.
     pub fn leave(&mut self, observer: &mut dyn EvalObserver) {
+        if self.simple_active {
+            self.simple_stack.pop().expect("leave without enter");
+            return;
+        }
         let frame = self.frames.pop().expect("leave without enter");
-        observer.leave_node(frame.node);
+        if self.observe {
+            observer.leave_node(frame.node);
+        }
         for &r in &frame.stepped {
-            if let Some(set) = self.runs[r].stack.pop() {
-                self.recycle_set(set);
+            match &mut self.runs[r].stack {
+                RunStack::Dfa(stack) => {
+                    stack.pop();
+                }
+                RunStack::Sets(stack) => {
+                    if let Some(set) = stack.pop() {
+                        let mut set = set;
+                        set.clear();
+                        self.set_pool.push(set);
+                    }
+                }
             }
         }
         self.resolve_opened(&frame.opened, observer);
@@ -602,6 +975,15 @@ impl<'a> Machine<'a> {
     /// Finishes the traversal: closes the virtual frame, runs the Cans
     /// pass, and returns the answer node ids in document order.
     pub fn end(mut self, observer: &mut dyn EvalObserver) -> (Vec<u32>, EvalStats) {
+        if self.simple_active {
+            self.simple_stack.pop().expect("virtual level");
+            assert!(self.simple_stack.is_empty(), "unbalanced enter/leave");
+            let mut answers = self.immediate;
+            answers.sort_unstable();
+            answers.dedup();
+            self.stats.answers = answers.len();
+            return (answers, self.stats);
+        }
         self.leave(observer); // virtual frame
         assert!(self.frames.is_empty(), "unbalanced enter/leave");
         self.stats.cans_size = self.cans.len();
@@ -639,16 +1021,17 @@ impl<'a> Machine<'a> {
         // Fast path: all-True seeds whose closures cross no guard edge.
         // This covers every guard-free region of every query and avoids
         // the formula machinery entirely.
+        let plan = self.plan;
+        let compiled = plan.nfa(nfa_id);
         if seed
             .iter()
-            .all(|&(s, t)| t == Tag::True && !self.closures[nfa_id.index()][s.index()].1)
+            .all(|&(s, t)| t == Tag::True && !compiled.closure(s).guarded)
         {
             self.scratch_epoch += 1;
             let epoch = self.scratch_epoch;
             let mut out: ActiveSet = self.take_set();
-            let pre = &self.closures[nfa_id.index()];
             for &(s, _) in seed {
-                for &t in &pre[s.index()].0 {
+                for &t in &compiled.closure(s).states {
                     if self.scratch[t.index()] != epoch {
                         self.scratch[t.index()] = epoch;
                         out.push((t, Tag::True));
@@ -658,12 +1041,85 @@ impl<'a> Machine<'a> {
             out.sort_unstable_by_key(|&(s, _)| s);
             return out;
         }
-        let mfa = self.mfa;
+        match self.mode {
+            ExecMode::Compiled => self.closure_slow_dense(nfa_id, seed, node, new_runs, observer),
+            ExecMode::Interpreted => self.closure_slow_map(nfa_id, seed, node, new_runs, observer),
+        }
+    }
+
+    /// Compiled slow path: dense epoch-marked builder, no hashing.
+    fn closure_slow_dense(
+        &mut self,
+        nfa_id: NfaId,
+        seed: &[(StateId, Tag)],
+        node: u32,
+        new_runs: &mut Vec<RunId>,
+        observer: &mut dyn EvalObserver,
+    ) -> ActiveSet {
+        let mfa: &'a Mfa = self.mfa;
+        let nfa = mfa.nfa(nfa_id);
+        let mut b = self.builder_pool.pop().unwrap_or_default();
+        b.begin(self.plan.max_states());
+        for &(s, tag) in seed {
+            if b.merge(s, tag) {
+                b.work.push(s);
+            }
+        }
+        while let Some(s) = b.work.pop() {
+            let cur = if b.known_true[s.index()] {
+                Tag::True
+            } else {
+                match self.arena.or_sorted(&b.parts[s.index()]) {
+                    Some(t) => t,
+                    None => continue, // no valid way to be here
+                }
+            };
+            for e in nfa.eps_edges(s) {
+                let tag = match e.guard {
+                    None => cur,
+                    Some(g) => match self.spawn(g, node, new_runs, observer) {
+                        InstRef::Resolved(true) => cur,
+                        InstRef::Resolved(false) => continue,
+                        InstRef::Pending(i) => self.arena.and_inst(cur, i),
+                    },
+                };
+                if b.merge(e.target, tag) {
+                    b.work.push(e.target);
+                }
+            }
+        }
+        let mut out: ActiveSet = self.take_set();
+        for &s in &b.touched {
+            let tag = if b.known_true[s.index()] {
+                Tag::True
+            } else {
+                match self.arena.or_sorted(&b.parts[s.index()]) {
+                    Some(t) => t,
+                    None => continue,
+                }
+            };
+            out.push((s, tag));
+        }
+        out.sort_unstable_by_key(|&(s, _)| s);
+        self.builder_pool.push(b);
+        out
+    }
+
+    /// Interpreted slow path: the original map-based builder.
+    fn closure_slow_map(
+        &mut self,
+        nfa_id: NfaId,
+        seed: &[(StateId, Tag)],
+        node: u32,
+        new_runs: &mut Vec<RunId>,
+        observer: &mut dyn EvalObserver,
+    ) -> ActiveSet {
+        let mfa: &'a Mfa = self.mfa;
         let nfa = mfa.nfa(nfa_id);
         #[derive(Default, Clone)]
         struct Build {
             known_true: bool,
-            parts: BTreeSet<crate::cans::FId>,
+            parts: BTreeSet<FId>,
         }
         let mut builds: HashMap<StateId, Build> = HashMap::new();
         let mut work: Vec<StateId> = Vec::new();
@@ -741,17 +1197,14 @@ impl<'a> Machine<'a> {
         new_runs: &mut Vec<RunId>,
         observer: &mut dyn EvalObserver,
     ) -> InstRef {
-        if let Some(&r) = self.spawn_cache.get(&pred) {
+        if let Some(r) = self.spawn_lookup(pred) {
             return r;
         }
-        // Insert a placeholder to guard against accidental recursion on the
-        // same predicate (impossible by construction: predicates form a
-        // DAG).
         let result = match self.mfa.pred(pred) {
             Pred::True => InstRef::Resolved(true),
             Pred::TextEq(target) => {
                 if let Some(resolver) = self.text_resolver {
-                    InstRef::Resolved(resolver(node) == *target)
+                    InstRef::Resolved(resolver(node).as_ref() == target.as_str())
                 } else {
                     let depth = self.frames.len();
                     let i = self.new_instance(
@@ -777,26 +1230,47 @@ impl<'a> Machine<'a> {
                     observer,
                 );
                 let run_id = self.runs.len();
-                self.runs.push(Run {
-                    nfa: sub_nfa,
-                    inst: Some(i),
-                    dead: false,
-                    stack: Vec::new(),
-                });
                 self.stats.runs_spawned += 1;
                 // Cache before the recursive closure so diamond-shaped
                 // sharing reuses the same instance.
-                self.spawn_cache.insert(pred, InstRef::Pending(i));
-                let start = self.mfa.nfa(sub_nfa).start();
-                let set = self.closure(sub_nfa, &[(start, Tag::True)], node, new_runs, observer);
-                self.process_accept(run_id, &set, node, observer);
-                self.runs[run_id].stack.push(set);
+                self.spawn_store(pred, InstRef::Pending(i));
+                if self.dfa_kind(sub_nfa) {
+                    let plan = self.plan;
+                    let dfa = plan.nfa(sub_nfa).dfa().expect("dfa kind");
+                    let start = dfa.start();
+                    let accepting = dfa.accept(start);
+                    self.runs.push(Run {
+                        nfa: sub_nfa,
+                        inst: Some(i),
+                        dead: false,
+                        stack: RunStack::Dfa(vec![start]),
+                    });
+                    if accepting {
+                        // Accept at the spawn node resolves on the spot.
+                        self.accept_true(run_id, node, observer);
+                    }
+                } else {
+                    self.runs.push(Run {
+                        nfa: sub_nfa,
+                        inst: Some(i),
+                        dead: false,
+                        stack: RunStack::Sets(Vec::new()),
+                    });
+                    let start = self.mfa.nfa(sub_nfa).start();
+                    let set =
+                        self.closure(sub_nfa, &[(start, Tag::True)], node, new_runs, observer);
+                    self.process_accept(run_id, &set, node, observer);
+                    match &mut self.runs[run_id].stack {
+                        RunStack::Sets(stack) => stack.push(set),
+                        RunStack::Dfa(_) => unreachable!("run kind is fixed"),
+                    }
+                }
                 new_runs.push(run_id);
                 if let Some(v) = self.truths[i] {
                     // Accept with a constant-true tag resolved it on the
                     // spot.
                     let r = InstRef::Resolved(v);
-                    self.spawn_cache.insert(pred, r);
+                    self.spawn_store(pred, r);
                     return r;
                 }
                 return InstRef::Pending(i);
@@ -861,7 +1335,7 @@ impl<'a> Machine<'a> {
                 }
             }
         };
-        self.spawn_cache.insert(pred, result);
+        self.spawn_store(pred, result);
         result
     }
 

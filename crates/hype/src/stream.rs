@@ -23,9 +23,11 @@
 //! is the 1-lane special case of the batched evaluator, so both paths
 //! share one implementation.
 
-use crate::batch::evaluate_batch_stream_with;
+use crate::batch::{evaluate_batch_stream_plans_with, evaluate_batch_stream_with};
+use crate::machine::ExecMode;
 use crate::observer::{EvalObserver, NoopObserver};
 use crate::stats::EvalStats;
+use smoqe_automata::compile::CompiledMfa;
 use smoqe_automata::Mfa;
 use smoqe_xml::{Vocabulary, XmlError};
 use std::io::BufRead;
@@ -82,6 +84,26 @@ pub fn evaluate_stream_with<R: BufRead>(
 ) -> Result<StreamOutcome, XmlError> {
     let mut observers: [&mut dyn EvalObserver; 1] = [observer];
     let out = evaluate_batch_stream_with(reader, &[mfa], vocab, options, &mut observers)?;
+    Ok(out
+        .outcomes
+        .into_iter()
+        .next()
+        .expect("one plan in, one outcome out"))
+}
+
+/// Evaluates a precompiled plan — the engine's streaming path. `mode`
+/// selects the dense-table executor or the per-event interpreter.
+pub fn evaluate_stream_plan_with<R: BufRead>(
+    reader: R,
+    plan: &CompiledMfa,
+    vocab: &Vocabulary,
+    options: StreamOptions,
+    mode: ExecMode,
+    observer: &mut dyn EvalObserver,
+) -> Result<StreamOutcome, XmlError> {
+    let mut observers: [&mut dyn EvalObserver; 1] = [observer];
+    let out =
+        evaluate_batch_stream_plans_with(reader, &[(plan, options)], vocab, mode, &mut observers)?;
     Ok(out
         .outcomes
         .into_iter()

@@ -39,6 +39,33 @@ pub enum XmlEvent {
     EndDocument,
 }
 
+/// A borrowed parsing event: the zero-allocation counterpart of
+/// [`XmlEvent`], valid until the next [`PullParser::next_raw`] call.
+/// Names and text live in parser-owned scratch buffers that are reused
+/// event to event, so a full document scan performs no per-event
+/// allocation (attribute *values* still allocate, being rare in
+/// data-centric documents). This is what the HyPE stream/batch drivers
+/// consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawEvent<'a> {
+    /// `<name attr="v" ...>`.
+    StartElement {
+        /// Element name as written.
+        name: &'a str,
+        /// Attributes in source order, entities resolved.
+        attributes: &'a [Attribute],
+    },
+    /// Character data with entities resolved and CDATA unwrapped.
+    Text(&'a str),
+    /// `</name>`.
+    EndElement {
+        /// Element name as written.
+        name: &'a str,
+    },
+    /// End of input after the root element closed.
+    EndDocument,
+}
+
 /// Streaming pull parser over a [`BufRead`].
 ///
 /// ```
@@ -50,17 +77,28 @@ pub enum XmlEvent {
 /// ```
 pub struct PullParser<R: BufRead> {
     reader: R,
-    /// One-byte lookahead.
-    peeked: Option<u8>,
+    /// Current input chunk (copied out of the reader's buffer so scans
+    /// can run without holding a borrow of the reader).
+    buf: Vec<u8>,
+    /// Next unread byte within `buf`.
+    pos: usize,
     offset: u64,
     line: u64,
-    /// Names of currently open elements (well-formedness checking).
-    stack: Vec<String>,
+    /// Names of currently open elements (well-formedness checking):
+    /// concatenated name bytes plus per-element lengths — no per-element
+    /// allocation.
+    open_names: Vec<u8>,
+    open_lens: Vec<u32>,
     seen_root: bool,
     finished: bool,
     /// Pending EndElement for a self-closing tag.
-    pending_end: Option<String>,
+    pending_end: bool,
     keep_whitespace: bool,
+    /// Reusable scratch for the current event's name / text / attributes.
+    name_buf: Vec<u8>,
+    end_name_buf: Vec<u8>,
+    text_buf: Vec<u8>,
+    attr_buf: Vec<Attribute>,
 }
 
 impl PullParser<&[u8]> {
@@ -77,14 +115,20 @@ impl<R: BufRead> PullParser<R> {
     pub fn new(reader: R) -> Self {
         PullParser {
             reader,
-            peeked: None,
+            buf: Vec::new(),
+            pos: 0,
             offset: 0,
             line: 1,
-            stack: Vec::new(),
+            open_names: Vec::new(),
+            open_lens: Vec::new(),
             seen_root: false,
             finished: false,
-            pending_end: None,
+            pending_end: false,
             keep_whitespace: false,
+            name_buf: Vec::new(),
+            end_name_buf: Vec::new(),
+            text_buf: Vec::new(),
+            attr_buf: Vec::new(),
         }
     }
 
@@ -97,7 +141,7 @@ impl<R: BufRead> PullParser<R> {
 
     /// Current nesting depth (number of open elements).
     pub fn depth(&self) -> usize {
-        self.stack.len()
+        self.open_lens.len()
     }
 
     /// Bytes consumed so far.
@@ -112,28 +156,138 @@ impl<R: BufRead> PullParser<R> {
         ))
     }
 
-    fn peek(&mut self) -> Result<Option<u8>, XmlError> {
-        if self.peeked.is_none() {
-            let mut byte = [0u8; 1];
-            let n = read_one(&mut self.reader, &mut byte)?;
-            if n == 0 {
-                return Ok(None);
+    /// Replaces the exhausted chunk with the reader's next one. Returns
+    /// `false` at end of input. Copying the chunk keeps byte scans free of
+    /// any borrow of the reader (one memcpy per chunk, not per byte).
+    fn refill(&mut self) -> Result<bool, XmlError> {
+        debug_assert!(self.pos >= self.buf.len());
+        self.buf.clear();
+        self.pos = 0;
+        loop {
+            match self.reader.fill_buf() {
+                Ok(chunk) => {
+                    if chunk.is_empty() {
+                        return Ok(false);
+                    }
+                    self.buf.extend_from_slice(chunk);
+                    let n = self.buf.len();
+                    self.reader.consume(n);
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(XmlError::Io(e)),
             }
-            self.peeked = Some(byte[0]);
         }
-        Ok(self.peeked)
     }
 
+    #[inline]
+    fn peek(&mut self) -> Result<Option<u8>, XmlError> {
+        if self.pos < self.buf.len() {
+            return Ok(Some(self.buf[self.pos]));
+        }
+        if self.refill()? {
+            Ok(Some(self.buf[self.pos]))
+        } else {
+            Ok(None)
+        }
+    }
+
+    #[inline]
     fn bump(&mut self) -> Result<Option<u8>, XmlError> {
         let b = self.peek()?;
         if let Some(c) = b {
-            self.peeked = None;
+            self.pos += 1;
             self.offset += 1;
             if c == b'\n' {
                 self.line += 1;
             }
         }
         Ok(b)
+    }
+
+    /// Bulk-consumes bytes while `pred` holds, appending them to `out`.
+    /// Scans whole chunks at a time instead of going byte-by-byte through
+    /// `peek`/`bump` — this is what makes the sequential scan IO-bound
+    /// rather than dispatch-bound.
+    fn take_while_into(
+        &mut self,
+        out: &mut Vec<u8>,
+        pred: impl Fn(u8) -> bool,
+    ) -> Result<(), XmlError> {
+        loop {
+            if self.pos >= self.buf.len() && !self.refill()? {
+                return Ok(()); // end of input
+            }
+            let chunk = &self.buf[self.pos..];
+            let n = chunk.iter().position(|&b| !pred(b)).unwrap_or(chunk.len());
+            self.consume_into(out, n);
+            if self.pos < self.buf.len() {
+                return Ok(()); // stopped at a non-matching byte
+            }
+        }
+    }
+
+    /// Bulk-consumes bytes until `a` or `b` is seen, appending them to
+    /// `out`. Word-at-a-time (SWAR) search: character data is the bulk of
+    /// a document, so this is the single hottest scan of stream mode.
+    fn take_until2(&mut self, out: &mut Vec<u8>, a: u8, b: u8) -> Result<(), XmlError> {
+        loop {
+            if self.pos >= self.buf.len() && !self.refill()? {
+                return Ok(());
+            }
+            let n = memchr2(a, b, &self.buf[self.pos..]);
+            self.consume_into(out, n);
+            if self.pos < self.buf.len() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Like [`PullParser::take_until2`] with three delimiters (attribute
+    /// values stop at the quote, `&`, or `<`).
+    fn take_until3(&mut self, out: &mut Vec<u8>, a: u8, b: u8, c: u8) -> Result<(), XmlError> {
+        loop {
+            if self.pos >= self.buf.len() && !self.refill()? {
+                return Ok(());
+            }
+            let n = memchr3(a, b, c, &self.buf[self.pos..]);
+            self.consume_into(out, n);
+            if self.pos < self.buf.len() {
+                return Ok(());
+            }
+        }
+    }
+
+    #[inline]
+    fn consume_into(&mut self, out: &mut Vec<u8>, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let consumed = &self.buf[self.pos..self.pos + n];
+        out.extend_from_slice(consumed);
+        self.line += count_newlines(consumed);
+        self.offset += n as u64;
+        self.pos += n;
+    }
+
+    /// Bulk-skips bytes while `pred` holds.
+    fn skip_while(&mut self, pred: impl Fn(u8) -> bool) -> Result<(), XmlError> {
+        loop {
+            if self.pos >= self.buf.len() && !self.refill()? {
+                return Ok(());
+            }
+            let chunk = &self.buf[self.pos..];
+            let n = chunk.iter().position(|&b| !pred(b)).unwrap_or(chunk.len());
+            if n > 0 {
+                let consumed = &self.buf[self.pos..self.pos + n];
+                self.line += count_newlines(consumed);
+                self.offset += n as u64;
+                self.pos += n;
+            }
+            if self.pos < self.buf.len() {
+                return Ok(());
+            }
+        }
     }
 
     fn expect(&mut self, want: u8) -> Result<(), XmlError> {
@@ -151,29 +305,37 @@ impl<R: BufRead> PullParser<R> {
     }
 
     fn skip_ws(&mut self) -> Result<(), XmlError> {
-        while let Some(b) = self.peek()? {
-            if b.is_ascii_whitespace() {
-                self.bump()?;
-            } else {
-                break;
-            }
+        self.skip_while(|b| b.is_ascii_whitespace())
+    }
+
+    /// Reads a name into `out` (cleared first). `out` is typically one of
+    /// the parser's scratch buffers, temporarily moved out to satisfy
+    /// borrows.
+    fn read_name_buf(&mut self, out: &mut Vec<u8>) -> Result<(), XmlError> {
+        out.clear();
+        // Fast path: the whole name sits inside the current chunk (names
+        // contain no newlines, so no line bookkeeping either).
+        let start = self.pos;
+        let mut i = start;
+        while i < self.buf.len() && is_name_byte(self.buf[i]) {
+            i += 1;
+        }
+        out.extend_from_slice(&self.buf[start..i]);
+        self.offset += (i - start) as u64;
+        self.pos = i;
+        if i >= self.buf.len() {
+            // The name may continue into the next chunk.
+            self.take_while_into(out, is_name_byte)?;
+        }
+        if out.is_empty() {
+            return Err(self.err("expected a name"));
         }
         Ok(())
     }
 
     fn read_name(&mut self) -> Result<String, XmlError> {
         let mut name = Vec::new();
-        while let Some(b) = self.peek()? {
-            if is_name_byte(b) {
-                name.push(b);
-                self.bump()?;
-            } else {
-                break;
-            }
-        }
-        if name.is_empty() {
-            return Err(self.err("expected a name"));
-        }
+        self.read_name_buf(&mut name)?;
         self.utf8(name)
     }
 
@@ -285,19 +447,35 @@ impl<R: BufRead> PullParser<R> {
         }
     }
 
-    fn read_attributes(&mut self) -> Result<(Vec<Attribute>, bool), XmlError> {
-        let mut attrs = Vec::new();
+    /// Reads the attribute list into `self.attr_buf` (cleared first),
+    /// returning whether the tag was self-closing.
+    fn read_attributes(&mut self) -> Result<bool, XmlError> {
+        let mut attrs = std::mem::take(&mut self.attr_buf);
+        attrs.clear();
+        let self_closing = self.read_attributes_into(&mut attrs);
+        self.attr_buf = attrs;
+        self_closing
+    }
+
+    fn read_attributes_into(&mut self, attrs: &mut Vec<Attribute>) -> Result<bool, XmlError> {
+        // Fast path: `<name>` with no attributes and no whitespace — the
+        // overwhelming shape in data-centric documents.
+        if self.pos < self.buf.len() && self.buf[self.pos] == b'>' {
+            self.pos += 1;
+            self.offset += 1;
+            return Ok(false);
+        }
         loop {
             self.skip_ws()?;
             match self.peek()? {
                 Some(b'>') => {
                     self.bump()?;
-                    return Ok((attrs, false));
+                    return Ok(false);
                 }
                 Some(b'/') => {
                     self.bump()?;
                     self.expect(b'>')?;
-                    return Ok((attrs, true));
+                    return Ok(true);
                 }
                 Some(b) if is_name_byte(b) => {
                     let name = self.read_name()?;
@@ -310,6 +488,7 @@ impl<R: BufRead> PullParser<R> {
                     };
                     let mut value = Vec::new();
                     loop {
+                        self.take_until3(&mut value, quote, b'&', b'<')?;
                         match self.peek()? {
                             Some(q) if q == quote => {
                                 self.bump()?;
@@ -317,10 +496,7 @@ impl<R: BufRead> PullParser<R> {
                             }
                             Some(b'&') => self.read_entity(&mut value)?,
                             Some(b'<') => return Err(self.err("'<' in attribute value")),
-                            Some(b) => {
-                                value.push(b);
-                                self.bump()?;
-                            }
+                            Some(_) => unreachable!("take_while_into stops on delimiters"),
                             None => return Err(self.err("unterminated attribute value")),
                         }
                     }
@@ -333,24 +509,60 @@ impl<R: BufRead> PullParser<R> {
         }
     }
 
-    /// Pulls the next event.
+    /// Pops the innermost open element into `end_name_buf`.
+    fn pop_open(&mut self) {
+        let len = *self.open_lens.last().expect("pop with an open element") as usize;
+        let start = self.open_names.len() - len;
+        self.end_name_buf.clear();
+        self.end_name_buf
+            .extend_from_slice(&self.open_names[start..]);
+        self.open_lens.pop();
+        self.open_names.truncate(start);
+        if self.open_lens.is_empty() {
+            self.finished = true;
+        }
+    }
+
+    /// Validates scratch bytes as UTF-8 for a borrowed return.
+    fn utf8_ref<'b>(&self, bytes: &'b [u8]) -> Result<&'b str, XmlError> {
+        std::str::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8"))
+    }
+
+    /// Pulls the next event (owned form). Allocates the event's strings;
+    /// scan-heavy callers should prefer [`PullParser::next_raw`].
     ///
     /// Returns [`XmlEvent::EndDocument`] exactly once after the root element
     /// has closed; pulling again afterwards is an error.
     pub fn next_event(&mut self) -> Result<XmlEvent, XmlError> {
-        if let Some(name) = self.pending_end.take() {
-            self.stack.pop();
-            if self.stack.is_empty() {
-                self.finished = true;
-            }
-            return Ok(XmlEvent::EndElement { name });
+        Ok(match self.next_raw()? {
+            RawEvent::StartElement { name, attributes } => XmlEvent::StartElement {
+                name: name.to_string(),
+                attributes: attributes.to_vec(),
+            },
+            RawEvent::Text(t) => XmlEvent::Text(t.to_string()),
+            RawEvent::EndElement { name } => XmlEvent::EndElement {
+                name: name.to_string(),
+            },
+            RawEvent::EndDocument => XmlEvent::EndDocument,
+        })
+    }
+
+    /// Pulls the next event without allocating: names, text and the
+    /// attribute list are borrowed from parser-owned scratch reused event
+    /// to event. See [`RawEvent`].
+    pub fn next_raw(&mut self) -> Result<RawEvent<'_>, XmlError> {
+        if self.pending_end {
+            self.pending_end = false;
+            self.pop_open();
+            let name = std::str::from_utf8(&self.end_name_buf).expect("was validated on open");
+            return Ok(RawEvent::EndElement { name });
         }
         if self.finished {
             // Allow trailing whitespace / comments / PIs after the root.
             loop {
                 self.skip_ws()?;
                 match self.peek()? {
-                    None => return Ok(XmlEvent::EndDocument),
+                    None => return Ok(RawEvent::EndDocument),
                     Some(b'<') => {
                         self.bump()?;
                         match self.peek()? {
@@ -370,16 +582,16 @@ impl<R: BufRead> PullParser<R> {
             }
         }
         loop {
-            if self.stack.is_empty() {
+            if self.open_lens.is_empty() {
                 self.skip_ws()?;
             }
             let Some(b) = self.peek()? else {
-                return Err(if self.stack.is_empty() && !self.seen_root {
+                return Err(if self.open_lens.is_empty() && !self.seen_root {
                     self.err("empty document")
                 } else {
                     self.err(format_args!(
                         "end of input with {} unclosed element(s)",
-                        self.stack.len()
+                        self.open_lens.len()
                     ))
                 });
             };
@@ -388,38 +600,54 @@ impl<R: BufRead> PullParser<R> {
                 match self.peek()? {
                     Some(b'/') => {
                         self.bump()?;
-                        let name = self.read_name()?;
-                        self.skip_ws()?;
-                        self.expect(b'>')?;
-                        match self.stack.pop() {
-                            Some(open) if open == name => {
-                                if self.stack.is_empty() {
-                                    self.finished = true;
-                                }
-                                return Ok(XmlEvent::EndElement { name });
-                            }
-                            Some(open) => {
-                                return Err(self.err(format_args!(
-                                    "mismatched end tag </{name}>, expected </{open}>"
-                                )))
-                            }
-                            None => {
-                                return Err(self.err(format_args!("unmatched end tag </{name}>")))
-                            }
+                        let mut name = std::mem::take(&mut self.end_name_buf);
+                        self.read_name_buf(&mut name)?;
+                        self.end_name_buf = name;
+                        // Fast path: `</name>` with no trailing whitespace.
+                        if self.pos < self.buf.len() && self.buf[self.pos] == b'>' {
+                            self.pos += 1;
+                            self.offset += 1;
+                        } else {
+                            self.skip_ws()?;
+                            self.expect(b'>')?;
                         }
+                        let Some(&len) = self.open_lens.last() else {
+                            let name = String::from_utf8_lossy(&self.end_name_buf).into_owned();
+                            return Err(self.err(format_args!("unmatched end tag </{name}>")));
+                        };
+                        let start = self.open_names.len() - len as usize;
+                        if self.open_names[start..] != self.end_name_buf[..] {
+                            let open = String::from_utf8_lossy(&self.open_names[start..]);
+                            let name = String::from_utf8_lossy(&self.end_name_buf);
+                            return Err(self.err(format_args!(
+                                "mismatched end tag </{name}>, expected </{open}>"
+                            )));
+                        }
+                        self.open_lens.pop();
+                        self.open_names.truncate(start);
+                        if self.open_lens.is_empty() {
+                            self.finished = true;
+                        }
+                        let name =
+                            std::str::from_utf8(&self.end_name_buf).expect("was validated on open");
+                        return Ok(RawEvent::EndElement { name });
                     }
                     Some(b'!') => {
                         self.bump()?;
                         match self.peek()? {
                             Some(b'-') => self.skip_comment()?,
                             Some(b'[') => {
-                                if self.stack.is_empty() {
+                                if self.open_lens.is_empty() {
                                     return Err(self.err("CDATA outside root element"));
                                 }
-                                let mut text = Vec::new();
-                                self.read_cdata(&mut text)?;
-                                if !text.is_empty() {
-                                    return Ok(XmlEvent::Text(self.utf8(text)?));
+                                let mut text = std::mem::take(&mut self.text_buf);
+                                text.clear();
+                                let res = self.read_cdata(&mut text);
+                                self.text_buf = text;
+                                res?;
+                                if !self.text_buf.is_empty() {
+                                    let text = self.utf8_ref(&self.text_buf)?;
+                                    return Ok(RawEvent::Text(text));
                                 }
                             }
                             Some(b'D' | b'd') => self.skip_doctype()?,
@@ -431,40 +659,51 @@ impl<R: BufRead> PullParser<R> {
                         self.skip_pi()?;
                     }
                     _ => {
-                        if self.stack.is_empty() && self.seen_root {
+                        if self.open_lens.is_empty() && self.seen_root {
                             return Err(self.err("multiple root elements"));
                         }
-                        let name = self.read_name()?;
-                        let (attributes, self_closing) = self.read_attributes()?;
+                        let mut name = std::mem::take(&mut self.name_buf);
+                        let res = self.read_name_buf(&mut name);
+                        self.name_buf = name;
+                        res?;
+                        let self_closing = self.read_attributes()?;
                         self.seen_root = true;
-                        self.stack.push(name.clone());
-                        if self_closing {
-                            self.pending_end = Some(name.clone());
-                        }
-                        return Ok(XmlEvent::StartElement { name, attributes });
+                        self.open_names.extend_from_slice(&self.name_buf);
+                        self.open_lens.push(self.name_buf.len() as u32);
+                        self.pending_end = self_closing;
+                        // Validate now so End events can borrow unchecked.
+                        let name = self.utf8_ref(&self.name_buf)?;
+                        return Ok(RawEvent::StartElement {
+                            name,
+                            attributes: &self.attr_buf,
+                        });
                     }
                 }
             } else {
                 // Character data.
-                if self.stack.is_empty() {
+                if self.open_lens.is_empty() {
                     return Err(self.err(format_args!(
                         "unexpected character '{}' outside root element",
                         b as char
                     )));
                 }
-                let mut text = Vec::new();
-                loop {
-                    match self.peek()? {
-                        Some(b'<') | None => break,
-                        Some(b'&') => self.read_entity(&mut text)?,
-                        Some(c) => {
-                            text.push(c);
-                            self.bump()?;
+                let mut text = std::mem::take(&mut self.text_buf);
+                text.clear();
+                let res = (|| -> Result<(), XmlError> {
+                    loop {
+                        self.take_until2(&mut text, b'<', b'&')?;
+                        match self.peek()? {
+                            Some(b'<') | None => return Ok(()),
+                            Some(b'&') => self.read_entity(&mut text)?,
+                            Some(_) => unreachable!("take_until2 stops on delimiters"),
                         }
                     }
-                }
-                if self.keep_whitespace || !text.iter().all(|c| c.is_ascii_whitespace()) {
-                    return Ok(XmlEvent::Text(self.utf8(text)?));
+                })();
+                self.text_buf = text;
+                res?;
+                if self.keep_whitespace || !self.text_buf.iter().all(|c| c.is_ascii_whitespace()) {
+                    let text = self.utf8_ref(&self.text_buf)?;
+                    return Ok(RawEvent::Text(text));
                 }
                 // Whitespace-only: loop for the next real event.
             }
@@ -472,18 +711,91 @@ impl<R: BufRead> PullParser<R> {
     }
 }
 
+const NAME_BYTE: [bool; 256] = {
+    let mut t = [false; 256];
+    let mut i = 0;
+    while i < 256 {
+        let b = i as u8;
+        t[i] = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+        i += 1;
+    }
+    t
+};
+
+#[inline]
 fn is_name_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
+    NAME_BYTE[b as usize]
 }
 
-fn read_one<R: BufRead>(reader: &mut R, byte: &mut [u8; 1]) -> Result<usize, XmlError> {
-    loop {
-        match reader.read(byte) {
-            Ok(n) => return Ok(n),
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(XmlError::Io(e)),
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+/// Bytes of `w` equal to `byte` get their high bit set.
+#[inline]
+fn swar_eq(w: u64, byte: u64) -> u64 {
+    let x = w ^ (SWAR_LO.wrapping_mul(byte));
+    x.wrapping_sub(SWAR_LO) & !x & SWAR_HI
+}
+
+/// Index of the first `a` or `b` in `hay` (or `hay.len()`), eight bytes at
+/// a time.
+#[inline]
+fn memchr2(a: u8, b: u8, hay: &[u8]) -> usize {
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8 bytes"));
+        let m = swar_eq(w, a as u64) | swar_eq(w, b as u64);
+        if m != 0 {
+            return i + (m.trailing_zeros() / 8) as usize;
         }
+        i += 8;
     }
+    while i < hay.len() {
+        if hay[i] == a || hay[i] == b {
+            return i;
+        }
+        i += 1;
+    }
+    hay.len()
+}
+
+/// Index of the first `a`, `b` or `c` in `hay` (or `hay.len()`).
+#[inline]
+fn memchr3(a: u8, b: u8, c: u8, hay: &[u8]) -> usize {
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8 bytes"));
+        let m = swar_eq(w, a as u64) | swar_eq(w, b as u64) | swar_eq(w, c as u64);
+        if m != 0 {
+            return i + (m.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < hay.len() {
+        if hay[i] == a || hay[i] == b || hay[i] == c {
+            return i;
+        }
+        i += 1;
+    }
+    hay.len()
+}
+
+/// Newline count, eight bytes at a time (error-position bookkeeping must
+/// not slow the bulk scans down).
+#[inline]
+fn count_newlines(bytes: &[u8]) -> u64 {
+    let mut n = 0u64;
+    let mut i = 0;
+    while i + 8 <= bytes.len() {
+        let w = u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
+        n += (swar_eq(w, b'\n' as u64).count_ones()) as u64;
+        i += 8;
+    }
+    while i < bytes.len() {
+        n += (bytes[i] == b'\n') as u64;
+        i += 1;
+    }
+    n
 }
 
 #[cfg(test)]

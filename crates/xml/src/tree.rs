@@ -222,18 +222,34 @@ impl Document {
     /// The XPath string-value of `node`: for a text node its text, for an
     /// element the concatenation of all descendant text in document order.
     pub fn string_value(&self, node: NodeId) -> String {
-        match self.nodes[node.index()].kind {
-            NodeKind::Text(t) => self.texts[t as usize].clone(),
-            NodeKind::Element(_) => {
-                let mut out = String::new();
-                for d in self.descendants_or_self(node) {
-                    if let Some(t) = self.text(d) {
-                        out.push_str(t);
+        self.string_value_cow(node).into_owned()
+    }
+
+    /// [`Document::string_value`] without the unconditional allocation:
+    /// text nodes and elements whose subtree holds at most one text node
+    /// borrow straight from the arena.
+    pub fn string_value_cow(&self, node: NodeId) -> std::borrow::Cow<'_, str> {
+        use std::borrow::Cow;
+        if let NodeKind::Text(t) = self.nodes[node.index()].kind {
+            return Cow::Borrowed(&self.texts[t as usize]);
+        }
+        let mut single: Option<&str> = None;
+        for d in self.descendants_or_self(node) {
+            if let Some(t) = self.text(d) {
+                if single.is_some() {
+                    // Two or more pieces: concatenate.
+                    let mut out = String::new();
+                    for d in self.descendants_or_self(node) {
+                        if let Some(t) = self.text(d) {
+                            out.push_str(t);
+                        }
                     }
+                    return Cow::Owned(out);
                 }
-                out
+                single = Some(t);
             }
         }
+        Cow::Borrowed(single.unwrap_or(""))
     }
 
     /// The concatenation of the *direct* text children of `node` (empty
@@ -243,13 +259,33 @@ impl Document {
     /// hide text-bearing descendants but always copy a visible node's own
     /// text.
     pub fn direct_text(&self, node: NodeId) -> String {
-        let mut out = String::new();
+        self.direct_text_cow(node).into_owned()
+    }
+
+    /// [`Document::direct_text`] without the unconditional allocation: the
+    /// overwhelmingly common shapes — no text child, or exactly one —
+    /// borrow straight from the arena, so per-predicate-check resolution
+    /// in the evaluator allocates nothing.
+    pub fn direct_text_cow(&self, node: NodeId) -> std::borrow::Cow<'_, str> {
+        use std::borrow::Cow;
+        let mut single: Option<&str> = None;
         for c in self.children(node) {
             if let Some(t) = self.text(c) {
-                out.push_str(t);
+                if single.is_some() {
+                    // Split direct text (text around child elements or
+                    // merged CDATA runs): concatenate.
+                    let mut out = String::new();
+                    for c in self.children(node) {
+                        if let Some(t) = self.text(c) {
+                            out.push_str(t);
+                        }
+                    }
+                    return Cow::Owned(out);
+                }
+                single = Some(t);
             }
         }
-        out
+        Cow::Borrowed(single.unwrap_or(""))
     }
 
     /// All nodes of the document in document order.

@@ -1,0 +1,161 @@
+//! Differential suite for the compiled evaluation plans: on random
+//! documents × random Regular XPath queries, the dense-table executor
+//! ([`ExecMode::Compiled`]) and the per-event NFA interpreter
+//! ([`ExecMode::Interpreted`]) must produce **identical answers and
+//! identical skip/event counts** in DOM mode (with and without TAX
+//! pruning), stream mode, and batch mode — and both must agree with the
+//! naive reference evaluator.
+
+use proptest::prelude::*;
+use smoqe::workloads::hospital;
+use smoqe_automata::compile::CompiledMfa;
+use smoqe_automata::{compile, optimize::optimize};
+use smoqe_hype::batch::evaluate_batch_stream_plans;
+use smoqe_hype::dom::{evaluate_mfa_plan, DomOptions};
+use smoqe_hype::stream::{evaluate_stream_plan_with, StreamOptions};
+use smoqe_hype::{ExecMode, NoopObserver};
+use smoqe_rxpath::random::{random_path, QueryGenConfig};
+use smoqe_rxpath::{evaluate as naive, parse_path};
+use smoqe_tax::TaxIndex;
+use smoqe_xml::{Document, NodeId, Vocabulary};
+
+/// One prepared document + query-generation config per RNG seed.
+fn setup(doc_seed: u64) -> (Vocabulary, Document, QueryGenConfig) {
+    let vocab = Vocabulary::new();
+    hospital::dtd(&vocab);
+    let doc = hospital::generate_document(&vocab, doc_seed, 400);
+    let labels = vec![
+        vocab.lookup("hospital").unwrap(),
+        vocab.lookup("patient").unwrap(),
+        vocab.lookup("pname").unwrap(),
+        vocab.lookup("visit").unwrap(),
+        vocab.lookup("treatment").unwrap(),
+        vocab.lookup("medication").unwrap(),
+        vocab.lookup("parent").unwrap(),
+        vocab.lookup("test").unwrap(),
+    ];
+    let values = vec!["autism".into(), "headache".into(), "Ann".into()];
+    let mut cfg = QueryGenConfig::new(labels, values);
+    cfg.max_depth = 4;
+    (vocab, doc, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn compiled_equals_interpreted_everywhere(
+        doc_seed in 0u64..6,
+        query_seed in 0u64..10_000,
+        optimized in 0u64..2,
+    ) {
+        let optimized = optimized == 1;
+        let (vocab, doc, cfg) = setup(doc_seed);
+        let xml = doc.to_xml();
+        let tax = TaxIndex::build(&doc);
+
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(query_seed);
+        let path = random_path(&mut rng, &cfg);
+        let printed = path.display(&vocab).to_string();
+        let path = parse_path(&printed, &vocab).unwrap();
+        let mfa = if optimized {
+            optimize(&compile(&path, &vocab))
+        } else {
+            compile(&path, &vocab)
+        };
+        let plan = CompiledMfa::compile(&mfa);
+        let expected = naive(&doc, &path);
+
+        // DOM mode, with and without TAX pruning: identical answers AND
+        // identical traversal/skip counters.
+        for tax_opt in [None, Some(&tax)] {
+            let options = DomOptions { tax: tax_opt };
+            let (a_c, s_c) =
+                evaluate_mfa_plan(&doc, &plan, &options, ExecMode::Compiled, &mut NoopObserver);
+            let (a_i, s_i) =
+                evaluate_mfa_plan(&doc, &plan, &options, ExecMode::Interpreted, &mut NoopObserver);
+            prop_assert_eq!(&a_c, &expected, "compiled/DOM vs naive on `{}`", printed);
+            prop_assert_eq!(&a_i, &expected, "interpreted/DOM vs naive on `{}`", printed);
+            prop_assert_eq!(
+                s_c.nodes_visited, s_i.nodes_visited,
+                "visited nodes diverged on `{}` (tax={})", printed, tax_opt.is_some()
+            );
+            prop_assert_eq!(
+                s_c.subtrees_skipped_dead, s_i.subtrees_skipped_dead,
+                "dead-run skips diverged on `{}`", printed
+            );
+            prop_assert_eq!(
+                s_c.subtrees_pruned_tax, s_i.subtrees_pruned_tax,
+                "TAX prunes diverged on `{}`", printed
+            );
+            prop_assert_eq!(
+                s_c.immediate_answers, s_i.immediate_answers,
+                "immediate answers diverged on `{}`", printed
+            );
+        }
+
+        // Stream mode: identical answers and event counts.
+        let stream = |mode| {
+            evaluate_stream_plan_with(
+                xml.as_bytes(),
+                &plan,
+                &vocab,
+                StreamOptions::default(),
+                mode,
+                &mut NoopObserver,
+            )
+            .unwrap()
+        };
+        let out_c = stream(ExecMode::Compiled);
+        let out_i = stream(ExecMode::Interpreted);
+        let expected_ids: Vec<u32> = expected.iter().map(|n| n.0).collect();
+        prop_assert_eq!(&out_c.answers, &expected_ids, "compiled/stream on `{}`", printed);
+        prop_assert_eq!(&out_i.answers, &expected_ids, "interpreted/stream on `{}`", printed);
+        prop_assert_eq!(out_c.events, out_i.events, "stream events diverged on `{}`", printed);
+        prop_assert_eq!(
+            out_c.stats.nodes_visited, out_i.stats.nodes_visited,
+            "stream visited diverged on `{}`", printed
+        );
+
+        // Batch mode: the same plan twice in one shared scan, both modes.
+        let batch = |mode| {
+            let lanes = [
+                (&plan, StreamOptions::default()),
+                (&plan, StreamOptions { want_xml: true }),
+            ];
+            evaluate_batch_stream_plans(xml.as_bytes(), &lanes, &vocab, mode).unwrap()
+        };
+        let b_c = batch(ExecMode::Compiled);
+        let b_i = batch(ExecMode::Interpreted);
+        prop_assert_eq!(b_c.events, b_i.events, "batch events diverged on `{}`", printed);
+        for (lane_c, lane_i) in b_c.outcomes.iter().zip(&b_i.outcomes) {
+            prop_assert_eq!(&lane_c.answers, &expected_ids, "compiled/batch on `{}`", printed);
+            prop_assert_eq!(&lane_i.answers, &expected_ids, "interpreted/batch on `{}`", printed);
+        }
+        // The XML-buffering lane must serialize identically in both modes.
+        prop_assert_eq!(
+            b_c.outcomes[1].answer_xml.as_ref(),
+            b_i.outcomes[1].answer_xml.as_ref(),
+            "buffered answer XML diverged on `{}`",
+            printed
+        );
+    }
+
+    /// The `Cow` fast path of `direct_text`/`string_value` must agree with
+    /// the allocating originals on arbitrary generated documents.
+    #[test]
+    fn text_cow_accessors_agree(doc_seed in 0u64..50) {
+        let vocab = Vocabulary::new();
+        hospital::dtd(&vocab);
+        let doc = hospital::generate_document(&vocab, doc_seed, 200);
+        for n in doc.all_nodes() {
+            let n = NodeId(n.0);
+            prop_assert_eq!(doc.direct_text(n), doc.direct_text_cow(n).into_owned());
+            prop_assert_eq!(doc.string_value(n), doc.string_value_cow(n).into_owned());
+        }
+    }
+}

@@ -22,6 +22,14 @@ pub struct Criterion {
     sample_size: usize,
 }
 
+/// Whether the bench binary was invoked in smoke mode (`cargo bench --
+/// --test`), mirroring real criterion: every benchmark runs exactly once
+/// to prove it still works, with no timed sampling. Keeps CI able to
+/// execute benches without paying measurement time.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 impl Default for Criterion {
     fn default() -> Self {
         Criterion { sample_size: 100 }
@@ -29,7 +37,8 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    /// Number of timed samples per benchmark.
+    /// Number of timed samples per benchmark (ignored in `--test` mode,
+    /// which always runs a single sample).
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n > 0, "sample size must be positive");
         self.sample_size = n;
@@ -38,9 +47,10 @@ impl Criterion {
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if test_mode() { 1 } else { self.sample_size };
         BenchmarkGroup {
             name: name.into(),
-            sample_size: self.sample_size,
+            sample_size,
             _criterion: self,
         }
     }
@@ -54,10 +64,13 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Overrides the sample count for this group.
+    /// Overrides the sample count for this group (ignored in `--test`
+    /// mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
-        self.sample_size = n;
+        if !test_mode() {
+            self.sample_size = n;
+        }
         self
     }
 
