@@ -252,6 +252,18 @@ impl CompiledMfa {
         self.width
     }
 
+    /// The labels this plan's transitions mention, each with its dense
+    /// column (always non-zero — every other label shares the wildcard
+    /// column 0). Jump-scan evaluation enumerates these to know which
+    /// occurrence lists can possibly move a DFA state.
+    pub fn referenced_labels(&self) -> impl Iterator<Item = (Label, usize)> + '_ {
+        self.label_cols
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(i, &c)| (Label(i as u32), c as usize))
+    }
+
     /// Compiled data of one NFA.
     #[inline]
     pub fn nfa(&self, id: NfaId) -> &CompiledNfa {

@@ -9,6 +9,7 @@
 //! ```
 
 use smoqe::workloads::hospital;
+use smoqe::{Engine, EngineConfig, User};
 use smoqe_automata::compile::CompiledMfa;
 use smoqe_automata::{compile, optimize::optimize};
 use smoqe_bench::{fmt_duration, time, time_mean, HospitalSetup, OrgSetup, Table};
@@ -453,9 +454,85 @@ fn bench_json(quick: bool) {
     let patch_us = time_mean(iters, || tax.patched(&new_doc, &span)).as_secs_f64() * 1e6;
     let rebuild_us = time_mean(iters, || TaxIndex::build(&new_doc)).as_secs_f64() * 1e6;
 
+    // Jump-scan vs tree-walk DOM latency (both with the TAX index
+    // available, so the comparison isolates navigation, not pruning
+    // data), plus what the default auto heuristic actually picks.
+    let plan_for = |q: &str| {
+        let path = parse_path(q, &vocab).unwrap();
+        CompiledMfa::compile(&optimize(&compile(&path, &vocab)))
+    };
+    let dom_mode_us = |q: &str, mode: ExecMode| -> f64 {
+        let plan = plan_for(q);
+        let opts = DomOptions { tax: Some(&tax) };
+        time_mean(iters, || {
+            evaluate_mfa_plan(&doc, &plan, &opts, mode, &mut NoopObserver)
+        })
+        .as_secs_f64()
+            * 1e6
+    };
+    let auto_mode = |q: &str| -> ExecMode {
+        // The same resolution the default engine config applies.
+        let plan = plan_for(q);
+        let threshold = EngineConfig::default().jump_selectivity;
+        if smoqe_hype::jump_available(&doc, &plan, Some(&tax))
+            && smoqe_hype::estimated_selectivity(&plan, &tax).is_some_and(|s| s <= threshold)
+        {
+            ExecMode::Jump
+        } else {
+            ExecMode::Compiled
+        }
+    };
+    const SELECTIVE_Q: &str = "//test";
+    const UNSELECTIVE_Q: &str = "//patient";
+    let selective_scan_us = dom_mode_us(SELECTIVE_Q, ExecMode::Compiled);
+    let selective_jump_us = dom_mode_us(SELECTIVE_Q, ExecMode::Jump);
+    let selective_auto_us = dom_mode_us(SELECTIVE_Q, auto_mode(SELECTIVE_Q));
+    let unselective_scan_us = dom_mode_us(UNSELECTIVE_Q, ExecMode::Compiled);
+    let unselective_auto_us = dom_mode_us(UNSELECTIVE_Q, auto_mode(UNSELECTIVE_Q));
+
+    // Parallel DOM batch throughput: the same 16-query mix, serially
+    // (one DOM query at a time) vs partitioned across worker threads
+    // sharing one snapshot.
+    let batch_queries: Vec<&str> = (0..16)
+        .map(|i| hospital::DOC_QUERIES[i % hospital::DOC_QUERIES.len()].1)
+        .collect();
+    let engine_with = |threads: usize| {
+        let engine = Engine::new(EngineConfig {
+            eval_threads: threads,
+            ..EngineConfig::default()
+        });
+        hospital::dtd(engine.vocabulary());
+        let doc = hospital::generate_document(engine.vocabulary(), 17, target_nodes);
+        engine.load_document_tree(doc);
+        engine.build_tax_index().unwrap();
+        engine
+    };
+    let serial_dom_qps = {
+        let engine = engine_with(1);
+        let session = engine.session(User::Admin);
+        for q in &batch_queries {
+            session.query(q).unwrap(); // warm the plan cache
+        }
+        let d = time_mean(iters, || {
+            for q in &batch_queries {
+                session.query(q).unwrap();
+            }
+        });
+        batch_queries.len() as f64 / d.as_secs_f64()
+    };
+    let parallel_qps = |threads: usize| -> f64 {
+        let engine = engine_with(threads);
+        let session = engine.session(User::Admin);
+        session.query_batch(&batch_queries).unwrap(); // warm the plan cache
+        let d = time_mean(iters, || session.query_batch(&batch_queries).unwrap());
+        batch_queries.len() as f64 / d.as_secs_f64()
+    };
+    let threads2_qps = parallel_qps(2);
+    let threads4_qps = parallel_qps(4);
+
     let json = format!(
         "{{\n\
-         \x20 \"schema\": 1,\n\
+         \x20 \"schema\": 2,\n\
          \x20 \"workload\": {{\n\
          \x20   \"document\": \"hospital\",\n\
          \x20   \"nodes\": {nodes},\n\
@@ -474,6 +551,18 @@ fn bench_json(quick: bool) {
          \x20   \"interpreted\": {dom_interpreted_us:.2}\n\
          \x20 }},\n\
          \x20 \"plan_table_compile_us\": {compile_us:.2},\n\
+         \x20 \"jump_query_latency_us\": {{\n\
+         \x20   \"selective_scan\": {selective_scan_us:.2},\n\
+         \x20   \"selective_jump\": {selective_jump_us:.2},\n\
+         \x20   \"selective_auto\": {selective_auto_us:.2},\n\
+         \x20   \"unselective_scan\": {unselective_scan_us:.2},\n\
+         \x20   \"unselective_auto\": {unselective_auto_us:.2}\n\
+         \x20 }},\n\
+         \x20 \"parallel_batch_qps\": {{\n\
+         \x20   \"serial_dom\": {serial_dom_qps:.1},\n\
+         \x20   \"threads_2\": {threads2_qps:.1},\n\
+         \x20   \"threads_4\": {threads4_qps:.1}\n\
+         \x20 }},\n\
          \x20 \"tax_index_patch_us\": {{\n\
          \x20   \"incremental\": {patch_us:.2},\n\
          \x20   \"full_rebuild\": {rebuild_us:.2}\n\

@@ -7,6 +7,7 @@
 //! ```text
 //! smoqe derive   --dtd D.dtd --policy P.pol            # Fig. 3: show sigma + view DTD
 //! smoqe query    --dtd D.dtd --doc T.xml [--policy P.pol] [--stream] [--tax]
+//!                [--mode scan|jump|auto] [--threads N]
 //!                [--repeat N] [--cache-stats] [--batch FILE] QUERY
 //! smoqe explain  --dtd D.dtd [--policy P.pol] QUERY    # rewritten MFA listing
 //! smoqe trace    --dtd D.dtd --doc T.xml [--policy P.pol] QUERY   # Fig. 5 trace
@@ -18,7 +19,14 @@
 //!
 //! `--repeat N` re-runs the query N times: every run after the first hits
 //! the shared plan cache, and `--cache-stats` prints the engine's
-//! hit/miss/invalidation/eviction counters afterwards.
+//! hit/miss/invalidation/eviction counters afterwards — plus the
+//! execution mode each query actually ran in (`scan` vs `jump`), so the
+//! auto-picker's skip behaviour is observable.
+//!
+//! `--mode jump` evaluates through the positional label index (visiting
+//! only candidate subtrees; implies `--tax`), `--mode auto` picks jump or
+//! scan per query from the estimated selectivity, and `--threads N`
+//! answers DOM-mode batches on N worker threads over one shared snapshot.
 //!
 //! `--batch FILE` answers every query listed in FILE (one Regular XPath
 //! query per line, `#` comments and blank lines skipped) in **one
@@ -33,7 +41,7 @@
 //! apply transactionally, and the updated document goes to stdout (or
 //! `--out FILE`).
 
-use smoqe::{DocHandle, DocumentMode, Engine, EngineConfig, User};
+use smoqe::{DocHandle, DocumentMode, Engine, EngineConfig, EvalMode, ExecMode, User};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -125,9 +133,11 @@ fn print_usage() {
            derive   --dtd FILE --policy FILE                 derive the security view (Fig. 3)\n\
            query    --dtd FILE --doc FILE [--policy FILE]\n\
                     [--stream] [--tax] [--no-optimize]\n\
+                    [--mode scan|jump|auto] [--threads N]\n\
                     [--repeat N] [--cache-stats]\n\
                     [--batch FILE | QUERY]                   answer one query, or a whole\n\
                                                              batch file in a single scan\n\
+                                                             (or across N DOM workers)\n\
            explain  --dtd FILE [--policy FILE] QUERY         show the (rewritten) MFA\n\
            trace    --dtd FILE --doc FILE [--policy FILE] Q  annotated evaluation trace (Fig. 5)\n\
            index    --doc FILE --out FILE                    build + persist the TAX index\n\
@@ -158,6 +168,41 @@ fn build_document(args: &Args) -> Result<(DocHandle, User), Box<dyn std::error::
     }
     config.use_tax = args.switch("tax");
     config.optimize_mfa = !args.switch("no-optimize");
+    if let Some(threads) = args.flags.get("threads") {
+        config.eval_threads = threads.parse::<usize>()?.max(1);
+    }
+    if let Some(mode) = args.flags.get("mode") {
+        config.eval_mode = match mode.as_str() {
+            "scan" => EvalMode::Scan,
+            "jump" => EvalMode::Jump,
+            "auto" => EvalMode::Auto,
+            other => return Err(format!("--mode must be scan|jump|auto, got '{other}'").into()),
+        };
+        if config.eval_mode != EvalMode::Scan {
+            if config.mode == DocumentMode::Stream {
+                // Jumping needs random access; silently scanning would
+                // make the explicit request unobservable.
+                return Err("--mode jump/auto is a DOM-mode strategy; \
+                            --stream always evaluates by sequential scan"
+                    .into());
+            }
+            if config.eval_mode == EvalMode::Jump
+                && args.flags.contains_key("batch")
+                && config.eval_threads <= 1
+            {
+                // A 1-thread DOM batch rides the shared streaming scan,
+                // where jumping cannot apply — same rule as --stream: an
+                // explicit jump request must not silently scan.
+                return Err("--mode jump with --batch evaluates by one shared \
+                            scan at 1 thread; add --threads N (N > 1) for \
+                            jump-mode batches, or drop --batch"
+                    .into());
+            }
+            // Jumping runs on the TAX index's positional lists, so asking
+            // for it (or for auto) implies building the index.
+            config.use_tax = true;
+        }
+    }
     let engine = Engine::new(config);
     let doc = engine.open_document("cli");
     doc.load_dtd(&std::fs::read_to_string(required(args, "dtd")?)?)?;
@@ -232,10 +277,20 @@ fn repeat_count(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
         .max(1))
 }
 
+/// Short display name of the execution mode a plan actually ran in.
+fn mode_name(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Compiled => "scan",
+        ExecMode::Interpreted => "interpreted",
+        ExecMode::Jump => "jump",
+    }
+}
+
 fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let (doc, user) = build_document(args)?;
     let session = doc.session(user);
     let repeat = repeat_count(args)?;
+    let show_mode = args.switch("cache-stats");
     if let Some(batch_file) = args.flags.get("batch") {
         let lines = read_batch_lines(batch_file)?;
         let queries: Vec<&str> = lines.iter().map(String::as_str).collect();
@@ -245,26 +300,68 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         for _ in 1..repeat {
             batch = session.query_batch(&queries)?;
         }
-        eprintln!(
-            "{} quer{} answered in ONE scan ({} parser events)",
-            queries.len(),
-            if queries.len() == 1 { "y" } else { "ies" },
-            batch.events,
-        );
+        // Parallel DOM batches serialize their answers from the document
+        // tree after the fact (fetched once for the whole batch).
+        let tree = if batch.events == 0 {
+            Some(doc.document()?)
+        } else {
+            None
+        };
+        if batch.events > 0 {
+            eprintln!(
+                "{} quer{} answered in ONE scan ({} parser events)",
+                queries.len(),
+                if queries.len() == 1 { "y" } else { "ies" },
+                batch.events,
+            );
+        } else {
+            let merged = batch.merged_stats();
+            eprintln!(
+                "{} quer{} answered over one DOM snapshot ({} nodes visited in total)",
+                queries.len(),
+                if queries.len() == 1 { "y" } else { "ies" },
+                merged.nodes_visited,
+            );
+        }
         for (query, answer) in queries.iter().zip(&batch.answers) {
             eprintln!(
-                "  {} answer(s){} for `{query}`",
+                "  {} answer(s){}{} for `{query}`",
                 answer.len(),
+                if show_mode {
+                    format!(" [{}]", mode_name(answer.mode))
+                } else {
+                    String::new()
+                },
                 if answer.plan_cached {
                     " [cached plan]"
                 } else {
                     ""
                 },
             );
-            if let Some(xmls) = &answer.xml {
-                for xml in xmls {
-                    println!("{xml}");
+            match &answer.xml {
+                Some(xmls) => {
+                    for xml in xmls {
+                        println!("{xml}");
+                    }
                 }
+                // Parallel DOM answers are not serialized during
+                // evaluation; render them afterwards so --threads N
+                // prints what --threads 1 prints. Admin answers
+                // serialize straight from the already-computed node sets;
+                // group answers go back through query_xml, the only
+                // public path that filters hidden descendants.
+                None => match (&tree, session.user()) {
+                    (Some(tree), User::Admin) => {
+                        for xml in answer.serialize_with(tree) {
+                            println!("{xml}");
+                        }
+                    }
+                    _ => {
+                        for xml in session.query_xml(query)? {
+                            println!("{xml}");
+                        }
+                    }
+                },
             }
         }
         if args.switch("cache-stats") {
@@ -278,12 +375,17 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         answer = session.query(query)?;
     }
     eprintln!(
-        "{} answer(s); visited {} nodes, |Cans| = {}, pruned {} (dead) + {} (TAX){}",
+        "{} answer(s); visited {} nodes, |Cans| = {}, pruned {} (dead) + {} (TAX){}{}",
         answer.len(),
         answer.stats.nodes_visited,
         answer.stats.cans_size,
         answer.stats.subtrees_skipped_dead,
         answer.stats.subtrees_pruned_tax,
+        if show_mode {
+            format!("; mode = {}", mode_name(answer.mode))
+        } else {
+            String::new()
+        },
         if answer.plan_cached {
             "; plan from cache"
         } else {

@@ -11,6 +11,24 @@ pub enum DocumentMode {
     Stream,
 }
 
+/// How DOM-mode queries traverse the document.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Always walk the tree (the compiled scan walker).
+    Scan,
+    /// Jump between candidate subtrees through the positional label index
+    /// whenever the plan allows it (predicate-free DFA plans with a TAX
+    /// index); ineligible plans scan.
+    Jump,
+    /// Pick per query: jump when the plan is eligible **and** its
+    /// estimated selectivity (rarest required label's occurrence count /
+    /// node count) is at most [`EngineConfig::jump_selectivity`];
+    /// otherwise scan, whose per-node constants win on unselective
+    /// queries.
+    #[default]
+    Auto,
+}
+
 /// Engine tuning knobs (each is an experiment toggle somewhere in
 /// EXPERIMENTS.md).
 #[derive(Clone, Copy, Debug)]
@@ -26,6 +44,17 @@ pub struct EngineConfig {
     /// kept for differential testing and the `ablation` bench; answers are
     /// identical either way.
     pub compiled_plans: bool,
+    /// Scan, jump, or auto-picked DOM traversal (requires
+    /// `compiled_plans`; jumping additionally needs a TAX index with its
+    /// positional label index, so `use_tax` off pins everything to scan).
+    pub eval_mode: EvalMode,
+    /// Selectivity ceiling under which auto mode jumps (fraction of the
+    /// document the rarest required label occupies).
+    pub jump_selectivity: f64,
+    /// Worker threads for DOM-mode query batches: `> 1` partitions a
+    /// batch's plans across scoped threads sharing one document snapshot
+    /// (streaming batches always use the single shared scan instead).
+    pub eval_threads: usize,
     /// Maximum number of compiled plans memoized engine-wide (0 disables
     /// the plan cache entirely).
     pub plan_cache_capacity: usize,
@@ -38,6 +67,9 @@ impl Default for EngineConfig {
             use_tax: true,
             optimize_mfa: true,
             compiled_plans: true,
+            eval_mode: EvalMode::Auto,
+            jump_selectivity: 0.1,
+            eval_threads: 1,
             plan_cache_capacity: 1024,
         }
     }
@@ -51,6 +83,9 @@ impl EngineConfig {
             use_tax: false,
             optimize_mfa: false,
             compiled_plans: false,
+            eval_mode: EvalMode::Scan,
+            jump_selectivity: 0.0,
+            eval_threads: 1,
             plan_cache_capacity: 0,
         }
     }
@@ -77,9 +112,13 @@ mod tests {
         assert!(c.use_tax);
         assert!(c.optimize_mfa);
         assert!(c.compiled_plans);
+        assert_eq!(c.eval_mode, EvalMode::Auto);
+        assert!(c.jump_selectivity > 0.0);
+        assert_eq!(c.eval_threads, 1);
         assert!(c.plan_cache_capacity > 0);
         assert!(!EngineConfig::plain().use_tax);
         assert!(!EngineConfig::plain().compiled_plans);
+        assert_eq!(EngineConfig::plain().eval_mode, EvalMode::Scan);
         assert_eq!(EngineConfig::plain().plan_cache_capacity, 0);
         assert_eq!(EngineConfig::streaming().mode, DocumentMode::Stream);
         assert!(EngineConfig::streaming().compiled_plans);

@@ -16,7 +16,7 @@
 //! [plan cache](crate::plancache).
 
 use crate::catalog::{Catalog, DocHandle, DocumentEntry, LoadedSource, ViewSlot};
-use crate::config::{DocumentMode, EngineConfig};
+use crate::config::{DocumentMode, EngineConfig, EvalMode};
 use crate::error::EngineError;
 use crate::plancache::{CacheMetrics, PlanCache, PlanKey};
 use smoqe_automata::compile::CompiledMfa;
@@ -24,6 +24,7 @@ use smoqe_automata::{compile, optimize::optimize, Mfa};
 use smoqe_hype::batch::evaluate_batch_stream_plans;
 use smoqe_hype::dom::{evaluate_mfa_plan, DomOptions};
 use smoqe_hype::stream::{evaluate_stream_plan_with, StreamOptions};
+use smoqe_hype::{estimated_selectivity, jump_available};
 use smoqe_hype::{EvalObserver, EvalStats, ExecMode, NoopObserver};
 use smoqe_rxpath::parse_path;
 use smoqe_tax::TaxIndex;
@@ -84,6 +85,10 @@ pub struct Answer {
     pub stats: EvalStats,
     /// Whether the plan came from the engine's plan cache.
     pub plan_cached: bool,
+    /// The execution mode the plan actually ran in — in particular
+    /// whether [`EvalMode::Auto`](crate::config::EvalMode) picked the
+    /// jump scan or the tree walk for this query.
+    pub mode: ExecMode,
     /// Serialized answer subtrees (always present in stream mode; filled
     /// lazily from the DOM otherwise via [`Answer::serialize_with`]).
     pub xml: Option<Vec<String>>,
@@ -112,25 +117,46 @@ impl Answer {
     }
 }
 
-/// Result of a batched query: per-query answers that shared **one**
-/// sequential scan of the document.
+/// Result of a batched query.
 ///
 /// Returned by [`Session::query_batch`], [`DocHandle::query_batch`] and
-/// [`Engine::evaluate_batch`]. `events` is the total number of parser
-/// events of the shared scan — the same count a *single* streamed query
-/// over the document reports, which is the proof that batching amortized
-/// the pass instead of re-reading the document per query.
+/// [`Engine::evaluate_batch`]. A batch amortizes one of two ways:
 ///
-/// Batches always evaluate by streaming (regardless of the engine's
-/// document mode), so every answer carries its serialized XML: raw source
-/// subtrees for admin sessions, the access-controlled view rendering for
-/// group sessions.
+/// * **Shared scan** (the default, and always in stream mode): every plan
+///   rides **one** sequential parse of the document. `events` is the
+///   total parser event count of that scan — the same count a *single*
+///   streamed query reports, which is the proof the pass was shared — and
+///   every answer carries its serialized XML: raw source subtrees for
+///   admin sessions, the access-controlled view rendering for group
+///   sessions.
+/// * **Parallel DOM** (`EngineConfig::eval_threads > 1` in DOM mode): the
+///   batch's plans are partitioned across scoped worker threads sharing
+///   one `Arc` document/TAX snapshot, each evaluated exactly as
+///   [`Session::query`] would (including jump-scan auto-picking), with
+///   per-worker statistics merged via [`BatchAnswer::merged_stats`].
+///   Nothing is parsed, so `events` is 0 and `xml` stays `None`, like any
+///   other DOM-mode answer.
 #[derive(Debug)]
 pub struct BatchAnswer {
     /// One answer per query, in input order.
     pub answers: Vec<Answer>,
-    /// Parser events of the single shared document scan.
+    /// Parser events of the single shared document scan (0 for the
+    /// parallel DOM path, which does not parse — it partitions plans over
+    /// one in-memory snapshot).
     pub events: usize,
+}
+
+impl BatchAnswer {
+    /// The per-query evaluation counters merged into one total (additive
+    /// counters sum, depth takes the maximum) — the batch-level figure
+    /// the parallel DOM path's workers contribute to.
+    pub fn merged_stats(&self) -> EvalStats {
+        let mut total = EvalStats::default();
+        for a in &self.answers {
+            total.merge(&a.stats);
+        }
+        total
+    }
 }
 
 /// Outcome of one accepted update statement.
@@ -334,12 +360,49 @@ impl Engine {
         self.plan_on(&self.default_entry(), user, query)
     }
 
-    /// The execution mode evaluation paths run plans in.
+    /// The execution mode streaming paths run plans in (jumping needs
+    /// random access, so streams only ever compile or interpret).
     fn exec_mode(&self) -> ExecMode {
         if self.config.compiled_plans {
             ExecMode::Compiled
         } else {
             ExecMode::Interpreted
+        }
+    }
+
+    /// Picks the DOM traversal for one (plan, snapshot) pair: scan, jump,
+    /// or — in auto mode — whichever the selectivity estimate favours.
+    /// Observed evaluations always scan (a jump produces no per-node
+    /// event stream for the observer).
+    fn resolve_dom_mode(
+        &self,
+        source: &LoadedSource,
+        plan: &CompiledMfa,
+        observed: bool,
+    ) -> ExecMode {
+        if !self.config.compiled_plans {
+            return ExecMode::Interpreted;
+        }
+        if observed {
+            return ExecMode::Compiled;
+        }
+        let tax = if self.config.use_tax {
+            source.tax.as_deref()
+        } else {
+            None
+        };
+        let jumpable = jump_available(&source.doc, plan, tax);
+        match self.config.eval_mode {
+            EvalMode::Scan => ExecMode::Compiled,
+            EvalMode::Jump if jumpable => ExecMode::Jump,
+            EvalMode::Auto
+                if jumpable
+                    && estimated_selectivity(plan, tax.expect("jump_available implies tax"))
+                        .is_some_and(|s| s <= self.config.jump_selectivity) =>
+            {
+                ExecMode::Jump
+            }
+            _ => ExecMode::Compiled,
         }
     }
 
@@ -473,7 +536,11 @@ impl Engine {
         path: &FsPath,
     ) -> Result<(), EngineError> {
         let snapshot = entry.snapshot()?;
-        let tax = TaxIndex::load_from_file(path, &self.vocab)?;
+        let mut tax = TaxIndex::load_from_file(path, &self.vocab)?;
+        // The on-disk format carries the descendant sets only; rebuild
+        // the positional label index from the live document so jump-scan
+        // evaluation works for loaded indexes too.
+        tax.attach_label_index(&snapshot.doc);
         self.attach_tax(entry, &snapshot, Arc::new(tax));
         Ok(())
     }
@@ -756,8 +823,10 @@ impl Engine {
         self.evaluate_batch_parts(&entry, &parts)
     }
 
-    /// Shared batch path: one snapshot, one scan, N machines. `parts` are
-    /// `(user, plan, plan_cached)` triples in answer order.
+    /// Shared batch path: one snapshot, one scan, N machines — or, for
+    /// DOM engines with `eval_threads > 1`, one snapshot partitioned
+    /// across worker threads. `parts` are `(user, plan, plan_cached)`
+    /// triples in answer order.
     pub(crate) fn evaluate_batch_parts(
         &self,
         entry: &Arc<DocumentEntry>,
@@ -770,14 +839,16 @@ impl Engine {
             });
         }
         let source = entry.snapshot()?;
-        // Batches always evaluate by streaming (that is what makes the
-        // scan shareable) and every answer is returned serialized. Only
-        // admin lanes buffer subtree XML during the scan; group answers
-        // are rendered through their view from the snapshot's DOM
-        // afterwards (the raw buffered subtrees would leak hidden
-        // descendants and be discarded anyway). Node ids are
-        // mode-independent by the parity invariant, so DOM-mode engines
-        // get identical answers.
+        if self.config.mode == DocumentMode::Dom && self.config.eval_threads > 1 {
+            return self.evaluate_batch_parallel(&source, parts);
+        }
+        // Single-threaded batches evaluate by streaming (one shared scan)
+        // and every answer is returned serialized. Only admin lanes
+        // buffer subtree XML during the scan; group answers are rendered
+        // through their view from the snapshot's DOM afterwards (the raw
+        // buffered subtrees would leak hidden descendants and be
+        // discarded anyway). Node ids are mode-independent by the parity
+        // invariant, so DOM-mode engines get identical answers.
         let plans: Vec<(&CompiledMfa, StreamOptions)> = parts
             .iter()
             .map(|(user, mfa, _)| {
@@ -801,6 +872,7 @@ impl Engine {
                 nodes: out.answers.into_iter().map(NodeId).collect(),
                 stats: out.stats,
                 plan_cached: *cached,
+                mode,
                 xml: out.answer_xml,
             };
             if let User::Group(g) = user {
@@ -809,6 +881,44 @@ impl Engine {
             answers.push(answer);
         }
         Ok(BatchAnswer { answers, events })
+    }
+
+    /// The parallel DOM batch path: partition the batch's plans across
+    /// [`EngineConfig::eval_threads`] scoped workers, all evaluating
+    /// against the same `Arc` document/TAX snapshot (both are
+    /// `Send + Sync`, and no worker takes a lock). Each answer is exactly
+    /// what [`Session::query`] would have produced for that request —
+    /// including the per-plan scan/jump auto-pick — so answers are
+    /// independent of the thread count by construction.
+    fn evaluate_batch_parallel(
+        &self,
+        source: &Arc<LoadedSource>,
+        parts: &[(User, Arc<CompiledMfa>, bool)],
+    ) -> Result<BatchAnswer, EngineError> {
+        let workers = self.config.eval_threads.min(parts.len()).max(1);
+        let chunk = parts.len().div_ceil(workers);
+        let mut slots: Vec<Option<Result<Answer, EngineError>>> = Vec::new();
+        slots.resize_with(parts.len(), || None);
+        std::thread::scope(|scope| {
+            for (part_chunk, slot_chunk) in parts.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for ((_, plan, cached), slot) in part_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        let result = self.evaluate_snapshot(source, plan, &mut NoopObserver).map(
+                            |mut answer| {
+                                answer.plan_cached = *cached;
+                                answer
+                            },
+                        );
+                        *slot = Some(result);
+                    }
+                });
+            }
+        });
+        let answers = slots
+            .into_iter()
+            .map(|slot| slot.expect("every batch slot is written by its worker"))
+            .collect::<Result<Vec<Answer>, EngineError>>()?;
+        Ok(BatchAnswer { answers, events: 0 })
     }
 
     /// Evaluates a compiled plan against one consistent source snapshot
@@ -828,12 +938,14 @@ impl Engine {
                 } else {
                     None
                 };
+                let mode = self.resolve_dom_mode(source, plan, !observer.is_noop());
                 let options = DomOptions { tax };
                 let (nodes, stats) = evaluate_mfa_plan(&source.doc, plan, &options, mode, observer);
                 Ok(Answer {
                     nodes: nodes.into_vec(),
                     stats,
                     plan_cached: false,
+                    mode,
                     xml: None,
                 })
             }
@@ -865,6 +977,7 @@ impl Engine {
                     nodes: outcome.answers.into_iter().map(NodeId).collect(),
                     stats: outcome.stats,
                     plan_cached: false,
+                    mode,
                     xml: outcome.answer_xml,
                 })
             }
@@ -1522,6 +1635,142 @@ mod tests {
             doc.update("delete //x"),
             Err(EngineError::NoDocument)
         ));
+    }
+
+    #[test]
+    fn auto_mode_jumps_on_selective_queries_and_reports_it() {
+        let engine = Engine::with_defaults();
+        hospital::dtd(engine.vocabulary());
+        let doc = hospital::generate_document(engine.vocabulary(), 9, 4_000);
+        engine.load_document_tree(doc);
+        engine.build_tax_index().unwrap();
+        let admin = engine.session(User::Admin);
+        // `test` is rare in the generated workload: auto must jump, and
+        // the answer must match an explicit scan-mode engine.
+        let jumped = admin.query("//test").unwrap();
+        assert_eq!(jumped.mode, ExecMode::Jump, "auto should pick jump");
+        let scan_engine = Engine::new(EngineConfig {
+            eval_mode: crate::config::EvalMode::Scan,
+            ..EngineConfig::default()
+        });
+        hospital::dtd(scan_engine.vocabulary());
+        let doc2 = hospital::generate_document(scan_engine.vocabulary(), 9, 4_000);
+        scan_engine.load_document_tree(doc2);
+        scan_engine.build_tax_index().unwrap();
+        let scanned = scan_engine.session(User::Admin).query("//test").unwrap();
+        assert_eq!(scanned.mode, ExecMode::Compiled);
+        assert_eq!(jumped.nodes, scanned.nodes);
+        assert!(
+            jumped.stats.nodes_visited <= scanned.stats.nodes_visited,
+            "jump visited {} > scan {}",
+            jumped.stats.nodes_visited,
+            scanned.stats.nodes_visited
+        );
+        // `//patient` blankets the document: auto must keep scanning.
+        let unselective = admin.query("//patient").unwrap();
+        assert_eq!(unselective.mode, ExecMode::Compiled);
+    }
+
+    #[test]
+    fn jump_mode_falls_back_without_an_index_or_for_guarded_plans() {
+        let engine = Engine::new(EngineConfig {
+            eval_mode: crate::config::EvalMode::Jump,
+            ..EngineConfig::default()
+        });
+        engine.load_dtd(smoqe_xml::HOSPITAL_DTD).unwrap();
+        engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+        engine
+            .register_policy("researchers", smoqe_view::HOSPITAL_POLICY)
+            .unwrap();
+        let admin = engine.session(User::Admin);
+        // No TAX index yet: no positional lists, so jump cannot engage.
+        assert_eq!(admin.query("//test").unwrap().mode, ExecMode::Compiled);
+        engine.build_tax_index().unwrap();
+        assert_eq!(admin.query("//test").unwrap().mode, ExecMode::Jump);
+        // Predicates make a plan ineligible; answers still correct.
+        let guarded = admin.query("hospital/patient[pname = 'Ann']").unwrap();
+        assert_eq!(guarded.mode, ExecMode::Compiled);
+        assert_eq!(guarded.len(), 1);
+        // Rewritten (view) plans ride the same resolution transparently.
+        let group = engine.session(User::Group("researchers".into()));
+        let meds = group.query("//medication").unwrap();
+        assert!(!meds.is_empty());
+    }
+
+    #[test]
+    fn parallel_dom_batch_agrees_with_serial_and_merges_stats() {
+        let queries: Vec<&str> = hospital::DOC_QUERIES.iter().map(|(_, q)| *q).collect();
+        let serial = {
+            let engine = engine_with_sample();
+            engine.build_tax_index().unwrap();
+            engine.session(User::Admin).query_batch(&queries).unwrap()
+        };
+        for threads in [2, 4] {
+            let engine = Engine::new(EngineConfig {
+                eval_threads: threads,
+                ..EngineConfig::default()
+            });
+            engine.load_dtd(smoqe_xml::HOSPITAL_DTD).unwrap();
+            engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+            engine.build_tax_index().unwrap();
+            let session = engine.session(User::Admin);
+            let batch = session.query_batch(&queries).unwrap();
+            assert_eq!(batch.events, 0, "the parallel DOM path does not parse");
+            assert_eq!(batch.answers.len(), serial.answers.len());
+            for ((q, serial_answer), parallel_answer) in
+                queries.iter().zip(&serial.answers).zip(&batch.answers)
+            {
+                assert_eq!(
+                    parallel_answer.nodes, serial_answer.nodes,
+                    "parallel batch diverged on `{q}` at {threads} threads"
+                );
+                // Each parallel answer equals what a lone query returns.
+                assert_eq!(parallel_answer.nodes, session.query(q).unwrap().nodes);
+            }
+            let merged = batch.merged_stats();
+            assert_eq!(
+                merged.nodes_visited,
+                batch
+                    .answers
+                    .iter()
+                    .map(|a| a.stats.nodes_visited)
+                    .sum::<usize>()
+            );
+            assert_eq!(merged.tree_passes, queries.len());
+        }
+    }
+
+    #[test]
+    fn loaded_tax_index_reattaches_the_positional_lists() {
+        let engine = engine_with_sample();
+        engine.build_tax_index().unwrap();
+        let dir = std::env::temp_dir().join("smoqe-jump-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reattach.tax");
+        engine.save_tax_index(&path).unwrap();
+        engine.load_tax_index(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let tax = engine.tax_index().unwrap();
+        assert!(
+            tax.label_index().is_some(),
+            "loading through the engine must rebuild the label index"
+        );
+        // And jump mode works on the loaded index.
+        let jump_engine_answer = {
+            let e2 = Engine::new(EngineConfig {
+                eval_mode: crate::config::EvalMode::Jump,
+                ..EngineConfig::default()
+            });
+            e2.load_dtd(smoqe_xml::HOSPITAL_DTD).unwrap();
+            e2.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+            e2.build_tax_index().unwrap();
+            e2.session(User::Admin).query("//test").unwrap()
+        };
+        assert_eq!(jump_engine_answer.mode, ExecMode::Jump);
+        assert_eq!(
+            engine.session(User::Admin).query("//test").unwrap().nodes,
+            jump_engine_answer.nodes
+        );
     }
 
     #[test]

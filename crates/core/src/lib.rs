@@ -62,10 +62,11 @@ pub mod workloads;
 mod sync;
 
 pub use catalog::{DocHandle, DocumentEntry};
-pub use config::{DocumentMode, EngineConfig};
+pub use config::{DocumentMode, EngineConfig, EvalMode};
 pub use engine::{Answer, BatchAnswer, Engine, Session, UpdateReport, User, DEFAULT_DOCUMENT};
 pub use error::EngineError;
 pub use plancache::CacheMetrics;
+pub use smoqe_hype::ExecMode;
 
 // Re-export the component crates under stable names.
 pub use smoqe_automata as automata;

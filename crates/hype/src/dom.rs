@@ -42,7 +42,12 @@ pub fn evaluate_mfa_with(
 
 /// Evaluates a precompiled plan over `doc` — the engine's DOM path. The
 /// plan is compiled once (and cached engine-wide); `mode` selects the
-/// dense-table executor or the per-event interpreter.
+/// dense-table executor, the per-event interpreter, or the jump scan.
+///
+/// [`ExecMode::Jump`] engages only for predicate-free DFA plans with a
+/// positional label index on `options.tax` and a no-op observer (a jump
+/// produces no per-node event stream); anything else falls back to the
+/// compiled scan, with identical answers.
 pub fn evaluate_mfa_plan(
     doc: &Document,
     plan: &CompiledMfa,
@@ -54,6 +59,18 @@ pub fn evaluate_mfa_plan(
         doc.vocabulary().same_as(plan.mfa().vocabulary()),
         "document and query must share a vocabulary"
     );
+    let mode = if mode == ExecMode::Jump {
+        if observer.is_noop() {
+            if let Some(tax) = options.tax {
+                if let Some(result) = crate::jump::evaluate_jump(doc, plan, tax) {
+                    return result;
+                }
+            }
+        }
+        ExecMode::Compiled
+    } else {
+        mode
+    };
     // `text() = 'c'` compares the node's direct text; the virtual
     // document node has none.
     let resolver = |n: u32| -> Cow<'_, str> {

@@ -1,0 +1,398 @@
+//! Jump-scan evaluation: visit O(candidate) nodes instead of O(n).
+//!
+//! The DOM walker in [`crate::dom`] already *skips* subtrees (dead runs,
+//! TAX pruning), but it still walks to every subtree it skips: a highly
+//! selective query over a large document pays for the whole tree. This
+//! driver turns the pruning metadata into **sub-linear navigation** using
+//! the positional label index ([`smoqe_tax::LabelIndex`]):
+//!
+//! * For the current DFA state, partition the label columns into
+//!   **stutters** (`step(s, col) == s`) and **triggers** (everything
+//!   else, including transitions to [`DEAD`]). When the wildcard column
+//!   stutters, the automaton provably cannot change state anywhere in the
+//!   subtree except at trigger-labelled elements — so the driver
+//!   binary-searches the trigger occurrence lists for the next candidate
+//!   and skips everything between.
+//! * Candidates are processed in ascending pre-order; entering or
+//!   discarding a candidate always advances the cursor past its whole
+//!   subtree (`subtree_end`). That ordering is the soundness argument: by
+//!   the time a candidate is reached, every ancestor between it and the
+//!   jump origin is a stutter, so the origin state applies verbatim — no
+//!   ancestor replay is needed beyond the [`LabelIndex::level`] the stats
+//!   use.
+//! * States whose wildcard column does **not** stutter (e.g. a child-axis
+//!   step where unknown labels kill the run) fall back to stepping the
+//!   node's element children directly — still bounded by the candidates'
+//!   fan-out, never by the document.
+//!
+//! TAX pruning applies exactly as in scan mode: a candidate whose stepped
+//! state has no label requirement satisfiable within the subtree's
+//! descendant-label set is discarded without a visit, and a whole jump
+//! region is abandoned early when its trigger set does not even intersect
+//! the available labels ([`LabelSet::intersects`] — a word-wise
+//! short-circuit, no intersection is materialized).
+//!
+//! The driver applies to **predicate-free plans whose top NFA compiled to
+//! a dense DFA** (the same population as the scan walker's lean
+//! `enter_simple` path). Everything else — guarded plans, text
+//! predicates, missing index — evaluates in scan mode; the engine's auto
+//! mode additionally weighs [`estimated_selectivity`] so unselective
+//! queries keep the scan walker's better constants. By construction jump
+//! mode enters a subset of the nodes scan mode enters, and produces
+//! identical answers (property-tested in `tests/jump_differential.rs`).
+
+use crate::stats::EvalStats;
+use smoqe_automata::compile::{CompiledMfa, CompiledNfa, DfaTable, DEAD};
+use smoqe_rxpath::NodeSet;
+use smoqe_tax::{LabelIndex, TaxIndex};
+use smoqe_xml::{Document, Label, LabelSet, NodeId};
+use std::rc::Rc;
+
+/// Whether `plan` can execute as a jump scan at all: no predicates, and
+/// the top NFA subset-constructed into a dense DFA.
+pub fn jump_eligible(plan: &CompiledMfa) -> bool {
+    plan.mfa().pred_count() == 0 && plan.nfa(plan.mfa().top()).dfa().is_some()
+}
+
+/// Whether a jump evaluation of `plan` over `doc` would actually engage:
+/// the plan is eligible and `tax` carries a positional label index
+/// describing exactly this document.
+pub fn jump_available(doc: &Document, plan: &CompiledMfa, tax: Option<&TaxIndex>) -> bool {
+    jump_eligible(plan)
+        && tax
+            .and_then(TaxIndex::label_index)
+            .is_some_and(|li| li.node_count() == doc.node_count())
+}
+
+/// Estimated fraction of the document a jump scan would have to consider:
+/// the occurrence count of the rarest label **required on every accepting
+/// path** from the start state, over the node count.
+///
+/// `None` when there is no basis for an estimate (no label is required —
+/// wildcard-shaped queries match almost everywhere), which auto mode
+/// treats as unselective. A dead start state estimates `0.0`: nothing can
+/// match, either mode finishes instantly.
+pub fn estimated_selectivity(plan: &CompiledMfa, tax: &TaxIndex) -> Option<f64> {
+    let li = tax.label_index()?;
+    let top = plan.mfa().top();
+    let start = plan.mfa().nfa(top).start();
+    let req = &plan.nfa(top).required()[start.index()];
+    if req.dead {
+        return Some(0.0);
+    }
+    let rarest = req.labels.iter().map(|l| li.occurrences(l).len()).min()?;
+    Some(rarest as f64 / li.node_count().max(1) as f64)
+}
+
+/// Evaluates an eligible plan by jump scan. Returns `None` when the plan
+/// is not eligible or `tax` has no positional index for `doc` (callers
+/// fall back to the scan walker).
+pub fn evaluate_jump(
+    doc: &Document,
+    plan: &CompiledMfa,
+    tax: &TaxIndex,
+) -> Option<(NodeSet, EvalStats)> {
+    if !jump_eligible(plan) {
+        return None;
+    }
+    let li = tax.label_index()?;
+    if li.node_count() != doc.node_count() {
+        return None; // the index describes a different document
+    }
+    let compiled = plan.nfa(plan.mfa().top());
+    let dfa = compiled.dfa().expect("eligible plans have a top DFA");
+    let mut driver = Jump {
+        doc,
+        plan,
+        compiled,
+        dfa,
+        tax,
+        li,
+        infos: vec![None; dfa.state_count()],
+        answers: Vec::new(),
+        stats: EvalStats {
+            tree_passes: 1,
+            ..Default::default()
+        },
+    };
+    // The root is a candidate like any other: step it from the DFA start
+    // state (the virtual document node above it is never an answer).
+    driver.step_into(doc.root().0, dfa.start());
+    let Jump {
+        answers, mut stats, ..
+    } = driver;
+    stats.answers = answers.len();
+    stats.immediate_answers = answers.len();
+    Some((
+        NodeSet::from_sorted(answers.into_iter().map(NodeId).collect()),
+        stats,
+    ))
+}
+
+/// Per-DFA-state jump classification, computed lazily and cached.
+struct StateInfo {
+    /// The wildcard column stutters and the state is not accepting: the
+    /// subtree can be scanned through trigger occurrence lists alone.
+    jumpable: bool,
+    /// Labels whose column does not stutter in this state (only non-zero
+    /// columns can appear; labels interned after plan compilation share
+    /// the wildcard column and therefore stutter whenever it does).
+    triggers: Vec<Label>,
+    /// The same labels as a set, for the `intersects` early-out against a
+    /// subtree's descendant labels.
+    trigger_set: LabelSet,
+}
+
+struct Jump<'a> {
+    doc: &'a Document,
+    plan: &'a CompiledMfa,
+    compiled: &'a CompiledNfa,
+    dfa: &'a DfaTable,
+    tax: &'a TaxIndex,
+    li: &'a LabelIndex,
+    infos: Vec<Option<Rc<StateInfo>>>,
+    answers: Vec<u32>,
+    stats: EvalStats,
+}
+
+impl Jump<'_> {
+    /// Lazily computes the jump classification of `state`.
+    fn info(&mut self, state: u32) -> Rc<StateInfo> {
+        if let Some(info) = &self.infos[state as usize] {
+            return info.clone();
+        }
+        let wildcard_stutters = self.dfa.step(state, 0) == state;
+        let jumpable = wildcard_stutters && !self.dfa.accept(state);
+        let mut triggers = Vec::new();
+        let mut trigger_set = LabelSet::default();
+        if jumpable {
+            for (label, col) in self.plan.referenced_labels() {
+                if self.dfa.step(state, col) != state {
+                    triggers.push(label);
+                    trigger_set.insert(label);
+                }
+            }
+        }
+        let info = Rc::new(StateInfo {
+            jumpable,
+            triggers,
+            trigger_set,
+        });
+        self.infos[state as usize] = Some(info.clone());
+        info
+    }
+
+    /// Whether any accepting continuation from `state` fits in a subtree
+    /// offering `available` labels — the same per-subtree TAX gate the
+    /// scan walker's `preview` applies (checking the ε-closed subset
+    /// members is equivalent to checking the pre-closure transition
+    /// targets: requirements only grow along ε-edges).
+    fn satisfiable(&self, state: u32, available: &LabelSet) -> bool {
+        let req = self.compiled.required();
+        self.dfa
+            .members(state)
+            .iter()
+            .any(|&m| req[m.index()].satisfiable_within(available))
+    }
+
+    /// Steps `node` from its parent's `state` and, if the automaton
+    /// advances and the TAX gate passes, enters it.
+    fn step_into(&mut self, node: u32, state: u32) {
+        let id = NodeId(node);
+        let label = self.doc.label(id).expect("candidates are elements");
+        let next = self.dfa.step(state, self.plan.col(label));
+        if next == DEAD {
+            self.stats.subtrees_skipped_dead += 1;
+            return;
+        }
+        if !self.satisfiable(next, self.tax.descendant_labels(id)) {
+            self.stats.subtrees_pruned_tax += 1;
+            return;
+        }
+        self.enter(node, next);
+    }
+
+    /// Visits `node` (stepped to live state `state`), records it if
+    /// accepting, and processes its subtree.
+    fn enter(&mut self, node: u32, state: u32) {
+        let id = NodeId(node);
+        self.stats.nodes_visited += 1;
+        // The scan walker counts the virtual document frame in its depth.
+        self.stats.max_depth = self.stats.max_depth.max(self.li.level(id) as usize + 1);
+        if self.dfa.accept(state) {
+            self.answers.push(node);
+        }
+        let lo = node + 1;
+        let hi = self.li.subtree_end(id);
+        if lo >= hi {
+            return; // leaf
+        }
+        let info = self.info(state);
+        if info.jumpable {
+            // Word-wise short-circuit intersection test: if no trigger
+            // label occurs anywhere below, the state cannot change inside
+            // the subtree — and non-accepting stutter states yield no
+            // answers — so the whole region is done without a single
+            // binary search.
+            if !info.trigger_set.intersects(self.tax.descendant_labels(id)) {
+                self.stats.subtrees_pruned_tax += 1;
+                return;
+            }
+            self.jump_scan(lo, hi, state, &info);
+        } else {
+            // Wildcard column moves the state: every child matters. Step
+            // the element children directly (bounded by this candidate's
+            // fan-out, not by the subtree). `doc` outlives the driver, so
+            // iterating it does not hold a borrow of `self`.
+            let doc = self.doc;
+            for c in doc.child_elements(id) {
+                self.step_into(c.0, state);
+            }
+        }
+    }
+
+    /// Scans `[lo, hi)` in state `state` by hopping between trigger
+    /// occurrences; everything between provably stutters.
+    fn jump_scan(&mut self, lo: u32, hi: u32, state: u32, info: &StateInfo) {
+        let mut cursor = lo;
+        while cursor < hi {
+            // Next trigger occurrence at or after the cursor: min over the
+            // per-label sorted lists (k is the handful of labels the plan
+            // mentions).
+            let mut next = u32::MAX;
+            for &label in &info.triggers {
+                let list = self.li.occurrences(label);
+                let i = list.partition_point(|&x| x < cursor);
+                if i < list.len() {
+                    next = next.min(list[i]);
+                }
+            }
+            if next >= hi {
+                return; // no candidate left in the region
+            }
+            // All of `next`'s ancestors inside the region stutter: any
+            // trigger ancestor would have been the earlier candidate and
+            // advanced the cursor past this whole subtree.
+            self.step_into(next, state);
+            cursor = self.li.subtree_end(NodeId(next));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::{evaluate_mfa_plan, DomOptions};
+    use crate::machine::ExecMode;
+    use crate::observer::NoopObserver;
+    use smoqe_automata::compile;
+    use smoqe_rxpath::parse_path;
+    use smoqe_xml::Vocabulary;
+
+    /// Jump answers must equal scan answers, visiting no more nodes.
+    fn check(xml: &str, query: &str) -> (EvalStats, EvalStats) {
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str(xml, &vocab).unwrap();
+        let tax = TaxIndex::build(&doc);
+        let path = parse_path(query, &vocab).unwrap();
+        let plan = CompiledMfa::compile(&compile(&path, &vocab));
+        let options = DomOptions { tax: Some(&tax) };
+        let (scan, scan_stats) =
+            evaluate_mfa_plan(&doc, &plan, &options, ExecMode::Compiled, &mut NoopObserver);
+        let (jump, jump_stats) =
+            evaluate_mfa_plan(&doc, &plan, &options, ExecMode::Jump, &mut NoopObserver);
+        assert_eq!(jump, scan, "`{query}` on `{xml}`");
+        assert!(
+            jump_stats.nodes_visited <= scan_stats.nodes_visited,
+            "jump visited {} > scan {} on `{query}`",
+            jump_stats.nodes_visited,
+            scan_stats.nodes_visited
+        );
+        (jump_stats, scan_stats)
+    }
+
+    #[test]
+    fn agrees_on_descendant_queries() {
+        let xml = "<a><z><b/><b/><c><b/></c></z><b/><z><y/></z></a>";
+        let (j, s) = check(xml, "//b");
+        assert!(j.nodes_visited < s.nodes_visited, "jump must skip");
+        check(xml, "//c/b");
+        check(xml, "//z//b");
+        check(xml, "//nothing");
+    }
+
+    #[test]
+    fn agrees_on_child_paths_and_unions() {
+        let xml = "<a><b><c>1</c></b><d><c>2</c></d><b/><e><b><c/></b></e></a>";
+        check(xml, "a/b/c");
+        check(xml, "a/(b | d)/c");
+        check(xml, "a/*/c");
+        check(xml, "a/b");
+        check(xml, "zzz");
+    }
+
+    #[test]
+    fn agrees_on_closures_and_recursion() {
+        let xml = "<a><b><a><b><a><c/></a></b></a></b><c/></a>";
+        check(xml, "(a/b)*/a");
+        check(xml, "a/(b/a)*/c");
+        check(xml, "//a/c");
+    }
+
+    #[test]
+    fn wildcard_shaped_queries_stay_correct() {
+        // Accepting stutter states (everything matches) must not lose
+        // answers: the driver degrades to child-stepping there.
+        let xml = "<a><b><c/></b><d/></a>";
+        check(xml, "//*");
+        check(xml, "a//*");
+        check(xml, ".");
+    }
+
+    #[test]
+    fn guarded_plans_fall_back_to_scan() {
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str("<a><b><c/></b><b/></a>", &vocab).unwrap();
+        let tax = TaxIndex::build(&doc);
+        let path = parse_path("a/b[c]", &vocab).unwrap();
+        let plan = CompiledMfa::compile(&compile(&path, &vocab));
+        assert!(!jump_eligible(&plan));
+        assert!(evaluate_jump(&doc, &plan, &tax).is_none());
+        // Through the driver entry point the fallback is transparent.
+        let options = DomOptions { tax: Some(&tax) };
+        let (jump, _) = evaluate_mfa_plan(&doc, &plan, &options, ExecMode::Jump, &mut NoopObserver);
+        let (scan, _) =
+            evaluate_mfa_plan(&doc, &plan, &options, ExecMode::Compiled, &mut NoopObserver);
+        assert_eq!(jump, scan);
+    }
+
+    #[test]
+    fn availability_requires_a_matching_label_index() {
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str("<a><b/></a>", &vocab).unwrap();
+        let other = Document::parse_str("<a><b/><b/></a>", &vocab).unwrap();
+        let tax = TaxIndex::build(&other); // wrong document
+        let path = parse_path("//b", &vocab).unwrap();
+        let plan = CompiledMfa::compile(&compile(&path, &vocab));
+        assert!(jump_eligible(&plan));
+        assert!(!jump_available(&doc, &plan, Some(&tax)));
+        assert!(!jump_available(&doc, &plan, None));
+        assert!(jump_available(&other, &plan, Some(&tax)));
+    }
+
+    #[test]
+    fn selectivity_estimates_rarest_required_label() {
+        let vocab = Vocabulary::new();
+        let xml = format!("<a>{}<z/></a>", "<b/>".repeat(30));
+        let doc = Document::parse_str(&xml, &vocab).unwrap();
+        let tax = TaxIndex::build(&doc);
+        let plan_for =
+            |q: &str| CompiledMfa::compile(&compile(&parse_path(q, &vocab).unwrap(), &vocab));
+        let selective = estimated_selectivity(&plan_for("//z"), &tax).unwrap();
+        let unselective = estimated_selectivity(&plan_for("//b"), &tax).unwrap();
+        assert!(selective < unselective);
+        assert!(selective < 0.05, "one z in {} nodes", doc.node_count());
+        // No required label -> no basis for an estimate.
+        assert!(estimated_selectivity(&plan_for("//*"), &tax).is_none());
+    }
+}

@@ -8,6 +8,9 @@
 //!
 //! * [`dom`] — DOM mode, with automaton-driven subtree skipping and
 //!   TAX-index pruning ([`evaluate_mfa`]);
+//! * [`jump`] — jump-scan DOM mode: predicate-free DFA plans hop between
+//!   candidate subtrees through the positional label index, visiting
+//!   O(candidate) nodes instead of O(n);
 //! * [`stream`] — StAX mode: the same core over pull-parser events with
 //!   candidate-subtree buffering ([`evaluate_stream`]);
 //! * [`batch`] — batched StAX mode: one shared sequential scan answers a
@@ -23,6 +26,7 @@
 pub mod batch;
 pub mod cans;
 pub mod dom;
+pub mod jump;
 pub mod machine;
 pub mod observer;
 pub mod stats;
@@ -35,6 +39,7 @@ pub use batch::{
     BatchOutcome,
 };
 pub use dom::{evaluate_mfa, evaluate_mfa_plan, evaluate_mfa_with, DomOptions};
+pub use jump::{estimated_selectivity, evaluate_jump, jump_available, jump_eligible};
 pub use machine::ExecMode;
 pub use observer::{EvalObserver, NoopObserver, PruneReason};
 pub use stats::EvalStats;

@@ -66,6 +66,12 @@ pub enum ExecMode {
     /// Per-event NFA interpretation (the pre-compilation evaluator),
     /// retained for differential testing and ablation benchmarks.
     Interpreted,
+    /// Jump-scan evaluation (DOM mode only): predicate-free DFA plans
+    /// skip between candidate subtrees through the positional label index
+    /// instead of walking the tree (see [`crate::jump`]). Drivers that
+    /// cannot jump — streaming, guarded plans, no index — silently fall
+    /// back to [`ExecMode::Compiled`]; answers are identical either way.
+    Jump,
 }
 
 /// Eager `text()='c'` resolution callback (DOM mode). Returning
@@ -294,6 +300,13 @@ impl<'a> Machine<'a> {
         text_resolver: Option<&'a TextResolver<'a>>,
         mode: ExecMode,
     ) -> Self {
+        // Jumping is a driver-level strategy (`crate::jump`), not a
+        // machine one: a machine asked for it executes the compiled
+        // tables, which is what the jump driver falls back to.
+        let mode = match mode {
+            ExecMode::Jump => ExecMode::Compiled,
+            m => m,
+        };
         let pred_count = plan.mfa().pred_count();
         let simple_dfa = if mode == ExecMode::Compiled && pred_count == 0 {
             plan.nfa(plan.mfa().top()).dfa()
@@ -367,25 +380,25 @@ impl<'a> Machine<'a> {
 
     fn spawn_lookup(&self, pred: PredId) -> Option<InstRef> {
         match self.mode {
-            ExecMode::Compiled => {
+            ExecMode::Interpreted => self.spawn_cache.get(&pred).copied(),
+            _ => {
                 if self.spawn_mark[pred.index()] == self.spawn_epoch && self.spawn_epoch != 0 {
                     Some(self.spawn_val[pred.index()])
                 } else {
                     None
                 }
             }
-            ExecMode::Interpreted => self.spawn_cache.get(&pred).copied(),
         }
     }
 
     fn spawn_store(&mut self, pred: PredId, r: InstRef) {
         match self.mode {
-            ExecMode::Compiled => {
-                self.spawn_mark[pred.index()] = self.spawn_epoch;
-                self.spawn_val[pred.index()] = r;
-            }
             ExecMode::Interpreted => {
                 self.spawn_cache.insert(pred, r);
+            }
+            _ => {
+                self.spawn_mark[pred.index()] = self.spawn_epoch;
+                self.spawn_val[pred.index()] = r;
             }
         }
     }
@@ -557,21 +570,6 @@ impl<'a> Machine<'a> {
                         continue;
                     };
                     match self.mode {
-                        ExecMode::Compiled => {
-                            for &(s, _) in top {
-                                for &t in compiled.row(s, col) {
-                                    any_match = true;
-                                    match available {
-                                        None => return Preview::Progress,
-                                        Some(avail) => {
-                                            if req[t.index()].satisfiable_within(avail) {
-                                                return Preview::Progress;
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                        }
                         ExecMode::Interpreted => {
                             let nfa = self.mfa.nfa(run.nfa);
                             for &(s, _) in top {
@@ -584,6 +582,21 @@ impl<'a> Machine<'a> {
                                         None => return Preview::Progress,
                                         Some(avail) => {
                                             if req[t.target.index()].satisfiable_within(avail) {
+                                                return Preview::Progress;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        _ => {
+                            for &(s, _) in top {
+                                for &t in compiled.row(s, col) {
+                                    any_match = true;
+                                    match available {
+                                        None => return Preview::Progress,
+                                        Some(avail) => {
+                                            if req[t.index()].satisfiable_within(avail) {
                                                 return Preview::Progress;
                                             }
                                         }
@@ -657,14 +670,6 @@ impl<'a> Machine<'a> {
                     let mut seed = std::mem::take(&mut self.seed_buf);
                     seed.clear();
                     match self.mode {
-                        ExecMode::Compiled => {
-                            let compiled = plan.nfa(nfa_id);
-                            for &(s, tag) in top {
-                                for &t in compiled.row(s, col) {
-                                    seed.push((t, tag));
-                                }
-                            }
-                        }
                         ExecMode::Interpreted => {
                             let nfa = self.mfa.nfa(nfa_id);
                             for &(s, tag) in top {
@@ -672,6 +677,14 @@ impl<'a> Machine<'a> {
                                     if t.test.matches(label) {
                                         seed.push((t.target, tag));
                                     }
+                                }
+                            }
+                        }
+                        _ => {
+                            let compiled = plan.nfa(nfa_id);
+                            for &(s, tag) in top {
+                                for &t in compiled.row(s, col) {
+                                    seed.push((t, tag));
                                 }
                             }
                         }
@@ -1042,8 +1055,8 @@ impl<'a> Machine<'a> {
             return out;
         }
         match self.mode {
-            ExecMode::Compiled => self.closure_slow_dense(nfa_id, seed, node, new_runs, observer),
             ExecMode::Interpreted => self.closure_slow_map(nfa_id, seed, node, new_runs, observer),
+            _ => self.closure_slow_dense(nfa_id, seed, node, new_runs, observer),
         }
     }
 

@@ -33,6 +33,23 @@ pub struct EvalStats {
 }
 
 impl EvalStats {
+    /// Accumulates another evaluation's counters into this one (additive
+    /// counters sum, `max_depth` takes the maximum) — used to merge
+    /// per-worker statistics of a parallel batch.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.subtrees_pruned_tax += other.subtrees_pruned_tax;
+        self.subtrees_skipped_dead += other.subtrees_skipped_dead;
+        self.cans_size += other.cans_size;
+        self.immediate_answers += other.immediate_answers;
+        self.answers += other.answers;
+        self.pred_instances += other.pred_instances;
+        self.runs_spawned += other.runs_spawned;
+        self.formula_nodes += other.formula_nodes;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.tree_passes += other.tree_passes;
+    }
+
     /// Fraction of visited nodes that became candidates — the paper's
     /// "Cans is often much smaller than the XML document tree".
     pub fn cans_ratio(&self) -> f64 {

@@ -14,6 +14,7 @@
 //! is one `u32` into a small set table. The evaluator intersects a state's
 //! required labels with a subtree's available labels to decide pruning.
 
+use crate::labelindex::LabelIndex;
 use smoqe_xml::{Document, EditSpan, LabelSet, NodeId, Vocabulary};
 use std::collections::HashMap;
 
@@ -26,10 +27,17 @@ pub struct TaxIndex {
     pub(crate) node_sets: Vec<u32>,
     /// Number of labels in the vocabulary when the index was built.
     pub(crate) num_labels: u32,
+    /// Positional complement (per-label occurrence lists, subtree ends,
+    /// levels) built in the same bottom-up pass. `None` only for indexes
+    /// loaded from disk before [`TaxIndex::attach_label_index`] runs —
+    /// the on-disk format predates it and positions are cheap to rebuild
+    /// from the document.
+    pub(crate) labels: Option<LabelIndex>,
 }
 
 impl TaxIndex {
-    /// Builds the index in one bottom-up pass over `doc`.
+    /// Builds the index — descendant-label sets plus the positional
+    /// [`LabelIndex`] — over `doc`, each in one bottom-up pass.
     pub fn build(doc: &Document) -> TaxIndex {
         let num_labels = doc.vocabulary().len();
         let n = doc.node_count();
@@ -76,6 +84,11 @@ impl TaxIndex {
             sets,
             node_sets,
             num_labels: num_labels as u32,
+            // One implementation of the positional construction (shared
+            // with `attach_label_index` and the patched-root fallback);
+            // its own descending sweep is cheap next to the set interning
+            // above.
+            labels: Some(LabelIndex::build(doc)),
         }
     }
 
@@ -163,6 +176,28 @@ impl TaxIndex {
             sets,
             node_sets,
             num_labels: num_labels as u32,
+            // The positional index rides along (with its own full-rebuild
+            // fallback for root-touching spans).
+            labels: self.labels.as_ref().map(|li| li.patched(new_doc, span)),
+        }
+    }
+
+    /// The positional label index built alongside the descendant sets, if
+    /// present (always for built/patched indexes; absent after
+    /// [`TaxIndex::load`](crate::TaxIndex) until
+    /// [`TaxIndex::attach_label_index`] reattaches it).
+    #[inline]
+    pub fn label_index(&self) -> Option<&LabelIndex> {
+        self.labels.as_ref()
+    }
+
+    /// (Re)builds the positional label index from `doc` — used after
+    /// loading a persisted index, whose on-disk format carries only the
+    /// descendant sets. No-op when the node counts disagree (the index
+    /// does not describe `doc`).
+    pub fn attach_label_index(&mut self, doc: &Document) {
+        if doc.node_count() == self.node_count() {
+            self.labels = Some(LabelIndex::build(doc));
         }
     }
 
@@ -208,6 +243,13 @@ impl TaxIndex {
             self.distinct_sets(),
             self.memory_bytes()
         );
+        if let Some(li) = &self.labels {
+            out.push_str(&format!(
+                "label index: {} labels, ~{} bytes (occurrence lists + subtree ends + levels)\n",
+                li.lists.len(),
+                li.memory_bytes()
+            ));
+        }
         for (i, s) in self.sets.iter().enumerate() {
             let names: Vec<String> = s.iter().map(|l| vocab.name(l).to_string()).collect();
             let count = self.node_sets.iter().filter(|&&x| x == i as u32).count();

@@ -9,6 +9,10 @@
 //!
 //! * [`TaxIndex::build`] — one bottom-up pass, with descendant-type sets
 //!   interned (documents have few distinct sets);
+//! * [`LabelIndex`] — the positional complement built in the same pass:
+//!   per-label sorted pre-order id lists plus per-node subtree ends and
+//!   levels, which jump-scan evaluation (`smoqe_hype::jump`) binary-
+//!   searches to visit only candidate subtrees;
 //! * [`TaxIndex::save`] / [`TaxIndex::load`] — compressed, versioned
 //!   on-disk format (varint sets + run-length-encoded node table), with
 //!   label names stored symbolically so indexes survive vocabulary
@@ -18,6 +22,8 @@
 #![warn(missing_docs)]
 
 pub mod index;
+pub mod labelindex;
 pub mod persist;
 
 pub use index::TaxIndex;
+pub use labelindex::LabelIndex;

@@ -162,6 +162,11 @@ impl TaxIndex {
             sets,
             node_sets,
             num_labels: vocab.len() as u32,
+            // The on-disk format carries only the descendant sets; callers
+            // with the document at hand reattach the positional index via
+            // `attach_label_index` (it is cheaper to rebuild than to
+            // store).
+            labels: None,
         })
     }
 

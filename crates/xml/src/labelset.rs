@@ -74,12 +74,20 @@ impl LabelSet {
         }
     }
 
-    /// Whether the two sets share any label.
+    /// Whether the two sets share any label: word-wise `&` with a
+    /// short-circuit on the first hit, never materializing the
+    /// intersection. Evaluator pruning checks (e.g. the jump driver's
+    /// "does any trigger label occur below this node" gate) sit on this,
+    /// so the common overlapping case exits on word 0.
+    #[inline]
     pub fn intersects(&self, other: &LabelSet) -> bool {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .any(|(a, b)| a & b != 0)
+        let n = self.words.len().min(other.words.len());
+        for i in 0..n {
+            if self.words[i] & other.words[i] != 0 {
+                return true;
+            }
+        }
+        false
     }
 
     /// Whether every label of `self` is in `other`.

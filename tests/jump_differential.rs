@@ -1,0 +1,157 @@
+//! Differential suite for jump-scan evaluation: on random documents ×
+//! random Regular XPath queries, the jump driver ([`ExecMode::Jump`])
+//! must produce **identical answers** to the dense-table scan walker
+//! ([`ExecMode::Compiled`]) and the per-event interpreter
+//! ([`ExecMode::Interpreted`]) — all agreeing with the naive reference
+//! evaluator — while entering **no more nodes** than the scan walker.
+//! Plans the jump driver cannot execute (predicates, no DFA) must fall
+//! back transparently.
+//!
+//! Also here: the deterministic multi-thread batch test — answers of a
+//! DOM batch are independent of `EngineConfig::eval_threads`.
+
+use proptest::prelude::*;
+use smoqe::workloads::hospital;
+use smoqe::{Engine, EngineConfig, User};
+use smoqe_automata::compile::CompiledMfa;
+use smoqe_automata::{compile, optimize::optimize};
+use smoqe_hype::dom::{evaluate_mfa_plan, DomOptions};
+use smoqe_hype::{jump_eligible, ExecMode, NoopObserver};
+use smoqe_rxpath::random::{random_path, QueryGenConfig};
+use smoqe_rxpath::{evaluate as naive, parse_path};
+use smoqe_tax::TaxIndex;
+use smoqe_xml::{Document, Vocabulary};
+
+/// One prepared document + query-generation config per RNG seed.
+fn setup(doc_seed: u64) -> (Vocabulary, Document, QueryGenConfig) {
+    let vocab = Vocabulary::new();
+    hospital::dtd(&vocab);
+    let doc = hospital::generate_document(&vocab, doc_seed, 400);
+    let labels = vec![
+        vocab.lookup("hospital").unwrap(),
+        vocab.lookup("patient").unwrap(),
+        vocab.lookup("pname").unwrap(),
+        vocab.lookup("visit").unwrap(),
+        vocab.lookup("treatment").unwrap(),
+        vocab.lookup("medication").unwrap(),
+        vocab.lookup("parent").unwrap(),
+        vocab.lookup("test").unwrap(),
+    ];
+    let values = vec!["autism".into(), "headache".into(), "Ann".into()];
+    let mut cfg = QueryGenConfig::new(labels, values);
+    cfg.max_depth = 4;
+    (vocab, doc, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn jump_equals_compiled_equals_interpreted(
+        doc_seed in 0u64..6,
+        query_seed in 0u64..10_000,
+        optimized in 0u64..2,
+    ) {
+        let optimized = optimized == 1;
+        let (vocab, doc, cfg) = setup(doc_seed);
+        let tax = TaxIndex::build(&doc);
+
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(query_seed);
+        let path = random_path(&mut rng, &cfg);
+        let printed = path.display(&vocab).to_string();
+        let path = parse_path(&printed, &vocab).unwrap();
+        let mfa = if optimized {
+            optimize(&compile(&path, &vocab))
+        } else {
+            compile(&path, &vocab)
+        };
+        let plan = CompiledMfa::compile(&mfa);
+        let expected = naive(&doc, &path);
+
+        let options = DomOptions { tax: Some(&tax) };
+        let run = |mode| evaluate_mfa_plan(&doc, &plan, &options, mode, &mut NoopObserver);
+        let (a_jump, s_jump) = run(ExecMode::Jump);
+        let (a_scan, s_scan) = run(ExecMode::Compiled);
+        let (a_interp, _) = run(ExecMode::Interpreted);
+        prop_assert_eq!(&a_jump, &expected, "jump vs naive on `{}`", printed);
+        prop_assert_eq!(&a_scan, &expected, "compiled vs naive on `{}`", printed);
+        prop_assert_eq!(&a_interp, &expected, "interpreted vs naive on `{}`", printed);
+        prop_assert!(
+            s_jump.nodes_visited <= s_scan.nodes_visited,
+            "jump visited {} > scan {} on `{}` (eligible: {})",
+            s_jump.nodes_visited, s_scan.nodes_visited, printed, jump_eligible(&plan)
+        );
+        // Ineligible plans fall back to the scan walker: identical stats.
+        if !jump_eligible(&plan) {
+            prop_assert_eq!(s_jump.nodes_visited, s_scan.nodes_visited);
+        }
+    }
+
+    /// The jump driver must also hold up under documents mutated through
+    /// the incremental index maintenance path (`TaxIndex::patched`).
+    #[test]
+    fn jump_agrees_after_incremental_edits(
+        doc_seed in 0u64..4,
+        edit_seed in 0u64..50,
+        query_seed in 0u64..2_000,
+    ) {
+        let (vocab, doc, cfg) = setup(doc_seed);
+        let mut tax = TaxIndex::build(&doc);
+        // Delete one subtree, patch the index (never rebuild).
+        let victims: Vec<_> = doc
+            .all_nodes()
+            .filter(|&n| doc.is_element(n) && n != doc.root())
+            .collect();
+        let victim = victims[(edit_seed as usize) % victims.len()];
+        let (doc, span) = smoqe_xml::delete_subtree(&doc, victim).unwrap();
+        tax = tax.patched(&doc, &span);
+
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(query_seed);
+        let path = random_path(&mut rng, &cfg);
+        let printed = path.display(&vocab).to_string();
+        let path = parse_path(&printed, &vocab).unwrap();
+        let plan = CompiledMfa::compile(&compile(&path, &vocab));
+        let expected = naive(&doc, &path);
+        let options = DomOptions { tax: Some(&tax) };
+        let (a_jump, _) = evaluate_mfa_plan(&doc, &plan, &options, ExecMode::Jump, &mut NoopObserver);
+        prop_assert_eq!(&a_jump, &expected, "jump on patched index, `{}`", printed);
+    }
+}
+
+/// Deterministic multi-thread batch check: a DOM batch returns the same
+/// answers at 1, 2, 4 and 8 worker threads (1 thread takes the shared
+/// streaming scan; more take the parallel snapshot path).
+#[test]
+fn batch_answers_are_independent_of_eval_threads() {
+    let queries: Vec<&str> = hospital::DOC_QUERIES.iter().map(|(_, q)| *q).collect();
+    let mut baseline: Option<Vec<Vec<smoqe_xml::NodeId>>> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let engine = Engine::new(EngineConfig {
+            eval_threads: threads,
+            ..EngineConfig::default()
+        });
+        hospital::dtd(engine.vocabulary());
+        let doc = hospital::generate_document(engine.vocabulary(), 3, 2_000);
+        engine.load_document_tree(doc);
+        engine.build_tax_index().unwrap();
+        let session = engine.session(User::Admin);
+        let batch = session.query_batch(&queries).unwrap();
+        let nodes: Vec<Vec<smoqe_xml::NodeId>> =
+            batch.answers.iter().map(|a| a.nodes.clone()).collect();
+        match &baseline {
+            None => baseline = Some(nodes),
+            Some(want) => assert_eq!(
+                &nodes, want,
+                "batch answers changed at {threads} eval threads"
+            ),
+        }
+        if threads > 1 {
+            assert_eq!(batch.events, 0, "parallel DOM batches do not parse");
+        }
+    }
+}

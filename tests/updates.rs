@@ -50,6 +50,33 @@ fn random_edit(
     }
 }
 
+/// Asserts that the TAX index's positional label index (occurrence
+/// lists, subtree ends, levels) describes `doc` exactly — i.e. equals
+/// what a from-scratch build would produce.
+fn assert_label_index_matches(tax: &TaxIndex, doc: &Document) {
+    let li = tax
+        .label_index()
+        .expect("built or patched indexes carry the label index");
+    assert_eq!(li.node_count(), doc.node_count());
+    for n in doc.all_nodes() {
+        assert_eq!(
+            li.subtree_end(n) as usize,
+            n.index() + doc.subtree_size(n),
+            "subtree_end of {n:?}"
+        );
+        assert_eq!(li.level(n) as usize, doc.depth(n), "level of {n:?}");
+    }
+    for raw in 0..doc.vocabulary().len() as u32 {
+        let label = smoqe_xml::Label(raw);
+        let want: Vec<u32> = doc.nodes_labeled(label).map(|n| n.0).collect();
+        assert_eq!(
+            li.occurrences(label),
+            want.as_slice(),
+            "occurrence list of label {raw}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
@@ -80,6 +107,7 @@ proptest! {
                     "node {:?} diverged after patch (seed {})", n, seed
                 );
             }
+            assert_label_index_matches(&tax, &new_doc);
             doc = new_doc;
         }
     }
@@ -195,6 +223,76 @@ proptest! {
             Err(other) => prop_assert!(false, "unexpected error: {}", other),
         }
     }
+}
+
+/// Regression (bugfix satellite): edits splicing at the very tail of the
+/// id space — the last sibling of the root's final child — recompute
+/// ancestors from the splice point only, which must keep the root-level
+/// `subtree_end` / label-set maintenance of the positional index
+/// consistent under `update_batch`; and a span touching the root itself
+/// (root replacement) must fall back to a full positional rebuild.
+#[test]
+fn tail_and_root_spanning_updates_keep_the_label_index_consistent() {
+    let engine = Engine::with_defaults();
+    engine.load_dtd(hospital::DTD).unwrap();
+    engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+    engine.build_tax_index().unwrap();
+    let doc = engine.document_handle(smoqe::DEFAULT_DOCUMENT).unwrap();
+
+    let check = |stage: &str| {
+        let tax = engine.tax_index().expect("index survives updates");
+        let current = engine.document().unwrap();
+        let rebuilt = TaxIndex::build(&current);
+        assert_eq!(tax.node_count(), rebuilt.node_count(), "{stage}");
+        for n in current.all_nodes() {
+            assert_eq!(
+                tax.descendant_labels(n).iter().collect::<Vec<_>>(),
+                rebuilt.descendant_labels(n).iter().collect::<Vec<_>>(),
+                "{stage}: node {n:?}"
+            );
+        }
+        assert_label_index_matches(&tax, &current);
+    };
+
+    // Cal is the root's final child; the edits below all splice at (or
+    // after) the last ids of the document.
+    let reports = doc
+        .update_batch(&[
+            // Append after the final child's last visit (the last sibling
+            // inside the root's final child).
+            "insert <visit><treatment><test>mri</test></treatment><date>d1</date></visit> \
+             after hospital/patient[pname = 'Cal']/visit[date = '2006-05-02']",
+            // Append a whole new final child of the root.
+            "insert <patient><pname>Tail</pname><visit><treatment><test>xray</test>\
+             </treatment><date>d2</date></visit></patient> \
+             after hospital/patient[pname = 'Cal']",
+            // And take it away again (delete spanning the document tail).
+            "delete hospital/patient[pname = 'Tail']",
+        ])
+        .unwrap();
+    assert!(
+        reports.iter().all(|r| r.tax_patched),
+        "patched, not rebuilt"
+    );
+    check("tail splices");
+
+    // Root replacement: span.parent is None, the positional index must
+    // rebuild rather than splice — and still end up exact.
+    doc.update(
+        "replace hospital with <hospital><patient><pname>Solo</pname>\
+         <visit><treatment><test>blood</test></treatment><date>d3</date></visit>\
+         </patient></hospital>",
+    )
+    .unwrap();
+    check("root replacement");
+    assert_eq!(
+        engine
+            .session(User::Admin)
+            .query("//patient")
+            .unwrap()
+            .len(),
+        1
+    );
 }
 
 #[test]
