@@ -124,6 +124,13 @@ pub struct CompiledNfa {
     row_off: Vec<u32>,
     row_targets: Vec<StateId>,
     dfa: Option<DfaTable>,
+    /// Guard-stripped DFA of a *guarded* NFA: subset construction that
+    /// crosses guarded ε-edges as if their guards were true. An
+    /// overapproximation — it accepts a superset of the guarded language —
+    /// used by jump-scan as a navigation skeleton whose verdicts are
+    /// re-verified guard-aware at candidate nodes. `None` for guard-free
+    /// NFAs (use [`CompiledNfa::dfa`], which is exact) and past the cap.
+    stripped: Option<DfaTable>,
 }
 
 impl CompiledNfa {
@@ -152,6 +159,16 @@ impl CompiledNfa {
     #[inline]
     pub fn dfa(&self) -> Option<&DfaTable> {
         self.dfa.as_ref()
+    }
+
+    /// The guard-stripped DFA of a guarded NFA (guards treated as true
+    /// during subset construction). Accepts a superset of the real
+    /// language: a navigation skeleton, never an oracle — callers must
+    /// re-verify acceptance guard-aware. `None` when the NFA is guard-free
+    /// (the exact [`CompiledNfa::dfa`] exists instead) or past the cap.
+    #[inline]
+    pub fn stripped_dfa(&self) -> Option<&DfaTable> {
+        self.stripped.as_ref()
     }
 
     /// Number of NFA states.
@@ -334,10 +351,15 @@ fn compile_nfa(nfa: &Nfa, num_labels: usize, label_cols: &[u16], width: usize) -
         }
     }
 
-    let dfa = if nfa.has_guards() || states == 0 {
-        None
+    // `build_dfa` closes over *every* ε-edge (guards ignored), so on a
+    // guard-free NFA it is exact, and on a guarded NFA it is precisely the
+    // guard-stripped overapproximation jump navigation wants.
+    let (dfa, stripped) = if states == 0 {
+        (None, None)
+    } else if nfa.has_guards() {
+        (None, build_dfa(nfa, width, &row_off, &row_targets))
     } else {
-        build_dfa(nfa, width, &row_off, &row_targets)
+        (build_dfa(nfa, width, &row_off, &row_targets), None)
     };
 
     CompiledNfa {
@@ -348,6 +370,7 @@ fn compile_nfa(nfa: &Nfa, num_labels: usize, label_cols: &[u16], width: usize) -
         row_off,
         row_targets,
         dfa,
+        stripped,
     }
 }
 
@@ -490,6 +513,46 @@ mod tests {
         assert!(plan.nfa(top).dfa().is_none(), "guarded top NFA");
         // But the HasPath sub-NFA (the `c` path) is guard-free.
         assert!(plan.dfa_nfa_count() >= 1);
+    }
+
+    #[test]
+    fn guarded_nfas_get_stripped_dfas() {
+        let (vocab, plan) = plan_for("a/b[c]/d");
+        let top = plan.mfa().top();
+        let stripped = plan.nfa(top).stripped_dfa().expect("stripped DFA");
+        // With the guard assumed true, the word a/b/d is accepted.
+        let mut state = stripped.start();
+        for l in ["a", "b", "d"] {
+            state = stripped.step(state, plan.col(vocab.intern(l)));
+            assert_ne!(state, DEAD, "stripped DFA died on {l}");
+        }
+        assert!(stripped.accept(state));
+        // Agreement with guard-ignoring NFA simulation on short words.
+        let nfa = plan.mfa().nfa(top);
+        let labels: Vec<Label> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| vocab.intern(n))
+            .collect();
+        for &x in &labels {
+            for &y in &labels {
+                for &z in &labels {
+                    let w = [x, y, z];
+                    let mut s = stripped.start();
+                    for &l in &w {
+                        if s != DEAD {
+                            s = stripped.step(s, plan.col(l));
+                        }
+                    }
+                    let got = s != DEAD && stripped.accept(s);
+                    assert_eq!(got, accepts_word_unguarded(nfa, &w), "word {w:?}");
+                }
+            }
+        }
+        // Guard-free NFAs carry only the exact DFA.
+        let (_, plain) = plan_for("a/b");
+        let top = plain.mfa().top();
+        assert!(plain.nfa(top).dfa().is_some());
+        assert!(plain.nfa(top).stripped_dfa().is_none());
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Value-guard classification for jump-scan trigger narrowing.
+//!
+//! Jump-scan evaluation wants to know when a guarded ε-edge's predicate
+//! pins a node's *text value*: those guards translate into posting-list
+//! lookups on the (label, value) index instead of subtree walks. Two shapes
+//! cover the canonical forms `build.rs` emits:
+//!
+//! * `[. = 'v']` / `[text() = 'v']` compiles to a bare [`Pred::TextEq`] —
+//!   the guarded node itself must carry the text ([`ValueGuard::SelfText`]).
+//! * `[b = 'v']` compiles to a [`Pred::HasPath`] whose sub-NFA is exactly
+//!   `start --Label(b)--> mid --ε[TextEq(v)]--> accept` — some *child*
+//!   labelled `b` must carry the text ([`ValueGuard::ChildText`]).
+//!
+//! Anything else (deeper witness paths, negation, disjunction, wildcard
+//! steps) classifies as `None` and the caller falls back to unnarrowed
+//! triggers. The check is purely structural, so a rewritten plan whose
+//! sub-NFA happens to match the shape benefits too.
+
+use crate::mfa::{LabelTest, Mfa, Nfa, Pred, PredId};
+use smoqe_xml::Label;
+
+/// A predicate that pins a text value, recognized by
+/// [`classify_value_guard`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValueGuard {
+    /// The guarded node's own direct text must equal the value.
+    SelfText(String),
+    /// Some child with the given label must have the value as direct text.
+    ChildText(Label, String),
+}
+
+/// Classifies `pred` as a value guard, if it has one of the two canonical
+/// text-comparison shapes. Empty values never classify: the value index
+/// only posts nodes with non-empty direct text, so narrowing on `""` would
+/// drop real witnesses.
+pub fn classify_value_guard(mfa: &Mfa, pred: PredId) -> Option<ValueGuard> {
+    match mfa.pred(pred) {
+        Pred::TextEq(v) if !v.is_empty() => Some(ValueGuard::SelfText(v.clone())),
+        Pred::HasPath(sub) => classify_child_text(mfa, mfa.nfa(*sub)),
+        _ => None,
+    }
+}
+
+/// Matches the exact `start --Label(b)--> mid --ε[TextEq(v)]--> accept`
+/// shape (three distinct states, no other edges).
+fn classify_child_text(mfa: &Mfa, nfa: &Nfa) -> Option<ValueGuard> {
+    if nfa.state_count() != 3 {
+        return None;
+    }
+    let start = nfa.start();
+    let accept = nfa.accept();
+    if !nfa.eps_edges(start).is_empty() || nfa.transitions(start).len() != 1 {
+        return None;
+    }
+    let step = nfa.transitions(start)[0];
+    let label = match step.test {
+        LabelTest::Label(l) => l,
+        LabelTest::Wildcard => return None,
+    };
+    let mid = step.target;
+    if mid == start || mid == accept || start == accept {
+        return None;
+    }
+    if !nfa.transitions(mid).is_empty() || nfa.eps_edges(mid).len() != 1 {
+        return None;
+    }
+    let eps = nfa.eps_edges(mid)[0];
+    if eps.target != accept {
+        return None;
+    }
+    let guard = eps.guard?;
+    if !nfa.eps_edges(accept).is_empty() || !nfa.transitions(accept).is_empty() {
+        return None;
+    }
+    match mfa.pred(guard) {
+        Pred::TextEq(v) if !v.is_empty() => Some(ValueGuard::ChildText(label, v.clone())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::compile;
+    use smoqe_rxpath::parse_path;
+    use smoqe_xml::Vocabulary;
+
+    fn mfa_for(q: &str) -> (Vocabulary, Mfa) {
+        let vocab = Vocabulary::new();
+        let path = parse_path(q, &vocab).unwrap();
+        let mfa = compile(&path, &vocab);
+        (vocab, mfa)
+    }
+
+    /// All guards appearing on the top NFA's ε-edges, classified.
+    fn top_guards(mfa: &Mfa) -> Vec<Option<ValueGuard>> {
+        let nfa = mfa.nfa(mfa.top());
+        nfa.states()
+            .flat_map(|s| nfa.eps_edges(s))
+            .filter_map(|e| e.guard)
+            .map(|g| classify_value_guard(mfa, g))
+            .collect()
+    }
+
+    #[test]
+    fn self_text_classifies() {
+        let (_, mfa) = mfa_for("a[. = 'v']");
+        let guards = top_guards(&mfa);
+        assert_eq!(guards, vec![Some(ValueGuard::SelfText("v".into()))]);
+    }
+
+    #[test]
+    fn child_text_classifies() {
+        let (vocab, mfa) = mfa_for("a[b = 'hello']");
+        let b = vocab.lookup("b").unwrap();
+        let guards = top_guards(&mfa);
+        assert_eq!(
+            guards,
+            vec![Some(ValueGuard::ChildText(b, "hello".into()))]
+        );
+    }
+
+    #[test]
+    fn structural_and_complex_guards_do_not_classify() {
+        for q in [
+            "a[b]",                 // existence, no value
+            "a[b/c = 'v']",         // witness two steps down
+            "a[not(b = 'v')]",      // negation
+            "a[b = 'v' or c]",      // disjunction
+            "a[* = 'v']",           // wildcard child step
+        ] {
+            let (_, mfa) = mfa_for(q);
+            let guards = top_guards(&mfa);
+            assert!(!guards.is_empty(), "{q} should have guards");
+            assert!(
+                guards.iter().all(Option::is_none),
+                "{q} must not classify: {guards:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_value_does_not_classify() {
+        let (_, mfa) = mfa_for("a[. = '']");
+        let guards = top_guards(&mfa);
+        assert!(guards.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn descendant_witness_does_not_classify() {
+        // `a[//b = 'v']` walks arbitrarily deep — more than 3 states.
+        let (_, mfa) = mfa_for("a[.//b = 'v']");
+        let guards = top_guards(&mfa);
+        assert!(guards.iter().all(Option::is_none));
+    }
+}

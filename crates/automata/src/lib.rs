@@ -11,6 +11,9 @@
 //!   ([`compile`]);
 //! * [`analysis`] — required-label analysis powering TAX pruning, plus
 //!   reachability and guard-free simulation helpers;
+//! * [`guards`] — value-guard classification ([`classify_value_guard`]):
+//!   recognizes `text() = 'v'`-shaped predicates so jump-scan can narrow
+//!   trigger sets to (label, value) posting lists;
 //! * [`optimize`] — trimming + cross-arena garbage collection
 //!   ([`optimize::optimize`]), the "optimization techniques" the demo
 //!   toggles;
@@ -26,9 +29,11 @@
 pub mod analysis;
 pub mod build;
 pub mod compile;
+pub mod guards;
 pub mod mfa;
 pub mod optimize;
 
 pub use build::{compile, compile_qualifier, Builder};
 pub use compile::CompiledMfa;
+pub use guards::{classify_value_guard, ValueGuard};
 pub use mfa::{EpsEdge, LabelTest, Mfa, MfaStats, Nfa, NfaId, Pred, PredId, StateId, Transition};

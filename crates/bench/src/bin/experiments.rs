@@ -16,7 +16,9 @@ use smoqe_bench::{fmt_duration, time, time_mean, HospitalSetup, OrgSetup, Table}
 use smoqe_hype::batch::evaluate_batch_stream_plans;
 use smoqe_hype::dom::{evaluate_mfa_plan, evaluate_mfa_with, DomOptions};
 use smoqe_hype::stream::{evaluate_stream, evaluate_stream_plan_with, StreamOptions};
-use smoqe_hype::{evaluate_mfa, evaluate_mfa_twopass_report, ExecMode, NoopObserver};
+use smoqe_hype::{
+    evaluate_jump_frontier, evaluate_mfa, evaluate_mfa_twopass_report, ExecMode, NoopObserver,
+};
 use smoqe_rewrite::{rewrite, rewrite_direct};
 use smoqe_rxpath::{evaluate as naive_evaluate, parse_path};
 use smoqe_tax::TaxIndex;
@@ -475,7 +477,9 @@ fn bench_json(quick: bool) {
         let plan = plan_for(q);
         let threshold = EngineConfig::default().jump_selectivity;
         if smoqe_hype::jump_available(&doc, &plan, Some(&tax))
-            && smoqe_hype::estimated_selectivity(&plan, &tax).is_some_and(|s| s <= threshold)
+            && smoqe_hype::selectivity_estimate(&doc, &plan, Some(&tax))
+                .measured()
+                .is_some_and(|s| s <= threshold)
         {
             ExecMode::Jump
         } else {
@@ -489,6 +493,48 @@ fn bench_json(quick: bool) {
     let selective_auto_us = dom_mode_us(SELECTIVE_Q, auto_mode(SELECTIVE_Q));
     let unselective_scan_us = dom_mode_us(UNSELECTIVE_Q, ExecMode::Compiled);
     let unselective_auto_us = dom_mode_us(UNSELECTIVE_Q, auto_mode(UNSELECTIVE_Q));
+
+    // Predicated jump: a selective `text() = 'v'` query resolves through
+    // the (label, value) posting lists — the scan walker still touches
+    // the whole document. The point workload splices 32 unique-pname
+    // patients in, so the measured posting lists have length 1.
+    let point_doc = smoqe_bench::splice_unique_patients(&doc, &vocab, 32);
+    let point_tax = TaxIndex::build(&point_doc);
+    let point_mode_us = |q: &str, mode: ExecMode| -> f64 {
+        let plan = plan_for(q);
+        let opts = DomOptions {
+            tax: Some(&point_tax),
+        };
+        time_mean(iters, || {
+            evaluate_mfa_plan(&point_doc, &plan, &opts, mode, &mut NoopObserver)
+        })
+        .as_secs_f64()
+            * 1e6
+    };
+    const PREDICATED_Q: &str = "//pname[. = 'U00']";
+    let predicated_scan_us = point_mode_us(PREDICATED_Q, ExecMode::Compiled);
+    let predicated_jump_us = point_mode_us(PREDICATED_Q, ExecMode::Jump);
+
+    // The shared batch jump frontier: 32 selective point plans, swept
+    // serially (threads = 1) so the number holds on a single-core host.
+    let frontier_queries: Vec<String> = (0..32)
+        .map(|i| {
+            if i % 2 == 0 {
+                format!("//patient[pname = 'U{i:02}']")
+            } else {
+                format!("//pname[. = 'U{i:02}']")
+            }
+        })
+        .collect();
+    let frontier_plans: Vec<CompiledMfa> =
+        frontier_queries.iter().map(|q| plan_for(q)).collect();
+    let frontier_refs: Vec<&CompiledMfa> = frontier_plans.iter().collect();
+    let batch_jump_qps = {
+        let d = time_mean(iters, || {
+            evaluate_jump_frontier(&point_doc, &frontier_refs, &point_tax, 1)
+        });
+        frontier_refs.len() as f64 / d.as_secs_f64()
+    };
 
     // Parallel DOM batch throughput: the same 16-query mix, serially
     // (one DOM query at a time) vs partitioned across worker threads
@@ -558,6 +604,11 @@ fn bench_json(quick: bool) {
          \x20   \"unselective_scan\": {unselective_scan_us:.2},\n\
          \x20   \"unselective_auto\": {unselective_auto_us:.2}\n\
          \x20 }},\n\
+         \x20 \"predicated_jump_latency_us\": {{\n\
+         \x20   \"scan\": {predicated_scan_us:.2},\n\
+         \x20   \"jump\": {predicated_jump_us:.2}\n\
+         \x20 }},\n\
+         \x20 \"batch_jump_qps\": {batch_jump_qps:.1},\n\
          \x20 \"parallel_batch_qps\": {{\n\
          \x20   \"serial_dom\": {serial_dom_qps:.1},\n\
          \x20   \"threads_2\": {threads2_qps:.1},\n\

@@ -7,8 +7,8 @@
 //! ```text
 //! smoqe derive   --dtd D.dtd --policy P.pol            # Fig. 3: show sigma + view DTD
 //! smoqe query    --dtd D.dtd --doc T.xml [--policy P.pol] [--stream] [--tax]
-//!                [--mode scan|jump|auto] [--threads N]
-//!                [--repeat N] [--cache-stats] [--batch FILE] QUERY
+//!                [--mode scan|jump|auto] [--threads N] [--repeat N]
+//!                [--cache-stats] [--explain] [--batch FILE] QUERY
 //! smoqe explain  --dtd D.dtd [--policy P.pol] QUERY    # rewritten MFA listing
 //! smoqe trace    --dtd D.dtd --doc T.xml [--policy P.pol] QUERY   # Fig. 5 trace
 //! smoqe index    --doc T.xml --out T.tax               # build + persist TAX
@@ -27,6 +27,12 @@
 //! only candidate subtrees; implies `--tax`), `--mode auto` picks jump or
 //! scan per query from the estimated selectivity, and `--threads N`
 //! answers DOM-mode batches on N worker threads over one shared snapshot.
+//!
+//! `--explain` prints, per query, the execution mode the engine picked,
+//! the statistics-based selectivity estimate (or the reason none exists),
+//! and the candidate source lists a jump scan would probe from the
+//! document root — full label occurrence lists, narrowed (label, value)
+//! posting lists, or child-witness postings.
 //!
 //! `--batch FILE` answers every query listed in FILE (one Regular XPath
 //! query per line, `#` comments and blank lines skipped) in **one
@@ -79,7 +85,7 @@ fn parse_args(raw: &[String]) -> Args {
             // Switches without values.
             if matches!(
                 name,
-                "stream" | "tax" | "no-optimize" | "dot" | "cache-stats"
+                "stream" | "tax" | "no-optimize" | "dot" | "cache-stats" | "explain"
             ) {
                 switches.push(name.to_string());
                 i += 1;
@@ -134,7 +140,7 @@ fn print_usage() {
            query    --dtd FILE --doc FILE [--policy FILE]\n\
                     [--stream] [--tax] [--no-optimize]\n\
                     [--mode scan|jump|auto] [--threads N]\n\
-                    [--repeat N] [--cache-stats]\n\
+                    [--repeat N] [--cache-stats] [--explain]\n\
                     [--batch FILE | QUERY]                   answer one query, or a whole\n\
                                                              batch file in a single scan\n\
                                                              (or across N DOM workers)\n\
@@ -286,6 +292,64 @@ fn mode_name(mode: ExecMode) -> &'static str {
     }
 }
 
+/// `--explain`: the mode the engine picked for this query, the
+/// statistics-based selectivity estimate (or why none exists), and the
+/// candidate source lists a jump scan would probe from the document root.
+fn print_explain(
+    doc: &DocHandle,
+    user: &User,
+    query: &str,
+    mode: ExecMode,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use smoqe_hype::{
+        selectivity_estimate, start_region_triggers, SelectivityEstimate, TriggerKind,
+    };
+    let mfa = doc.plan(user, query)?;
+    let plan = smoqe_automata::compile::CompiledMfa::compile(&mfa);
+    let Ok(tree) = doc.document() else {
+        // Stream mode holds no DOM: mode is all there is to report.
+        eprintln!(
+            "explain `{query}`: mode = {}; no DOM snapshot, no index statistics",
+            mode_name(mode)
+        );
+        return Ok(());
+    };
+    let tax = doc.tax_index();
+    let estimate = match selectivity_estimate(&tree, &plan, tax.as_deref()) {
+        SelectivityEstimate::Measured(f) => format!("{:.4}% of nodes", f * 100.0),
+        SelectivityEstimate::NoRequiredLabel => {
+            "no required label (assumed unselective)".to_string()
+        }
+        SelectivityEstimate::NoIndex => "no positional index (estimate unavailable)".to_string(),
+    };
+    eprintln!(
+        "explain `{query}`: mode = {}; estimated selectivity = {estimate}",
+        mode_name(mode)
+    );
+    let triggers = start_region_triggers(&tree, &plan, tax.as_deref());
+    if triggers.is_empty() {
+        eprintln!("  triggers: none (the plan cannot jump from the root)");
+    } else {
+        let vocab = doc.engine().vocabulary();
+        for t in &triggers {
+            let kind = match t.kind {
+                TriggerKind::Full => "full occurrence list",
+                TriggerKind::NarrowedValue => "value posting list",
+                TriggerKind::ChildEvidence => "child-witness postings",
+            };
+            match &t.value {
+                Some(v) => eprintln!(
+                    "  trigger {} = '{v}': {} entries ({kind})",
+                    vocab.name(t.label),
+                    t.len
+                ),
+                None => eprintln!("  trigger {}: {} entries ({kind})", vocab.name(t.label), t.len),
+            }
+        }
+    }
+    Ok(())
+}
+
 fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let (doc, user) = build_document(args)?;
     let session = doc.session(user);
@@ -364,6 +428,11 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 },
             }
         }
+        if args.switch("explain") {
+            for (query, answer) in queries.iter().zip(&batch.answers) {
+                print_explain(&doc, session.user(), query, answer.mode)?;
+            }
+        }
         if args.switch("cache-stats") {
             print_cache_stats(&doc);
         }
@@ -394,6 +463,9 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     );
     for xml in session.query_xml(query)? {
         println!("{xml}");
+    }
+    if args.switch("explain") {
+        print_explain(&doc, session.user(), query, answer.mode)?;
     }
     if args.switch("cache-stats") {
         print_cache_stats(&doc);

@@ -24,7 +24,7 @@ use smoqe_automata::{compile, optimize::optimize, Mfa};
 use smoqe_hype::batch::evaluate_batch_stream_plans;
 use smoqe_hype::dom::{evaluate_mfa_plan, DomOptions};
 use smoqe_hype::stream::{evaluate_stream_plan_with, StreamOptions};
-use smoqe_hype::{estimated_selectivity, jump_available};
+use smoqe_hype::{evaluate_jump_frontier, jump_available, selectivity_estimate};
 use smoqe_hype::{EvalObserver, EvalStats, ExecMode, NoopObserver};
 use smoqe_rxpath::parse_path;
 use smoqe_tax::TaxIndex;
@@ -397,11 +397,15 @@ impl Engine {
             EvalMode::Jump if jumpable => ExecMode::Jump,
             EvalMode::Auto
                 if jumpable
-                    && estimated_selectivity(plan, tax.expect("jump_available implies tax"))
+                    && selectivity_estimate(&source.doc, plan, tax)
+                        .measured()
                         .is_some_and(|s| s <= self.config.jump_selectivity) =>
             {
                 ExecMode::Jump
             }
+            // An unselective estimate, a `NoRequiredLabel` plan, or (in
+            // principle — `jumpable` already implies an index) a
+            // `NoIndex` report all stay on the scan walker.
             _ => ExecMode::Compiled,
         }
     }
@@ -883,37 +887,86 @@ impl Engine {
         Ok(BatchAnswer { answers, events })
     }
 
-    /// The parallel DOM batch path: partition the batch's plans across
-    /// [`EngineConfig::eval_threads`] scoped workers, all evaluating
-    /// against the same `Arc` document/TAX snapshot (both are
-    /// `Send + Sync`, and no worker takes a lock). Each answer is exactly
-    /// what [`Session::query`] would have produced for that request —
-    /// including the per-plan scan/jump auto-pick — so answers are
-    /// independent of the thread count by construction.
+    /// The parallel DOM batch path. Plans that resolve to jump mode (per
+    /// the same scan/jump auto-pick [`Session::query`] applies) merge
+    /// their candidate lists into **one shared ascending frontier**,
+    /// partitioned by frontier ranges across
+    /// [`EngineConfig::eval_threads`] workers — one hop sequence drives
+    /// all of them instead of each worker re-walking the document. The
+    /// remaining plans partition across scoped workers as before, all
+    /// evaluating against the same `Arc` document/TAX snapshot
+    /// (`Send + Sync`, no worker takes a lock). Answers are independent
+    /// of the thread count by construction.
     fn evaluate_batch_parallel(
         &self,
         source: &Arc<LoadedSource>,
         parts: &[(User, Arc<CompiledMfa>, bool)],
     ) -> Result<BatchAnswer, EngineError> {
-        let workers = self.config.eval_threads.min(parts.len()).max(1);
-        let chunk = parts.len().div_ceil(workers);
         let mut slots: Vec<Option<Result<Answer, EngineError>>> = Vec::new();
         slots.resize_with(parts.len(), || None);
-        std::thread::scope(|scope| {
-            for (part_chunk, slot_chunk) in parts.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for ((_, plan, cached), slot) in part_chunk.iter().zip(slot_chunk.iter_mut()) {
-                        let result = self.evaluate_snapshot(source, plan, &mut NoopObserver).map(
-                            |mut answer| {
-                                answer.plan_cached = *cached;
-                                answer
-                            },
-                        );
-                        *slot = Some(result);
-                    }
-                });
+        let mut jump_idx: Vec<usize> = Vec::new();
+        let mut scan_idx: Vec<usize> = Vec::new();
+        for (i, (_, plan, _)) in parts.iter().enumerate() {
+            if self.resolve_dom_mode(source, plan, false) == ExecMode::Jump {
+                jump_idx.push(i);
+            } else {
+                scan_idx.push(i);
             }
-        });
+        }
+        if !jump_idx.is_empty() {
+            let tax = source
+                .tax
+                .as_deref()
+                .expect("resolving to jump mode implies a TAX index");
+            let plans: Vec<&CompiledMfa> =
+                jump_idx.iter().map(|&i| parts[i].1.as_ref()).collect();
+            let outcomes =
+                evaluate_jump_frontier(&source.doc, &plans, tax, self.config.eval_threads);
+            for (&i, outcome) in jump_idx.iter().zip(outcomes) {
+                match outcome {
+                    Some((nodes, stats)) => {
+                        slots[i] = Some(Ok(Answer {
+                            nodes: nodes.into_vec(),
+                            stats,
+                            plan_cached: parts[i].2,
+                            mode: ExecMode::Jump,
+                            xml: None,
+                        }));
+                    }
+                    // The mode pick said jump but the frontier could not
+                    // admit the plan: evaluate it with the scan workers.
+                    None => scan_idx.push(i),
+                }
+            }
+            scan_idx.sort_unstable();
+        }
+        if !scan_idx.is_empty() {
+            let workers = self.config.eval_threads.min(scan_idx.len()).max(1);
+            let chunk = scan_idx.len().div_ceil(workers);
+            let mut scan_slots: Vec<Option<Result<Answer, EngineError>>> = Vec::new();
+            scan_slots.resize_with(scan_idx.len(), || None);
+            std::thread::scope(|scope| {
+                for (idx_chunk, slot_chunk) in
+                    scan_idx.chunks(chunk).zip(scan_slots.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for (&i, slot) in idx_chunk.iter().zip(slot_chunk.iter_mut()) {
+                            let (_, plan, cached) = &parts[i];
+                            let result = self
+                                .evaluate_snapshot(source, plan, &mut NoopObserver)
+                                .map(|mut answer| {
+                                    answer.plan_cached = *cached;
+                                    answer
+                                });
+                            *slot = Some(result);
+                        }
+                    });
+                }
+            });
+            for (i, slot) in scan_idx.into_iter().zip(scan_slots) {
+                slots[i] = slot;
+            }
+        }
         let answers = slots
             .into_iter()
             .map(|slot| slot.expect("every batch slot is written by its worker"))
@@ -1672,7 +1725,7 @@ mod tests {
     }
 
     #[test]
-    fn jump_mode_falls_back_without_an_index_or_for_guarded_plans() {
+    fn jump_mode_falls_back_without_an_index_and_runs_guarded_plans() {
         let engine = Engine::new(EngineConfig {
             eval_mode: crate::config::EvalMode::Jump,
             ..EngineConfig::default()
@@ -1687,10 +1740,23 @@ mod tests {
         assert_eq!(admin.query("//test").unwrap().mode, ExecMode::Compiled);
         engine.build_tax_index().unwrap();
         assert_eq!(admin.query("//test").unwrap().mode, ExecMode::Jump);
-        // Predicates make a plan ineligible; answers still correct.
+        // Predicated plans jump too now (guard-stripped DFA + exact
+        // re-verification at candidates); answers stay correct.
         let guarded = admin.query("hospital/patient[pname = 'Ann']").unwrap();
-        assert_eq!(guarded.mode, ExecMode::Compiled);
+        assert_eq!(guarded.mode, ExecMode::Jump);
         assert_eq!(guarded.len(), 1);
+        let scan = Engine::new(EngineConfig {
+            eval_mode: crate::config::EvalMode::Scan,
+            ..EngineConfig::default()
+        });
+        scan.load_dtd(smoqe_xml::HOSPITAL_DTD).unwrap();
+        scan.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+        let reference = scan
+            .session(User::Admin)
+            .query("hospital/patient[pname = 'Ann']")
+            .unwrap();
+        assert_eq!(reference.mode, ExecMode::Compiled);
+        assert_eq!(guarded.nodes, reference.nodes);
         // Rewritten (view) plans ride the same resolution transparently.
         let group = engine.session(User::Group("researchers".into()));
         let meds = group.query("//medication").unwrap();

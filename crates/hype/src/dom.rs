@@ -44,10 +44,12 @@ pub fn evaluate_mfa_with(
 /// plan is compiled once (and cached engine-wide); `mode` selects the
 /// dense-table executor, the per-event interpreter, or the jump scan.
 ///
-/// [`ExecMode::Jump`] engages only for predicate-free DFA plans with a
-/// positional label index on `options.tax` and a no-op observer (a jump
-/// produces no per-node event stream); anything else falls back to the
-/// compiled scan, with identical answers.
+/// [`ExecMode::Jump`] engages for DFA plans — exact DFAs for the
+/// guard-free fragment, guard-stripped DFAs with exact per-candidate
+/// re-verification for predicated plans — given a positional label index
+/// on `options.tax` and a no-op observer (a jump produces no per-node
+/// event stream); anything else falls back to the compiled scan, with
+/// identical answers.
 pub fn evaluate_mfa_plan(
     doc: &Document,
     plan: &CompiledMfa,

@@ -8,9 +8,15 @@
 //!
 //! * [`dom`] — DOM mode, with automaton-driven subtree skipping and
 //!   TAX-index pruning ([`evaluate_mfa`]);
-//! * [`jump`] — jump-scan DOM mode: predicate-free DFA plans hop between
-//!   candidate subtrees through the positional label index, visiting
-//!   O(candidate) nodes instead of O(n);
+//! * [`jump`] — jump-scan DOM mode: DFA plans (exact for the guard-free
+//!   fragment, guard-stripped with exact re-verification for predicated
+//!   ones) hop between candidate subtrees through the positional label
+//!   and value posting indexes, visiting O(candidate) nodes instead of
+//!   O(n);
+//! * [`frontier`] — shared batch jump frontier: a batch of jump-eligible
+//!   plans merges its candidate lists into one ascending sweep,
+//!   partitioned by frontier ranges across worker threads
+//!   ([`evaluate_jump_frontier`]);
 //! * [`stream`] — StAX mode: the same core over pull-parser events with
 //!   candidate-subtree buffering ([`evaluate_stream`]);
 //! * [`batch`] — batched StAX mode: one shared sequential scan answers a
@@ -26,6 +32,7 @@
 pub mod batch;
 pub mod cans;
 pub mod dom;
+pub mod frontier;
 pub mod jump;
 pub mod machine;
 pub mod observer;
@@ -39,7 +46,11 @@ pub use batch::{
     BatchOutcome,
 };
 pub use dom::{evaluate_mfa, evaluate_mfa_plan, evaluate_mfa_with, DomOptions};
-pub use jump::{estimated_selectivity, evaluate_jump, jump_available, jump_eligible};
+pub use frontier::evaluate_jump_frontier;
+pub use jump::{
+    evaluate_jump, jump_available, jump_eligible, selectivity_estimate, start_region_triggers,
+    SelectivityEstimate, TriggerInfo, TriggerKind,
+};
 pub use machine::ExecMode;
 pub use observer::{EvalObserver, NoopObserver, PruneReason};
 pub use stats::EvalStats;

@@ -25,6 +25,11 @@ pub struct EvalStats {
     pub runs_spawned: usize,
     /// Formula nodes allocated for validity tracking.
     pub formula_nodes: usize,
+    /// Guard evaluations performed outside the main traversal (jump-scan
+    /// verification probes: text comparisons and `HasPath` witness walks
+    /// at candidate nodes). Zero for scan evaluations, where guards
+    /// resolve inside the single pass.
+    pub guard_probes: usize,
     /// Maximum depth reached.
     pub max_depth: usize,
     /// Full passes over the document tree (1 for HyPE, 2 for the two-pass
@@ -46,6 +51,7 @@ impl EvalStats {
         self.pred_instances += other.pred_instances;
         self.runs_spawned += other.runs_spawned;
         self.formula_nodes += other.formula_nodes;
+        self.guard_probes += other.guard_probes;
         self.max_depth = self.max_depth.max(other.max_depth);
         self.tree_passes += other.tree_passes;
     }

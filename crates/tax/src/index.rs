@@ -15,6 +15,7 @@
 //! required labels with a subtree's available labels to decide pruning.
 
 use crate::labelindex::LabelIndex;
+use crate::valueindex::ValueIndex;
 use smoqe_xml::{Document, EditSpan, LabelSet, NodeId, Vocabulary};
 use std::collections::HashMap;
 
@@ -33,6 +34,10 @@ pub struct TaxIndex {
     /// the on-disk format predates it and positions are cheap to rebuild
     /// from the document.
     pub(crate) labels: Option<LabelIndex>,
+    /// Text-value posting lists (per-(label, value) occurrence ids),
+    /// built and maintained alongside [`TaxIndex::labels`] and absent in
+    /// exactly the same loaded-from-disk window.
+    pub(crate) values: Option<ValueIndex>,
 }
 
 impl TaxIndex {
@@ -89,6 +94,7 @@ impl TaxIndex {
             // its own descending sweep is cheap next to the set interning
             // above.
             labels: Some(LabelIndex::build(doc)),
+            values: Some(ValueIndex::build(doc)),
         }
     }
 
@@ -176,9 +182,10 @@ impl TaxIndex {
             sets,
             node_sets,
             num_labels: num_labels as u32,
-            // The positional index rides along (with its own full-rebuild
-            // fallback for root-touching spans).
+            // The positional indexes ride along (each with its own
+            // full-rebuild fallback for root-touching spans).
             labels: self.labels.as_ref().map(|li| li.patched(new_doc, span)),
+            values: self.values.as_ref().map(|vi| vi.patched(new_doc, span)),
         }
     }
 
@@ -191,13 +198,21 @@ impl TaxIndex {
         self.labels.as_ref()
     }
 
-    /// (Re)builds the positional label index from `doc` — used after
-    /// loading a persisted index, whose on-disk format carries only the
-    /// descendant sets. No-op when the node counts disagree (the index
-    /// does not describe `doc`).
+    /// The text-value posting index built alongside the label index, under
+    /// the same presence rules.
+    #[inline]
+    pub fn value_index(&self) -> Option<&ValueIndex> {
+        self.values.as_ref()
+    }
+
+    /// (Re)builds the positional label index and the value posting index
+    /// from `doc` — used after loading a persisted index, whose on-disk
+    /// format carries only the descendant sets. No-op when the node
+    /// counts disagree (the index does not describe `doc`).
     pub fn attach_label_index(&mut self, doc: &Document) {
         if doc.node_count() == self.node_count() {
             self.labels = Some(LabelIndex::build(doc));
+            self.values = Some(ValueIndex::build(doc));
         }
     }
 
@@ -249,6 +264,28 @@ impl TaxIndex {
                 li.lists.len(),
                 li.memory_bytes()
             ));
+        }
+        if let Some(vi) = &self.values {
+            out.push_str(&format!(
+                "value index: {} (label, value) posting lists, {} postings, ~{} bytes\n",
+                vi.distinct_postings(),
+                vi.total_occurrences(),
+                vi.memory_bytes()
+            ));
+            for (label, distinct, occurrences) in vi.label_stats() {
+                let li_total = self
+                    .labels
+                    .as_ref()
+                    .map(|li| li.occurrences(smoqe_xml::Label(label)).len())
+                    .unwrap_or(0);
+                out.push_str(&format!(
+                    "  {}: {} occurrences, {} distinct values over {} posted\n",
+                    vocab.name(smoqe_xml::Label(label)),
+                    li_total,
+                    distinct,
+                    occurrences
+                ));
+            }
         }
         for (i, s) in self.sets.iter().enumerate() {
             let names: Vec<String> = s.iter().map(|l| vocab.name(l).to_string()).collect();

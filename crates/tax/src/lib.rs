@@ -13,6 +13,9 @@
 //!   per-label sorted pre-order id lists plus per-node subtree ends and
 //!   levels, which jump-scan evaluation (`smoqe_hype::jump`) binary-
 //!   searches to visit only candidate subtrees;
+//! * [`ValueIndex`] — per-(label, text-value) posting lists (hashed
+//!   values with evaluator-side verification), which turn `text() = 'v'`
+//!   leaf predicates into posting-list lookups instead of full walks;
 //! * [`TaxIndex::save`] / [`TaxIndex::load`] — compressed, versioned
 //!   on-disk format (varint sets + run-length-encoded node table), with
 //!   label names stored symbolically so indexes survive vocabulary
@@ -24,6 +27,8 @@
 pub mod index;
 pub mod labelindex;
 pub mod persist;
+pub mod valueindex;
 
 pub use index::TaxIndex;
 pub use labelindex::LabelIndex;
+pub use valueindex::{gallop_intersect, ValueIndex};

@@ -163,10 +163,11 @@ impl TaxIndex {
             node_sets,
             num_labels: vocab.len() as u32,
             // The on-disk format carries only the descendant sets; callers
-            // with the document at hand reattach the positional index via
-            // `attach_label_index` (it is cheaper to rebuild than to
-            // store).
+            // with the document at hand reattach the positional and value
+            // indexes via `attach_label_index` (they are cheaper to
+            // rebuild than to store).
             labels: None,
+            values: None,
         })
     }
 

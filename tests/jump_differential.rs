@@ -17,16 +17,14 @@ use smoqe_automata::compile::CompiledMfa;
 use smoqe_automata::{compile, optimize::optimize};
 use smoqe_hype::dom::{evaluate_mfa_plan, DomOptions};
 use smoqe_hype::{jump_eligible, ExecMode, NoopObserver};
-use smoqe_rxpath::random::{random_path, QueryGenConfig};
+use smoqe_rxpath::random::{random_path, random_qualifier, QueryGenConfig};
 use smoqe_rxpath::{evaluate as naive, parse_path};
 use smoqe_tax::TaxIndex;
 use smoqe_xml::{Document, Vocabulary};
 
-/// One prepared document + query-generation config per RNG seed.
-fn setup(doc_seed: u64) -> (Vocabulary, Document, QueryGenConfig) {
-    let vocab = Vocabulary::new();
-    hospital::dtd(&vocab);
-    let doc = hospital::generate_document(&vocab, doc_seed, 400);
+/// Query-generation config over the hospital vocabulary (the DTD must
+/// already be interned into `vocab`).
+fn gen_config(vocab: &Vocabulary) -> QueryGenConfig {
     let labels = vec![
         vocab.lookup("hospital").unwrap(),
         vocab.lookup("patient").unwrap(),
@@ -40,6 +38,15 @@ fn setup(doc_seed: u64) -> (Vocabulary, Document, QueryGenConfig) {
     let values = vec!["autism".into(), "headache".into(), "Ann".into()];
     let mut cfg = QueryGenConfig::new(labels, values);
     cfg.max_depth = 4;
+    cfg
+}
+
+/// One prepared document + query-generation config per RNG seed.
+fn setup(doc_seed: u64) -> (Vocabulary, Document, QueryGenConfig) {
+    let vocab = Vocabulary::new();
+    hospital::dtd(&vocab);
+    let doc = hospital::generate_document(&vocab, doc_seed, 400);
+    let cfg = gen_config(&vocab);
     (vocab, doc, cfg)
 }
 
@@ -120,6 +127,77 @@ proptest! {
         let options = DomOptions { tax: Some(&tax) };
         let (a_jump, _) = evaluate_mfa_plan(&doc, &plan, &options, ExecMode::Jump, &mut NoopObserver);
         prop_assert_eq!(&a_jump, &expected, "jump on patched index, `{}`", printed);
+    }
+
+    /// Predicated plans must stay correct through `update_batch` edits
+    /// that splice the **value posting lists**: inserting carriers of new
+    /// text values, replacing a text node in place (same label shape, new
+    /// value), and deleting a carrier again. Every statement must patch
+    /// the index incrementally — never rebuild — and the guarded jump
+    /// driver must then agree with the naive reference over the patched
+    /// index while visiting no more nodes than the scan walker.
+    #[test]
+    fn predicated_jump_agrees_after_update_batch(
+        doc_seed in 0u64..3,
+        edit_seed in 0u64..12,
+        query_seed in 0u64..2_000,
+    ) {
+        let engine = Engine::with_defaults();
+        engine.load_dtd(hospital::DTD).unwrap();
+        let initial = hospital::generate_document(engine.vocabulary(), doc_seed, 300);
+        engine.load_document_tree(initial);
+        engine.build_tax_index().unwrap();
+        let handle = engine.document_handle(smoqe::DEFAULT_DOCUMENT).unwrap();
+
+        let med = ["autism", "headache", "flu"][(edit_seed % 3) as usize];
+        let date = ["2006-01-11", "2006-02-07"][(edit_seed % 2) as usize];
+        let insert = format!(
+            "insert <patient><pname>Zed</pname><visit><treatment>\
+             <medication>{med}</medication></treatment><date>{date}</date>\
+             </visit></patient> into hospital"
+        );
+        let reports = handle
+            .update_batch(&[
+                insert.as_str(),
+                // Text-only replace: splices 'Zed' out of and 'Ann' into
+                // the pname posting lists, label index shape unchanged.
+                "replace hospital/patient[pname = 'Zed']/pname with <pname>Ann</pname>",
+                "insert <patient><pname>Tmp</pname><visit><treatment><test>mri</test>\
+                 </treatment><date>d</date></visit></patient> into hospital",
+                "delete hospital/patient[pname = 'Tmp']",
+            ])
+            .unwrap();
+        prop_assert!(reports.iter().all(|r| r.tax_patched), "patched, not rebuilt");
+
+        let doc = engine.document().unwrap();
+        let tax = engine.tax_index().expect("index survives update_batch");
+
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(query_seed);
+        let cfg = gen_config(engine.vocabulary());
+        // Force a qualified top path so every case exercises a guard.
+        let path = smoqe_rxpath::Path::qualified(
+            random_path(&mut rng, &cfg),
+            random_qualifier(&mut rng, &cfg),
+        );
+        let printed = path.display(engine.vocabulary()).to_string();
+        let path = parse_path(&printed, engine.vocabulary()).unwrap();
+        let plan = CompiledMfa::compile(&compile(&path, engine.vocabulary()));
+        let expected = naive(&doc, &path);
+
+        let options = DomOptions { tax: Some(&*tax) };
+        let run = |mode| evaluate_mfa_plan(&doc, &plan, &options, mode, &mut NoopObserver);
+        let (a_jump, s_jump) = run(ExecMode::Jump);
+        let (a_scan, s_scan) = run(ExecMode::Compiled);
+        let (a_interp, _) = run(ExecMode::Interpreted);
+        prop_assert_eq!(&a_jump, &expected, "jump vs naive after updates, `{}`", printed);
+        prop_assert_eq!(&a_scan, &expected, "compiled vs naive after updates, `{}`", printed);
+        prop_assert_eq!(&a_interp, &expected, "interpreted vs naive after updates, `{}`", printed);
+        prop_assert!(
+            s_jump.nodes_visited <= s_scan.nodes_visited,
+            "jump visited {} > scan {} on `{}`",
+            s_jump.nodes_visited, s_scan.nodes_visited, printed
+        );
     }
 }
 
