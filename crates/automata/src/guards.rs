@@ -114,20 +114,17 @@ mod tests {
         let (vocab, mfa) = mfa_for("a[b = 'hello']");
         let b = vocab.lookup("b").unwrap();
         let guards = top_guards(&mfa);
-        assert_eq!(
-            guards,
-            vec![Some(ValueGuard::ChildText(b, "hello".into()))]
-        );
+        assert_eq!(guards, vec![Some(ValueGuard::ChildText(b, "hello".into()))]);
     }
 
     #[test]
     fn structural_and_complex_guards_do_not_classify() {
         for q in [
-            "a[b]",                 // existence, no value
-            "a[b/c = 'v']",         // witness two steps down
-            "a[not(b = 'v')]",      // negation
-            "a[b = 'v' or c]",      // disjunction
-            "a[* = 'v']",           // wildcard child step
+            "a[b]",            // existence, no value
+            "a[b/c = 'v']",    // witness two steps down
+            "a[not(b = 'v')]", // negation
+            "a[b = 'v' or c]", // disjunction
+            "a[* = 'v']",      // wildcard child step
         ] {
             let (_, mfa) = mfa_for(q);
             let guards = top_guards(&mfa);

@@ -49,7 +49,10 @@ fn bench_predicated(c: &mut Criterion) {
         ("self_text", "//pname[. = 'U00']"),
         ("child_text", "//patient[pname = 'U17']"),
         ("common_self_text", "//medication[. = 'autism']"),
-        ("common_nested", "//visit[treatment/medication = 'flu']/date"),
+        (
+            "common_nested",
+            "//visit[treatment/medication = 'flu']/date",
+        ),
     ];
     let mut group = c.benchmark_group("predicated_jump");
     for (name, q) in queries {

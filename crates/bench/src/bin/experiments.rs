@@ -12,7 +12,7 @@ use smoqe::workloads::hospital;
 use smoqe::{Engine, EngineConfig, User};
 use smoqe_automata::compile::CompiledMfa;
 use smoqe_automata::{compile, optimize::optimize};
-use smoqe_bench::{fmt_duration, time, time_mean, HospitalSetup, OrgSetup, Table};
+use smoqe_bench::{fmt_duration, time, time_mean, time_min, HospitalSetup, OrgSetup, Table};
 use smoqe_hype::batch::evaluate_batch_stream_plans;
 use smoqe_hype::dom::{evaluate_mfa_plan, evaluate_mfa_with, DomOptions};
 use smoqe_hype::stream::{evaluate_stream, evaluate_stream_plan_with, StreamOptions};
@@ -31,7 +31,7 @@ fn main() {
     let selected: Vec<&str> = args
         .iter()
         .map(String::as_str)
-        .filter(|a| a.starts_with('e') || *a == "bench")
+        .filter(|a| a.starts_with('e') || *a == "bench" || *a == "largedoc")
         .collect();
     let run = |name: &str| selected.is_empty() || selected.contains(&name);
 
@@ -63,6 +63,79 @@ fn main() {
     if selected.contains(&"bench") {
         bench_json(quick);
     }
+    // Large-document smoke (`experiments -- largedoc [quick]`): parse a
+    // ~100 MB synthetic document and keep peak RSS under budget.
+    if selected.contains(&"largedoc") {
+        largedoc(quick);
+    }
+}
+
+/// Generates a large (~100 MB, or ~10 MB with `quick`) synthetic hospital
+/// document on disk, parses it into the span-arena DOM, runs one
+/// selective query, and asserts peak RSS stays within a fixed multiple of
+/// the document size — a CI guard against memory-footprint regressions in
+/// the zero-copy document storage.
+fn largedoc(quick: bool) {
+    println!("## largedoc  ~100 MB parse + query under a peak-RSS budget\n");
+    let target_mb: usize = if quick { 10 } else { 100 };
+    let vocab = Vocabulary::new();
+    let dtd = hospital::dtd(&vocab);
+    // The hospital DTD serializes at roughly 14 bytes of XML per node.
+    let target_nodes = target_mb * (1 << 20) / 14;
+    let config = hospital::generator_config(&vocab, 99, target_nodes);
+    let path = std::env::temp_dir().join("smoqe-largedoc.xml");
+    {
+        let file = std::fs::File::create(&path).expect("create large doc");
+        generate_to_writer(&dtd, &config, std::io::BufWriter::new(file)).expect("generate");
+    }
+    let bytes = std::fs::metadata(&path).expect("stat large doc").len();
+    let (doc, parse_d) = time(|| smoqe_xml::parse_file(&path, &vocab).expect("parse large doc"));
+    std::fs::remove_file(&path).ok();
+    let plan = {
+        let q = parse_path("//test", &vocab).unwrap();
+        CompiledMfa::compile(&optimize(&compile(&q, &vocab)))
+    };
+    let ((answers, _), query_d) = time(|| {
+        evaluate_mfa_plan(
+            &doc,
+            &plan,
+            &DomOptions::default(),
+            ExecMode::Compiled,
+            &mut NoopObserver,
+        )
+    });
+    let mb = bytes as f64 / (1 << 20) as f64;
+    println!(
+        "document: {mb:.1} MB, {} nodes; parse {} ({:.1} MB/s); //test -> {} answers in {}",
+        doc.node_count(),
+        fmt_duration(parse_d),
+        mb / parse_d.as_secs_f64(),
+        answers.len(),
+        fmt_duration(query_d),
+    );
+    println!("memory: {}", doc.memory_summary());
+    match peak_rss_mb() {
+        Some(peak) => {
+            // Budget: buffer + span tables + transient parse copies stay
+            // well under 12x the serialized size (the old string-arena
+            // DOM plus a separate raw copy trended far above this).
+            let budget = mb * 12.0;
+            println!("peak RSS: {peak:.0} MB (budget {budget:.0} MB)");
+            assert!(
+                peak <= budget,
+                "peak RSS {peak:.0} MB exceeds budget {budget:.0} MB"
+            );
+        }
+        None => println!("peak RSS: unavailable on this platform (check skipped)"),
+    }
+}
+
+/// Peak resident set size of this process in MB (Linux `VmHWM`).
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
 }
 
 /// E1 (Fig. 3): policy -> derived view specification and view DTD.
@@ -380,7 +453,10 @@ fn e6(quick: bool) {
 fn bench_json(quick: bool) {
     println!("## bench  machine-readable perf trajectory (BENCH.json)\n");
     let target_nodes = if quick { 5_000 } else { 30_000 };
-    let iters = if quick { 3 } else { 10 };
+    let iters = if quick { 3 } else { 30 };
+    // Sub-millisecond measurements need many more samples for the
+    // minimum to reliably land on an interference-free run.
+    let micro_iters = if quick { 10 } else { 300 };
     let vocab = Vocabulary::new();
     hospital::dtd(&vocab);
     let doc = hospital::generate_document(&vocab, 17, target_nodes);
@@ -416,17 +492,17 @@ fn bench_json(quick: bool) {
     };
     // Queries/second = plans per wall-clock second of the whole batch.
     let qps = |d: std::time::Duration| plans.len() as f64 / d.as_secs_f64();
-    let serial_compiled = qps(time_mean(iters, || run_serial(ExecMode::Compiled)));
-    let serial_interpreted = qps(time_mean(iters, || run_serial(ExecMode::Interpreted)));
-    let batched_compiled = qps(time_mean(iters, || run_batched(ExecMode::Compiled)));
-    let batched_interpreted = qps(time_mean(iters, || run_batched(ExecMode::Interpreted)));
+    let serial_compiled = qps(time_min(iters, || run_serial(ExecMode::Compiled)));
+    let serial_interpreted = qps(time_min(iters, || run_serial(ExecMode::Interpreted)));
+    let batched_compiled = qps(time_min(iters, || run_batched(ExecMode::Compiled)));
+    let batched_interpreted = qps(time_min(iters, || run_batched(ExecMode::Interpreted)));
 
     // DOM per-query latency over the document workload (mean of means).
     let dom_latency = |mode: ExecMode| {
         let total: f64 = plans
             .iter()
             .map(|plan| {
-                time_mean(iters, || {
+                time_min(iters, || {
                     evaluate_mfa_plan(&doc, plan, &DomOptions::default(), mode, &mut NoopObserver)
                 })
                 .as_secs_f64()
@@ -440,7 +516,7 @@ fn bench_json(quick: bool) {
     // Plan-table compilation cost (what the plan cache amortizes).
     let q0 = parse_path(hospital::Q0, &vocab).unwrap();
     let m0 = optimize(&compile(&q0, &vocab));
-    let compile_us = time_mean(iters.max(10), || CompiledMfa::compile(&m0)).as_secs_f64() * 1e6;
+    let compile_us = time_min(iters.max(10), || CompiledMfa::compile(&m0)).as_secs_f64() * 1e6;
 
     // Incremental index maintenance vs rebuild on one edit.
     let tax = TaxIndex::build(&doc);
@@ -453,8 +529,18 @@ fn bench_json(quick: bool) {
     let (new_doc, span) =
         smoqe_xml::insert_fragment(&doc, doc.root(), smoqe_xml::SplicePlace::Into, &fragment)
             .unwrap();
-    let patch_us = time_mean(iters, || tax.patched(&new_doc, &span)).as_secs_f64() * 1e6;
-    let rebuild_us = time_mean(iters, || TaxIndex::build(&new_doc)).as_secs_f64() * 1e6;
+    let patch_us = time_min(iters, || tax.patched(&new_doc, &span)).as_secs_f64() * 1e6;
+    let rebuild_us = time_min(iters, || TaxIndex::build(&new_doc)).as_secs_f64() * 1e6;
+
+    // Document build: parse-to-DOM throughput (the unified scanner into
+    // the span arena) and the cost of deep-cloning a parsed snapshot
+    // (span tables copy; the backing buffer is shared, not copied).
+    let parsed = Document::parse_str(&xml, &vocab).unwrap();
+    let parse_mb_per_s = {
+        let d = time_min(iters, || Document::parse_str(&xml, &vocab).unwrap());
+        xml.len() as f64 / (1024.0 * 1024.0) / d.as_secs_f64()
+    };
+    let snapshot_clone_us = time_min(iters.max(10), || parsed.clone()).as_secs_f64() * 1e6;
 
     // Jump-scan vs tree-walk DOM latency (both with the TAX index
     // available, so the comparison isolates navigation, not pruning
@@ -466,7 +552,7 @@ fn bench_json(quick: bool) {
     let dom_mode_us = |q: &str, mode: ExecMode| -> f64 {
         let plan = plan_for(q);
         let opts = DomOptions { tax: Some(&tax) };
-        time_mean(iters, || {
+        time_min(micro_iters, || {
             evaluate_mfa_plan(&doc, &plan, &opts, mode, &mut NoopObserver)
         })
         .as_secs_f64()
@@ -505,7 +591,7 @@ fn bench_json(quick: bool) {
         let opts = DomOptions {
             tax: Some(&point_tax),
         };
-        time_mean(iters, || {
+        time_min(micro_iters, || {
             evaluate_mfa_plan(&point_doc, &plan, &opts, mode, &mut NoopObserver)
         })
         .as_secs_f64()
@@ -526,11 +612,10 @@ fn bench_json(quick: bool) {
             }
         })
         .collect();
-    let frontier_plans: Vec<CompiledMfa> =
-        frontier_queries.iter().map(|q| plan_for(q)).collect();
+    let frontier_plans: Vec<CompiledMfa> = frontier_queries.iter().map(|q| plan_for(q)).collect();
     let frontier_refs: Vec<&CompiledMfa> = frontier_plans.iter().collect();
     let batch_jump_qps = {
-        let d = time_mean(iters, || {
+        let d = time_min(micro_iters, || {
             evaluate_jump_frontier(&point_doc, &frontier_refs, &point_tax, 1)
         });
         frontier_refs.len() as f64 / d.as_secs_f64()
@@ -559,7 +644,7 @@ fn bench_json(quick: bool) {
         for q in &batch_queries {
             session.query(q).unwrap(); // warm the plan cache
         }
-        let d = time_mean(iters, || {
+        let d = time_min(iters, || {
             for q in &batch_queries {
                 session.query(q).unwrap();
             }
@@ -570,7 +655,7 @@ fn bench_json(quick: bool) {
         let engine = engine_with(threads);
         let session = engine.session(User::Admin);
         session.query_batch(&batch_queries).unwrap(); // warm the plan cache
-        let d = time_mean(iters, || session.query_batch(&batch_queries).unwrap());
+        let d = time_min(iters, || session.query_batch(&batch_queries).unwrap());
         batch_queries.len() as f64 / d.as_secs_f64()
     };
     let threads2_qps = parallel_qps(2);
@@ -597,6 +682,10 @@ fn bench_json(quick: bool) {
          \x20   \"interpreted\": {dom_interpreted_us:.2}\n\
          \x20 }},\n\
          \x20 \"plan_table_compile_us\": {compile_us:.2},\n\
+         \x20 \"doc_build\": {{\n\
+         \x20   \"parse_mb_per_s\": {parse_mb_per_s:.1},\n\
+         \x20   \"snapshot_clone_us\": {snapshot_clone_us:.2}\n\
+         \x20 }},\n\
          \x20 \"jump_query_latency_us\": {{\n\
          \x20   \"selective_scan\": {selective_scan_us:.2},\n\
          \x20   \"selective_jump\": {selective_jump_us:.2},\n\

@@ -343,7 +343,11 @@ fn print_explain(
                     vocab.name(t.label),
                     t.len
                 ),
-                None => eprintln!("  trigger {}: {} entries ({kind})", vocab.name(t.label), t.len),
+                None => eprintln!(
+                    "  trigger {}: {} entries ({kind})",
+                    vocab.name(t.label),
+                    t.len
+                ),
             }
         }
     }
@@ -547,6 +551,8 @@ fn cmd_index(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         tax.distinct_sets(),
         std::fs::metadata(out)?.len()
     );
+    eprintln!("document: {}", doc.memory_summary());
+    eprintln!("index:    {}", tax.summary(&vocab));
     Ok(())
 }
 

@@ -32,8 +32,9 @@ use std::sync::Arc;
 /// pair a document with an index built over a different one.
 pub(crate) struct LoadedSource {
     pub(crate) doc: Arc<Document>,
-    /// Raw XML text (kept when loaded from a string) for streaming mode.
-    pub(crate) raw: Option<Arc<String>>,
+    /// Raw XML text for streaming mode — the *same* shared buffer the
+    /// document's span nodes reference (no second copy of the input).
+    pub(crate) raw: Option<Arc<str>>,
     /// File path (kept when loaded from disk) for streaming mode.
     pub(crate) path: Option<PathBuf>,
     /// TAX index over `doc`, if built or loaded.

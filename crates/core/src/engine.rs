@@ -444,7 +444,7 @@ impl Engine {
         &self,
         entry: &Arc<DocumentEntry>,
         doc: Document,
-        raw: Option<String>,
+        raw: Option<Arc<str>>,
         path: Option<PathBuf>,
     ) {
         // A fresh source carries no TAX index (the old one described the
@@ -452,7 +452,7 @@ impl Engine {
         let _writer = entry.write_serial.lock();
         *entry.source.write() = Some(Arc::new(LoadedSource {
             doc: Arc::new(doc),
-            raw: raw.map(Arc::new),
+            raw,
             path,
             tax: None,
         }));
@@ -469,7 +469,10 @@ impl Engine {
         if let Some(dtd) = entry.dtd.read().clone() {
             dtd.validate(&doc)?;
         }
-        self.install_document(entry, doc, Some(xml.to_string()), None);
+        // Streaming mode reads the document's own shared buffer — the
+        // input is held exactly once.
+        let raw = doc.shared_buffer();
+        self.install_document(entry, doc, raw, None);
         Ok(())
     }
 
@@ -488,7 +491,11 @@ impl Engine {
     }
 
     pub(crate) fn load_document_tree_on(&self, entry: &Arc<DocumentEntry>, doc: Document) {
-        let raw = doc.to_xml();
+        // Parsed documents already hold their source; programmatically
+        // built trees serialize once to obtain a streamable buffer.
+        let raw = doc
+            .shared_buffer()
+            .unwrap_or_else(|| Arc::from(doc.to_xml()));
         self.install_document(entry, doc, Some(raw), None);
     }
 
@@ -771,10 +778,14 @@ impl Engine {
                 User::Group(_) => EngineError::UpdateDenied,
             })?;
         }
-        let raw = doc.to_xml();
+        // Buffer-spliced updates leave the new document holding its own
+        // serialized source; rebuild-path updates serialize once here.
+        let raw = doc
+            .shared_buffer()
+            .unwrap_or_else(|| Arc::from(doc.to_xml()));
         *entry.source.write() = Some(Arc::new(LoadedSource {
             doc,
-            raw: Some(Arc::new(raw)),
+            raw: Some(raw),
             path: None,
             tax,
         }));
@@ -918,8 +929,7 @@ impl Engine {
                 .tax
                 .as_deref()
                 .expect("resolving to jump mode implies a TAX index");
-            let plans: Vec<&CompiledMfa> =
-                jump_idx.iter().map(|&i| parts[i].1.as_ref()).collect();
+            let plans: Vec<&CompiledMfa> = jump_idx.iter().map(|&i| parts[i].1.as_ref()).collect();
             let outcomes =
                 evaluate_jump_frontier(&source.doc, &plans, tax, self.config.eval_threads);
             for (&i, outcome) in jump_idx.iter().zip(outcomes) {

@@ -113,11 +113,13 @@ pub fn evaluate_mfa_plan(
         if !alive {
             continue; // nothing below can match and no text is awaited
         }
-        // Push children in reverse so they are visited in document order.
-        let children: Vec<NodeId> = doc.child_elements(node).collect();
-        for &c in children.iter().rev() {
+        // Push children, then reverse the pushed slice in place so they
+        // are visited in document order (no per-node allocation).
+        let mark = stack.len();
+        for c in doc.child_elements(node) {
             stack.push((c, false));
         }
+        stack[mark..].reverse();
     }
 
     let (answers, stats) = machine.end(observer);

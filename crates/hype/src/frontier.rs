@@ -30,6 +30,9 @@ use smoqe_rxpath::NodeSet;
 use smoqe_tax::TaxIndex;
 use smoqe_xml::Document;
 
+/// Per-region raw probe output of one frontier chunk.
+type ChunkOut = Vec<(Vec<u32>, EvalStats)>;
+
 /// Evaluates a batch of plans over one document through a shared jump
 /// frontier. The returned vector is parallel to `plans`:
 ///
@@ -73,10 +76,10 @@ pub fn evaluate_jump_frontier(
     let workers = threads.max(1).min(frontier.len().max(1));
     let chunk_len = frontier.len().div_ceil(workers);
     // chunk_results[chunk][region] = (answers, stats) for that slice.
-    let chunk_results: Vec<Vec<(Vec<u32>, EvalStats)>> = if workers == 1 {
+    let chunk_results: Vec<ChunkOut> = if workers == 1 {
         vec![sweep_chunk(&regions, &frontier, 0, frontier.len())]
     } else {
-        let mut slots: Vec<Option<Vec<(Vec<u32>, EvalStats)>>> = Vec::new();
+        let mut slots: Vec<Option<ChunkOut>> = Vec::new();
         slots.resize_with(workers, || None);
         std::thread::scope(|scope| {
             for (w, slot) in slots.iter_mut().enumerate() {
@@ -97,7 +100,7 @@ pub fn evaluate_jump_frontier(
     // Stitch: per region, concatenate chunk outputs in chunk order
     // (probed candidates ascend across chunks and skip disjoint
     // subtrees, so the concatenation is sorted).
-    let mut per_region: Vec<Vec<(Vec<u32>, EvalStats)>> = Vec::new();
+    let mut per_region: Vec<ChunkOut> = Vec::new();
     per_region.resize_with(regions.len(), Vec::new);
     for chunk in chunk_results {
         for (r, pair) in chunk.into_iter().enumerate() {
@@ -125,7 +128,7 @@ fn sweep_chunk(
     frontier: &[(u32, u32)],
     start: usize,
     end: usize,
-) -> Vec<(Vec<u32>, EvalStats)> {
+) -> ChunkOut {
     let mut cursors: Vec<u32> = regions.iter().map(|(_, region)| region.lo).collect();
     for &(node, r) in &frontier[..start] {
         let r = r as usize;
@@ -229,7 +232,9 @@ mod tests {
             .map(|i| format!("<sec><id>k{i}</id><data><x/><x/></data></sec>"))
             .collect();
         let xml = format!("<db>{body}</db>");
-        let queries: Vec<String> = (0..8).map(|i| format!("//sec[id = 'k{}']", i * 5)).collect();
+        let queries: Vec<String> = (0..8)
+            .map(|i| format!("//sec[id = 'k{}']", i * 5))
+            .collect();
         let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
         check_batch(&xml, &refs);
         // Every plan finds exactly its one section.

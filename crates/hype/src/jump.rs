@@ -623,7 +623,8 @@ fn narrow_trigger(
         }
     }
     let accept = nfa.accept();
-    let inert = |s: StateId| s != accept && (0..plan.width()).all(|c| compiled.row(s, c).is_empty());
+    let inert =
+        |s: StateId| s != accept && (0..plan.width()).all(|c| compiled.row(s, c).is_empty());
     let escapes = seen.iter().enumerate().filter(|&(_, &s)| s).any(|(i, _)| {
         let s = StateId(i as u32);
         members.binary_search(&s).is_err() && !inert(s)
@@ -974,41 +975,42 @@ impl<'a> Jump<'a> {
         // evidence lists would probe ancestors after their descendants
         // and break the ascending-candidate invariant.
         let evidence = self.evidence_candidates(lo, hi, info);
-        let mut ev_i = 0usize;
-        let mut cursor = lo;
-        while cursor < hi {
-            // Next candidate at or after the cursor: min over the
-            // per-source sorted lists (a handful of lists — the labels
-            // and values the plan mentions).
-            let mut next = u32::MAX;
-            for src in &info.sources {
-                match src {
-                    TriggerSource::Full(label) => {
-                        let list = self.li.occurrences(*label);
-                        let i = list.partition_point(|&x| x < cursor);
-                        if i < list.len() {
-                            next = next.min(list[i]);
-                        }
-                    }
-                    TriggerSource::Narrowed {
-                        label, self_values, ..
-                    } => {
-                        let vi = self.vi.expect("narrowed triggers require a value index");
-                        for v in self_values {
-                            let list = vi.occurrences(*label, v);
-                            let i = list.partition_point(|&x| x < cursor);
-                            if i < list.len() {
-                                next = next.min(list[i]);
-                            }
-                        }
+        // Per-source sorted lists (a handful — the labels and values the
+        // plan mentions) with monotone cursors: the region cursor only
+        // ever advances, so each list index advances amortized O(1)
+        // instead of restarting a binary search per candidate.
+        let li = self.li;
+        let vi = self.vi;
+        let mut lists: Vec<&[u32]> = Vec::with_capacity(info.sources.len() + 1);
+        for src in &info.sources {
+            match src {
+                TriggerSource::Full(label) => lists.push(li.occurrences(*label)),
+                TriggerSource::Narrowed {
+                    label, self_values, ..
+                } => {
+                    let vi = vi.expect("narrowed triggers require a value index");
+                    for v in self_values {
+                        lists.push(vi.occurrences(*label, v));
                     }
                 }
             }
-            while ev_i < evidence.len() && evidence[ev_i] < cursor {
-                ev_i += 1;
-            }
-            if ev_i < evidence.len() {
-                next = next.min(evidence[ev_i]);
+        }
+        lists.push(&evidence);
+        let mut idx: Vec<usize> = lists
+            .iter()
+            .map(|list| list.partition_point(|&x| x < lo))
+            .collect();
+        let mut cursor = lo;
+        while cursor < hi {
+            // Next candidate at or after the cursor: min over the lists.
+            let mut next = u32::MAX;
+            for (list, i) in lists.iter().zip(idx.iter_mut()) {
+                while *i < list.len() && list[*i] < cursor {
+                    *i += 1;
+                }
+                if *i < list.len() {
+                    next = next.min(list[*i]);
+                }
             }
             if next >= hi {
                 return; // no candidate left in the region

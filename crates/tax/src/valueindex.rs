@@ -177,10 +177,10 @@ impl ValueIndex {
         }
 
         // -- window postings ---------------------------------------------
-        for raw in start..start + inserted {
+        for (raw, slot) in node_key.iter_mut().enumerate().skip(start).take(inserted) {
             let node = NodeId(raw as u32);
             let key = key_of(new_doc, node);
-            node_key[raw] = key;
+            *slot = key;
             if key == UNPOSTED {
                 continue;
             }
@@ -239,10 +239,8 @@ impl ValueIndex {
             e.0 += 1;
             e.1 += list.len();
         }
-        let mut out: Vec<(u32, usize, usize)> = per_label
-            .into_iter()
-            .map(|(l, (d, o))| (l, d, o))
-            .collect();
+        let mut out: Vec<(u32, usize, usize)> =
+            per_label.into_iter().map(|(l, (d, o))| (l, d, o)).collect();
         out.sort_unstable();
         out
     }

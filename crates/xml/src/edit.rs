@@ -3,12 +3,17 @@
 //!
 //! [`Document`]s are immutable after build (evaluators rely on the
 //! "`NodeId` order = document order" invariant and readers share them as
-//! `Arc` snapshots), so an edit produces a **new** document: the tree is
-//! re-emitted through [`TreeBuilder`] with the edited subtree skipped,
-//! replaced or extended in place. That keeps every invariant by
-//! construction and costs one pass over the tree — the part that must
-//! *not* be recomputed from scratch (the TAX index) is maintained
-//! incrementally from the returned [`EditSpan`] instead (see
+//! `Arc` snapshots), so an edit produces a **new** document. For
+//! buffer-backed (parsed) documents the new document is built by **buffer
+//! splicing**: the new raw buffer is composed of the span ranges around
+//! the edit point plus the serialized fragment bytes, then re-scanned
+//! once — so regenerating the serialized form after an update is a byte
+//! splice, not a full tree re-serialize. Programmatic documents (no
+//! backing buffer) are re-emitted through [`TreeBuilder`] with the edited
+//! subtree skipped, replaced or extended in place. Either way every
+//! invariant holds by construction — the part that must *not* be
+//! recomputed from scratch (the TAX index) is maintained incrementally
+//! from the returned [`EditSpan`] instead (see
 //! `smoqe_tax::TaxIndex::patched`).
 //!
 //! Because node ids are pre-order positions, every supported edit changes
@@ -149,12 +154,17 @@ fn splice(doc: &Document, target: NodeId, op: Op<'_>) -> Result<(Document, EditS
         _ => doc.parent(target),
     };
 
-    let mut builder = TreeBuilder::new(doc.vocabulary().clone());
-    builder.reserve(doc.node_count() - removed as usize + inserted as usize);
-    copy_edited(doc, doc.root(), target, &op, &mut builder);
-    let new_doc = builder
-        .finish()
-        .expect("splice emits balanced events over a non-empty tree");
+    let new_doc = match splice_via_buffer(doc, target, &op) {
+        Some(d) => d,
+        None => {
+            let mut builder = TreeBuilder::new(doc.vocabulary().clone());
+            builder.reserve(doc.node_count() - removed as usize + inserted as usize);
+            copy_edited(doc, doc.root(), target, &op, &mut builder);
+            builder
+                .finish()
+                .expect("splice emits balanced events over a non-empty tree")
+        }
+    };
 
     // A delete can make two text siblings adjacent; the builder merges
     // them into the prefix node, swallowing one extra old node. Charge it
@@ -176,6 +186,108 @@ fn splice(doc: &Document, target: NodeId, op: Op<'_>) -> Result<(Document, EditS
             parent,
         },
     ))
+}
+
+/// Builds the edited document by splicing the raw buffer and re-scanning
+/// it — the span-based fast path. Returns `None` (falling back to the
+/// [`TreeBuilder`] rebuild) for programmatic documents or when the buffer
+/// geometry cannot be resolved.
+///
+/// The composed buffer is `old[..cut_start] + insert + old[cut_end..]`.
+/// For deletes, the cut also swallows the *invisible gap* between the
+/// target and its siblings (comments, processing instructions and
+/// whitespace-only runs that produced no node), so that a dropped
+/// whitespace run can never concatenate with kept text and resurface.
+fn splice_via_buffer(doc: &Document, target: NodeId, op: &Op<'_>) -> Option<Document> {
+    let buf = doc.raw_source()?;
+    let (ext_s, ext_e) = doc.node_extent(target)?;
+    let (cut_start, cut_end, insert) = match op {
+        Op::Delete => {
+            let parent = doc.parent(target)?;
+            let (par_s, par_e) = doc.node_extent(parent)?;
+            let mut prev = None;
+            for c in doc.children(parent) {
+                if c == target {
+                    break;
+                }
+                prev = Some(c);
+            }
+            let cut_start = match prev {
+                Some(p) => doc.node_extent(p)?.1,
+                None => tag_content_start(buf, par_s)?,
+            };
+            let cut_end = match doc.next_sibling(target) {
+                Some(n) => doc.node_extent(n)?.0,
+                None => close_tag_start(buf, par_e)?,
+            };
+            (cut_start, cut_end, String::new())
+        }
+        Op::Replace(f) => (ext_s, ext_e, f.to_xml()),
+        Op::Insert(SplicePlace::Before, f) => (ext_s, ext_s, f.to_xml()),
+        Op::Insert(SplicePlace::After, f) => (ext_e, ext_e, f.to_xml()),
+        Op::Insert(SplicePlace::Into, f) => {
+            if buf.as_bytes().get(ext_e.wrapping_sub(2)) == Some(&b'/') {
+                // Self-closing target: rewrite `<b .../>` as
+                // `<b ...>fragment</b>`.
+                let name = doc.name(target)?;
+                (ext_e - 2, ext_e, format!(">{}</{}>", f.to_xml(), name))
+            } else {
+                let pos = close_tag_start(buf, ext_e)?;
+                (pos, pos, f.to_xml())
+            }
+        }
+    };
+    let mut src = String::with_capacity(buf.len() - (cut_end - cut_start) + insert.len());
+    src.push_str(&buf[..cut_start]);
+    src.push_str(&insert);
+    src.push_str(&buf[cut_end..]);
+    crate::parse::parse_buffer(std::sync::Arc::from(src), doc.vocabulary()).ok()
+}
+
+/// Offset just past the `>` closing the start tag that begins at
+/// `tag_start` (quote-aware: a `>` inside a quoted attribute value does
+/// not close the tag).
+fn tag_content_start(buf: &str, tag_start: usize) -> Option<usize> {
+    let b = buf.as_bytes();
+    debug_assert_eq!(b.get(tag_start), Some(&b'<'));
+    let mut i = tag_start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'"' | b'\'' => {
+                let q = b[i];
+                i += 1;
+                while i < b.len() && b[i] != q {
+                    i += 1;
+                }
+                i += 1;
+            }
+            b'>' => return Some(i + 1),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Offset of the `<` of the end tag whose `>` sits at `extent_end - 1`
+/// (reverse scan over `</ name ws* >`). `None` for self-closing tags.
+fn close_tag_start(buf: &str, extent_end: usize) -> Option<usize> {
+    let b = buf.as_bytes();
+    let mut i = extent_end.checked_sub(1)?;
+    if b[i] != b'>' {
+        return None;
+    }
+    i = i.checked_sub(1)?;
+    while b[i].is_ascii_whitespace() {
+        i = i.checked_sub(1)?;
+    }
+    while crate::scanner::is_name_byte(b[i]) {
+        i = i.checked_sub(1)?;
+    }
+    if b[i] == b'/' && i >= 1 && b[i - 1] == b'<' {
+        Some(i - 1)
+    } else {
+        None
+    }
 }
 
 /// Re-emits `node`'s subtree into `builder`, applying `op` at `target`.
@@ -203,8 +315,8 @@ fn copy_edited(
         NodeKind::Text(_) => builder.text(src.text(node).expect("text kind")),
         NodeKind::Element(label) => {
             builder.start_element(*label);
-            for attr in src.attributes(node) {
-                builder.attribute(&attr.name, &attr.value);
+            for (name, value) in src.attributes(node) {
+                builder.attribute(name, value);
             }
             for child in src.children(node) {
                 copy_edited(src, child, target, op, builder);
@@ -233,8 +345,8 @@ fn copy_fragment(frag: &Document, node: NodeId, builder: &mut TreeBuilder) {
         NodeKind::Element(label) => {
             let label = intern_into(builder, frag, *label);
             builder.start_element(label);
-            for attr in frag.attributes(node) {
-                builder.attribute(&attr.name, &attr.value);
+            for (name, value) in frag.attributes(node) {
+                builder.attribute(name, value);
             }
             for child in frag.children(node) {
                 copy_fragment(frag, child, builder);

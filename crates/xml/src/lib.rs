@@ -5,12 +5,14 @@
 //! sequential scan of the serialized document). No off-the-shelf crate is
 //! used; this crate implements everything the engine needs from XML:
 //!
-//! * [`Vocabulary`] / [`Label`] — interned element names; all automata and
-//!   indexes work over dense label ids.
-//! * [`Document`] / [`TreeBuilder`] — an arena DOM whose node ids are in
-//!   document order.
+//! * [`Vocabulary`] / [`Label`] — interned element and attribute names;
+//!   all automata and indexes work over dense label ids.
+//! * [`scanner`](crate::scanner) — the one SWAR-accelerated tokenizer
+//!   behind both DOM and StAX modes, emitting byte-span tokens.
+//! * [`Document`] / [`TreeBuilder`] — a span-based arena DOM over a shared
+//!   `Arc<str>` input buffer; node ids are in document order.
 //! * [`stax::PullParser`] — a StAX-style pull parser over any `BufRead`.
-//! * [`parse`] — DOM parsing built on the pull parser.
+//! * [`parse`] — DOM parsing built on the scanner.
 //! * [`serialize`] — compact/pretty serialization and an event-driven
 //!   [`serialize::XmlWriter`] used by the streaming evaluator.
 //! * [`edit`](crate::edit) — structural edits (delete/replace/insert of
@@ -33,6 +35,7 @@ pub mod generate;
 pub mod label;
 pub mod labelset;
 pub mod parse;
+pub mod scanner;
 pub mod serialize;
 pub mod stax;
 pub mod tree;
@@ -45,5 +48,5 @@ pub use error::XmlError;
 pub use generate::{generate, generate_to_writer, GeneratorConfig};
 pub use label::{Label, Vocabulary};
 pub use labelset::LabelSet;
-pub use parse::{parse_document, parse_file, parse_reader};
-pub use tree::{Attribute, Document, NodeId, NodeKind, TreeBuilder};
+pub use parse::{parse_buffer, parse_document, parse_file, parse_reader};
+pub use tree::{Attribute, Document, MemorySummary, NodeId, NodeKind, TreeBuilder};

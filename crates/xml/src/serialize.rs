@@ -12,6 +12,11 @@ use std::io::Write;
 
 /// Escapes character data (`&`, `<`, `>`).
 pub fn escape_text(text: &str, out: &mut String) {
+    // Fast path: nothing to escape (the common case for span-backed text).
+    if !text.bytes().any(|b| matches!(b, b'&' | b'<' | b'>')) {
+        out.push_str(text);
+        return;
+    }
     for c in text.chars() {
         match c {
             '&' => out.push_str("&amp;"),
@@ -24,6 +29,10 @@ pub fn escape_text(text: &str, out: &mut String) {
 
 /// Escapes an attribute value for double-quoted output.
 pub fn escape_attr(value: &str, out: &mut String) {
+    if !value.bytes().any(|b| matches!(b, b'&' | b'<' | b'"')) {
+        out.push_str(value);
+        return;
+    }
     for c in value.chars() {
         match c {
             '&' => out.push_str("&amp;"),
@@ -191,8 +200,7 @@ impl<W: Write> XmlWriter<W> {
 /// without overflowing the call stack.
 pub fn write_subtree<W: Write>(doc: &Document, node: NodeId, sink: W) -> Result<(), XmlError> {
     let mut w = XmlWriter::new(sink);
-    let names = doc.vocabulary().snapshot();
-    write_events(doc, node, &mut w, &names)?;
+    write_events(doc, node, &mut w)?;
     w.flush()
 }
 
@@ -200,7 +208,6 @@ fn write_events<W: Write>(
     doc: &Document,
     root: NodeId,
     w: &mut XmlWriter<W>,
-    names: &[std::sync::Arc<str>],
 ) -> Result<(), XmlError> {
     // (node, entered) pairs; `entered` marks the close phase.
     let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
@@ -211,9 +218,9 @@ fn write_events<W: Write>(
         }
         match doc.kind(node) {
             NodeKind::Element(l) => {
-                w.start_element(&names[l.index()])?;
-                for a in doc.attributes(node) {
-                    w.attribute(&a.name, &a.value)?;
+                w.start_element(doc.label_name(*l))?;
+                for (name, value) in doc.attributes(node) {
+                    w.attribute(name, value)?;
                 }
                 stack.push((node, true));
                 let children: Vec<NodeId> = doc.children(node).collect();
@@ -293,8 +300,7 @@ mod tests {
         let mut out = Vec::new();
         {
             let mut w = XmlWriter::pretty(&mut out, "  ");
-            let names = doc.vocabulary().snapshot();
-            super::write_events(&doc, doc.root(), &mut w, &names).unwrap();
+            super::write_events(&doc, doc.root(), &mut w).unwrap();
         }
         let pretty = String::from_utf8(out).unwrap();
         assert!(pretty.contains('\n'));

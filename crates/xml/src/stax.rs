@@ -6,16 +6,16 @@
 //! [`BufRead`] and yields [`XmlEvent`]s on demand. It never buffers more
 //! than the current token, so peak memory is O(token + open-element stack).
 //!
-//! Supported syntax: elements, attributes (single or double quoted),
-//! character data, the five predefined entities plus numeric character
-//! references, CDATA sections, comments, processing instructions and a
-//! DOCTYPE declaration (with optional internal subset), all of which except
-//! elements/text/attributes are skipped. This is the data-centric subset the
-//! SMOQE workloads exercise.
+//! The parser is a thin event-shaping layer over [`crate::scanner::Scanner`]
+//! — the one tokenizer shared with the DOM builder — so stream mode and DOM
+//! mode agree on tokenization by construction. See [`crate::scanner`] for
+//! the supported syntax.
 
 use crate::error::XmlError;
-use crate::tree::Attribute;
+use crate::scanner::{ScanToken, Scanner};
 use std::io::BufRead;
+
+pub use crate::scanner::Attribute;
 
 /// A parsing event pulled from the input stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,7 +41,7 @@ pub enum XmlEvent {
 
 /// A borrowed parsing event: the zero-allocation counterpart of
 /// [`XmlEvent`], valid until the next [`PullParser::next_raw`] call.
-/// Names and text live in parser-owned scratch buffers that are reused
+/// Names and text live in scanner-owned scratch buffers that are reused
 /// event to event, so a full document scan performs no per-event
 /// allocation (attribute *values* still allocate, being rare in
 /// data-centric documents). This is what the HyPE stream/batch drivers
@@ -76,29 +76,7 @@ pub enum RawEvent<'a> {
 /// assert!(matches!(p.next_event().unwrap(), XmlEvent::Text(t) if t == "hi"));
 /// ```
 pub struct PullParser<R: BufRead> {
-    reader: R,
-    /// Current input chunk (copied out of the reader's buffer so scans
-    /// can run without holding a borrow of the reader).
-    buf: Vec<u8>,
-    /// Next unread byte within `buf`.
-    pos: usize,
-    offset: u64,
-    line: u64,
-    /// Names of currently open elements (well-formedness checking):
-    /// concatenated name bytes plus per-element lengths — no per-element
-    /// allocation.
-    open_names: Vec<u8>,
-    open_lens: Vec<u32>,
-    seen_root: bool,
-    finished: bool,
-    /// Pending EndElement for a self-closing tag.
-    pending_end: bool,
-    keep_whitespace: bool,
-    /// Reusable scratch for the current event's name / text / attributes.
-    name_buf: Vec<u8>,
-    end_name_buf: Vec<u8>,
-    text_buf: Vec<u8>,
-    attr_buf: Vec<Attribute>,
+    scanner: Scanner<R>,
 }
 
 impl PullParser<&[u8]> {
@@ -114,418 +92,25 @@ impl<R: BufRead> PullParser<R> {
     /// elements is skipped by default (see [`PullParser::keep_whitespace`]).
     pub fn new(reader: R) -> Self {
         PullParser {
-            reader,
-            buf: Vec::new(),
-            pos: 0,
-            offset: 0,
-            line: 1,
-            open_names: Vec::new(),
-            open_lens: Vec::new(),
-            seen_root: false,
-            finished: false,
-            pending_end: false,
-            keep_whitespace: false,
-            name_buf: Vec::new(),
-            end_name_buf: Vec::new(),
-            text_buf: Vec::new(),
-            attr_buf: Vec::new(),
+            scanner: Scanner::new(reader),
         }
     }
 
     /// Controls whether whitespace-only text nodes are reported
     /// (default: `false`, matching data-centric processing).
     pub fn keep_whitespace(mut self, keep: bool) -> Self {
-        self.keep_whitespace = keep;
+        self.scanner = self.scanner.keep_whitespace(keep);
         self
     }
 
     /// Current nesting depth (number of open elements).
     pub fn depth(&self) -> usize {
-        self.open_lens.len()
+        self.scanner.depth()
     }
 
     /// Bytes consumed so far.
     pub fn byte_offset(&self) -> u64 {
-        self.offset
-    }
-
-    fn err(&self, msg: impl std::fmt::Display) -> XmlError {
-        XmlError::Malformed(format!(
-            "{msg} at offset {} (line {})",
-            self.offset, self.line
-        ))
-    }
-
-    /// Replaces the exhausted chunk with the reader's next one. Returns
-    /// `false` at end of input. Copying the chunk keeps byte scans free of
-    /// any borrow of the reader (one memcpy per chunk, not per byte).
-    fn refill(&mut self) -> Result<bool, XmlError> {
-        debug_assert!(self.pos >= self.buf.len());
-        self.buf.clear();
-        self.pos = 0;
-        loop {
-            match self.reader.fill_buf() {
-                Ok(chunk) => {
-                    if chunk.is_empty() {
-                        return Ok(false);
-                    }
-                    self.buf.extend_from_slice(chunk);
-                    let n = self.buf.len();
-                    self.reader.consume(n);
-                    return Ok(true);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(XmlError::Io(e)),
-            }
-        }
-    }
-
-    #[inline]
-    fn peek(&mut self) -> Result<Option<u8>, XmlError> {
-        if self.pos < self.buf.len() {
-            return Ok(Some(self.buf[self.pos]));
-        }
-        if self.refill()? {
-            Ok(Some(self.buf[self.pos]))
-        } else {
-            Ok(None)
-        }
-    }
-
-    #[inline]
-    fn bump(&mut self) -> Result<Option<u8>, XmlError> {
-        let b = self.peek()?;
-        if let Some(c) = b {
-            self.pos += 1;
-            self.offset += 1;
-            if c == b'\n' {
-                self.line += 1;
-            }
-        }
-        Ok(b)
-    }
-
-    /// Bulk-consumes bytes while `pred` holds, appending them to `out`.
-    /// Scans whole chunks at a time instead of going byte-by-byte through
-    /// `peek`/`bump` — this is what makes the sequential scan IO-bound
-    /// rather than dispatch-bound.
-    fn take_while_into(
-        &mut self,
-        out: &mut Vec<u8>,
-        pred: impl Fn(u8) -> bool,
-    ) -> Result<(), XmlError> {
-        loop {
-            if self.pos >= self.buf.len() && !self.refill()? {
-                return Ok(()); // end of input
-            }
-            let chunk = &self.buf[self.pos..];
-            let n = chunk.iter().position(|&b| !pred(b)).unwrap_or(chunk.len());
-            self.consume_into(out, n);
-            if self.pos < self.buf.len() {
-                return Ok(()); // stopped at a non-matching byte
-            }
-        }
-    }
-
-    /// Bulk-consumes bytes until `a` or `b` is seen, appending them to
-    /// `out`. Word-at-a-time (SWAR) search: character data is the bulk of
-    /// a document, so this is the single hottest scan of stream mode.
-    fn take_until2(&mut self, out: &mut Vec<u8>, a: u8, b: u8) -> Result<(), XmlError> {
-        loop {
-            if self.pos >= self.buf.len() && !self.refill()? {
-                return Ok(());
-            }
-            let n = memchr2(a, b, &self.buf[self.pos..]);
-            self.consume_into(out, n);
-            if self.pos < self.buf.len() {
-                return Ok(());
-            }
-        }
-    }
-
-    /// Like [`PullParser::take_until2`] with three delimiters (attribute
-    /// values stop at the quote, `&`, or `<`).
-    fn take_until3(&mut self, out: &mut Vec<u8>, a: u8, b: u8, c: u8) -> Result<(), XmlError> {
-        loop {
-            if self.pos >= self.buf.len() && !self.refill()? {
-                return Ok(());
-            }
-            let n = memchr3(a, b, c, &self.buf[self.pos..]);
-            self.consume_into(out, n);
-            if self.pos < self.buf.len() {
-                return Ok(());
-            }
-        }
-    }
-
-    #[inline]
-    fn consume_into(&mut self, out: &mut Vec<u8>, n: usize) {
-        if n == 0 {
-            return;
-        }
-        let consumed = &self.buf[self.pos..self.pos + n];
-        out.extend_from_slice(consumed);
-        self.line += count_newlines(consumed);
-        self.offset += n as u64;
-        self.pos += n;
-    }
-
-    /// Bulk-skips bytes while `pred` holds.
-    fn skip_while(&mut self, pred: impl Fn(u8) -> bool) -> Result<(), XmlError> {
-        loop {
-            if self.pos >= self.buf.len() && !self.refill()? {
-                return Ok(());
-            }
-            let chunk = &self.buf[self.pos..];
-            let n = chunk.iter().position(|&b| !pred(b)).unwrap_or(chunk.len());
-            if n > 0 {
-                let consumed = &self.buf[self.pos..self.pos + n];
-                self.line += count_newlines(consumed);
-                self.offset += n as u64;
-                self.pos += n;
-            }
-            if self.pos < self.buf.len() {
-                return Ok(());
-            }
-        }
-    }
-
-    fn expect(&mut self, want: u8) -> Result<(), XmlError> {
-        match self.bump()? {
-            Some(b) if b == want => Ok(()),
-            Some(b) => Err(self.err(format_args!(
-                "expected '{}', found '{}'",
-                want as char, b as char
-            ))),
-            None => Err(self.err(format_args!(
-                "expected '{}', found end of input",
-                want as char
-            ))),
-        }
-    }
-
-    fn skip_ws(&mut self) -> Result<(), XmlError> {
-        self.skip_while(|b| b.is_ascii_whitespace())
-    }
-
-    /// Reads a name into `out` (cleared first). `out` is typically one of
-    /// the parser's scratch buffers, temporarily moved out to satisfy
-    /// borrows.
-    fn read_name_buf(&mut self, out: &mut Vec<u8>) -> Result<(), XmlError> {
-        out.clear();
-        // Fast path: the whole name sits inside the current chunk (names
-        // contain no newlines, so no line bookkeeping either).
-        let start = self.pos;
-        let mut i = start;
-        while i < self.buf.len() && is_name_byte(self.buf[i]) {
-            i += 1;
-        }
-        out.extend_from_slice(&self.buf[start..i]);
-        self.offset += (i - start) as u64;
-        self.pos = i;
-        if i >= self.buf.len() {
-            // The name may continue into the next chunk.
-            self.take_while_into(out, is_name_byte)?;
-        }
-        if out.is_empty() {
-            return Err(self.err("expected a name"));
-        }
-        Ok(())
-    }
-
-    fn read_name(&mut self) -> Result<String, XmlError> {
-        let mut name = Vec::new();
-        self.read_name_buf(&mut name)?;
-        self.utf8(name)
-    }
-
-    fn utf8(&self, bytes: Vec<u8>) -> Result<String, XmlError> {
-        String::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8"))
-    }
-
-    /// Reads `&...;` after the '&' has been peeked (not consumed).
-    fn read_entity(&mut self, out: &mut Vec<u8>) -> Result<(), XmlError> {
-        self.expect(b'&')?;
-        let mut ent = String::new();
-        loop {
-            match self.bump()? {
-                Some(b';') => break,
-                Some(b) if ent.len() < 16 => ent.push(b as char),
-                Some(_) => return Err(self.err("entity reference too long")),
-                None => return Err(self.err("unterminated entity reference")),
-            }
-        }
-        match ent.as_str() {
-            "lt" => out.push(b'<'),
-            "gt" => out.push(b'>'),
-            "amp" => out.push(b'&'),
-            "apos" => out.push(b'\''),
-            "quot" => out.push(b'"'),
-            _ => {
-                let code = if let Some(hex) = ent.strip_prefix("#x") {
-                    u32::from_str_radix(hex, 16).ok()
-                } else if let Some(dec) = ent.strip_prefix('#') {
-                    dec.parse::<u32>().ok()
-                } else {
-                    None
-                };
-                match code.and_then(char::from_u32) {
-                    Some(c) => {
-                        let mut tmp = [0u8; 4];
-                        out.extend_from_slice(c.encode_utf8(&mut tmp).as_bytes());
-                    }
-                    None => return Err(self.err(format_args!("unknown entity '&{ent};'"))),
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Skips `<!-- ... -->`; the leading `<!` has been consumed and the next
-    /// bytes are `--`.
-    fn skip_comment(&mut self) -> Result<(), XmlError> {
-        self.expect(b'-')?;
-        self.expect(b'-')?;
-        let mut dashes = 0;
-        loop {
-            match self.bump()? {
-                Some(b'-') => dashes += 1,
-                Some(b'>') if dashes >= 2 => return Ok(()),
-                Some(_) => dashes = 0,
-                None => return Err(self.err("unterminated comment")),
-            }
-        }
-    }
-
-    /// Skips `<?...?>`; the leading `<?` has been consumed.
-    fn skip_pi(&mut self) -> Result<(), XmlError> {
-        let mut question = false;
-        loop {
-            match self.bump()? {
-                Some(b'?') => question = true,
-                Some(b'>') if question => return Ok(()),
-                Some(_) => question = false,
-                None => return Err(self.err("unterminated processing instruction")),
-            }
-        }
-    }
-
-    /// Skips `<!DOCTYPE ...>` including a bracketed internal subset; the
-    /// leading `<!` has been consumed.
-    fn skip_doctype(&mut self) -> Result<(), XmlError> {
-        let mut depth = 0i32;
-        loop {
-            match self.bump()? {
-                Some(b'[') => depth += 1,
-                Some(b']') => depth -= 1,
-                Some(b'>') if depth <= 0 => return Ok(()),
-                Some(_) => {}
-                None => return Err(self.err("unterminated DOCTYPE")),
-            }
-        }
-    }
-
-    /// Reads `<![CDATA[ ... ]]>` content; `<!` consumed, next byte is `[`.
-    fn read_cdata(&mut self, out: &mut Vec<u8>) -> Result<(), XmlError> {
-        for want in *b"[CDATA[" {
-            self.expect(want)?;
-        }
-        let mut brackets = 0;
-        loop {
-            match self.bump()? {
-                Some(b']') => brackets += 1,
-                Some(b'>') if brackets >= 2 => return Ok(()),
-                Some(b) => {
-                    for _ in 0..brackets {
-                        out.push(b']');
-                    }
-                    brackets = 0;
-                    out.push(b);
-                }
-                None => return Err(self.err("unterminated CDATA section")),
-            }
-        }
-    }
-
-    /// Reads the attribute list into `self.attr_buf` (cleared first),
-    /// returning whether the tag was self-closing.
-    fn read_attributes(&mut self) -> Result<bool, XmlError> {
-        let mut attrs = std::mem::take(&mut self.attr_buf);
-        attrs.clear();
-        let self_closing = self.read_attributes_into(&mut attrs);
-        self.attr_buf = attrs;
-        self_closing
-    }
-
-    fn read_attributes_into(&mut self, attrs: &mut Vec<Attribute>) -> Result<bool, XmlError> {
-        // Fast path: `<name>` with no attributes and no whitespace — the
-        // overwhelming shape in data-centric documents.
-        if self.pos < self.buf.len() && self.buf[self.pos] == b'>' {
-            self.pos += 1;
-            self.offset += 1;
-            return Ok(false);
-        }
-        loop {
-            self.skip_ws()?;
-            match self.peek()? {
-                Some(b'>') => {
-                    self.bump()?;
-                    return Ok(false);
-                }
-                Some(b'/') => {
-                    self.bump()?;
-                    self.expect(b'>')?;
-                    return Ok(true);
-                }
-                Some(b) if is_name_byte(b) => {
-                    let name = self.read_name()?;
-                    self.skip_ws()?;
-                    self.expect(b'=')?;
-                    self.skip_ws()?;
-                    let quote = match self.bump()? {
-                        Some(q @ (b'"' | b'\'')) => q,
-                        _ => return Err(self.err("expected quoted attribute value")),
-                    };
-                    let mut value = Vec::new();
-                    loop {
-                        self.take_until3(&mut value, quote, b'&', b'<')?;
-                        match self.peek()? {
-                            Some(q) if q == quote => {
-                                self.bump()?;
-                                break;
-                            }
-                            Some(b'&') => self.read_entity(&mut value)?,
-                            Some(b'<') => return Err(self.err("'<' in attribute value")),
-                            Some(_) => unreachable!("take_while_into stops on delimiters"),
-                            None => return Err(self.err("unterminated attribute value")),
-                        }
-                    }
-                    let value = self.utf8(value)?;
-                    attrs.push(Attribute { name, value });
-                }
-                Some(b) => return Err(self.err(format_args!("unexpected '{}' in tag", b as char))),
-                None => return Err(self.err("unterminated start tag")),
-            }
-        }
-    }
-
-    /// Pops the innermost open element into `end_name_buf`.
-    fn pop_open(&mut self) {
-        let len = *self.open_lens.last().expect("pop with an open element") as usize;
-        let start = self.open_names.len() - len;
-        self.end_name_buf.clear();
-        self.end_name_buf
-            .extend_from_slice(&self.open_names[start..]);
-        self.open_lens.pop();
-        self.open_names.truncate(start);
-        if self.open_lens.is_empty() {
-            self.finished = true;
-        }
-    }
-
-    /// Validates scratch bytes as UTF-8 for a borrowed return.
-    fn utf8_ref<'b>(&self, bytes: &'b [u8]) -> Result<&'b str, XmlError> {
-        std::str::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8"))
+        self.scanner.byte_offset()
     }
 
     /// Pulls the next event (owned form). Allocates the event's strings;
@@ -548,254 +133,18 @@ impl<R: BufRead> PullParser<R> {
     }
 
     /// Pulls the next event without allocating: names, text and the
-    /// attribute list are borrowed from parser-owned scratch reused event
+    /// attribute list are borrowed from scanner-owned scratch reused event
     /// to event. See [`RawEvent`].
     pub fn next_raw(&mut self) -> Result<RawEvent<'_>, XmlError> {
-        if self.pending_end {
-            self.pending_end = false;
-            self.pop_open();
-            let name = std::str::from_utf8(&self.end_name_buf).expect("was validated on open");
-            return Ok(RawEvent::EndElement { name });
-        }
-        if self.finished {
-            // Allow trailing whitespace / comments / PIs after the root.
-            loop {
-                self.skip_ws()?;
-                match self.peek()? {
-                    None => return Ok(RawEvent::EndDocument),
-                    Some(b'<') => {
-                        self.bump()?;
-                        match self.peek()? {
-                            Some(b'!') => {
-                                self.bump()?;
-                                self.skip_comment()?;
-                            }
-                            Some(b'?') => {
-                                self.bump()?;
-                                self.skip_pi()?;
-                            }
-                            _ => return Err(self.err("content after root element")),
-                        }
-                    }
-                    Some(_) => return Err(self.err("content after root element")),
-                }
-            }
-        }
-        loop {
-            if self.open_lens.is_empty() {
-                self.skip_ws()?;
-            }
-            let Some(b) = self.peek()? else {
-                return Err(if self.open_lens.is_empty() && !self.seen_root {
-                    self.err("empty document")
-                } else {
-                    self.err(format_args!(
-                        "end of input with {} unclosed element(s)",
-                        self.open_lens.len()
-                    ))
-                });
-            };
-            if b == b'<' {
-                self.bump()?;
-                match self.peek()? {
-                    Some(b'/') => {
-                        self.bump()?;
-                        let mut name = std::mem::take(&mut self.end_name_buf);
-                        self.read_name_buf(&mut name)?;
-                        self.end_name_buf = name;
-                        // Fast path: `</name>` with no trailing whitespace.
-                        if self.pos < self.buf.len() && self.buf[self.pos] == b'>' {
-                            self.pos += 1;
-                            self.offset += 1;
-                        } else {
-                            self.skip_ws()?;
-                            self.expect(b'>')?;
-                        }
-                        let Some(&len) = self.open_lens.last() else {
-                            let name = String::from_utf8_lossy(&self.end_name_buf).into_owned();
-                            return Err(self.err(format_args!("unmatched end tag </{name}>")));
-                        };
-                        let start = self.open_names.len() - len as usize;
-                        if self.open_names[start..] != self.end_name_buf[..] {
-                            let open = String::from_utf8_lossy(&self.open_names[start..]);
-                            let name = String::from_utf8_lossy(&self.end_name_buf);
-                            return Err(self.err(format_args!(
-                                "mismatched end tag </{name}>, expected </{open}>"
-                            )));
-                        }
-                        self.open_lens.pop();
-                        self.open_names.truncate(start);
-                        if self.open_lens.is_empty() {
-                            self.finished = true;
-                        }
-                        let name =
-                            std::str::from_utf8(&self.end_name_buf).expect("was validated on open");
-                        return Ok(RawEvent::EndElement { name });
-                    }
-                    Some(b'!') => {
-                        self.bump()?;
-                        match self.peek()? {
-                            Some(b'-') => self.skip_comment()?,
-                            Some(b'[') => {
-                                if self.open_lens.is_empty() {
-                                    return Err(self.err("CDATA outside root element"));
-                                }
-                                let mut text = std::mem::take(&mut self.text_buf);
-                                text.clear();
-                                let res = self.read_cdata(&mut text);
-                                self.text_buf = text;
-                                res?;
-                                if !self.text_buf.is_empty() {
-                                    let text = self.utf8_ref(&self.text_buf)?;
-                                    return Ok(RawEvent::Text(text));
-                                }
-                            }
-                            Some(b'D' | b'd') => self.skip_doctype()?,
-                            _ => return Err(self.err("unsupported '<!' construct")),
-                        }
-                    }
-                    Some(b'?') => {
-                        self.bump()?;
-                        self.skip_pi()?;
-                    }
-                    _ => {
-                        if self.open_lens.is_empty() && self.seen_root {
-                            return Err(self.err("multiple root elements"));
-                        }
-                        let mut name = std::mem::take(&mut self.name_buf);
-                        let res = self.read_name_buf(&mut name);
-                        self.name_buf = name;
-                        res?;
-                        let self_closing = self.read_attributes()?;
-                        self.seen_root = true;
-                        self.open_names.extend_from_slice(&self.name_buf);
-                        self.open_lens.push(self.name_buf.len() as u32);
-                        self.pending_end = self_closing;
-                        // Validate now so End events can borrow unchecked.
-                        let name = self.utf8_ref(&self.name_buf)?;
-                        return Ok(RawEvent::StartElement {
-                            name,
-                            attributes: &self.attr_buf,
-                        });
-                    }
-                }
-            } else {
-                // Character data.
-                if self.open_lens.is_empty() {
-                    return Err(self.err(format_args!(
-                        "unexpected character '{}' outside root element",
-                        b as char
-                    )));
-                }
-                let mut text = std::mem::take(&mut self.text_buf);
-                text.clear();
-                let res = (|| -> Result<(), XmlError> {
-                    loop {
-                        self.take_until2(&mut text, b'<', b'&')?;
-                        match self.peek()? {
-                            Some(b'<') | None => return Ok(()),
-                            Some(b'&') => self.read_entity(&mut text)?,
-                            Some(_) => unreachable!("take_until2 stops on delimiters"),
-                        }
-                    }
-                })();
-                self.text_buf = text;
-                res?;
-                if self.keep_whitespace || !self.text_buf.iter().all(|c| c.is_ascii_whitespace()) {
-                    let text = self.utf8_ref(&self.text_buf)?;
-                    return Ok(RawEvent::Text(text));
-                }
-                // Whitespace-only: loop for the next real event.
-            }
-        }
+        Ok(match self.scanner.next_token()? {
+            ScanToken::StartElement {
+                name, attributes, ..
+            } => RawEvent::StartElement { name, attributes },
+            ScanToken::Text(piece) => RawEvent::Text(piece.decoded),
+            ScanToken::EndElement { name, .. } => RawEvent::EndElement { name },
+            ScanToken::EndDocument => RawEvent::EndDocument,
+        })
     }
-}
-
-const NAME_BYTE: [bool; 256] = {
-    let mut t = [false; 256];
-    let mut i = 0;
-    while i < 256 {
-        let b = i as u8;
-        t[i] = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
-        i += 1;
-    }
-    t
-};
-
-#[inline]
-fn is_name_byte(b: u8) -> bool {
-    NAME_BYTE[b as usize]
-}
-
-const SWAR_LO: u64 = 0x0101_0101_0101_0101;
-const SWAR_HI: u64 = 0x8080_8080_8080_8080;
-
-/// Bytes of `w` equal to `byte` get their high bit set.
-#[inline]
-fn swar_eq(w: u64, byte: u64) -> u64 {
-    let x = w ^ (SWAR_LO.wrapping_mul(byte));
-    x.wrapping_sub(SWAR_LO) & !x & SWAR_HI
-}
-
-/// Index of the first `a` or `b` in `hay` (or `hay.len()`), eight bytes at
-/// a time.
-#[inline]
-fn memchr2(a: u8, b: u8, hay: &[u8]) -> usize {
-    let mut i = 0;
-    while i + 8 <= hay.len() {
-        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8 bytes"));
-        let m = swar_eq(w, a as u64) | swar_eq(w, b as u64);
-        if m != 0 {
-            return i + (m.trailing_zeros() / 8) as usize;
-        }
-        i += 8;
-    }
-    while i < hay.len() {
-        if hay[i] == a || hay[i] == b {
-            return i;
-        }
-        i += 1;
-    }
-    hay.len()
-}
-
-/// Index of the first `a`, `b` or `c` in `hay` (or `hay.len()`).
-#[inline]
-fn memchr3(a: u8, b: u8, c: u8, hay: &[u8]) -> usize {
-    let mut i = 0;
-    while i + 8 <= hay.len() {
-        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8 bytes"));
-        let m = swar_eq(w, a as u64) | swar_eq(w, b as u64) | swar_eq(w, c as u64);
-        if m != 0 {
-            return i + (m.trailing_zeros() / 8) as usize;
-        }
-        i += 8;
-    }
-    while i < hay.len() {
-        if hay[i] == a || hay[i] == b || hay[i] == c {
-            return i;
-        }
-        i += 1;
-    }
-    hay.len()
-}
-
-/// Newline count, eight bytes at a time (error-position bookkeeping must
-/// not slow the bulk scans down).
-#[inline]
-fn count_newlines(bytes: &[u8]) -> u64 {
-    let mut n = 0u64;
-    let mut i = 0;
-    while i + 8 <= bytes.len() {
-        let w = u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
-        n += (swar_eq(w, b'\n' as u64).count_ones()) as u64;
-        i += 8;
-    }
-    while i < bytes.len() {
-        n += (bytes[i] == b'\n') as u64;
-        i += 1;
-    }
-    n
 }
 
 #[cfg(test)]

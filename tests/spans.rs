@@ -1,0 +1,286 @@
+//! Span-backed document storage: edge cases and differential checks.
+//!
+//! The DOM holds one shared buffer plus compact span records; text and
+//! attribute values are materialized lazily. These tests pin down the
+//! tricky span boundaries (entities, split CDATA, empty elements, quoted
+//! attribute values) and check — differentially, against a document
+//! rebuilt from pull events into *owned* strings (the pre-span
+//! representation) — that `string_value`, `direct_text` and `to_xml` are
+//! byte-for-byte identical on random documents.
+
+use proptest::prelude::*;
+use smoqe_xml::stax::{PullParser, XmlEvent};
+use smoqe_xml::{Document, TreeBuilder, Vocabulary};
+
+/// Rebuilds `xml` into a document of **owned** strings by replaying pull
+/// events through the programmatic `TreeBuilder` path — exactly the
+/// pre-refactor string-arena representation. Node numbering matches the
+/// span-backed parse by the DOM/StAX parity invariant.
+fn owned_rebuild(xml: &str, vocab: &Vocabulary) -> Document {
+    let mut b = TreeBuilder::new(vocab.clone());
+    let mut p = PullParser::from_str(xml);
+    loop {
+        match p.next_event().expect("oracle rebuild parses") {
+            XmlEvent::StartElement { name, attributes } => {
+                b.start_element_named(&name);
+                for a in &attributes {
+                    b.attribute(&a.name, &a.value);
+                }
+            }
+            XmlEvent::Text(t) => b.text(&t),
+            XmlEvent::EndElement { .. } => b.end_element(),
+            XmlEvent::EndDocument => break,
+        }
+    }
+    b.finish().expect("oracle rebuild is well-formed")
+}
+
+/// Asserts the span-backed parse of `xml` agrees with the owned-string
+/// oracle on every accessor the engine uses.
+fn assert_span_parse_matches_owned(xml: &str) {
+    let vocab = Vocabulary::new();
+    let spanned = Document::parse_str(xml, &vocab).expect("span parse");
+    let owned = owned_rebuild(xml, &vocab);
+    assert_eq!(spanned.node_count(), owned.node_count(), "node count");
+    assert_eq!(spanned.to_xml(), owned.to_xml(), "serialization");
+    for n in spanned.all_nodes() {
+        assert_eq!(spanned.kind(n), owned.kind(n), "kind of {n:?}");
+        assert_eq!(
+            spanned.string_value(n),
+            owned.string_value(n),
+            "string_value of {n:?}"
+        );
+        assert_eq!(
+            spanned.direct_text(n),
+            owned.direct_text(n),
+            "direct_text of {n:?}"
+        );
+        assert_eq!(spanned.text(n), owned.text(n), "text of {n:?}");
+        let sa: Vec<(String, String)> = spanned
+            .attributes(n)
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let oa: Vec<(String, String)> = owned
+            .attributes(n)
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        assert_eq!(sa, oa, "attributes of {n:?}");
+    }
+}
+
+#[test]
+fn entity_heavy_text_decodes_identically() {
+    for xml in [
+        "<a>&amp;&lt;&gt;&#65;&#x42;&apos;&quot;</a>",
+        "<a>x&amp;y<b>&lt;inner&gt;</b>z&#33;</a>",
+        "<a>&amp;&amp;&amp;&amp;&amp;</a>",
+        "<a><b>&#x4e2d;&#x6587;</b>tail &gt; here</a>",
+    ] {
+        assert_span_parse_matches_owned(xml);
+    }
+    let vocab = Vocabulary::new();
+    let doc = Document::parse_str("<a>&amp;&lt;&gt;&#65;&#x42;</a>", &vocab).unwrap();
+    assert_eq!(doc.string_value(doc.root()), "&<>AB");
+}
+
+#[test]
+fn cdata_split_sections_concatenate() {
+    // "]]>" spelled as two adjacent CDATA sections, plus trailing
+    // brackets that are content, plus markup characters kept verbatim.
+    for xml in [
+        "<a><![CDATA[x]]></a>",
+        "<a><![CDATA[a]]]]><![CDATA[>b]]></a>",
+        "<a>pre<![CDATA[ <raw> & ]]>post</a>",
+        "<a><![CDATA[x]]]></a>",
+        "<a><![CDATA[]]><![CDATA[y]]></a>",
+        "<a><b><![CDATA[only]]></b> tail</a>",
+    ] {
+        assert_span_parse_matches_owned(xml);
+    }
+    let vocab = Vocabulary::new();
+    let doc = Document::parse_str("<a><![CDATA[a]]]]><![CDATA[>b]]></a>", &vocab).unwrap();
+    assert_eq!(doc.string_value(doc.root()), "a]]>b");
+    let doc = Document::parse_str("<a><![CDATA[x]]]></a>", &vocab).unwrap();
+    assert_eq!(doc.string_value(doc.root()), "x]");
+}
+
+#[test]
+fn empty_elements_have_tight_extents() {
+    for xml in [
+        "<a/>",
+        "<a><b/><c></c></a>",
+        "<a><b x=\"\"/></a>",
+        "<a>t<b/>t</a>",
+    ] {
+        assert_span_parse_matches_owned(xml);
+    }
+    let vocab = Vocabulary::new();
+    let src = "<a><b/><c></c></a>";
+    let doc = Document::parse_str(src, &vocab).unwrap();
+    let b = doc.first_child(doc.root()).unwrap();
+    let (bs, be) = doc.node_extent(b).unwrap();
+    assert_eq!(&src[bs..be], "<b/>");
+    let c = doc.next_sibling(b).unwrap();
+    let (cs, ce) = doc.node_extent(c).unwrap();
+    assert_eq!(&src[cs..ce], "<c></c>");
+}
+
+#[test]
+fn attribute_values_with_quotes_and_entities() {
+    for xml in [
+        r#"<a k="it's fine"/>"#,
+        r#"<a k='say "hi"'/>"#,
+        r#"<a k="a&amp;b" j='1 &lt; 2'/>"#,
+        r#"<a k="&#x22;&#39;"/>"#,
+        r#"<a k="" j="plain"/>"#,
+    ] {
+        assert_span_parse_matches_owned(xml);
+    }
+    let vocab = Vocabulary::new();
+    let doc = Document::parse_str(r#"<a k='say "hi"'/>"#, &vocab).unwrap();
+    assert_eq!(doc.attribute(doc.root(), "k"), Some("say \"hi\""));
+    // Attribute names are interned through the shared vocabulary.
+    assert!(vocab.lookup("k").is_some());
+}
+
+#[test]
+fn span_tables_are_a_fraction_of_the_owned_arena_footprint() {
+    // A 30k-node document with realistic text and attribute sizes: the
+    // span-backed text/attribute tables must be far smaller than the
+    // owned-string arena they replaced.
+    let mut xml = String::from("<hospital>");
+    for i in 0..15_000 {
+        xml.push_str(&format!(
+            "<record id=\"r{i:05}\">patient visit note number {i:05}, \
+             condition stable on review</record>"
+        ));
+    }
+    xml.push_str("</hospital>");
+    let vocab = Vocabulary::new();
+    let doc = Document::parse_str(&xml, &vocab).unwrap();
+    assert!(doc.node_count() >= 30_000);
+    let summary = doc.memory_summary();
+
+    // What the old representation paid per node: an owned `String` (24
+    // bytes of header plus content) for every text node and for both
+    // halves of every attribute.
+    let string_header = std::mem::size_of::<String>();
+    let mut owned_arena = 0usize;
+    for n in doc.all_nodes() {
+        if let Some(t) = doc.text(n) {
+            owned_arena += string_header + t.len();
+        }
+        for (k, v) in doc.attributes(n) {
+            owned_arena += 2 * string_header + k.len() + v.len();
+        }
+    }
+    let span_tables = summary.text_table_bytes
+        + summary.attr_table_bytes
+        + summary.owned_bytes
+        + summary.entity_cache_bytes;
+    assert!(
+        span_tables * 2 < owned_arena,
+        "span tables ({span_tables} B) should be well under half the \
+         owned-string arena ({owned_arena} B); summary: {summary}"
+    );
+    // And the whole document must be dominated by the buffer itself, not
+    // bookkeeping: tables together stay within ~3x of a bare 32-byte
+    // node table.
+    assert_eq!(summary.buffer_bytes, xml.len());
+    assert!(summary.node_table_bytes >= doc.node_count() * 32);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Random documents: the span-backed parse agrees byte-for-byte with
+    /// the owned-string oracle on every accessor.
+    #[test]
+    fn span_parse_matches_owned_rebuild(seed in 0u64..1_000_000) {
+        let xml = random_document(seed);
+        assert_span_parse_matches_owned(&xml);
+    }
+}
+
+/// Tiny deterministic generator (splitmix64) for random document sources:
+/// nested elements with attributes, mixed text with entity references,
+/// numeric character references and CDATA sections.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_document(seed: u64) -> String {
+    let mut rng = Rng(seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0xDEAD_BEEF);
+    let mut out = String::new();
+    random_element(&mut rng, 3, &mut out);
+    out
+}
+
+fn random_text(rng: &mut Rng, out: &mut String) {
+    const PIECES: &[&str] = &[
+        "word", "x y", "tail ", "&amp;", "&lt;", "&gt;", "&#65;", "&#x2603;", "&apos;", "mid",
+    ];
+    for _ in 0..1 + rng.below(3) {
+        out.push_str(PIECES[rng.below(PIECES.len() as u64) as usize]);
+    }
+}
+
+fn random_cdata(rng: &mut Rng, out: &mut String) {
+    const BODIES: &[&str] = &["", "raw", "a < b & c", "]x", "x]", "<tag>", "  "];
+    out.push_str("<![CDATA[");
+    out.push_str(BODIES[rng.below(BODIES.len() as u64) as usize]);
+    out.push_str("]]>");
+}
+
+fn random_attrs(rng: &mut Rng, out: &mut String) {
+    const NAMES: &[&str] = &["k", "x", "y"];
+    const VALUES: &[&str] = &[
+        "",
+        "v",
+        "a&amp;b",
+        "it's",
+        "1 &lt; 2",
+        "&#x22;",
+        "two words",
+    ];
+    let n = rng.below(3) as usize;
+    for name in &NAMES[..n] {
+        let value = VALUES[rng.below(VALUES.len() as u64) as usize];
+        out.push_str(&format!(" {name}=\"{value}\""));
+    }
+}
+
+fn random_element(rng: &mut Rng, depth: u32, out: &mut String) {
+    const NAMES: &[&str] = &["a", "b", "c", "d"];
+    let name = NAMES[rng.below(NAMES.len() as u64) as usize];
+    out.push('<');
+    out.push_str(name);
+    random_attrs(rng, out);
+    if rng.below(4) == 0 {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for _ in 0..rng.below(4) {
+        match rng.below(3) {
+            0 if depth > 0 => random_element(rng, depth - 1, out),
+            1 => random_cdata(rng, out),
+            _ => random_text(rng, out),
+        }
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
