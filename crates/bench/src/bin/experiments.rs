@@ -21,6 +21,7 @@ use smoqe_hype::{
 };
 use smoqe_rewrite::{rewrite, rewrite_direct};
 use smoqe_rxpath::{evaluate as naive_evaluate, parse_path};
+use smoqe_server::{run_traffic, Server, ServerConfig, TrafficConfig};
 use smoqe_tax::TaxIndex;
 use smoqe_view::{derive, materialize, AccessPolicy};
 use smoqe_xml::{generate_to_writer, Document, Vocabulary};
@@ -661,6 +662,29 @@ fn bench_json(quick: bool) {
     let threads2_qps = parallel_qps(2);
     let threads4_qps = parallel_qps(4);
 
+    // The serving layer: a real TCP server on an ephemeral port under the
+    // mixed traffic harness (hospital workload, admin + group sessions,
+    // reads/batches/self-cancelling writes). Latencies are wire-level —
+    // request written to response decoded — so they include framing,
+    // admission, queueing, and evaluation.
+    let (serving, serving_sessions) = {
+        let engine = Engine::with_defaults();
+        let doc = engine.open_document("wards");
+        hospital::install_sample(&doc).expect("install hospital sample");
+        let handle = Server::start(engine, ServerConfig::default()).expect("start bench server");
+        let sessions = if quick { 16 } else { 64 };
+        let requests = if quick { 10 } else { 50 };
+        let config = TrafficConfig::hospital(handle.local_addr().to_string(), sessions, requests);
+        let report = run_traffic(&config).expect("traffic harness");
+        assert_eq!(
+            report.protocol_errors, 0,
+            "serving bench hit protocol errors"
+        );
+        handle.shutdown();
+        handle.join();
+        (report, sessions)
+    };
+
     let json = format!(
         "{{\n\
          \x20 \"schema\": 2,\n\
@@ -706,11 +730,22 @@ fn bench_json(quick: bool) {
          \x20 \"tax_index_patch_us\": {{\n\
          \x20   \"incremental\": {patch_us:.2},\n\
          \x20   \"full_rebuild\": {rebuild_us:.2}\n\
+         \x20 }},\n\
+         \x20 \"serving_latency_us\": {{\n\
+         \x20   \"sessions\": {serving_sessions},\n\
+         \x20   \"p50\": {serve_p50},\n\
+         \x20   \"p95\": {serve_p95},\n\
+         \x20   \"p99\": {serve_p99},\n\
+         \x20   \"qps\": {serve_qps:.1}\n\
          \x20 }}\n\
          }}\n",
         nodes = doc.node_count(),
         bytes = xml.len(),
         nplans = plans.len(),
+        serve_p50 = serving.overall.p50_us,
+        serve_p95 = serving.overall.p95_us,
+        serve_p99 = serving.overall.p99_us,
+        serve_qps = serving.qps,
     );
     std::fs::write("BENCH.json", &json).expect("write BENCH.json");
     println!("{json}");

@@ -51,6 +51,7 @@ pub struct Engine {
     config: EngineConfig,
     catalog: Catalog,
     plans: PlanCache,
+    tenants: crate::tenants::TenantRegistry,
 }
 
 /// Who a session belongs to.
@@ -190,6 +191,7 @@ impl Engine {
             plans: PlanCache::new(config.plan_cache_capacity),
             config,
             catalog: Catalog::default(),
+            tenants: crate::tenants::TenantRegistry::default(),
         })
     }
 
@@ -249,6 +251,15 @@ impl Engine {
     /// resident entries).
     pub fn cache_metrics(&self) -> CacheMetrics {
         self.plans.metrics()
+    }
+
+    /// Sorted per-tenant load counters — one row per principal this engine
+    /// has served ([`crate::tenants::ADMIN_TENANT`] for admin sessions,
+    /// the group name otherwise). The serving layer's `Stats` op reports
+    /// these so per-group load on a shared engine is observable; the CLI
+    /// prints them under `--cache-stats`.
+    pub fn tenant_metrics(&self) -> Vec<(String, crate::tenants::TenantMetrics)> {
+        self.tenants.metrics()
     }
 
     // ------------------------------------------------------------------
@@ -701,6 +712,18 @@ impl Engine {
         user: &User,
         updates: &[&str],
     ) -> Result<Vec<UpdateReport>, EngineError> {
+        let result = self.apply_updates_inner(entry, user, updates);
+        self.tenants
+            .record_update(user, updates.len(), result.as_ref().err());
+        result
+    }
+
+    fn apply_updates_inner(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        user: &User,
+        updates: &[&str],
+    ) -> Result<Vec<UpdateReport>, EngineError> {
         if updates.is_empty() {
             return Ok(Vec::new());
         }
@@ -835,7 +858,23 @@ impl Engine {
             let (mfa, cached) = self.plan_tracked(&entry, &session.user, query)?;
             parts.push((session.user.clone(), mfa, cached));
         }
-        self.evaluate_batch_parts(&entry, &parts)
+        let result = self.evaluate_batch_parts(&entry, &parts);
+        // Cross-session batches account each answer to its own tenant
+        // (the per-session `query_batch` path records through
+        // `record_batch` instead).
+        match &result {
+            Ok(batch) => {
+                for ((session, _), answer) in requests.iter().zip(&batch.answers) {
+                    self.tenants.record_query(&session.user, Ok(answer));
+                }
+            }
+            Err(e) => {
+                for (session, _) in requests {
+                    self.tenants.record_query(&session.user, Err(e));
+                }
+            }
+        }
+        result
     }
 
     /// Shared batch path: one snapshot, one scan, N machines — or, for
@@ -1117,6 +1156,18 @@ impl Session {
         query: &str,
         observer: &mut dyn EvalObserver,
     ) -> Result<(Answer, Arc<crate::catalog::LoadedSource>), EngineError> {
+        let result = self.query_with_source_inner(query, observer);
+        self.engine
+            .tenants
+            .record_query(&self.user, result.as_ref().map(|(a, _)| a));
+        result
+    }
+
+    fn query_with_source_inner(
+        &self,
+        query: &str,
+        observer: &mut dyn EvalObserver,
+    ) -> Result<(Answer, Arc<crate::catalog::LoadedSource>), EngineError> {
         let (mfa, cached) = self.engine.plan_tracked(&self.entry, &self.user, query)?;
         let source = self.entry.snapshot()?;
         let mut answer = self.engine.evaluate_snapshot(&source, &mfa, observer)?;
@@ -1138,12 +1189,58 @@ impl Session {
     /// identical to what [`Session::query`] would have returned, plus the
     /// shared event count proving the document was parsed once.
     pub fn query_batch(&self, queries: &[&str]) -> Result<BatchAnswer, EngineError> {
+        let result = self.query_batch_inner(queries);
+        self.engine
+            .tenants
+            .record_batch(&self.user, queries.len(), result.as_ref());
+        result
+    }
+
+    fn query_batch_inner(&self, queries: &[&str]) -> Result<BatchAnswer, EngineError> {
         let mut parts = Vec::with_capacity(queries.len());
         for query in queries {
             let (mfa, cached) = self.engine.plan_tracked(&self.entry, &self.user, query)?;
             parts.push((self.user.clone(), mfa, cached));
         }
         self.engine.evaluate_batch_parts(&self.entry, &parts)
+    }
+
+    /// Like [`Session::query`], with `xml` always filled **safely for
+    /// this principal**: raw source subtrees for admin sessions, the view
+    /// image (hidden descendants filtered) for group sessions — the
+    /// answer and its serialization come from one source snapshot. This
+    /// is the evaluation the network server runs for the `Query` op: a
+    /// remote client only ever receives what [`Session::query_xml`] would
+    /// have shown it.
+    pub fn query_serialized(&self, query: &str) -> Result<Answer, EngineError> {
+        let (mut answer, source) = self.query_with_source(query, &mut NoopObserver)?;
+        if answer.xml.is_none() {
+            answer.xml = Some(match &self.user {
+                User::Admin => answer.serialize_with(&source.doc),
+                User::Group(g) => render_view_xml(&self.entry, g, &source, &answer.nodes)?,
+            });
+        }
+        Ok(answer)
+    }
+
+    /// Like [`Session::query_batch`], with every answer's `xml` filled
+    /// safely for this principal (see [`Session::query_serialized`]).
+    /// Streaming batches already serialize during the scan; parallel DOM
+    /// batches render afterwards from the current snapshot.
+    pub fn query_batch_serialized(&self, queries: &[&str]) -> Result<BatchAnswer, EngineError> {
+        let mut batch = self.query_batch(queries)?;
+        if batch.answers.iter().any(|a| a.xml.is_none()) {
+            let source = self.entry.snapshot()?;
+            for answer in &mut batch.answers {
+                if answer.xml.is_none() {
+                    answer.xml = Some(match &self.user {
+                        User::Admin => answer.serialize_with(&source.doc),
+                        User::Group(g) => render_view_xml(&self.entry, g, &source, &answer.nodes)?,
+                    });
+                }
+            }
+        }
+        Ok(batch)
     }
 
     /// The compiled/rewritten (and possibly cached) MFA for a query, for

@@ -36,6 +36,53 @@ pub enum EngineError {
     UpdateDenied,
 }
 
+impl EngineError {
+    /// Stable machine-readable code for this error, for wire protocols and
+    /// logs: serializers must never string-match `Display` output (which
+    /// is free to change) to recover the variant. Codes are part of the
+    /// protocol contract and never renumbered — new variants append.
+    ///
+    /// [`EngineError::UpdateDenied`] deliberately maps hidden,
+    /// conditionally-hidden and non-existent targets to **one** code with
+    /// no payload, so a serialized denial is byte-identical whatever its
+    /// cause.
+    pub fn code(&self) -> u16 {
+        match self {
+            EngineError::Xml(_) => 1,
+            EngineError::Query(_) => 2,
+            EngineError::Policy(_) => 3,
+            EngineError::View(_) => 4,
+            EngineError::NoDocument => 5,
+            EngineError::UnknownDocument(_) => 6,
+            EngineError::UnknownGroup(_) => 7,
+            EngineError::AccessDenied => 8,
+            EngineError::NoStreamSource => 9,
+            EngineError::BatchMismatch => 10,
+            EngineError::Update(_) => 11,
+            EngineError::UpdateDenied => 12,
+        }
+    }
+
+    /// Short stable identifier paired with [`EngineError::code`] (same
+    /// contract: append-only, never renamed).
+    pub fn code_name(&self) -> &'static str {
+        match self {
+            EngineError::Xml(_) => "xml",
+            EngineError::Query(_) => "query",
+            EngineError::Policy(_) => "policy",
+            EngineError::View(_) => "view",
+            EngineError::NoDocument => "no_document",
+            EngineError::UnknownDocument(_) => "unknown_document",
+            EngineError::UnknownGroup(_) => "unknown_group",
+            EngineError::AccessDenied => "access_denied",
+            EngineError::NoStreamSource => "no_stream_source",
+            EngineError::BatchMismatch => "batch_mismatch",
+            EngineError::Update(_) => "update",
+            EngineError::UpdateDenied => "update_denied",
+        }
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -135,5 +182,27 @@ mod tests {
         let b = EngineError::UpdateDenied.to_string();
         assert_eq!(a, b);
         assert!(!a.contains("hidden") && !a.contains("exist"));
+    }
+
+    #[test]
+    fn codes_are_distinct_and_stable() {
+        let variants = [
+            EngineError::NoDocument,
+            EngineError::UnknownDocument("d".into()),
+            EngineError::UnknownGroup("g".into()),
+            EngineError::AccessDenied,
+            EngineError::NoStreamSource,
+            EngineError::BatchMismatch,
+            EngineError::UpdateDenied,
+            EngineError::Update(smoqe_update::UpdateError::NoTarget),
+        ];
+        let mut codes: Vec<u16> = variants.iter().map(EngineError::code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), variants.len(), "codes must be distinct");
+        // Pinned values: renumbering is a wire-protocol break.
+        assert_eq!(EngineError::UpdateDenied.code(), 12);
+        assert_eq!(EngineError::UpdateDenied.code_name(), "update_denied");
+        assert_eq!(EngineError::AccessDenied.code(), 8);
     }
 }

@@ -57,6 +57,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod plancache;
+pub mod tenants;
 pub mod workloads;
 
 mod sync;
@@ -67,6 +68,7 @@ pub use engine::{Answer, BatchAnswer, Engine, Session, UpdateReport, User, DEFAU
 pub use error::EngineError;
 pub use plancache::CacheMetrics;
 pub use smoqe_hype::ExecMode;
+pub use tenants::{TenantMetrics, ADMIN_TENANT};
 
 // Re-export the component crates under stable names.
 pub use smoqe_automata as automata;

@@ -1,0 +1,206 @@
+//! Per-tenant load accounting.
+//!
+//! The serving layer multiplexes many principals onto one engine; when the
+//! engine is busy, "who is doing what" must be answerable without guessing.
+//! Every query/update path records into a per-tenant counter slab keyed by
+//! principal — `"(admin)"` for administrator sessions (parenthesized so it
+//! can never collide with a user-group name, which the policy grammar keeps
+//! to bare identifiers), the group name otherwise. [`Engine::tenant_metrics`]
+//! returns a point-in-time snapshot, the CLI prints it under
+//! `--cache-stats`, and the server's `Stats` op ships it over the wire.
+//!
+//! [`Engine::tenant_metrics`]: crate::Engine::tenant_metrics
+
+use crate::engine::User;
+use crate::error::EngineError;
+use crate::sync::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The tenant key admin sessions are accounted under.
+pub const ADMIN_TENANT: &str = "(admin)";
+
+/// Point-in-time counters for one tenant (user group or the admin
+/// principal) — the per-tenant analogue of [`crate::CacheMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantMetrics {
+    /// Queries evaluated for this tenant (batch members each count).
+    pub queries: u64,
+    /// Query batches evaluated (each also counted per member in
+    /// `queries`).
+    pub batches: u64,
+    /// Update statements attempted (accepted or not).
+    pub updates: u64,
+    /// Updates refused by the tenant's security policy (the opaque
+    /// [`EngineError::UpdateDenied`]). Counted per *transaction*: a
+    /// denied batch installs nothing and counts once.
+    pub update_denials: u64,
+    /// Requests that failed with any other error.
+    pub errors: u64,
+    /// Total answer nodes returned.
+    pub answers: u64,
+    /// Total element nodes the evaluator entered on behalf of this tenant
+    /// — the work figure admission control wants to see per group.
+    pub nodes_visited: u64,
+}
+
+/// Lock-free (post-registration) counter slab for one tenant.
+#[derive(Default)]
+struct TenantCounters {
+    queries: AtomicU64,
+    batches: AtomicU64,
+    updates: AtomicU64,
+    update_denials: AtomicU64,
+    errors: AtomicU64,
+    answers: AtomicU64,
+    nodes_visited: AtomicU64,
+}
+
+impl TenantCounters {
+    fn snapshot(&self) -> TenantMetrics {
+        TenantMetrics {
+            queries: self.queries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            update_denials: self.update_denials.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            answers: self.answers.load(Ordering::Relaxed),
+            nodes_visited: self.nodes_visited.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Engine-wide tenant → counters map. The map lock is only taken to
+/// register a first-seen tenant; recording increments atomics through an
+/// `Arc` and never blocks queries against each other.
+#[derive(Default)]
+pub(crate) struct TenantRegistry {
+    tenants: RwLock<HashMap<String, Arc<TenantCounters>>>,
+}
+
+/// The accounting key of a user.
+pub(crate) fn tenant_key(user: &User) -> &str {
+    match user {
+        User::Admin => ADMIN_TENANT,
+        User::Group(g) => g.as_str(),
+    }
+}
+
+impl TenantRegistry {
+    fn counters(&self, key: &str) -> Arc<TenantCounters> {
+        if let Some(c) = self.tenants.read().get(key) {
+            return c.clone();
+        }
+        self.tenants
+            .write()
+            .entry(key.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Records one query outcome (also used per member of a batch).
+    pub(crate) fn record_query(&self, user: &User, outcome: Result<&crate::Answer, &EngineError>) {
+        let c = self.counters(tenant_key(user));
+        c.queries.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            Ok(answer) => {
+                c.answers.fetch_add(answer.len() as u64, Ordering::Relaxed);
+                c.nodes_visited
+                    .fetch_add(answer.stats.nodes_visited as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                c.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records a whole batch: one batch tick plus one query record per
+    /// member answer (a failed batch charges its members as errors).
+    pub(crate) fn record_batch(
+        &self,
+        user: &User,
+        members: usize,
+        outcome: Result<&crate::BatchAnswer, &EngineError>,
+    ) {
+        let c = self.counters(tenant_key(user));
+        c.batches.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            Ok(batch) => {
+                c.queries
+                    .fetch_add(batch.answers.len() as u64, Ordering::Relaxed);
+                for answer in &batch.answers {
+                    c.answers.fetch_add(answer.len() as u64, Ordering::Relaxed);
+                    c.nodes_visited
+                        .fetch_add(answer.stats.nodes_visited as u64, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                c.queries.fetch_add(members as u64, Ordering::Relaxed);
+                c.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records one update transaction of `statements` statements.
+    pub(crate) fn record_update(
+        &self,
+        user: &User,
+        statements: usize,
+        error: Option<&EngineError>,
+    ) {
+        let c = self.counters(tenant_key(user));
+        c.updates.fetch_add(statements as u64, Ordering::Relaxed);
+        match error {
+            None => {}
+            Some(EngineError::UpdateDenied) => {
+                c.update_denials.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(_) => {
+                c.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Sorted point-in-time snapshot of every tenant seen so far.
+    pub(crate) fn metrics(&self) -> Vec<(String, TenantMetrics)> {
+        let mut rows: Vec<(String, TenantMetrics)> = self
+            .tenants
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admin_key_cannot_collide_with_groups() {
+        // Policy group names are bare identifiers; the parenthesized admin
+        // key stays out of their namespace.
+        assert_eq!(tenant_key(&User::Admin), "(admin)");
+        assert_eq!(tenant_key(&User::Group("admin".into())), "admin");
+        assert_ne!(tenant_key(&User::Admin), "admin");
+    }
+
+    #[test]
+    fn update_denials_are_counted_separately_from_errors() {
+        let reg = TenantRegistry::default();
+        let g = User::Group("researchers".into());
+        reg.record_update(&g, 1, Some(&EngineError::UpdateDenied));
+        reg.record_update(&g, 2, None);
+        reg.record_update(&g, 1, Some(&EngineError::NoDocument));
+        let rows = reg.metrics();
+        assert_eq!(rows.len(), 1);
+        let (name, m) = &rows[0];
+        assert_eq!(name, "researchers");
+        assert_eq!(m.updates, 4);
+        assert_eq!(m.update_denials, 1);
+        assert_eq!(m.errors, 1);
+    }
+}

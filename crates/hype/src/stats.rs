@@ -35,6 +35,12 @@ pub struct EvalStats {
     /// Full passes over the document tree (1 for HyPE, 2 for the two-pass
     /// baseline).
     pub tree_passes: usize,
+    /// The serving-layer request these counters were collected for
+    /// (`0` = not part of a traced request). Evaluators never set this;
+    /// the server stamps it from the request's `RequestContext` so a
+    /// stats line in a trace dump can be grepped back to the wire request
+    /// that caused it.
+    pub request_id: u64,
 }
 
 impl EvalStats {
@@ -54,6 +60,12 @@ impl EvalStats {
         self.guard_probes += other.guard_probes;
         self.max_depth = self.max_depth.max(other.max_depth);
         self.tree_passes += other.tree_passes;
+        // Request ids do not add: a merged figure keeps its own id (or
+        // adopts the other's when it has none), mirroring how a batch is
+        // one wire request.
+        if self.request_id == 0 {
+            self.request_id = other.request_id;
+        }
     }
 
     /// Fraction of visited nodes that became candidates — the paper's

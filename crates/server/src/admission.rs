@@ -1,0 +1,317 @@
+//! Per-tenant admission control.
+//!
+//! One engine serves every tenant, so one tenant's burst must not become
+//! everyone's latency. Admission happens in the connection reader,
+//! *before* a request touches the shared work queue, and is two
+//! independent gates per tenant:
+//!
+//! 1. a **token bucket** bounding sustained request rate (capacity
+//!    `burst`, refilled continuously at `rate_per_sec`), and
+//! 2. a **max-inflight quota** bounding how much of the worker pool one
+//!    tenant can occupy at once (admitted-but-unfinished requests).
+//!
+//! A request failing either gate gets a [`Busy`](crate::proto::Response)
+//! response with a retry-after hint — the connection stays open, nothing
+//! is buffered, nothing is silently dropped. Admins are subject to the
+//! same mechanism (with a much larger default quota): the control plane
+//! should survive an admin script gone wild too.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Admission limits for one tenant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantQuota {
+    /// Sustained requests per second (token-bucket refill rate).
+    pub rate_per_sec: f64,
+    /// Burst capacity (bucket size): requests admitted instantly after an
+    /// idle period.
+    pub burst: u32,
+    /// Maximum admitted-but-unfinished requests at once.
+    pub max_inflight: usize,
+}
+
+impl TenantQuota {
+    /// Effectively unlimited (used as the admin default).
+    pub fn unlimited() -> Self {
+        TenantQuota {
+            rate_per_sec: 1e9,
+            burst: u32::MAX,
+            max_inflight: usize::MAX,
+        }
+    }
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        // Generous enough for interactive use, small enough that a tight
+        // client loop hits the bucket within a second.
+        TenantQuota {
+            rate_per_sec: 500.0,
+            burst: 250,
+            max_inflight: 64,
+        }
+    }
+}
+
+/// Continuous-refill token bucket.
+#[derive(Debug)]
+struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    /// (available tokens, last refill instant).
+    state: Mutex<(f64, Instant)>,
+}
+
+impl TokenBucket {
+    fn new(quota: &TenantQuota, now: Instant) -> Self {
+        TokenBucket {
+            rate_per_sec: quota.rate_per_sec,
+            burst: quota.burst as f64,
+            state: Mutex::new((quota.burst as f64, now)),
+        }
+    }
+
+    /// Takes one token, or reports how many milliseconds until one
+    /// accrues.
+    fn try_take(&self, now: Instant) -> Result<(), u32> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let (ref mut tokens, ref mut last) = *state;
+        let elapsed = now.saturating_duration_since(*last).as_secs_f64();
+        *tokens = (*tokens + elapsed * self.rate_per_sec).min(self.burst);
+        *last = now;
+        if *tokens >= 1.0 {
+            *tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - *tokens;
+            let wait_ms = (deficit / self.rate_per_sec * 1000.0).ceil();
+            // At least 1ms so a client never busy-spins on a 0 hint.
+            Err((wait_ms as u32).max(1))
+        }
+    }
+}
+
+/// One tenant's gates plus its refusal counter.
+#[derive(Debug)]
+struct TenantGate {
+    bucket: TokenBucket,
+    max_inflight: usize,
+    inflight: AtomicUsize,
+    busy_rejections: AtomicU64,
+}
+
+/// Engine-wide admission state: tenant key → gate.
+pub struct Admission {
+    default_quota: TenantQuota,
+    admin_quota: TenantQuota,
+    overrides: HashMap<String, TenantQuota>,
+    gates: RwLock<HashMap<String, Arc<TenantGate>>>,
+}
+
+/// RAII inflight slot: dropping it releases the tenant's quota slot, so a
+/// worker panic or early return cannot leak capacity.
+#[derive(Debug)]
+pub struct InflightGuard {
+    gate: Arc<TenantGate>,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.gate.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Why a request was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Refused {
+    /// Suggested client backoff in milliseconds.
+    pub retry_after_ms: u32,
+}
+
+impl Admission {
+    /// Admission state with the given default/admin quotas and named
+    /// per-tenant overrides.
+    pub fn new(
+        default_quota: TenantQuota,
+        admin_quota: TenantQuota,
+        overrides: HashMap<String, TenantQuota>,
+    ) -> Self {
+        Admission {
+            default_quota,
+            admin_quota,
+            overrides,
+            gates: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn quota_for(&self, tenant: &str) -> TenantQuota {
+        if let Some(q) = self.overrides.get(tenant) {
+            return *q;
+        }
+        if tenant == smoqe::ADMIN_TENANT {
+            self.admin_quota
+        } else {
+            self.default_quota
+        }
+    }
+
+    fn gate(&self, tenant: &str, now: Instant) -> Arc<TenantGate> {
+        if let Some(g) = self
+            .gates
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(tenant)
+        {
+            return g.clone();
+        }
+        let quota = self.quota_for(tenant);
+        self.gates
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(tenant.to_string())
+            .or_insert_with(|| {
+                Arc::new(TenantGate {
+                    bucket: TokenBucket::new(&quota, now),
+                    max_inflight: quota.max_inflight,
+                    inflight: AtomicUsize::new(0),
+                    busy_rejections: AtomicU64::new(0),
+                })
+            })
+            .clone()
+    }
+
+    /// Tries to admit one request for `tenant` at `now`.
+    ///
+    /// On success the returned guard holds the tenant's inflight slot
+    /// until dropped. On refusal the tenant's `busy_rejections` counter
+    /// is bumped and a retry hint is returned.
+    pub fn admit(&self, tenant: &str, now: Instant) -> Result<InflightGuard, Refused> {
+        let gate = self.gate(tenant, now);
+
+        // Inflight gate first: it is cheaper and, unlike the bucket, not
+        // consumed by the check.
+        let mut current = gate.inflight.load(Ordering::Acquire);
+        loop {
+            if current >= gate.max_inflight {
+                gate.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                // No token was taken; the sensible retry is "when a slot
+                // frees", which we approximate with a short fixed hint.
+                return Err(Refused { retry_after_ms: 5 });
+            }
+            match gate.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+
+        match gate.bucket.try_take(now) {
+            Ok(()) => Ok(InflightGuard { gate }),
+            Err(retry_after_ms) => {
+                gate.inflight.fetch_sub(1, Ordering::AcqRel);
+                gate.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                Err(Refused { retry_after_ms })
+            }
+        }
+    }
+
+    /// `Busy` refusals per tenant so far (for the `Stats` op).
+    pub fn busy_counts(&self) -> HashMap<String, u64> {
+        self.gates
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, g)| (k.clone(), g.busy_rejections.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Total `Busy` refusals across tenants.
+    pub fn busy_total(&self) -> u64 {
+        self.busy_counts().values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn admission(quota: TenantQuota) -> Admission {
+        Admission::new(quota, TenantQuota::unlimited(), HashMap::new())
+    }
+
+    #[test]
+    fn burst_is_admitted_then_rate_limited() {
+        let adm = admission(TenantQuota {
+            rate_per_sec: 10.0,
+            burst: 3,
+            max_inflight: 100,
+        });
+        let t0 = Instant::now();
+        let mut guards = Vec::new();
+        for _ in 0..3 {
+            guards.push(adm.admit("g", t0).expect("burst admitted"));
+        }
+        let refused = adm.admit("g", t0).unwrap_err();
+        // One token accrues in 100ms at 10/s.
+        assert!(refused.retry_after_ms >= 1 && refused.retry_after_ms <= 100);
+        // After enough simulated time, tokens are back.
+        assert!(adm.admit("g", t0 + Duration::from_millis(150)).is_ok());
+        assert_eq!(adm.busy_total(), 1);
+    }
+
+    #[test]
+    fn inflight_slots_are_released_by_guard_drop() {
+        let adm = admission(TenantQuota {
+            rate_per_sec: 1e6,
+            burst: 1_000_000,
+            max_inflight: 2,
+        });
+        let t0 = Instant::now();
+        let g1 = adm.admit("g", t0).unwrap();
+        let _g2 = adm.admit("g", t0).unwrap();
+        assert!(adm.admit("g", t0).is_err());
+        drop(g1);
+        assert!(adm.admit("g", t0).is_ok());
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let adm = admission(TenantQuota {
+            rate_per_sec: 1.0,
+            burst: 1,
+            max_inflight: 1,
+        });
+        let t0 = Instant::now();
+        let _a = adm.admit("a", t0).unwrap();
+        assert!(adm.admit("a", t0).is_err());
+        // Tenant b is untouched by a's exhaustion.
+        assert!(adm.admit("b", t0).is_ok());
+    }
+
+    #[test]
+    fn refusal_does_not_leak_inflight_slot() {
+        // Bucket empty but inflight available: the reserved slot must be
+        // returned on refusal.
+        let adm = admission(TenantQuota {
+            rate_per_sec: 0.001,
+            burst: 1,
+            max_inflight: 1,
+        });
+        let t0 = Instant::now();
+        let g = adm.admit("g", t0).unwrap();
+        drop(g);
+        // Token gone, slot free → bucket refusal.
+        assert!(adm.admit("g", t0).is_err());
+        // Were the slot leaked, this would now fail on inflight instead
+        // of the bucket; give the bucket time and it must admit again.
+        assert!(adm.admit("g", t0 + Duration::from_secs(2000)).is_ok());
+    }
+}

@@ -1,0 +1,150 @@
+//! `smoqe-server` — run a SMOQE engine behind a TCP socket.
+//!
+//! ```text
+//! smoqe-server serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!                    [--document NAME] [--dtd FILE --doc FILE]
+//!                    [--policy FILE --group NAME]
+//!                    [--rate R] [--burst B] [--inflight N] [--trace N]
+//! ```
+//!
+//! With `--dtd`/`--doc` the named document (default `wards`) is loaded
+//! from files, optionally registering `--policy` for `--group`; without
+//! them the built-in hospital sample is installed, so
+//! `smoqe-server serve` alone yields a working multi-tenant server that
+//! `smoqe bench-traffic --addr ...` (or any wire client) can talk to.
+//!
+//! `--rate`/`--burst`/`--inflight` set the default per-tenant admission
+//! quota (token-bucket rate, bucket size, max concurrent requests).
+//! The process runs until an admin session sends the wire `Shutdown` op,
+//! which drains gracefully: queued work completes, then the process
+//! exits 0.
+
+use std::process::ExitCode;
+
+use smoqe::Engine;
+use smoqe_server::{Server, ServerConfig, TenantQuota};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    flags: std::collections::HashMap<String, String>,
+}
+
+fn parse_args(raw: &[String]) -> Args {
+    let mut flags = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if let Some(name) = raw[i].strip_prefix("--") {
+            if i + 1 < raw.len() {
+                flags.insert(name.to_string(), raw[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    Args { flags }
+}
+
+fn parsed<T: std::str::FromStr>(
+    args: &Args,
+    name: &str,
+    default: T,
+) -> Result<T, Box<dyn std::error::Error>>
+where
+    T::Err: std::error::Error + 'static,
+{
+    match args.flags.get(name) {
+        Some(s) => Ok(s.parse()?),
+        None => Ok(default),
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("serve") => serve(&parse_args(&raw[1..])),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            eprintln!(
+                "smoqe-server - SMOQE network serving layer\n\
+                 \n\
+                 usage: smoqe-server serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
+                 \u{20}                         [--document NAME] [--dtd FILE --doc FILE]\n\
+                 \u{20}                         [--policy FILE --group NAME]\n\
+                 \u{20}                         [--rate R] [--burst B] [--inflight N] [--trace N]\n\
+                 \n\
+                 Without --dtd/--doc, serves the built-in hospital sample (document\n\
+                 'wards', group 'researchers'). Shut down with the wire Shutdown op\n\
+                 (admin sessions only), e.g. the client library's shutdown()."
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try `smoqe-server help`)").into()),
+    }
+}
+
+fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Engine::with_defaults();
+    let name = args
+        .flags
+        .get("document")
+        .cloned()
+        .unwrap_or_else(|| "wards".to_string());
+    let doc = engine.open_document(&name);
+    match (args.flags.get("dtd"), args.flags.get("doc")) {
+        (Some(dtd), Some(doc_file)) => {
+            doc.load_dtd(&std::fs::read_to_string(dtd)?)?;
+            doc.load_document_file(doc_file)?;
+            if let Some(policy) = args.flags.get("policy") {
+                let group = args
+                    .flags
+                    .get("group")
+                    .cloned()
+                    .unwrap_or_else(|| "users".to_string());
+                doc.register_policy(&group, &std::fs::read_to_string(policy)?)?;
+            }
+        }
+        (None, None) => {
+            smoqe::workloads::hospital::install_sample(&doc)?;
+        }
+        _ => return Err("--dtd and --doc must be given together".into()),
+    }
+
+    let defaults = ServerConfig::default();
+    let default_quota = TenantQuota {
+        rate_per_sec: parsed(args, "rate", defaults.default_quota.rate_per_sec)?,
+        burst: parsed(args, "burst", defaults.default_quota.burst)?,
+        max_inflight: parsed(args, "inflight", defaults.default_quota.max_inflight)?,
+    };
+    let config = ServerConfig {
+        addr: args
+            .flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7464".to_string()),
+        workers: parsed(args, "workers", defaults.workers)?,
+        queue_capacity: parsed(args, "queue", defaults.queue_capacity)?,
+        trace_capacity: parsed(args, "trace", defaults.trace_capacity)?,
+        default_quota,
+        ..defaults
+    };
+
+    let handle = Server::start(engine, config)?;
+    // Flushed line with the final address (port 0 resolves here) so
+    // scripts — CI's smoke test included — can scrape it.
+    println!("listening on {}", handle.local_addr());
+    handle.join();
+    eprintln!("drained; goodbye");
+    Ok(())
+}

@@ -15,6 +15,8 @@
 //! smoqe generate --dtd D.dtd --nodes N --seed S        # synthetic document on stdout
 //! smoqe update   --dtd D.dtd --doc T.xml [--policy P.pol] [--out FILE]
 //!                [--batch FILE | STATEMENT...]         # policy-checked mutations
+//! smoqe bench-traffic [--addr HOST:PORT] [--sessions N] [--requests N]
+//!                [--workers N] [--seed S]              # drive mixed load at a server
 //! ```
 //!
 //! `--repeat N` re-runs the query N times: every run after the first hits
@@ -38,6 +40,14 @@
 //! query per line, `#` comments and blank lines skipped) in **one
 //! sequential scan** of the document and reports the shared event count;
 //! the positional QUERY argument is not needed then.
+//!
+//! `bench-traffic` is the serving layer's load generator: it drives
+//! `--sessions` concurrent TCP connections (alternating admin and view
+//! principals) of mixed single-query / shared-scan-batch / update traffic
+//! against `--addr`, or — without `--addr` — against a freshly started
+//! in-process server preloaded with the hospital sample. It reports
+//! p50/p95/p99 latency, QPS, and the admission-control refusal counts,
+//! overall and per tenant (see `smoqe-server serve` for the server side).
 //!
 //! `update` applies `insert <f> into|before|after p` / `delete p` /
 //! `replace p with <f>` statements. With `--policy` the statements run as
@@ -85,7 +95,7 @@ fn parse_args(raw: &[String]) -> Args {
             // Switches without values.
             if matches!(
                 name,
-                "stream" | "tax" | "no-optimize" | "dot" | "cache-stats" | "explain"
+                "stream" | "tax" | "no-optimize" | "dot" | "cache-stats" | "explain" | "shutdown"
             ) {
                 switches.push(name.to_string());
                 i += 1;
@@ -123,6 +133,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         "trace" => cmd_trace(&args),
         "index" => cmd_index(&args),
         "generate" => cmd_generate(&args),
+        "bench-traffic" => cmd_bench_traffic(&args),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -152,6 +163,13 @@ fn print_usage() {
                     [--out FILE] [--batch FILE | STMT...]    apply policy-checked updates\n\
                                                              (insert/delete/replace) and\n\
                                                              emit the updated document\n\
+           bench-traffic [--addr HOST:PORT] [--sessions N]\n\
+                    [--requests N] [--workers N] [--seed S]\n\
+                    [--shutdown]                             drive concurrent mixed load at a\n\
+                                                             smoqe-server (or a self-hosted\n\
+                                                             one) and report latency/QPS;\n\
+                                                             --shutdown drains the remote\n\
+                                                             server afterwards (admin op)\n\
          \n\
          With --policy, the query runs as a view user (rewritten, access-\n\
          controlled); without it, as an admin directly on the document."
@@ -260,6 +278,20 @@ fn print_cache_stats(doc: &DocHandle) {
         m.entries,
         (m.hit_rate() * 100.0).round(),
     );
+    for (tenant, t) in doc.engine().tenant_metrics() {
+        eprintln!(
+            "tenant {tenant}: {} quer{} ({} batch(es)), {} answer(s), {} node(s) visited, \
+             {} update(s) ({} denied), {} error(s)",
+            t.queries,
+            if t.queries == 1 { "y" } else { "ies" },
+            t.batches,
+            t.answers,
+            t.nodes_visited,
+            t.updates,
+            t.update_denials,
+            t.errors,
+        );
+    }
 }
 
 /// Reads a batch file: one query/statement per line, `#` comments and
@@ -553,6 +585,104 @@ fn cmd_index(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     );
     eprintln!("document: {}", doc.memory_summary());
     eprintln!("index:    {}", tax.summary(&vocab));
+    Ok(())
+}
+
+fn parsed_flag<T: std::str::FromStr>(
+    args: &Args,
+    name: &str,
+    default: T,
+) -> Result<T, Box<dyn std::error::Error>>
+where
+    T::Err: std::error::Error + 'static,
+{
+    match args.flags.get(name) {
+        Some(s) => Ok(s.parse()?),
+        None => Ok(default),
+    }
+}
+
+fn cmd_bench_traffic(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use smoqe_server::{run_traffic, Server, ServerConfig, TrafficConfig};
+
+    let sessions: usize = parsed_flag(args, "sessions", 64)?;
+    let requests: usize = parsed_flag(args, "requests", 50)?;
+
+    // Without --addr, self-host: fresh engine, hospital sample, ephemeral
+    // port — a one-command demo of the whole serving stack.
+    let (addr, hosted) = match args.flags.get("addr") {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let engine = Engine::with_defaults();
+            let doc = engine.open_document("wards");
+            smoqe::workloads::hospital::install_sample(&doc)?;
+            let defaults = ServerConfig::default();
+            let config = ServerConfig {
+                workers: parsed_flag(args, "workers", defaults.workers)?,
+                queue_capacity: parsed_flag(args, "queue", defaults.queue_capacity)?,
+                ..defaults
+            };
+            let handle = Server::start(engine, config)?;
+            eprintln!("self-hosted smoqe-server on {}", handle.local_addr());
+            (handle.local_addr().to_string(), Some(handle))
+        }
+    };
+
+    let mut config = TrafficConfig::hospital(addr, sessions, requests);
+    if let Some(document) = args.flags.get("document") {
+        config.document = document.clone();
+    }
+    config.seed = parsed_flag(args, "seed", config.seed)?;
+
+    let report = run_traffic(&config)?;
+    println!(
+        "{} session(s) x {} request(s): {} ok, {} busy (of which {} starved), \
+         {} engine error(s), {} protocol error(s)",
+        sessions,
+        requests,
+        report.ok,
+        report.busy,
+        report.starved,
+        report.errors,
+        report.protocol_errors,
+    );
+    println!(
+        "latency p50 {}us  p95 {}us  p99 {}us  mean {}us  |  {:.0} req/s over {:.2}s",
+        report.overall.p50_us,
+        report.overall.p95_us,
+        report.overall.p99_us,
+        report.overall.mean_us,
+        report.qps,
+        report.elapsed.as_secs_f64(),
+    );
+    for (tenant, s) in &report.per_tenant {
+        println!(
+            "  tenant {tenant}: {} ok, p50 {}us, p95 {}us, p99 {}us",
+            s.count, s.p50_us, s.p95_us, s.p99_us
+        );
+    }
+
+    match hosted {
+        Some(handle) => {
+            handle.shutdown();
+            handle.join();
+        }
+        // `--shutdown` drains a remote server over the wire once the run
+        // is done (CI boots `smoqe-server serve` and stops it this way).
+        None if args.switch("shutdown") => {
+            let mut admin = smoqe_server::Client::connect(&config.addr)?;
+            admin.hello(&config.document, smoqe_server::Principal::Admin)?;
+            admin.shutdown()?;
+        }
+        None => {}
+    }
+    if report.protocol_errors > 0 {
+        return Err(format!(
+            "{} protocol error(s) during the run",
+            report.protocol_errors
+        )
+        .into());
+    }
     Ok(())
 }
 

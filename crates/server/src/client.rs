@@ -1,0 +1,260 @@
+//! Blocking client for the SMOQE wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues synchronous
+//! request/response roundtrips (request ids still increment, so traces on
+//! the server side stay distinguishable). It is deliberately dumb: no
+//! retry, no reconnect, no pooling — the traffic harness and tests build
+//! those behaviors on top where they can be observed.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{
+    Frame, FrameBuffer, Principal, Request, Response, WireStats, WireUpdateReport,
+    DEFAULT_MAX_FRAME_LEN,
+};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's bytes did not decode, or the response op did not
+    /// match the request.
+    Protocol(String),
+    /// The server refused the request under admission control; retry
+    /// after the hint. The connection remains usable.
+    Busy {
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The server answered with an error frame (engine codes `1..=99`,
+    /// protocol codes `100..`).
+    Remote {
+        /// Stable error code.
+        code: u16,
+        /// Display text.
+        message: String,
+    },
+}
+
+impl ClientError {
+    /// The remote error code, if this is a remote failure.
+    pub fn code(&self) -> Option<u16> {
+        match self {
+            ClientError::Remote { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy; retry after {retry_after_ms}ms")
+            }
+            ClientError::Remote { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The wire answer type a query returns (admin: raw ids + full stats;
+/// group: masked — see [`crate::proto::WireAnswer`]).
+pub use crate::proto::WireAnswer as RemoteAnswer;
+
+/// A blocking connection to a SMOQE server.
+pub struct Client {
+    stream: TcpStream,
+    fb: FrameBuffer,
+    next_id: u64,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects (no session yet — call [`hello`](Client::hello)).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream,
+            fb: FrameBuffer::new(),
+            next_id: 0,
+            buf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// Caps how long a single response read may block.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends `request` and returns the raw response frame, uninterpreted.
+    ///
+    /// This is the byte-level escape hatch the security tests use: two
+    /// denials are only *provably* indistinguishable if the raw frames
+    /// (op + payload) compare equal.
+    pub fn request_raw(&mut self, request: &Request) -> Result<Frame, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.stream.write_all(&request.encode(id))?;
+        loop {
+            if let Some(frame) = self
+                .fb
+                .next_frame(DEFAULT_MAX_FRAME_LEN)
+                .map_err(|e| ClientError::Protocol(e.to_string()))?
+            {
+                if frame.request_id != id {
+                    return Err(ClientError::Protocol(format!(
+                        "response for request {} while awaiting {}",
+                        frame.request_id, id
+                    )));
+                }
+                return Ok(frame);
+            }
+            let n = self.stream.read(&mut self.buf)?;
+            if n == 0 {
+                return Err(ClientError::Protocol(
+                    "connection closed mid-response".to_string(),
+                ));
+            }
+            self.fb.push(&self.buf[..n]);
+        }
+    }
+
+    /// Sends `request` and decodes the response, mapping `Busy`/`Error`
+    /// frames to their error variants.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let frame = self.request_raw(request)?;
+        let response = Response::decode(frame.op, &frame.payload)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        match response {
+            Response::Busy { retry_after_ms } => Err(ClientError::Busy { retry_after_ms }),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Binds this connection to `document` as `principal`; returns the
+    /// tenant key the session is accounted under.
+    pub fn hello(&mut self, document: &str, principal: Principal) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Hello {
+            document: document.to_string(),
+            principal,
+        })? {
+            Response::HelloOk { tenant } => Ok(tenant),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Evaluates one query.
+    pub fn query(&mut self, query: &str) -> Result<RemoteAnswer, ClientError> {
+        match self.roundtrip(&Request::Query {
+            query: query.to_string(),
+        })? {
+            Response::AnswerOk(a) => Ok(a),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Evaluates a batch; returns per-query answers plus the shared-scan
+    /// event count (0 for group principals).
+    pub fn query_batch(
+        &mut self,
+        queries: &[&str],
+    ) -> Result<(Vec<RemoteAnswer>, u64), ClientError> {
+        match self.roundtrip(&Request::QueryBatch {
+            queries: queries.iter().map(|q| q.to_string()).collect(),
+        })? {
+            Response::BatchOk { answers, events } => Ok((answers, events)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Applies one update statement.
+    pub fn update(&mut self, statement: &str) -> Result<WireUpdateReport, ClientError> {
+        match self.roundtrip(&Request::Update {
+            statement: statement.to_string(),
+        })? {
+            Response::UpdateOk(r) => Ok(r),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Applies a batch of update statements as one transaction.
+    pub fn update_batch(
+        &mut self,
+        statements: &[&str],
+    ) -> Result<Vec<WireUpdateReport>, ClientError> {
+        match self.roundtrip(&Request::UpdateBatch {
+            statements: statements.iter().map(|s| s.to_string()).collect(),
+        })? {
+            Response::UpdateBatchOk(reports) => Ok(reports),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Loads a document into the server's catalog (admin sessions only).
+    pub fn open_document(
+        &mut self,
+        name: &str,
+        dtd: Option<&str>,
+        xml: Option<&str>,
+        policies: &[(&str, &str)],
+    ) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::OpenDocument {
+            name: name.to_string(),
+            dtd: dtd.map(str::to_string),
+            xml: xml.map(str::to_string),
+            policies: policies
+                .iter()
+                .map(|(g, p)| (g.to_string(), p.to_string()))
+                .collect(),
+        })? {
+            Response::OpenOk => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches server/engine statistics (the trace ring is included only
+    /// for admin sessions asking for it).
+    pub fn stats(&mut self, include_trace: bool) -> Result<WireStats, ClientError> {
+        match self.roundtrip(&Request::Stats { include_trace })? {
+            Response::StatsOk(s) => Ok(*s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to drain (admin sessions only).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ClientError {
+    ClientError::Protocol(format!("unexpected response op 0x{:02x}", response.op()))
+}

@@ -1,0 +1,43 @@
+//! Per-request identity threaded through the serving layer.
+
+use crate::proto::{Principal, Request};
+
+/// Everything the server knows about a request while it is in flight:
+/// who asked (`principal`), what they asked for (`op`), and the wire id
+/// (`request_id`) the answer must echo.
+///
+/// A context is built in the connection reader the moment a frame parses,
+/// rides through admission control and the work queue with the job, is
+/// stamped into the answer's [`EvalStats`](smoqe::hype::EvalStats)
+/// (`stats.request_id`) by the worker, and ends as a
+/// [`TraceEntry`](crate::trace::TraceEntry) in the trace ring — so one id
+/// connects the wire frame, the evaluator counters and the trace dump.
+#[derive(Clone, Debug)]
+pub struct RequestContext {
+    /// Client-chosen request id, echoed on the response frame.
+    pub request_id: u64,
+    /// The principal of the session issuing the request.
+    pub principal: Principal,
+    /// Op byte of the request.
+    pub op: u8,
+}
+
+impl RequestContext {
+    /// Context for `request` arriving on a session bound to `principal`.
+    pub fn new(request_id: u64, principal: Principal, request: &Request) -> Self {
+        RequestContext {
+            request_id,
+            principal,
+            op: request.op(),
+        }
+    }
+
+    /// The accounting key of the requesting tenant (matches
+    /// [`smoqe::ADMIN_TENANT`] for admins, the group name otherwise).
+    pub fn tenant(&self) -> &str {
+        match &self.principal {
+            Principal::Admin => smoqe::ADMIN_TENANT,
+            Principal::Group(g) => g.as_str(),
+        }
+    }
+}

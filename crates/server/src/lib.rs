@@ -1,0 +1,61 @@
+//! # smoqe-server — the SMOQE network serving layer
+//!
+//! Seven PRs built an engine that is `Send + Sync`, lock-free during
+//! evaluation, compiled-plan-cached and jump-scan-accelerated — but only
+//! reachable in-process. This crate puts it on a socket:
+//!
+//! * [`proto`] — a versioned, length-prefixed binary frame protocol
+//!   (`Hello`, `Query`, `QueryBatch`, `Update`, `UpdateBatch`,
+//!   `OpenDocument`, `Stats`, `Ping`, `Shutdown`) with a hand-rolled
+//!   codec (the workspace is offline; there is no serde). Engine errors
+//!   cross the wire as stable numeric codes + display text; the opaque
+//!   [`UpdateDenied`](smoqe::EngineError::UpdateDenied) denial stays
+//!   **byte-identical** whatever its cause.
+//! * [`server`] — a `std::net` thread server multiplexing N connections
+//!   onto one shared [`Engine`](smoqe::Engine): sessions bind at `Hello`,
+//!   every read hits the shared plan cache and `Arc` snapshots, requests
+//!   flow through a **bounded** global work queue, and shutdown drains
+//!   in-flight work before closing.
+//! * [`admission`] — per-tenant token buckets and max-inflight quotas;
+//!   over-quota requests get a `Busy` response carrying a retry-after
+//!   hint, never a disconnect and never an unbounded buffer.
+//! * [`trace`] — a fixed-capacity ring buffer of per-request
+//!   [`RequestContext`](context::RequestContext) outcomes, dumpable over
+//!   the wire via the `Stats` op: debugging a busy server is grep, not
+//!   guesswork.
+//! * [`client`] — the blocking client library the CLI, tests and the
+//!   traffic harness use.
+//! * [`traffic`] — a traffic-simulation harness driving hundreds of
+//!   concurrent mixed read/write sessions against a live server and
+//!   reporting p50/p95/p99 latency and QPS (the `serving_latency_us`
+//!   series of BENCH.json).
+//!
+//! ## Security over the wire
+//!
+//! The in-process invariant — a group session learns nothing beyond its
+//! view, even from errors — must survive serialization. Concretely:
+//! answer XML is always the **view image** for group principals (the
+//! server runs [`Session::query_serialized`](smoqe::engine::Session));
+//! raw source node ids, evaluator counters that span hidden regions, the
+//! execution mode, and shared-scan event counts are masked from group
+//! responses (see [`proto::WireAnswer`]); and denial responses are
+//! byte-identical between hidden and non-existent targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod context;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod trace;
+pub mod traffic;
+
+pub use admission::TenantQuota;
+pub use client::{Client, ClientError, RemoteAnswer};
+pub use context::RequestContext;
+pub use proto::Principal;
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use traffic::{percentile, run_traffic, TrafficConfig, TrafficReport};

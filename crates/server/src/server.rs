@@ -1,0 +1,692 @@
+//! The serving loop: `std::net` threads multiplexing one shared engine.
+//!
+//! Topology (no async runtime — the workspace is offline, so this is
+//! plain threads, a mutex-and-condvar queue, and short read timeouts as
+//! the polling tick):
+//!
+//! ```text
+//!   accept thread ──► reader thread per connection
+//!                         │  parse frames (FrameBuffer)
+//!                         │  inline ops: Hello / Ping / Stats /
+//!                         │              OpenDocument / Shutdown
+//!                         │  engine ops: admission ──► bounded queue
+//!                         ▼                               │
+//!                    Busy / Error                         ▼
+//!                    (same socket)            worker pool (N threads)
+//!                                             Session::query_serialized
+//!                                             ... masks, stamps, writes
+//! ```
+//!
+//! Responses are written under a per-connection mutex (readers answer
+//! control ops, workers answer engine ops, both to the same socket), so a
+//! client may pipeline freely; the `request_id` echo tells answers apart.
+//!
+//! **Backpressure, never buffering:** a request passes its tenant's
+//! admission gates and then `try_push`es into the bounded queue. Either
+//! refusal is a `Busy` frame with a retry hint on the open connection —
+//! the server never queues unboundedly and never disconnects a client
+//! for being eager.
+//!
+//! **Graceful drain:** `Shutdown` (wire, admin-only) or
+//! [`ServerHandle::shutdown`] flips the drain flag, closes the queue
+//! (which *keeps* its queued items), and wakes the acceptor. New engine
+//! ops are refused with `SHUTTING_DOWN`; queued and in-flight requests
+//! run to completion and their responses reach the client before sockets
+//! close.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use smoqe::engine::Session;
+use smoqe::Engine;
+
+use crate::admission::{Admission, InflightGuard, TenantQuota};
+use crate::context::RequestContext;
+use crate::proto::{
+    code, FrameBuffer, Principal, Request, Response, WireAnswer, WireStats, WireTenant,
+    WireUpdateReport, DEFAULT_MAX_FRAME_LEN,
+};
+use crate::queue::{PushError, WorkQueue};
+use crate::trace::TraceLog;
+
+/// Everything tunable about a server.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing engine ops.
+    pub workers: usize,
+    /// Bound of the global work queue (the backpressure point).
+    pub queue_capacity: usize,
+    /// Maximum simultaneously open connections; excess connections get
+    /// one `Busy` frame and are closed.
+    pub max_connections: usize,
+    /// Socket read timeout — doubles as the shutdown-poll tick, so keep
+    /// it short.
+    pub read_timeout: Duration,
+    /// Socket write timeout (a stuck client cannot wedge a worker for
+    /// longer than this per frame).
+    pub write_timeout: Duration,
+    /// Largest accepted frame; larger ones are rejected from the length
+    /// prefix alone.
+    pub max_frame_len: u32,
+    /// Admission quota for group tenants without an override.
+    pub default_quota: TenantQuota,
+    /// Admission quota for the admin tenant.
+    pub admin_quota: TenantQuota,
+    /// Named per-tenant quota overrides.
+    pub tenant_quotas: HashMap<String, TenantQuota>,
+    /// Trace ring capacity (0 disables tracing).
+    pub trace_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+            queue_capacity: 1024,
+            max_connections: 4096,
+            read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(10),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            default_quota: TenantQuota::default(),
+            admin_quota: TenantQuota::unlimited(),
+            tenant_quotas: HashMap::new(),
+            trace_capacity: 4096,
+        }
+    }
+}
+
+/// One queued engine op: everything a worker needs to execute, answer and
+/// account for it. Dropping the job (queue-full push failure) releases
+/// the tenant's inflight slot via the guard.
+struct Job {
+    ctx: RequestContext,
+    request: Request,
+    session: Arc<Session>,
+    out: Arc<Mutex<TcpStream>>,
+    admitted: Instant,
+    _slot: InflightGuard,
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    admission: Admission,
+    queue: WorkQueue<Job>,
+    trace: TraceLog,
+    draining: AtomicBool,
+    connections: AtomicUsize,
+    responses_total: AtomicU64,
+    queue_full_busy: AtomicU64,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Starts the drain exactly once: refuse new work, let the queue
+    /// empty, poke the acceptor awake so it can exit.
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.queue.close();
+        // The accept loop blocks in accept(); a throwaway local
+        // connection is the portable way to deliver the news.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Factory for running servers.
+pub struct Server;
+
+/// A running server: its address, and the levers to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    pub fn start(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            admission: Admission::new(
+                config.default_quota,
+                config.admin_quota,
+                config.tenant_quotas.clone(),
+            ),
+            queue: WorkQueue::new(config.queue_capacity),
+            trace: TraceLog::new(config.trace_capacity),
+            draining: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            responses_total: AtomicU64::new(0),
+            queue_full_busy: AtomicU64::new(0),
+            engine,
+            config,
+            addr,
+        });
+
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("smoqe-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = shared.clone();
+            let readers = readers.clone();
+            std::thread::Builder::new()
+                .name("smoqe-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared, &readers))
+                .expect("spawn acceptor")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+            readers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a graceful drain (idempotent; also reachable over the wire
+    /// via the admin `Shutdown` op).
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Waits for drain to complete: acceptor gone, queue empty, workers
+    /// and readers exited. Call [`shutdown`](ServerHandle::shutdown)
+    /// first (or send the wire op), or this blocks until someone does.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let readers = std::mem::take(&mut *self.readers.lock().unwrap_or_else(|e| e.into_inner()));
+        for r in readers {
+            let _ = r.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    readers: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.draining() {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if shared.connections.load(Ordering::Acquire) >= shared.config.max_connections {
+            // One Busy frame (request id 0 = connection-level), then close.
+            let mut s = stream;
+            let _ = s.write_all(&Response::Busy { retry_after_ms: 50 }.encode(0));
+            continue;
+        }
+        shared.connections.fetch_add(1, Ordering::AcqRel);
+        let shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("smoqe-conn".to_string())
+            .spawn(move || {
+                handle_connection(&shared, stream);
+                shared.connections.fetch_sub(1, Ordering::AcqRel);
+            })
+            .expect("spawn connection reader");
+        let mut guard = readers.lock().unwrap_or_else(|e| e.into_inner());
+        // Opportunistically reap finished readers so the vector tracks
+        // live connections, not connection history.
+        guard.retain(|h| !h.is_finished());
+        guard.push(handle);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| execute(&job)));
+        let response = match result {
+            Ok(response) => response,
+            Err(_) => Response::Error {
+                code: code::INTERNAL,
+                message: "internal error".to_string(),
+            },
+        };
+        finish(shared, &job.ctx, &job.out, job.admitted, response);
+    }
+}
+
+/// Runs one engine op on the job's session, producing the already-masked
+/// wire response.
+fn execute(job: &Job) -> Response {
+    let ctx = &job.ctx;
+    match &job.request {
+        Request::Query { query } => match job.session.query_serialized(query) {
+            Ok(answer) => Response::AnswerOk(WireAnswer::from_answer(
+                &answer,
+                &ctx.principal,
+                ctx.request_id,
+            )),
+            Err(e) => Response::engine_error(&e),
+        },
+        Request::QueryBatch { queries } => {
+            let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+            match job.session.query_batch_serialized(&refs) {
+                Ok(batch) => Response::from_batch(&batch, &ctx.principal, ctx.request_id),
+                Err(e) => Response::engine_error(&e),
+            }
+        }
+        Request::Update { statement } => match job.session.update(statement) {
+            Ok(report) => {
+                Response::UpdateOk(WireUpdateReport::from_report(&report, &ctx.principal))
+            }
+            Err(e) => Response::engine_error(&e),
+        },
+        Request::UpdateBatch { statements } => {
+            let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
+            match job.session.update_batch(&refs) {
+                Ok(reports) => Response::UpdateBatchOk(
+                    reports
+                        .iter()
+                        .map(|r| WireUpdateReport::from_report(r, &ctx.principal))
+                        .collect(),
+                ),
+                Err(e) => Response::engine_error(&e),
+            }
+        }
+        // Readers only enqueue the four engine ops above.
+        _ => Response::Error {
+            code: code::UNSUPPORTED_OP,
+            message: "not an engine op".to_string(),
+        },
+    }
+}
+
+/// Records the outcome in the trace ring and writes the response frame.
+fn finish(
+    shared: &Arc<Shared>,
+    ctx: &RequestContext,
+    out: &Arc<Mutex<TcpStream>>,
+    started: Instant,
+    response: Response,
+) {
+    let trace_code = match &response {
+        Response::Error { code, .. } => *code,
+        Response::Busy { .. } => TraceLog::BUSY_CODE,
+        _ => 0,
+    };
+    let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    shared.trace.record(ctx, trace_code, micros);
+    if !matches!(response, Response::Busy { .. }) {
+        shared.responses_total.fetch_add(1, Ordering::Relaxed);
+    }
+    write_bytes(out, &response.encode(ctx.request_id));
+}
+
+fn write_bytes(out: &Arc<Mutex<TcpStream>>, bytes: &[u8]) {
+    let mut stream = out.lock().unwrap_or_else(|e| e.into_inner());
+    // A dead client is its own problem; the server must not care.
+    let _ = stream.write_all(bytes);
+}
+
+/// Per-connection reader: parses frames, serves control ops inline, and
+/// pushes engine ops through admission into the queue.
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let out = match stream.try_clone() {
+        Ok(s) => Arc::new(Mutex::new(s)),
+        Err(_) => return,
+    };
+
+    let mut fb = FrameBuffer::new();
+    let mut session: Option<(Arc<Session>, Principal)> = None;
+    let mut buf = vec![0u8; 64 * 1024];
+
+    'conn: loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                fb.push(&buf[..n]);
+                loop {
+                    match fb.next_frame(shared.config.max_frame_len) {
+                        Ok(Some(frame)) => {
+                            if !handle_frame(shared, &out, &mut session, frame) {
+                                break 'conn;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(fe) => {
+                            // The byte stream is unrecoverable (no way to
+                            // find the next frame boundary): report and
+                            // close. This is the *only* protocol failure
+                            // that costs the connection.
+                            write_bytes(
+                                &out,
+                                &Response::Error {
+                                    code: fe.code(),
+                                    message: fe.to_string(),
+                                }
+                                .encode(0),
+                            );
+                            break 'conn;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle tick. During a drain the connection closes once its
+                // pipelined work has been answered (workers hold their own
+                // handle to the socket, so anything still queued writes
+                // before the OS tears the pair down — but exiting early
+                // would race the last writes; wait for quiet).
+                if shared.draining() && shared.queue.is_empty() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serves one frame. Returns `false` when the connection should close.
+fn handle_frame(
+    shared: &Arc<Shared>,
+    out: &Arc<Mutex<TcpStream>>,
+    session: &mut Option<(Arc<Session>, Principal)>,
+    frame: crate::proto::Frame,
+) -> bool {
+    let started = Instant::now();
+    let request = match Request::decode(frame.op, &frame.payload) {
+        Ok(r) => r,
+        Err(None) => {
+            write_bytes(
+                out,
+                &Response::Error {
+                    code: code::UNSUPPORTED_OP,
+                    message: format!("unsupported op 0x{:02x}", frame.op),
+                }
+                .encode(frame.request_id),
+            );
+            return true;
+        }
+        Err(Some(_)) => {
+            // Framing is intact (we found the boundary), so a bad payload
+            // costs only this request.
+            write_bytes(
+                out,
+                &Response::Error {
+                    code: code::MALFORMED_FRAME,
+                    message: "malformed frame payload".to_string(),
+                }
+                .encode(frame.request_id),
+            );
+            return true;
+        }
+    };
+
+    // Ops that need no session.
+    match &request {
+        Request::Ping => {
+            write_bytes(out, &Response::Pong.encode(frame.request_id));
+            return true;
+        }
+        Request::Hello {
+            document,
+            principal,
+        } => {
+            let ctx = RequestContext::new(frame.request_id, principal.clone(), &request);
+            let response = match shared.engine.session_on(document, principal.to_user()) {
+                Ok(s) => {
+                    *session = Some((Arc::new(s), principal.clone()));
+                    Response::HelloOk {
+                        tenant: ctx.tenant().to_string(),
+                    }
+                }
+                Err(e) => Response::engine_error(&e),
+            };
+            finish(shared, &ctx, out, started, response);
+            return true;
+        }
+        _ => {}
+    }
+
+    let Some((bound_session, principal)) = session.as_ref() else {
+        write_bytes(
+            out,
+            &Response::Error {
+                code: code::HELLO_REQUIRED,
+                message: "hello required before this op".to_string(),
+            }
+            .encode(frame.request_id),
+        );
+        return true;
+    };
+    let ctx = RequestContext::new(frame.request_id, principal.clone(), &request);
+
+    match request {
+        // Control ops served inline on the reader thread.
+        Request::Stats { include_trace } => {
+            let response =
+                Response::StatsOk(Box::new(build_stats(shared, principal, include_trace)));
+            finish(shared, &ctx, out, started, response);
+            true
+        }
+        Request::Shutdown => {
+            if !principal.is_admin() {
+                finish(
+                    shared,
+                    &ctx,
+                    out,
+                    started,
+                    Response::Error {
+                        code: code::UNAUTHORIZED,
+                        message: "shutdown is admin-only".to_string(),
+                    },
+                );
+                return true;
+            }
+            shared.begin_drain();
+            finish(shared, &ctx, out, started, Response::ShutdownOk);
+            true
+        }
+        Request::OpenDocument {
+            name,
+            dtd,
+            xml,
+            policies,
+        } => {
+            let response = if principal.is_admin() {
+                match open_document(shared, &name, dtd.as_deref(), xml.as_deref(), &policies) {
+                    Ok(()) => Response::OpenOk,
+                    Err(e) => Response::engine_error(&e),
+                }
+            } else {
+                Response::Error {
+                    code: code::UNAUTHORIZED,
+                    message: "open-document is admin-only".to_string(),
+                }
+            };
+            finish(shared, &ctx, out, started, response);
+            true
+        }
+
+        // Engine ops: admission, then the bounded queue.
+        Request::Query { .. }
+        | Request::QueryBatch { .. }
+        | Request::Update { .. }
+        | Request::UpdateBatch { .. } => {
+            if shared.draining() {
+                finish(
+                    shared,
+                    &ctx,
+                    out,
+                    started,
+                    Response::Error {
+                        code: code::SHUTTING_DOWN,
+                        message: "server is draining".to_string(),
+                    },
+                );
+                return true;
+            }
+            let slot = match shared.admission.admit(ctx.tenant(), started) {
+                Ok(slot) => slot,
+                Err(refused) => {
+                    finish(
+                        shared,
+                        &ctx,
+                        out,
+                        started,
+                        Response::Busy {
+                            retry_after_ms: refused.retry_after_ms,
+                        },
+                    );
+                    return true;
+                }
+            };
+            let job = Job {
+                ctx: ctx.clone(),
+                request,
+                session: bound_session.clone(),
+                out: out.clone(),
+                admitted: started,
+                _slot: slot,
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => true,
+                Err(PushError::Full) => {
+                    shared.queue_full_busy.fetch_add(1, Ordering::Relaxed);
+                    finish(
+                        shared,
+                        &ctx,
+                        out,
+                        started,
+                        Response::Busy { retry_after_ms: 10 },
+                    );
+                    true
+                }
+                Err(PushError::Closed) => {
+                    finish(
+                        shared,
+                        &ctx,
+                        out,
+                        started,
+                        Response::Error {
+                            code: code::SHUTTING_DOWN,
+                            message: "server is draining".to_string(),
+                        },
+                    );
+                    true
+                }
+            }
+        }
+        // Handled above.
+        Request::Hello { .. } | Request::Ping => true,
+    }
+}
+
+fn open_document(
+    shared: &Arc<Shared>,
+    name: &str,
+    dtd: Option<&str>,
+    xml: Option<&str>,
+    policies: &[(String, String)],
+) -> Result<(), smoqe::EngineError> {
+    let handle = shared.engine.open_document(name);
+    if let Some(dtd) = dtd {
+        handle.load_dtd(dtd)?;
+    }
+    if let Some(xml) = xml {
+        handle.load_document(xml)?;
+    }
+    for (group, policy) in policies {
+        handle.register_policy(group, policy)?;
+    }
+    Ok(())
+}
+
+/// Assembles the `Stats` response for `principal`.
+///
+/// Group principals see global gauges (queue depth, connection count —
+/// load they need for backoff decisions) but only their **own** tenant
+/// row, and never the trace ring: other tenants' names, ops and rates
+/// are not theirs to read.
+fn build_stats(shared: &Arc<Shared>, principal: &Principal, include_trace: bool) -> WireStats {
+    let mut s = WireStats::default();
+    s.set_cache(&shared.engine.cache_metrics());
+    s.connections = shared.connections.load(Ordering::Acquire) as u64;
+    s.queue_depth = shared.queue.len() as u64;
+    s.queue_capacity = shared.queue.capacity() as u64;
+    s.requests_total = shared.responses_total.load(Ordering::Relaxed);
+    s.busy_total = shared.admission.busy_total() + shared.queue_full_busy.load(Ordering::Relaxed);
+
+    let own = match principal {
+        Principal::Admin => None,
+        Principal::Group(g) => Some(g.as_str()),
+    };
+    let busy = shared.admission.busy_counts();
+    for (tenant, m) in shared.engine.tenant_metrics() {
+        if own.is_some_and(|g| g != tenant) {
+            continue;
+        }
+        s.tenants.push(WireTenant {
+            busy_rejections: busy.get(&tenant).copied().unwrap_or(0),
+            tenant,
+            queries: m.queries,
+            batches: m.batches,
+            updates: m.updates,
+            update_denials: m.update_denials,
+            errors: m.errors,
+            answers: m.answers,
+            nodes_visited: m.nodes_visited,
+        });
+    }
+
+    if include_trace && principal.is_admin() {
+        let (trace, dropped) = shared.trace.dump();
+        s.trace = trace;
+        s.trace_dropped = dropped;
+    }
+    s
+}

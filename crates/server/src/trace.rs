@@ -1,0 +1,120 @@
+//! Fixed-capacity request trace ring.
+//!
+//! Every completed request — served, failed or refused — leaves one
+//! [`TraceEntry`] in a bounded ring buffer. The ring is the server's
+//! flight recorder: `Stats { include_trace: true }` dumps it over the
+//! wire, so "what was the server doing when latency spiked" is answerable
+//! after the fact without logging infrastructure. When the ring is full
+//! the oldest entry is dropped and a counter keeps the evidence honest.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::context::RequestContext;
+
+/// Outcome record of one request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Wire request id.
+    pub request_id: u64,
+    /// Tenant key of the requester.
+    pub tenant: String,
+    /// Op byte of the request.
+    pub op: u8,
+    /// `0` for success, otherwise the error code the client saw
+    /// (engine codes `1..=99`, protocol codes `100..`, or
+    /// [`BUSY_CODE`](TraceLog::BUSY_CODE) for admission refusals).
+    pub code: u16,
+    /// Wall time from admission (or inline dispatch) to response — queue
+    /// wait included — in microseconds.
+    pub micros: u64,
+}
+
+struct Ring {
+    entries: VecDeque<TraceEntry>,
+    dropped: u64,
+}
+
+/// Bounded, thread-safe trace ring.
+pub struct TraceLog {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl TraceLog {
+    /// Pseudo-code recorded for requests refused by admission control
+    /// (distinct from every engine and protocol code, which fit in u16's
+    /// lower range).
+    pub const BUSY_CODE: u16 = 0xFFFF;
+
+    /// Ring holding at most `capacity` entries (0 disables tracing).
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            capacity,
+            ring: Mutex::new(Ring {
+                entries: VecDeque::with_capacity(capacity.min(1024)),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Records the outcome of `ctx` (`code` 0 = success) after `micros`
+    /// of service time.
+    pub fn record(&self, ctx: &RequestContext, code: u16, micros: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.entries.len() == self.capacity {
+            ring.entries.pop_front();
+            ring.dropped += 1;
+        }
+        ring.entries.push_back(TraceEntry {
+            request_id: ctx.request_id,
+            tenant: ctx.tenant().to_string(),
+            op: ctx.op,
+            code,
+            micros,
+        });
+    }
+
+    /// Snapshot of the ring, oldest first, plus the drop counter.
+    pub fn dump(&self) -> (Vec<TraceEntry>, u64) {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        (ring.entries.iter().cloned().collect(), ring.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{Principal, Request};
+
+    fn ctx(id: u64) -> RequestContext {
+        RequestContext::new(id, Principal::Group("g".into()), &Request::Ping)
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_drops() {
+        let log = TraceLog::new(3);
+        for id in 1..=5 {
+            log.record(&ctx(id), 0, id * 10);
+        }
+        let (entries, dropped) = log.dump();
+        assert_eq!(dropped, 2);
+        assert_eq!(
+            entries.iter().map(|e| e.request_id).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        assert_eq!(entries[0].tenant, "g");
+    }
+
+    #[test]
+    fn zero_capacity_disables_tracing() {
+        let log = TraceLog::new(0);
+        log.record(&ctx(1), 0, 1);
+        let (entries, dropped) = log.dump();
+        assert!(entries.is_empty());
+        assert_eq!(dropped, 0);
+    }
+}
