@@ -56,9 +56,10 @@ impl Default for TenantQuota {
     }
 }
 
-/// Continuous-refill token bucket.
+/// Continuous-refill token bucket. Also used standalone by the server as
+/// the per-connection rate cap on inline control ops.
 #[derive(Debug)]
-struct TokenBucket {
+pub(crate) struct TokenBucket {
     rate_per_sec: f64,
     burst: f64,
     /// (available tokens, last refill instant).
@@ -66,7 +67,7 @@ struct TokenBucket {
 }
 
 impl TokenBucket {
-    fn new(quota: &TenantQuota, now: Instant) -> Self {
+    pub(crate) fn new(quota: &TenantQuota, now: Instant) -> Self {
         TokenBucket {
             rate_per_sec: quota.rate_per_sec,
             burst: quota.burst as f64,
@@ -76,7 +77,7 @@ impl TokenBucket {
 
     /// Takes one token, or reports how many milliseconds until one
     /// accrues.
-    fn try_take(&self, now: Instant) -> Result<(), u32> {
+    pub(crate) fn try_take(&self, now: Instant) -> Result<(), u32> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let (ref mut tokens, ref mut last) = *state;
         let elapsed = now.saturating_duration_since(*last).as_secs_f64();

@@ -5,6 +5,7 @@
 //!                    [--document NAME] [--dtd FILE --doc FILE]
 //!                    [--policy FILE --group NAME]
 //!                    [--rate R] [--burst B] [--inflight N] [--trace N]
+//!                    [--admin-token T] [--group-token T]
 //! ```
 //!
 //! With `--dtd`/`--doc` the named document (default `wards`) is loaded
@@ -15,6 +16,13 @@
 //!
 //! `--rate`/`--burst`/`--inflight` set the default per-tenant admission
 //! quota (token-bucket rate, bucket size, max concurrent requests).
+//!
+//! `--admin-token` sets the credential admin sessions must present at
+//! `Hello`; without it, admin sessions are accepted **only from loopback
+//! peers** — set it whenever `--addr` binds a non-loopback interface and
+//! remote admins are wanted. `--group-token` (paired with `--group`)
+//! requires the same of that group's sessions.
+//!
 //! The process runs until an admin session sends the wire `Shutdown` op,
 //! which drains gracefully: queued work completes, then the process
 //! exits 0.
@@ -83,10 +91,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                  \u{20}                         [--document NAME] [--dtd FILE --doc FILE]\n\
                  \u{20}                         [--policy FILE --group NAME]\n\
                  \u{20}                         [--rate R] [--burst B] [--inflight N] [--trace N]\n\
+                 \u{20}                         [--admin-token T] [--group-token T]\n\
                  \n\
                  Without --dtd/--doc, serves the built-in hospital sample (document\n\
-                 'wards', group 'researchers'). Shut down with the wire Shutdown op\n\
-                 (admin sessions only), e.g. the client library's shutdown()."
+                 'wards', group 'researchers'). Without --admin-token, admin sessions\n\
+                 are accepted from loopback peers only. Shut down with the wire\n\
+                 Shutdown op (admin sessions only), e.g. the client library's\n\
+                 shutdown()."
             );
             Ok(())
         }
@@ -102,6 +113,7 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .cloned()
         .unwrap_or_else(|| "wards".to_string());
     let doc = engine.open_document(&name);
+    let mut served_group = smoqe::workloads::hospital::GROUP.to_string();
     match (args.flags.get("dtd"), args.flags.get("doc")) {
         (Some(dtd), Some(doc_file)) => {
             doc.load_dtd(&std::fs::read_to_string(dtd)?)?;
@@ -113,6 +125,7 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                     .cloned()
                     .unwrap_or_else(|| "users".to_string());
                 doc.register_policy(&group, &std::fs::read_to_string(policy)?)?;
+                served_group = group;
             }
         }
         (None, None) => {
@@ -127,6 +140,10 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         burst: parsed(args, "burst", defaults.default_quota.burst)?,
         max_inflight: parsed(args, "inflight", defaults.default_quota.max_inflight)?,
     };
+    let mut group_tokens = std::collections::HashMap::new();
+    if let Some(token) = args.flags.get("group-token") {
+        group_tokens.insert(served_group, token.clone());
+    }
     let config = ServerConfig {
         addr: args
             .flags
@@ -137,6 +154,8 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         queue_capacity: parsed(args, "queue", defaults.queue_capacity)?,
         trace_capacity: parsed(args, "trace", defaults.trace_capacity)?,
         default_quota,
+        admin_token: args.flags.get("admin-token").cloned(),
+        group_tokens,
         ..defaults
     };
 

@@ -16,7 +16,8 @@
 //! smoqe update   --dtd D.dtd --doc T.xml [--policy P.pol] [--out FILE]
 //!                [--batch FILE | STATEMENT...]         # policy-checked mutations
 //! smoqe bench-traffic [--addr HOST:PORT] [--sessions N] [--requests N]
-//!                [--workers N] [--seed S]              # drive mixed load at a server
+//!                [--workers N] [--seed S] [--admin-token T]
+//!                                                      # drive mixed load at a server
 //! ```
 //!
 //! `--repeat N` re-runs the query N times: every run after the first hits
@@ -165,9 +166,12 @@ fn print_usage() {
                                                              emit the updated document\n\
            bench-traffic [--addr HOST:PORT] [--sessions N]\n\
                     [--requests N] [--workers N] [--seed S]\n\
-                    [--shutdown]                             drive concurrent mixed load at a\n\
+                    [--admin-token T] [--shutdown]           drive concurrent mixed load at a\n\
                                                              smoqe-server (or a self-hosted\n\
                                                              one) and report latency/QPS;\n\
+                                                             --admin-token authenticates the\n\
+                                                             admin sessions against a remote\n\
+                                                             server started with one;\n\
                                                              --shutdown drains the remote\n\
                                                              server afterwards (admin op)\n\
          \n\
@@ -633,6 +637,9 @@ fn cmd_bench_traffic(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         config.document = document.clone();
     }
     config.seed = parsed_flag(args, "seed", config.seed)?;
+    // Needed against a remote server that was started with an admin
+    // token (self-hosted and loopback servers accept admins without one).
+    config.admin_token = args.flags.get("admin-token").cloned();
 
     let report = run_traffic(&config)?;
     println!(
@@ -671,7 +678,11 @@ fn cmd_bench_traffic(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         // is done (CI boots `smoqe-server serve` and stops it this way).
         None if args.switch("shutdown") => {
             let mut admin = smoqe_server::Client::connect(&config.addr)?;
-            admin.hello(&config.document, smoqe_server::Principal::Admin)?;
+            admin.hello_auth(
+                &config.document,
+                smoqe_server::Principal::Admin,
+                config.admin_token.as_deref(),
+            )?;
             admin.shutdown()?;
         }
         None => {}

@@ -110,7 +110,10 @@ impl Client {
     pub fn request_raw(&mut self, request: &Request) -> Result<Frame, ClientError> {
         self.next_id += 1;
         let id = self.next_id;
-        self.stream.write_all(&request.encode(id))?;
+        let bytes = request
+            .try_encode(id)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        self.stream.write_all(&bytes)?;
         loop {
             if let Some(frame) = self
                 .fb
@@ -148,12 +151,27 @@ impl Client {
         }
     }
 
-    /// Binds this connection to `document` as `principal`; returns the
-    /// tenant key the session is accounted under.
+    /// Binds this connection to `document` as `principal` with no
+    /// credential; returns the tenant key the session is accounted
+    /// under. Sufficient for group principals without a configured
+    /// token, and for admin principals connecting over loopback to a
+    /// server without an admin token.
     pub fn hello(&mut self, document: &str, principal: Principal) -> Result<String, ClientError> {
+        self.hello_auth(document, principal, None)
+    }
+
+    /// Binds this connection like [`hello`](Client::hello), presenting
+    /// `auth` where the server requires a token for the principal.
+    pub fn hello_auth(
+        &mut self,
+        document: &str,
+        principal: Principal,
+        auth: Option<&str>,
+    ) -> Result<String, ClientError> {
         match self.roundtrip(&Request::Hello {
             document: document.to_string(),
             principal,
+            auth: auth.map(str::to_string),
         })? {
             Response::HelloOk { tenant } => Ok(tenant),
             other => Err(unexpected(&other)),

@@ -40,6 +40,13 @@
 //! execution mode, and shared-scan event counts are masked from group
 //! responses (see [`proto::WireAnswer`]); and denial responses are
 //! byte-identical between hidden and non-existent targets.
+//!
+//! Principals are *claims* until `Hello` authenticates them: admin
+//! sessions need the configured admin token (loopback peers only when
+//! none is set), groups may require per-group tokens, and group names
+//! must be bare identifiers so no client can alias the admin tenant's
+//! accounting key. All refusals share one `UNAUTHORIZED` frame — wrong
+//! token and wrong peer are indistinguishable on the wire.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -131,6 +131,13 @@ pub mod code {
     /// The worker executing the request panicked; the request died but
     /// the server did not.
     pub const INTERNAL: u16 = 107;
+    /// The `Hello` principal is unusable: a group name that is not a
+    /// bare policy identifier (empty, punctuated, or masquerading as the
+    /// reserved admin tenant key).
+    pub const BAD_PRINCIPAL: u16 = 108;
+    /// The response could not be framed because some length exceeded the
+    /// `u32` wire prefix. The request is lost; the stream stays in sync.
+    pub const RESPONSE_TOO_LARGE: u16 = 109;
 }
 
 // ---------------------------------------------------------------------------
@@ -152,10 +159,25 @@ impl std::fmt::Display for ProtoError {
 
 impl std::error::Error for ProtoError {}
 
+/// A length (string, vector count or whole frame) exceeded the `u32`
+/// wire prefix. Truncating would silently desync the stream, so encoding
+/// fails instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncodeTooLarge;
+
+impl std::fmt::Display for EncodeTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("encoded length exceeds the u32 wire prefix")
+    }
+}
+
+impl std::error::Error for EncodeTooLarge {}
+
 /// Little-endian payload encoder.
 #[derive(Default)]
 pub struct Enc {
     buf: Vec<u8>,
+    overflow: bool,
 }
 
 impl Enc {
@@ -167,6 +189,33 @@ impl Enc {
     /// The encoded bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// The encoded bytes, unless some length overflowed the `u32` wire
+    /// prefix along the way.
+    pub fn try_finish(self) -> Result<Vec<u8>, EncodeTooLarge> {
+        if self.overflow {
+            Err(EncodeTooLarge)
+        } else {
+            Ok(self.buf)
+        }
+    }
+
+    /// Whether any length written so far overflowed `u32`.
+    pub fn overflowed(&self) -> bool {
+        self.overflow
+    }
+
+    /// Writes a `usize` length as its `u32` wire prefix, flagging (not
+    /// wrapping) values that do not fit.
+    fn len32(&mut self, n: usize) -> &mut Self {
+        match u32::try_from(n) {
+            Ok(v) => self.u32(v),
+            Err(_) => {
+                self.overflow = true;
+                self.u32(u32::MAX)
+            }
+        }
     }
 
     /// Appends one byte.
@@ -200,7 +249,7 @@ impl Enc {
 
     /// Appends a length-prefixed UTF-8 string.
     pub fn str(&mut self, v: &str) -> &mut Self {
-        self.u32(v.len() as u32);
+        self.len32(v.len());
         self.buf.extend_from_slice(v.as_bytes());
         self
     }
@@ -215,7 +264,7 @@ impl Enc {
 
     /// Appends a count-prefixed vector of strings.
     pub fn str_vec(&mut self, v: &[String]) -> &mut Self {
-        self.u32(v.len() as u32);
+        self.len32(v.len());
         for s in v {
             self.str(s);
         }
@@ -371,16 +420,30 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// Encodes a complete frame (length prefix + header + payload).
-pub fn encode_frame(frame_op: u8, request_id: u64, payload: &[u8]) -> Vec<u8> {
-    let len = (FRAME_HEADER_LEN + payload.len()) as u32;
+/// Encodes a complete frame (length prefix + header + payload), unless
+/// the frame length would overflow the `u32` prefix — a wrapped prefix
+/// would emit a corrupt frame and desync the stream.
+pub fn try_encode_frame(
+    frame_op: u8,
+    request_id: u64,
+    payload: &[u8],
+) -> Result<Vec<u8>, EncodeTooLarge> {
+    let len = u32::try_from(FRAME_HEADER_LEN + payload.len()).map_err(|_| EncodeTooLarge)?;
     let mut buf = Vec::with_capacity(4 + len as usize);
     buf.extend_from_slice(&len.to_le_bytes());
     buf.push(PROTOCOL_VERSION);
     buf.push(frame_op);
     buf.extend_from_slice(&request_id.to_le_bytes());
     buf.extend_from_slice(payload);
-    buf
+    Ok(buf)
+}
+
+/// Encodes a complete frame (length prefix + header + payload).
+///
+/// Panics if the frame would overflow the `u32` length prefix; callers
+/// that can see attacker-sized payloads use [`try_encode_frame`].
+pub fn encode_frame(frame_op: u8, request_id: u64, payload: &[u8]) -> Vec<u8> {
+    try_encode_frame(frame_op, request_id, payload).expect("frame exceeds u32 length prefix")
 }
 
 /// Incremental frame parser over an append-only byte buffer.
@@ -485,6 +548,25 @@ impl Principal {
         matches!(self, Principal::Admin)
     }
 
+    /// Whether this principal may bind a session at all.
+    ///
+    /// Tenant accounting, admission quotas and stats scoping key on the
+    /// flattened tenant string, where the admin row is the parenthesized
+    /// [`smoqe::ADMIN_TENANT`] — a key that can never collide with a
+    /// *policy-registered* group because the policy grammar keeps groups
+    /// to bare identifiers. The wire accepts arbitrary strings, so the
+    /// same grammar is enforced here: a `Group` name must be a bare
+    /// identifier (`[A-Za-z_][A-Za-z0-9_-]*`, at most 128 bytes).
+    /// Anything else — `"(admin)"` included — is refused at `Hello` with
+    /// [`code::BAD_PRINCIPAL`], before it can bind a session, occupy the
+    /// admin quota/stats row, or pollute the trace identity.
+    pub fn is_valid(&self) -> bool {
+        match self {
+            Principal::Admin => true,
+            Principal::Group(g) => valid_group_name(g),
+        }
+    }
+
     fn encode(&self, e: &mut Enc) {
         match self {
             Principal::Admin => {
@@ -505,6 +587,18 @@ impl Principal {
     }
 }
 
+/// Whether `name` is a bare policy identifier — the only shape a wire
+/// `Group` principal may take (see [`Principal::is_valid`]).
+pub fn valid_group_name(name: &str) -> bool {
+    if name.is_empty() || name.len() > 128 {
+        return false;
+    }
+    let mut bytes = name.bytes();
+    let first = bytes.next().unwrap();
+    (first.is_ascii_alphabetic() || first == b'_')
+        && bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
 // ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
@@ -518,6 +612,11 @@ pub enum Request {
         document: String,
         /// Principal the session runs as.
         principal: Principal,
+        /// Authentication token. Required whenever the server has a
+        /// token configured for the principal (always consult the
+        /// server's trust model: admin principals additionally need
+        /// either a configured token or a loopback peer).
+        auth: Option<String>,
     },
     /// Evaluate one Regular XPath query.
     Query {
@@ -595,15 +694,28 @@ impl Request {
     }
 
     /// Encodes this request as a complete frame.
+    ///
+    /// Panics if the request cannot fit the `u32` length prefixes;
+    /// [`Request::try_encode`] is the fallible form the client uses.
     pub fn encode(&self, request_id: u64) -> Vec<u8> {
+        self.try_encode(request_id)
+            .expect("request exceeds u32 frame length prefix")
+    }
+
+    /// Encodes this request as a complete frame, failing (instead of
+    /// emitting a stream-desyncing wrapped length) when any string,
+    /// count or the frame itself overflows its `u32` prefix.
+    pub fn try_encode(&self, request_id: u64) -> Result<Vec<u8>, EncodeTooLarge> {
         let mut e = Enc::new();
         match self {
             Request::Hello {
                 document,
                 principal,
+                auth,
             } => {
                 e.str(document);
                 principal.encode(&mut e);
+                e.opt_str(auth.as_deref());
             }
             Request::Query { query } => {
                 e.str(query);
@@ -624,7 +736,7 @@ impl Request {
                 policies,
             } => {
                 e.str(name).opt_str(dtd.as_deref()).opt_str(xml.as_deref());
-                e.u32(policies.len() as u32);
+                e.len32(policies.len());
                 for (group, policy) in policies {
                     e.str(group).str(policy);
                 }
@@ -634,7 +746,7 @@ impl Request {
             }
             Request::Ping | Request::Shutdown => {}
         }
-        encode_frame(self.op(), request_id, &e.finish())
+        try_encode_frame(self.op(), request_id, &e.try_finish()?)
     }
 
     /// Decodes a request payload for `op_byte`.
@@ -648,6 +760,7 @@ impl Request {
             op::HELLO => Request::Hello {
                 document: d.str().map_err(Some)?,
                 principal: Principal::decode(&mut d).map_err(Some)?,
+                auth: d.opt_str().map_err(Some)?,
             },
             op::QUERY => Request::Query {
                 query: d.str().map_err(Some)?,
@@ -828,7 +941,7 @@ impl WireAnswer {
     }
 
     fn encode(&self, e: &mut Enc) {
-        e.u32(self.nodes.len() as u32);
+        e.len32(self.nodes.len());
         for &n in &self.nodes {
             e.u64(n);
         }
@@ -1012,11 +1125,11 @@ impl WireStats {
             .u64(self.requests_total)
             .u64(self.busy_total)
             .u64(self.trace_dropped);
-        e.u32(self.tenants.len() as u32);
+        e.len32(self.tenants.len());
         for t in &self.tenants {
             t.encode(e);
         }
-        e.u32(self.trace.len() as u32);
+        e.len32(self.trace.len());
         for t in &self.trace {
             e.u64(t.request_id);
             e.str(&t.tenant);
@@ -1149,7 +1262,24 @@ impl Response {
     }
 
     /// Encodes this response as a complete frame answering `request_id`.
+    ///
+    /// A response whose lengths overflow the `u32` wire prefixes (an
+    /// admin batch past 4 GiB, say) is replaced by a
+    /// [`code::RESPONSE_TOO_LARGE`] error frame for the same request —
+    /// never a wrapped length prefix, which would desync the stream.
     pub fn encode(&self, request_id: u64) -> Vec<u8> {
+        self.try_encode(request_id).unwrap_or_else(|_| {
+            Response::Error {
+                code: code::RESPONSE_TOO_LARGE,
+                message: "response exceeds the frame length limit".to_string(),
+            }
+            .try_encode(request_id)
+            .expect("error frame always fits")
+        })
+    }
+
+    /// Encodes this response, failing on `u32` length overflow.
+    pub fn try_encode(&self, request_id: u64) -> Result<Vec<u8>, EncodeTooLarge> {
         let mut e = Enc::new();
         match self {
             Response::HelloOk { tenant } => {
@@ -1157,7 +1287,7 @@ impl Response {
             }
             Response::AnswerOk(a) => a.encode(&mut e),
             Response::BatchOk { answers, events } => {
-                e.u32(answers.len() as u32);
+                e.len32(answers.len());
                 for a in answers {
                     a.encode(&mut e);
                 }
@@ -1165,7 +1295,7 @@ impl Response {
             }
             Response::UpdateOk(r) => r.encode(&mut e),
             Response::UpdateBatchOk(reports) => {
-                e.u32(reports.len() as u32);
+                e.len32(reports.len());
                 for r in reports {
                     r.encode(&mut e);
                 }
@@ -1179,7 +1309,7 @@ impl Response {
                 e.u32(*retry_after_ms);
             }
         }
-        encode_frame(self.op(), request_id, &e.finish())
+        try_encode_frame(self.op(), request_id, &e.try_finish()?)
     }
 
     /// Decodes a response payload for `op_byte`.
@@ -1279,10 +1409,12 @@ mod tests {
         roundtrip_request(Request::Hello {
             document: "wards".into(),
             principal: Principal::Group("nurse".into()),
+            auth: None,
         });
         roundtrip_request(Request::Hello {
             document: "".into(),
             principal: Principal::Admin,
+            auth: Some("sekrit".into()),
         });
         roundtrip_request(Request::Query {
             query: "//patient[@id]/treatment".into(),
@@ -1439,6 +1571,7 @@ mod tests {
         let full = Request::Hello {
             document: "wards".into(),
             principal: Principal::Group("nurse".into()),
+            auth: Some("token".into()),
         }
         .encode(1);
         // Any strict prefix of the payload must decode to an error, never
@@ -1454,6 +1587,64 @@ mod tests {
         let mut extended = payload.to_vec();
         extended.push(0);
         assert_eq!(Request::decode(op::HELLO, &extended), Err(Some(ProtoError)));
+    }
+
+    #[test]
+    fn group_names_must_be_bare_identifiers() {
+        for good in ["researchers", "g", "_internal", "ward-3_staff", "A1"] {
+            assert!(valid_group_name(good), "{good} should be valid");
+            assert!(Principal::Group(good.into()).is_valid());
+        }
+        for bad in [
+            "",
+            "(admin)",
+            "admin)",
+            "a b",
+            "-lead",
+            "1st",
+            "g\u{0}",
+            "gr/oup",
+            "caf\u{e9}",
+        ] {
+            assert!(!valid_group_name(bad), "{bad:?} should be rejected");
+            assert!(!Principal::Group(bad.into()).is_valid());
+        }
+        assert!(!valid_group_name(&"g".repeat(129)));
+        assert!(valid_group_name(&"g".repeat(128)));
+        assert!(Principal::Admin.is_valid());
+    }
+
+    #[test]
+    fn oversized_lengths_fail_encoding_instead_of_wrapping() {
+        // A frame whose total length cannot fit the u32 prefix must
+        // refuse to encode. (4 GiB strings are not allocatable in a test;
+        // exercise the same checked paths directly.)
+        assert!(try_encode_frame(op::PING, 1, &[]).is_ok());
+        let mut e = Enc::new();
+        e.len32(usize::try_from(u32::MAX).unwrap() + 1);
+        assert!(e.overflowed());
+        assert_eq!(e.try_finish(), Err(EncodeTooLarge));
+
+        // The in-range boundary still encodes.
+        let mut e = Enc::new();
+        e.len32(usize::try_from(u32::MAX).unwrap());
+        assert!(!e.overflowed());
+
+        // And the server-side fallback is a well-formed error frame
+        // answering the same request id.
+        let fallback = Response::Error {
+            code: code::RESPONSE_TOO_LARGE,
+            message: "response exceeds the frame length limit".to_string(),
+        }
+        .encode(9);
+        let mut fb = FrameBuffer::new();
+        fb.push(&fallback);
+        let frame = fb.next_frame(DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(frame.request_id, 9);
+        match Response::decode(frame.op, &frame.payload).unwrap() {
+            Response::Error { code: c, .. } => assert_eq!(c, code::RESPONSE_TOO_LARGE),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

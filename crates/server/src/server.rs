@@ -36,7 +36,7 @@
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 use smoqe::engine::Session;
 use smoqe::Engine;
 
-use crate::admission::{Admission, InflightGuard, TenantQuota};
+use crate::admission::{Admission, InflightGuard, TenantQuota, TokenBucket};
 use crate::context::RequestContext;
 use crate::proto::{
     code, FrameBuffer, Principal, Request, Response, WireAnswer, WireStats, WireTenant,
@@ -81,6 +81,25 @@ pub struct ServerConfig {
     pub admin_quota: TenantQuota,
     /// Named per-tenant quota overrides.
     pub tenant_quotas: HashMap<String, TenantQuota>,
+    /// Per-connection rate cap on inline control ops (`Hello`, `Stats`,
+    /// `OpenDocument`, `Shutdown`) — these are served on the reader
+    /// thread and bypass per-tenant admission, so without this cap one
+    /// connection could spin them at unbounded rate against shared
+    /// locks. `max_inflight` is ignored (inline ops never occupy a
+    /// worker slot). `Ping` stays uncapped: it is the liveness probe and
+    /// touches no shared state.
+    pub control_quota: TenantQuota,
+    /// Token a `Hello` must present to bind as [`Principal::Admin`].
+    ///
+    /// `None` (the default) falls back to a peer-address check: admin
+    /// sessions are accepted only from loopback peers. Set a token to
+    /// serve admins across the network.
+    pub admin_token: Option<String>,
+    /// Per-group authentication tokens. A group with an entry here must
+    /// present it at `Hello`; groups without an entry bind freely (they
+    /// only ever see their own security view). See "Security over the
+    /// wire" in the README for the full trust model.
+    pub group_tokens: HashMap<String, String>,
     /// Trace ring capacity (0 disables tracing).
     pub trace_capacity: usize,
 }
@@ -101,6 +120,13 @@ impl Default for ServerConfig {
             default_quota: TenantQuota::default(),
             admin_quota: TenantQuota::unlimited(),
             tenant_quotas: HashMap::new(),
+            control_quota: TenantQuota {
+                rate_per_sec: 100.0,
+                burst: 200,
+                max_inflight: usize::MAX,
+            },
+            admin_token: None,
+            group_tokens: HashMap::new(),
             trace_capacity: 4096,
         }
     }
@@ -128,6 +154,7 @@ struct Shared {
     connections: AtomicUsize,
     responses_total: AtomicU64,
     queue_full_busy: AtomicU64,
+    control_busy: AtomicU64,
     addr: SocketAddr,
 }
 
@@ -144,8 +171,18 @@ impl Shared {
         }
         self.queue.close();
         // The accept loop blocks in accept(); a throwaway local
-        // connection is the portable way to deliver the news.
-        let _ = TcpStream::connect(self.addr);
+        // connection is the portable way to deliver the news. When bound
+        // to a wildcard address (0.0.0.0 / [::]), connect via loopback —
+        // connecting *to* an unspecified address fails on some platforms,
+        // which would leave the acceptor blocked.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
     }
 }
 
@@ -178,6 +215,7 @@ impl Server {
             connections: AtomicUsize::new(0),
             responses_total: AtomicU64::new(0),
             queue_full_busy: AtomicU64::new(0),
+            control_busy: AtomicU64::new(0),
             engine,
             config,
             addr,
@@ -376,6 +414,16 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         Ok(s) => Arc::new(Mutex::new(s)),
         Err(_) => return,
     };
+    // The trust anchor for tokenless admin Hellos: the kernel-reported
+    // peer address, not anything the client asserted.
+    let peer_loopback = stream
+        .peer_addr()
+        .map(|a| a.ip().is_loopback())
+        .unwrap_or(false);
+    let conn = Conn {
+        peer_loopback,
+        control: TokenBucket::new(&shared.config.control_quota, Instant::now()),
+    };
 
     let mut fb = FrameBuffer::new();
     let mut session: Option<(Arc<Session>, Principal)> = None;
@@ -389,7 +437,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 loop {
                     match fb.next_frame(shared.config.max_frame_len) {
                         Ok(Some(frame)) => {
-                            if !handle_frame(shared, &out, &mut session, frame) {
+                            if !handle_frame(shared, &conn, &out, &mut session, frame) {
                                 break 'conn;
                             }
                         }
@@ -430,9 +478,53 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     }
 }
 
+/// Per-connection state that outlives individual frames: what the kernel
+/// says about the peer, and the inline-op rate cap.
+struct Conn {
+    /// Whether the peer address is a loopback address (per `peer_addr`).
+    peer_loopback: bool,
+    /// Rate cap for inline control ops on this connection.
+    control: TokenBucket,
+}
+
+impl Conn {
+    /// Takes one control-op token; on refusal returns the retry-after
+    /// hint for the `Busy` response to answer with.
+    fn admit_control(&self, shared: &Shared, now: Instant) -> Result<(), u32> {
+        self.control.try_take(now).inspect_err(|_| {
+            shared.control_busy.fetch_add(1, Ordering::Relaxed);
+        })
+    }
+}
+
+/// Checks a `Hello`'s credentials against the server's configuration.
+///
+/// Every refusal is the same `UNAUTHORIZED` code and message — whether
+/// the token was wrong, missing, or an admin connected from a non-local
+/// peer without a configured token, the client learns only that the
+/// bind was refused.
+fn authenticate(
+    config: &ServerConfig,
+    conn: &Conn,
+    principal: &Principal,
+    auth: Option<&str>,
+) -> bool {
+    match principal {
+        Principal::Admin => match &config.admin_token {
+            Some(token) => auth == Some(token.as_str()),
+            None => conn.peer_loopback,
+        },
+        Principal::Group(g) => match config.group_tokens.get(g) {
+            Some(token) => auth == Some(token.as_str()),
+            None => true,
+        },
+    }
+}
+
 /// Serves one frame. Returns `false` when the connection should close.
 fn handle_frame(
     shared: &Arc<Shared>,
+    conn: &Conn,
     out: &Arc<Mutex<TcpStream>>,
     session: &mut Option<(Arc<Session>, Principal)>,
     frame: crate::proto::Frame,
@@ -475,8 +567,49 @@ fn handle_frame(
         Request::Hello {
             document,
             principal,
+            auth,
         } => {
             let ctx = RequestContext::new(frame.request_id, principal.clone(), &request);
+            if let Err(retry_after_ms) = conn.admit_control(shared, started) {
+                finish(
+                    shared,
+                    &ctx,
+                    out,
+                    started,
+                    Response::Busy { retry_after_ms },
+                );
+                return true;
+            }
+            // Validate the principal before it can bind a session, be
+            // admitted under a tenant key, or appear in stats/traces: a
+            // wire Group name that is not a bare policy identifier could
+            // otherwise impersonate the reserved "(admin)" tenant row.
+            if !principal.is_valid() {
+                finish(
+                    shared,
+                    &ctx,
+                    out,
+                    started,
+                    Response::Error {
+                        code: code::BAD_PRINCIPAL,
+                        message: "group names must be bare identifiers".to_string(),
+                    },
+                );
+                return true;
+            }
+            if !authenticate(&shared.config, conn, principal, auth.as_deref()) {
+                finish(
+                    shared,
+                    &ctx,
+                    out,
+                    started,
+                    Response::Error {
+                        code: code::UNAUTHORIZED,
+                        message: "authentication failed".to_string(),
+                    },
+                );
+                return true;
+            }
             let response = match shared.engine.session_on(document, principal.to_user()) {
                 Ok(s) => {
                     *session = Some((Arc::new(s), principal.clone()));
@@ -504,6 +637,26 @@ fn handle_frame(
         return true;
     };
     let ctx = RequestContext::new(frame.request_id, principal.clone(), &request);
+
+    // Inline control ops bypass per-tenant admission (they never occupy
+    // a worker), so they share the per-connection rate cap instead — a
+    // tight Stats/Hello loop gets Busy backpressure like everything
+    // else.
+    if matches!(
+        request,
+        Request::Stats { .. } | Request::Shutdown | Request::OpenDocument { .. }
+    ) {
+        if let Err(retry_after_ms) = conn.admit_control(shared, started) {
+            finish(
+                shared,
+                &ctx,
+                out,
+                started,
+                Response::Busy { retry_after_ms },
+            );
+            return true;
+        }
+    }
 
     match request {
         // Control ops served inline on the reader thread.
@@ -659,7 +812,9 @@ fn build_stats(shared: &Arc<Shared>, principal: &Principal, include_trace: bool)
     s.queue_depth = shared.queue.len() as u64;
     s.queue_capacity = shared.queue.capacity() as u64;
     s.requests_total = shared.responses_total.load(Ordering::Relaxed);
-    s.busy_total = shared.admission.busy_total() + shared.queue_full_busy.load(Ordering::Relaxed);
+    s.busy_total = shared.admission.busy_total()
+        + shared.queue_full_busy.load(Ordering::Relaxed)
+        + shared.control_busy.load(Ordering::Relaxed);
 
     let own = match principal {
         Principal::Admin => None,

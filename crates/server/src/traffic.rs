@@ -75,6 +75,10 @@ pub struct TrafficConfig {
     /// Retries per request when the server answers `Busy` (each waits
     /// the hinted backoff first).
     pub busy_retries: u32,
+    /// Token presented by admin sessions at `Hello`. Needed when the
+    /// target server has an `admin_token` configured (i.e. it serves
+    /// admins over non-loopback networks).
+    pub admin_token: Option<String>,
 }
 
 impl TrafficConfig {
@@ -108,6 +112,7 @@ impl TrafficConfig {
             write_pct: 5,
             seed: 0x5A0_0E5,
             busy_retries: 8,
+            admin_token: None,
         }
     }
 }
@@ -284,7 +289,12 @@ fn run_session(config: &TrafficConfig, si: usize) -> Result<SessionOutcome, Clie
     let principal = config.principals[si % config.principals.len().max(1)].clone();
     let mut client = Client::connect(&config.addr)?;
     client.set_timeout(Some(Duration::from_secs(60))).ok();
-    let tenant = client.hello(&config.document, principal.clone())?;
+    let auth = if principal.is_admin() {
+        config.admin_token.as_deref()
+    } else {
+        None
+    };
+    let tenant = client.hello_auth(&config.document, principal.clone(), auth)?;
 
     let mut rng = Rng::new(config.seed ^ (si as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut outcome = SessionOutcome {

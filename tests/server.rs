@@ -421,6 +421,151 @@ fn stats_are_scoped_per_principal() {
     handle.join();
 }
 
+#[test]
+fn admin_requires_token_when_configured() {
+    let (handle, _engine) = start_server(ServerConfig {
+        admin_token: Some("sekrit".to_string()),
+        ..ServerConfig::default()
+    });
+
+    // Loopback alone no longer suffices once a token is configured.
+    let mut bare = connect(&handle);
+    match bare.hello("wards", Principal::Admin) {
+        Err(ClientError::Remote { code: c, .. }) => assert_eq!(c, code::UNAUTHORIZED),
+        other => panic!("expected UNAUTHORIZED, got {other:?}"),
+    }
+    let mut wrong = connect(&handle);
+    match wrong.hello_auth("wards", Principal::Admin, Some("guess")) {
+        Err(ClientError::Remote { code: c, .. }) => assert_eq!(c, code::UNAUTHORIZED),
+        other => panic!("expected UNAUTHORIZED, got {other:?}"),
+    }
+    // A refused Hello leaves the connection alive and unbound.
+    match bare.query("//medication") {
+        Err(ClientError::Remote { code: c, .. }) => assert_eq!(c, code::HELLO_REQUIRED),
+        other => panic!("expected HELLO_REQUIRED, got {other:?}"),
+    }
+
+    // Groups are unaffected by the admin token.
+    let mut group = researcher(&handle);
+    group.query("//medication").unwrap();
+
+    // The right token unlocks the admin surface.
+    let mut admin = connect(&handle);
+    admin
+        .hello_auth("wards", Principal::Admin, Some("sekrit"))
+        .unwrap();
+    admin.stats(true).unwrap();
+    admin.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn group_tokens_are_enforced_per_group() {
+    let (handle, _engine) = start_server(ServerConfig {
+        group_tokens: [(hospital::GROUP.to_string(), "badge".to_string())]
+            .into_iter()
+            .collect(),
+        ..ServerConfig::default()
+    });
+
+    let mut bare = connect(&handle);
+    match bare.hello("wards", Principal::Group(hospital::GROUP.into())) {
+        Err(ClientError::Remote { code: c, .. }) => assert_eq!(c, code::UNAUTHORIZED),
+        other => panic!("expected UNAUTHORIZED, got {other:?}"),
+    }
+    bare.hello_auth(
+        "wards",
+        Principal::Group(hospital::GROUP.into()),
+        Some("badge"),
+    )
+    .unwrap();
+    bare.query("//medication").unwrap();
+
+    // A group with no configured token still binds freely.
+    let mut open = connect(&handle);
+    open.hello("wards", Principal::Group("auditors".into()))
+        .unwrap();
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn spoofed_or_malformed_group_names_are_rejected_at_hello() {
+    let (handle, _engine) = start_server(ServerConfig::default());
+
+    // `(admin)` is the admin tenant's accounting key; a group must not be
+    // able to claim it (or any other non-identifier) and inherit the
+    // admin quota or stats row.
+    let mut client = connect(&handle);
+    for name in ["(admin)", "", " researchers", "a b", "x/y", "né"] {
+        match client.hello("wards", Principal::Group(name.into())) {
+            Err(ClientError::Remote { code: c, .. }) => {
+                assert_eq!(c, code::BAD_PRINCIPAL, "group name {name:?}")
+            }
+            other => panic!("expected BAD_PRINCIPAL for {name:?}, got {other:?}"),
+        }
+    }
+    // The connection survives the refusals and a valid name still binds.
+    client
+        .hello("wards", Principal::Group(hospital::GROUP.into()))
+        .unwrap();
+    client.query("//medication").unwrap();
+
+    // No spoofed tenant ever reached the accounting table.
+    let mut admin = connect(&handle);
+    admin.hello("wards", Principal::Admin).unwrap();
+    let stats = admin.stats(false).unwrap();
+    assert!(stats
+        .tenants
+        .iter()
+        .all(|t| t.tenant == smoqe::ADMIN_TENANT || t.tenant == hospital::GROUP));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn control_ops_are_rate_limited_per_connection() {
+    let (handle, _engine) = start_server(ServerConfig {
+        control_quota: TenantQuota {
+            rate_per_sec: 1.0,
+            burst: 3,
+            max_inflight: usize::MAX,
+        },
+        ..ServerConfig::default()
+    });
+
+    let mut client = researcher(&handle); // hello spends one control token
+    let mut busy = 0u32;
+    for _ in 0..10 {
+        match client.stats(false) {
+            Ok(_) => {}
+            Err(ClientError::Busy { retry_after_ms }) => {
+                assert!(retry_after_ms > 0);
+                busy += 1;
+            }
+            Err(e) => panic!("expected Ok or Busy, got {e}"),
+        }
+    }
+    assert!(
+        busy >= 6,
+        "a stats flood is throttled (got {busy} refusals)"
+    );
+
+    // Pings are pure liveness and stay exempt; the connection survives.
+    client.ping().unwrap();
+    // Data-plane ops ride the tenant quota, not the control cap.
+    client.query("//medication").unwrap();
+    // Other connections have their own bucket.
+    let mut admin = connect(&handle);
+    admin.hello("wards", Principal::Admin).unwrap();
+    admin.stats(false).unwrap();
+
+    handle.shutdown();
+    handle.join();
+}
+
 // -------------------------------------------------------------------------
 // Graceful drain
 // -------------------------------------------------------------------------
@@ -441,6 +586,7 @@ fn drain_completes_pipelined_in_flight_queries() {
         &Request::Hello {
             document: "wards".into(),
             principal: Principal::Group(hospital::GROUP.into()),
+            auth: None,
         }
         .encode(1),
     )
