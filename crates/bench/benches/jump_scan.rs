@@ -50,7 +50,7 @@ fn bench_parallel_batch(c: &mut Criterion) {
         });
         hospital::dtd(engine.vocabulary());
         let doc = hospital::generate_document(engine.vocabulary(), 17, 30_000);
-        engine.load_document_tree(doc);
+        engine.load_document_tree(doc).unwrap();
         engine.build_tax_index().unwrap();
         let session = engine.session(User::Admin);
         group.bench_with_input(

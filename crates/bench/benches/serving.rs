@@ -20,7 +20,7 @@ fn serving_sessions() -> Vec<Session> {
     let doc = engine.open_document("hospital");
     doc.load_dtd(hospital::DTD).unwrap();
     let tree = hospital::generate_document(engine.vocabulary(), 11, 5_000);
-    doc.load_document_tree(tree);
+    doc.load_document_tree(tree).unwrap();
     doc.build_tax_index().unwrap();
     doc.register_policy("researchers", hospital::POLICY)
         .unwrap();

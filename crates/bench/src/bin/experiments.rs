@@ -635,7 +635,7 @@ fn bench_json(quick: bool) {
         });
         hospital::dtd(engine.vocabulary());
         let doc = hospital::generate_document(engine.vocabulary(), 17, target_nodes);
-        engine.load_document_tree(doc);
+        engine.load_document_tree(doc).unwrap();
         engine.build_tax_index().unwrap();
         engine
     };
@@ -685,9 +685,104 @@ fn bench_json(quick: bool) {
         (report, sessions)
     };
 
+    // Durability: the same end-to-end update measured on an in-memory vs
+    // a write-ahead-logged engine (the delta is the WAL append), plus
+    // cold crash-recovery speed over a WAL tail of logical records.
+    let (update_mem_us, update_durable_us, recovery_records, recovery_ms) = {
+        let mk = |durable: Option<&std::path::Path>| {
+            let engine = match durable {
+                Some(dir) => Engine::recover(
+                    EngineConfig {
+                        checkpoint_every: 0,
+                        ..EngineConfig::default()
+                    },
+                    dir,
+                )
+                .unwrap(),
+                None => Engine::with_defaults(),
+            };
+            engine.load_dtd(hospital::DTD).unwrap();
+            let gen = hospital::generate_document(engine.vocabulary(), 17, target_nodes);
+            engine.load_document_tree(gen).unwrap();
+            engine.build_tax_index().unwrap();
+            engine
+                .update(
+                    "insert <patient><pname>Bench</pname><visit><treatment>\
+                     <medication>autism</medication></treatment><date>d</date></visit>\
+                     </patient> into hospital",
+                )
+                .unwrap();
+            engine
+        };
+        const REPLACE: &str =
+            "replace hospital/patient[pname = 'Bench']/pname with <pname>Bench</pname>";
+        // The two sides differ by one buffered WAL append (~µs) against a
+        // multi-ms update, so measurement discipline matters more than
+        // sample count: interleave the two engines round-by-round (two
+        // back-to-back min-of-N loops see different allocator/cache
+        // weather and have produced deltas of ±20% either way) and don't
+        // let quick mode starve N.
+        let iters = iters.max(20);
+        let dur_dir = std::env::temp_dir().join(format!("smoqe-bench-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dur_dir);
+        std::fs::create_dir_all(&dur_dir).unwrap();
+        let mem = mk(None);
+        let dur = mk(Some(&dur_dir));
+        let mut mem_us = f64::INFINITY;
+        let mut dur_us = f64::INFINITY;
+        for _ in 0..iters {
+            let t0 = std::time::Instant::now();
+            mem.update(REPLACE).unwrap();
+            mem_us = mem_us.min(t0.elapsed().as_secs_f64() * 1e6);
+            let t0 = std::time::Instant::now();
+            dur.update(REPLACE).unwrap();
+            dur_us = dur_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        drop(dur);
+        let _ = std::fs::remove_dir_all(&dur_dir);
+
+        // Cold recovery: checkpoint a small catalog, leave `records`
+        // updates in the WAL tail, and time a fresh `Engine::recover`
+        // (checkpoint load + security-revalidating replay + the
+        // end-of-recovery checkpoint).
+        let records = if quick { 100 } else { 1000 };
+        let rec_dir = std::env::temp_dir().join(format!("smoqe-bench-rec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&rec_dir);
+        std::fs::create_dir_all(&rec_dir).unwrap();
+        let config = EngineConfig {
+            checkpoint_every: 0,
+            ..EngineConfig::default()
+        };
+        {
+            let e = Engine::recover(config, &rec_dir).unwrap();
+            e.load_dtd(hospital::DTD).unwrap();
+            e.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+            e.build_tax_index().unwrap();
+            e.checkpoint().unwrap();
+            for i in 0..records {
+                e.update(&format!(
+                    "insert <patient><pname>R{i}</pname><visit><treatment>\
+                     <medication>autism</medication></treatment><date>d</date></visit>\
+                     </patient> into hospital"
+                ))
+                .unwrap();
+            }
+        }
+        let t0 = std::time::Instant::now();
+        let recovered = Engine::recover(config, &rec_dir).unwrap();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            recovered.recovery_epoch() >= 1,
+            "recovery bench found no WAL tail"
+        );
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&rec_dir);
+        (mem_us, dur_us, records, ms)
+    };
+
     let json = format!(
         "{{\n\
-         \x20 \"schema\": 2,\n\
+         \x20 \"schema\": 3,\n\
          \x20 \"workload\": {{\n\
          \x20   \"document\": \"hospital\",\n\
          \x20   \"nodes\": {nodes},\n\
@@ -737,6 +832,14 @@ fn bench_json(quick: bool) {
          \x20   \"p95\": {serve_p95},\n\
          \x20   \"p99\": {serve_p99},\n\
          \x20   \"qps\": {serve_qps:.1}\n\
+         \x20 }},\n\
+         \x20 \"recovery\": {{\n\
+         \x20   \"update_us_in_memory\": {update_mem_us:.2},\n\
+         \x20   \"update_us_durable\": {update_durable_us:.2},\n\
+         \x20   \"wal_overhead_pct\": {wal_overhead_pct:.1},\n\
+         \x20   \"replayed_records\": {recovery_records},\n\
+         \x20   \"recovery_ms\": {recovery_ms:.1},\n\
+         \x20   \"recovery_ms_per_10k_records\": {recovery_per_10k:.1}\n\
          \x20 }}\n\
          }}\n",
         nodes = doc.node_count(),
@@ -746,6 +849,8 @@ fn bench_json(quick: bool) {
         serve_p95 = serving.overall.p95_us,
         serve_p99 = serving.overall.p99_us,
         serve_qps = serving.qps,
+        wal_overhead_pct = (update_durable_us / update_mem_us - 1.0) * 100.0,
+        recovery_per_10k = recovery_ms * 10_000.0 / recovery_records as f64,
     );
     std::fs::write("BENCH.json", &json).expect("write BENCH.json");
     println!("{json}");

@@ -53,10 +53,23 @@ impl LoadedSource {
     }
 }
 
+/// How a view came to be registered — kept so checkpoints can persist
+/// the *registration text* and recovery can re-derive the view through
+/// the exact path (policy derivation or spec parsing) that produced it.
+#[derive(Clone)]
+pub(crate) enum ViewSource {
+    /// `register_policy`: the access-control policy text.
+    Policy(Arc<str>),
+    /// `register_view_spec`: the view specification text.
+    Spec(Arc<str>),
+}
+
 /// A registered view plus the generation at which it was registered.
 pub(crate) struct ViewSlot {
     pub(crate) spec: Arc<ViewSpec>,
     pub(crate) generation: u64,
+    /// The registration text (policy or spec) behind `spec`.
+    pub(crate) source: ViewSource,
 }
 
 /// Source of [`DocumentEntry::id`] values: unique across every entry an
@@ -71,6 +84,9 @@ pub struct DocumentEntry {
     name: String,
     id: u64,
     pub(crate) dtd: RwLock<Option<Arc<Dtd>>>,
+    /// The DTD's source text, kept alongside the parsed form so
+    /// checkpoints persist exactly what was registered.
+    pub(crate) dtd_text: RwLock<Option<Arc<str>>>,
     pub(crate) source: RwLock<Option<Arc<LoadedSource>>>,
     pub(crate) views: RwLock<HashMap<String, ViewSlot>>,
     /// Bumped on every DTD or document replacement.
@@ -95,6 +111,7 @@ impl DocumentEntry {
             name: name.to_string(),
             id: NEXT_ENTRY_ID.fetch_add(1, Ordering::Relaxed),
             dtd: RwLock::new(None),
+            dtd_text: RwLock::new(None),
             source: RwLock::new(None),
             views: RwLock::new(HashMap::new()),
             generation: AtomicU64::new(0),
@@ -128,6 +145,20 @@ impl DocumentEntry {
 
     pub(crate) fn next_view_generation(&self) -> u64 {
         self.counter.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The raw value of the generation-source counter (checkpointing).
+    pub(crate) fn counter_value(&self) -> u64 {
+        self.counter.load(Ordering::Acquire)
+    }
+
+    /// Overwrites both counters with checkpointed values (recovery only:
+    /// rebuilding the entry bumped them from zero, but sessions of the
+    /// original process saw the stored values).
+    pub(crate) fn restore_counters(&self, generation: u64, counter: u64) {
+        self.counter
+            .store(counter.max(generation), Ordering::Release);
+        self.generation.store(generation, Ordering::Release);
     }
 
     /// The registered view for `group`, with its generation.
@@ -164,14 +195,25 @@ pub(crate) struct Catalog {
 impl Catalog {
     /// Returns the entry for `name`, creating an empty one if absent.
     pub(crate) fn entry_or_create(&self, name: &str) -> Arc<DocumentEntry> {
+        self.entry_or_create_tracked(name).0
+    }
+
+    /// Like [`Catalog::entry_or_create`], also reporting whether the
+    /// entry was created by this call (the WAL logs creations).
+    pub(crate) fn entry_or_create_tracked(&self, name: &str) -> (Arc<DocumentEntry>, bool) {
         if let Some(entry) = self.entries.read().get(name) {
-            return entry.clone();
+            return (entry.clone(), false);
         }
-        self.entries
-            .write()
+        let mut entries = self.entries.write();
+        let mut created = false;
+        let entry = entries
             .entry(name.to_string())
-            .or_insert_with(|| Arc::new(DocumentEntry::new(name)))
-            .clone()
+            .or_insert_with(|| {
+                created = true;
+                Arc::new(DocumentEntry::new(name))
+            })
+            .clone();
+        (entry, created)
     }
 
     /// The entry for `name`, or `UnknownDocument`.
@@ -195,6 +237,14 @@ impl Catalog {
             }
             None => false,
         }
+    }
+
+    /// Every entry, sorted by name (the checkpoint capture order — and
+    /// therefore the multi-entry lock acquisition order).
+    pub(crate) fn entries_sorted(&self) -> Vec<Arc<DocumentEntry>> {
+        let mut entries: Vec<Arc<DocumentEntry>> = self.entries.read().values().cloned().collect();
+        entries.sort_by(|a, b| a.name().cmp(b.name()));
+        entries
     }
 
     /// Sorted catalog names.
@@ -227,6 +277,12 @@ impl DocHandle {
         &self.engine
     }
 
+    /// The document's current generation (bumped by every successful
+    /// mutation; plan-cache keys and recovery both depend on it).
+    pub fn generation(&self) -> u64 {
+        self.entry.generation()
+    }
+
     /// Parses and installs the document DTD. Invalidates cached plans for
     /// this document.
     pub fn load_dtd(&self, dtd_text: &str) -> Result<(), EngineError> {
@@ -251,7 +307,7 @@ impl DocHandle {
     }
 
     /// Installs an already-built document (e.g. from the generator).
-    pub fn load_document_tree(&self, doc: Document) {
+    pub fn load_document_tree(&self, doc: Document) -> Result<(), EngineError> {
         self.engine.load_document_tree_on(&self.entry, doc)
     }
 

@@ -58,6 +58,12 @@ pub struct EngineConfig {
     /// Maximum number of compiled plans memoized engine-wide (0 disables
     /// the plan cache entirely).
     pub plan_cache_capacity: usize,
+    /// Durable engines only: checkpoint automatically after this many
+    /// WAL records have accumulated since the last checkpoint (0 = never
+    /// checkpoint periodically; explicit [`Engine::checkpoint`]
+    /// (crate::engine::Engine::checkpoint) calls — e.g. on graceful
+    /// server drain — still work). Ignored by in-memory engines.
+    pub checkpoint_every: u64,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +77,7 @@ impl Default for EngineConfig {
             jump_selectivity: 0.1,
             eval_threads: 1,
             plan_cache_capacity: 1024,
+            checkpoint_every: 1024,
         }
     }
 }
@@ -87,6 +94,7 @@ impl EngineConfig {
             jump_selectivity: 0.0,
             eval_threads: 1,
             plan_cache_capacity: 0,
+            checkpoint_every: 0,
         }
     }
 
@@ -116,6 +124,8 @@ mod tests {
         assert!(c.jump_selectivity > 0.0);
         assert_eq!(c.eval_threads, 1);
         assert!(c.plan_cache_capacity > 0);
+        assert!(c.checkpoint_every > 0);
+        assert_eq!(EngineConfig::plain().checkpoint_every, 0);
         assert!(!EngineConfig::plain().use_tax);
         assert!(!EngineConfig::plain().compiled_plans);
         assert_eq!(EngineConfig::plain().eval_mode, EvalMode::Scan);

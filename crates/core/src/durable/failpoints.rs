@@ -1,0 +1,153 @@
+//! Fault injection for the durability write path.
+//!
+//! A [`FailpointRegistry`] names the crash sites of the WAL/checkpoint
+//! code. Arming one makes the *next* passage through that site fail as if
+//! the process had died there: the registry's durability layer marks
+//! itself dead (every later durable operation reports
+//! [`DurError::Crashed`](super::DurError::Crashed)) and the in-memory
+//! installation that would have followed never happens — exactly the
+//! partial state a real crash leaves on disk, observable without killing
+//! the test process. Recovery is then exercised by calling
+//! [`Engine::recover`](crate::engine::Engine::recover) on the same
+//! directory.
+//!
+//! The fast path is one relaxed atomic load of an armed-site counter, so
+//! an unarmed registry costs nothing measurable on the update path.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// The injectable crash sites, in write-path order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Failpoint {
+    /// Die before the WAL record is written: the operation is lost.
+    CrashBeforeAppend,
+    /// Die after the record is fully written but before the new snapshot
+    /// is installed in memory: recovery *includes* the operation even
+    /// though the caller saw an error (the classic in-doubt write).
+    CrashAfterAppend,
+    /// Write only a prefix of the record's bytes, then die — the torn
+    /// tail recovery must truncate.
+    TornWrite,
+    /// The flush of an appended record fails (simulated fsync error).
+    SyncError,
+    /// Die mid-checkpoint, leaving a partial temporary file behind.
+    CheckpointInterrupted,
+}
+
+/// Every failpoint, in write-path order — the fault-injection harness
+/// iterates this.
+pub const ALL_FAILPOINTS: [Failpoint; 5] = [
+    Failpoint::CrashBeforeAppend,
+    Failpoint::CrashAfterAppend,
+    Failpoint::TornWrite,
+    Failpoint::SyncError,
+    Failpoint::CheckpointInterrupted,
+];
+
+impl Failpoint {
+    /// The stable name used by `SMOQE_FAILPOINTS` and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Failpoint::CrashBeforeAppend => "crash_before_append",
+            Failpoint::CrashAfterAppend => "crash_after_append",
+            Failpoint::TornWrite => "torn_write",
+            Failpoint::SyncError => "sync_error",
+            Failpoint::CheckpointInterrupted => "checkpoint_interrupted",
+        }
+    }
+
+    /// Parses a [`Failpoint::name`] back.
+    pub fn parse(s: &str) -> Option<Failpoint> {
+        ALL_FAILPOINTS.into_iter().find(|fp| fp.name() == s.trim())
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Which failpoints are armed. One per [`Durability`](super::Durability);
+/// each armed site fires exactly once (one crash per arming, like one
+/// process death).
+#[derive(Default)]
+pub struct FailpointRegistry {
+    armed: [AtomicBool; ALL_FAILPOINTS.len()],
+    count: AtomicUsize,
+}
+
+impl FailpointRegistry {
+    /// Arms `fp`: the next passage through that site crashes.
+    pub fn arm(&self, fp: Failpoint) {
+        if !self.armed[fp.index()].swap(true, Ordering::AcqRel) {
+            self.count.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Disarms `fp` without firing it.
+    pub fn disarm(&self, fp: Failpoint) {
+        if self.armed[fp.index()].swap(false, Ordering::AcqRel) {
+            self.count.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Number of currently armed failpoints.
+    pub fn armed_count(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// One-shot trigger: true exactly once per arming of `fp`.
+    pub(crate) fn fire(&self, fp: Failpoint) -> bool {
+        // The no-failpoints fast path: a single relaxed load.
+        if self.count.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        if self.armed[fp.index()].swap(false, Ordering::AcqRel) {
+            self.count.fetch_sub(1, Ordering::AcqRel);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A registry armed from the `SMOQE_FAILPOINTS` environment variable —
+    /// a comma-separated list of [`Failpoint::name`]s. Unknown names are
+    /// ignored (the variable is a test/debug knob, not an API).
+    pub fn from_env() -> Self {
+        let registry = FailpointRegistry::default();
+        if let Ok(spec) = std::env::var("SMOQE_FAILPOINTS") {
+            for part in spec.split(',') {
+                if let Some(fp) = Failpoint::parse(part) {
+                    registry.arm(fp);
+                }
+            }
+        }
+        registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_is_one_shot_per_arming() {
+        let r = FailpointRegistry::default();
+        assert_eq!(r.armed_count(), 0);
+        assert!(!r.fire(Failpoint::TornWrite));
+        r.arm(Failpoint::TornWrite);
+        r.arm(Failpoint::TornWrite); // idempotent
+        assert_eq!(r.armed_count(), 1);
+        assert!(!r.fire(Failpoint::SyncError));
+        assert!(r.fire(Failpoint::TornWrite));
+        assert!(!r.fire(Failpoint::TornWrite));
+        assert_eq!(r.armed_count(), 0);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for fp in ALL_FAILPOINTS {
+            assert_eq!(Failpoint::parse(fp.name()), Some(fp));
+        }
+        assert_eq!(Failpoint::parse("nonsense"), None);
+    }
+}

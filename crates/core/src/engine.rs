@@ -15,8 +15,9 @@
 //! a query runs, and compiled plans are memoized engine-wide in the
 //! [plan cache](crate::plancache).
 
-use crate::catalog::{Catalog, DocHandle, DocumentEntry, LoadedSource, ViewSlot};
+use crate::catalog::{Catalog, DocHandle, DocumentEntry, LoadedSource, ViewSlot, ViewSource};
 use crate::config::{DocumentMode, EngineConfig, EvalMode};
+use crate::durable::wal::WalOp;
 use crate::error::EngineError;
 use crate::plancache::{CacheMetrics, PlanCache, PlanKey};
 use smoqe_automata::compile::CompiledMfa;
@@ -52,6 +53,9 @@ pub struct Engine {
     catalog: Catalog,
     plans: PlanCache,
     tenants: crate::tenants::TenantRegistry,
+    /// Durable state (WAL + checkpoints), set once by
+    /// [`Engine::recover`]; `None` for a purely in-memory engine.
+    pub(crate) durable: std::sync::OnceLock<Arc<crate::durable::Durability>>,
 }
 
 /// Who a session belongs to.
@@ -192,6 +196,7 @@ impl Engine {
             config,
             catalog: Catalog::default(),
             tenants: crate::tenants::TenantRegistry::default(),
+            durable: std::sync::OnceLock::new(),
         })
     }
 
@@ -218,9 +223,17 @@ impl Engine {
     /// Opens (creating if necessary) the named document, returning an
     /// owned handle for loading data and minting sessions.
     pub fn open_document(self: &Arc<Self>, name: &str) -> DocHandle {
+        let (entry, created) = self.catalog.entry_or_create_tracked(name);
+        if created {
+            // Best-effort: an empty entry holds no data, and the first
+            // data-bearing operation surfaces any durability failure.
+            let _ = self.durable_log(WalOp::OpenDocument {
+                doc: name.to_string(),
+            });
+        }
         DocHandle {
             engine: self.clone(),
-            entry: self.catalog.entry_or_create(name),
+            entry,
         }
     }
 
@@ -234,12 +247,48 @@ impl Engine {
 
     /// Removes `name` from the catalog and purges its cached plans.
     /// Sessions already bound to the document keep working on it.
+    ///
+    /// On a durable engine the drop is logged first, so recovery can
+    /// never resurrect the document; a drop that cannot be logged does
+    /// not happen (and reports `false`) — use
+    /// [`Engine::try_drop_document`] to see the durability error.
     pub fn drop_document(&self, name: &str) -> bool {
+        self.try_drop_document(name).unwrap_or(false)
+    }
+
+    /// Like [`Engine::drop_document`], surfacing durability failures
+    /// instead of folding them into `false`.
+    pub fn try_drop_document(&self, name: &str) -> Result<bool, EngineError> {
+        let Ok(entry) = self.catalog.entry(name) else {
+            return Ok(false);
+        };
+        // Under the entry's write lock the drop record and the catalog
+        // removal are atomic with respect to a concurrent checkpoint
+        // capture — a checkpoint can never include a document whose drop
+        // record its LSN already covers.
+        let _writer = entry.write_serial.lock();
+        if entry.is_dropped() {
+            return Ok(false); // another dropper won the race
+        }
+        self.durable_log(WalOp::DropDocument {
+            doc: name.to_string(),
+        })?;
+        Ok(self.drop_document_local(name))
+    }
+
+    /// The in-memory half of a drop (also the replay path — the record
+    /// is already in the log then).
+    pub(crate) fn drop_document_local(&self, name: &str) -> bool {
         let existed = self.catalog.remove(name);
         if existed {
             self.plans.purge_document(name);
         }
         existed
+    }
+
+    /// The catalog (durability's capture/replay entry point).
+    pub(crate) fn catalog(&self) -> &Catalog {
+        &self.catalog
     }
 
     /// Sorted names of the documents currently in the catalog.
@@ -293,7 +342,7 @@ impl Engine {
 
     /// Installs an already-built default document (e.g. from the
     /// generator).
-    pub fn load_document_tree(&self, doc: Document) {
+    pub fn load_document_tree(&self, doc: Document) -> Result<(), EngineError> {
         self.load_document_tree_on(&self.default_entry(), doc)
     }
 
@@ -445,7 +494,12 @@ impl Engine {
     ) -> Result<(), EngineError> {
         let dtd = Dtd::parse(dtd_text, &self.vocab)?;
         let _writer = entry.write_serial.lock();
+        self.durable_log(WalOp::LoadDtd {
+            doc: entry.name().to_string(),
+            text: dtd_text.to_string(),
+        })?;
         *entry.dtd.write() = Some(Arc::new(dtd));
+        *entry.dtd_text.write() = Some(Arc::from(dtd_text));
         entry.bump_generation();
         self.plans.purge_document(entry.name());
         Ok(())
@@ -457,10 +511,17 @@ impl Engine {
         doc: Document,
         raw: Option<Arc<str>>,
         path: Option<PathBuf>,
-    ) {
+        log_xml: Arc<str>,
+    ) -> Result<(), EngineError> {
         // A fresh source carries no TAX index (the old one described the
-        // old document) and invalidates the cached plans.
+        // old document) and invalidates the cached plans. The WAL record
+        // goes first, under the same write lock that orders installs, so
+        // log order and install order can never disagree.
         let _writer = entry.write_serial.lock();
+        self.durable_log(WalOp::LoadDocument {
+            doc: entry.name().to_string(),
+            xml: log_xml.to_string(),
+        })?;
         *entry.source.write() = Some(Arc::new(LoadedSource {
             doc: Arc::new(doc),
             raw,
@@ -469,6 +530,7 @@ impl Engine {
         }));
         entry.bump_generation();
         self.plans.purge_document(entry.name());
+        Ok(())
     }
 
     pub(crate) fn load_document_on(
@@ -483,8 +545,8 @@ impl Engine {
         // Streaming mode reads the document's own shared buffer — the
         // input is held exactly once.
         let raw = doc.shared_buffer();
-        self.install_document(entry, doc, raw, None);
-        Ok(())
+        let log_xml = raw.clone().unwrap_or_else(|| Arc::from(xml));
+        self.install_document(entry, doc, raw, None, log_xml)
     }
 
     pub(crate) fn load_document_file_on(
@@ -497,17 +559,23 @@ impl Engine {
         if let Some(dtd) = entry.dtd.read().clone() {
             dtd.validate(&doc)?;
         }
-        self.install_document(entry, doc, None, Some(path));
-        Ok(())
+        let log_xml = doc
+            .shared_buffer()
+            .unwrap_or_else(|| Arc::from(doc.to_xml()));
+        self.install_document(entry, doc, None, Some(path), log_xml)
     }
 
-    pub(crate) fn load_document_tree_on(&self, entry: &Arc<DocumentEntry>, doc: Document) {
+    pub(crate) fn load_document_tree_on(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        doc: Document,
+    ) -> Result<(), EngineError> {
         // Parsed documents already hold their source; programmatically
         // built trees serialize once to obtain a streamable buffer.
         let raw = doc
             .shared_buffer()
             .unwrap_or_else(|| Arc::from(doc.to_xml()));
-        self.install_document(entry, doc, Some(raw), None);
+        self.install_document(entry, doc, Some(raw.clone()), None, raw)
     }
 
     pub(crate) fn build_tax_index_on(
@@ -516,15 +584,38 @@ impl Engine {
     ) -> Result<Arc<TaxIndex>, EngineError> {
         let snapshot = entry.snapshot()?;
         let tax = Arc::new(TaxIndex::build(&snapshot.doc));
-        self.attach_tax(entry, &snapshot, tax.clone());
+        self.attach_tax_logged(entry, &snapshot, tax.clone())?;
         Ok(tax)
+    }
+
+    /// [`Engine::attach_tax_restored`] plus a WAL record (when the index
+    /// actually attached), under the entry's write lock so the record's
+    /// position among the entry's updates matches the document state the
+    /// index was built over.
+    fn attach_tax_logged(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        built_over: &LoadedSource,
+        tax: Arc<TaxIndex>,
+    ) -> Result<(), EngineError> {
+        let _writer = entry.write_serial.lock();
+        let mut source = entry.source.write();
+        if let Some(current) = source.as_ref() {
+            if Arc::ptr_eq(&current.doc, &built_over.doc) {
+                self.durable_log(WalOp::BuildTaxIndex {
+                    doc: entry.name().to_string(),
+                })?;
+                *source = Some(Arc::new(current.with_tax(tax)));
+            }
+        }
+        Ok(())
     }
 
     /// Installs `tax` on the entry's source, but only if the source is
     /// still the one the index was built over — a concurrent reload makes
     /// the freshly built index describe a dead document, in which case it
     /// is discarded (the reload already invalidated it).
-    fn attach_tax(
+    pub(crate) fn attach_tax_restored(
         &self,
         entry: &Arc<DocumentEntry>,
         built_over: &LoadedSource,
@@ -563,8 +654,7 @@ impl Engine {
         // the positional label index from the live document so jump-scan
         // evaluation works for loaded indexes too.
         tax.attach_label_index(&snapshot.doc);
-        self.attach_tax(entry, &snapshot, Arc::new(tax));
-        Ok(())
+        self.attach_tax_logged(entry, &snapshot, Arc::new(tax))
     }
 
     pub(crate) fn register_policy_on(
@@ -577,8 +667,12 @@ impl Engine {
         let policy = AccessPolicy::parse((*dtd).clone(), policy_text)?;
         let spec = derive(&policy);
         spec.validate(&dtd)?;
-        self.install_view(entry, group, spec);
-        Ok(())
+        self.install_view(
+            entry,
+            group,
+            spec,
+            ViewSource::Policy(Arc::from(policy_text)),
+        )
     }
 
     pub(crate) fn register_view_spec_on(
@@ -591,17 +685,41 @@ impl Engine {
         if let Some(dtd) = entry.dtd.read().clone() {
             spec.validate(&dtd)?;
         }
-        self.install_view(entry, group, spec);
-        Ok(())
+        self.install_view(entry, group, spec, ViewSource::Spec(Arc::from(spec_text)))
     }
 
-    fn install_view(&self, entry: &Arc<DocumentEntry>, group: &str, spec: ViewSpec) {
+    fn install_view(
+        &self,
+        entry: &Arc<DocumentEntry>,
+        group: &str,
+        spec: ViewSpec,
+        source: ViewSource,
+    ) -> Result<(), EngineError> {
+        // Registrations serialize with the entry's other writers so the
+        // WAL interleaves view changes and updates in install order — a
+        // replayed group update must resolve against the same view
+        // version the original write saw.
+        let _writer = entry.write_serial.lock();
+        self.durable_log(match &source {
+            ViewSource::Policy(text) => WalOp::RegisterPolicy {
+                doc: entry.name().to_string(),
+                group: group.to_string(),
+                text: text.to_string(),
+            },
+            ViewSource::Spec(text) => WalOp::RegisterViewSpec {
+                doc: entry.name().to_string(),
+                group: group.to_string(),
+                text: text.to_string(),
+            },
+        })?;
         let slot = ViewSlot {
             spec: Arc::new(spec),
             generation: entry.next_view_generation(),
+            source,
         };
         entry.views.write().insert(group.to_string(), slot);
         self.plans.purge_view(entry.name(), group);
+        Ok(())
     }
 
     /// Plans `query` for `user` on `entry`: cache lookup first, full
@@ -715,10 +833,15 @@ impl Engine {
         let result = self.apply_updates_inner(entry, user, updates);
         self.tenants
             .record_update(user, updates.len(), result.as_ref().err());
+        if result.is_ok() {
+            // The periodic checkpoint cadence rides the update path (the
+            // only high-frequency durable mutation).
+            self.maybe_checkpoint();
+        }
         result
     }
 
-    fn apply_updates_inner(
+    pub(crate) fn apply_updates_inner(
         &self,
         entry: &Arc<DocumentEntry>,
         user: &User,
@@ -806,6 +929,18 @@ impl Engine {
         let raw = doc
             .shared_buffer()
             .unwrap_or_else(|| Arc::from(doc.to_xml()));
+        // Write-ahead: the accepted transaction is logged (statement
+        // texts + acting principal) before the snapshot is installed. A
+        // crash after this point recovers *with* the transaction; before
+        // it, without — either way a prefix, never a torn document.
+        self.durable_log(WalOp::Update {
+            doc: entry.name().to_string(),
+            group: match user {
+                User::Admin => None,
+                User::Group(g) => Some(g.clone()),
+            },
+            statements: updates.iter().map(|s| s.to_string()).collect(),
+        })?;
         *entry.source.write() = Some(Arc::new(LoadedSource {
             doc,
             raw: Some(raw),
@@ -1802,7 +1937,7 @@ mod tests {
         let engine = Engine::with_defaults();
         hospital::dtd(engine.vocabulary());
         let doc = hospital::generate_document(engine.vocabulary(), 9, 4_000);
-        engine.load_document_tree(doc);
+        engine.load_document_tree(doc).unwrap();
         engine.build_tax_index().unwrap();
         let admin = engine.session(User::Admin);
         // `test` is rare in the generated workload: auto must jump, and
@@ -1815,7 +1950,7 @@ mod tests {
         });
         hospital::dtd(scan_engine.vocabulary());
         let doc2 = hospital::generate_document(scan_engine.vocabulary(), 9, 4_000);
-        scan_engine.load_document_tree(doc2);
+        scan_engine.load_document_tree(doc2).unwrap();
         scan_engine.build_tax_index().unwrap();
         let scanned = scan_engine.session(User::Admin).query("//test").unwrap();
         assert_eq!(scanned.mode, ExecMode::Compiled);

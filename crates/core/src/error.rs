@@ -34,6 +34,9 @@ pub enum EngineError {
     /// not exist, or whose result would reveal hidden structure all
     /// produce this exact error, so denials leak nothing.
     UpdateDenied,
+    /// The durability layer failed: WAL append, checkpoint, corruption
+    /// found during recovery, or an injected crash (fault injection).
+    Durability(crate::durable::DurError),
 }
 
 impl EngineError {
@@ -60,6 +63,7 @@ impl EngineError {
             EngineError::BatchMismatch => 10,
             EngineError::Update(_) => 11,
             EngineError::UpdateDenied => 12,
+            EngineError::Durability(_) => 13,
         }
     }
 
@@ -79,6 +83,7 @@ impl EngineError {
             EngineError::BatchMismatch => "batch_mismatch",
             EngineError::Update(_) => "update",
             EngineError::UpdateDenied => "update_denied",
+            EngineError::Durability(_) => "durability",
         }
     }
 }
@@ -111,6 +116,7 @@ impl fmt::Display for EngineError {
             EngineError::UpdateDenied => {
                 write!(f, "update denied by the session's security policy")
             }
+            EngineError::Durability(e) => write!(f, "{e}"),
         }
     }
 }
@@ -123,6 +129,7 @@ impl std::error::Error for EngineError {
             EngineError::Policy(e) => Some(e),
             EngineError::View(e) => Some(e),
             EngineError::Update(e) => Some(e),
+            EngineError::Durability(e) => Some(e),
             _ => None,
         }
     }
@@ -204,5 +211,8 @@ mod tests {
         assert_eq!(EngineError::UpdateDenied.code(), 12);
         assert_eq!(EngineError::UpdateDenied.code_name(), "update_denied");
         assert_eq!(EngineError::AccessDenied.code(), 8);
+        let dur = EngineError::Durability(crate::durable::DurError::Crashed);
+        assert_eq!(dur.code(), 13);
+        assert_eq!(dur.code_name(), "durability");
     }
 }

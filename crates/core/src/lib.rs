@@ -54,6 +54,7 @@
 
 pub mod catalog;
 pub mod config;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod plancache;
@@ -64,6 +65,8 @@ mod sync;
 
 pub use catalog::{DocHandle, DocumentEntry};
 pub use config::{DocumentMode, EngineConfig, EvalMode};
+pub use durable::failpoints::{Failpoint, FailpointRegistry, ALL_FAILPOINTS};
+pub use durable::{DurError, Durability};
 pub use engine::{Answer, BatchAnswer, Engine, Session, UpdateReport, User, DEFAULT_DOCUMENT};
 pub use error::EngineError;
 pub use plancache::CacheMetrics;

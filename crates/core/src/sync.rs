@@ -38,6 +38,11 @@ impl<T> RwLock<T> {
 pub(crate) struct Mutex<T>(sync::Mutex<T>);
 
 impl<T> Mutex<T> {
+    /// Wraps `value`.
+    pub(crate) fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
     /// Acquires the lock.
     pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! smoqe-server serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!                    [--data-dir DIR]
 //!                    [--document NAME] [--dtd FILE --doc FILE]
 //!                    [--policy FILE --group NAME]
 //!                    [--rate R] [--burst B] [--inflight N] [--trace N]
@@ -13,6 +14,13 @@
 //! them the built-in hospital sample is installed, so
 //! `smoqe-server serve` alone yields a working multi-tenant server that
 //! `smoqe bench-traffic --addr ...` (or any wire client) can talk to.
+//!
+//! `--data-dir` makes the engine durable: a write-ahead log and
+//! checkpoints live in DIR, the catalog is recovered from them on boot
+//! (the socket answers `RECOVERING` error frames while replay runs), and
+//! a final checkpoint is taken on graceful drain. If the recovered
+//! catalog already holds `--document`, the `--dtd`/`--doc` files and the
+//! built-in sample are *not* re-loaded over it.
 //!
 //! `--rate`/`--burst`/`--inflight` set the default per-tenant admission
 //! quota (token-bucket rate, bucket size, max concurrent requests).
@@ -29,8 +37,8 @@
 
 use std::process::ExitCode;
 
-use smoqe::Engine;
-use smoqe_server::{Server, ServerConfig, TenantQuota};
+use smoqe::{Engine, EngineConfig};
+use smoqe_server::{RecoveryGate, Server, ServerConfig, TenantQuota};
 
 fn main() -> ExitCode {
     match run() {
@@ -88,11 +96,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 "smoqe-server - SMOQE network serving layer\n\
                  \n\
                  usage: smoqe-server serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
+                 \u{20}                         [--data-dir DIR]\n\
                  \u{20}                         [--document NAME] [--dtd FILE --doc FILE]\n\
                  \u{20}                         [--policy FILE --group NAME]\n\
                  \u{20}                         [--rate R] [--burst B] [--inflight N] [--trace N]\n\
                  \u{20}                         [--admin-token T] [--group-token T]\n\
                  \n\
+                 With --data-dir, mutations are write-ahead logged to DIR and the\n\
+                 catalog is recovered from it on boot (crash-safe restarts).\n\
                  Without --dtd/--doc, serves the built-in hospital sample (document\n\
                  'wards', group 'researchers'). Without --admin-token, admin sessions\n\
                  are accepted from loopback peers only. Shut down with the wire\n\
@@ -106,30 +117,60 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let engine = Engine::with_defaults();
+    // Bind before recovery so restarting clients reach a socket that
+    // answers RECOVERING instead of connection-refused.
+    let addr = args
+        .flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7464".to_string());
+    let listener = std::net::TcpListener::bind(&addr)?;
+
+    let engine = match args.flags.get("data-dir") {
+        Some(dir) => {
+            let gate = RecoveryGate::start(&listener)?;
+            let engine = Engine::recover(EngineConfig::default(), std::path::Path::new(dir))?;
+            gate.finish();
+            if engine.recovery_epoch() > 0 {
+                eprintln!("recovered {} (epoch {})", dir, engine.recovery_epoch());
+            }
+            engine
+        }
+        None => Engine::with_defaults(),
+    };
+
     let name = args
         .flags
         .get("document")
         .cloned()
         .unwrap_or_else(|| "wards".to_string());
+    // A recovered catalog already holds its documents; only a fresh (or
+    // in-memory) catalog gets the files / built-in sample loaded.
+    let recovered_doc = engine.document_names().contains(&name);
     let doc = engine.open_document(&name);
     let mut served_group = smoqe::workloads::hospital::GROUP.to_string();
     match (args.flags.get("dtd"), args.flags.get("doc")) {
         (Some(dtd), Some(doc_file)) => {
-            doc.load_dtd(&std::fs::read_to_string(dtd)?)?;
-            doc.load_document_file(doc_file)?;
+            if !recovered_doc {
+                doc.load_dtd(&std::fs::read_to_string(dtd)?)?;
+                doc.load_document_file(doc_file)?;
+            }
             if let Some(policy) = args.flags.get("policy") {
                 let group = args
                     .flags
                     .get("group")
                     .cloned()
                     .unwrap_or_else(|| "users".to_string());
-                doc.register_policy(&group, &std::fs::read_to_string(policy)?)?;
+                if !recovered_doc {
+                    doc.register_policy(&group, &std::fs::read_to_string(policy)?)?;
+                }
                 served_group = group;
             }
         }
         (None, None) => {
-            smoqe::workloads::hospital::install_sample(&doc)?;
+            if !recovered_doc {
+                smoqe::workloads::hospital::install_sample(&doc)?;
+            }
         }
         _ => return Err("--dtd and --doc must be given together".into()),
     }
@@ -145,11 +186,7 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         group_tokens.insert(served_group, token.clone());
     }
     let config = ServerConfig {
-        addr: args
-            .flags
-            .get("addr")
-            .cloned()
-            .unwrap_or_else(|| "127.0.0.1:7464".to_string()),
+        addr,
         workers: parsed(args, "workers", defaults.workers)?,
         queue_capacity: parsed(args, "queue", defaults.queue_capacity)?,
         trace_capacity: parsed(args, "trace", defaults.trace_capacity)?,
@@ -159,7 +196,7 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         ..defaults
     };
 
-    let handle = Server::start(engine, config)?;
+    let handle = Server::start_on(listener, engine, config)?;
     // Flushed line with the final address (port 0 resolves here) so
     // scripts — CI's smoke test included — can scrape it.
     println!("listening on {}", handle.local_addr());

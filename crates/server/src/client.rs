@@ -2,9 +2,13 @@
 //!
 //! One [`Client`] wraps one TCP connection and issues synchronous
 //! request/response roundtrips (request ids still increment, so traces on
-//! the server side stay distinguishable). It is deliberately dumb: no
-//! retry, no reconnect, no pooling — the traffic harness and tests build
-//! those behaviors on top where they can be observed.
+//! the server side stay distinguishable). It is deliberately simple — no
+//! reconnect, no pooling — but it can retry admission refusals for you:
+//! an opt-in [`RetryPolicy`] re-sends a request the server answered with
+//! `Busy`, waiting at least the server's `retry_after_ms` hint, with
+//! jittered exponential backoff and a bounded attempt count. Retrying a
+//! `Busy` is always safe: it means the request was *refused before
+//! execution*, never half-done.
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -76,12 +80,68 @@ impl From<std::io::Error> for ClientError {
 /// group: masked — see [`crate::proto::WireAnswer`]).
 pub use crate::proto::WireAnswer as RemoteAnswer;
 
+/// Opt-in retry behavior for `Busy` (admission-refused) responses.
+///
+/// The wait before attempt `n` is the larger of the server's
+/// `retry_after_ms` hint and `base_ms * 2^(n-1)`, capped at `cap_ms`,
+/// then jittered down by up to half (a deterministic xorshift stream
+/// seeded per client, so runs are reproducible and a fleet of retrying
+/// clients does not stampede in lockstep).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// First-retry backoff in milliseconds (doubles per attempt).
+    pub base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_ms: 5,
+            cap_ms: 500,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered wait before retry number `attempt` (1-based), given
+    /// the server's hint.
+    fn backoff_ms(&self, attempt: u32, hint_ms: u32, jitter: &mut u64) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
+        let full = u64::from(hint_ms).max(exp).min(self.cap_ms.max(1));
+        // Jitter into [ceil(full/2), full].
+        let half = full / 2;
+        full - xorshift(jitter) % (half + 1)
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = state.wrapping_add(0x9E37_79B9_7F4A_7C15).max(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
 /// A blocking connection to a SMOQE server.
 pub struct Client {
     stream: TcpStream,
     fb: FrameBuffer,
     next_id: u64,
     buf: Vec<u8>,
+    retry: Option<RetryPolicy>,
+    jitter: u64,
+    busy_retries: u64,
 }
 
 impl Client {
@@ -94,12 +154,29 @@ impl Client {
             fb: FrameBuffer::new(),
             next_id: 0,
             buf: vec![0u8; 64 * 1024],
+            retry: None,
+            jitter: 0,
+            busy_retries: 0,
         })
     }
 
     /// Caps how long a single response read may block.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
         self.stream.set_read_timeout(timeout)
+    }
+
+    /// Enables (or, with `None`, disables) transparent retry of `Busy`
+    /// responses. The jitter stream is reseeded from the policy.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.jitter = policy.map_or(0, |p| p.seed);
+        self.retry = policy;
+    }
+
+    /// How many `Busy` responses the retry policy has absorbed (each
+    /// retried attempt counts once; a final `Busy` that exhausts the
+    /// policy is returned to the caller and *not* counted here).
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
     }
 
     /// Sends `request` and returns the raw response frame, uninterpreted.
@@ -139,15 +216,31 @@ impl Client {
     }
 
     /// Sends `request` and decodes the response, mapping `Busy`/`Error`
-    /// frames to their error variants.
+    /// frames to their error variants. With a [`RetryPolicy`] installed,
+    /// `Busy` responses are retried in place (the refusal happened before
+    /// execution, so a re-send cannot double-apply) until the policy's
+    /// attempt budget runs out.
     pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let frame = self.request_raw(request)?;
-        let response = Response::decode(frame.op, &frame.payload)
-            .map_err(|e| ClientError::Protocol(e.to_string()))?;
-        match response {
-            Response::Busy { retry_after_ms } => Err(ClientError::Busy { retry_after_ms }),
-            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
-            other => Ok(other),
+        let mut attempt = 1u32;
+        loop {
+            let frame = self.request_raw(request)?;
+            let response = Response::decode(frame.op, &frame.payload)
+                .map_err(|e| ClientError::Protocol(e.to_string()))?;
+            match response {
+                Response::Busy { retry_after_ms } => match self.retry {
+                    Some(policy) if attempt < policy.max_attempts => {
+                        self.busy_retries += 1;
+                        let wait = policy.backoff_ms(attempt, retry_after_ms, &mut self.jitter);
+                        std::thread::sleep(Duration::from_millis(wait));
+                        attempt += 1;
+                    }
+                    _ => return Err(ClientError::Busy { retry_after_ms }),
+                },
+                Response::Error { code, message } => {
+                    return Err(ClientError::Remote { code, message })
+                }
+                other => return Ok(other),
+            }
         }
     }
 

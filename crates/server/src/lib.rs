@@ -61,8 +61,8 @@ pub mod trace;
 pub mod traffic;
 
 pub use admission::TenantQuota;
-pub use client::{Client, ClientError, RemoteAnswer};
+pub use client::{Client, ClientError, RemoteAnswer, RetryPolicy};
 pub use context::RequestContext;
 pub use proto::Principal;
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{RecoveryGate, Server, ServerConfig, ServerHandle};
 pub use traffic::{percentile, run_traffic, TrafficConfig, TrafficReport};

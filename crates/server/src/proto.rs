@@ -138,6 +138,10 @@ pub mod code {
     /// The response could not be framed because some length exceeded the
     /// `u32` wire prefix. The request is lost; the stream stays in sync.
     pub const RESPONSE_TOO_LARGE: u16 = 109;
+    /// The server is replaying its write-ahead log after a restart; the
+    /// request was not processed. Retry shortly — the address is right,
+    /// the data just is not ready yet.
+    pub const RECOVERING: u16 = 110;
 }
 
 // ---------------------------------------------------------------------------
@@ -1096,6 +1100,14 @@ pub struct WireStats {
     pub busy_total: u64,
     /// Trace entries dropped because the ring was full.
     pub trace_dropped: u64,
+    /// The engine's recovery epoch: 0 for an in-memory engine or a fresh
+    /// data directory, +1 per crash recovery. Counters restart from zero
+    /// each epoch, so a consumer seeing this advance knows the zeros mean
+    /// "recovered", not "idle".
+    pub epoch: u64,
+    /// Connections dropped because the client stopped reading and a
+    /// response write timed out (slow-reader protection).
+    pub slow_client_drops: u64,
     /// Per-tenant counters (admin sees all tenants; a group principal
     /// sees only its own row).
     pub tenants: Vec<WireTenant>,
@@ -1124,7 +1136,9 @@ impl WireStats {
             .u64(self.queue_capacity)
             .u64(self.requests_total)
             .u64(self.busy_total)
-            .u64(self.trace_dropped);
+            .u64(self.trace_dropped)
+            .u64(self.epoch)
+            .u64(self.slow_client_drops);
         e.len32(self.tenants.len());
         for t in &self.tenants {
             t.encode(e);
@@ -1152,6 +1166,8 @@ impl WireStats {
             requests_total: d.u64()?,
             busy_total: d.u64()?,
             trace_dropped: d.u64()?,
+            epoch: d.u64()?,
+            slow_client_drops: d.u64()?,
             ..WireStats::default()
         };
         let nt = d.u32()? as usize;
@@ -1480,6 +1496,8 @@ mod tests {
             requests_total: 10_000,
             busy_total: 12,
             trace_dropped: 1,
+            epoch: 3,
+            slow_client_drops: 2,
             tenants: vec![WireTenant {
                 tenant: "nurse".into(),
                 queries: 9,

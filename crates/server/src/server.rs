@@ -139,9 +139,54 @@ struct Job {
     ctx: RequestContext,
     request: Request,
     session: Arc<Session>,
-    out: Arc<Mutex<TcpStream>>,
+    out: Arc<ConnWriter>,
     admitted: Instant,
     _slot: InflightGuard,
+}
+
+/// The write half of a connection, shared between its reader thread and
+/// any workers answering its queued requests.
+///
+/// **Slow-reader protection:** every write runs under the socket's write
+/// timeout. The first timeout (or any other write error) marks the
+/// connection dead and shuts the socket down — a client that stops
+/// draining its receive buffer costs at most one write-timeout of one
+/// worker's time, instead of wedging a worker per pipelined response.
+/// The shutdown also pops the reader thread out of its blocking read, so
+/// the connection (and its tenant's admission slots, held by queued
+/// jobs) is released promptly.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    dead: AtomicBool,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> ConnWriter {
+        ConnWriter {
+            stream: Mutex::new(stream),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Writes one response frame; on any failure (including a write
+    /// timeout against a full send buffer) drops the connection.
+    fn write(&self, shared: &Shared, bytes: &[u8]) {
+        if self.is_dead() {
+            return;
+        }
+        let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        if stream.write_all(bytes).is_err() {
+            if !self.dead.swap(true, Ordering::AcqRel) {
+                shared.slow_client_drops.fetch_add(1, Ordering::Relaxed);
+            }
+            // Unblock the reader; later writes are skipped via the flag.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
 }
 
 struct Shared {
@@ -155,6 +200,7 @@ struct Shared {
     responses_total: AtomicU64,
     queue_full_busy: AtomicU64,
     control_busy: AtomicU64,
+    slow_client_drops: AtomicU64,
     addr: SocketAddr,
 }
 
@@ -202,6 +248,19 @@ impl Server {
     /// Binds, spawns the worker pool and the accept loop, and returns.
     pub fn start(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
+        Server::start_on(listener, engine, config)
+    }
+
+    /// Like [`Server::start`], but serves an already-bound listener —
+    /// the recovery path binds early (so clients get a typed
+    /// `RECOVERING` answer instead of connection-refused, via
+    /// [`RecoveryGate`]) and hands the socket over once the engine is
+    /// ready. `config.addr` is ignored.
+    pub fn start_on(
+        listener: TcpListener,
+        engine: Arc<Engine>,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             admission: Admission::new(
@@ -216,6 +275,7 @@ impl Server {
             responses_total: AtomicU64::new(0),
             queue_full_busy: AtomicU64::new(0),
             control_busy: AtomicU64::new(0),
+            slow_client_drops: AtomicU64::new(0),
             engine,
             config,
             addr,
@@ -267,6 +327,10 @@ impl ServerHandle {
     /// Waits for drain to complete: acceptor gone, queue empty, workers
     /// and readers exited. Call [`shutdown`](ServerHandle::shutdown)
     /// first (or send the wire op), or this blocks until someone does.
+    ///
+    /// A durable engine is checkpointed after the last request finishes,
+    /// so a graceful drain leaves an empty WAL and the next boot replays
+    /// nothing.
     pub fn join(mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
@@ -277,6 +341,74 @@ impl ServerHandle {
         let readers = std::mem::take(&mut *self.readers.lock().unwrap_or_else(|e| e.into_inner()));
         for r in readers {
             let _ = r.join();
+        }
+        if let Err(e) = self.shared.engine.checkpoint() {
+            eprintln!("smoqe-server: shutdown checkpoint failed: {e}");
+        }
+    }
+}
+
+/// Answers connections with a typed `RECOVERING` error while the engine
+/// replays its write-ahead log, so restarting clients see "the server is
+/// here, retry shortly" instead of connection-refused.
+///
+/// Bind the listener first, start the gate on a clone, run
+/// [`smoqe::Engine::recover`], then [`finish`](RecoveryGate::finish) the
+/// gate and hand the listener to [`Server::start_on`].
+pub struct RecoveryGate {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RecoveryGate {
+    /// Starts answering `listener`'s connections with `RECOVERING`.
+    pub fn start(listener: &TcpListener) -> std::io::Result<RecoveryGate> {
+        let gate_listener = listener.try_clone()?;
+        let addr = gate_listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("smoqe-recovery-gate".to_string())
+                .spawn(move || {
+                    for stream in gate_listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if let Ok(mut s) = stream {
+                            let frame = Response::Error {
+                                code: code::RECOVERING,
+                                message: "server is recovering; retry shortly".to_string(),
+                            }
+                            .encode(0);
+                            let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
+                            let _ = s.write_all(&frame);
+                        }
+                    }
+                })?
+        };
+        Ok(RecoveryGate {
+            stop,
+            addr,
+            thread: Some(thread),
+        })
+    }
+
+    /// Stops the gate; the listener is free for [`Server::start_on`].
+    pub fn finish(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Pop the gate thread out of accept() (same trick as begin_drain).
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
         }
     }
 }
@@ -381,7 +513,7 @@ fn execute(job: &Job) -> Response {
 fn finish(
     shared: &Arc<Shared>,
     ctx: &RequestContext,
-    out: &Arc<Mutex<TcpStream>>,
+    out: &Arc<ConnWriter>,
     started: Instant,
     response: Response,
 ) {
@@ -395,13 +527,7 @@ fn finish(
     if !matches!(response, Response::Busy { .. }) {
         shared.responses_total.fetch_add(1, Ordering::Relaxed);
     }
-    write_bytes(out, &response.encode(ctx.request_id));
-}
-
-fn write_bytes(out: &Arc<Mutex<TcpStream>>, bytes: &[u8]) {
-    let mut stream = out.lock().unwrap_or_else(|e| e.into_inner());
-    // A dead client is its own problem; the server must not care.
-    let _ = stream.write_all(bytes);
+    out.write(shared, &response.encode(ctx.request_id));
 }
 
 /// Per-connection reader: parses frames, serves control ops inline, and
@@ -411,7 +537,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let _ = stream.set_nodelay(true);
     let out = match stream.try_clone() {
-        Ok(s) => Arc::new(Mutex::new(s)),
+        Ok(s) => Arc::new(ConnWriter::new(s)),
         Err(_) => return,
     };
     // The trust anchor for tokenless admin Hellos: the kernel-reported
@@ -447,8 +573,8 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                             // find the next frame boundary): report and
                             // close. This is the *only* protocol failure
                             // that costs the connection.
-                            write_bytes(
-                                &out,
+                            out.write(
+                                shared,
                                 &Response::Error {
                                     code: fe.code(),
                                     message: fe.to_string(),
@@ -458,6 +584,9 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                             break 'conn;
                         }
                     }
+                }
+                if out.is_dead() {
+                    break; // slow-reader drop: stop parsing its requests
                 }
             }
             Err(e)
@@ -469,7 +598,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 // handle to the socket, so anything still queued writes
                 // before the OS tears the pair down — but exiting early
                 // would race the last writes; wait for quiet).
-                if shared.draining() && shared.queue.is_empty() {
+                if out.is_dead() || (shared.draining() && shared.queue.is_empty()) {
                     break;
                 }
             }
@@ -525,7 +654,7 @@ fn authenticate(
 fn handle_frame(
     shared: &Arc<Shared>,
     conn: &Conn,
-    out: &Arc<Mutex<TcpStream>>,
+    out: &Arc<ConnWriter>,
     session: &mut Option<(Arc<Session>, Principal)>,
     frame: crate::proto::Frame,
 ) -> bool {
@@ -533,8 +662,8 @@ fn handle_frame(
     let request = match Request::decode(frame.op, &frame.payload) {
         Ok(r) => r,
         Err(None) => {
-            write_bytes(
-                out,
+            out.write(
+                shared,
                 &Response::Error {
                     code: code::UNSUPPORTED_OP,
                     message: format!("unsupported op 0x{:02x}", frame.op),
@@ -546,8 +675,8 @@ fn handle_frame(
         Err(Some(_)) => {
             // Framing is intact (we found the boundary), so a bad payload
             // costs only this request.
-            write_bytes(
-                out,
+            out.write(
+                shared,
                 &Response::Error {
                     code: code::MALFORMED_FRAME,
                     message: "malformed frame payload".to_string(),
@@ -561,7 +690,7 @@ fn handle_frame(
     // Ops that need no session.
     match &request {
         Request::Ping => {
-            write_bytes(out, &Response::Pong.encode(frame.request_id));
+            out.write(shared, &Response::Pong.encode(frame.request_id));
             return true;
         }
         Request::Hello {
@@ -626,8 +755,8 @@ fn handle_frame(
     }
 
     let Some((bound_session, principal)) = session.as_ref() else {
-        write_bytes(
-            out,
+        out.write(
+            shared,
             &Response::Error {
                 code: code::HELLO_REQUIRED,
                 message: "hello required before this op".to_string(),
@@ -815,6 +944,8 @@ fn build_stats(shared: &Arc<Shared>, principal: &Principal, include_trace: bool)
     s.busy_total = shared.admission.busy_total()
         + shared.queue_full_busy.load(Ordering::Relaxed)
         + shared.control_busy.load(Ordering::Relaxed);
+    s.epoch = shared.engine.recovery_epoch();
+    s.slow_client_drops = shared.slow_client_drops.load(Ordering::Relaxed);
 
     let own = match principal {
         Principal::Admin => None,

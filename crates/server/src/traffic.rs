@@ -19,7 +19,7 @@
 
 use std::time::{Duration, Instant};
 
-use crate::client::{Client, ClientError};
+use crate::client::{Client, ClientError, RetryPolicy};
 use crate::proto::Principal;
 
 /// Deterministic per-session request mix generator (xorshift64*).
@@ -289,6 +289,16 @@ fn run_session(config: &TrafficConfig, si: usize) -> Result<SessionOutcome, Clie
     let principal = config.principals[si % config.principals.len().max(1)].clone();
     let mut client = Client::connect(&config.addr)?;
     client.set_timeout(Some(Duration::from_secs(60))).ok();
+    // The client's own retry policy absorbs Busy refusals: at least the
+    // server's retry_after hint, exponential past it, capped at 100ms so
+    // a saturated run still makes progress, jittered per-session so the
+    // fleet doesn't stampede the admission gate in lockstep.
+    client.set_retry_policy(Some(RetryPolicy {
+        max_attempts: config.busy_retries.saturating_add(1),
+        base_ms: 2,
+        cap_ms: 100,
+        seed: config.seed ^ (si as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+    }));
     let auth = if principal.is_admin() {
         config.admin_token.as_deref()
     } else {
@@ -308,45 +318,41 @@ fn run_session(config: &TrafficConfig, si: usize) -> Result<SessionOutcome, Clie
 
     for i in 0..config.requests_per_session {
         let op = pick_op(config, &mut rng, principal.is_admin(), si, i);
-        let mut attempts = 0;
-        loop {
-            let t0 = Instant::now();
-            let result = match &op {
-                Op::Read(q) => client.query(q).map(drop),
-                Op::Batch(qs) => {
-                    let refs: Vec<&str> = qs.iter().map(String::as_str).collect();
-                    client.query_batch(&refs).map(drop)
-                }
-                Op::Write(stmts) => {
-                    let refs: Vec<&str> = stmts.iter().map(String::as_str).collect();
-                    client.update_batch(&refs).map(drop)
-                }
-            };
-            match result {
-                Ok(()) => {
-                    outcome
-                        .latencies
-                        .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-                    break;
-                }
-                Err(ClientError::Busy { retry_after_ms }) => {
-                    outcome.busy += 1;
-                    attempts += 1;
-                    if attempts > config.busy_retries {
-                        outcome.starved += 1;
-                        break;
-                    }
-                    std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms.min(100))));
-                }
-                Err(ClientError::Remote { .. }) => {
-                    outcome.errors += 1;
-                    break;
-                }
-                Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {
-                    // The connection is gone; the session cannot continue.
-                    outcome.protocol_errors += 1;
-                    return Ok(outcome);
-                }
+        let retries_before = client.busy_retries();
+        let t0 = Instant::now();
+        let result = match &op {
+            Op::Read(q) => client.query(q).map(drop),
+            Op::Batch(qs) => {
+                let refs: Vec<&str> = qs.iter().map(String::as_str).collect();
+                client.query_batch(&refs).map(drop)
+            }
+            Op::Write(stmts) => {
+                let refs: Vec<&str> = stmts.iter().map(String::as_str).collect();
+                client.update_batch(&refs).map(drop)
+            }
+        };
+        // Busy refusals the policy retried through still count, so the
+        // report's `busy` column keeps its meaning under the new client.
+        outcome.busy += client.busy_retries() - retries_before;
+        match result {
+            Ok(()) => {
+                // Client-perceived completion time, backoff included.
+                outcome
+                    .latencies
+                    .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+            Err(ClientError::Busy { .. }) => {
+                // The policy's attempt budget ran out: starved.
+                outcome.busy += 1;
+                outcome.starved += 1;
+            }
+            Err(ClientError::Remote { .. }) => {
+                outcome.errors += 1;
+            }
+            Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {
+                // The connection is gone; the session cannot continue.
+                outcome.protocol_errors += 1;
+                return Ok(outcome);
             }
         }
     }

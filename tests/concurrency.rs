@@ -358,7 +358,7 @@ fn mid_batch_readers_complete_on_exactly_one_snapshot() {
         let vocab = engine.vocabulary().clone();
         hospital::generate_document(&vocab, 7, 20_000)
     };
-    doc.load_document_tree(tree);
+    doc.load_document_tree(tree).unwrap();
     let queries = ["//medication", "//pname", "//patient"];
     let statement = "insert <patient><pname>Raced</pname><visit><treatment>\
                      <medication>autism</medication></treatment><date>d</date></visit>\

@@ -145,7 +145,7 @@ proptest! {
         let engine = Engine::with_defaults();
         engine.load_dtd(hospital::DTD).unwrap();
         let initial = hospital::generate_document(engine.vocabulary(), doc_seed, 300);
-        engine.load_document_tree(initial);
+        engine.load_document_tree(initial).unwrap();
         engine.build_tax_index().unwrap();
         let handle = engine.document_handle(smoqe::DEFAULT_DOCUMENT).unwrap();
 
@@ -215,7 +215,7 @@ fn batch_answers_are_independent_of_eval_threads() {
         });
         hospital::dtd(engine.vocabulary());
         let doc = hospital::generate_document(engine.vocabulary(), 3, 2_000);
-        engine.load_document_tree(doc);
+        engine.load_document_tree(doc).unwrap();
         engine.build_tax_index().unwrap();
         let session = engine.session(User::Admin);
         let batch = session.query_batch(&queries).unwrap();

@@ -9,12 +9,13 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use smoqe::{workloads::hospital, Engine};
+use smoqe::{workloads::hospital, Engine, EngineConfig};
 use smoqe_server::proto::{
     code, encode_frame, op, Frame, FrameBuffer, Request, Response, DEFAULT_MAX_FRAME_LEN,
 };
 use smoqe_server::{
-    Client, ClientError, Principal, Server, ServerConfig, ServerHandle, TenantQuota,
+    Client, ClientError, Principal, RecoveryGate, RetryPolicy, Server, ServerConfig, ServerHandle,
+    TenantQuota,
 };
 
 /// Hospital sample under the catalog name `wards`, plus a second group so
@@ -633,5 +634,194 @@ fn drain_completes_pipelined_in_flight_queries() {
     assert!(answered > 0, "in-flight work completed during the drain");
 
     // The drain terminates everything: join() returns.
+    handle.join();
+}
+
+// -------------------------------------------------------------------------
+// Durability at the wire: slow readers, the recovery gate, retry policy
+// -------------------------------------------------------------------------
+
+/// A unique scratch directory removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "smoqe-server-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn a_reader_that_stops_reading_is_dropped_not_waited_on() {
+    let (handle, _engine) = start_server(ServerConfig {
+        write_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+
+    // An admin connection floods the server with pipelined batches whose
+    // responses serialize the whole document 256 times each — then never
+    // reads a byte. The kernel buffers fill, the server's response write
+    // stalls past write_timeout, and the connection must be dropped.
+    let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut fb = FrameBuffer::new();
+    s.write_all(
+        &Request::Hello {
+            document: "wards".into(),
+            principal: Principal::Admin,
+            auth: None,
+        }
+        .encode(1),
+    )
+    .unwrap();
+    assert_eq!(read_raw_frame(&mut s, &mut fb).unwrap().op, op::HELLO_OK);
+    let batch = Request::QueryBatch {
+        queries: vec!["hospital/patient".to_string(); 256],
+    };
+    for i in 0..40u64 {
+        if s.write_all(&batch.encode(100 + i)).is_err() {
+            break; // already shut down on us — that is the point
+        }
+    }
+
+    // The server notices within write_timeout (plus execution slack) and
+    // accounts the drop.
+    let mut admin = connect(&handle);
+    admin.hello("wards", Principal::Admin).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats = admin.stats(false).unwrap();
+        if stats.slow_client_drops >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never recorded a slow-client drop"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // The stalled connection really is severed: draining what the kernel
+    // buffered ends in EOF (or a reset), never a fresh response.
+    let mut sink = [0u8; 65536];
+    loop {
+        match s.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+
+    // And its worker + admission slots are free again: a well-behaved
+    // client gets served immediately.
+    let mut client = researcher(&handle);
+    assert!(!client.query("//medication").unwrap().xml.is_empty());
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn recovery_gate_answers_recovering_then_the_recovered_catalog_serves() {
+    let dir = TempDir::new("gate");
+
+    // Seed a durable catalog and crash it without a clean shutdown: the
+    // marker update exists only in the WAL tail.
+    {
+        let engine = Engine::recover(EngineConfig::default(), &dir.0).unwrap();
+        let doc = engine.open_document("wards");
+        hospital::install_sample(&doc).unwrap();
+        doc.update(
+            "insert <patient><pname>durable-marker</pname><visit><treatment>\
+             <medication>autism</medication></treatment><date>d</date></visit>\
+             </patient> into hospital",
+        )
+        .unwrap();
+    }
+
+    // Bind the socket first; while recovery replays, the gate answers
+    // RECOVERING error frames instead of refusing connections.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let gate = RecoveryGate::start(&listener).unwrap();
+    let gate_addr = listener.local_addr().unwrap();
+    {
+        let mut s = TcpStream::connect(gate_addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(&Request::Ping.encode(1)).unwrap();
+        let mut fb = FrameBuffer::new();
+        let frame = read_raw_frame(&mut s, &mut fb).expect("gate answers, never refuses");
+        match Response::decode(frame.op, &frame.payload).unwrap() {
+            Response::Error { code: c, .. } => assert_eq!(c, code::RECOVERING),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    let engine = Engine::recover(EngineConfig::default(), &dir.0).unwrap();
+    assert!(engine.recovery_epoch() >= 1);
+    gate.finish();
+    let handle = Server::start_on(listener, engine.clone(), ServerConfig::default()).unwrap();
+
+    // The same socket now serves the recovered catalog, WAL tail included.
+    let mut admin = connect(&handle);
+    admin.hello("wards", Principal::Admin).unwrap();
+    let answer = admin.query("//pname").unwrap();
+    assert!(
+        answer.xml.iter().any(|x| x.contains("durable-marker")),
+        "the WAL-tail update must survive into the served catalog"
+    );
+
+    // Stats surface the recovery epoch on the wire.
+    let stats = admin.stats(false).unwrap();
+    assert_eq!(stats.epoch, engine.recovery_epoch());
+    assert!(stats.epoch >= 1);
+    assert_eq!(stats.slow_client_drops, 0);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn retry_policy_rides_out_busy_refusals() {
+    let (handle, _engine) = start_server(ServerConfig {
+        default_quota: TenantQuota {
+            rate_per_sec: 10.0,
+            burst: 1,
+            max_inflight: 4,
+        },
+        ..ServerConfig::default()
+    });
+
+    // Back-to-back queries from one researcher overrun a burst-1 bucket,
+    // so without retries some would surface Busy. The policy absorbs
+    // them: every request completes, and the retries are observable.
+    let mut client = researcher(&handle);
+    client.set_retry_policy(Some(RetryPolicy {
+        max_attempts: 12,
+        base_ms: 5,
+        cap_ms: 300,
+        seed: 42,
+    }));
+    for _ in 0..4 {
+        assert!(!client.query("//medication").unwrap().xml.is_empty());
+    }
+    assert!(
+        client.busy_retries() >= 1,
+        "burst-1 quota must have refused at least one attempt"
+    );
+
+    handle.shutdown();
     handle.join();
 }

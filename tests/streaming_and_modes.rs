@@ -183,7 +183,7 @@ fn large_generated_document_through_engine_with_all_features() {
     let e = Engine::with_defaults();
     e.load_dtd(hospital::DTD).unwrap();
     let doc = hospital::generate_document(e.vocabulary(), 5, 30_000);
-    e.load_document_tree(doc);
+    e.load_document_tree(doc).unwrap();
     e.build_tax_index().unwrap();
     e.register_policy("g", hospital::POLICY).unwrap();
     let s = e.session(User::Group("g".into()));
@@ -194,7 +194,7 @@ fn large_generated_document_through_engine_with_all_features() {
     let plain = Engine::new(EngineConfig::plain());
     plain.load_dtd(hospital::DTD).unwrap();
     let doc2 = hospital::generate_document(plain.vocabulary(), 5, 30_000);
-    plain.load_document_tree(doc2);
+    plain.load_document_tree(doc2).unwrap();
     plain.register_policy("g", hospital::POLICY).unwrap();
     let b = plain
         .session(User::Group("g".into()))

@@ -129,7 +129,7 @@ proptest! {
         let engine = Engine::with_defaults();
         let vocab = engine.vocabulary().clone();
         engine.load_dtd(hospital::DTD).unwrap();
-        engine.load_document_tree(hospital::generate_document(&vocab, seed, 250));
+        engine.load_document_tree(hospital::generate_document(&vocab, seed, 250)).unwrap();
         engine.build_tax_index().unwrap();
 
         let mut applied_any = false;
@@ -180,7 +180,7 @@ proptest! {
         let engine = Engine::with_defaults();
         let vocab = engine.vocabulary().clone();
         engine.load_dtd(hospital::DTD).unwrap();
-        engine.load_document_tree(hospital::generate_document(&vocab, seed, 200));
+        engine.load_document_tree(hospital::generate_document(&vocab, seed, 200)).unwrap();
         engine
             .register_policy(hospital::GROUP, hospital::POLICY)
             .unwrap();
