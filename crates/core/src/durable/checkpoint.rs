@@ -65,6 +65,31 @@ pub(crate) struct Checkpoint {
     pub(crate) docs: Vec<CheckpointDoc>,
 }
 
+/// Refuses a capture the `u32` framing cannot represent: `put_str`'s
+/// length cast would silently truncate and the resulting file — checksum
+/// intact — would never decode, burning both checkpoint slots over time.
+fn check_framing(ckpt: &Checkpoint) -> Result<(), DurError> {
+    fn check(doc: &str, what: &str, len: usize) -> Result<(), DurError> {
+        if len > u32::MAX as usize {
+            return Err(DurError::Checkpoint(format!(
+                "document '{doc}': {what} of {len} bytes exceeds the u32 framing limit"
+            )));
+        }
+        Ok(())
+    }
+    for doc in &ckpt.docs {
+        check(&doc.name, "name", doc.name.len())?;
+        check(&doc.name, "dtd", doc.dtd.as_ref().map_or(0, String::len))?;
+        check(&doc.name, "xml", doc.xml.as_ref().map_or(0, String::len))?;
+        check(&doc.name, "tax index", doc.tax.len())?;
+        for (group, _, text) in &doc.views {
+            check(&doc.name, "view group", group.len())?;
+            check(&doc.name, "view text", text.len())?;
+        }
+    }
+    Ok(())
+}
+
 fn encode(ckpt: &Checkpoint) -> Vec<u8> {
     let mut out = Vec::with_capacity(4096);
     out.extend_from_slice(MAGIC);
@@ -183,6 +208,7 @@ pub(crate) fn write_checkpoint(
     ckpt: &Checkpoint,
     failpoints: &FailpointRegistry,
 ) -> Result<PathBuf, DurError> {
+    check_framing(ckpt)?;
     let bytes = encode(ckpt);
     let tmp = dir.join("checkpoint.tmp");
     let mut file = std::fs::File::create(&tmp).map_err(DurError::Io)?;

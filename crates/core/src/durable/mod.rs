@@ -70,6 +70,16 @@ pub enum DurError {
     },
     /// Checkpoint files exist but none passes its checksum.
     Checkpoint(String),
+    /// The operation's WAL record would exceed the per-record ceiling
+    /// that recovery enforces. The operation is refused before any bytes
+    /// reach the log, so the log stays recoverable and the engine stays
+    /// alive.
+    RecordTooLarge {
+        /// Encoded payload size the record would have had.
+        size: u64,
+        /// The enforced ceiling ([`wal::MAX_RECORD`]).
+        limit: u64,
+    },
     /// Replaying the record with this LSN failed against the recovered
     /// state — the log and the checkpoint disagree.
     Replay {
@@ -93,6 +103,11 @@ impl std::fmt::Display for DurError {
                 write!(f, "write-ahead log corrupt at byte {offset}: {detail}")
             }
             DurError::Checkpoint(detail) => write!(f, "checkpoint unreadable: {detail}"),
+            DurError::RecordTooLarge { size, limit } => write!(
+                f,
+                "operation refused: its WAL record would be {size} bytes, \
+                 over the {limit}-byte ceiling recovery enforces"
+            ),
             DurError::Replay { lsn, detail } => {
                 write!(f, "replay of WAL record {lsn} failed: {detail}")
             }
@@ -185,8 +200,13 @@ impl Durability {
             Err(e) => {
                 // A failed append may have left partial bytes at the log
                 // tail; appending more would bury them mid-log and turn a
-                // recoverable torn tail into corruption. Dead it is.
-                self.dead.store(true, Ordering::Release);
+                // recoverable torn tail into corruption. Dead it is — with
+                // one exception: an oversized record is refused before any
+                // byte reaches the log, so the log is intact and the
+                // engine keeps serving (only that operation fails).
+                if !matches!(e, DurError::RecordTooLarge { .. }) {
+                    self.dead.store(true, Ordering::Release);
+                }
                 Err(e)
             }
         }
@@ -287,10 +307,12 @@ impl Engine {
     /// append raced the capture, empties the WAL. Returns the LSN the
     /// checkpoint covers, or `Ok(None)` for a non-durable engine.
     ///
-    /// The capture takes every entry's write lock (in name order), so it
-    /// is a consistent cut: no logged-but-uninstalled record can fall at
-    /// or below the checkpoint's LSN. Readers are never blocked — they
-    /// evaluate on `Arc` snapshots.
+    /// The capture takes every entry's write lock (in name order) and
+    /// re-lists the catalog after reading the cut LSN, retrying until the
+    /// locked set covers every entry — a consistent cut: no logged record
+    /// can fall at or below the checkpoint's LSN without its document in
+    /// the capture, even when documents are created concurrently. Readers
+    /// are never blocked — they evaluate on `Arc` snapshots.
     pub fn checkpoint(&self) -> Result<Option<u64>, EngineError> {
         let Some(durable) = self.durable.get() else {
             return Ok(None);
@@ -299,56 +321,78 @@ impl Engine {
             return Err(dur_err(DurError::Crashed));
         }
         let _one = durable.checkpoint_serial.lock();
-        let entries = self.catalog().entries_sorted();
-        let guards: Vec<_> = entries.iter().map(|e| e.write_serial.lock()).collect();
-        let last_lsn = durable.writer.lock().next_lsn() - 1;
-        let mut docs = Vec::with_capacity(entries.len());
-        for entry in &entries {
-            if entry.is_dropped() {
-                continue; // dropped between listing and locking
-            }
-            let snapshot = entry.source.read().clone();
-            let dtd_text = entry.dtd_text.read().clone().map(|t| t.to_string());
-            let mut views: Vec<(String, ViewKind, String)> = entry
-                .views
-                .read()
+        // The cut is only consistent if every entry that could have logged
+        // a record at or below `last_lsn` is locked during the capture. An
+        // entry created *after* the listing is not — its loads could
+        // append before we read the LSN, giving acknowledged records at or
+        // below the cut with the document absent from the capture (and
+        // lost when the log truncates). So: list, lock, read the LSN, then
+        // re-list. Any append that beat the LSN read came from an entry
+        // that was already in the catalog at that point, so a re-listing
+        // that shows nothing outside the locked set proves the cut is
+        // closed; otherwise release and retry (rare — a document was
+        // created mid-capture).
+        let (docs, last_lsn) = loop {
+            let entries = self.catalog().entries_sorted();
+            let guards: Vec<_> = entries.iter().map(|e| e.write_serial.lock()).collect();
+            let last_lsn = durable.writer.lock().next_lsn() - 1;
+            let covered = self
+                .catalog()
+                .entries_sorted()
                 .iter()
-                .map(|(group, slot)| {
-                    let (kind, text) = match &slot.source {
-                        ViewSource::Policy(t) => (ViewKind::Policy, t.to_string()),
-                        ViewSource::Spec(t) => (ViewKind::Spec, t.to_string()),
-                    };
-                    (group.clone(), kind, text)
-                })
-                .collect();
-            views.sort_by(|a, b| a.0.cmp(&b.0));
-            let (xml, tax) = match &snapshot {
-                None => (None, Vec::new()),
-                Some(source) => {
-                    let xml = source
-                        .raw
-                        .clone()
-                        .unwrap_or_else(|| Arc::from(source.doc.to_xml()))
-                        .to_string();
-                    let mut tax_bytes = Vec::new();
-                    if let Some(tax) = &source.tax {
-                        tax.save(&mut tax_bytes, self.vocabulary())
-                            .map_err(EngineError::Xml)?;
-                    }
-                    (Some(xml), tax_bytes)
+                .all(|seen| entries.iter().any(|locked| Arc::ptr_eq(locked, seen)));
+            if !covered {
+                drop(guards);
+                continue;
+            }
+            let mut docs = Vec::with_capacity(entries.len());
+            for entry in &entries {
+                if entry.is_dropped() {
+                    continue; // dropped between listing and locking
                 }
-            };
-            docs.push(CheckpointDoc {
-                name: entry.name().to_string(),
-                generation: entry.generation(),
-                counter: entry.counter_value(),
-                dtd: dtd_text,
-                xml,
-                views,
-                tax,
-            });
-        }
-        drop(guards);
+                let snapshot = entry.source.read().clone();
+                let dtd_text = entry.dtd_text.read().clone().map(|t| t.to_string());
+                let mut views: Vec<(String, ViewKind, String)> = entry
+                    .views
+                    .read()
+                    .iter()
+                    .map(|(group, slot)| {
+                        let (kind, text) = match &slot.source {
+                            ViewSource::Policy(t) => (ViewKind::Policy, t.to_string()),
+                            ViewSource::Spec(t) => (ViewKind::Spec, t.to_string()),
+                        };
+                        (group.clone(), kind, text)
+                    })
+                    .collect();
+                views.sort_by(|a, b| a.0.cmp(&b.0));
+                let (xml, tax) = match &snapshot {
+                    None => (None, Vec::new()),
+                    Some(source) => {
+                        let xml = source
+                            .raw
+                            .clone()
+                            .unwrap_or_else(|| Arc::from(source.doc.to_xml()))
+                            .to_string();
+                        let mut tax_bytes = Vec::new();
+                        if let Some(tax) = &source.tax {
+                            tax.save(&mut tax_bytes, self.vocabulary())
+                                .map_err(EngineError::Xml)?;
+                        }
+                        (Some(xml), tax_bytes)
+                    }
+                };
+                docs.push(CheckpointDoc {
+                    name: entry.name().to_string(),
+                    generation: entry.generation(),
+                    counter: entry.counter_value(),
+                    dtd: dtd_text,
+                    xml,
+                    views,
+                    tax,
+                });
+            }
+            break (docs, last_lsn); // entry locks release here
+        };
         let ckpt = Checkpoint {
             epoch: durable.epoch,
             last_lsn,
@@ -408,11 +452,17 @@ impl Engine {
 fn restore_checkpoint(engine: &Arc<Engine>, ckpt: &Checkpoint) -> Result<(), EngineError> {
     for doc in &ckpt.docs {
         let entry = engine.catalog().entry_or_create(&doc.name);
-        if let Some(dtd) = &doc.dtd {
-            engine.load_dtd_on(&entry, dtd)?;
-        }
+        // Document before DTD: the checkpoint is a trusted capture of
+        // state the engine already accepted, and the live engine permits
+        // registering a DTD the installed document does not match
+        // (`load_dtd_on` never revalidates). Restoring DTD-first would
+        // re-validate in `load_document_on` and refuse that live-legal
+        // state on every boot.
         if let Some(xml) = &doc.xml {
             engine.load_document_on(&entry, xml)?;
+        }
+        if let Some(dtd) = &doc.dtd {
+            engine.load_dtd_on(&entry, dtd)?;
         }
         for (group, kind, text) in &doc.views {
             match kind {

@@ -31,8 +31,11 @@ use std::io::Write;
 use std::path::Path;
 
 /// Hard ceiling on one record's payload (a corrupted length field must
-/// not drive a multi-gigabyte allocation).
-const MAX_RECORD: u32 = 1 << 30;
+/// not drive a multi-gigabyte allocation). Enforced on **both** sides:
+/// [`WalWriter::append`] refuses an oversized record before any byte
+/// reaches the log — otherwise an accepted write would render every
+/// subsequent recovery a [`DurError::Corrupt`].
+pub(crate) const MAX_RECORD: u32 = 1 << 30;
 
 // ---------------------------------------------------------------------------
 // CRC32 (IEEE 802.3, reflected) — hand-rolled, the workspace is offline.
@@ -112,6 +115,38 @@ pub(crate) enum WalOp {
 }
 
 impl WalOp {
+    /// The exact encoded payload size, computed in `u64` *before*
+    /// encoding so an input too large for the `u32` framing (or the
+    /// [`MAX_RECORD`] ceiling) is refused instead of silently truncated
+    /// by `put_str`'s length cast. Must mirror [`encode_record`].
+    fn payload_len(&self) -> u64 {
+        fn s(text: &str) -> u64 {
+            4 + text.len() as u64
+        }
+        let fields = match self {
+            WalOp::OpenDocument { doc }
+            | WalOp::BuildTaxIndex { doc }
+            | WalOp::DropDocument { doc } => s(doc),
+            WalOp::LoadDtd { doc, text } | WalOp::LoadDocument { doc, xml: text } => {
+                s(doc) + s(text)
+            }
+            WalOp::RegisterPolicy { doc, group, text }
+            | WalOp::RegisterViewSpec { doc, group, text } => s(doc) + s(group) + s(text),
+            WalOp::Update {
+                doc,
+                group,
+                statements,
+            } => {
+                s(doc)
+                    + 1
+                    + group.as_deref().map_or(0, s)
+                    + 4
+                    + statements.iter().map(|st| s(st)).sum::<u64>()
+            }
+        };
+        8 + 1 + fields // lsn + kind
+    }
+
     fn kind(&self) -> u8 {
         match self {
             WalOp::OpenDocument { .. } => 1,
@@ -432,6 +467,16 @@ impl WalWriter {
         op: WalOp,
         failpoints: &FailpointRegistry,
     ) -> Result<u64, DurError> {
+        // Refuse what recovery would reject — before encoding, so no byte
+        // of an oversized record ever reaches the log and the operation
+        // fails cleanly while the log stays recoverable.
+        let size = op.payload_len();
+        if size > MAX_RECORD as u64 {
+            return Err(DurError::RecordTooLarge {
+                size,
+                limit: MAX_RECORD as u64,
+            });
+        }
         let record = WalRecord {
             lsn: self.next_lsn,
             op,
@@ -549,6 +594,49 @@ mod tests {
             Err(DurError::Corrupt { offset: 0, .. }) => {}
             other => panic!("expected corruption at offset 0, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn payload_len_mirrors_the_encoder() {
+        for (i, r) in sample_records().iter().enumerate() {
+            // The frame adds 8 bytes (length + crc) on top of the payload.
+            assert_eq!(
+                r.op.payload_len(),
+                (encode_record(r).len() - 8) as u64,
+                "record {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_record_is_refused_before_touching_the_log() {
+        let path = std::env::temp_dir().join(format!("smoqe-wal-big-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut writer = WalWriter::open(&path, 0, 1).unwrap();
+        let fps = FailpointRegistry::default();
+        let huge = WalOp::LoadDocument {
+            doc: "d".into(),
+            xml: "x".repeat(MAX_RECORD as usize + 1),
+        };
+        match writer.append(huge, &fps) {
+            Err(DurError::RecordTooLarge { size, limit }) => {
+                assert!(size > limit);
+                assert_eq!(limit, MAX_RECORD as u64);
+            }
+            other => panic!("expected RecordTooLarge, got {other:?}"),
+        }
+        // Nothing reached the log, the LSN did not advance, and the
+        // writer keeps working.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        assert_eq!(writer.next_lsn(), 1);
+        let lsn = writer
+            .append(WalOp::OpenDocument { doc: "d".into() }, &fps)
+            .unwrap();
+        assert_eq!(lsn, 1);
+        drop(writer);
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -222,19 +222,42 @@ impl Engine {
 
     /// Opens (creating if necessary) the named document, returning an
     /// owned handle for loading data and minting sessions.
+    ///
+    /// A durability failure on the creation record is deferred here (an
+    /// empty entry holds no data, and every data-bearing operation on the
+    /// handle reports the dead durability layer); callers that want it
+    /// eagerly use [`Engine::try_open_document`].
     pub fn open_document(self: &Arc<Self>, name: &str) -> DocHandle {
+        self.open_document_logged(name).0
+    }
+
+    /// Like [`Engine::open_document`], but surfaces a durability failure
+    /// on the creation record immediately instead of deferring it to the
+    /// first data-bearing operation.
+    pub fn try_open_document(self: &Arc<Self>, name: &str) -> Result<DocHandle, EngineError> {
+        let (handle, logged) = self.open_document_logged(name);
+        logged?;
+        Ok(handle)
+    }
+
+    fn open_document_logged(self: &Arc<Self>, name: &str) -> (DocHandle, Result<(), EngineError>) {
         let (entry, created) = self.catalog.entry_or_create_tracked(name);
-        if created {
-            // Best-effort: an empty entry holds no data, and the first
-            // data-bearing operation surfaces any durability failure.
-            let _ = self.durable_log(WalOp::OpenDocument {
+        let logged = if created {
+            // Under the new entry's write lock, like every other durable
+            // mutation, so the record cannot interleave with a concurrent
+            // checkpoint's cut.
+            let _writer = entry.write_serial.lock();
+            self.durable_log(WalOp::OpenDocument {
                 doc: name.to_string(),
-            });
-        }
-        DocHandle {
+            })
+        } else {
+            Ok(())
+        };
+        let handle = DocHandle {
             engine: self.clone(),
             entry,
-        }
+        };
+        (handle, logged)
     }
 
     /// A handle to an *existing* document, or `UnknownDocument`.

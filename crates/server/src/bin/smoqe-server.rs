@@ -147,7 +147,7 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     // A recovered catalog already holds its documents; only a fresh (or
     // in-memory) catalog gets the files / built-in sample loaded.
     let recovered_doc = engine.document_names().contains(&name);
-    let doc = engine.open_document(&name);
+    let doc = engine.try_open_document(&name)?;
     let mut served_group = smoqe::workloads::hospital::GROUP.to_string();
     match (args.flags.get("dtd"), args.flags.get("doc")) {
         (Some(dtd), Some(doc_file)) => {

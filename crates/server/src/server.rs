@@ -915,7 +915,7 @@ fn open_document(
     xml: Option<&str>,
     policies: &[(String, String)],
 ) -> Result<(), smoqe::EngineError> {
-    let handle = shared.engine.open_document(name);
+    let handle = shared.engine.try_open_document(name)?;
     if let Some(dtd) = dtd {
         handle.load_dtd(dtd)?;
     }

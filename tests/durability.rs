@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 use smoqe::workloads::hospital;
-use smoqe::{DurError, Engine, EngineConfig, EngineError, User};
+use smoqe::{DurError, Engine, EngineConfig, EngineError, Failpoint, User};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -333,6 +333,94 @@ fn midlog_corruption_is_refused_with_a_typed_error() {
         Ok(_) => panic!("recovery accepted a corrupt log"),
         Err(other) => panic!("expected a typed corruption error, got: {other}"),
     }
+}
+
+/// The live engine permits loading a document and then registering a DTD
+/// it does not match (`load_dtd` never revalidates the installed
+/// document). That state must checkpoint *and restore*: a restore that
+/// re-validated would refuse on every boot, making the directory
+/// permanently unrecoverable for state the engine accepted.
+#[test]
+fn a_document_loaded_before_a_mismatched_dtd_still_recovers() {
+    let dir = TempDir::new("dtd-after-doc");
+    let engine = recover(dir.path());
+    engine.load_document(hospital::SAMPLE_DOCUMENT).unwrap();
+    // A DTD the hospital document does not satisfy — accepted live.
+    engine
+        .load_dtd("<!ELEMENT inventory (item*)> <!ELEMENT item (#PCDATA)>")
+        .unwrap();
+    let before = engine.document().unwrap().to_xml();
+    engine.checkpoint().unwrap();
+    drop(engine);
+
+    // Boot from the checkpoint, then once more from the checkpoint the
+    // recovery itself writes — both must accept the capture as-is.
+    for boot in 1..=2 {
+        let recovered = Engine::recover(EngineConfig::default(), dir.path())
+            .unwrap_or_else(|e| panic!("boot {boot} refused accepted state: {e}"));
+        assert_eq!(recovered.document().unwrap().to_xml(), before);
+        assert!(recovered.dtd().is_some(), "the mismatched DTD survives too");
+        drop(recovered);
+    }
+}
+
+/// Stress for the checkpoint's consistent cut: documents created and
+/// loaded *while* checkpoints run must never be lost, even though they
+/// were absent from the entry listing a racing checkpoint started from.
+#[test]
+fn documents_created_during_a_checkpoint_are_never_lost() {
+    let dir = TempDir::new("ckpt-race");
+    let engine = recover(dir.path());
+    let n = 150;
+    let writer = {
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            for i in 0..n {
+                let handle = engine.try_open_document(&format!("doc{i}")).unwrap();
+                handle.load_document(&format!("<a><b>{i}</b></a>")).unwrap();
+            }
+        })
+    };
+    while !writer.is_finished() {
+        engine.checkpoint().unwrap();
+    }
+    writer.join().unwrap();
+    drop(engine); // abrupt: whatever the last checkpoint + WAL hold must suffice
+
+    let recovered = recover(dir.path());
+    for i in 0..n {
+        let handle = recovered
+            .document_handle(&format!("doc{i}"))
+            .unwrap_or_else(|_| panic!("acknowledged doc{i} vanished after recovery"));
+        assert_eq!(
+            handle.document().unwrap().to_xml(),
+            format!("<a><b>{i}</b></a>"),
+            "doc{i} recovered torn"
+        );
+    }
+}
+
+#[test]
+fn try_open_document_surfaces_a_dead_durability_layer() {
+    let dir = TempDir::new("dead-open");
+    let engine = recover(dir.path());
+    engine
+        .durability()
+        .unwrap()
+        .failpoints()
+        .arm(Failpoint::CrashBeforeAppend);
+    match engine.try_open_document("fresh") {
+        Err(EngineError::Durability(_)) => {}
+        Ok(_) => panic!("a dying creation record must surface"),
+        Err(other) => panic!("expected a durability error, got: {other}"),
+    }
+    // The plain variant still hands out a handle, but the dead layer is
+    // visible at the first data-bearing operation.
+    let handle = engine.open_document("another");
+    assert!(matches!(
+        handle.load_document("<a/>"),
+        Err(EngineError::Durability(DurError::Crashed))
+    ));
 }
 
 proptest! {
