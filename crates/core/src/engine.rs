@@ -22,11 +22,11 @@ use crate::error::EngineError;
 use crate::plancache::{CacheMetrics, PlanCache, PlanKey};
 use smoqe_automata::compile::CompiledMfa;
 use smoqe_automata::{compile, optimize::optimize, Mfa};
-use smoqe_hype::batch::evaluate_batch_stream_plans;
-use smoqe_hype::dom::{evaluate_mfa_plan, DomOptions};
-use smoqe_hype::stream::{evaluate_stream_plan_with, StreamOptions};
-use smoqe_hype::{evaluate_jump_frontier, jump_available, selectivity_estimate};
-use smoqe_hype::{EvalObserver, EvalStats, ExecMode, NoopObserver};
+use smoqe_hype::batch::evaluate_batch_stream_plans_budgeted;
+use smoqe_hype::dom::{evaluate_mfa_plan_budgeted, DomOptions};
+use smoqe_hype::stream::{evaluate_stream_plan_budgeted, StreamOptions};
+use smoqe_hype::{evaluate_jump_frontier_budgeted, jump_available, selectivity_estimate};
+use smoqe_hype::{DriverError, EvalObserver, EvalStats, ExecMode, NoopObserver, WorkBudget};
 use smoqe_rxpath::parse_path;
 use smoqe_tax::TaxIndex;
 use smoqe_update::{parse_update, UpdateError};
@@ -1016,7 +1016,7 @@ impl Engine {
             let (mfa, cached) = self.plan_tracked(&entry, &session.user, query)?;
             parts.push((session.user.clone(), mfa, cached));
         }
-        let result = self.evaluate_batch_parts(&entry, &parts);
+        let result = self.evaluate_batch_parts(&entry, &parts, &WorkBudget::unlimited());
         // Cross-session batches account each answer to its own tenant
         // (the per-session `query_batch` path records through
         // `record_batch` instead).
@@ -1043,6 +1043,7 @@ impl Engine {
         &self,
         entry: &Arc<DocumentEntry>,
         parts: &[(User, Arc<CompiledMfa>, bool)],
+        budget: &WorkBudget,
     ) -> Result<BatchAnswer, EngineError> {
         if parts.is_empty() {
             return Ok(BatchAnswer {
@@ -1052,7 +1053,7 @@ impl Engine {
         }
         let source = entry.snapshot()?;
         if self.config.mode == DocumentMode::Dom && self.config.eval_threads > 1 {
-            return self.evaluate_batch_parallel(&source, parts);
+            return self.evaluate_batch_parallel(&source, parts, budget);
         }
         // Single-threaded batches evaluate by streaming (one shared scan)
         // and every answer is returned serialized. Only admin lanes
@@ -1069,11 +1070,32 @@ impl Engine {
             })
             .collect();
         let mode = self.exec_mode();
+        let mut observers: Vec<NoopObserver> = plans.iter().map(|_| NoopObserver).collect();
+        let mut dyns: Vec<&mut dyn EvalObserver> = observers
+            .iter_mut()
+            .map(|o| o as &mut dyn EvalObserver)
+            .collect();
         let outcome = if let Some(path) = &source.path {
             let file = std::fs::File::open(path).map_err(smoqe_xml::XmlError::Io)?;
-            evaluate_batch_stream_plans(std::io::BufReader::new(file), &plans, &self.vocab, mode)?
+            evaluate_batch_stream_plans_budgeted(
+                std::io::BufReader::new(file),
+                &plans,
+                &self.vocab,
+                mode,
+                &mut dyns,
+                budget,
+            )
+            .map_err(driver_error)?
         } else if let Some(raw) = &source.raw {
-            evaluate_batch_stream_plans(raw.as_bytes(), &plans, &self.vocab, mode)?
+            evaluate_batch_stream_plans_budgeted(
+                raw.as_bytes(),
+                &plans,
+                &self.vocab,
+                mode,
+                &mut dyns,
+                budget,
+            )
+            .map_err(driver_error)?
         } else {
             return Err(EngineError::NoStreamSource);
         };
@@ -1109,6 +1131,7 @@ impl Engine {
         &self,
         source: &Arc<LoadedSource>,
         parts: &[(User, Arc<CompiledMfa>, bool)],
+        budget: &WorkBudget,
     ) -> Result<BatchAnswer, EngineError> {
         let mut slots: Vec<Option<Result<Answer, EngineError>>> = Vec::new();
         slots.resize_with(parts.len(), || None);
@@ -1127,8 +1150,14 @@ impl Engine {
                 .as_deref()
                 .expect("resolving to jump mode implies a TAX index");
             let plans: Vec<&CompiledMfa> = jump_idx.iter().map(|&i| parts[i].1.as_ref()).collect();
-            let outcomes =
-                evaluate_jump_frontier(&source.doc, &plans, tax, self.config.eval_threads);
+            let outcomes = evaluate_jump_frontier_budgeted(
+                &source.doc,
+                &plans,
+                tax,
+                self.config.eval_threads,
+                budget,
+            )
+            .map_err(|interrupt| EngineError::from(interrupt.kind))?;
             for (&i, outcome) in jump_idx.iter().zip(outcomes) {
                 match outcome {
                     Some((nodes, stats)) => {
@@ -1160,7 +1189,7 @@ impl Engine {
                         for (&i, slot) in idx_chunk.iter().zip(slot_chunk.iter_mut()) {
                             let (_, plan, cached) = &parts[i];
                             let result = self
-                                .evaluate_snapshot(source, plan, &mut NoopObserver)
+                                .evaluate_snapshot_budgeted(source, plan, &mut NoopObserver, budget)
                                 .map(|mut answer| {
                                     answer.plan_cached = *cached;
                                     answer
@@ -1183,12 +1212,18 @@ impl Engine {
 
     /// Evaluates a compiled plan against one consistent source snapshot
     /// (document + its TAX index travel together inside the
-    /// `LoadedSource`).
-    pub(crate) fn evaluate_snapshot(
+    /// `LoadedSource`) under a [`WorkBudget`]: the evaluator abandons mid-scan
+    /// — surfacing the opaque [`EngineError::DeadlineExceeded`] /
+    /// [`EngineError::Cancelled`] — when the deadline passes or the
+    /// cancel token flips. Abandonment drops only evaluator-local state;
+    /// the snapshot is immutable and shared by reference, so a torn-down
+    /// evaluation leaves nothing to clean up.
+    pub(crate) fn evaluate_snapshot_budgeted(
         &self,
         source: &LoadedSource,
         plan: &CompiledMfa,
         observer: &mut dyn EvalObserver,
+        budget: &WorkBudget,
     ) -> Result<Answer, EngineError> {
         let mode = self.exec_mode();
         match self.config.mode {
@@ -1200,7 +1235,9 @@ impl Engine {
                 };
                 let mode = self.resolve_dom_mode(source, plan, !observer.is_noop());
                 let options = DomOptions { tax };
-                let (nodes, stats) = evaluate_mfa_plan(&source.doc, plan, &options, mode, observer);
+                let (nodes, stats) =
+                    evaluate_mfa_plan_budgeted(&source.doc, plan, &options, mode, observer, budget)
+                        .map_err(|interrupt| EngineError::from(interrupt.kind))?;
                 Ok(Answer {
                     nodes: nodes.into_vec(),
                     stats,
@@ -1213,23 +1250,27 @@ impl Engine {
                 let options = StreamOptions { want_xml: true };
                 let outcome = if let Some(path) = &source.path {
                     let file = std::fs::File::open(path).map_err(smoqe_xml::XmlError::Io)?;
-                    evaluate_stream_plan_with(
+                    evaluate_stream_plan_budgeted(
                         std::io::BufReader::new(file),
                         plan,
                         &self.vocab,
                         options,
                         mode,
                         observer,
-                    )?
+                        budget,
+                    )
+                    .map_err(driver_error)?
                 } else if let Some(raw) = &source.raw {
-                    evaluate_stream_plan_with(
+                    evaluate_stream_plan_budgeted(
                         raw.as_bytes(),
                         plan,
                         &self.vocab,
                         options,
                         mode,
                         observer,
-                    )?
+                        budget,
+                    )
+                    .map_err(driver_error)?
                 } else {
                     return Err(EngineError::NoStreamSource);
                 };
@@ -1242,6 +1283,16 @@ impl Engine {
                 })
             }
         }
+    }
+}
+
+/// Maps a streaming-driver failure onto the engine error surface: parse
+/// failures keep their detail, budget interrupts collapse to the opaque
+/// deadline/cancel variants.
+fn driver_error(e: DriverError) -> EngineError {
+    match e {
+        DriverError::Xml(e) => EngineError::Xml(e),
+        DriverError::Interrupted(interrupt) => interrupt.kind.into(),
     }
 }
 
@@ -1301,7 +1352,9 @@ impl Session {
         query: &str,
         observer: &mut dyn EvalObserver,
     ) -> Result<Answer, EngineError> {
-        Ok(self.query_with_source(query, observer)?.0)
+        Ok(self
+            .query_with_source(query, observer, &WorkBudget::unlimited())?
+            .0)
     }
 
     /// The shared query path: plan (cached), take ONE source snapshot,
@@ -1313,8 +1366,9 @@ impl Session {
         &self,
         query: &str,
         observer: &mut dyn EvalObserver,
+        budget: &WorkBudget,
     ) -> Result<(Answer, Arc<crate::catalog::LoadedSource>), EngineError> {
-        let result = self.query_with_source_inner(query, observer);
+        let result = self.query_with_source_inner(query, observer, budget);
         self.engine
             .tenants
             .record_query(&self.user, result.as_ref().map(|(a, _)| a));
@@ -1325,10 +1379,13 @@ impl Session {
         &self,
         query: &str,
         observer: &mut dyn EvalObserver,
+        budget: &WorkBudget,
     ) -> Result<(Answer, Arc<crate::catalog::LoadedSource>), EngineError> {
         let (mfa, cached) = self.engine.plan_tracked(&self.entry, &self.user, query)?;
         let source = self.entry.snapshot()?;
-        let mut answer = self.engine.evaluate_snapshot(&source, &mfa, observer)?;
+        let mut answer = self
+            .engine
+            .evaluate_snapshot_budgeted(&source, &mfa, observer, budget)?;
         answer.plan_cached = cached;
         // Stream mode buffers raw source subtrees; for group sessions
         // re-render each answer through the view so hidden descendants
@@ -1347,20 +1404,35 @@ impl Session {
     /// identical to what [`Session::query`] would have returned, plus the
     /// shared event count proving the document was parsed once.
     pub fn query_batch(&self, queries: &[&str]) -> Result<BatchAnswer, EngineError> {
-        let result = self.query_batch_inner(queries);
+        self.query_batch_budgeted(queries, &WorkBudget::unlimited())
+    }
+
+    /// [`Session::query_batch`] under a [`WorkBudget`] shared by every
+    /// plan in the batch (one scan, one deadline).
+    pub fn query_batch_budgeted(
+        &self,
+        queries: &[&str],
+        budget: &WorkBudget,
+    ) -> Result<BatchAnswer, EngineError> {
+        let result = self.query_batch_inner(queries, budget);
         self.engine
             .tenants
             .record_batch(&self.user, queries.len(), result.as_ref());
         result
     }
 
-    fn query_batch_inner(&self, queries: &[&str]) -> Result<BatchAnswer, EngineError> {
+    fn query_batch_inner(
+        &self,
+        queries: &[&str],
+        budget: &WorkBudget,
+    ) -> Result<BatchAnswer, EngineError> {
         let mut parts = Vec::with_capacity(queries.len());
         for query in queries {
             let (mfa, cached) = self.engine.plan_tracked(&self.entry, &self.user, query)?;
             parts.push((self.user.clone(), mfa, cached));
         }
-        self.engine.evaluate_batch_parts(&self.entry, &parts)
+        self.engine
+            .evaluate_batch_parts(&self.entry, &parts, budget)
     }
 
     /// Like [`Session::query`], with `xml` always filled **safely for
@@ -1371,7 +1443,20 @@ impl Session {
     /// remote client only ever receives what [`Session::query_xml`] would
     /// have shown it.
     pub fn query_serialized(&self, query: &str) -> Result<Answer, EngineError> {
-        let (mut answer, source) = self.query_with_source(query, &mut NoopObserver)?;
+        self.query_serialized_budgeted(query, &WorkBudget::unlimited())
+    }
+
+    /// [`Session::query_serialized`] under a [`WorkBudget`] — the serving
+    /// path for requests carrying a deadline or a cancel token. An
+    /// interrupted evaluation surfaces the opaque
+    /// [`EngineError::DeadlineExceeded`] / [`EngineError::Cancelled`]
+    /// within one budget check interval of the trigger.
+    pub fn query_serialized_budgeted(
+        &self,
+        query: &str,
+        budget: &WorkBudget,
+    ) -> Result<Answer, EngineError> {
+        let (mut answer, source) = self.query_with_source(query, &mut NoopObserver, budget)?;
         if answer.xml.is_none() {
             answer.xml = Some(match &self.user {
                 User::Admin => answer.serialize_with(&source.doc),
@@ -1386,7 +1471,17 @@ impl Session {
     /// Streaming batches already serialize during the scan; parallel DOM
     /// batches render afterwards from the current snapshot.
     pub fn query_batch_serialized(&self, queries: &[&str]) -> Result<BatchAnswer, EngineError> {
-        let mut batch = self.query_batch(queries)?;
+        self.query_batch_serialized_budgeted(queries, &WorkBudget::unlimited())
+    }
+
+    /// [`Session::query_batch_serialized`] under a [`WorkBudget`] shared
+    /// by the whole batch.
+    pub fn query_batch_serialized_budgeted(
+        &self,
+        queries: &[&str],
+        budget: &WorkBudget,
+    ) -> Result<BatchAnswer, EngineError> {
+        let mut batch = self.query_batch_budgeted(queries, budget)?;
         if batch.answers.iter().any(|a| a.xml.is_none()) {
             let source = self.entry.snapshot()?;
             for answer in &mut batch.answers {
@@ -1443,7 +1538,8 @@ impl Session {
     /// descendants filtered out — serializing the raw subtree would leak
     /// them).
     pub fn query_xml(&self, query: &str) -> Result<Vec<String>, EngineError> {
-        let (answer, source) = self.query_with_source(query, &mut NoopObserver)?;
+        let (answer, source) =
+            self.query_with_source(query, &mut NoopObserver, &WorkBudget::unlimited())?;
         match &self.user {
             User::Admin => Ok(answer.serialize_with(&source.doc)),
             User::Group(g) => render_view_xml(&self.entry, g, &source, &answer.nodes),

@@ -37,6 +37,16 @@ pub enum EngineError {
     /// The durability layer failed: WAL append, checkpoint, corruption
     /// found during recovery, or an injected crash (fault injection).
     Durability(crate::durable::DurError),
+    /// The request's deadline passed before evaluation finished; the scan
+    /// was abandoned mid-flight. Like [`EngineError::UpdateDenied`], this
+    /// deliberately carries no detail — how far the evaluation got (and
+    /// therefore how much hidden structure it touched) must not leak.
+    DeadlineExceeded,
+    /// The request was cooperatively cancelled (caller disconnected or an
+    /// operator killed it); the scan was abandoned mid-flight. Carries no
+    /// detail, for the same opacity reason as
+    /// [`EngineError::DeadlineExceeded`].
+    Cancelled,
 }
 
 impl EngineError {
@@ -64,6 +74,8 @@ impl EngineError {
             EngineError::Update(_) => 11,
             EngineError::UpdateDenied => 12,
             EngineError::Durability(_) => 13,
+            EngineError::DeadlineExceeded => 14,
+            EngineError::Cancelled => 15,
         }
     }
 
@@ -84,6 +96,8 @@ impl EngineError {
             EngineError::Update(_) => "update",
             EngineError::UpdateDenied => "update_denied",
             EngineError::Durability(_) => "durability",
+            EngineError::DeadlineExceeded => "deadline_exceeded",
+            EngineError::Cancelled => "cancelled",
         }
     }
 }
@@ -117,6 +131,10 @@ impl fmt::Display for EngineError {
                 write!(f, "update denied by the session's security policy")
             }
             EngineError::Durability(e) => write!(f, "{e}"),
+            EngineError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded before evaluation finished")
+            }
+            EngineError::Cancelled => write!(f, "request cancelled before evaluation finished"),
         }
     }
 }
@@ -158,6 +176,14 @@ impl From<smoqe_view::ViewError> for EngineError {
 impl From<smoqe_update::UpdateError> for EngineError {
     fn from(e: smoqe_update::UpdateError) -> Self {
         EngineError::Update(e)
+    }
+}
+impl From<smoqe_hype::Interrupt> for EngineError {
+    fn from(i: smoqe_hype::Interrupt) -> Self {
+        match i {
+            smoqe_hype::Interrupt::DeadlineExceeded => EngineError::DeadlineExceeded,
+            smoqe_hype::Interrupt::Cancelled => EngineError::Cancelled,
+        }
     }
 }
 
@@ -214,5 +240,23 @@ mod tests {
         let dur = EngineError::Durability(crate::durable::DurError::Crashed);
         assert_eq!(dur.code(), 13);
         assert_eq!(dur.code_name(), "durability");
+        assert_eq!(EngineError::DeadlineExceeded.code(), 14);
+        assert_eq!(
+            EngineError::DeadlineExceeded.code_name(),
+            "deadline_exceeded"
+        );
+        assert_eq!(EngineError::Cancelled.code(), 15);
+        assert_eq!(EngineError::Cancelled.code_name(), "cancelled");
+    }
+
+    #[test]
+    fn interrupt_errors_reveal_nothing_about_progress() {
+        // A timed-out or cancelled scan must not say how far it got: one
+        // fixed message per variant, no payload.
+        let a = EngineError::from(smoqe_hype::Interrupt::DeadlineExceeded).to_string();
+        assert_eq!(a, EngineError::DeadlineExceeded.to_string());
+        assert!(!a.contains("hidden") && !a.contains("node"));
+        let b = EngineError::from(smoqe_hype::Interrupt::Cancelled).to_string();
+        assert_eq!(b, EngineError::Cancelled.to_string());
     }
 }

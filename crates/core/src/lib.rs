@@ -70,7 +70,7 @@ pub use durable::{DurError, Durability};
 pub use engine::{Answer, BatchAnswer, Engine, Session, UpdateReport, User, DEFAULT_DOCUMENT};
 pub use error::EngineError;
 pub use plancache::CacheMetrics;
-pub use smoqe_hype::ExecMode;
+pub use smoqe_hype::{ExecMode, WorkBudget};
 pub use tenants::{TenantMetrics, ADMIN_TENANT};
 
 // Re-export the component crates under stable names.

@@ -17,8 +17,10 @@
 //! parity guarantees against DOM mode, e.g. coalescing of character data
 //! split across CDATA/entity boundaries).
 
+use crate::budget::{DriverError, EvalInterrupt, WorkBudget};
 use crate::machine::{ExecMode, Machine};
 use crate::observer::{EvalObserver, NoopObserver};
+use crate::stats::EvalStats;
 use crate::stream::{StreamOptions, StreamOutcome};
 use smoqe_automata::compile::CompiledMfa;
 use smoqe_automata::Mfa;
@@ -289,20 +291,65 @@ pub fn evaluate_batch_stream_plans_with<R: BufRead>(
     mode: ExecMode,
     observers: &mut [&mut dyn EvalObserver],
 ) -> Result<BatchOutcome, XmlError> {
+    match evaluate_batch_stream_plans_budgeted(
+        reader,
+        plans,
+        vocab,
+        mode,
+        observers,
+        &WorkBudget::unlimited(),
+    ) {
+        Ok(out) => Ok(out),
+        Err(DriverError::Xml(e)) => Err(e),
+        Err(DriverError::Interrupted(_)) => unreachable!("an unlimited budget never interrupts"),
+    }
+}
+
+/// [`evaluate_batch_stream_plans_with`] under a [`WorkBudget`]: the shared
+/// scan checks the budget once per parser event and abandons every lane
+/// with the merged partial counters when the deadline passes or the cancel
+/// token flips. Abandonment drops the parser and all lane-local machines
+/// and buffers — nothing shared is touched.
+///
+/// # Panics
+/// Panics if `observers.len() != plans.len()`.
+pub fn evaluate_batch_stream_plans_budgeted<R: BufRead>(
+    reader: R,
+    plans: &[(&CompiledMfa, StreamOptions)],
+    vocab: &Vocabulary,
+    mode: ExecMode,
+    observers: &mut [&mut dyn EvalObserver],
+    budget: &WorkBudget,
+) -> Result<BatchOutcome, DriverError> {
     let lanes = plans
         .iter()
         .map(|&(plan, options)| Lane::new(plan, options, mode))
         .collect();
-    run_batch(reader, lanes, vocab, observers)
+    run_batch_budgeted(reader, lanes, vocab, observers, budget)
 }
 
 /// The shared driver: one parser, one event loop, N lanes.
 fn run_batch<R: BufRead>(
     reader: R,
-    mut lanes: Vec<Lane>,
+    lanes: Vec<Lane>,
     vocab: &Vocabulary,
     observers: &mut [&mut dyn EvalObserver],
 ) -> Result<BatchOutcome, XmlError> {
+    match run_batch_budgeted(reader, lanes, vocab, observers, &WorkBudget::unlimited()) {
+        Ok(out) => Ok(out),
+        Err(DriverError::Xml(e)) => Err(e),
+        Err(DriverError::Interrupted(_)) => unreachable!("an unlimited budget never interrupts"),
+    }
+}
+
+/// [`run_batch`] with a budget meter ticking once per parser event.
+fn run_batch_budgeted<R: BufRead>(
+    reader: R,
+    mut lanes: Vec<Lane>,
+    vocab: &Vocabulary,
+    observers: &mut [&mut dyn EvalObserver],
+    budget: &WorkBudget,
+) -> Result<BatchOutcome, DriverError> {
     assert_eq!(
         lanes.len(),
         observers.len(),
@@ -313,6 +360,7 @@ fn run_batch<R: BufRead>(
         lane.machine.begin(&mut **obs);
     }
 
+    let mut meter = budget.meter();
     let mut next_id: u32 = 0;
     let mut depth: usize = 0;
     let mut events: usize = 0;
@@ -325,6 +373,13 @@ fn run_batch<R: BufRead>(
     loop {
         // Borrowed events: the parser reuses its scratch buffers, so the
         // whole scan performs no per-event allocation.
+        if let Some(kind) = meter.tick() {
+            let mut stats = EvalStats::default();
+            for lane in lanes.iter_mut() {
+                stats.merge(lane.machine.stats_mut());
+            }
+            return Err(DriverError::Interrupted(EvalInterrupt { kind, stats }));
+        }
         let event = parser.next_raw()?;
         events += 1;
         match event {
@@ -463,6 +518,53 @@ mod tests {
             .unwrap();
         assert!(out.outcomes.is_empty());
         assert_eq!(out.events, 5); // a, b, /b, /a, end
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_the_shared_scan() {
+        use crate::budget::{DriverError, Interrupt, WorkBudget};
+        use std::time::{Duration, Instant};
+        let body: String = (0..200).map(|i| format!("<b>{i}</b>")).collect();
+        let xml = format!("<a>{body}</a>");
+        let vocab = Vocabulary::new();
+        let mfas = compile_all(&["//b", "a/b"], &vocab);
+        let compiled: Vec<CompiledMfa> = mfas.iter().map(CompiledMfa::compile).collect();
+        let plans: Vec<(&CompiledMfa, StreamOptions)> = compiled
+            .iter()
+            .map(|p| (p, StreamOptions::default()))
+            .collect();
+        let mut observers = [NoopObserver, NoopObserver];
+        let mut dyns: Vec<&mut dyn EvalObserver> = observers
+            .iter_mut()
+            .map(|o| o as &mut dyn EvalObserver)
+            .collect();
+        let budget = WorkBudget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            cancel: None,
+            check_interval: 16,
+        };
+        let err = evaluate_batch_stream_plans_budgeted(
+            xml.as_bytes(),
+            &plans,
+            &vocab,
+            ExecMode::Compiled,
+            &mut dyns,
+            &budget,
+        )
+        .expect_err("an already-expired deadline must interrupt");
+        match err {
+            DriverError::Interrupted(interrupt) => {
+                assert_eq!(interrupt.kind, Interrupt::DeadlineExceeded);
+                // Two lanes, ticked per event: bounded by one interval of
+                // events each.
+                assert!(
+                    interrupt.stats.nodes_visited <= 2 * 16,
+                    "visited {} nodes past an expired deadline",
+                    interrupt.stats.nodes_visited
+                );
+            }
+            DriverError::Xml(e) => panic!("expected an interrupt, got parse error {e:?}"),
+        }
     }
 
     #[test]

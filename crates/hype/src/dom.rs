@@ -6,6 +6,7 @@
 //! — when a TAX index is supplied — when the index proves that no required
 //! label occurs below (paper §3, "Indexer").
 
+use crate::budget::{EvalInterrupt, WorkBudget};
 use crate::machine::{ExecMode, Machine, Preview, VIRTUAL_NODE};
 use crate::observer::{EvalObserver, NoopObserver, PruneReason};
 use crate::stats::EvalStats;
@@ -57,6 +58,25 @@ pub fn evaluate_mfa_plan(
     mode: ExecMode,
     observer: &mut dyn EvalObserver,
 ) -> (NodeSet, EvalStats) {
+    match evaluate_mfa_plan_budgeted(doc, plan, options, mode, observer, &WorkBudget::unlimited()) {
+        Ok(result) => result,
+        Err(_) => unreachable!("an unlimited budget never interrupts"),
+    }
+}
+
+/// [`evaluate_mfa_plan`] under a [`WorkBudget`]: the traversal checks the
+/// budget once per stack pop and abandons with the partial counters when
+/// the deadline passes or the cancel token flips. Abandonment only drops
+/// evaluator-local state (the machine, the stack) — the document snapshot
+/// is immutable and shared structures are untouched.
+pub fn evaluate_mfa_plan_budgeted(
+    doc: &Document,
+    plan: &CompiledMfa,
+    options: &DomOptions<'_>,
+    mode: ExecMode,
+    observer: &mut dyn EvalObserver,
+    budget: &WorkBudget,
+) -> Result<(NodeSet, EvalStats), EvalInterrupt> {
     debug_assert!(
         doc.vocabulary().same_as(plan.mfa().vocabulary()),
         "document and query must share a vocabulary"
@@ -64,7 +84,7 @@ pub fn evaluate_mfa_plan(
     let mode = if mode == ExecMode::Jump {
         if observer.is_noop() {
             if let Some(tax) = options.tax {
-                if let Some(result) = crate::jump::evaluate_jump(doc, plan, tax) {
+                if let Some(result) = crate::jump::evaluate_jump_budgeted(doc, plan, tax, budget) {
                     return result;
                 }
             }
@@ -82,6 +102,7 @@ pub fn evaluate_mfa_plan(
             doc.direct_text_cow(NodeId(n))
         }
     };
+    let mut meter = budget.meter();
     let mut machine = Machine::with_mode(plan, Some(&resolver), mode);
     machine.begin(observer);
 
@@ -90,6 +111,12 @@ pub fn evaluate_mfa_plan(
     // Pre-enter check for the root too (its label may already kill all
     // runs, e.g. a query starting with a different root name).
     while let Some((node, entered)) = stack.pop() {
+        if let Some(kind) = meter.tick() {
+            return Err(EvalInterrupt {
+                kind,
+                stats: *machine.stats_mut(),
+            });
+        }
         if entered {
             machine.leave(observer);
             continue;
@@ -123,10 +150,10 @@ pub fn evaluate_mfa_plan(
     }
 
     let (answers, stats) = machine.end(observer);
-    (
+    Ok((
         NodeSet::from_sorted(answers.into_iter().map(NodeId).collect()),
         stats,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -246,6 +273,91 @@ mod tests {
         // `.` selects the virtual context node, which is not an element
         // answer.
         check("<a/>", ".");
+    }
+
+    #[test]
+    fn expired_deadline_abandons_within_one_check_interval() {
+        use crate::budget::{Interrupt, WorkBudget};
+        use std::time::{Duration, Instant};
+        let body: String = (0..500).map(|i| format!("<b><c>{i}</c></b>")).collect();
+        let xml = format!("<a>{body}</a>");
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str(&xml, &vocab).unwrap();
+        let plan = CompiledMfa::compile(&compile(&parse_path("//c", &vocab).unwrap(), &vocab));
+        let budget = WorkBudget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            cancel: None,
+            check_interval: 32,
+        };
+        let interrupt = evaluate_mfa_plan_budgeted(
+            &doc,
+            &plan,
+            &DomOptions::default(),
+            ExecMode::Compiled,
+            &mut NoopObserver,
+            &budget,
+        )
+        .expect_err("an already-expired deadline must interrupt");
+        assert_eq!(interrupt.kind, Interrupt::DeadlineExceeded);
+        // The meter ticks once per stack pop and node visits are a subset
+        // of pops, so post-expiry work is bounded by one check interval.
+        assert!(
+            interrupt.stats.nodes_visited <= 32,
+            "visited {} nodes past an expired deadline",
+            interrupt.stats.nodes_visited
+        );
+    }
+
+    #[test]
+    fn cancel_token_aborts_mid_scan() {
+        use crate::budget::{Interrupt, WorkBudget};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let xml = "<a><b><c>x</c></b><b><c>y</c></b></a>";
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str(xml, &vocab).unwrap();
+        let plan = CompiledMfa::compile(&compile(&parse_path("//c", &vocab).unwrap(), &vocab));
+        let cancel = Arc::new(AtomicBool::new(false));
+        cancel.store(true, Ordering::Relaxed);
+        let budget = WorkBudget {
+            deadline: None,
+            cancel: Some(cancel),
+            check_interval: 1,
+        };
+        let interrupt = evaluate_mfa_plan_budgeted(
+            &doc,
+            &plan,
+            &DomOptions::default(),
+            ExecMode::Compiled,
+            &mut NoopObserver,
+            &budget,
+        )
+        .expect_err("a set cancel token must interrupt");
+        assert_eq!(interrupt.kind, Interrupt::Cancelled);
+    }
+
+    #[test]
+    fn armed_but_generous_budget_changes_nothing() {
+        use crate::budget::WorkBudget;
+        use std::time::{Duration, Instant};
+        let xml = "<a><b><c>yes</c></b><b><d/></b><b><c>no</c></b></a>";
+        let vocab = Vocabulary::new();
+        let doc = Document::parse_str(xml, &vocab).unwrap();
+        let plan = CompiledMfa::compile(&compile(&parse_path("a/b[c]", &vocab).unwrap(), &vocab));
+        let options = DomOptions::default();
+        let plain = evaluate_mfa_plan(&doc, &plan, &options, ExecMode::Compiled, &mut NoopObserver);
+        let budget = WorkBudget::with_deadline(Instant::now() + Duration::from_secs(3600));
+        let budgeted = evaluate_mfa_plan_budgeted(
+            &doc,
+            &plan,
+            &options,
+            ExecMode::Compiled,
+            &mut NoopObserver,
+            &budget,
+        )
+        .expect("a generous deadline never fires");
+        assert_eq!(plain.0, budgeted.0);
+        assert_eq!(plain.1.nodes_visited, budgeted.1.nodes_visited);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! construction: the same candidates are probed in the same order with
 //! the same per-probe driver logic, whatever the thread count.
 
+use crate::budget::{EvalInterrupt, WorkBudget};
 use crate::jump::{frontier_setup, FrontierSetup, Jump, RegionPlan};
 use crate::stats::EvalStats;
 use smoqe_automata::compile::CompiledMfa;
@@ -30,8 +31,12 @@ use smoqe_rxpath::NodeSet;
 use smoqe_tax::TaxIndex;
 use smoqe_xml::Document;
 
-/// Per-region raw probe output of one frontier chunk.
-type ChunkOut = Vec<(Vec<u32>, EvalStats)>;
+/// Raw `(answers, stats)` probe output, one entry per region.
+type RegionParts = Vec<(Vec<u32>, EvalStats)>;
+
+/// Per-region raw probe output of one frontier chunk, plus the first
+/// interrupt the chunk hit (if any — the parts then cover a prefix).
+type ChunkOut = (RegionParts, Option<EvalInterrupt>);
 
 /// Evaluates a batch of plans over one document through a shared jump
 /// frontier. The returned vector is parallel to `plans`:
@@ -50,20 +55,41 @@ pub fn evaluate_jump_frontier(
     tax: &TaxIndex,
     threads: usize,
 ) -> Vec<Option<(NodeSet, EvalStats)>> {
+    match evaluate_jump_frontier_budgeted(doc, plans, tax, threads, &WorkBudget::unlimited()) {
+        Ok(results) => results,
+        Err(_) => unreachable!("an unlimited budget never interrupts"),
+    }
+}
+
+/// [`evaluate_jump_frontier`] under a [`WorkBudget`]: every chunk sweeps
+/// with its own meter (ticking once per frontier entry, on top of the
+/// drivers' own per-node ticks) and the whole batch abandons with merged
+/// partial counters as soon as any chunk observes the deadline or the
+/// cancel token. Abandonment drops only per-chunk drivers and cursors —
+/// the document, the TAX index, and the plans are shared immutable
+/// snapshots.
+pub fn evaluate_jump_frontier_budgeted(
+    doc: &Document,
+    plans: &[&CompiledMfa],
+    tax: &TaxIndex,
+    threads: usize,
+    budget: &WorkBudget,
+) -> Result<Vec<Option<(NodeSet, EvalStats)>>, EvalInterrupt> {
     let mut results: Vec<Option<(NodeSet, EvalStats)>> = Vec::with_capacity(plans.len());
     results.resize_with(plans.len(), || None);
     // Admit each plan: setup handles the root step; jumpable root regions
     // contribute their candidates to the shared frontier.
     let mut regions: Vec<(usize, RegionPlan<'_>)> = Vec::new();
     for (i, plan) in plans.iter().enumerate() {
-        match frontier_setup(doc, plan, tax) {
+        match frontier_setup(doc, plan, tax, budget.meter()) {
             None => {}
             Some(FrontierSetup::Done(result)) => results[i] = Some(result),
+            Some(FrontierSetup::Interrupted(interrupt)) => return Err(interrupt),
             Some(FrontierSetup::Region(region)) => regions.push((i, region)),
         }
     }
     if regions.is_empty() {
-        return results;
+        return Ok(results);
     }
     // The shared frontier: all candidates of all regions, ascending.
     // Ties (one node wanted by several plans) order by region — each
@@ -77,7 +103,7 @@ pub fn evaluate_jump_frontier(
     let chunk_len = frontier.len().div_ceil(workers);
     // chunk_results[chunk][region] = (answers, stats) for that slice.
     let chunk_results: Vec<ChunkOut> = if workers == 1 {
-        vec![sweep_chunk(&regions, &frontier, 0, frontier.len())]
+        vec![sweep_chunk(&regions, &frontier, 0, frontier.len(), budget)]
     } else {
         let mut slots: Vec<Option<ChunkOut>> = Vec::new();
         slots.resize_with(workers, || None);
@@ -88,7 +114,7 @@ pub fn evaluate_jump_frontier(
                 scope.spawn(move || {
                     let start = (w * chunk_len).min(frontier.len());
                     let end = ((w + 1) * chunk_len).min(frontier.len());
-                    *slot = Some(sweep_chunk(regions, frontier, start, end));
+                    *slot = Some(sweep_chunk(regions, frontier, start, end, budget));
                 });
             }
         });
@@ -97,20 +123,34 @@ pub fn evaluate_jump_frontier(
             .map(|s| s.expect("every frontier chunk is swept"))
             .collect()
     };
+    // Any interrupted chunk abandons the whole batch; the counters merged
+    // across every chunk's partial output travel out for observability.
+    if let Some(kind) = chunk_results
+        .iter()
+        .find_map(|(_, interrupt)| interrupt.map(|i| i.kind))
+    {
+        let mut stats = EvalStats::default();
+        for (parts, _) in &chunk_results {
+            for (_, chunk_stats) in parts {
+                stats.merge(chunk_stats);
+            }
+        }
+        return Err(EvalInterrupt { kind, stats });
+    }
     // Stitch: per region, concatenate chunk outputs in chunk order
     // (probed candidates ascend across chunks and skip disjoint
     // subtrees, so the concatenation is sorted).
-    let mut per_region: Vec<ChunkOut> = Vec::new();
+    let mut per_region: Vec<RegionParts> = Vec::new();
     per_region.resize_with(regions.len(), Vec::new);
-    for chunk in chunk_results {
-        for (r, pair) in chunk.into_iter().enumerate() {
+    for (parts, _) in chunk_results {
+        for (r, pair) in parts.into_iter().enumerate() {
             per_region[r].push(pair);
         }
     }
     for ((i, region), chunks) in regions.iter().zip(per_region) {
         results[*i] = Some(region.assemble(chunks));
     }
-    results
+    Ok(results)
 }
 
 /// Sweeps `frontier[start..end)`, probing each entry for its region, and
@@ -128,6 +168,7 @@ fn sweep_chunk(
     frontier: &[(u32, u32)],
     start: usize,
     end: usize,
+    budget: &WorkBudget,
 ) -> ChunkOut {
     let mut cursors: Vec<u32> = regions.iter().map(|(_, region)| region.lo).collect();
     for &(node, r) in &frontier[..start] {
@@ -136,16 +177,37 @@ fn sweep_chunk(
             cursors[r] = regions[r].1.subtree_end(node);
         }
     }
-    let mut drivers: Vec<_> = regions.iter().map(|(_, region)| region.driver()).collect();
+    let mut drivers: Vec<_> = regions
+        .iter()
+        .map(|(_, region)| region.driver(budget.meter()))
+        .collect();
+    let mut meter = budget.meter();
+    let mut interrupted = None;
     for &(node, r) in &frontier[start..end] {
         let r = r as usize;
+        if let Some(kind) = meter.tick() {
+            interrupted = Some(kind);
+            break;
+        }
         if node < cursors[r] {
             continue; // inside an already-probed candidate's subtree
         }
         drivers[r].step_into(node, regions[r].1.state);
         cursors[r] = regions[r].1.subtree_end(node);
+        if let Some(interrupt) = drivers[r].take_interrupt() {
+            interrupted = Some(interrupt.kind);
+            break;
+        }
     }
-    drivers.into_iter().map(Jump::into_parts).collect()
+    let parts: RegionParts = drivers.into_iter().map(Jump::into_parts).collect();
+    let interrupt = interrupted.map(|kind| {
+        let mut stats = EvalStats::default();
+        for (_, part_stats) in &parts {
+            stats.merge(part_stats);
+        }
+        EvalInterrupt { kind, stats }
+    });
+    (parts, interrupt)
 }
 
 #[cfg(test)]
@@ -251,6 +313,36 @@ mod tests {
                 stats.nodes_visited
             );
         }
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_the_sweep_at_any_thread_count() {
+        use crate::budget::{Interrupt, WorkBudget};
+        use std::time::{Duration, Instant};
+        let body: String = (0..60)
+            .map(|i| format!("<sec><id>k{i}</id><data><x/></data></sec>"))
+            .collect();
+        let xml = format!("<db>{body}</db>");
+        let (vocab, doc, tax) = setup(&xml);
+        let queries: Vec<String> = (0..4).map(|i| format!("//sec[id = 'k{i}']")).collect();
+        let plans: Vec<CompiledMfa> = queries.iter().map(|q| plan_for(q, &vocab)).collect();
+        let refs: Vec<&CompiledMfa> = plans.iter().collect();
+        let budget = WorkBudget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            cancel: None,
+            check_interval: 1,
+        };
+        for threads in [1, 3] {
+            let interrupt = evaluate_jump_frontier_budgeted(&doc, &refs, &tax, threads, &budget)
+                .expect_err("an already-expired deadline must interrupt");
+            assert_eq!(interrupt.kind, Interrupt::DeadlineExceeded, "@{threads}");
+        }
+        // A generous budget changes nothing.
+        let generous = WorkBudget::with_deadline(Instant::now() + Duration::from_secs(3600));
+        let plain = evaluate_jump_frontier(&doc, &refs, &tax, 2);
+        let budgeted = evaluate_jump_frontier_budgeted(&doc, &refs, &tax, 2, &generous)
+            .expect("a generous deadline never fires");
+        assert_eq!(plain, budgeted);
     }
 
     #[test]

@@ -51,6 +51,7 @@
 //! enters a subset of the nodes scan mode enters, and produces identical
 //! answers (property-tested in `tests/jump_differential.rs`).
 
+use crate::budget::{BudgetMeter, EvalInterrupt, Interrupt, WorkBudget};
 use crate::machine::VIRTUAL_NODE;
 use crate::stats::EvalStats;
 use smoqe_automata::compile::{CompiledMfa, CompiledNfa, DfaTable, DEAD};
@@ -302,6 +303,23 @@ pub fn evaluate_jump(
     plan: &CompiledMfa,
     tax: &TaxIndex,
 ) -> Option<(NodeSet, EvalStats)> {
+    match evaluate_jump_budgeted(doc, plan, tax, &WorkBudget::unlimited()) {
+        None => None,
+        Some(Ok(result)) => Some(result),
+        Some(Err(_)) => unreachable!("an unlimited budget never interrupts"),
+    }
+}
+
+/// [`evaluate_jump`] under a [`WorkBudget`]: the driver checks the budget
+/// once per probed candidate (and per `HasPath` witness step) and
+/// abandons with its partial counters when the budget interrupts. `None`
+/// still means "not jump-eligible" — budgeting never changes eligibility.
+pub fn evaluate_jump_budgeted(
+    doc: &Document,
+    plan: &CompiledMfa,
+    tax: &TaxIndex,
+    budget: &WorkBudget,
+) -> Option<Result<(NodeSet, EvalStats), EvalInterrupt>> {
     let (dfa, exact) = nav(plan)?;
     let li = tax.label_index()?;
     if li.node_count() != doc.node_count() {
@@ -310,11 +328,14 @@ pub fn evaluate_jump(
     let vi = tax
         .value_index()
         .filter(|vi| vi.node_count() == doc.node_count());
-    let mut driver = Jump::new(doc, plan, dfa, exact, tax, li, vi);
+    let mut driver = Jump::new(doc, plan, dfa, exact, tax, li, vi).with_meter(budget.meter());
     // The root is a candidate like any other: step it from the DFA start
     // state (the virtual document node above it is never an answer).
     driver.step_into(doc.root().0, dfa.start());
-    Some(driver.finish())
+    if let Some(interrupt) = driver.take_interrupt() {
+        return Some(Err(interrupt));
+    }
+    Some(Ok(driver.finish()))
 }
 
 /// One plan's admission to a shared batch jump frontier
@@ -328,6 +349,9 @@ pub(crate) enum FrontierSetup<'a> {
     /// The root entered a jumpable state: the plan contributes its
     /// region candidates to the shared frontier.
     Region(RegionPlan<'a>),
+    /// The work budget interrupted the setup itself (possible on plans
+    /// that fall back to child-stepping or verify guards during setup).
+    Interrupted(EvalInterrupt),
 }
 
 /// A plan whose root region joins a shared jump frontier: everything a
@@ -355,12 +379,13 @@ pub(crate) struct RegionPlan<'a> {
 
 impl<'a> RegionPlan<'a> {
     /// A fresh driver for one frontier chunk of this plan. Drivers are
-    /// thread-local (memos and all); a plan split across chunks gets one
-    /// per chunk.
-    pub(crate) fn driver(&self) -> Jump<'a> {
+    /// thread-local (memos, budget meter and all); a plan split across
+    /// chunks gets one per chunk.
+    pub(crate) fn driver(&self, meter: BudgetMeter) -> Jump<'a> {
         Jump::new(
             self.doc, self.plan, self.dfa, self.exact, self.tax, self.li, self.vi,
         )
+        .with_meter(meter)
     }
 
     /// End of the subtree rooted at `node` (exclusive) — the frontier's
@@ -389,6 +414,15 @@ impl<'a> RegionPlan<'a> {
     }
 }
 
+/// Finishes a setup-time driver, preferring its interrupt (budget fired
+/// during setup) over its result.
+fn setup_done(driver: Jump<'_>) -> FrontierSetup<'_> {
+    match driver.take_interrupt() {
+        Some(interrupt) => FrontierSetup::Interrupted(interrupt),
+        None => FrontierSetup::Done(driver.finish()),
+    }
+}
+
 /// Admits `plan` to a shared jump frontier over `doc`: performs the root
 /// step (the only part that is not frontier-shaped) and either finishes
 /// the evaluation outright or returns the plan's region candidates.
@@ -398,6 +432,7 @@ pub(crate) fn frontier_setup<'a>(
     doc: &'a Document,
     plan: &'a CompiledMfa,
     tax: &'a TaxIndex,
+    meter: BudgetMeter,
 ) -> Option<FrontierSetup<'a>> {
     let (dfa, exact) = nav(plan)?;
     let li = tax.label_index()?;
@@ -407,18 +442,18 @@ pub(crate) fn frontier_setup<'a>(
     let vi = tax
         .value_index()
         .filter(|vi| vi.node_count() == doc.node_count());
-    let mut driver = Jump::new(doc, plan, dfa, exact, tax, li, vi);
+    let mut driver = Jump::new(doc, plan, dfa, exact, tax, li, vi).with_meter(meter);
     let root = doc.root();
     let label = doc.label(root).expect("root is an element");
     let state = dfa.step(dfa.start(), plan.col(label));
     // Mirror `step_into` on the root.
     if state == DEAD {
         driver.stats.subtrees_skipped_dead += 1;
-        return Some(FrontierSetup::Done(driver.finish()));
+        return Some(setup_done(driver));
     }
     if !driver.satisfiable(state, tax.descendant_labels(root)) {
         driver.stats.subtrees_pruned_tax += 1;
-        return Some(FrontierSetup::Done(driver.finish()));
+        return Some(setup_done(driver));
     }
     let verified = if exact {
         None
@@ -426,7 +461,7 @@ pub(crate) fn frontier_setup<'a>(
         let set = driver.exact_set(root.0);
         if set.is_empty() {
             driver.stats.subtrees_skipped_dead += 1;
-            return Some(FrontierSetup::Done(driver.finish()));
+            return Some(setup_done(driver));
         }
         Some(set)
     };
@@ -443,7 +478,7 @@ pub(crate) fn frontier_setup<'a>(
     let lo = root.0 + 1;
     let hi = li.subtree_end(root);
     if lo >= hi {
-        return Some(FrontierSetup::Done(driver.finish()));
+        return Some(setup_done(driver));
     }
     let info = driver.info(state);
     if !info.jumpable {
@@ -453,13 +488,16 @@ pub(crate) fn frontier_setup<'a>(
         for c in doc.child_elements(root) {
             driver.step_into(c.0, state);
         }
-        return Some(FrontierSetup::Done(driver.finish()));
+        return Some(setup_done(driver));
     }
     if !info.trigger_set.intersects(tax.descendant_labels(root)) {
         driver.stats.subtrees_pruned_tax += 1;
-        return Some(FrontierSetup::Done(driver.finish()));
+        return Some(setup_done(driver));
     }
     let candidates = driver.region_candidates(lo, hi, &info);
+    if let Some(interrupt) = driver.take_interrupt() {
+        return Some(FrontierSetup::Interrupted(interrupt));
+    }
     let Jump { answers, stats, .. } = driver;
     Some(FrontierSetup::Region(RegionPlan {
         doc,
@@ -661,6 +699,12 @@ pub(crate) struct Jump<'a> {
     pred_memo: HashMap<(PredId, u32), bool>,
     answers: Vec<u32>,
     stats: EvalStats,
+    /// Work-budget countdown, ticked per probed candidate and per
+    /// `HasPath` witness step (unarmed by default — one branch).
+    meter: BudgetMeter,
+    /// Set once the meter fires; every later probe returns immediately,
+    /// so the whole recursion unwinds within one check interval.
+    interrupted: Option<Interrupt>,
 }
 
 impl<'a> Jump<'a> {
@@ -692,7 +736,24 @@ impl<'a> Jump<'a> {
                 tree_passes: 1,
                 ..Default::default()
             },
+            meter: BudgetMeter::default(),
+            interrupted: None,
         }
+    }
+
+    /// Arms this driver with a budget meter.
+    fn with_meter(mut self, meter: BudgetMeter) -> Self {
+        self.meter = meter;
+        self
+    }
+
+    /// The interrupt that abandoned this driver, with its partial
+    /// counters, if the budget fired.
+    pub(crate) fn take_interrupt(&self) -> Option<EvalInterrupt> {
+        self.interrupted.map(|kind| EvalInterrupt {
+            kind,
+            stats: self.stats,
+        })
     }
 
     /// Lazily computes the jump classification of `state`.
@@ -856,6 +917,13 @@ impl<'a> Jump<'a> {
         }
         let mut stack: Vec<(u32, Vec<StateId>)> = vec![(origin, start_set)];
         while let Some((n, set)) = stack.pop() {
+            // Witness walks can span whole hidden subtrees; tick so a
+            // deadline cuts them off like any other traversal (the
+            // caller's verdict is discarded along with the evaluation).
+            if let Some(kind) = self.meter.tick() {
+                self.interrupted = Some(kind);
+                return false;
+            }
             let children: Vec<NodeId> = if n == VIRTUAL_NODE {
                 vec![self.doc.root()]
             } else {
@@ -899,6 +967,13 @@ impl<'a> Jump<'a> {
     /// skipped wholesale, exactly like a DEAD step (and like the scan
     /// walker, which never enters it either).
     pub(crate) fn step_into(&mut self, node: u32, state: u32) {
+        if self.interrupted.is_some() {
+            return;
+        }
+        if let Some(kind) = self.meter.tick() {
+            self.interrupted = Some(kind);
+            return;
+        }
         let id = NodeId(node);
         let label = self.doc.label(id).expect("candidates are elements");
         let next = self.dfa.step(state, self.plan.col(label));
@@ -1020,6 +1095,9 @@ impl<'a> Jump<'a> {
             // advanced the cursor past this whole subtree, and narrowed-
             // out occurrences provably behave as stutters.
             self.step_into(next, state);
+            if self.interrupted.is_some() {
+                return;
+            }
             cursor = self.li.subtree_end(NodeId(next));
         }
     }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod budget;
 pub mod cans;
 pub mod dom;
 pub mod frontier;
@@ -42,11 +43,16 @@ pub mod twopass;
 
 pub use batch::{
     evaluate_batch_stream, evaluate_batch_stream_each, evaluate_batch_stream_plans,
-    evaluate_batch_stream_plans_with, evaluate_batch_stream_str, evaluate_batch_stream_with,
-    BatchOutcome,
+    evaluate_batch_stream_plans_budgeted, evaluate_batch_stream_plans_with,
+    evaluate_batch_stream_str, evaluate_batch_stream_with, BatchOutcome,
 };
-pub use dom::{evaluate_mfa, evaluate_mfa_plan, evaluate_mfa_with, DomOptions};
-pub use frontier::evaluate_jump_frontier;
+pub use budget::{
+    BudgetMeter, DriverError, EvalInterrupt, Interrupt, WorkBudget, DEFAULT_CHECK_INTERVAL,
+};
+pub use dom::{
+    evaluate_mfa, evaluate_mfa_plan, evaluate_mfa_plan_budgeted, evaluate_mfa_with, DomOptions,
+};
+pub use frontier::{evaluate_jump_frontier, evaluate_jump_frontier_budgeted};
 pub use jump::{
     evaluate_jump, jump_available, jump_eligible, selectivity_estimate, start_region_triggers,
     SelectivityEstimate, TriggerInfo, TriggerKind,
@@ -55,6 +61,7 @@ pub use machine::ExecMode;
 pub use observer::{EvalObserver, NoopObserver, PruneReason};
 pub use stats::EvalStats;
 pub use stream::{
-    evaluate_stream, evaluate_stream_plan_with, evaluate_stream_str, StreamOptions, StreamOutcome,
+    evaluate_stream, evaluate_stream_plan_budgeted, evaluate_stream_plan_with, evaluate_stream_str,
+    StreamOptions, StreamOutcome,
 };
 pub use twopass::{evaluate_mfa_twopass, evaluate_mfa_twopass_report, TwoPassReport};

@@ -23,7 +23,11 @@
 //! is the 1-lane special case of the batched evaluator, so both paths
 //! share one implementation.
 
-use crate::batch::{evaluate_batch_stream_plans_with, evaluate_batch_stream_with};
+use crate::batch::{
+    evaluate_batch_stream_plans_budgeted, evaluate_batch_stream_plans_with,
+    evaluate_batch_stream_with,
+};
+use crate::budget::{DriverError, WorkBudget};
 use crate::machine::ExecMode;
 use crate::observer::{EvalObserver, NoopObserver};
 use crate::stats::EvalStats;
@@ -104,6 +108,35 @@ pub fn evaluate_stream_plan_with<R: BufRead>(
     let mut observers: [&mut dyn EvalObserver; 1] = [observer];
     let out =
         evaluate_batch_stream_plans_with(reader, &[(plan, options)], vocab, mode, &mut observers)?;
+    Ok(out
+        .outcomes
+        .into_iter()
+        .next()
+        .expect("one plan in, one outcome out"))
+}
+
+/// [`evaluate_stream_plan_with`] under a [`WorkBudget`] (the 1-lane
+/// special case of [`evaluate_batch_stream_plans_budgeted`]): the scan
+/// checks the budget once per parser event and abandons with the partial
+/// counters when the deadline passes or the cancel token flips.
+pub fn evaluate_stream_plan_budgeted<R: BufRead>(
+    reader: R,
+    plan: &CompiledMfa,
+    vocab: &Vocabulary,
+    options: StreamOptions,
+    mode: ExecMode,
+    observer: &mut dyn EvalObserver,
+    budget: &WorkBudget,
+) -> Result<StreamOutcome, DriverError> {
+    let mut observers: [&mut dyn EvalObserver; 1] = [observer];
+    let out = evaluate_batch_stream_plans_budgeted(
+        reader,
+        &[(plan, options)],
+        vocab,
+        mode,
+        &mut observers,
+        budget,
+    )?;
     Ok(out
         .outcomes
         .into_iter()

@@ -237,6 +237,21 @@ impl Admission {
     pub fn busy_total(&self) -> u64 {
         self.busy_counts().values().sum()
     }
+
+    /// Admitted-but-unfinished requests across all tenants right now.
+    ///
+    /// This is the `inflight` stats gauge: every admitted request holds
+    /// exactly one slot until its [`InflightGuard`] drops, so a drained,
+    /// idle server must report 0 — the zero-leak invariant the chaos
+    /// harness asserts after every fault scenario.
+    pub fn inflight_total(&self) -> usize {
+        self.gates
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .map(|g| g.inflight.load(Ordering::Acquire))
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -278,9 +293,28 @@ mod tests {
         let t0 = Instant::now();
         let g1 = adm.admit("g", t0).unwrap();
         let _g2 = adm.admit("g", t0).unwrap();
+        assert_eq!(adm.inflight_total(), 2);
         assert!(adm.admit("g", t0).is_err());
         drop(g1);
+        assert_eq!(adm.inflight_total(), 1);
         assert!(adm.admit("g", t0).is_ok());
+    }
+
+    #[test]
+    fn inflight_total_sums_across_tenants_and_returns_to_zero() {
+        let adm = admission(TenantQuota {
+            rate_per_sec: 1e6,
+            burst: 1_000_000,
+            max_inflight: 8,
+        });
+        let t0 = Instant::now();
+        let guards: Vec<_> = ["a", "a", "b", "c"]
+            .iter()
+            .map(|t| adm.admit(t, t0).unwrap())
+            .collect();
+        assert_eq!(adm.inflight_total(), 4);
+        drop(guards);
+        assert_eq!(adm.inflight_total(), 0);
     }
 
     #[test]

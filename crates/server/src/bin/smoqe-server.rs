@@ -128,7 +128,9 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
     let engine = match args.flags.get("data-dir") {
         Some(dir) => {
-            let gate = RecoveryGate::start(&listener)?;
+            // The gate shares the server's write-timeout policy (the
+            // serving config is assembled below with the same default).
+            let gate = RecoveryGate::start_with(&listener, ServerConfig::default().write_timeout)?;
             let engine = Engine::recover(EngineConfig::default(), std::path::Path::new(dir))?;
             gate.finish();
             if engine.recovery_epoch() > 0 {
@@ -185,10 +187,13 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(token) = args.flags.get("group-token") {
         group_tokens.insert(served_group, token.clone());
     }
+    let queue_capacity = parsed(args, "queue", defaults.queue_capacity)?;
     let config = ServerConfig {
         addr,
         workers: parsed(args, "workers", defaults.workers)?,
-        queue_capacity: parsed(args, "queue", defaults.queue_capacity)?,
+        queue_capacity,
+        // Brownout at three quarters of whatever bound was picked.
+        brownout_watermark: (queue_capacity * 3 / 4).max(1),
         trace_capacity: parsed(args, "trace", defaults.trace_capacity)?,
         default_quota,
         admin_token: args.flags.get("admin-token").cloned(),

@@ -16,8 +16,8 @@
 //! smoqe update   --dtd D.dtd --doc T.xml [--policy P.pol] [--out FILE]
 //!                [--batch FILE | STATEMENT...]         # policy-checked mutations
 //! smoqe bench-traffic [--addr HOST:PORT] [--sessions N] [--requests N]
-//!                [--workers N] [--seed S] [--admin-token T]
-//!                                                      # drive mixed load at a server
+//!                [--workers N] [--seed S] [--deadline-ms N]
+//!                [--admin-token T]                     # drive mixed load at a server
 //! ```
 //!
 //! `--repeat N` re-runs the query N times: every run after the first hits
@@ -47,8 +47,12 @@
 //! principals) of mixed single-query / shared-scan-batch / update traffic
 //! against `--addr`, or — without `--addr` — against a freshly started
 //! in-process server preloaded with the hospital sample. It reports
-//! p50/p95/p99 latency, QPS, and the admission-control refusal counts,
-//! overall and per tenant (see `smoqe-server serve` for the server side).
+//! p50/p95/p99 latency, QPS, the admission-control refusal counts
+//! (overall and per tenant), and the server's robustness counters for
+//! the run: deadline sheds, mid-scan abandons, cancellations, brownout
+//! refusals and the in-flight gauge (see `smoqe-server serve` for the
+//! server side). `--deadline-ms N` arms every request with a caller
+//! deadline so the shed/abandon paths see load too.
 //!
 //! `update` applies `insert <f> into|before|after p` / `delete p` /
 //! `replace p with <f>` statements. With `--policy` the statements run as
@@ -166,6 +170,7 @@ fn print_usage() {
                                                              emit the updated document\n\
            bench-traffic [--addr HOST:PORT] [--sessions N]\n\
                     [--requests N] [--workers N] [--seed S]\n\
+                    [--deadline-ms N]\n\
                     [--admin-token T] [--shutdown]           drive concurrent mixed load at a\n\
                                                              smoqe-server (or a self-hosted\n\
                                                              one) and report latency/QPS;\n\
@@ -640,6 +645,11 @@ fn cmd_bench_traffic(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     // Needed against a remote server that was started with an admin
     // token (self-hosted and loopback servers accept admins without one).
     config.admin_token = args.flags.get("admin-token").cloned();
+    // `--deadline-ms N` arms every request with a caller deadline, so
+    // the run also exercises the shed/abandon machinery under load.
+    if let Some(ms) = args.flags.get("deadline-ms") {
+        config.deadline = Some(std::time::Duration::from_millis(ms.parse()?));
+    }
 
     let report = run_traffic(&config)?;
     println!(
@@ -666,6 +676,32 @@ fn cmd_bench_traffic(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  tenant {tenant}: {} ok, p50 {}us, p95 {}us, p99 {}us",
             s.count, s.p50_us, s.p95_us, s.p99_us
+        );
+    }
+
+    // The server-side robustness counters for the run (the serving
+    // analog of `--cache-stats`): what was shed with an expired
+    // deadline, abandoned mid-scan, cancelled by a vanished client or
+    // refused by brownout — plus the `inflight` gauge, which must read
+    // 0 on a drained server.
+    {
+        let mut admin = smoqe_server::Client::connect(&config.addr)?;
+        admin.hello_auth(
+            &config.document,
+            smoqe_server::Principal::Admin,
+            config.admin_token.as_deref(),
+        )?;
+        let s = admin.stats(false)?;
+        println!(
+            "server: {} shed, {} deadline-expired mid-scan, {} cancelled, \
+             {} brownout-refused, {} busy, {} slow-client drop(s), {} inflight",
+            s.shed_total,
+            s.deadline_total,
+            s.cancelled_total,
+            s.overloaded_total,
+            s.busy_total,
+            s.slow_client_drops,
+            s.inflight,
         );
     }
 

@@ -1,0 +1,380 @@
+//! Socket-level network-fault injection: a chaos proxy.
+//!
+//! The serving layer's failure story — cooperative cancellation, queue
+//! shedding, slow-client drops, admission-slot release — only counts if
+//! it holds against *real* socket misbehavior, not just clean closes. The
+//! [`ChaosProxy`] sits between clients and a live server and injects the
+//! faults TCP actually produces in the wild:
+//!
+//! * **stall mid-frame** — a request freezes halfway through its bytes,
+//!   then resumes (a client behind a congested path);
+//! * **dribble** — bytes arrive one at a time (frame-reassembly stress);
+//! * **torn write** — the connection dies partway through a request
+//!   frame (the byte stream ends at an arbitrary boundary);
+//! * **abrupt disconnect** — the connection dies partway through a
+//!   *response* (the client vanishes while a worker is writing to it).
+//!
+//! Faults are assigned per connection from an explicit schedule or from a
+//! [`seeded_schedule`] (xorshift64*, same family as the traffic
+//! harness), so a chaos run is reproducible from its seed. The proxy
+//! never interprets frames — it counts raw bytes, which is exactly how a
+//! hostile network would cut them.
+//!
+//! `tests/chaos.rs` drives a traffic mix through the proxy and then
+//! asserts the server's zero-leak invariants: `inflight` back to 0,
+//! queue empty, and a healthy direct connection with bounded latency.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One fault mode, applied to a single proxied connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward both directions untouched (the control group — a chaos
+    /// run should always mix healthy connections in, so "unaffected
+    /// traffic stays unaffected" is testable).
+    Forward,
+    /// Forward `after` client→server bytes, then freeze that direction
+    /// for `stall_ms`, then resume. With `after` inside a frame this
+    /// holds the server's `FrameBuffer` on a partial frame.
+    StallMidFrame {
+        /// Client bytes forwarded before the stall.
+        after: usize,
+        /// Stall length in milliseconds.
+        stall_ms: u64,
+    },
+    /// Deliver client→server bytes one byte per write, pausing `gap_ms`
+    /// between bytes (0 = back-to-back one-byte writes).
+    Dribble {
+        /// Pause between bytes in milliseconds.
+        gap_ms: u64,
+    },
+    /// Forward `after` client→server bytes, then sever both directions:
+    /// the server sees a request frame torn at an arbitrary byte.
+    TearWrite {
+        /// Client bytes forwarded before the cut.
+        after: usize,
+    },
+    /// Sever both directions after `after` server→client bytes: the
+    /// client vanishes while its response is in flight.
+    Disconnect {
+        /// Response bytes delivered before the cut.
+        after: usize,
+    },
+}
+
+/// A reproducible per-connection fault schedule: connection `i` (in
+/// accept order) gets `schedule[i % len]`. Generated from `seed` with
+/// xorshift64* so two runs with the same seed inject identical faults.
+///
+/// The mix leans on the disruptive modes but always includes healthy
+/// connections, and picks cut points inside the frame header / small
+/// payloads (every request frame is at least 14 bytes on the wire).
+pub fn seeded_schedule(seed: u64, len: usize) -> Vec<Fault> {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        let mut x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    (0..len)
+        .map(|_| match next() % 5 {
+            0 => Fault::Forward,
+            1 => Fault::StallMidFrame {
+                after: 1 + (next() % 40) as usize,
+                stall_ms: 20 + next() % 60,
+            },
+            2 => Fault::Dribble { gap_ms: next() % 2 },
+            3 => Fault::TearWrite {
+                after: 1 + (next() % 40) as usize,
+            },
+            _ => Fault::Disconnect {
+                after: 1 + (next() % 200) as usize,
+            },
+        })
+        .collect()
+}
+
+/// What one pump thread does to the byte stream it forwards.
+#[derive(Clone, Copy, Debug)]
+enum PumpFault {
+    Forward,
+    Stall { after: usize, stall_ms: u64 },
+    Dribble { gap_ms: u64 },
+    Tear { after: usize },
+}
+
+impl Fault {
+    /// Splits a connection fault into its two directional halves.
+    fn pump_faults(self) -> (PumpFault, PumpFault) {
+        match self {
+            Fault::Forward => (PumpFault::Forward, PumpFault::Forward),
+            Fault::StallMidFrame { after, stall_ms } => {
+                (PumpFault::Stall { after, stall_ms }, PumpFault::Forward)
+            }
+            Fault::Dribble { gap_ms } => (PumpFault::Dribble { gap_ms }, PumpFault::Forward),
+            Fault::TearWrite { after } => (PumpFault::Tear { after }, PumpFault::Forward),
+            Fault::Disconnect { after } => (PumpFault::Forward, PumpFault::Tear { after }),
+        }
+    }
+}
+
+/// A running fault-injection proxy in front of one upstream server.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    pumps: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    connections: Arc<AtomicU64>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port and proxies every accepted
+    /// connection to `upstream`, applying `schedule[i % len]` to the
+    /// `i`-th connection. An empty schedule forwards everything.
+    pub fn start(upstream: SocketAddr, schedule: Vec<Fault>) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let pumps: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let connections = Arc::new(AtomicU64::new(0));
+        let accept = {
+            let stop = stop.clone();
+            let pumps = pumps.clone();
+            let connections = connections.clone();
+            std::thread::Builder::new()
+                .name("chaos-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(client) = stream else { continue };
+                        let Ok(server) = TcpStream::connect(upstream) else {
+                            let _ = client.shutdown(Shutdown::Both);
+                            continue;
+                        };
+                        let i = connections.fetch_add(1, Ordering::AcqRel) as usize;
+                        let fault = if schedule.is_empty() {
+                            Fault::Forward
+                        } else {
+                            schedule[i % schedule.len()]
+                        };
+                        let (c2s, s2c) = fault.pump_faults();
+                        let mut guard = pumps.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.retain(|h| !h.is_finished());
+                        for (from, to, dir_fault, name) in [
+                            (client.try_clone(), server.try_clone(), c2s, "c2s"),
+                            (Ok(server), Ok(client), s2c, "s2c"),
+                        ] {
+                            let (Ok(from), Ok(to)) = (from, to) else {
+                                continue;
+                            };
+                            let stop = stop.clone();
+                            if let Ok(h) = std::thread::Builder::new()
+                                .name(format!("chaos-{name}-{i}"))
+                                .spawn(move || pump(from, to, dir_fault, &stop))
+                            {
+                                guard.push(h);
+                            }
+                        }
+                    }
+                })?
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accept: Some(accept),
+            pumps,
+            connections,
+        })
+    }
+
+    /// The proxy's listen address (point clients here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting, severs all proxied connections, joins threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Pop the acceptor out of accept() (same trick as the server).
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        let pumps = std::mem::take(&mut *self.pumps.lock().unwrap_or_else(|e| e.into_inner()));
+        for p in pumps {
+            let _ = p.join();
+        }
+    }
+}
+
+/// Sleeps `ms` in short slices, bailing out early when `stop` flips — a
+/// stalled connection must not hold proxy shutdown hostage.
+fn interruptible_sleep(ms: u64, stop: &AtomicBool) {
+    let mut left = ms;
+    while left > 0 && !stop.load(Ordering::Acquire) {
+        let slice = left.min(10);
+        std::thread::sleep(Duration::from_millis(slice));
+        left -= slice;
+    }
+}
+
+/// Forwards bytes `from` → `to` under one directional fault until either
+/// side drops, the fault severs the stream, or the proxy stops. Always
+/// shuts both sockets down on exit so the peer threads unblock too.
+fn pump(mut from: TcpStream, mut to: TcpStream, fault: PumpFault, stop: &AtomicBool) {
+    // The read timeout doubles as the stop-poll tick.
+    let _ = from.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut buf = [0u8; 16 * 1024];
+    let mut forwarded = 0usize;
+    let mut stalled = false;
+    'pump: while !stop.load(Ordering::Acquire) {
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        let chunk = &buf[..n];
+        let ok = match fault {
+            PumpFault::Forward => to.write_all(chunk).is_ok(),
+            PumpFault::Stall { after, stall_ms } => {
+                if !stalled && forwarded + n > after {
+                    let head = after.saturating_sub(forwarded);
+                    if to.write_all(&chunk[..head]).is_err() {
+                        break;
+                    }
+                    interruptible_sleep(stall_ms, stop);
+                    stalled = true;
+                    to.write_all(&chunk[head..]).is_ok()
+                } else {
+                    to.write_all(chunk).is_ok()
+                }
+            }
+            PumpFault::Dribble { gap_ms } => {
+                for byte in chunk {
+                    if stop.load(Ordering::Acquire) || to.write_all(&[*byte]).is_err() {
+                        break 'pump;
+                    }
+                    if gap_ms > 0 {
+                        interruptible_sleep(gap_ms, stop);
+                    }
+                }
+                true
+            }
+            PumpFault::Tear { after } => {
+                let head = (after.saturating_sub(forwarded)).min(n);
+                let _ = to.write_all(&chunk[..head]);
+                forwarded += head;
+                if forwarded >= after {
+                    break; // sever both sides below
+                }
+                true
+            }
+        };
+        if !ok {
+            break;
+        }
+        if !matches!(fault, PumpFault::Tear { .. }) {
+            forwarded += n;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_schedules_are_reproducible_and_mixed() {
+        let a = seeded_schedule(0xC0FFEE, 64);
+        let b = seeded_schedule(0xC0FFEE, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, seeded_schedule(0xBEEF, 64));
+        // All five modes show up in a schedule of this size.
+        assert!(a.iter().any(|f| matches!(f, Fault::Forward)));
+        assert!(a.iter().any(|f| matches!(f, Fault::StallMidFrame { .. })));
+        assert!(a.iter().any(|f| matches!(f, Fault::Dribble { .. })));
+        assert!(a.iter().any(|f| matches!(f, Fault::TearWrite { .. })));
+        assert!(a.iter().any(|f| matches!(f, Fault::Disconnect { .. })));
+    }
+
+    #[test]
+    fn forward_proxy_is_transparent() {
+        // An echo upstream: whatever arrives goes back verbatim.
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 256];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+
+        let proxy = ChaosProxy::start(upstream_addr, vec![Fault::Forward]).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        c.write_all(b"hello through the storm").unwrap();
+        let mut got = [0u8; 23];
+        c.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello through the storm");
+        assert_eq!(proxy.connections(), 1);
+
+        drop(c);
+        proxy.shutdown();
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn tear_write_cuts_at_the_configured_byte() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let count = std::thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut total = 0usize;
+            let mut buf = [0u8; 256];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => total += n,
+                }
+            }
+            total
+        });
+
+        let proxy = ChaosProxy::start(upstream_addr, vec![Fault::TearWrite { after: 5 }]).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        c.write_all(b"0123456789").unwrap();
+        // The upstream sees exactly 5 bytes, then EOF.
+        assert_eq!(count.join().unwrap(), 5);
+        proxy.shutdown();
+    }
+}

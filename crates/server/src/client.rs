@@ -12,7 +12,7 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::proto::{
     Frame, FrameBuffer, Principal, Request, Response, WireStats, WireUpdateReport,
@@ -33,6 +33,19 @@ pub enum ClientError {
         /// Suggested backoff in milliseconds.
         retry_after_ms: u32,
     },
+    /// The server is in brownout (queue past its high-watermark) and
+    /// refused the request before execution; retry after the hint. The
+    /// connection remains usable.
+    Overloaded {
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The caller's [request deadline](Client::set_request_deadline)
+    /// elapsed on the client side — before the request could be (re)sent,
+    /// or while waiting out a retry backoff. The server may also report
+    /// its own expiry; that arrives as [`ClientError::Remote`] with the
+    /// `DEADLINE_EXCEEDED` code.
+    DeadlineExceeded,
     /// The server answered with an error frame (engine codes `1..=99`,
     /// protocol codes `100..`).
     Remote {
@@ -60,6 +73,12 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ClientError::Busy { retry_after_ms } => {
                 write!(f, "server busy; retry after {retry_after_ms}ms")
+            }
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms}ms")
+            }
+            ClientError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded before a response arrived")
             }
             ClientError::Remote { code, message } => {
                 write!(f, "server error {code}: {message}")
@@ -142,6 +161,7 @@ pub struct Client {
     retry: Option<RetryPolicy>,
     jitter: u64,
     busy_retries: u64,
+    request_deadline: Option<Duration>,
 }
 
 impl Client {
@@ -157,12 +177,28 @@ impl Client {
             retry: None,
             jitter: 0,
             busy_retries: 0,
+            request_deadline: None,
         })
     }
 
-    /// Caps how long a single response read may block.
+    /// Caps how long a single socket operation may block — reads *and*
+    /// writes: a server that stops draining its receive buffer must not
+    /// wedge the client any more than the reverse.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
-        self.stream.set_read_timeout(timeout)
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// Sets (or, with `None`, clears) a per-request deadline.
+    ///
+    /// Each subsequent engine op carries the *remaining* budget as its
+    /// wire `deadline_ms` — recomputed per retry attempt, so the server
+    /// sees how much time the caller actually has left, not the original
+    /// allowance. The retry loop never sleeps past the deadline: a
+    /// backoff that would overshoot returns
+    /// [`ClientError::DeadlineExceeded`] instead of retrying.
+    pub fn set_request_deadline(&mut self, deadline: Option<Duration>) {
+        self.request_deadline = deadline;
     }
 
     /// Enables (or, with `None`, disables) transparent retry of `Busy`
@@ -215,31 +251,62 @@ impl Client {
         }
     }
 
-    /// Sends `request` and decodes the response, mapping `Busy`/`Error`
-    /// frames to their error variants. With a [`RetryPolicy`] installed,
-    /// `Busy` responses are retried in place (the refusal happened before
-    /// execution, so a re-send cannot double-apply) until the policy's
-    /// attempt budget runs out.
+    /// Sends `request` and decodes the response, mapping
+    /// `Busy`/`Overloaded`/`Error` frames to their error variants. With a
+    /// [`RetryPolicy`] installed, `Busy` and `Overloaded` responses are
+    /// retried in place (either refusal happened before execution, so a
+    /// re-send cannot double-apply) until the policy's attempt budget —
+    /// or the [request deadline](Client::set_request_deadline) — runs
+    /// out.
     pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let deadline = self.request_deadline.map(|d| Instant::now() + d);
         let mut attempt = 1u32;
         loop {
-            let frame = self.request_raw(request)?;
+            let frame = match deadline {
+                Some(deadline) => {
+                    // Stamp this attempt with the budget actually left.
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(ClientError::DeadlineExceeded);
+                    }
+                    let ms = remaining.as_millis().min(u128::from(u32::MAX)).max(1) as u32;
+                    let mut stamped = request.clone();
+                    stamped.set_deadline_ms(ms);
+                    self.request_raw(&stamped)?
+                }
+                None => self.request_raw(request)?,
+            };
             let response = Response::decode(frame.op, &frame.payload)
                 .map_err(|e| ClientError::Protocol(e.to_string()))?;
-            match response {
-                Response::Busy { retry_after_ms } => match self.retry {
-                    Some(policy) if attempt < policy.max_attempts => {
-                        self.busy_retries += 1;
-                        let wait = policy.backoff_ms(attempt, retry_after_ms, &mut self.jitter);
-                        std::thread::sleep(Duration::from_millis(wait));
-                        attempt += 1;
-                    }
-                    _ => return Err(ClientError::Busy { retry_after_ms }),
-                },
+            let (retry_after_ms, exhausted): (u32, fn(u32) -> ClientError) = match response {
+                Response::Busy { retry_after_ms } => (retry_after_ms, |ms| ClientError::Busy {
+                    retry_after_ms: ms,
+                }),
+                Response::Overloaded { retry_after_ms } => (retry_after_ms, |ms| {
+                    ClientError::Overloaded { retry_after_ms: ms }
+                }),
                 Response::Error { code, message } => {
                     return Err(ClientError::Remote { code, message })
                 }
                 other => return Ok(other),
+            };
+            match self.retry {
+                Some(policy) if attempt < policy.max_attempts => {
+                    let wait = policy.backoff_ms(attempt, retry_after_ms, &mut self.jitter);
+                    // Never sleep past the caller's deadline: if the
+                    // backoff would overshoot, the retry could not be
+                    // answered in time anyway.
+                    if let Some(deadline) = deadline {
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        if Duration::from_millis(wait) >= remaining {
+                            return Err(ClientError::DeadlineExceeded);
+                        }
+                    }
+                    self.busy_retries += 1;
+                    std::thread::sleep(Duration::from_millis(wait));
+                    attempt += 1;
+                }
+                _ => return Err(exhausted(retry_after_ms)),
             }
         }
     }
@@ -275,6 +342,7 @@ impl Client {
     pub fn query(&mut self, query: &str) -> Result<RemoteAnswer, ClientError> {
         match self.roundtrip(&Request::Query {
             query: query.to_string(),
+            deadline_ms: 0,
         })? {
             Response::AnswerOk(a) => Ok(a),
             other => Err(unexpected(&other)),
@@ -289,6 +357,7 @@ impl Client {
     ) -> Result<(Vec<RemoteAnswer>, u64), ClientError> {
         match self.roundtrip(&Request::QueryBatch {
             queries: queries.iter().map(|q| q.to_string()).collect(),
+            deadline_ms: 0,
         })? {
             Response::BatchOk { answers, events } => Ok((answers, events)),
             other => Err(unexpected(&other)),
@@ -299,6 +368,7 @@ impl Client {
     pub fn update(&mut self, statement: &str) -> Result<WireUpdateReport, ClientError> {
         match self.roundtrip(&Request::Update {
             statement: statement.to_string(),
+            deadline_ms: 0,
         })? {
             Response::UpdateOk(r) => Ok(r),
             other => Err(unexpected(&other)),
@@ -312,6 +382,7 @@ impl Client {
     ) -> Result<Vec<WireUpdateReport>, ClientError> {
         match self.roundtrip(&Request::UpdateBatch {
             statements: statements.iter().map(|s| s.to_string()).collect(),
+            deadline_ms: 0,
         })? {
             Response::UpdateBatchOk(reports) => Ok(reports),
             other => Err(unexpected(&other)),

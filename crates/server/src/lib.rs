@@ -29,6 +29,11 @@
 //!   concurrent mixed read/write sessions against a live server and
 //!   reporting p50/p95/p99 latency and QPS (the `serving_latency_us`
 //!   series of BENCH.json).
+//! * [`chaos`] — a socket-level fault-injection proxy (stalls, byte
+//!   dribble, torn writes, abrupt disconnects) with seeded, reproducible
+//!   schedules; `tests/chaos.rs` uses it to prove the deadline /
+//!   cancellation / shedding machinery leaks no slots or queue entries
+//!   under network failure.
 //!
 //! ## Security over the wire
 //!
@@ -52,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod chaos;
 pub mod client;
 pub mod context;
 pub mod proto;
@@ -61,6 +67,7 @@ pub mod trace;
 pub mod traffic;
 
 pub use admission::TenantQuota;
+pub use chaos::{seeded_schedule, ChaosProxy, Fault};
 pub use client::{Client, ClientError, RemoteAnswer, RetryPolicy};
 pub use context::RequestContext;
 pub use proto::Principal;

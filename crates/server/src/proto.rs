@@ -51,7 +51,7 @@ use smoqe::hype::EvalStats;
 use smoqe::xml::tree::NodeId;
 use smoqe::{Answer, BatchAnswer, CacheMetrics, EngineError, ExecMode, UpdateReport, User};
 
-use crate::trace::TraceEntry;
+use crate::trace::{Outcome, TraceEntry};
 
 /// Protocol version carried in every frame header.
 pub const PROTOCOL_VERSION: u8 = 1;
@@ -107,6 +107,8 @@ pub mod op {
     pub const ERROR: u8 = 0xE0;
     /// Request refused by admission control; retry later.
     pub const BUSY: u8 = 0xE1;
+    /// Request refused by brownout overload protection; retry later.
+    pub const OVERLOADED: u8 = 0xE2;
 }
 
 /// Error codes carried by [`Response::Error`].
@@ -142,6 +144,20 @@ pub mod code {
     /// request was not processed. Retry shortly — the address is right,
     /// the data just is not ready yet.
     pub const RECOVERING: u16 = 110;
+    /// The request's `deadline_ms` passed before an answer was produced.
+    /// One code covers every stage — shed from the queue before running,
+    /// or abandoned mid-evaluation — so the frame never reveals how far a
+    /// query got (or how much hidden structure it touched).
+    pub const DEADLINE_EXCEEDED: u16 = 111;
+    /// The server is in brownout: the queue passed its high-watermark and
+    /// new non-admin work is refused until in-flight work drains. (The
+    /// refusal itself travels as [`super::Response::Overloaded`]; this
+    /// code exists for trace rings and logs.)
+    pub const OVERLOADED: u16 = 112;
+    /// The request was cooperatively cancelled (its connection died or an
+    /// operator killed it) before an answer was produced. Carries no
+    /// progress detail, like [`DEADLINE_EXCEEDED`].
+    pub const CANCELLED: u16 = 113;
 }
 
 // ---------------------------------------------------------------------------
@@ -626,21 +642,35 @@ pub enum Request {
     Query {
         /// The query text.
         query: String,
+        /// Caller's deadline in milliseconds from server receipt
+        /// (`0` = none). Expired work is shed from the queue before it
+        /// runs and abandoned mid-scan if it expires while running.
+        deadline_ms: u32,
     },
     /// Evaluate several queries in one shared scan.
     QueryBatch {
         /// The query texts, answered in order.
         queries: Vec<String>,
+        /// Caller's deadline for the whole batch in milliseconds from
+        /// server receipt (`0` = none).
+        deadline_ms: u32,
     },
     /// Apply one update statement.
     Update {
         /// The update statement text.
         statement: String,
+        /// Caller's deadline in milliseconds from server receipt
+        /// (`0` = none). Updates are shed from the queue when expired but
+        /// never interrupted mid-application (atomicity first).
+        deadline_ms: u32,
     },
     /// Apply several update statements as one all-or-nothing transaction.
     UpdateBatch {
         /// The statement texts.
         statements: Vec<String>,
+        /// Caller's deadline in milliseconds from server receipt
+        /// (`0` = none); queue-shed only, like [`Request::Update`].
+        deadline_ms: u32,
     },
     /// Load a document into the catalog (admin only).
     OpenDocument {
@@ -678,6 +708,32 @@ impl Request {
             Request::Stats { .. } => op::STATS,
             Request::Ping => op::PING,
             Request::Shutdown => op::SHUTDOWN,
+        }
+    }
+
+    /// The caller's deadline in milliseconds for the engine ops (`0` =
+    /// none; ops without a deadline field report `0` too).
+    pub fn deadline_ms(&self) -> u32 {
+        match self {
+            Request::Query { deadline_ms, .. }
+            | Request::QueryBatch { deadline_ms, .. }
+            | Request::Update { deadline_ms, .. }
+            | Request::UpdateBatch { deadline_ms, .. } => *deadline_ms,
+            _ => 0,
+        }
+    }
+
+    /// Sets the deadline field on the engine ops (no-op for other ops).
+    /// The client library uses this to re-stamp each retry attempt with
+    /// the caller's *remaining* budget, since the wire field is relative
+    /// to server receipt.
+    pub fn set_deadline_ms(&mut self, ms: u32) {
+        if let Request::Query { deadline_ms, .. }
+        | Request::QueryBatch { deadline_ms, .. }
+        | Request::Update { deadline_ms, .. }
+        | Request::UpdateBatch { deadline_ms, .. } = self
+        {
+            *deadline_ms = ms;
         }
     }
 
@@ -721,17 +777,30 @@ impl Request {
                 principal.encode(&mut e);
                 e.opt_str(auth.as_deref());
             }
-            Request::Query { query } => {
+            Request::Query { query, deadline_ms } => {
                 e.str(query);
+                e.u32(*deadline_ms);
             }
-            Request::QueryBatch { queries } => {
+            Request::QueryBatch {
+                queries,
+                deadline_ms,
+            } => {
                 e.str_vec(queries);
+                e.u32(*deadline_ms);
             }
-            Request::Update { statement } => {
+            Request::Update {
+                statement,
+                deadline_ms,
+            } => {
                 e.str(statement);
+                e.u32(*deadline_ms);
             }
-            Request::UpdateBatch { statements } => {
+            Request::UpdateBatch {
+                statements,
+                deadline_ms,
+            } => {
                 e.str_vec(statements);
+                e.u32(*deadline_ms);
             }
             Request::OpenDocument {
                 name,
@@ -768,15 +837,19 @@ impl Request {
             },
             op::QUERY => Request::Query {
                 query: d.str().map_err(Some)?,
+                deadline_ms: d.u32().map_err(Some)?,
             },
             op::QUERY_BATCH => Request::QueryBatch {
                 queries: d.str_vec().map_err(Some)?,
+                deadline_ms: d.u32().map_err(Some)?,
             },
             op::UPDATE => Request::Update {
                 statement: d.str().map_err(Some)?,
+                deadline_ms: d.u32().map_err(Some)?,
             },
             op::UPDATE_BATCH => Request::UpdateBatch {
                 statements: d.str_vec().map_err(Some)?,
+                deadline_ms: d.u32().map_err(Some)?,
             },
             op::OPEN_DOCUMENT => {
                 let name = d.str().map_err(Some)?;
@@ -1108,6 +1181,19 @@ pub struct WireStats {
     /// Connections dropped because the client stopped reading and a
     /// response write timed out (slow-reader protection).
     pub slow_client_drops: u64,
+    /// Requests shed from the queue with their deadline already expired
+    /// (answered without ever running).
+    pub shed_total: u64,
+    /// Requests whose deadline expired mid-evaluation.
+    pub deadline_total: u64,
+    /// Requests cooperatively cancelled mid-flight.
+    pub cancelled_total: u64,
+    /// Requests refused by brownout overload protection.
+    pub overloaded_total: u64,
+    /// Admission slots currently held by in-flight or queued requests
+    /// (a gauge: a drained, idle server reports `0`, which is what the
+    /// chaos harness asserts to prove no fault path leaks a slot).
+    pub inflight: u64,
     /// Per-tenant counters (admin sees all tenants; a group principal
     /// sees only its own row).
     pub tenants: Vec<WireTenant>,
@@ -1138,7 +1224,12 @@ impl WireStats {
             .u64(self.busy_total)
             .u64(self.trace_dropped)
             .u64(self.epoch)
-            .u64(self.slow_client_drops);
+            .u64(self.slow_client_drops)
+            .u64(self.shed_total)
+            .u64(self.deadline_total)
+            .u64(self.cancelled_total)
+            .u64(self.overloaded_total)
+            .u64(self.inflight);
         e.len32(self.tenants.len());
         for t in &self.tenants {
             t.encode(e);
@@ -1148,6 +1239,7 @@ impl WireStats {
             e.u64(t.request_id);
             e.str(&t.tenant);
             e.u8(t.op);
+            e.u8(t.outcome.as_u8());
             e.u16(t.code);
             e.u64(t.micros);
         }
@@ -1168,6 +1260,11 @@ impl WireStats {
             trace_dropped: d.u64()?,
             epoch: d.u64()?,
             slow_client_drops: d.u64()?,
+            shed_total: d.u64()?,
+            deadline_total: d.u64()?,
+            cancelled_total: d.u64()?,
+            overloaded_total: d.u64()?,
+            inflight: d.u64()?,
             ..WireStats::default()
         };
         let nt = d.u32()? as usize;
@@ -1186,6 +1283,7 @@ impl WireStats {
                 request_id: d.u64()?,
                 tenant: d.str()?,
                 op: d.u8()?,
+                outcome: Outcome::from_u8(d.u8()?).ok_or(ProtoError)?,
                 code: d.u16()?,
                 micros: d.u64()?,
             });
@@ -1246,6 +1344,14 @@ pub enum Response {
         /// Suggested client backoff in milliseconds.
         retry_after_ms: u32,
     },
+    /// Refused by brownout overload protection (queue past its
+    /// high-watermark); retry after the hinted delay. Distinct from
+    /// [`Response::Busy`] so clients and dashboards can tell per-tenant
+    /// throttling from whole-server overload.
+    Overloaded {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 impl Response {
@@ -1263,6 +1369,7 @@ impl Response {
             Response::ShutdownOk => op::SHUTDOWN_OK,
             Response::Error { .. } => op::ERROR,
             Response::Busy { .. } => op::BUSY,
+            Response::Overloaded { .. } => op::OVERLOADED,
         }
     }
 
@@ -1270,10 +1377,38 @@ impl Response {
     /// nothing else. Both derive from the error *variant* alone, which is
     /// what keeps `UpdateDenied` frames byte-identical regardless of
     /// whether the target was hidden or never existed.
+    ///
+    /// The interrupt variants map onto the *protocol* deadline/cancel
+    /// codes rather than their engine codes, so a request shed from the
+    /// queue (which never reaches the engine) and one abandoned mid-scan
+    /// produce byte-identical frames.
     pub fn engine_error(err: &EngineError) -> Response {
+        match err {
+            EngineError::DeadlineExceeded => Response::deadline_exceeded(),
+            EngineError::Cancelled => Response::cancelled(),
+            _ => Response::Error {
+                code: err.code(),
+                message: err.to_string(),
+            },
+        }
+    }
+
+    /// The single wire form of a missed deadline — one fixed code and
+    /// message whether the request was shed before running or abandoned
+    /// mid-scan, so the frame leaks nothing about progress.
+    pub fn deadline_exceeded() -> Response {
         Response::Error {
-            code: err.code(),
-            message: err.to_string(),
+            code: code::DEADLINE_EXCEEDED,
+            message: "request deadline exceeded".to_string(),
+        }
+    }
+
+    /// The single wire form of a cooperative cancellation (same opacity
+    /// contract as [`Response::deadline_exceeded`]).
+    pub fn cancelled() -> Response {
+        Response::Error {
+            code: code::CANCELLED,
+            message: "request cancelled".to_string(),
         }
     }
 
@@ -1321,7 +1456,7 @@ impl Response {
             Response::Error { code, message } => {
                 e.u16(*code).str(message);
             }
-            Response::Busy { retry_after_ms } => {
+            Response::Busy { retry_after_ms } | Response::Overloaded { retry_after_ms } => {
                 e.u32(*retry_after_ms);
             }
         }
@@ -1369,6 +1504,9 @@ impl Response {
                 message: d.str()?,
             },
             op::BUSY => Response::Busy {
+                retry_after_ms: d.u32()?,
+            },
+            op::OVERLOADED => Response::Overloaded {
                 retry_after_ms: d.u32()?,
             },
             _ => return Err(ProtoError),
@@ -1434,14 +1572,24 @@ mod tests {
         });
         roundtrip_request(Request::Query {
             query: "//patient[@id]/treatment".into(),
+            deadline_ms: 0,
+        });
+        roundtrip_request(Request::Query {
+            query: "//a".into(),
+            deadline_ms: 1_500,
         });
         roundtrip_request(Request::QueryBatch {
             queries: vec!["//a".into(), "b/c".into(), "".into()],
+            deadline_ms: u32::MAX,
         });
         roundtrip_request(Request::Update {
             statement: "delete //bill".into(),
+            deadline_ms: 250,
         });
-        roundtrip_request(Request::UpdateBatch { statements: vec![] });
+        roundtrip_request(Request::UpdateBatch {
+            statements: vec![],
+            deadline_ms: 0,
+        });
         roundtrip_request(Request::OpenDocument {
             name: "d".into(),
             dtd: Some("<!ELEMENT r EMPTY>".into()),
@@ -1453,6 +1601,46 @@ mod tests {
         });
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn deadline_accessors_cover_engine_ops_only() {
+        let mut req = Request::Query {
+            query: "//a".into(),
+            deadline_ms: 0,
+        };
+        assert_eq!(req.deadline_ms(), 0);
+        req.set_deadline_ms(77);
+        assert_eq!(req.deadline_ms(), 77);
+        let mut ping = Request::Ping;
+        ping.set_deadline_ms(99);
+        assert_eq!(ping.deadline_ms(), 0);
+    }
+
+    #[test]
+    fn deadline_and_cancel_frames_never_reveal_progress() {
+        // The queue-shed helper and the mid-evaluation engine error must
+        // produce byte-identical frames: otherwise the response would
+        // reveal whether (and how far) a query ran against data the view
+        // may be hiding.
+        let shed = Response::deadline_exceeded().encode(9);
+        let mid_scan = Response::engine_error(&smoqe::EngineError::DeadlineExceeded).encode(9);
+        assert_eq!(shed, mid_scan);
+
+        let shed = Response::cancelled().encode(9);
+        let mid_scan = Response::engine_error(&smoqe::EngineError::Cancelled).encode(9);
+        assert_eq!(shed, mid_scan);
+
+        // And the code carried is the protocol-level one, not the
+        // engine's internal 1..=99 range.
+        let bytes = Response::deadline_exceeded().encode(9);
+        let mut fb = FrameBuffer::new();
+        fb.push(&bytes);
+        let frame = fb.next_frame(DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        match Response::decode(frame.op, &frame.payload).unwrap() {
+            Response::Error { code: c, .. } => assert_eq!(c, code::DEADLINE_EXCEEDED),
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]
@@ -1504,13 +1692,29 @@ mod tests {
                 busy_rejections: 2,
                 ..WireTenant::default()
             }],
-            trace: vec![TraceEntry {
-                request_id: 5,
-                tenant: "(admin)".into(),
-                op: op::QUERY,
-                code: 0,
-                micros: 812,
-            }],
+            shed_total: 3,
+            deadline_total: 4,
+            cancelled_total: 5,
+            overloaded_total: 6,
+            inflight: 7,
+            trace: vec![
+                TraceEntry {
+                    request_id: 5,
+                    tenant: "(admin)".into(),
+                    op: op::QUERY,
+                    outcome: Outcome::Ok,
+                    code: 0,
+                    micros: 812,
+                },
+                TraceEntry {
+                    request_id: 6,
+                    tenant: "nurse".into(),
+                    op: op::QUERY,
+                    outcome: Outcome::Shed,
+                    code: code::DEADLINE_EXCEEDED,
+                    micros: 2_000,
+                },
+            ],
             ..WireStats::default()
         };
         stats.set_cache(&CacheMetrics {
@@ -1528,12 +1732,14 @@ mod tests {
             message: "hello required".into(),
         });
         roundtrip_response(Response::Busy { retry_after_ms: 25 });
+        roundtrip_response(Response::Overloaded { retry_after_ms: 40 });
     }
 
     #[test]
     fn frames_reassemble_from_arbitrary_chunks() {
         let a = Request::Query {
             query: "//a".into(),
+            deadline_ms: 0,
         }
         .encode(1);
         let b = Request::Ping.encode(2);

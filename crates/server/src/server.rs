@@ -43,7 +43,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use smoqe::engine::Session;
-use smoqe::Engine;
+use smoqe::{Engine, WorkBudget};
 
 use crate::admission::{Admission, InflightGuard, TenantQuota, TokenBucket};
 use crate::context::RequestContext;
@@ -52,7 +52,7 @@ use crate::proto::{
     WireUpdateReport, DEFAULT_MAX_FRAME_LEN,
 };
 use crate::queue::{PushError, WorkQueue};
-use crate::trace::TraceLog;
+use crate::trace::{Outcome, TraceLog};
 
 /// Everything tunable about a server.
 #[derive(Clone, Debug)]
@@ -102,6 +102,14 @@ pub struct ServerConfig {
     pub group_tokens: HashMap<String, String>,
     /// Trace ring capacity (0 disables tracing).
     pub trace_capacity: usize,
+    /// Brownout high-watermark: when the work queue holds at least this
+    /// many entries, new **non-admin** engine ops are refused with an
+    /// `Overloaded` frame (admin work still queues — the operator must be
+    /// able to reach an overloaded server). Keeping the watermark below
+    /// `queue_capacity` leaves headroom so the hard queue-full `Busy`
+    /// path stays rare under sustained overload. `usize::MAX` disables
+    /// brownout.
+    pub brownout_watermark: usize,
 }
 
 impl Default for ServerConfig {
@@ -128,6 +136,8 @@ impl Default for ServerConfig {
             admin_token: None,
             group_tokens: HashMap::new(),
             trace_capacity: 4096,
+            // Three quarters of the default queue_capacity.
+            brownout_watermark: 768,
         }
     }
 }
@@ -141,7 +151,25 @@ struct Job {
     session: Arc<Session>,
     out: Arc<ConnWriter>,
     admitted: Instant,
+    /// Absolute expiry computed from the request's `deadline_ms` at
+    /// admission (`None` = no deadline). Checked twice: by the worker
+    /// pulling the job off the queue (shed without executing) and by the
+    /// engine's [`WorkBudget`] mid-evaluation.
+    deadline: Option<Instant>,
+    /// The owning connection's cancel token (set when the connection
+    /// dies); threaded into the evaluation budget so queries whose
+    /// client is gone stop burning worker time.
+    cancel: Arc<AtomicBool>,
     _slot: InflightGuard,
+}
+
+impl Job {
+    /// Whether this job should be answered without executing: its
+    /// deadline passed while it sat in the queue, or its connection died
+    /// so nobody can receive the answer.
+    fn doomed(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now) || self.cancel.load(Ordering::Relaxed)
+    }
 }
 
 /// The write half of a connection, shared between its reader thread and
@@ -158,6 +186,11 @@ struct Job {
 struct ConnWriter {
     stream: Mutex<TcpStream>,
     dead: AtomicBool,
+    /// Cooperative cancellation token for this connection's in-flight
+    /// work. Set when the connection dies — write failure here, reader
+    /// exit in `handle_connection` — and observed by evaluation budgets
+    /// and the worker shed path.
+    cancel: Arc<AtomicBool>,
 }
 
 impl ConnWriter {
@@ -165,6 +198,7 @@ impl ConnWriter {
         ConnWriter {
             stream: Mutex::new(stream),
             dead: AtomicBool::new(false),
+            cancel: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -183,6 +217,8 @@ impl ConnWriter {
             if !self.dead.swap(true, Ordering::AcqRel) {
                 shared.slow_client_drops.fetch_add(1, Ordering::Relaxed);
             }
+            // A dead connection cancels its queued and running work.
+            self.cancel.store(true, Ordering::Release);
             // Unblock the reader; later writes are skipped via the flag.
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
@@ -201,6 +237,10 @@ struct Shared {
     queue_full_busy: AtomicU64,
     control_busy: AtomicU64,
     slow_client_drops: AtomicU64,
+    shed_total: AtomicU64,
+    deadline_total: AtomicU64,
+    cancelled_total: AtomicU64,
+    overloaded_total: AtomicU64,
     addr: SocketAddr,
 }
 
@@ -276,6 +316,10 @@ impl Server {
             queue_full_busy: AtomicU64::new(0),
             control_busy: AtomicU64::new(0),
             slow_client_drops: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            deadline_total: AtomicU64::new(0),
+            cancelled_total: AtomicU64::new(0),
+            overloaded_total: AtomicU64::new(0),
             engine,
             config,
             addr,
@@ -362,8 +406,22 @@ pub struct RecoveryGate {
 }
 
 impl RecoveryGate {
-    /// Starts answering `listener`'s connections with `RECOVERING`.
+    /// Starts answering `listener`'s connections with `RECOVERING`,
+    /// using the default [`ServerConfig`]'s write timeout. When the
+    /// server will run with a non-default config, prefer
+    /// [`start_with`](RecoveryGate::start_with) so the gate and the
+    /// server share one slow-client policy.
     pub fn start(listener: &TcpListener) -> std::io::Result<RecoveryGate> {
+        RecoveryGate::start_with(listener, ServerConfig::default().write_timeout)
+    }
+
+    /// Starts answering `listener`'s connections with `RECOVERING`,
+    /// bounding each answer by `write_timeout` (typically the
+    /// [`ServerConfig::write_timeout`] the server will use).
+    pub fn start_with(
+        listener: &TcpListener,
+        write_timeout: Duration,
+    ) -> std::io::Result<RecoveryGate> {
         let gate_listener = listener.try_clone()?;
         let addr = gate_listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -382,7 +440,7 @@ impl RecoveryGate {
                                 message: "server is recovering; retry shortly".to_string(),
                             }
                             .encode(0);
-                            let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
+                            let _ = s.set_write_timeout(Some(write_timeout));
                             let _ = s.write_all(&frame);
                         }
                     }
@@ -450,7 +508,37 @@ fn accept_loop(
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
+    loop {
+        // Pull the next live job, shedding queued entries whose deadline
+        // expired (or whose connection died) while they waited — those
+        // are answered below without ever executing, so an overloaded
+        // queue drains at answer speed, not evaluation speed.
+        let (job, shed) = shared.queue.pop_unless(|j: &Job| j.doomed(Instant::now()));
+        // `(None, [])` is the closed-and-drained exit signal; `(None,
+        // shed)` just means everything popped this round was doomed —
+        // answer the sheds and go around again.
+        let drained = job.is_none() && shed.is_empty();
+        for doomed in shed {
+            let response = if doomed.cancel.load(Ordering::Relaxed) {
+                Response::cancelled()
+            } else {
+                Response::deadline_exceeded()
+            };
+            finish_with(
+                shared,
+                &doomed.ctx,
+                &doomed.out,
+                doomed.admitted,
+                response,
+                Some(Outcome::Shed),
+            );
+        }
+        let Some(job) = job else {
+            if drained {
+                return;
+            }
+            continue;
+        };
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| execute(&job)));
         let response = match result {
             Ok(response) => response,
@@ -465,31 +553,45 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 /// Runs one engine op on the job's session, producing the already-masked
 /// wire response.
+///
+/// Queries run under a [`WorkBudget`] carrying the job's deadline and its
+/// connection's cancel token, so the evaluator abandons the scan within
+/// one check interval of either firing. Updates deliberately do **not**:
+/// an update is queue-shed if its deadline expires before dispatch, but
+/// once application starts it runs to completion — interrupting a
+/// half-applied update would trade a latency bound for atomicity.
 fn execute(job: &Job) -> Response {
     let ctx = &job.ctx;
+    let budget = WorkBudget {
+        deadline: job.deadline,
+        cancel: Some(job.cancel.clone()),
+        check_interval: 0,
+    };
     match &job.request {
-        Request::Query { query } => match job.session.query_serialized(query) {
-            Ok(answer) => Response::AnswerOk(WireAnswer::from_answer(
-                &answer,
-                &ctx.principal,
-                ctx.request_id,
-            )),
-            Err(e) => Response::engine_error(&e),
-        },
-        Request::QueryBatch { queries } => {
+        Request::Query { query, .. } => {
+            match job.session.query_serialized_budgeted(query, &budget) {
+                Ok(answer) => Response::AnswerOk(WireAnswer::from_answer(
+                    &answer,
+                    &ctx.principal,
+                    ctx.request_id,
+                )),
+                Err(e) => Response::engine_error(&e),
+            }
+        }
+        Request::QueryBatch { queries, .. } => {
             let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
-            match job.session.query_batch_serialized(&refs) {
+            match job.session.query_batch_serialized_budgeted(&refs, &budget) {
                 Ok(batch) => Response::from_batch(&batch, &ctx.principal, ctx.request_id),
                 Err(e) => Response::engine_error(&e),
             }
         }
-        Request::Update { statement } => match job.session.update(statement) {
+        Request::Update { statement, .. } => match job.session.update(statement) {
             Ok(report) => {
                 Response::UpdateOk(WireUpdateReport::from_report(&report, &ctx.principal))
             }
             Err(e) => Response::engine_error(&e),
         },
-        Request::UpdateBatch { statements } => {
+        Request::UpdateBatch { statements, .. } => {
             let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
             match job.session.update_batch(&refs) {
                 Ok(reports) => Response::UpdateBatchOk(
@@ -509,6 +611,24 @@ fn execute(job: &Job) -> Response {
     }
 }
 
+/// Classifies a response for the trace ring and the stats counters.
+fn classify(response: &Response) -> (Outcome, u16) {
+    match response {
+        Response::Error {
+            code: code::DEADLINE_EXCEEDED,
+            ..
+        } => (Outcome::Deadline, code::DEADLINE_EXCEEDED),
+        Response::Error {
+            code: code::CANCELLED,
+            ..
+        } => (Outcome::Cancelled, code::CANCELLED),
+        Response::Error { code, .. } => (Outcome::Error, *code),
+        Response::Busy { .. } => (Outcome::Busy, TraceLog::BUSY_CODE),
+        Response::Overloaded { .. } => (Outcome::Overloaded, code::OVERLOADED),
+        _ => (Outcome::Ok, 0),
+    }
+}
+
 /// Records the outcome in the trace ring and writes the response frame.
 fn finish(
     shared: &Arc<Shared>,
@@ -517,14 +637,39 @@ fn finish(
     started: Instant,
     response: Response,
 ) {
-    let trace_code = match &response {
-        Response::Error { code, .. } => *code,
-        Response::Busy { .. } => TraceLog::BUSY_CODE,
-        _ => 0,
+    finish_with(shared, ctx, out, started, response, None);
+}
+
+/// [`finish`] with an explicit outcome override — the queue-shed path
+/// sends the *same bytes* as a mid-evaluation deadline (the wire must not
+/// reveal whether the query ran), but the admin trace ring records `Shed`
+/// so the two stay distinguishable to the operator.
+fn finish_with(
+    shared: &Arc<Shared>,
+    ctx: &RequestContext,
+    out: &Arc<ConnWriter>,
+    started: Instant,
+    response: Response,
+    outcome_override: Option<Outcome>,
+) {
+    let (classified, trace_code) = classify(&response);
+    let outcome = outcome_override.unwrap_or(classified);
+    let counter = match outcome {
+        Outcome::Shed => Some(&shared.shed_total),
+        Outcome::Deadline => Some(&shared.deadline_total),
+        Outcome::Cancelled => Some(&shared.cancelled_total),
+        Outcome::Overloaded => Some(&shared.overloaded_total),
+        _ => None,
     };
+    if let Some(counter) = counter {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
     let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-    shared.trace.record(ctx, trace_code, micros);
-    if !matches!(response, Response::Busy { .. }) {
+    shared.trace.record(ctx, outcome, trace_code, micros);
+    // Refusals that never reached a worker (admission Busy, brownout
+    // Overloaded) are counted by their own gauges, not as served
+    // responses.
+    if !matches!(outcome, Outcome::Busy | Outcome::Overloaded) {
         shared.responses_total.fetch_add(1, Ordering::Relaxed);
     }
     out.write(shared, &response.encode(ctx.request_id));
@@ -605,6 +750,11 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             Err(_) => break,
         }
     }
+    // The connection is gone: cooperatively cancel whatever it still has
+    // queued or running. Workers shed the queued jobs (releasing their
+    // admission slots) and evaluation budgets stop mid-scan within one
+    // check interval.
+    out.cancel.store(true, Ordering::Release);
 }
 
 /// Per-connection state that outlives individual frames: what the kernel
@@ -852,6 +1002,21 @@ fn handle_frame(
                 );
                 return true;
             }
+            // Brownout: past the queue high-watermark the server stops
+            // accepting non-admin engine work *before* admission, so a
+            // deep backlog self-limits instead of stacking deadline-shed
+            // work behind live work. Admins pass — the operator must be
+            // able to inspect and drain an overloaded server.
+            if !principal.is_admin() && shared.queue.len() >= shared.config.brownout_watermark {
+                finish(
+                    shared,
+                    &ctx,
+                    out,
+                    started,
+                    Response::Overloaded { retry_after_ms: 25 },
+                );
+                return true;
+            }
             let slot = match shared.admission.admit(ctx.tenant(), started) {
                 Ok(slot) => slot,
                 Err(refused) => {
@@ -867,12 +1032,18 @@ fn handle_frame(
                     return true;
                 }
             };
+            // `deadline_ms` is relative to receipt; 0 means none.
+            let deadline_ms = request.deadline_ms();
+            let deadline =
+                (deadline_ms > 0).then(|| started + Duration::from_millis(u64::from(deadline_ms)));
             let job = Job {
                 ctx: ctx.clone(),
                 request,
                 session: bound_session.clone(),
                 out: out.clone(),
                 admitted: started,
+                deadline,
+                cancel: out.cancel.clone(),
                 _slot: slot,
             };
             match shared.queue.try_push(job) {
@@ -946,6 +1117,11 @@ fn build_stats(shared: &Arc<Shared>, principal: &Principal, include_trace: bool)
         + shared.control_busy.load(Ordering::Relaxed);
     s.epoch = shared.engine.recovery_epoch();
     s.slow_client_drops = shared.slow_client_drops.load(Ordering::Relaxed);
+    s.shed_total = shared.shed_total.load(Ordering::Relaxed);
+    s.deadline_total = shared.deadline_total.load(Ordering::Relaxed);
+    s.cancelled_total = shared.cancelled_total.load(Ordering::Relaxed);
+    s.overloaded_total = shared.overloaded_total.load(Ordering::Relaxed);
+    s.inflight = shared.admission.inflight_total() as u64;
 
     let own = match principal {
         Principal::Admin => None,

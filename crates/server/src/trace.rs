@@ -12,6 +12,72 @@ use std::sync::Mutex;
 
 use crate::context::RequestContext;
 
+/// Coarse classification of how a request ended, recorded alongside the
+/// exact wire code. The classes a wire code cannot distinguish are the
+/// point: a deadline that was *shed* from the queue (the query never ran)
+/// and one that expired *mid-evaluation* produce byte-identical client
+/// frames, but the admin-only trace ring keeps them apart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served successfully.
+    Ok,
+    /// Failed with an engine or protocol error.
+    Error,
+    /// Refused by admission control (per-tenant quota or inflight cap).
+    Busy,
+    /// Deadline expired while the request was evaluating.
+    Deadline,
+    /// Cooperatively cancelled mid-flight.
+    Cancelled,
+    /// Deadline had already expired when the request reached the front of
+    /// the queue; it was answered without running.
+    Shed,
+    /// Refused by brownout overload protection.
+    Overloaded,
+}
+
+impl Outcome {
+    /// Stable wire byte (append-only, like error codes).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Outcome::Ok => 0,
+            Outcome::Error => 1,
+            Outcome::Busy => 2,
+            Outcome::Deadline => 3,
+            Outcome::Cancelled => 4,
+            Outcome::Shed => 5,
+            Outcome::Overloaded => 6,
+        }
+    }
+
+    /// Inverse of [`Outcome::as_u8`].
+    pub fn from_u8(v: u8) -> Option<Outcome> {
+        Some(match v {
+            0 => Outcome::Ok,
+            1 => Outcome::Error,
+            2 => Outcome::Busy,
+            3 => Outcome::Deadline,
+            4 => Outcome::Cancelled,
+            5 => Outcome::Shed,
+            6 => Outcome::Overloaded,
+            _ => return None,
+        })
+    }
+
+    /// Short stable name (trace dumps, CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Error => "error",
+            Outcome::Busy => "busy",
+            Outcome::Deadline => "deadline",
+            Outcome::Cancelled => "cancelled",
+            Outcome::Shed => "shed",
+            Outcome::Overloaded => "overloaded",
+        }
+    }
+}
+
 /// Outcome record of one request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEntry {
@@ -21,6 +87,9 @@ pub struct TraceEntry {
     pub tenant: String,
     /// Op byte of the request.
     pub op: u8,
+    /// How the request ended (classes the wire code deliberately hides,
+    /// e.g. shed vs mid-scan deadline, stay distinct here).
+    pub outcome: Outcome,
     /// `0` for success, otherwise the error code the client saw
     /// (engine codes `1..=99`, protocol codes `100..`, or
     /// [`BUSY_CODE`](TraceLog::BUSY_CODE) for admission refusals).
@@ -60,7 +129,7 @@ impl TraceLog {
 
     /// Records the outcome of `ctx` (`code` 0 = success) after `micros`
     /// of service time.
-    pub fn record(&self, ctx: &RequestContext, code: u16, micros: u64) {
+    pub fn record(&self, ctx: &RequestContext, outcome: Outcome, code: u16, micros: u64) {
         if self.capacity == 0 {
             return;
         }
@@ -73,6 +142,7 @@ impl TraceLog {
             request_id: ctx.request_id,
             tenant: ctx.tenant().to_string(),
             op: ctx.op,
+            outcome,
             code,
             micros,
         });
@@ -98,7 +168,7 @@ mod tests {
     fn ring_drops_oldest_and_counts_drops() {
         let log = TraceLog::new(3);
         for id in 1..=5 {
-            log.record(&ctx(id), 0, id * 10);
+            log.record(&ctx(id), Outcome::Ok, 0, id * 10);
         }
         let (entries, dropped) = log.dump();
         assert_eq!(dropped, 2);
@@ -107,14 +177,35 @@ mod tests {
             vec![3, 4, 5]
         );
         assert_eq!(entries[0].tenant, "g");
+        assert_eq!(entries[0].outcome, Outcome::Ok);
     }
 
     #[test]
     fn zero_capacity_disables_tracing() {
         let log = TraceLog::new(0);
-        log.record(&ctx(1), 0, 1);
+        log.record(&ctx(1), Outcome::Ok, 0, 1);
         let (entries, dropped) = log.dump();
         assert!(entries.is_empty());
         assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn outcome_bytes_roundtrip_and_are_stable() {
+        let all = [
+            Outcome::Ok,
+            Outcome::Error,
+            Outcome::Busy,
+            Outcome::Deadline,
+            Outcome::Cancelled,
+            Outcome::Shed,
+            Outcome::Overloaded,
+        ];
+        for (i, o) in all.iter().enumerate() {
+            assert_eq!(o.as_u8() as usize, i, "{}", o.name());
+            assert_eq!(Outcome::from_u8(o.as_u8()), Some(*o));
+        }
+        assert_eq!(Outcome::from_u8(200), None);
+        // Pinned: renumbering is a wire break for trace consumers.
+        assert_eq!(Outcome::Shed.as_u8(), 5);
     }
 }

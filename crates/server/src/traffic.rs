@@ -79,6 +79,10 @@ pub struct TrafficConfig {
     /// target server has an `admin_token` configured (i.e. it serves
     /// admins over non-loopback networks).
     pub admin_token: Option<String>,
+    /// Per-request deadline every session installs on its client
+    /// (`None` = no deadline). Deadline expiries — client- or
+    /// server-side — count into the report's `errors` column.
+    pub deadline: Option<Duration>,
 }
 
 impl TrafficConfig {
@@ -113,6 +117,7 @@ impl TrafficConfig {
             seed: 0x5A0_0E5,
             busy_retries: 8,
             admin_token: None,
+            deadline: None,
         }
     }
 }
@@ -289,6 +294,7 @@ fn run_session(config: &TrafficConfig, si: usize) -> Result<SessionOutcome, Clie
     let principal = config.principals[si % config.principals.len().max(1)].clone();
     let mut client = Client::connect(&config.addr)?;
     client.set_timeout(Some(Duration::from_secs(60))).ok();
+    client.set_request_deadline(config.deadline);
     // The client's own retry policy absorbs Busy refusals: at least the
     // server's retry_after hint, exponential past it, capped at 100ms so
     // a saturated run still makes progress, jittered per-session so the
@@ -341,12 +347,12 @@ fn run_session(config: &TrafficConfig, si: usize) -> Result<SessionOutcome, Clie
                     .latencies
                     .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
             }
-            Err(ClientError::Busy { .. }) => {
+            Err(ClientError::Busy { .. }) | Err(ClientError::Overloaded { .. }) => {
                 // The policy's attempt budget ran out: starved.
                 outcome.busy += 1;
                 outcome.starved += 1;
             }
-            Err(ClientError::Remote { .. }) => {
+            Err(ClientError::Remote { .. }) | Err(ClientError::DeadlineExceeded) => {
                 outcome.errors += 1;
             }
             Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {

@@ -170,3 +170,65 @@ proptest! {
             "Q'(T) != Q(V(T)) for {}", q.display(&vocab));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// The wire codec invariant behind the chaos harness's dribble
+    /// fault: however the TCP layer chops the byte stream — one byte at
+    /// a time, across frame boundaries, mid-header — `FrameBuffer`
+    /// reassembles exactly the frames that were sent, in order, with
+    /// ids and payloads intact.
+    #[test]
+    fn frame_reassembly_is_chop_invariant(
+        seed in 0u64..100_000,
+        nframes in 1usize..8,
+        max_chop in 1usize..9,
+    ) {
+        use smoqe_server::proto::{FrameBuffer, Request, DEFAULT_MAX_FRAME_LEN};
+
+        // Seed-derived queries and chop sizes (xorshift64*, the
+        // workspace's usual deterministic generator).
+        let mut state = seed.wrapping_mul(2).max(1);
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let alphabet: Vec<char> = "abcdefghij/*()@ ".chars().collect();
+        let requests: Vec<Request> = (0..nframes)
+            .map(|i| Request::Query {
+                query: (0..next() as usize % 40)
+                    .map(|_| alphabet[next() as usize % alphabet.len()])
+                    .collect(),
+                deadline_ms: (next() % 5_000) as u32 + i as u32,
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            stream.extend_from_slice(&r.encode(i as u64 + 1));
+        }
+
+        // Deliver the stream in random chops of 1..=max_chop bytes, the
+        // way the chaos proxy's dribble fault does at its cruelest.
+        let mut fb = FrameBuffer::new();
+        let mut decoded = Vec::new();
+        let mut ids = Vec::new();
+        let mut offset = 0;
+        while offset < stream.len() {
+            let n = (1 + next() as usize % max_chop).min(stream.len() - offset);
+            fb.push(&stream[offset..offset + n]);
+            offset += n;
+            while let Some(frame) = fb.next_frame(DEFAULT_MAX_FRAME_LEN).unwrap() {
+                ids.push(frame.request_id);
+                decoded.push(Request::decode(frame.op, &frame.payload).unwrap());
+            }
+        }
+        prop_assert_eq!(decoded, requests);
+        prop_assert_eq!(ids, (1..=nframes as u64).collect::<Vec<_>>());
+    }
+}

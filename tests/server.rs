@@ -330,11 +330,13 @@ fn denial_frames_are_byte_identical_hidden_vs_nonexistent() {
     let hidden = hidden_conn
         .request_raw(&Request::Update {
             statement: "delete //pname".into(),
+            deadline_ms: 0,
         })
         .unwrap();
     let missing = missing_conn
         .request_raw(&Request::Update {
             statement: "delete hospital/patient[treatment/medication = 'nosuchmed']".into(),
+            deadline_ms: 0,
         })
         .unwrap();
 
@@ -600,6 +602,7 @@ fn drain_completes_pipelined_in_flight_queries() {
         s.write_all(
             &Request::Query {
                 query: "//medication".into(),
+                deadline_ms: 0,
             }
             .encode(100 + i),
         )
@@ -691,6 +694,7 @@ fn a_reader_that_stops_reading_is_dropped_not_waited_on() {
     assert_eq!(read_raw_frame(&mut s, &mut fb).unwrap().op, op::HELLO_OK);
     let batch = Request::QueryBatch {
         queries: vec!["hospital/patient".to_string(); 256],
+        deadline_ms: 0,
     };
     for i in 0..40u64 {
         if s.write_all(&batch.encode(100 + i)).is_err() {
